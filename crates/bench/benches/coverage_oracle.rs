@@ -1,0 +1,41 @@
+//! Microbenchmarks for the Appendix A coverage oracle: exact coverage and
+//! the early-exit `covered` predicate at several pattern levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coverage_data::generators::airbnb_like;
+use coverage_index::{CoverageOracle, X};
+
+fn bench_oracle(c: &mut Criterion) {
+    let ds = airbnb_like(100_000, 15, 7).expect("generator");
+    let oracle = CoverageOracle::from_dataset(&ds);
+    let mut group = c.benchmark_group("coverage_oracle");
+    for level in [1usize, 4, 8, 12] {
+        let mut codes = vec![X; 15];
+        for slot in codes.iter_mut().take(level) {
+            *slot = 1;
+        }
+        group.bench_with_input(BenchmarkId::new("coverage", level), &codes, |b, codes| {
+            b.iter(|| black_box(oracle.coverage(black_box(codes))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("covered_tau100", level),
+            &codes,
+            |b, codes| {
+                b.iter(|| black_box(oracle.covered(black_box(codes), 100)));
+            },
+        );
+    }
+    group.finish();
+
+    let mut build = c.benchmark_group("oracle_build");
+    build.sample_size(10);
+    build.bench_function("100k_rows_d15", |b| {
+        b.iter(|| black_box(CoverageOracle::from_dataset(black_box(&ds))));
+    });
+    build.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

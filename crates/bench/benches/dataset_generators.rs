@@ -1,0 +1,36 @@
+//! Microbenchmarks for the synthetic workload generators and the
+//! unique-combination aggregation they feed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coverage_data::generators::{airbnb_like, bluenile_like, compas_like};
+use coverage_data::UniqueCombinations;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("airbnb_d15", n), &n, |b, &n| {
+            b.iter(|| black_box(airbnb_like(n, 15, 1).expect("gen")));
+        });
+        group.bench_with_input(BenchmarkId::new("bluenile", n), &n, |b, &n| {
+            b.iter(|| black_box(bluenile_like(n, 1).expect("gen")));
+        });
+    }
+    group.bench_function("compas_default", |b| {
+        b.iter(|| black_box(compas_like(&Default::default()).expect("gen")));
+    });
+    group.finish();
+
+    let ds = airbnb_like(100_000, 15, 2).expect("gen");
+    let mut agg = c.benchmark_group("aggregation");
+    agg.sample_size(10);
+    agg.bench_function("unique_100k_d15", |b| {
+        b.iter(|| black_box(UniqueCombinations::from_dataset(black_box(&ds))));
+    });
+    agg.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion comparison of the three MUP identification algorithms on
+//! scaled-down versions of the paper's two workload shapes (binary AirBnB,
+//! high-cardinality BlueNile) at a covered-leaning and an uncovered-leaning
+//! threshold. The figure-faithful sweeps live in the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_data::generators::{airbnb_like, bluenile_like};
+use coverage_index::CoverageOracle;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let airbnb = CoverageOracle::from_dataset(&airbnb_like(20_000, 10, 7).expect("gen"));
+    let bluenile = CoverageOracle::from_dataset(&bluenile_like(20_000, 7).expect("gen"));
+
+    let breaker = PatternBreaker::default();
+    let combiner = PatternCombiner::default();
+    let deepdiver = DeepDiver::default();
+    let algorithms: [&dyn MupAlgorithm; 3] = [&breaker, &combiner, &deepdiver];
+
+    let mut group = c.benchmark_group("mup_identification");
+    group.sample_size(10);
+    for (oracle, name) in [(&airbnb, "airbnb10"), (&bluenile, "bluenile7")] {
+        for tau in [2u64, 200] {
+            for alg in algorithms {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_{name}", alg.name()), tau),
+                    &tau,
+                    |b, &tau| {
+                        b.iter(|| {
+                            black_box(
+                                alg.find_mups_with_oracle(black_box(oracle), tau)
+                                    .expect("mups"),
+                            )
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmarks for the pattern algebra: matching, Rule 1 / Rule 2
+//! generation, dominance, and the Appendix C level expansion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coverage_core::pattern::Pattern;
+
+fn bench_pattern_ops(c: &mut Criterion) {
+    let cards = vec![2u8; 20];
+    let p = Pattern::parse("1X0X1X0X1X0X1X0X1X0X").expect("pattern");
+    let tuple: Vec<u8> = (0..20).map(|i| (i % 2) as u8).collect();
+
+    c.bench_function("pattern_matches_d20", |b| {
+        b.iter(|| black_box(p.matches(black_box(&tuple))));
+    });
+
+    c.bench_function("pattern_rule1_children_d20", |b| {
+        b.iter(|| black_box(p.rule1_children(black_box(&cards))));
+    });
+
+    c.bench_function("pattern_rule2_parents_d20", |b| {
+        b.iter(|| black_box(p.rule2_parents()));
+    });
+
+    let q = Pattern::parse("1X0X1X0X1X0X1X0X1X0X").expect("pattern");
+    c.bench_function("pattern_dominates_d20", |b| {
+        b.iter(|| black_box(p.dominates(black_box(&q))));
+    });
+
+    let mup = Pattern::parse("1XXXXXXXXXXXXXXXXXXX").expect("pattern");
+    c.bench_function("descendants_at_level_4_d20", |b| {
+        b.iter(|| black_box(mup.descendants_at_level(black_box(&cards), 4).len()));
+    });
+}
+
+criterion_group!(benches, bench_pattern_ops);
+criterion_main!(benches);

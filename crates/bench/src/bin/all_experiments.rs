@@ -1,0 +1,19 @@
+//! Runs the complete experiment suite in paper order (`--quick` shrinks it).
+use coverage_bench::experiments as e;
+
+fn main() {
+    let quick = e::quick_flag();
+    e::fig06_mup_distribution::run(quick);
+    e::compas_case_study::run(quick);
+    e::fig11_classifier::run(quick);
+    e::vb3_validation_enhancement::run(quick);
+    e::theorem1_worstcase::run(quick);
+    e::vertex_cover_reduction::run(quick);
+    e::fig12_airbnb_threshold::run(quick);
+    e::fig13_bluenile_threshold::run(quick);
+    e::fig14_data_size::run(quick);
+    e::fig15_dimensions::run(quick);
+    e::fig16_level_limited::run(quick);
+    e::fig17_enhance_threshold::run(quick);
+    e::fig18_19_enhance_dimensions::run(quick);
+}

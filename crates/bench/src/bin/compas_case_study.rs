@@ -1,0 +1,4 @@
+//! Runs the `compas_case_study` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::compas_case_study::run(coverage_bench::experiments::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Runs the `fig06_mup_distribution` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::fig06_mup_distribution::run(coverage_bench::experiments::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Runs the `fig11_classifier` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::fig11_classifier::run(coverage_bench::experiments::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Runs the `fig14_data_size` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::fig14_data_size::run(coverage_bench::experiments::quick_flag());
+}

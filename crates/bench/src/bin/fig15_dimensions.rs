@@ -1,0 +1,4 @@
+//! Runs the `fig15_dimensions` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::fig15_dimensions::run(coverage_bench::experiments::quick_flag());
+}

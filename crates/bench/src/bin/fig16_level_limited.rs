@@ -1,0 +1,4 @@
+//! Runs the `fig16_level_limited` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::fig16_level_limited::run(coverage_bench::experiments::quick_flag());
+}

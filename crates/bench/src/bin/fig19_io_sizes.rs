@@ -1,0 +1,6 @@
+//! Runs the Fig 19 sweep (input/output-size view of the shared Fig 18+19 experiment).
+fn main() {
+    coverage_bench::experiments::fig18_19_enhance_dimensions::run(
+        coverage_bench::experiments::quick_flag(),
+    );
+}

@@ -1,0 +1,4 @@
+//! Runs the `theorem1_worstcase` experiment (see crate docs; `--quick` shrinks it).
+fn main() {
+    coverage_bench::experiments::theorem1_worstcase::run(coverage_bench::experiments::quick_flag());
+}

@@ -1,0 +1,54 @@
+//! §V-B1: lack of coverage in the COMPAS demographics at τ = 10.
+//!
+//! The paper reports 65 MUPs in total — 19 at level 2, 23 at level 3, 23 at
+//! level 4 — with every single attribute value covered, and highlights the
+//! pattern `XX23` (widowed Hispanics): only two matching individuals, both
+//! repeat offenders.
+
+use coverage_core::pattern::Pattern;
+use coverage_core::{CoverageReport, Threshold};
+use coverage_data::generators::{compas_like, CompasConfig, HISPANIC, WIDOWED};
+use coverage_index::CoverageOracle;
+
+use crate::harness::{banner, Table};
+
+/// Runs the case study; returns the per-level MUP histogram.
+pub fn run(_quick: bool) -> Vec<usize> {
+    banner("§V-B1", "COMPAS coverage case study (tau = 10)");
+    let ds = compas_like(&CompasConfig::default()).expect("generator");
+    let report = CoverageReport::audit(&ds, Threshold::Count(10)).expect("audit");
+
+    let mut table = Table::new(&["level", "# of MUPs", "paper"]);
+    let paper = ["0", "0", "19", "23", "23"];
+    for (level, &count) in report.level_histogram.iter().enumerate() {
+        table.row(&[
+            level.to_string(),
+            count.to_string(),
+            paper.get(level).unwrap_or(&"-").to_string(),
+        ]);
+    }
+    println!("\ntotal MUPs: {} (paper: 65)", report.mup_count());
+
+    // Single attribute values all covered (as in the paper).
+    let covered_singletons = report.level_histogram[1] == 0;
+    println!("all single attribute values covered: {covered_singletons}");
+
+    // The XX23 story: widowed Hispanics.
+    let oracle = CoverageOracle::from_dataset(&ds);
+    let xx23 = Pattern::from_codes(vec![
+        coverage_core::pattern::X,
+        coverage_core::pattern::X,
+        HISPANIC,
+        WIDOWED,
+    ]);
+    let cov = oracle.coverage(xx23.codes());
+    let reoffenders = ds.count_where(|r, label| {
+        r[2] == HISPANIC && r[3] == WIDOWED && label == Some(true)
+    });
+    println!(
+        "pattern XX23 (widowed Hispanic): coverage = {cov}, re-offenders among them = {reoffenders} (paper: 2 and 2)"
+    );
+    let is_mup = report.mups.contains(&xx23);
+    println!("XX23 reported as a MUP: {is_mup}");
+    report.level_histogram
+}

@@ -1,0 +1,30 @@
+//! Fig 6: distribution of MUP levels on AirBnB with n = 1,000, d = 13,
+//! τ = 50. The paper reports a bell curve peaking at levels 5–6 (a few
+//! thousand MUPs in total, 1 at level 1, < 40 at level 2).
+
+use coverage_core::{CoverageReport, Threshold};
+use coverage_data::generators::airbnb_like;
+
+use crate::harness::{banner, Table};
+
+/// Runs the experiment and returns the level histogram.
+pub fn run(quick: bool) -> Vec<usize> {
+    banner(
+        "Fig 6",
+        "Distribution of MUP levels (AirBnB-like, n=1000, d=13, tau=50)",
+    );
+    let n = 1_000;
+    let d = if quick { 10 } else { 13 };
+    let ds = airbnb_like(n, d, 2019).expect("generator parameters are valid");
+    let report = CoverageReport::audit(&ds, Threshold::Count(50)).expect("audit");
+    let mut table = Table::new(&["level", "# of MUPs"]);
+    for (level, &count) in report.level_histogram.iter().enumerate() {
+        table.row(&[level.to_string(), count.to_string()]);
+    }
+    println!(
+        "\ntotal MUPs: {}   maximum covered level: {}",
+        report.mup_count(),
+        report.maximum_covered_level()
+    );
+    report.level_histogram
+}

@@ -1,0 +1,140 @@
+//! Fig 11: the effect of (lack of) coverage on classification.
+//!
+//! The paper trains a decision tree on COMPAS demographics, holds out 20
+//! Hispanic-female (HF) individuals, and varies the number of HF rows in the
+//! training data over {0, 20, 40, 60, 80}: subgroup accuracy starts below
+//! 50% and climbs as coverage is remedied, while overall accuracy stays flat
+//! at ~0.76 (f1 ~0.7). The FO / MO ablation (§V-B2's closing paragraph)
+//! removes Female-Other / Male-Other rows entirely: accuracies 39% and 59%.
+//!
+//! The paper reports a single random split; with only 20 test rows that is
+//! very noisy, so this harness averages each point over several seeded
+//! splits (the paper's qualitative shape is asserted on the mean).
+
+use coverage_data::generators::{
+    compas_like, CompasConfig, FEMALE, HISPANIC, MALE, OTHER_RACE,
+};
+use coverage_data::Dataset;
+use coverage_ml::{take_rows, train_and_evaluate, TreeConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::harness::{banner, f3, Table};
+
+/// One averaged point of the HF sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Number of Hispanic-female rows included in the training data.
+    pub hf_in_training: usize,
+    /// Mean accuracy on the held-out 20-HF test sets.
+    pub subgroup_accuracy: f64,
+    /// Mean F1 on the held-out 20-HF test sets.
+    pub subgroup_f1: f64,
+    /// Mean accuracy on the random global test sets.
+    pub overall_accuracy: f64,
+    /// Mean F1 on the random global test sets.
+    pub overall_f1: f64,
+}
+
+fn indices_where(ds: &Dataset, pred: impl Fn(&[u8]) -> bool) -> Vec<usize> {
+    (0..ds.len()).filter(|&i| pred(ds.row(i))).collect()
+}
+
+const HF_COUNTS: [usize; 5] = [0, 20, 40, 60, 80];
+
+/// Runs the sweep; returns the averaged points.
+pub fn run(quick: bool) -> Vec<Point> {
+    banner(
+        "Fig 11",
+        "Effect of lack of coverage on classification (COMPAS-like)",
+    );
+    let reps = if quick { 2 } else { 7 };
+    let ds = compas_like(&CompasConfig::default()).expect("generator");
+    let config = TreeConfig::default();
+
+    let mut sums = [[0.0f64; 4]; HF_COUNTS.len()];
+    let mut fo_sum = 0.0;
+    let mut mo_sum = 0.0;
+    for rep in 0..reps {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + rep as u64);
+        let mut hf: Vec<usize> = indices_where(&ds, |r| r[2] == HISPANIC && r[0] == FEMALE);
+        hf.shuffle(&mut rng);
+        let (hf_test_idx, hf_pool) = hf.split_at(20);
+        let mut rest: Vec<usize> =
+            indices_where(&ds, |r| !(r[2] == HISPANIC && r[0] == FEMALE));
+        rest.shuffle(&mut rng);
+        let global_test_len = rest.len() / 5;
+        let (global_test_idx, rest_train) = rest.split_at(global_test_len);
+        let hf_test = take_rows(&ds, hf_test_idx);
+        let global_test = take_rows(&ds, global_test_idx);
+
+        for (slot, &k) in HF_COUNTS.iter().enumerate() {
+            let mut train_idx: Vec<usize> = rest_train.to_vec();
+            train_idx.extend_from_slice(&hf_pool[..k.min(hf_pool.len())]);
+            let train = take_rows(&ds, &train_idx);
+            let sub = train_and_evaluate(&train, &hf_test, &config);
+            let all = train_and_evaluate(&train, &global_test, &config);
+            sums[slot][0] += sub.accuracy();
+            sums[slot][1] += sub.f1();
+            sums[slot][2] += all.accuracy();
+            sums[slot][3] += all.f1();
+        }
+
+        // FO / MO ablation: remove the whole group from training, test on a
+        // random 20 of its rows.
+        for (race, sex, sum) in [
+            (OTHER_RACE, FEMALE, &mut fo_sum),
+            (OTHER_RACE, MALE, &mut mo_sum),
+        ] {
+            let mut group: Vec<usize> = indices_where(&ds, |r| r[2] == race && r[0] == sex);
+            group.shuffle(&mut rng);
+            let test_idx = &group[..20.min(group.len())];
+            let train_idx: Vec<usize> = indices_where(&ds, |r| !(r[2] == race && r[0] == sex));
+            let m = train_and_evaluate(
+                &take_rows(&ds, &train_idx),
+                &take_rows(&ds, test_idx),
+                &config,
+            );
+            *sum += m.accuracy();
+        }
+    }
+
+    let mut table = Table::new(&[
+        "HF in train",
+        "subgrp acc",
+        "subgrp f1",
+        "overall acc",
+        "overall f1",
+    ]);
+    let mut points = Vec::new();
+    let r = reps as f64;
+    for (slot, &k) in HF_COUNTS.iter().enumerate() {
+        let point = Point {
+            hf_in_training: k,
+            subgroup_accuracy: sums[slot][0] / r,
+            subgroup_f1: sums[slot][1] / r,
+            overall_accuracy: sums[slot][2] / r,
+            overall_f1: sums[slot][3] / r,
+        };
+        table.row(&[
+            k.to_string(),
+            f3(point.subgroup_accuracy),
+            f3(point.subgroup_f1),
+            f3(point.overall_accuracy),
+            f3(point.overall_f1),
+        ]);
+        points.push(point);
+    }
+    println!("\npaper shape: subgroup accuracy < 0.5 at 0 HF, rising with coverage;");
+    println!("overall accuracy flat (~0.76), overall f1 flat (~0.70)\n");
+
+    let mut ablation = Table::new(&["group removed", "accuracy (mean)", "paper"]);
+    ablation.row(&[
+        "Female-Other (FO)".into(),
+        f3(fo_sum / r),
+        "0.39".into(),
+    ]);
+    ablation.row(&["Male-Other (MO)".into(), f3(mo_sum / r), "0.59".into()]);
+    points
+}

@@ -1,0 +1,94 @@
+//! Fig 12: MUP identification on AirBnB varying the threshold rate
+//! (n = 1M, d = 15), for APRIORI / PATTERN-BREAKER / PATTERN-COMBINER /
+//! DEEPDIVER.
+//!
+//! Expected shape: PATTERN-BREAKER's runtime falls as the rate grows (MUPs
+//! move up the graph), PATTERN-COMBINER's rises, the two cross near rate
+//! 10⁻⁴–10⁻³, DEEPDIVER is at-or-near best everywhere, and APRIORI is not
+//! competitive (it finished a single setting under 100 s in the paper).
+
+use coverage_core::mup::{Apriori, DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_index::CoverageOracle;
+
+use crate::harness::{banner, secs, timed, Table, THRESHOLD_RATES_WIDE};
+
+/// One measured sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Threshold rate (fraction of n).
+    pub rate: f64,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Runtime in seconds (`None` = did not finish / guard tripped).
+    pub seconds: Option<f64>,
+    /// Number of MUPs found.
+    pub mups: Option<usize>,
+}
+
+/// Runs one algorithm at one rate against a prebuilt oracle.
+pub fn measure(
+    alg: &dyn MupAlgorithm,
+    oracle: &CoverageOracle,
+    n: u64,
+    rate: f64,
+) -> Point {
+    let tau = Threshold::Fraction(rate).resolve(n).expect("valid rate");
+    let (result, seconds) = timed(|| alg.find_mups_with_oracle(oracle, tau));
+    match result {
+        Ok(mups) => Point {
+            rate,
+            algorithm: alg.name(),
+            seconds: Some(seconds),
+            mups: Some(mups.len()),
+        },
+        Err(_) => Point {
+            rate,
+            algorithm: alg.name(),
+            seconds: None,
+            mups: None,
+        },
+    }
+}
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let n = if quick { 100_000 } else { 1_000_000 };
+    let d = 15;
+    banner(
+        "Fig 12",
+        &format!("AirBnB-like MUP identification vs threshold rate (n={n}, d={d})"),
+    );
+    let (ds, gen_s) = timed(|| airbnb_like(n, d, 2019).expect("generator"));
+    let (oracle, idx_s) = timed(|| CoverageOracle::from_dataset(&ds));
+    println!(
+        "generated {n} rows in {}; {} unique combinations indexed in {}\n",
+        secs(gen_s),
+        oracle.combinations().len(),
+        secs(idx_s)
+    );
+
+    let apriori = Apriori {
+        max_candidates_per_level: 3_000_000,
+    };
+    let breaker = PatternBreaker::default();
+    let combiner = PatternCombiner::default();
+    let deepdiver = DeepDiver::default();
+    let algorithms: Vec<&dyn MupAlgorithm> = vec![&apriori, &breaker, &combiner, &deepdiver];
+    let mut table = Table::new(&["rate", "algorithm", "runtime", "# MUPs"]);
+    let mut points = Vec::new();
+    for &rate in &THRESHOLD_RATES_WIDE {
+        for alg in &algorithms {
+            let p = measure(*alg, &oracle, n as u64, rate);
+            table.row(&[
+                format!("{rate:.0e}"),
+                p.algorithm.to_string(),
+                p.seconds.map_or("DNF".into(), secs),
+                p.mups.map_or("-".into(), |m| m.to_string()),
+            ]);
+            points.push(p);
+        }
+    }
+    points
+}

@@ -1,0 +1,53 @@
+//! Fig 13: MUP identification on BlueNile varying the threshold rate
+//! (n = 116,300, d = 7, cardinalities 10,4,7,8,3,3,5).
+//!
+//! Expected shape: DEEPDIVER best at every rate; PATTERN-COMBINER always
+//! worst because the bottom pattern-graph level has > 100K nodes (100,800
+//! full combinations) versus 128 for seven binary attributes.
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_data::generators::{bluenile_like, BLUENILE_ROWS};
+use coverage_index::CoverageOracle;
+
+use crate::experiments::fig12_airbnb_threshold::{measure, Point};
+use crate::harness::{banner, secs, timed, Table, THRESHOLD_RATES_BLUENILE};
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let n = if quick { 20_000 } else { BLUENILE_ROWS };
+    banner(
+        "Fig 13",
+        &format!("BlueNile-like MUP identification vs threshold rate (n={n}, d=7)"),
+    );
+    let (ds, gen_s) = timed(|| bluenile_like(n, 2019).expect("generator"));
+    let (oracle, idx_s) = timed(|| CoverageOracle::from_dataset(&ds));
+    println!(
+        "generated {n} rows in {}; {} unique combinations indexed in {}\n",
+        secs(gen_s),
+        oracle.combinations().len(),
+        secs(idx_s)
+    );
+
+    let algorithms: Vec<&dyn MupAlgorithm> = vec![
+        &PatternBreaker { max_level: None },
+        &PatternCombiner {
+            max_combinations: 200_000,
+        },
+        &DeepDiver { max_level: None },
+    ];
+    let mut table = Table::new(&["rate", "algorithm", "runtime", "# MUPs"]);
+    let mut points = Vec::new();
+    for &rate in &THRESHOLD_RATES_BLUENILE {
+        for alg in &algorithms {
+            let p = measure(*alg, &oracle, n as u64, rate);
+            table.row(&[
+                format!("{rate:.0e}"),
+                p.algorithm.to_string(),
+                p.seconds.map_or("DNF".into(), secs),
+                p.mups.map_or("-".into(), |m| m.to_string()),
+            ]);
+            points.push(p);
+        }
+    }
+    points
+}

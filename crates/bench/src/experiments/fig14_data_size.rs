@@ -1,0 +1,58 @@
+//! Fig 14: MUP identification on AirBnB varying the dataset size
+//! (τ = 0.1%, d = 15; n from 1K to 1M).
+//!
+//! Expected shape: all three algorithms are only mildly affected by dataset
+//! size — the work is driven by the pattern space, and the inverted indices
+//! operate over unique combinations rather than raw rows.
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_data::generators::airbnb_like;
+use coverage_index::CoverageOracle;
+
+use crate::experiments::fig12_airbnb_threshold::{measure, Point};
+use crate::harness::{banner, secs, timed, Table};
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let d = 15;
+    let rate = 1e-3;
+    banner(
+        "Fig 14",
+        &format!("AirBnB-like MUP identification vs data size (tau={rate}, d={d})"),
+    );
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let algorithms: Vec<&dyn MupAlgorithm> = vec![
+        &PatternBreaker { max_level: None },
+        &PatternCombiner {
+            max_combinations: 50_000_000,
+        },
+        &DeepDiver { max_level: None },
+    ];
+    let mut table = Table::new(&["n", "algorithm", "runtime", "# MUPs"]);
+    let mut points = Vec::new();
+    for &n in sizes {
+        let (ds, _) = timed(|| airbnb_like(n, d, 2019).expect("generator"));
+        let (oracle, idx_s) = timed(|| CoverageOracle::from_dataset(&ds));
+        table.row(&[
+            n.to_string(),
+            "(index build)".to_string(),
+            secs(idx_s),
+            "-".to_string(),
+        ]);
+        for alg in &algorithms {
+            let p = measure(*alg, &oracle, n as u64, rate);
+            table.row(&[
+                n.to_string(),
+                p.algorithm.to_string(),
+                p.seconds.map_or("DNF".into(), secs),
+                p.mups.map_or("-".into(), |m| m.to_string()),
+            ]);
+            points.push(p);
+        }
+    }
+    points
+}

@@ -1,0 +1,58 @@
+//! Fig 15: MUP identification on AirBnB varying the number of attributes
+//! (n = 1M, τ = 0.1%; d from 5 to 17).
+//!
+//! Expected shape: MUP counts and runtimes grow exponentially with d, but
+//! every algorithm finishes in reasonable time up to d = 17.
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_data::generators::airbnb_like;
+use coverage_index::CoverageOracle;
+
+use crate::experiments::fig12_airbnb_threshold::{measure, Point};
+use crate::harness::{banner, secs, timed, Table};
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let n = if quick { 100_000 } else { 1_000_000 };
+    let rate = 1e-3;
+    banner(
+        "Fig 15",
+        &format!("AirBnB-like MUP identification vs dimensions (n={n}, tau={rate})"),
+    );
+    let dims: &[usize] = if quick {
+        &[5, 9, 13]
+    } else {
+        &[5, 7, 9, 11, 13, 15, 17]
+    };
+    // Generate once at the maximum dimensionality and project down, as the
+    // paper does.
+    let d_max = *dims.last().expect("non-empty dims");
+    let (full, gen_s) = timed(|| airbnb_like(n, d_max, 2019).expect("generator"));
+    println!("generated {n} rows x {d_max} attrs in {}\n", secs(gen_s));
+
+    let algorithms: Vec<&dyn MupAlgorithm> = vec![
+        &PatternBreaker { max_level: None },
+        &PatternCombiner {
+            max_combinations: 50_000_000,
+        },
+        &DeepDiver { max_level: None },
+    ];
+    let mut table = Table::new(&["d", "algorithm", "runtime", "# MUPs"]);
+    let mut points = Vec::new();
+    for &d in dims {
+        let keep: Vec<usize> = (0..d).collect();
+        let ds = full.project(&keep).expect("projection");
+        let oracle = CoverageOracle::from_dataset(&ds);
+        for alg in &algorithms {
+            let p = measure(*alg, &oracle, n as u64, rate);
+            table.row(&[
+                d.to_string(),
+                p.algorithm.to_string(),
+                p.seconds.map_or("DNF".into(), secs),
+                p.mups.map_or("-".into(), |m| m.to_string()),
+            ]);
+            points.push(p);
+        }
+    }
+    points
+}

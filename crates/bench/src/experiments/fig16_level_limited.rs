@@ -1,0 +1,94 @@
+//! Fig 16: level-bounded MUP discovery with DEEPDIVER for tens of
+//! attributes (n = 1M, τ = 0.1%; d from 10 to 35, max level ∈ {2,4,6,8}).
+//!
+//! Expected shape: bounding the exploration level makes discovery of the
+//! *risky* (low-level) MUPs tractable even at d = 35 — the paper reports
+//! max ℓ = 2 at 35 attributes in about 10 seconds.
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm};
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_index::CoverageOracle;
+
+use crate::harness::{banner, secs, timed, Table};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Number of attributes.
+    pub d: usize,
+    /// Exploration bound.
+    pub max_level: usize,
+    /// Runtime in seconds (`None` = skipped after budget blow-up).
+    pub seconds: Option<f64>,
+    /// MUPs with level ≤ bound.
+    pub mups: Option<usize>,
+}
+
+/// Soft per-point budget: once a series exceeds this, higher dimensions of
+/// the same series are skipped.
+const POINT_BUDGET_SECS: f64 = 180.0;
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let n = if quick { 100_000 } else { 1_000_000 };
+    let rate = 1e-3;
+    banner(
+        "Fig 16",
+        &format!("Level-bounded DeepDiver vs dimensions (n={n}, tau={rate})"),
+    );
+    let dims: &[usize] = if quick { &[10, 20] } else { &[10, 15, 20, 25, 30, 35] };
+    let levels: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
+    let d_max = *dims.last().expect("non-empty");
+    let (full, gen_s) = timed(|| airbnb_like(n, d_max, 2019).expect("generator"));
+    println!("generated {n} rows x {d_max} attrs in {}\n", secs(gen_s));
+
+    // Pre-build one oracle per dimension (shared across the level series).
+    let mut table = Table::new(&["d", "max level", "runtime", "# MUPs (level <= bound)"]);
+    let mut points = Vec::new();
+    let mut blown: Vec<usize> = Vec::new(); // levels whose budget is exhausted
+    for &d in dims {
+        let keep: Vec<usize> = (0..d).collect();
+        let ds = full.project(&keep).expect("projection");
+        let oracle = CoverageOracle::from_dataset(&ds);
+        let tau = Threshold::Fraction(rate)
+            .resolve(n as u64)
+            .expect("valid rate");
+        for &ml in levels {
+            if blown.contains(&ml) {
+                table.row(&[
+                    d.to_string(),
+                    ml.to_string(),
+                    "skipped".into(),
+                    "-".into(),
+                ]);
+                points.push(Point {
+                    d,
+                    max_level: ml,
+                    seconds: None,
+                    mups: None,
+                });
+                continue;
+            }
+            let alg = DeepDiver::with_max_level(ml);
+            let (result, s) = timed(|| alg.find_mups_with_oracle(&oracle, tau));
+            let count = result.map(|m| m.len()).ok();
+            table.row(&[
+                d.to_string(),
+                ml.to_string(),
+                secs(s),
+                count.map_or("-".into(), |c| c.to_string()),
+            ]);
+            points.push(Point {
+                d,
+                max_level: ml,
+                seconds: Some(s),
+                mups: count,
+            });
+            if s > POINT_BUDGET_SECS {
+                blown.push(ml);
+            }
+        }
+    }
+    points
+}

@@ -1,0 +1,131 @@
+//! Fig 17: coverage enhancement runtime varying the threshold rate
+//! (AirBnB, n = 1M, d = 13; λ ∈ {3..6}; rates 10⁻⁶..10⁻²).
+//!
+//! Expected shape: GREEDY finishes in seconds everywhere and slows as λ or
+//! the rate grows; the naïve hitting set finished only the single easiest
+//! setting (λ = 3, smallest rate) within the paper's time limit.
+
+use coverage_core::enhance::{CoverageEnhancer, GreedyHittingSet, NaiveHittingSet};
+use coverage_core::mup::{DeepDiver, MupAlgorithm};
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_index::CoverageOracle;
+
+use crate::harness::{banner, secs, timed, Table, THRESHOLD_RATES_WIDE};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Threshold rate.
+    pub rate: f64,
+    /// Target maximum covered level λ.
+    pub lambda: usize,
+    /// Solver name.
+    pub solver: &'static str,
+    /// Enhancement runtime (expansion + hitting set) in seconds.
+    pub seconds: Option<f64>,
+    /// Input size (uncovered patterns at λ).
+    pub input: Option<usize>,
+    /// Output size (combinations to collect).
+    pub output: Option<usize>,
+}
+
+/// Per-point soft budget for the naïve solver.
+const NAIVE_BUDGET_SECS: f64 = 120.0;
+
+/// Runs the sweep; returns all points.
+pub fn run(quick: bool) -> Vec<Point> {
+    let n = if quick { 100_000 } else { 1_000_000 };
+    let d = 13;
+    banner(
+        "Fig 17",
+        &format!("Coverage enhancement vs threshold rate (AirBnB-like, n={n}, d={d})"),
+    );
+    let (ds, _) = timed(|| airbnb_like(n, d, 2019).expect("generator"));
+    let oracle = CoverageOracle::from_dataset(&ds);
+    let cards = ds.schema().cardinalities();
+    let lambdas: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6] };
+    let enhancer = CoverageEnhancer::default();
+
+    let mut table = Table::new(&["rate", "lambda", "solver", "runtime", "input", "output"]);
+    let mut points = Vec::new();
+    let mut naive_blown = false;
+    for &rate in &THRESHOLD_RATES_WIDE {
+        let tau = Threshold::Fraction(rate).resolve(n as u64).expect("rate");
+        let mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, tau)
+            .expect("mups");
+        for &lambda in lambdas {
+            // GREEDY (the paper's efficient implementation).
+            let (plan, s) = timed(|| {
+                enhancer.plan_for_level(&GreedyHittingSet, &mups, &cards, lambda)
+            });
+            let p = match plan {
+                Ok(plan) => Point {
+                    rate,
+                    lambda,
+                    solver: "Greedy",
+                    seconds: Some(s),
+                    input: Some(plan.input_size()),
+                    output: Some(plan.output_size()),
+                },
+                Err(_) => Point {
+                    rate,
+                    lambda,
+                    solver: "Greedy",
+                    seconds: None,
+                    input: None,
+                    output: None,
+                },
+            };
+            table.row(&[
+                format!("{rate:.0e}"),
+                lambda.to_string(),
+                p.solver.into(),
+                p.seconds.map_or("DNF".into(), secs),
+                p.input.map_or("-".into(), |v| v.to_string()),
+                p.output.map_or("-".into(), |v| v.to_string()),
+            ]);
+            points.push(p);
+
+            // Naïve baseline at λ = 3 only (as in the paper's figure, where
+            // it appears once).
+            if lambda == 3 && !naive_blown {
+                let naive = NaiveHittingSet::default();
+                let (plan, s) =
+                    timed(|| enhancer.plan_for_level(&naive, &mups, &cards, lambda));
+                let p = match plan {
+                    Ok(plan) => Point {
+                        rate,
+                        lambda,
+                        solver: "Naive",
+                        seconds: Some(s),
+                        input: Some(plan.input_size()),
+                        output: Some(plan.output_size()),
+                    },
+                    Err(_) => Point {
+                        rate,
+                        lambda,
+                        solver: "Naive",
+                        seconds: None,
+                        input: None,
+                        output: None,
+                    },
+                };
+                table.row(&[
+                    format!("{rate:.0e}"),
+                    lambda.to_string(),
+                    p.solver.into(),
+                    p.seconds.map_or("DNF".into(), secs),
+                    p.input.map_or("-".into(), |v| v.to_string()),
+                    p.output.map_or("-".into(), |v| v.to_string()),
+                ]);
+                if s > NAIVE_BUDGET_SECS {
+                    naive_blown = true;
+                }
+                points.push(p);
+            }
+        }
+    }
+    points
+}

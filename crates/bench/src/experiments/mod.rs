@@ -1,0 +1,22 @@
+//! One module per paper table/figure. Each exposes `run(quick: bool)`;
+//! `quick` shrinks dataset sizes and sweep ranges so the full suite stays
+//! CI-friendly, while the default parameters follow the paper.
+
+pub mod compas_case_study;
+pub mod fig06_mup_distribution;
+pub mod fig11_classifier;
+pub mod fig12_airbnb_threshold;
+pub mod fig13_bluenile_threshold;
+pub mod fig14_data_size;
+pub mod fig15_dimensions;
+pub mod fig16_level_limited;
+pub mod fig17_enhance_threshold;
+pub mod fig18_19_enhance_dimensions;
+pub mod theorem1_worstcase;
+pub mod vb3_validation_enhancement;
+pub mod vertex_cover_reduction;
+
+/// Parses the conventional `--quick` flag from the process arguments.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

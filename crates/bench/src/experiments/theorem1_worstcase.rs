@@ -1,0 +1,53 @@
+//! Theorem 1's worst-case construction: the diagonal dataset over n binary
+//! attributes with τ = n/2 + 1 has exactly `n + C(n, n/2)` MUPs — more than
+//! `2^n` — so no output-insensitive polynomial algorithm can exist.
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm, PatternBreaker, PatternCombiner};
+use coverage_core::Threshold;
+use coverage_data::generators::diagonal_dataset;
+
+use crate::harness::{banner, secs, timed, Table};
+
+fn choose(n: u64, k: u64) -> u64 {
+    (1..=k).fold(1u64, |acc, i| acc * (n - i + 1) / i)
+}
+
+/// Runs the construction for several even n; returns (n, measured, expected).
+pub fn run(quick: bool) -> Vec<(usize, usize, u64)> {
+    banner(
+        "Theorem 1",
+        "Diagonal worst case: |MUPs| = n + C(n, n/2) > 2^n at tau = n/2 + 1",
+    );
+    let sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 12, 16] };
+    let mut table = Table::new(&["n", "expected MUPs", "measured", "DeepDiver", "Breaker", "Combiner"]);
+    let mut out = Vec::new();
+    for &n in sizes {
+        let ds = diagonal_dataset(n).expect("diagonal");
+        let tau = Threshold::Count((n / 2 + 1) as u64);
+        let expected = n as u64 + choose(n as u64, n as u64 / 2);
+        let (dd, dd_s) = timed(|| DeepDiver::default().find_mups(&ds, tau).expect("deepdiver"));
+        let (pb, pb_s) = timed(|| {
+            PatternBreaker::default()
+                .find_mups(&ds, tau)
+                .expect("breaker")
+        });
+        let (pc, pc_s) = timed(|| {
+            PatternCombiner::default()
+                .find_mups(&ds, tau)
+                .expect("combiner")
+        });
+        assert_eq!(dd.len() as u64, expected, "DeepDiver disagrees at n={n}");
+        assert_eq!(dd, pb, "Breaker disagrees at n={n}");
+        assert_eq!(dd, pc, "Combiner disagrees at n={n}");
+        table.row(&[
+            n.to_string(),
+            expected.to_string(),
+            dd.len().to_string(),
+            secs(dd_s),
+            secs(pb_s),
+            secs(pc_s),
+        ]);
+        out.push((n, dd.len(), expected));
+    }
+    out
+}

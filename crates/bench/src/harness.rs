@@ -1,0 +1,101 @@
+//! Shared plumbing for the experiment binaries: wall-clock timing, aligned
+//! table printing, and the paper's standard threshold sweeps.
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// A simple aligned text table that prints as it grows — experiment binaries
+/// stream rows so progress is visible during long sweeps.
+pub struct Table {
+    columns: Vec<String>,
+    widths: Vec<usize>,
+    printed_header: bool,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let widths = columns.iter().map(|c| c.len().max(12)).collect();
+        Self {
+            columns,
+            widths,
+            printed_header: false,
+        }
+    }
+
+    fn print_header(&mut self) {
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, &w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(header.join("  ").len()));
+        self.printed_header = true;
+    }
+
+    /// Prints one row (stringify cells first).
+    pub fn row(&mut self, cells: &[String]) {
+        if !self.printed_header {
+            self.print_header();
+        }
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, &w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a runtime in seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x < 0.01 {
+        format!("{:.2}ms", x * 1e3)
+    } else {
+        format!("{x:.2}s")
+    }
+}
+
+/// The threshold-rate sweep of Figs 12/17: `10^-6 … 10^-2`.
+pub const THRESHOLD_RATES_WIDE: [f64; 5] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+
+/// The BlueNile sweep of Fig 13: `10^-5 … 10^-2`.
+pub const THRESHOLD_RATES_BLUENILE: [f64; 4] = [1e-5, 1e-4, 1e-3, 1e-2];
+
+/// Prints a figure banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n=== {id} — {caption} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, s) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(secs(0.005), "5.00ms");
+        assert_eq!(secs(2.5), "2.50s");
+    }
+}

@@ -1,0 +1,10 @@
+//! # coverage-bench
+//!
+//! Experiment harness reproducing every table and figure of the ICDE 2019
+//! evaluation. Each figure has a dedicated binary (`cargo run --release -p
+//! coverage-bench --bin <id>`); the shared plumbing — timed runs, table
+//! printing, threshold sweeps — lives here. Criterion microbenches over the
+//! hot kernels are under `benches/`.
+
+pub mod experiments;
+pub mod harness;

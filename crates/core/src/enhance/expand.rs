@@ -1,0 +1,148 @@
+//! Target-set construction for coverage enhancement.
+//!
+//! Appendix C shows that covering only the MUPs does **not** guarantee a
+//! maximum covered level of λ: a MUP's deeper descendants may stay
+//! uncovered. The correct target set `M_λ` is *every* uncovered pattern at
+//! level λ — the union of the level-λ descendants of all MUPs with level
+//! ≤ λ. The value-count variant (Definition 7) instead targets every
+//! uncovered pattern whose value count meets a minimum.
+
+use std::collections::HashSet;
+
+use crate::pattern::Pattern;
+
+/// All uncovered patterns at exactly `lambda` deterministic elements,
+/// derived from the MUP set (Appendix C). Sorted for determinism.
+///
+/// MUPs deeper than `lambda` contribute nothing: any level-λ ancestor of a
+/// deeper MUP is covered by Definition 5.
+pub fn uncovered_patterns_at_level(
+    mups: &[Pattern],
+    cardinalities: &[u8],
+    lambda: usize,
+) -> Vec<Pattern> {
+    let mut set: HashSet<Pattern> = HashSet::new();
+    for mup in mups.iter().filter(|m| m.level() <= lambda) {
+        set.extend(mup.descendants_at_level(cardinalities, lambda));
+    }
+    let mut out: Vec<Pattern> = set.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// All uncovered patterns whose value count (Definition 7) is at least
+/// `min_value_count` — the alternative enhancement objective of §II/§IV.
+///
+/// Value count is monotone decreasing down the pattern graph, so the
+/// enumeration explores each MUP's descendant cone and prunes as soon as the
+/// count drops below the bound.
+pub fn uncovered_patterns_with_value_count(
+    mups: &[Pattern],
+    cardinalities: &[u8],
+    min_value_count: u128,
+) -> Vec<Pattern> {
+    let mut set: HashSet<Pattern> = HashSet::new();
+    let mut stack: Vec<Pattern> = Vec::new();
+    for mup in mups {
+        if mup.value_count(cardinalities) >= min_value_count && set.insert(mup.clone()) {
+            stack.push(mup.clone());
+        }
+    }
+    while let Some(p) = stack.pop() {
+        for child in p.children(cardinalities) {
+            if child.value_count(cardinalities) >= min_value_count && set.insert(child.clone()) {
+                stack.push(child);
+            }
+        }
+    }
+    let mut out: Vec<Pattern> = set.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2's MUP set (Fig 8) over cardinalities [2, 3, 3, 2, 2].
+    fn example2_mups() -> Vec<Pattern> {
+        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X"]
+            .iter()
+            .map(|s| Pattern::parse(s).unwrap())
+            .collect()
+    }
+
+    const EX2_CARDS: [u8; 5] = [2, 3, 3, 2, 2];
+
+    #[test]
+    fn level2_targets_expand_example2() {
+        // §IV names "P1 to P6" as the λ = 2 targets, but strictly by
+        // Definition the level-2 target set is: the level-2 MUPs themselves
+        // (P1 = XX01X, P4 = 02XXX, P5 = XX11X) plus the level-2 descendants
+        // of the level-1 MUP P3 = XXXX1 (one per attribute value of the four
+        // remaining attributes: 2+3+3+2 = 10). MUPs deeper than λ (P2, P6,
+        // P7) contribute nothing.
+        let targets = uncovered_patterns_at_level(&example2_mups(), &EX2_CARDS, 2);
+        let strs: Vec<String> = targets.iter().map(|p| p.to_string()).collect();
+        for expected in ["XX01X", "02XXX", "XX11X", "XXX01", "1XXX1", "X2XX1"] {
+            assert!(strs.contains(&expected.to_string()), "missing {expected}");
+        }
+        for absent in ["1X20X", "111XX", "X020X", "XXXX1"] {
+            assert!(!strs.contains(&absent.to_string()), "unexpected {absent}");
+        }
+        assert!(targets.iter().all(|p| p.level() == 2));
+        assert_eq!(targets.len(), 13);
+    }
+
+    #[test]
+    fn level3_expansion_contains_appendix_c_example() {
+        // Appendix C: 1X11X (a child of the MUP XX11X) is uncovered at
+        // level 3 and must be in M_3; the expansion of XX01X at level 3
+        // contains the seven listed patterns.
+        let targets = uncovered_patterns_at_level(&example2_mups(), &EX2_CARDS, 3);
+        let strs: HashSet<String> = targets.iter().map(|p| p.to_string()).collect();
+        assert!(strs.contains("1X11X"));
+        for expected in ["0X01X", "1X01X", "X001X", "X101X", "X201X", "XX010", "XX011"] {
+            assert!(strs.contains(expected), "missing {expected}");
+        }
+        // P7 (level 3) is now included as its own descendant.
+        assert!(strs.contains("X020X"));
+        assert!(targets.iter().all(|p| p.level() == 3));
+    }
+
+    #[test]
+    fn expansion_is_deduplicated() {
+        // Overlapping MUPs share descendants; the result must be a set.
+        let mups = vec![
+            Pattern::parse("0XX").unwrap(),
+            Pattern::parse("X0X").unwrap(),
+        ];
+        let targets = uncovered_patterns_at_level(&mups, &[2, 2, 2], 2);
+        let unique: HashSet<&Pattern> = targets.iter().collect();
+        assert_eq!(unique.len(), targets.len());
+        // 00X is a descendant of both MUPs but appears once.
+        assert!(targets.iter().any(|p| p.to_string() == "00X"));
+    }
+
+    #[test]
+    fn value_count_targets_respect_bound() {
+        // Over [2,3,3,2,2] the MUP 02XXX has value count 3·2·2 = 12; its
+        // children drop to ≤ 6.
+        let mups = vec![Pattern::parse("02XXX").unwrap()];
+        let t12 = uncovered_patterns_with_value_count(&mups, &EX2_CARDS, 12);
+        assert_eq!(t12.len(), 1);
+        let t6 = uncovered_patterns_with_value_count(&mups, &EX2_CARDS, 6);
+        assert!(t6.len() > 1);
+        assert!(t6
+            .iter()
+            .all(|p| p.value_count(&EX2_CARDS) >= 6));
+        // Every target is dominated by the MUP.
+        assert!(t6.iter().all(|p| mups[0].dominates(p)));
+    }
+
+    #[test]
+    fn empty_mups_give_empty_targets() {
+        assert!(uncovered_patterns_at_level(&[], &EX2_CARDS, 3).is_empty());
+        assert!(uncovered_patterns_with_value_count(&[], &EX2_CARDS, 1).is_empty());
+    }
+}

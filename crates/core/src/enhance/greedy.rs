@@ -1,0 +1,294 @@
+//! The efficient GREEDY hitting-set implementation (§IV-B, Algorithms 4–5).
+//!
+//! Per attribute value, an inverted index marks the target patterns a
+//! combination carrying that value can still hit (`X` or equal value). The
+//! enumeration tree over value combinations is walked depth-first; each edge
+//! ANDs the parent's bit-vector with the value's index, children are visited
+//! in decreasing hit-count order, and a subtree is pruned when its count
+//! cannot beat the best known combination. The validation oracle is
+//! consulted before each child so only semantically valid combinations are
+//! produced.
+
+use coverage_index::BitVec;
+
+use crate::enhance::HittingSetSolver;
+use crate::error::{CoverageError, Result};
+use crate::pattern::Pattern;
+use crate::validation::ValidationOracle;
+
+/// The threshold-pruned greedy solver.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyHittingSet;
+
+/// Per-(attribute, value) inverted indices over the target patterns.
+struct PatternIndex {
+    vectors: Vec<BitVec>,
+    offsets: Vec<usize>,
+    cardinalities: Vec<u8>,
+}
+
+impl PatternIndex {
+    fn build(patterns: &[Pattern], cardinalities: &[u8]) -> Self {
+        let mut offsets = Vec::with_capacity(cardinalities.len() + 1);
+        let mut acc = 0;
+        for &c in cardinalities {
+            offsets.push(acc);
+            acc += c as usize;
+        }
+        offsets.push(acc);
+        let mut vectors = vec![BitVec::zeros(patterns.len()); acc];
+        for (j, p) in patterns.iter().enumerate() {
+            for (i, &c) in cardinalities.iter().enumerate() {
+                match p.get(i) {
+                    // Fig 9: value v on attribute i is compatible with
+                    // patterns carrying X or v there.
+                    Some(v) => vectors[offsets[i] + v as usize].set(j, true),
+                    None => {
+                        for v in 0..c {
+                            vectors[offsets[i] + v as usize].set(j, true);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            vectors,
+            offsets,
+            cardinalities: cardinalities.to_vec(),
+        }
+    }
+
+    fn vector(&self, attribute: usize, value: u8) -> &BitVec {
+        &self.vectors[self.offsets[attribute] + value as usize]
+    }
+}
+
+/// Mutable DFS state for one `hit-count` search (Algorithm 4).
+struct Search<'a> {
+    index: &'a PatternIndex,
+    validation: &'a ValidationOracle,
+    prefix: Vec<u8>,
+    best_count: u64,
+    best_combo: Option<Vec<u8>>,
+}
+
+impl Search<'_> {
+    fn descend(&mut self, level: usize, filter: &BitVec) {
+        let d = self.index.cardinalities.len();
+        // Score every valid child of the current node.
+        let mut children: Vec<(u64, u8, BitVec)> = Vec::new();
+        for v in 0..self.index.cardinalities[level] {
+            self.prefix.push(v);
+            let allowed = self.validation.allows_prefix(&self.prefix);
+            self.prefix.pop();
+            if !allowed {
+                continue;
+            }
+            let mut bv = filter.clone();
+            bv.and_assign(self.index.vector(level, v));
+            children.push((bv.count_ones(), v, bv));
+        }
+        if level == d - 1 {
+            // Leaf level: the best child is a full combination.
+            if let Some((cnt, v, _)) = children.iter().max_by_key(|(c, _, _)| *c) {
+                if *cnt > self.best_count {
+                    self.best_count = *cnt;
+                    let mut combo = self.prefix.clone();
+                    combo.push(*v);
+                    self.best_combo = Some(combo);
+                }
+            }
+            return;
+        }
+        // Interior level: visit children in decreasing hit-count order and
+        // prune once a child cannot beat the best known combination.
+        children.sort_by_key(|child| std::cmp::Reverse(child.0));
+        for (cnt, v, bv) in children {
+            if cnt <= self.best_count {
+                break;
+            }
+            self.prefix.push(v);
+            self.descend(level + 1, &bv);
+            self.prefix.pop();
+        }
+    }
+}
+
+impl HittingSetSolver for GreedyHittingSet {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn solve(
+        &self,
+        targets: &[Pattern],
+        cardinalities: &[u8],
+        validation: &ValidationOracle,
+    ) -> Result<Vec<Vec<u8>>> {
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let index = PatternIndex::build(targets, cardinalities);
+        let mut filter = BitVec::ones(targets.len());
+        let mut selected: Vec<Vec<u8>> = Vec::new();
+        while filter.any() {
+            let mut search = Search {
+                index: &index,
+                validation,
+                prefix: Vec::with_capacity(cardinalities.len()),
+                best_count: 0,
+                best_combo: None,
+            };
+            search.descend(0, &filter);
+            let Some(combo) = search.best_combo else {
+                // Every remaining pattern is matched only by invalid
+                // combinations — surface them instead of looping forever.
+                let remaining = filter
+                    .iter_ones()
+                    .map(|j| targets[j].to_string())
+                    .collect();
+                return Err(CoverageError::Unhittable { patterns: remaining });
+            };
+            // Clear the freshly hit patterns from the filter.
+            let mut hits = filter.clone();
+            for (i, &v) in combo.iter().enumerate() {
+                hits.and_assign(index.vector(i, v));
+            }
+            for j in hits.iter_ones() {
+                filter.set(j, false);
+            }
+            selected.push(combo);
+        }
+        Ok(selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2's level-2 targets P1..P6 over cardinalities [2,3,3,2,2].
+    fn p1_to_p6() -> Vec<Pattern> {
+        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX"]
+            .iter()
+            .map(|s| Pattern::parse(s).unwrap())
+            .collect()
+    }
+
+    const EX2_CARDS: [u8; 5] = [2, 3, 3, 2, 2];
+
+    fn hit_count(combo: &[u8], targets: &[Pattern]) -> usize {
+        targets.iter().filter(|p| p.matches(combo)).count()
+    }
+
+    #[test]
+    fn first_pick_hits_three_patterns() {
+        // §IV-B: "a value combination that hits the maximum number of
+        // patterns is 02011, hitting the patterns P1, P3, and P4."
+        let targets = p1_to_p6();
+        let solver = GreedyHittingSet;
+        let combos = solver
+            .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert_eq!(hit_count(&combos[0], &targets), 3, "first pick {:?}", combos[0]);
+    }
+
+    #[test]
+    fn example2_needs_three_combinations() {
+        // §IV-B: the greedy algorithm suggests collecting three value
+        // combinations (e.g. 02011, 02111, 10201).
+        let targets = p1_to_p6();
+        let combos = GreedyHittingSet
+            .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert_eq!(combos.len(), 3);
+        // The union of hits covers every pattern.
+        for (j, p) in targets.iter().enumerate() {
+            assert!(
+                combos.iter().any(|c| p.matches(c)),
+                "pattern {j} ({p}) never hit"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_vector_walk_matches_paper_trace() {
+        // §IV-B's worked trace: 12110 hits only P5 among P1..P6.
+        let targets = p1_to_p6();
+        assert_eq!(hit_count(&[1, 2, 1, 1, 0], &targets), 1);
+        assert!(targets[4].matches(&[1, 2, 1, 1, 0]));
+    }
+
+    #[test]
+    fn inverted_index_matches_figure9() {
+        // Fig 9 rows: A1=0 → 101110, A1=1 → 111011, A2=0 → 111010,
+        // A2=1 → 111011, A2=2 → 111110 (over P1..P6).
+        let targets = p1_to_p6();
+        let index = PatternIndex::build(&targets, &EX2_CARDS);
+        let row = |attr: usize, v: u8| -> Vec<u8> {
+            (0..6)
+                .map(|j| u8::from(index.vector(attr, v).get(j)))
+                .collect()
+        };
+        assert_eq!(row(0, 0), vec![1, 0, 1, 1, 1, 0]);
+        assert_eq!(row(0, 1), vec![1, 1, 1, 0, 1, 1]);
+        assert_eq!(row(1, 0), vec![1, 1, 1, 0, 1, 0]);
+        assert_eq!(row(1, 1), vec![1, 1, 1, 0, 1, 1]);
+        assert_eq!(row(1, 2), vec![1, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn validation_rules_are_enforced() {
+        // Forbid A2 = 2 entirely: the solver must still hit P2 = 1X20X? No —
+        // P2 requires A3 = 2 (allowed); forbid A3 = 2 instead and P2 becomes
+        // unhittable.
+        let targets = p1_to_p6();
+        let oracle = ValidationOracle::new(vec![crate::validation::ValidationRule::forbid_values(
+            2,
+            vec![2],
+        )]);
+        let err = GreedyHittingSet.solve(&targets, &EX2_CARDS, &oracle);
+        match err {
+            Err(CoverageError::Unhittable { patterns }) => {
+                assert_eq!(patterns, vec!["1X20X".to_string()]);
+            }
+            other => panic!("expected Unhittable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_steers_but_allows_when_hittable() {
+        // Forbidding A1 = 0 leaves every pattern hittable (P4 = 02XXX becomes
+        // unhittable — it needs A1 = 0). Use a rule on A5 instead: forbid
+        // A5 = 0; all patterns remain hittable via A5 = 1.
+        let targets = p1_to_p6();
+        let oracle = ValidationOracle::new(vec![crate::validation::ValidationRule::forbid_values(
+            4,
+            vec![0],
+        )]);
+        let combos = GreedyHittingSet.solve(&targets, &EX2_CARDS, &oracle).unwrap();
+        for c in &combos {
+            assert_ne!(c[4], 0, "validation violated by {c:?}");
+        }
+        for p in &targets {
+            assert!(combos.iter().any(|c| p.matches(c)));
+        }
+    }
+
+    #[test]
+    fn empty_targets_need_nothing() {
+        let combos = GreedyHittingSet
+            .solve(&[], &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert!(combos.is_empty());
+    }
+
+    #[test]
+    fn single_full_pattern_selects_itself() {
+        let target = vec![Pattern::parse("10201").unwrap()];
+        let combos = GreedyHittingSet
+            .solve(&target, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert_eq!(combos, vec![vec![1, 0, 2, 0, 1]]);
+    }
+}

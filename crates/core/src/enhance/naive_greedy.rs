@@ -1,0 +1,175 @@
+//! The direct ("naïve") greedy hitting-set implementation (§IV-A).
+//!
+//! Materializes the bipartite graph between the full universe of valid value
+//! combinations and the target patterns, then repeatedly scans the whole
+//! universe for the combination hitting the most un-hit patterns. Its cost
+//! per iteration is `Θ(Π c_i × m)` — the paper reports it finishing within
+//! the time limit in only one experimental setting (Fig 17).
+
+use crate::enhance::HittingSetSolver;
+use crate::error::{CoverageError, Result};
+use crate::pattern::Pattern;
+use crate::validation::ValidationOracle;
+
+/// The baseline solver.
+#[derive(Debug, Clone)]
+pub struct NaiveHittingSet {
+    /// Maximum universe size (`Π c_i`) it will enumerate.
+    pub max_universe: u128,
+}
+
+impl Default for NaiveHittingSet {
+    fn default() -> Self {
+        Self {
+            max_universe: 4_000_000,
+        }
+    }
+}
+
+impl HittingSetSolver for NaiveHittingSet {
+    fn name(&self) -> &'static str {
+        "NaiveHittingSet"
+    }
+
+    fn solve(
+        &self,
+        targets: &[Pattern],
+        cardinalities: &[u8],
+        validation: &ValidationOracle,
+    ) -> Result<Vec<Vec<u8>>> {
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let universe: u128 = cardinalities
+            .iter()
+            .fold(1u128, |a, &c| a.saturating_mul(c as u128));
+        if universe > self.max_universe {
+            return Err(CoverageError::SearchSpaceTooLarge {
+                algorithm: "NaiveHittingSet",
+                size: universe,
+                limit: self.max_universe,
+            });
+        }
+        // Materialize the valid universe.
+        let d = cardinalities.len();
+        let mut combos: Vec<Vec<u8>> = Vec::new();
+        let mut odometer = vec![0u8; d];
+        'outer: loop {
+            if validation.is_valid(&Pattern::from_combination(&odometer)) {
+                combos.push(odometer.clone());
+            }
+            for i in (0..d).rev() {
+                odometer[i] += 1;
+                if odometer[i] < cardinalities[i] {
+                    continue 'outer;
+                }
+                odometer[i] = 0;
+            }
+            break;
+        }
+
+        let mut unhit: Vec<usize> = (0..targets.len()).collect();
+        let mut selected: Vec<Vec<u8>> = Vec::new();
+        while !unhit.is_empty() {
+            // Full scan: the combination hitting the most un-hit patterns.
+            let mut best_count = 0usize;
+            let mut best: Option<&Vec<u8>> = None;
+            for combo in &combos {
+                let count = unhit
+                    .iter()
+                    .filter(|&&j| targets[j].matches(combo))
+                    .count();
+                if count > best_count {
+                    best_count = count;
+                    best = Some(combo);
+                }
+            }
+            let Some(combo) = best else {
+                return Err(CoverageError::Unhittable {
+                    patterns: unhit.iter().map(|&j| targets[j].to_string()).collect(),
+                });
+            };
+            let combo = combo.clone();
+            unhit.retain(|&j| !targets[j].matches(&combo));
+            selected.push(combo);
+        }
+        Ok(selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhance::GreedyHittingSet;
+
+    fn p1_to_p6() -> Vec<Pattern> {
+        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX"]
+            .iter()
+            .map(|s| Pattern::parse(s).unwrap())
+            .collect()
+    }
+
+    const EX2_CARDS: [u8; 5] = [2, 3, 3, 2, 2];
+
+    #[test]
+    fn covers_example2_in_three_picks() {
+        let targets = p1_to_p6();
+        let combos = NaiveHittingSet::default()
+            .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert_eq!(combos.len(), 3);
+        for p in &targets {
+            assert!(combos.iter().any(|c| p.matches(c)));
+        }
+    }
+
+    #[test]
+    fn agrees_with_efficient_greedy_on_pick_counts() {
+        // Both implement the same greedy strategy; pick counts must agree
+        // (tie-breaking may differ, set size must not).
+        let targets = p1_to_p6();
+        let naive = NaiveHittingSet::default()
+            .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        let fast = GreedyHittingSet
+            .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
+            .unwrap();
+        assert_eq!(naive.len(), fast.len());
+        // And the best first-pick hit counts agree.
+        let hits = |c: &[u8]| targets.iter().filter(|p| p.matches(c)).count();
+        assert_eq!(hits(&naive[0]), hits(&fast[0]));
+    }
+
+    #[test]
+    fn respects_validation_oracle() {
+        let targets = p1_to_p6();
+        let oracle = ValidationOracle::new(vec![
+            crate::validation::ValidationRule::forbid_values(4, vec![0]),
+        ]);
+        let combos = NaiveHittingSet::default()
+            .solve(&targets, &EX2_CARDS, &oracle)
+            .unwrap();
+        assert!(combos.iter().all(|c| c[4] != 0));
+    }
+
+    #[test]
+    fn unhittable_is_reported() {
+        let targets = p1_to_p6();
+        let oracle = ValidationOracle::new(vec![
+            crate::validation::ValidationRule::forbid_values(2, vec![2]),
+        ]);
+        assert!(matches!(
+            NaiveHittingSet::default().solve(&targets, &EX2_CARDS, &oracle),
+            Err(CoverageError::Unhittable { .. })
+        ));
+    }
+
+    #[test]
+    fn universe_guard_triggers() {
+        let solver = NaiveHittingSet { max_universe: 10 };
+        assert!(matches!(
+            solver.solve(&p1_to_p6(), &EX2_CARDS, &ValidationOracle::accept_all()),
+            Err(CoverageError::SearchSpaceTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal Fx-style hasher for the hot pattern maps.
+//!
+//! The traversal algorithms probe hash maps keyed by short `[u8]` code
+//! slices millions of times; SipHash's HashDoS resistance buys nothing there
+//! (keys are machine-generated patterns) and costs 3–5×. This is the
+//! classic Firefox/rustc multiply-rotate-xor hash specialized for our use.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The streaming hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(word));
+            self.add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_slices_hash_differently() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                let mut h = FxHasher::default();
+                h.write(&[a, b, 0xFF]);
+                seen.insert(h.finish());
+            }
+        }
+        assert_eq!(seen.len(), 256, "no collisions on tiny patterns");
+    }
+
+    #[test]
+    fn equal_slices_hash_equal() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn length_is_part_of_the_hash() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(&[0, 0, 0]);
+        h2.write(&[0, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<Box<[u8]>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3].into_boxed_slice(), 7);
+        assert_eq!(m.get([1u8, 2, 3].as_slice()), Some(&7));
+        assert_eq!(m.get([1u8, 2].as_slice()), None);
+    }
+}

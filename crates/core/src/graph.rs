@@ -1,0 +1,222 @@
+//! The pattern graph (Definition 8): combinatorics and, for small spaces,
+//! explicit materialization.
+//!
+//! The algorithms never materialize the graph — they traverse it implicitly
+//! via Rule 1 / Rule 2 — but the statistics here size search spaces up front
+//! (guarding the naïve algorithms) and the materialized form backs tests and
+//! teaching examples.
+
+use std::collections::HashMap;
+
+use crate::error::{CoverageError, Result};
+use crate::pattern::Pattern;
+
+/// Structural statistics of the pattern graph over the given cardinalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternGraphStats {
+    /// Attribute cardinalities.
+    pub cardinalities: Vec<u8>,
+    /// Number of nodes per level (`levels[l]` = # patterns with `l`
+    /// deterministic elements).
+    pub nodes_per_level: Vec<u128>,
+    /// Total node count, `Π (c_i + 1)`.
+    pub total_nodes: u128,
+    /// Total edge count.
+    pub total_edges: u128,
+}
+
+/// Computes node and edge counts of the pattern graph without materializing
+/// it. Saturates at `u128::MAX` on overflow.
+pub fn pattern_graph_stats(cardinalities: &[u8]) -> PatternGraphStats {
+    let d = cardinalities.len();
+    // nodes_per_level[l] = Σ over l-subsets S of attributes of Π_{i∈S} c_i —
+    // computed by the elementary-symmetric-polynomial recurrence.
+    let mut esp = vec![0u128; d + 1];
+    esp[0] = 1;
+    for &c in cardinalities {
+        for l in (1..=d).rev() {
+            esp[l] = esp[l].saturating_add(esp[l - 1].saturating_mul(c as u128));
+        }
+    }
+    let total_nodes = esp.iter().fold(0u128, |a, &b| a.saturating_add(b));
+    // Each node at level l has one edge to each deterministic element's
+    // parent... equivalently: total edges = Σ over nodes of (# children) =
+    // Σ_l nodes(l) * Σ_{X positions} c_i. Closed form per attribute: an edge
+    // corresponds to choosing an attribute i, a value for i, and a pattern
+    // over the remaining attributes: c_i * Π_{j≠i}(c_j + 1).
+    let mut total_edges = 0u128;
+    for i in 0..d {
+        let mut others = 1u128;
+        for (j, &c) in cardinalities.iter().enumerate() {
+            if j != i {
+                others = others.saturating_mul(c as u128 + 1);
+            }
+        }
+        total_edges = total_edges.saturating_add(others.saturating_mul(cardinalities[i] as u128));
+    }
+    PatternGraphStats {
+        cardinalities: cardinalities.to_vec(),
+        nodes_per_level: esp,
+        total_nodes,
+        total_edges,
+    }
+}
+
+/// A fully materialized pattern graph — only for small attribute spaces.
+#[derive(Debug, Clone)]
+pub struct PatternGraph {
+    nodes: Vec<Pattern>,
+    index: HashMap<Pattern, usize>,
+    /// `children[i]` = indices of the children of node `i`.
+    children: Vec<Vec<usize>>,
+    cardinalities: Vec<u8>,
+}
+
+/// Hard cap on materialized graph size.
+const MATERIALIZE_LIMIT: u128 = 2_000_000;
+
+impl PatternGraph {
+    /// Materializes the pattern graph for the given cardinalities.
+    ///
+    /// # Errors
+    ///
+    /// Refuses spaces with more than two million nodes.
+    pub fn materialize(cardinalities: &[u8]) -> Result<Self> {
+        let stats = pattern_graph_stats(cardinalities);
+        if stats.total_nodes > MATERIALIZE_LIMIT {
+            return Err(CoverageError::SearchSpaceTooLarge {
+                algorithm: "PatternGraph::materialize",
+                size: stats.total_nodes,
+                limit: MATERIALIZE_LIMIT,
+            });
+        }
+        let mut nodes = Vec::with_capacity(stats.total_nodes as usize);
+        let mut index = HashMap::new();
+        let root = Pattern::all_x(cardinalities.len());
+        nodes.push(root.clone());
+        index.insert(root, 0usize);
+        // Generate all nodes via Rule 1 (each exactly once).
+        let mut cursor = 0;
+        while cursor < nodes.len() {
+            let p = nodes[cursor].clone();
+            for child in p.rule1_children(cardinalities) {
+                index.insert(child.clone(), nodes.len());
+                nodes.push(child);
+            }
+            cursor += 1;
+        }
+        // Edges: connect every node to all of its children (not just Rule-1
+        // ones) — Definition 8's full parent/child edge set.
+        let mut children = vec![Vec::new(); nodes.len()];
+        for (i, p) in nodes.iter().enumerate() {
+            for child in p.children(cardinalities) {
+                children[i].push(index[&child]);
+            }
+        }
+        Ok(Self {
+            nodes,
+            index,
+            children,
+            cardinalities: cardinalities.to_vec(),
+        })
+    }
+
+    /// All nodes, in Rule-1 generation order (root first).
+    pub fn nodes(&self) -> &[Pattern] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (parent→child) edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Index of a pattern, if present.
+    pub fn index_of(&self, p: &Pattern) -> Option<usize> {
+        self.index.get(p).copied()
+    }
+
+    /// Children indices of node `i`.
+    pub fn children_of(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Attribute cardinalities.
+    pub fn cardinalities(&self) -> &[u8] {
+        &self.cardinalities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_counts() {
+        // Fig 2: three binary attributes → 27 nodes, 54 edges.
+        let stats = pattern_graph_stats(&[2, 2, 2]);
+        assert_eq!(stats.total_nodes, 27);
+        assert_eq!(stats.total_edges, 54);
+        // Levels: 1 root, C(3,1)·2 = 6 at level 1, C(3,2)·4 = 12 at level 2,
+        // 8 leaves.
+        assert_eq!(stats.nodes_per_level, vec![1, 6, 12, 8]);
+    }
+
+    #[test]
+    fn edge_closed_form_matches_paper() {
+        // Paper: equal cardinalities c ⇒ edges = c · d · (c+1)^(d-1).
+        for (c, d) in [(2u8, 4usize), (3, 3), (5, 2)] {
+            let cards = vec![c; d];
+            let stats = pattern_graph_stats(&cards);
+            let expected = (c as u128) * (d as u128) * ((c as u128 + 1).pow(d as u32 - 1));
+            assert_eq!(stats.total_edges, expected, "c={c} d={d}");
+        }
+    }
+
+    #[test]
+    fn bluenile_bottom_level_width() {
+        // §V-C1: level 7 of the BlueNile graph has > 100K nodes (100,800),
+        // versus 128 for seven binary attributes.
+        let stats = pattern_graph_stats(&[10, 4, 7, 8, 3, 3, 5]);
+        assert_eq!(*stats.nodes_per_level.last().unwrap(), 100_800);
+        let binary = pattern_graph_stats(&[2; 7]);
+        assert_eq!(*binary.nodes_per_level.last().unwrap(), 128);
+    }
+
+    #[test]
+    fn materialized_graph_matches_stats() {
+        let stats = pattern_graph_stats(&[2, 3, 2]);
+        let graph = PatternGraph::materialize(&[2, 3, 2]).unwrap();
+        assert_eq!(graph.node_count() as u128, stats.total_nodes);
+        assert_eq!(graph.edge_count() as u128, stats.total_edges);
+        // Every child edge goes one level down.
+        for (i, p) in graph.nodes().iter().enumerate() {
+            for &c in graph.children_of(i) {
+                assert_eq!(graph.nodes()[c].level(), p.level() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_refuses_huge_spaces() {
+        assert!(matches!(
+            PatternGraph::materialize(&[9; 10]),
+            Err(CoverageError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn apriori_lattice_comparison() {
+        // §V-C: 10 attributes of cardinality 5 → pattern graph 6^10 ≈ 60M
+        // nodes, apriori lattice 2^50 ≈ 10^15.
+        let stats = pattern_graph_stats(&[5; 10]);
+        assert_eq!(stats.total_nodes, 6u128.pow(10));
+        let lattice = 2u128.pow(50);
+        assert!(lattice > stats.total_nodes * 10_000);
+    }
+}

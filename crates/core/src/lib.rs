@@ -1,0 +1,242 @@
+//! # coverage-core
+//!
+//! The primary contribution of *"Assessing and Remedying Coverage for a
+//! Given Dataset"* (Asudeh, Jin, Jagadish; ICDE 2019), implemented from
+//! scratch:
+//!
+//! * [`pattern::Pattern`] — patterns over categorical attributes
+//!   (Definition 1) with the full traversal algebra (Rules 1 & 2, dominance,
+//!   value counts);
+//! * [`graph`] — pattern-graph combinatorics (Definition 8);
+//! * [`mup`] — MUP identification (Problem 1) via PATTERN-BREAKER,
+//!   PATTERN-COMBINER, DEEPDIVER, plus the naïve and APRIORI baselines;
+//! * [`enhance`] — coverage enhancement (Problem 2) via the efficient greedy
+//!   hitting set with target expansion (Appendix C) and a validation oracle;
+//! * [`validation`] — semantic-validity rules (Definitions 10–11);
+//! * [`CoverageReport`] — a one-call audit: MUPs, per-level histogram, and
+//!   the maximum covered level (Definition 6).
+
+#![warn(missing_docs)]
+
+pub mod enhance;
+mod error;
+pub mod fxhash;
+pub mod graph;
+pub mod mup;
+pub mod pattern;
+pub mod validation;
+
+pub use error::{CoverageError, Result};
+
+use coverage_data::Dataset;
+use coverage_index::CoverageOracle;
+
+use mup::{DeepDiver, MupAlgorithm};
+use pattern::Pattern;
+
+/// A coverage threshold: absolute, or a fraction of the dataset size (the
+/// paper's "threshold rate").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// Absolute minimum number of matching tuples, `τ`.
+    Count(u64),
+    /// Fraction of the dataset size; resolved as `max(1, round(f·n))`,
+    /// matching the paper's experimental settings (e.g. rate `0.001%` on the
+    /// 116,300-row BlueNile resolves to `τ = 1`).
+    Fraction(f64),
+}
+
+impl Threshold {
+    /// Resolves against a dataset size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-finite or negative fractions.
+    pub fn resolve(self, n: u64) -> Result<u64> {
+        match self {
+            Threshold::Count(c) => Ok(c),
+            Threshold::Fraction(f) => {
+                if !f.is_finite() || f < 0.0 {
+                    return Err(CoverageError::BadThreshold(format!(
+                        "fraction must be finite and non-negative, got {f}"
+                    )));
+                }
+                Ok(((f * n as f64).round() as u64).max(1))
+            }
+        }
+    }
+}
+
+/// The result of a coverage audit: the paper's proposed "coverage widget"
+/// for a dataset nutritional label.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// All maximal uncovered patterns, sorted.
+    pub mups: Vec<Pattern>,
+    /// The resolved absolute threshold.
+    pub tau: u64,
+    /// Dataset size the audit ran against.
+    pub n: u64,
+    /// Number of attributes.
+    pub arity: usize,
+    /// `histogram[l]` = number of MUPs at level `l` (Fig 6's distribution).
+    pub level_histogram: Vec<usize>,
+}
+
+impl CoverageReport {
+    /// Audits a dataset with [`DeepDiver`] (the paper's most robust
+    /// identification algorithm).
+    pub fn audit(dataset: &Dataset, threshold: Threshold) -> Result<Self> {
+        Self::audit_with(&DeepDiver::default(), dataset, threshold)
+    }
+
+    /// Audits with a caller-chosen algorithm.
+    pub fn audit_with(
+        algorithm: &dyn MupAlgorithm,
+        dataset: &Dataset,
+        threshold: Threshold,
+    ) -> Result<Self> {
+        let mups = algorithm.find_mups(dataset, threshold)?;
+        let tau = threshold.resolve(dataset.len() as u64)?;
+        Ok(Self::from_mups(
+            mups,
+            tau,
+            dataset.len() as u64,
+            dataset.arity(),
+        ))
+    }
+
+    /// Builds a report from an already-computed MUP set.
+    pub fn from_mups(mut mups: Vec<Pattern>, tau: u64, n: u64, arity: usize) -> Self {
+        mups.sort();
+        let mut level_histogram = vec![0usize; arity + 1];
+        for m in &mups {
+            level_histogram[m.level()] += 1;
+        }
+        Self {
+            mups,
+            tau,
+            n,
+            arity,
+            level_histogram,
+        }
+    }
+
+    /// The maximum covered level λ (Definition 6): the largest λ such that
+    /// every (material) MUP has level > λ. A fully covered dataset reports
+    /// its arity.
+    pub fn maximum_covered_level(&self) -> usize {
+        self.mups
+            .iter()
+            .map(Pattern::level)
+            .min()
+            .map_or(self.arity, |l| l.saturating_sub(1))
+    }
+
+    /// Number of MUPs.
+    pub fn mup_count(&self) -> usize {
+        self.mups.len()
+    }
+
+    /// MUPs at a given level.
+    pub fn mups_at_level(&self, level: usize) -> impl Iterator<Item = &Pattern> + '_ {
+        self.mups.iter().filter(move |m| m.level() == level)
+    }
+
+    /// Retains only the MUPs a domain expert deems material (§II: "A domain
+    /// expert can examine a list of MUPs and identify the ones that can
+    /// safely be ignored"), recomputing the histogram.
+    pub fn retain_material(&mut self, mut is_material: impl FnMut(&Pattern) -> bool) {
+        self.mups.retain(|m| is_material(m));
+        self.level_histogram = vec![0; self.arity + 1];
+        for m in &self.mups {
+            self.level_histogram[m.level()] += 1;
+        }
+    }
+
+    /// Convenience: a coverage oracle over the same dataset, for deficit and
+    /// follow-up queries.
+    pub fn oracle_for(dataset: &Dataset) -> CoverageOracle {
+        CoverageOracle::from_dataset(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::Schema;
+
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_resolution() {
+        assert_eq!(Threshold::Count(30).resolve(1_000).unwrap(), 30);
+        // Paper settings: rate 0.001% of 116,300 → 1; 10⁻⁶ of 1M → 1;
+        // 0.1% of 1M → 1000.
+        assert_eq!(Threshold::Fraction(1e-5).resolve(116_300).unwrap(), 1);
+        assert_eq!(Threshold::Fraction(1e-6).resolve(1_000_000).unwrap(), 1);
+        assert_eq!(Threshold::Fraction(1e-3).resolve(1_000_000).unwrap(), 1000);
+        assert!(Threshold::Fraction(-0.5).resolve(10).is_err());
+        assert!(Threshold::Fraction(f64::NAN).resolve(10).is_err());
+    }
+
+    #[test]
+    fn fraction_never_resolves_to_zero() {
+        assert_eq!(Threshold::Fraction(1e-9).resolve(100).unwrap(), 1);
+    }
+
+    #[test]
+    fn audit_example1() {
+        let report = CoverageReport::audit(&example1(), Threshold::Count(1)).unwrap();
+        assert_eq!(report.mup_count(), 1);
+        assert_eq!(report.tau, 1);
+        assert_eq!(report.level_histogram, vec![0, 1, 0, 0]);
+        // One MUP at level 1 ⇒ maximum covered level 0.
+        assert_eq!(report.maximum_covered_level(), 0);
+    }
+
+    #[test]
+    fn fully_covered_reports_arity() {
+        let ds = Dataset::from_rows(
+            Schema::binary(2).unwrap(),
+            &[vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+        )
+        .unwrap();
+        let report = CoverageReport::audit(&ds, Threshold::Count(1)).unwrap();
+        assert_eq!(report.mup_count(), 0);
+        assert_eq!(report.maximum_covered_level(), 2);
+    }
+
+    #[test]
+    fn retain_material_recomputes_histogram() {
+        let mut report = CoverageReport::audit(&example1(), Threshold::Count(3)).unwrap();
+        let before = report.mup_count();
+        assert!(before > 0);
+        report.retain_material(|m| m.level() >= 2);
+        assert!(report.mups.iter().all(|m| m.level() >= 2));
+        assert_eq!(
+            report.level_histogram.iter().sum::<usize>(),
+            report.mup_count()
+        );
+    }
+
+    #[test]
+    fn mups_at_level_filters() {
+        let report = CoverageReport::audit(&example1(), Threshold::Count(2)).unwrap();
+        for l in 0..=3 {
+            assert_eq!(report.mups_at_level(l).count(), report.level_histogram[l]);
+        }
+    }
+}

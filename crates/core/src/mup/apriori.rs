@@ -1,0 +1,234 @@
+//! The APRIORI baseline (§V-C): MUP discovery recast as frequent-itemset
+//! mining over ⟨attribute, value⟩ items.
+//!
+//! Each ⟨attribute, value⟩ pair becomes an item; a pattern corresponds to an
+//! itemset with at most one item per attribute. Frequent itemsets (support ≥
+//! τ) are grown level-wise with the classic join + subset-pruning candidate
+//! generation; an infrequent candidate all of whose sub-itemsets are frequent
+//! is exactly a maximal uncovered pattern — *when it is valid*. The paper
+//! uses this adaptation to show why itemset mining is the wrong tool: the
+//! item lattice (`2^Σc_i`) dwarfs the pattern graph (`Π(c_i+1)`), and joins
+//! produce invalid candidates carrying two values of one attribute, which
+//! must be generated, counted (support 0), and filtered.
+
+use crate::fxhash::FxHashSet;
+
+use coverage_index::{CoverageOracle, X};
+
+use crate::error::{CoverageError, Result};
+use crate::mup::MupAlgorithm;
+use crate::pattern::Pattern;
+
+/// The frequent-itemset adaptation.
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    /// Upper bound on the number of candidates per level before aborting.
+    pub max_candidates_per_level: usize,
+}
+
+impl Default for Apriori {
+    fn default() -> Self {
+        Self {
+            max_candidates_per_level: 50_000_000,
+        }
+    }
+}
+
+/// An item id encodes (attribute, value) through the offset table.
+type Item = u32;
+
+fn itemset_to_codes(itemset: &[Item], item_attr: &[usize], item_value: &[u8], d: usize) -> Option<Vec<u8>> {
+    let mut codes = vec![X; d];
+    for &item in itemset {
+        let a = item_attr[item as usize];
+        if codes[a] != X {
+            return None; // two values of the same attribute: invalid pattern
+        }
+        codes[a] = item_value[item as usize];
+    }
+    Some(codes)
+}
+
+impl MupAlgorithm for Apriori {
+    fn name(&self) -> &'static str {
+        "Apriori"
+    }
+
+    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+        let cards = oracle.cardinalities().to_vec();
+        let d = cards.len();
+        if tau == 0 {
+            return Ok(Vec::new());
+        }
+        if oracle.total() < tau {
+            // The empty itemset (the root pattern) is already infrequent.
+            return Ok(vec![Pattern::all_x(d)]);
+        }
+
+        // Item table: one item per (attribute, value).
+        let mut item_attr: Vec<usize> = Vec::new();
+        let mut item_value: Vec<u8> = Vec::new();
+        for (a, &c) in cards.iter().enumerate() {
+            for v in 0..c {
+                item_attr.push(a);
+                item_value.push(v);
+            }
+        }
+
+        let frequent_check = |itemset: &[Item]| -> bool {
+            match itemset_to_codes(itemset, &item_attr, &item_value, d) {
+                Some(codes) => oracle.covered(&codes, tau),
+                None => false,
+            }
+        };
+
+        let mut mups: Vec<Pattern> = Vec::new();
+        // Level 1: every single item is a candidate (the empty set is frequent).
+        let mut frequent: Vec<Vec<Item>> = Vec::new();
+        for item in 0..item_attr.len() as Item {
+            if frequent_check(&[item]) {
+                frequent.push(vec![item]);
+            } else {
+                mups.push(Pattern::from_codes(
+                    itemset_to_codes(&[item], &item_attr, &item_value, d)
+                        .expect("single items are always valid"),
+                ));
+            }
+        }
+
+        let mut k = 1usize;
+        while !frequent.is_empty() && k < item_attr.len() {
+            if frequent.len() > self.max_candidates_per_level {
+                return Err(CoverageError::SearchSpaceTooLarge {
+                    algorithm: "Apriori",
+                    size: frequent.len() as u128,
+                    limit: self.max_candidates_per_level as u128,
+                });
+            }
+            // Join step: pairs of frequent k-itemsets sharing their first
+            // k-1 items. Itemsets are sorted lexicographically, so itemsets
+            // with a common prefix form contiguous blocks — the join is
+            // quadratic only within a block, not across all of L_k.
+            frequent.sort_unstable();
+            let frequent_set: FxHashSet<&[Item]> =
+                frequent.iter().map(Vec::as_slice).collect();
+            let mut candidates: Vec<Vec<Item>> = Vec::new();
+            let mut block_start = 0;
+            while block_start < frequent.len() {
+                let prefix = &frequent[block_start][..k - 1];
+                let mut block_end = block_start + 1;
+                while block_end < frequent.len() && &frequent[block_end][..k - 1] == prefix {
+                    block_end += 1;
+                }
+                for i in block_start..block_end {
+                    for j in (i + 1)..block_end {
+                        let mut cand = frequent[i].clone();
+                        cand.push(frequent[j][k - 1]);
+                        // Blocks are sorted, so `cand` is already sorted.
+                        // Prune step: all k-subsets must be frequent.
+                        let mut sub = Vec::with_capacity(k);
+                        let all_frequent = (0..=k).all(|skip| {
+                            sub.clear();
+                            sub.extend(
+                                cand.iter()
+                                    .enumerate()
+                                    .filter(|&(idx, _)| idx != skip)
+                                    .map(|(_, &it)| it),
+                            );
+                            frequent_set.contains(sub.as_slice())
+                        });
+                        if all_frequent {
+                            candidates.push(cand);
+                        }
+                        if candidates.len() > self.max_candidates_per_level {
+                            return Err(CoverageError::SearchSpaceTooLarge {
+                                algorithm: "Apriori",
+                                size: candidates.len() as u128,
+                                limit: self.max_candidates_per_level as u128,
+                            });
+                        }
+                    }
+                }
+                block_start = block_end;
+            }
+
+            // Count step: frequent candidates continue; infrequent candidates
+            // with all-frequent subsets are MUPs when they map to a valid
+            // pattern.
+            let mut next_frequent: Vec<Vec<Item>> = Vec::new();
+            for cand in candidates {
+                if frequent_check(&cand) {
+                    next_frequent.push(cand);
+                } else if let Some(codes) =
+                    itemset_to_codes(&cand, &item_attr, &item_value, d)
+                {
+                    mups.push(Pattern::from_codes(codes));
+                }
+            }
+            frequent = next_frequent;
+            k += 1;
+        }
+        Ok(mups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mup::test_support::{assert_example1, assert_matches_reference};
+    use crate::Threshold;
+
+    #[test]
+    fn example1_single_mup() {
+        assert_example1(&Apriori::default());
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        for (seed, tau) in [(1, 3), (2, 10), (3, 40)] {
+            assert_matches_reference(&Apriori::default(), seed, tau);
+        }
+    }
+
+    #[test]
+    fn root_mup_when_dataset_too_small() {
+        let ds = coverage_data::generators::airbnb_like(5, 4, 0).unwrap();
+        let mups = Apriori::default().find_mups(&ds, Threshold::Count(10)).unwrap();
+        assert_eq!(mups.len(), 1);
+        assert_eq!(mups[0].level(), 0);
+    }
+
+    #[test]
+    fn invalid_itemsets_are_filtered() {
+        // A dataset where both values of A1 are frequent: the join produces
+        // the invalid itemset {A1=0, A1=1}, which must not appear as a MUP.
+        let ds = coverage_data::Dataset::from_rows(
+            coverage_data::Schema::binary(2).unwrap(),
+            &(0..20)
+                .map(|i| vec![(i % 2) as u8, 0])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mups = Apriori::default().find_mups(&ds, Threshold::Count(3)).unwrap();
+        for m in &mups {
+            // Every reported pattern has at most one value per attribute by
+            // construction; verify it satisfies Definition 5 too.
+            let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+            assert!(crate::mup::is_mup(&oracle, m, 3), "{m}");
+        }
+        // XX1 (A2 = 1 never occurs) is the expected MUP.
+        assert!(mups.iter().any(|m| m.to_string() == "X1"));
+    }
+
+    #[test]
+    fn candidate_guard_triggers() {
+        let guard = Apriori {
+            max_candidates_per_level: 1,
+        };
+        let ds = coverage_data::generators::airbnb_like(500, 8, 1).unwrap();
+        assert!(matches!(
+            guard.find_mups(&ds, Threshold::Count(400)),
+            Err(CoverageError::SearchSpaceTooLarge { .. })
+        ));
+    }
+}

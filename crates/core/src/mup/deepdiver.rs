@@ -1,0 +1,189 @@
+//! DEEPDIVER (§III-E, Algorithm 3): depth-first dives that reach uncovered
+//! territory quickly, walk up to the responsible MUP, and then prune both
+//! the ancestors and the descendants of every discovered MUP through the
+//! bit-parallel dominance index of Appendix B.
+//!
+//! * a node **dominated by** a discovered MUP lies in a pruned subtree —
+//!   skipped entirely;
+//! * a node that **dominates** a discovered MUP is a covered ancestor — its
+//!   coverage query is skipped and its children are expanded directly;
+//! * otherwise the coverage oracle decides: covered nodes expand their Rule-1
+//!   children; uncovered nodes trigger a walk-up (moving to any uncovered
+//!   parent until none exists) that lands exactly on a new MUP.
+
+use coverage_index::{CoverageOracle, MupDominanceIndex};
+
+use crate::error::Result;
+use crate::mup::MupAlgorithm;
+use crate::pattern::Pattern;
+
+/// The dive-and-prune algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct DeepDiver {
+    /// When set, exploration stops below this level: the output is the set
+    /// of MUPs with level ≤ `max_level` (Fig 16's bounded discovery).
+    pub max_level: Option<usize>,
+}
+
+impl DeepDiver {
+    /// Bounded-level variant (§V-C3).
+    pub fn with_max_level(max_level: usize) -> Self {
+        Self {
+            max_level: Some(max_level),
+        }
+    }
+
+    /// Walk-up phase: starting from an uncovered pattern, repeatedly move to
+    /// an uncovered parent; the fixed point has all parents covered and is
+    /// therefore a MUP.
+    fn climb(oracle: &CoverageOracle, tau: u64, start: Pattern) -> Pattern {
+        let mut current = start;
+        'climb: loop {
+            let uncovered_parent = current
+                .parents()
+                .find(|parent| !oracle.covered(parent.codes(), tau));
+            match uncovered_parent {
+                Some(parent) => {
+                    current = parent;
+                    continue 'climb;
+                }
+                None => return current,
+            }
+        }
+    }
+}
+
+impl MupAlgorithm for DeepDiver {
+    fn name(&self) -> &'static str {
+        "DeepDiver"
+    }
+
+    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+        let cards = oracle.cardinalities().to_vec();
+        let d = cards.len();
+        let depth = self.max_level.map_or(d, |m| m.min(d));
+
+        let mut mups: Vec<Pattern> = Vec::new();
+        let mut index = MupDominanceIndex::new(&cards);
+        let mut stack: Vec<Pattern> = vec![Pattern::all_x(d)];
+
+        while let Some(p) = stack.pop() {
+            if !index.is_empty() && index.dominates_any(p.codes()) {
+                // Ancestor of a known MUP — covered by Definition 5, so the
+                // oracle is skipped and the dive continues. (A node *equal*
+                // to a MUP discovered earlier by a climb also lands here;
+                // its children are then generated but immediately rejected
+                // below as dominated, so the output is unaffected.)
+                if p.level() < depth {
+                    stack.extend(p.rule1_children(&cards));
+                }
+                continue;
+            }
+            if !oracle.covered(p.codes(), tau) {
+                // Only uncovered nodes can be dominated by a MUP, so the
+                // (full-scan) dominance check is deferred until here.
+                if !index.dominated_by_any(p.codes()) {
+                    let mup = Self::climb(oracle, tau, p);
+                    index.add(mup.codes());
+                    mups.push(mup);
+                }
+            } else if p.level() < depth {
+                stack.extend(p.rule1_children(&cards));
+            }
+        }
+        Ok(mups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mup::test_support::{
+        assert_example1, assert_matches_reference, brute_force_mups, example1,
+    };
+    use crate::Threshold;
+
+    #[test]
+    fn example1_single_mup() {
+        assert_example1(&DeepDiver::default());
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        for (seed, tau) in [(1, 3), (2, 10), (3, 40), (4, 100)] {
+            assert_matches_reference(&DeepDiver::default(), seed, tau);
+        }
+    }
+
+    #[test]
+    fn climb_finds_mup_from_deep_uncovered_node() {
+        // §III-E example: the dive XXX → X0X → 10X reaches the uncovered
+        // non-MUP 10X whose walk-up must land on 1XX.
+        let oracle = coverage_index::CoverageOracle::from_dataset(&example1());
+        let mup = DeepDiver::climb(&oracle, 1, Pattern::parse("10X").unwrap());
+        assert_eq!(mup.to_string(), "1XX");
+    }
+
+    #[test]
+    fn climb_on_mup_is_identity() {
+        let oracle = coverage_index::CoverageOracle::from_dataset(&example1());
+        let mup = DeepDiver::climb(&oracle, 1, Pattern::parse("1XX").unwrap());
+        assert_eq!(mup.to_string(), "1XX");
+    }
+
+    #[test]
+    fn level_bound_truncates_output() {
+        let ds = coverage_data::generators::bluenile_like(500, 5).unwrap();
+        let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+        let mut expected: Vec<Pattern> = brute_force_mups(&oracle, 20)
+            .into_iter()
+            .filter(|p| p.level() <= 2)
+            .collect();
+        expected.sort();
+        let bounded = DeepDiver::with_max_level(2)
+            .find_mups(&ds, Threshold::Count(20))
+            .unwrap();
+        assert_eq!(bounded, expected);
+    }
+
+    #[test]
+    fn diagonal_dataset_matches_theorem1_closed_form() {
+        // Theorem 1: n items over n binary attributes, τ = n/2 + 1 ⇒
+        // |M| = n + C(n, n/2).
+        let n = 8usize;
+        let ds = coverage_data::generators::diagonal_dataset(n).unwrap();
+        let tau = (n / 2 + 1) as u64;
+        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(tau)).unwrap();
+        let choose = |n: u64, k: u64| -> u64 {
+            (1..=k).fold(1u64, |acc, i| acc * (n - i + 1) / i)
+        };
+        let expected = n as u64 + choose(n as u64, n as u64 / 2);
+        assert_eq!(mups.len() as u64, expected);
+        // All single-1 level-1 patterns are MUPs.
+        let ones = mups.iter().filter(|p| {
+            p.level() == 1 && (0..n).any(|i| p.get(i) == Some(1))
+        });
+        assert_eq!(ones.count(), n);
+    }
+
+    #[test]
+    fn empty_dataset_root_is_mup() {
+        let ds = coverage_data::Dataset::new(coverage_data::Schema::binary(5).unwrap());
+        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(1)).unwrap();
+        assert_eq!(mups.len(), 1);
+        assert_eq!(mups[0].level(), 0);
+    }
+
+    #[test]
+    fn output_is_an_antichain() {
+        let ds = coverage_data::generators::airbnb_like(400, 8, 12).unwrap();
+        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(12)).unwrap();
+        for a in &mups {
+            for b in &mups {
+                if a != b {
+                    assert!(!a.dominates(b), "{a} dominates {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The naïve MUP algorithm (§III-A): enumerate every pattern, keep the
+//! uncovered ones, and eliminate the dominated ones pairwise.
+//!
+//! Time is `O(n·c⁺_A + u²)` and space `O(c⁺_A)`, so the algorithm refuses
+//! pattern spaces larger than a configurable guard (the paper reports it
+//! "did not finish for any of the settings within the time limit").
+
+use coverage_index::CoverageOracle;
+
+use crate::error::{CoverageError, Result};
+use crate::graph::pattern_graph_stats;
+use crate::mup::MupAlgorithm;
+use crate::pattern::Pattern;
+
+/// Configuration for the naïve algorithm.
+#[derive(Debug, Clone)]
+pub struct NaiveMup {
+    /// Maximum number of patterns (`Π (c_i + 1)`) it will enumerate.
+    pub max_patterns: u128,
+}
+
+impl Default for NaiveMup {
+    fn default() -> Self {
+        Self {
+            max_patterns: 20_000_000,
+        }
+    }
+}
+
+impl MupAlgorithm for NaiveMup {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+        let cards = oracle.cardinalities().to_vec();
+        let stats = pattern_graph_stats(&cards);
+        if stats.total_nodes > self.max_patterns {
+            return Err(CoverageError::SearchSpaceTooLarge {
+                algorithm: "Naive",
+                size: stats.total_nodes,
+                limit: self.max_patterns,
+            });
+        }
+        // Enumerate all patterns (Rule 1 from the root covers each once) and
+        // keep the uncovered ones.
+        let mut uncovered: Vec<Pattern> = Vec::new();
+        let mut queue = vec![Pattern::all_x(cards.len())];
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let p = queue[cursor].clone();
+            queue.extend(p.rule1_children(&cards));
+            if !oracle.covered(p.codes(), tau) {
+                uncovered.push(p);
+            }
+            cursor += 1;
+        }
+        // Pairwise dominance elimination: sorting by level first means a
+        // pattern can only be dominated by an earlier (more general) one.
+        uncovered.sort_by_key(Pattern::level);
+        let mut maximal: Vec<Pattern> = Vec::new();
+        'outer: for p in uncovered {
+            for m in &maximal {
+                if m.dominates(&p) {
+                    continue 'outer;
+                }
+            }
+            maximal.push(p);
+        }
+        Ok(maximal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mup::test_support::{assert_example1, assert_matches_reference};
+    use crate::Threshold;
+
+    #[test]
+    fn example1_single_mup() {
+        assert_example1(&NaiveMup::default());
+    }
+
+    #[test]
+    fn example1_uncovered_count_matches_text() {
+        // The paper: besides the MUP 1XX there are 8 dominated uncovered
+        // patterns (9 uncovered in total).
+        let ds = crate::mup::test_support::example1();
+        let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+        let cards = oracle.cardinalities().to_vec();
+        let mut uncovered = 0;
+        let mut queue = vec![Pattern::all_x(3)];
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let p = queue[cursor].clone();
+            queue.extend(p.rule1_children(&cards));
+            if oracle.coverage(p.codes()) < 1 {
+                uncovered += 1;
+            }
+            cursor += 1;
+        }
+        assert_eq!(uncovered, 9);
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        for (seed, tau) in [(1, 3), (2, 10), (3, 40)] {
+            assert_matches_reference(&NaiveMup::default(), seed, tau);
+        }
+    }
+
+    #[test]
+    fn refuses_huge_spaces() {
+        let guard = NaiveMup { max_patterns: 10 };
+        let ds = coverage_data::generators::airbnb_like(50, 8, 0).unwrap();
+        assert!(matches!(
+            guard.find_mups(&ds, Threshold::Count(1)),
+            Err(CoverageError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_threshold_yields_no_mups() {
+        let ds = crate::mup::test_support::example1();
+        let mups = NaiveMup::default().find_mups(&ds, Threshold::Count(0)).unwrap();
+        assert!(mups.is_empty());
+    }
+
+    #[test]
+    fn threshold_above_n_makes_root_the_only_mup() {
+        let ds = crate::mup::test_support::example1();
+        let mups = NaiveMup::default()
+            .find_mups(&ds, Threshold::Count(6))
+            .unwrap();
+        assert_eq!(mups.len(), 1);
+        assert_eq!(mups[0].to_string(), "XXX");
+    }
+}

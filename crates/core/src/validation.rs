@@ -1,0 +1,154 @@
+//! Validation rules and the validation oracle (§IV, Definitions 10–11).
+//!
+//! A rule is a set of ⟨attribute, value-set⟩ pairs; a pattern *satisfies* a
+//! rule when each listed attribute holds one of the listed values. The
+//! oracle accepts a pattern iff it satisfies **none** of its rules — e.g. a
+//! rule `{⟨gender, {Male}⟩, ⟨isPregnant, {True}⟩}` rejects every combination
+//! of a pregnant male.
+
+use crate::pattern::{Pattern, X};
+
+/// One semantic-invalidity rule (Definition 10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationRule {
+    /// ⟨attribute index, forbidden-in-conjunction values⟩ clauses.
+    clauses: Vec<(usize, Vec<u8>)>,
+}
+
+impl ValidationRule {
+    /// Builds a rule from ⟨attribute, values⟩ clauses.
+    ///
+    /// Empty rules are meaningless (they would match everything) and are
+    /// normalized to a never-matching rule.
+    pub fn new(clauses: Vec<(usize, Vec<u8>)>) -> Self {
+        Self { clauses }
+    }
+
+    /// Convenience constructor for a single-attribute rule: combinations
+    /// with `attribute ∈ values` are invalid.
+    pub fn forbid_values(attribute: usize, values: impl Into<Vec<u8>>) -> Self {
+        Self::new(vec![(attribute, values.into())])
+    }
+
+    /// Convenience constructor for a two-attribute conjunction.
+    pub fn forbid_pair(a: (usize, u8), b: (usize, u8)) -> Self {
+        Self::new(vec![(a.0, vec![a.1]), (b.0, vec![b.1])])
+    }
+
+    /// The rule's clauses.
+    pub fn clauses(&self) -> &[(usize, Vec<u8>)] {
+        &self.clauses
+    }
+
+    /// Definition 10: `P` satisfies the rule iff every clause's attribute is
+    /// deterministic in `P` with a value in the clause's set.
+    pub fn satisfied_by(&self, pattern: &Pattern) -> bool {
+        !self.clauses.is_empty()
+            && self.clauses.iter().all(|(attr, values)| {
+                pattern.get(*attr).is_some_and(|v| values.contains(&v))
+            })
+    }
+
+    /// Prefix variant used during the greedy tree descent: the first
+    /// `prefix.len()` attributes are assigned, the rest unknown. Returns
+    /// `true` only when the rule is *already certainly* satisfied.
+    pub fn satisfied_by_prefix(&self, prefix: &[u8]) -> bool {
+        !self.clauses.is_empty()
+            && self.clauses.iter().all(|(attr, values)| {
+                *attr < prefix.len() && prefix[*attr] != X && values.contains(&prefix[*attr])
+            })
+    }
+}
+
+/// The validation oracle (Definition 11): a rule collection; a pattern is
+/// valid iff it satisfies none of the rules.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationOracle {
+    rules: Vec<ValidationRule>,
+}
+
+impl ValidationOracle {
+    /// An oracle that accepts everything.
+    pub fn accept_all() -> Self {
+        Self::default()
+    }
+
+    /// Builds an oracle from rules.
+    pub fn new(rules: Vec<ValidationRule>) -> Self {
+        Self { rules }
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: ValidationRule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[ValidationRule] {
+        &self.rules
+    }
+
+    /// Definition 11: `true` iff the pattern satisfies none of the rules.
+    pub fn is_valid(&self, pattern: &Pattern) -> bool {
+        !self.rules.iter().any(|r| r.satisfied_by(pattern))
+    }
+
+    /// Whether a partial assignment of the first `prefix.len()` attributes
+    /// can still extend to a valid combination, i.e. no rule is already
+    /// certainly satisfied. Used to prune the greedy enumeration tree.
+    pub fn allows_prefix(&self, prefix: &[u8]) -> bool {
+        !self.rules.iter().any(|r| r.satisfied_by_prefix(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pregnant_male_rule() {
+        // §IV's example: {gender=Male, isPregnant=True} is invalid.
+        let rule = ValidationRule::forbid_pair((0, 0), (1, 1));
+        assert!(rule.satisfied_by(&Pattern::from_codes(vec![0, 1, X])));
+        assert!(!rule.satisfied_by(&Pattern::from_codes(vec![1, 1, X])));
+        assert!(!rule.satisfied_by(&Pattern::from_codes(vec![0, 0, X])));
+        // Non-deterministic elements do not satisfy clauses.
+        assert!(!rule.satisfied_by(&Pattern::from_codes(vec![X, 1, X])));
+    }
+
+    #[test]
+    fn oracle_accepts_iff_no_rule_satisfied() {
+        let oracle = ValidationOracle::new(vec![
+            ValidationRule::forbid_values(2, vec![6]),
+            ValidationRule::forbid_pair((1, 0), (3, 1)),
+        ]);
+        assert!(oracle.is_valid(&Pattern::from_codes(vec![0, 1, 5, 0])));
+        assert!(!oracle.is_valid(&Pattern::from_codes(vec![0, 1, 6, 0])));
+        assert!(!oracle.is_valid(&Pattern::from_codes(vec![0, 0, 5, 1])));
+    }
+
+    #[test]
+    fn prefix_checks_are_conservative() {
+        let oracle = ValidationOracle::new(vec![ValidationRule::forbid_pair((0, 0), (2, 1))]);
+        // Prefix [0] — rule mentions attribute 2 which is unassigned: allowed.
+        assert!(oracle.allows_prefix(&[0]));
+        assert!(oracle.allows_prefix(&[0, 5]));
+        // Prefix [0, 5, 1] fully satisfies the rule: rejected.
+        assert!(!oracle.allows_prefix(&[0, 5, 1]));
+        assert!(oracle.allows_prefix(&[1, 5, 1]));
+    }
+
+    #[test]
+    fn empty_rule_matches_nothing() {
+        let rule = ValidationRule::new(vec![]);
+        assert!(!rule.satisfied_by(&Pattern::all_x(3)));
+        assert!(!rule.satisfied_by_prefix(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn accept_all_is_identity() {
+        let oracle = ValidationOracle::accept_all();
+        assert!(oracle.is_valid(&Pattern::all_x(4)));
+        assert!(oracle.allows_prefix(&[0, 1, 2, 3]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Bucketization of continuous or high-cardinality attributes (§II).
+//!
+//! The paper assumes low-cardinality categorical attributes and suggests
+//! "(a) bucketization: putting similar values into the same bucket, or (b)
+//! considering the hierarchy of attributes in the data cube" for everything
+//! else. This module implements (a): explicit-boundary buckets,
+//! equal-width buckets, and quantile buckets.
+
+use crate::error::{DataError, Result};
+use crate::schema::{Attribute, MAX_CARDINALITY};
+
+/// Maps continuous `f64` values to bucket codes `0..k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketizer {
+    /// Sorted interior boundaries; value `x` maps to the number of
+    /// boundaries `b` with `b <= x`.
+    boundaries: Vec<f64>,
+    /// Human-readable bucket labels, `boundaries.len() + 1` of them.
+    labels: Vec<String>,
+}
+
+impl Bucketizer {
+    /// Builds a bucketizer from explicit sorted interior boundaries.
+    ///
+    /// With boundaries `[20, 40, 60]` the buckets are `(-inf,20)`, `[20,40)`,
+    /// `[40,60)`, `[60,inf)` — exactly the paper's COMPAS age groups.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> Result<Self> {
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DataError::Io(
+                "bucket boundaries must be strictly increasing".into(),
+            ));
+        }
+        if boundaries.len() + 1 > MAX_CARDINALITY {
+            return Err(DataError::BadCardinality {
+                attribute: "<bucketized>".into(),
+                cardinality: boundaries.len() + 1,
+            });
+        }
+        let labels = Self::default_labels(&boundaries);
+        Ok(Self { boundaries, labels })
+    }
+
+    /// `k` equal-width buckets over `[lo, hi]`.
+    pub fn equal_width(lo: f64, hi: f64, k: usize) -> Result<Self> {
+        if lo >= hi || k < 2 {
+            return Err(DataError::Io(
+                "equal_width requires lo < hi and k >= 2".into(),
+            ));
+        }
+        let step = (hi - lo) / k as f64;
+        Self::from_boundaries((1..k).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// `k` quantile buckets estimated from a sample.
+    pub fn quantiles(sample: &[f64], k: usize) -> Result<Self> {
+        if sample.is_empty() || k < 2 {
+            return Err(DataError::Io(
+                "quantiles requires a non-empty sample and k >= 2".into(),
+            ));
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sample"));
+        let mut boundaries = Vec::with_capacity(k - 1);
+        for i in 1..k {
+            let q = sorted[(i * sorted.len() / k).min(sorted.len() - 1)];
+            if boundaries.last().is_none_or(|&last| q > last) {
+                boundaries.push(q);
+            }
+        }
+        Self::from_boundaries(boundaries)
+    }
+
+    fn default_labels(boundaries: &[f64]) -> Vec<String> {
+        let mut labels = Vec::with_capacity(boundaries.len() + 1);
+        for i in 0..=boundaries.len() {
+            let lo = if i == 0 {
+                "-inf".to_string()
+            } else {
+                format!("{}", boundaries[i - 1])
+            };
+            let hi = if i == boundaries.len() {
+                "inf".to_string()
+            } else {
+                format!("{}", boundaries[i])
+            };
+            labels.push(format!("[{lo},{hi})"));
+        }
+        labels
+    }
+
+    /// Overrides the bucket labels (must supply exactly `cardinality` names).
+    pub fn with_labels<S: Into<String>>(
+        mut self,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Result<Self> {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.len() != self.cardinality() {
+            return Err(DataError::Io(format!(
+                "expected {} labels, got {}",
+                self.cardinality(),
+                labels.len()
+            )));
+        }
+        self.labels = labels;
+        Ok(self)
+    }
+
+    /// Number of buckets.
+    pub fn cardinality(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Encodes one value to its bucket code.
+    pub fn encode(&self, x: f64) -> u8 {
+        // partition_point = count of boundaries <= x.
+        self.boundaries.partition_point(|&b| b <= x) as u8
+    }
+
+    /// Builds the categorical [`Attribute`] this bucketizer induces.
+    pub fn to_attribute(&self, name: impl Into<String>) -> Result<Attribute> {
+        Attribute::with_values(name, self.labels.iter().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compas_age_boundaries() {
+        // Paper: 0 under 20, 1 in [20,40), 2 in [40,60), 3 above 60.
+        let b = Bucketizer::from_boundaries(vec![20.0, 40.0, 60.0]).unwrap();
+        assert_eq!(b.cardinality(), 4);
+        assert_eq!(b.encode(19.0), 0);
+        assert_eq!(b.encode(20.0), 1);
+        assert_eq!(b.encode(39.9), 1);
+        assert_eq!(b.encode(40.0), 2);
+        assert_eq!(b.encode(75.0), 3);
+    }
+
+    #[test]
+    fn rejects_unsorted_boundaries() {
+        assert!(Bucketizer::from_boundaries(vec![5.0, 5.0]).is_err());
+        assert!(Bucketizer::from_boundaries(vec![5.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn equal_width_splits_evenly() {
+        let b = Bucketizer::equal_width(0.0, 10.0, 5).unwrap();
+        assert_eq!(b.cardinality(), 5);
+        assert_eq!(b.encode(-1.0), 0);
+        assert_eq!(b.encode(2.0), 1);
+        assert_eq!(b.encode(9.99), 4);
+    }
+
+    #[test]
+    fn quantiles_dedupe_ties() {
+        let sample = vec![1.0; 100];
+        let b = Bucketizer::quantiles(&sample, 4).unwrap();
+        // All-equal sample collapses to a single boundary.
+        assert_eq!(b.cardinality(), 2);
+    }
+
+    #[test]
+    fn to_attribute_carries_labels() {
+        let b = Bucketizer::from_boundaries(vec![20.0])
+            .unwrap()
+            .with_labels(["young", "old"])
+            .unwrap();
+        let a = b.to_attribute("age").unwrap();
+        assert_eq!(a.cardinality(), 2);
+        assert_eq!(a.value_name(1), "old");
+    }
+
+    #[test]
+    fn label_count_mismatch_rejected() {
+        let b = Bucketizer::from_boundaries(vec![20.0]).unwrap();
+        assert!(b.with_labels(["only-one"]).is_err());
+    }
+}

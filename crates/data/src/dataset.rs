@@ -1,0 +1,331 @@
+//! The [`Dataset`] type: encoded categorical rows plus optional binary labels.
+//!
+//! Rows are stored row-major in a flat `Vec<u8>` for cache-friendly scans.
+//! Label attributes (`Y` in §II) are kept separate from the attributes of
+//! interest and are never considered by the coverage machinery.
+
+use crate::error::{DataError, Result};
+use crate::schema::Schema;
+
+/// An encoded categorical dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    schema: Schema,
+    /// Row-major values; length is `len * schema.arity()`.
+    values: Vec<u8>,
+    /// Optional binary label per row (the paper's target attribute, e.g.
+    /// "has re-offended"). Empty when unlabeled.
+    labels: Vec<bool>,
+    len: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            values: Vec::new(),
+            labels: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a dataset from complete rows, validating arity and value ranges.
+    pub fn from_rows(schema: Schema, rows: &[Vec<u8>]) -> Result<Self> {
+        let mut ds = Self::new(schema);
+        for row in rows {
+            ds.push_row(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Builds a labeled dataset; `rows.len()` must equal `labels.len()`.
+    pub fn from_labeled_rows(schema: Schema, rows: &[Vec<u8>], labels: &[bool]) -> Result<Self> {
+        if rows.len() != labels.len() {
+            return Err(DataError::Io(format!(
+                "{} rows but {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let mut ds = Self::new(schema);
+        for (row, &label) in rows.iter().zip(labels) {
+            ds.push_labeled_row(row, label)?;
+        }
+        Ok(ds)
+    }
+
+    fn validate_row(&self, row: &[u8]) -> Result<()> {
+        let d = self.schema.arity();
+        if row.len() != d {
+            return Err(DataError::RowArity {
+                row: self.len,
+                got: row.len(),
+                expected: d,
+            });
+        }
+        for (i, &v) in row.iter().enumerate() {
+            let c = self.schema.cardinality(i);
+            if v >= c {
+                return Err(DataError::ValueOutOfRange {
+                    row: self.len,
+                    attribute: i,
+                    value: v,
+                    cardinality: c,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends an unlabeled row.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the row has the wrong arity, a value code out of range, or
+    /// when mixing unlabeled rows into a labeled dataset.
+    pub fn push_row(&mut self, row: &[u8]) -> Result<()> {
+        if !self.labels.is_empty() {
+            return Err(DataError::Io(
+                "cannot push an unlabeled row into a labeled dataset".into(),
+            ));
+        }
+        self.validate_row(row)?;
+        self.values.extend_from_slice(row);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Appends a labeled row.
+    pub fn push_labeled_row(&mut self, row: &[u8], label: bool) -> Result<()> {
+        if self.len > 0 && self.labels.is_empty() {
+            return Err(DataError::Io(
+                "cannot push a labeled row into an unlabeled dataset".into(),
+            ));
+        }
+        self.validate_row(row)?;
+        self.values.extend_from_slice(row);
+        self.labels.push(label);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of rows (`n` in the paper).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The schema of attributes of interest.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes (`d`).
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[u8] {
+        let d = self.schema.arity();
+        &self.values[i * d..(i + 1) * d]
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[u8]> + '_ {
+        self.values.chunks_exact(self.schema.arity())
+    }
+
+    /// The label of row `i`, if the dataset is labeled.
+    pub fn label(&self, i: usize) -> Option<bool> {
+        self.labels.get(i).copied()
+    }
+
+    /// All labels (empty for unlabeled datasets).
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Whether every row carries a label.
+    pub fn is_labeled(&self) -> bool {
+        !self.labels.is_empty() && self.labels.len() == self.len
+    }
+
+    /// Projects the dataset onto the attribute positions in `keep`,
+    /// preserving labels. Used by the varying-`d` experiments (§V-C3).
+    pub fn project(&self, keep: &[usize]) -> Result<Dataset> {
+        let schema = self.schema.project(keep)?;
+        let mut values = Vec::with_capacity(self.len * keep.len());
+        for row in self.rows() {
+            for &k in keep {
+                values.push(row[k]);
+            }
+        }
+        Ok(Dataset {
+            schema,
+            values,
+            labels: self.labels.clone(),
+            len: self.len,
+        })
+    }
+
+    /// Returns the first `n` rows as a new dataset (labels included).
+    /// Used by the varying-`n` experiments (§V-C2).
+    pub fn head(&self, n: usize) -> Dataset {
+        let n = n.min(self.len);
+        let d = self.schema.arity();
+        Dataset {
+            schema: self.schema.clone(),
+            values: self.values[..n * d].to_vec(),
+            labels: if self.labels.is_empty() {
+                Vec::new()
+            } else {
+                self.labels[..n].to_vec()
+            },
+            len: n,
+        }
+    }
+
+    /// Counts rows matching a predicate over `(row, label)` pairs.
+    pub fn count_where(&self, mut pred: impl FnMut(&[u8], Option<bool>) -> bool) -> usize {
+        (0..self.len)
+            .filter(|&i| pred(self.row(i), self.label(i)))
+            .count()
+    }
+
+    /// Appends all rows of `other` (same schema required).
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
+        if other.schema != self.schema {
+            return Err(DataError::Io("schema mismatch in extend_from".into()));
+        }
+        if self.is_labeled() != other.is_labeled() && !self.is_empty() && !other.is_empty() {
+            return Err(DataError::Io(
+                "cannot mix labeled and unlabeled datasets".into(),
+            ));
+        }
+        self.values.extend_from_slice(&other.values);
+        self.labels.extend_from_slice(&other.labels);
+        self.len += other.len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // Example 1 of the paper: binary A1..A3, rows 010 001 000 011 001.
+        let schema = Schema::binary(3).unwrap();
+        Dataset::from_rows(
+            schema,
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let ds = toy();
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.arity(), 3);
+        assert_eq!(ds.row(1), &[0, 0, 1]);
+        assert_eq!(ds.rows().count(), 5);
+        assert!(!ds.is_labeled());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut ds = Dataset::new(Schema::binary(3).unwrap());
+        assert!(matches!(
+            ds.push_row(&[0, 1]),
+            Err(DataError::RowArity { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_value_rejected() {
+        let mut ds = Dataset::new(Schema::binary(2).unwrap());
+        assert!(matches!(
+            ds.push_row(&[0, 2]),
+            Err(DataError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let schema = Schema::binary(2).unwrap();
+        let ds =
+            Dataset::from_labeled_rows(schema, &[vec![0, 1], vec![1, 0]], &[true, false]).unwrap();
+        assert!(ds.is_labeled());
+        assert_eq!(ds.label(0), Some(true));
+        assert_eq!(ds.label(1), Some(false));
+    }
+
+    #[test]
+    fn mixing_labeled_and_unlabeled_rejected() {
+        let mut ds = Dataset::new(Schema::binary(1).unwrap());
+        ds.push_row(&[0]).unwrap();
+        assert!(ds.push_labeled_row(&[1], true).is_err());
+
+        let mut ds2 = Dataset::new(Schema::binary(1).unwrap());
+        ds2.push_labeled_row(&[0], false).unwrap();
+        assert!(ds2.push_row(&[1]).is_err());
+    }
+
+    #[test]
+    fn projection() {
+        let ds = toy();
+        let p = ds.project(&[2, 1]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.row(0), &[0, 1]);
+        assert_eq!(p.row(1), &[1, 0]);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let ds = toy();
+        let h = ds.head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.row(1), &[0, 0, 1]);
+        assert_eq!(ds.head(99).len(), 5);
+    }
+
+    #[test]
+    fn count_where_counts_matches() {
+        let ds = toy();
+        assert_eq!(ds.count_where(|r, _| r[2] == 1), 3);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = toy();
+        let b = toy();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.row(6), &[0, 0, 1]);
+        assert_eq!(a.row(7), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn extend_from_rejects_schema_mismatch() {
+        let mut a = toy();
+        let b = Dataset::new(Schema::binary(2).unwrap());
+        assert!(a.extend_from(&b).is_err());
+    }
+}

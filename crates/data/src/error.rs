@@ -1,0 +1,106 @@
+//! Error types for dataset construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or (de)serializing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A row's length does not match the number of schema attributes.
+    RowArity {
+        /// Index of the offending row.
+        row: usize,
+        /// Number of values supplied in the row.
+        got: usize,
+        /// Number of attributes declared by the schema.
+        expected: usize,
+    },
+    /// A value code is out of range for its attribute's cardinality.
+    ValueOutOfRange {
+        /// Index of the offending row.
+        row: usize,
+        /// Attribute position within the schema.
+        attribute: usize,
+        /// The offending encoded value.
+        value: u8,
+        /// The attribute's cardinality (valid codes are `0..cardinality`).
+        cardinality: u8,
+    },
+    /// An attribute was declared with cardinality zero or above the encoding limit.
+    BadCardinality {
+        /// Name of the offending attribute.
+        attribute: String,
+        /// The declared cardinality.
+        cardinality: usize,
+    },
+    /// A schema with no attributes was supplied where at least one is required.
+    EmptySchema,
+    /// An attribute name appears more than once in a schema.
+    DuplicateAttribute(String),
+    /// A named attribute is missing from the schema.
+    UnknownAttribute(String),
+    /// A raw string value could not be resolved against an attribute dictionary.
+    UnknownValue {
+        /// Name of the attribute being decoded.
+        attribute: String,
+        /// The unresolvable raw value.
+        value: String,
+    },
+    /// Underlying CSV or filesystem failure.
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RowArity { row, got, expected } => write!(
+                f,
+                "row {row} has {got} values but the schema declares {expected} attributes"
+            ),
+            DataError::ValueOutOfRange {
+                row,
+                attribute,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "row {row}, attribute {attribute}: value code {value} exceeds cardinality {cardinality}"
+            ),
+            DataError::BadCardinality {
+                attribute,
+                cardinality,
+            } => write!(
+                f,
+                "attribute `{attribute}` has unsupported cardinality {cardinality} (must be 1..=254)"
+            ),
+            DataError::EmptySchema => write!(f, "schema must contain at least one attribute"),
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` is declared more than once")
+            }
+            DataError::UnknownAttribute(name) => {
+                write!(f, "attribute `{name}` is not part of the schema")
+            }
+            DataError::UnknownValue { attribute, value } => write!(
+                f,
+                "value `{value}` is not in the dictionary of attribute `{attribute}`"
+            ),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+impl From<csv::Error> for DataError {
+    fn from(e: csv::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,145 @@
+//! Adversarial constructions from the paper's theorems.
+//!
+//! * [`diagonal_dataset`] — Theorem 1's identity-matrix dataset with more
+//!   than `2^n` MUPs at `τ = n/2 + 1`.
+//! * [`vertex_cover_dataset`] — Theorem 2's reduction from vertex cover to
+//!   the coverage-enhancement problem (Fig 1).
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use crate::schema::Schema;
+
+/// Theorem 1 construction: `n` rows over `n` binary attributes where row `i`
+/// is `1` only at position `i`. With `τ = n/2 + 1` the MUP count is
+/// `n + C(n, n/2) > 2^n`.
+pub fn diagonal_dataset(n: usize) -> Result<Dataset> {
+    let schema = Schema::binary(n)?;
+    let mut ds = Dataset::new(schema);
+    let mut row = vec![0u8; n];
+    for i in 0..n {
+        row[i] = 1;
+        ds.push_row(&row)?;
+        row[i] = 0;
+    }
+    Ok(ds)
+}
+
+/// An undirected graph given as a vertex count and an edge list, used as
+/// input to the vertex-cover reduction.
+#[derive(Debug, Clone)]
+pub struct SampleGraph {
+    /// Number of vertices (`|V|`).
+    pub vertices: usize,
+    /// Undirected edges as `(u, v)` vertex-index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl SampleGraph {
+    /// The 5-vertex sample graph of Fig 1a: a path-like graph whose
+    /// constructed dataset is shown in Fig 1b.
+    ///
+    /// Edges are ordered so that attribute `A_j` corresponds to edge `e_j`,
+    /// reproducing the incidence rows `t1..t5` of the figure:
+    /// `t1 = 10101`, `t2 = 11000`, `t3 = 00011`, `t4 = 01110`, `t5..t7 = 0`.
+    pub fn figure1() -> Self {
+        SampleGraph {
+            vertices: 4,
+            edges: vec![(0, 1), (1, 3), (0, 3), (2, 3), (0, 2)],
+        }
+    }
+}
+
+/// Theorem 2 reduction: builds the dataset whose coverage-enhancement
+/// instance (with `τ = 3`, `λ = 1`) is equivalent to vertex cover on `graph`.
+///
+/// The dataset has `|V| + 3` rows over `|E|` binary attributes: row `i ≤ |V|`
+/// is the edge-incidence vector of vertex `i`, followed by three all-zero
+/// rows. Its MUPs are exactly the `|E|` patterns with a single deterministic
+/// `1`.
+pub fn vertex_cover_dataset(graph: &SampleGraph) -> Result<Dataset> {
+    if graph.edges.is_empty() {
+        return Err(DataError::EmptySchema);
+    }
+    for &(u, v) in &graph.edges {
+        if u >= graph.vertices || v >= graph.vertices || u == v {
+            return Err(DataError::Io(format!("invalid edge ({u},{v})")));
+        }
+    }
+    let d = graph.edges.len();
+    let schema = Schema::binary(d)?;
+    let mut ds = Dataset::new(schema);
+    let mut row = vec![0u8; d];
+    for vertex in 0..graph.vertices {
+        for (j, &(u, v)) in graph.edges.iter().enumerate() {
+            row[j] = u8::from(u == vertex || v == vertex);
+        }
+        ds.push_row(&row)?;
+    }
+    row.fill(0);
+    for _ in 0..3 {
+        ds.push_row(&row)?;
+    }
+    Ok(ds)
+}
+
+/// The coverage threshold the reduction fixes (`τ = 3`).
+pub const VERTEX_COVER_TAU: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_shape() {
+        let ds = diagonal_dataset(6).unwrap();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.arity(), 6);
+        for i in 0..6 {
+            let row = ds.row(i);
+            assert_eq!(row.iter().filter(|&&v| v == 1).count(), 1);
+            assert_eq!(row[i], 1);
+        }
+    }
+
+    #[test]
+    fn figure1_incidence_rows_match_paper() {
+        let ds = vertex_cover_dataset(&SampleGraph::figure1()).unwrap();
+        assert_eq!(ds.len(), 4 + 3);
+        assert_eq!(ds.arity(), 5);
+        assert_eq!(ds.row(0), &[1, 0, 1, 0, 1]); // t1
+        assert_eq!(ds.row(1), &[1, 1, 0, 0, 0]); // t2
+        assert_eq!(ds.row(2), &[0, 0, 0, 1, 1]); // t3
+        assert_eq!(ds.row(3), &[0, 1, 1, 1, 0]); // t4
+        for i in 4..7 {
+            assert!(ds.row(i).iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn each_edge_column_has_exactly_two_ones() {
+        let ds = vertex_cover_dataset(&SampleGraph::figure1()).unwrap();
+        for j in 0..ds.arity() {
+            let ones = ds.count_where(|r, _| r[j] == 1);
+            assert_eq!(ones, 2, "edge column {j}");
+        }
+    }
+
+    #[test]
+    fn invalid_graphs_rejected() {
+        assert!(vertex_cover_dataset(&SampleGraph {
+            vertices: 2,
+            edges: vec![]
+        })
+        .is_err());
+        assert!(vertex_cover_dataset(&SampleGraph {
+            vertices: 2,
+            edges: vec![(0, 2)]
+        })
+        .is_err());
+        assert!(vertex_cover_dataset(&SampleGraph {
+            vertices: 2,
+            edges: vec![(1, 1)]
+        })
+        .is_err());
+    }
+}

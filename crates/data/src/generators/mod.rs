@@ -1,0 +1,70 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on three real datasets (AirBnB, BlueNile, COMPAS) that
+//! are not redistributable / not available offline. Each generator here
+//! reproduces the *structural* properties the corresponding experiment
+//! depends on — attribute cardinalities, marginal skew, correlation, dataset
+//! size, and (for COMPAS) divergent subgroup behaviour — as documented in
+//! DESIGN.md §4.
+//!
+//! All generators are deterministic given a seed (ChaCha8).
+
+mod airbnb;
+mod bluenile;
+mod compas;
+mod constructions;
+
+pub use airbnb::{airbnb_like, AIRBNB_MAX_ATTRIBUTES};
+pub use bluenile::{bluenile_like, BLUENILE_CARDINALITIES, BLUENILE_ROWS};
+pub use compas::{
+    compas_like, compas_schema, CompasConfig, COMPAS_ROWS, HISPANIC, FEMALE, MALE, OTHER_RACE,
+    WIDOWED,
+};
+pub use constructions::{diagonal_dataset, vertex_cover_dataset, SampleGraph, VERTEX_COVER_TAU};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the deterministic RNG used by all generators.
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Draws an index from an (unnormalized) weight table.
+pub(crate) fn weighted_index(r: &mut ChaCha8Rng, weights: &[f64]) -> u8 {
+    use rand::Rng;
+    let total: f64 = weights.iter().sum();
+    let mut x = r.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i as u8;
+        }
+    }
+    (weights.len() - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng(7);
+        let weights = [0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut r, &weights), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_covers_support() {
+        let mut r = rng(8);
+        let weights = [1.0, 1.0, 1.0, 1.0];
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[weighted_index(&mut r, &weights) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

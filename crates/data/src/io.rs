@@ -1,0 +1,274 @@
+//! CSV import/export for encoded datasets.
+//!
+//! Two modes are supported:
+//!
+//! * **Dictionary-driven** ([`read_csv`]): a [`Schema`] whose attributes carry
+//!   value dictionaries decodes raw string cells (e.g. `"Hispanic"`), with a
+//!   numeric fallback for dictionary-less attributes.
+//! * **Auto-encoding** ([`read_csv_auto`]): builds dictionaries on the fly
+//!   from the distinct strings per column, in first-seen order.
+//!
+//! An optional label column (by name) is parsed as a boolean
+//! (`1/0/true/false/yes/no`).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use crate::schema::{Attribute, Schema};
+
+fn parse_label(raw: &str) -> Result<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "t" => Ok(true),
+        "0" | "false" | "no" | "f" => Ok(false),
+        other => Err(DataError::Io(format!("unparseable label `{other}`"))),
+    }
+}
+
+/// Reads a headered CSV against an existing schema.
+///
+/// Columns are matched to attributes **by header name**; extra columns are
+/// ignored. When `label_column` is given, that column populates the labels.
+pub fn read_csv<R: Read>(
+    reader: R,
+    schema: Schema,
+    label_column: Option<&str>,
+) -> Result<Dataset> {
+    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let col_of = |name: &str| -> Result<usize> {
+        headers
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    };
+    let attr_cols: Vec<usize> = schema
+        .attributes()
+        .iter()
+        .map(|a| col_of(a.name()))
+        .collect::<Result<_>>()?;
+    let label_col = label_column.map(col_of).transpose()?;
+
+    let mut ds = Dataset::new(schema);
+    let mut row_buf = vec![0u8; ds.arity()];
+    for record in rdr.records() {
+        let record = record?;
+        for (slot, (&col, attr)) in row_buf
+            .iter_mut()
+            .zip(attr_cols.iter().zip(ds.schema().attributes()))
+        {
+            let raw = record.get(col).ok_or_else(|| {
+                DataError::Io(format!("record shorter than header (missing column {col})"))
+            })?;
+            *slot = attr.code_of(raw)?;
+        }
+        match label_col {
+            Some(col) => {
+                let raw = record
+                    .get(col)
+                    .ok_or_else(|| DataError::Io("missing label cell".into()))?;
+                let label = parse_label(raw)?;
+                ds.push_labeled_row(&row_buf.clone(), label)?;
+            }
+            None => ds.push_row(&row_buf.clone())?,
+        }
+    }
+    Ok(ds)
+}
+
+/// Reads a headered CSV, building value dictionaries from the data itself.
+///
+/// `attribute_columns` selects (and orders) the attributes of interest.
+pub fn read_csv_auto<R: Read>(
+    reader: R,
+    attribute_columns: &[&str],
+    label_column: Option<&str>,
+) -> Result<Dataset> {
+    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let col_of = |name: &str| -> Result<usize> {
+        headers
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    };
+    let cols: Vec<usize> = attribute_columns
+        .iter()
+        .map(|n| col_of(n))
+        .collect::<Result<_>>()?;
+    let label_col = label_column.map(col_of).transpose()?;
+
+    // First pass: materialize records and build dictionaries in first-seen order.
+    let mut dicts: Vec<Vec<String>> = vec![Vec::new(); cols.len()];
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    let mut labels: Vec<bool> = Vec::new();
+    for record in rdr.records() {
+        let record = record?;
+        let mut row = Vec::with_capacity(cols.len());
+        for (j, &col) in cols.iter().enumerate() {
+            let raw = record
+                .get(col)
+                .ok_or_else(|| DataError::Io(format!("missing column {col}")))?;
+            let code = match dicts[j].iter().position(|v| v == raw) {
+                Some(p) => p,
+                None => {
+                    dicts[j].push(raw.to_string());
+                    dicts[j].len() - 1
+                }
+            };
+            if code > u8::MAX as usize - 2 {
+                return Err(DataError::BadCardinality {
+                    attribute: attribute_columns[j].to_string(),
+                    cardinality: code + 1,
+                });
+            }
+            row.push(code as u8);
+        }
+        rows.push(row);
+        if let Some(col) = label_col {
+            labels.push(parse_label(record.get(col).unwrap_or_default())?);
+        }
+    }
+
+    let attributes: Vec<Attribute> = attribute_columns
+        .iter()
+        .zip(dicts)
+        .map(|(name, dict)| Attribute::with_values(*name, dict))
+        .collect::<Result<_>>()?;
+    let schema = Schema::new(attributes)?;
+    if label_col.is_some() {
+        Dataset::from_labeled_rows(schema, &rows, &labels)
+    } else {
+        Dataset::from_rows(schema, &rows)
+    }
+}
+
+/// Writes the dataset as a headered CSV, decoding values through each
+/// attribute's dictionary (codes when no dictionary is attached). A labeled
+/// dataset gains a trailing `label` column.
+pub fn write_csv<W: Write>(writer: W, dataset: &Dataset) -> Result<()> {
+    let mut wtr = csv::Writer::from_writer(writer);
+    let mut header: Vec<String> = dataset
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    if dataset.is_labeled() {
+        header.push("label".to_string());
+    }
+    wtr.write_record(&header)?;
+    for i in 0..dataset.len() {
+        let mut record: Vec<String> = dataset
+            .row(i)
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| dataset.schema().attribute(j).value_name(v))
+            .collect();
+        if let Some(label) = dataset.label(i) {
+            record.push(if label { "1".into() } else { "0".into() });
+        }
+        wtr.write_record(&record)?;
+    }
+    wtr.flush()?;
+    Ok(())
+}
+
+/// Convenience wrapper over [`read_csv_auto`] for a file path.
+pub fn read_csv_auto_path(
+    path: impl AsRef<Path>,
+    attribute_columns: &[&str],
+    label_column: Option<&str>,
+) -> Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_csv_auto(std::io::BufReader::new(file), attribute_columns, label_column)
+}
+
+/// Convenience wrapper over [`write_csv`] for a file path.
+pub fn write_csv_path(path: impl AsRef<Path>, dataset: &Dataset) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(std::io::BufWriter::new(file), dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "sex,race,score,reoffended\n\
+                       male,Caucasian,3,1\n\
+                       female,Hispanic,9,0\n\
+                       male,Hispanic,1,1\n";
+
+    #[test]
+    fn auto_encoding_builds_dictionaries() {
+        let ds = read_csv_auto(CSV.as_bytes(), &["sex", "race"], Some("reoffended")).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.arity(), 2);
+        assert_eq!(ds.schema().attribute(0).cardinality(), 2);
+        assert_eq!(ds.schema().attribute(1).cardinality(), 2);
+        assert_eq!(ds.row(1), &[1, 1]); // female, Hispanic
+        assert_eq!(ds.label(1), Some(false));
+        assert_eq!(ds.schema().attribute(1).value_name(1), "Hispanic");
+    }
+
+    #[test]
+    fn column_selection_ignores_extras_and_reorders() {
+        let ds = read_csv_auto(CSV.as_bytes(), &["race", "sex"], None).unwrap();
+        assert_eq!(ds.arity(), 2);
+        assert_eq!(ds.schema().attribute(0).name(), "race");
+        assert_eq!(ds.row(0), &[0, 0]); // Caucasian, male
+    }
+
+    #[test]
+    fn schema_driven_read_uses_dictionary() {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["male", "female"]).unwrap(),
+            Attribute::with_values("race", ["Caucasian", "Hispanic"]).unwrap(),
+        ])
+        .unwrap();
+        let ds = read_csv(CSV.as_bytes(), schema, Some("reoffended")).unwrap();
+        assert_eq!(ds.row(2), &[0, 1]);
+        assert_eq!(ds.label(2), Some(true));
+    }
+
+    #[test]
+    fn unknown_value_is_an_error() {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["male"]).unwrap(),
+            Attribute::with_values("race", ["Caucasian", "Hispanic"]).unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            read_csv(CSV.as_bytes(), schema, None),
+            Err(DataError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        assert!(matches!(
+            read_csv_auto(CSV.as_bytes(), &["sex", "nope"], None),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = read_csv_auto(CSV.as_bytes(), &["sex", "race"], Some("reoffended")).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds).unwrap();
+        let again = read_csv_auto(buf.as_slice(), &["sex", "race"], Some("label")).unwrap();
+        assert_eq!(ds.len(), again.len());
+        for i in 0..ds.len() {
+            assert_eq!(ds.row(i), again.row(i));
+            assert_eq!(ds.label(i), again.label(i));
+        }
+    }
+
+    #[test]
+    fn bad_label_is_an_error() {
+        let csv = "a,l\nx,maybe\n";
+        assert!(read_csv_auto(csv.as_bytes(), &["a"], Some("l")).is_err());
+    }
+}

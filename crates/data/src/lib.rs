@@ -1,0 +1,34 @@
+//! # coverage-data
+//!
+//! Categorical dataset substrate for the *mithra* coverage library — the
+//! data layer beneath the ICDE 2019 paper *"Assessing and Remedying Coverage
+//! for a Given Dataset"* (Asudeh, Jin, Jagadish).
+//!
+//! Provides:
+//!
+//! * [`Schema`] / [`Attribute`] — low-cardinality categorical attributes of
+//!   interest with optional value dictionaries (§II);
+//! * [`Dataset`] — row-major encoded tuples with optional binary labels;
+//! * [`UniqueCombinations`] — aggregation into distinct value combinations
+//!   with multiplicities (Appendix A);
+//! * [`Bucketizer`] — bucketization of continuous attributes (§II);
+//! * CSV import/export ([`io`]);
+//! * synthetic workload [`generators`] standing in for the paper's AirBnB /
+//!   BlueNile / COMPAS datasets, plus the Theorem 1 and Theorem 2
+//!   constructions.
+
+#![warn(missing_docs)]
+
+mod bucketize;
+mod dataset;
+mod error;
+pub mod generators;
+pub mod io;
+mod schema;
+mod unique;
+
+pub use bucketize::Bucketizer;
+pub use dataset::Dataset;
+pub use error::{DataError, Result};
+pub use schema::{Attribute, Schema, MAX_CARDINALITY};
+pub use unique::UniqueCombinations;

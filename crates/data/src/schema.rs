@@ -1,0 +1,302 @@
+//! Schemas describe the categorical *attributes of interest* of a dataset.
+//!
+//! Following §II of the paper, a dataset has `d` low-cardinality categorical
+//! attributes `A_1..A_d` with cardinalities `c_1..c_d`. Values are encoded as
+//! `u8` codes `0..c_i`; an optional dictionary maps codes back to their
+//! human-readable names (e.g. `race = 2` ⇒ `"Hispanic"`).
+
+use crate::error::{DataError, Result};
+
+/// Maximum supported cardinality per attribute.
+///
+/// Code `0xFF` is reserved as the non-deterministic (`X`) sentinel by the
+/// pattern layer, and we keep one more code in reserve so `cardinality` itself
+/// always fits in a `u8`.
+pub const MAX_CARDINALITY: usize = 254;
+
+/// A single categorical attribute: a name, a cardinality, and (optionally)
+/// human-readable value names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    cardinality: u8,
+    /// `value_names[v]` is the display name of code `v`; empty when the
+    /// attribute was constructed without a dictionary.
+    value_names: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute with `cardinality` anonymous values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadCardinality`] when `cardinality` is zero or
+    /// exceeds [`MAX_CARDINALITY`].
+    pub fn new(name: impl Into<String>, cardinality: usize) -> Result<Self> {
+        let name = name.into();
+        if cardinality == 0 || cardinality > MAX_CARDINALITY {
+            return Err(DataError::BadCardinality {
+                attribute: name,
+                cardinality,
+            });
+        }
+        Ok(Self {
+            name,
+            cardinality: cardinality as u8,
+            value_names: Vec::new(),
+        })
+    }
+
+    /// Creates an attribute whose cardinality and value dictionary come from
+    /// an explicit list of value names.
+    pub fn with_values<S: Into<String>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let value_names: Vec<String> = values.into_iter().map(Into::into).collect();
+        if value_names.is_empty() || value_names.len() > MAX_CARDINALITY {
+            return Err(DataError::BadCardinality {
+                attribute: name,
+                cardinality: value_names.len(),
+            });
+        }
+        Ok(Self {
+            name,
+            cardinality: value_names.len() as u8,
+            value_names,
+        })
+    }
+
+    /// A binary (boolean) attribute with values `0` and `1`.
+    pub fn binary(name: impl Into<String>) -> Self {
+        Self::new(name, 2).expect("cardinality 2 is always valid")
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of distinct values (`c_i` in the paper).
+    pub fn cardinality(&self) -> u8 {
+        self.cardinality
+    }
+
+    /// Display name for the encoded `value`, falling back to the numeric code
+    /// when no dictionary is attached.
+    pub fn value_name(&self, value: u8) -> String {
+        self.value_names
+            .get(value as usize)
+            .cloned()
+            .unwrap_or_else(|| value.to_string())
+    }
+
+    /// Resolves a raw string to its value code using the dictionary first and
+    /// a numeric parse as fallback.
+    pub fn code_of(&self, raw: &str) -> Result<u8> {
+        if let Some(pos) = self.value_names.iter().position(|v| v == raw) {
+            return Ok(pos as u8);
+        }
+        match raw.parse::<u8>() {
+            Ok(code) if code < self.cardinality => Ok(code),
+            _ => Err(DataError::UnknownValue {
+                attribute: self.name.clone(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// Whether a dictionary of value names is attached.
+    pub fn has_dictionary(&self) -> bool {
+        !self.value_names.is_empty()
+    }
+}
+
+/// An ordered collection of attributes — the *attributes of interest* over
+/// which coverage is studied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from an ordered attribute list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptySchema`] for an empty list and
+    /// [`DataError::DuplicateAttribute`] when two attributes share a name.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(DataError::DuplicateAttribute(a.name().to_string()));
+            }
+        }
+        Ok(Self { attributes })
+    }
+
+    /// A schema of `d` anonymous binary attributes named `A1..Ad`.
+    pub fn binary(d: usize) -> Result<Self> {
+        Self::new(
+            (1..=d)
+                .map(|i| Attribute::binary(format!("A{i}")))
+                .collect(),
+        )
+    }
+
+    /// A schema of anonymous attributes with the given cardinalities, named `A1..Ad`.
+    pub fn with_cardinalities(cards: &[usize]) -> Result<Self> {
+        Self::new(
+            cards
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Attribute::new(format!("A{}", i + 1), c))
+                .collect::<Result<Vec<_>>>()?,
+        )
+    }
+
+    /// Number of attributes (`d` in the paper).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attribute at position `i`.
+    pub fn attribute(&self, i: usize) -> &Attribute {
+        &self.attributes[i]
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Cardinality of attribute `i` (`c_i`).
+    pub fn cardinality(&self, i: usize) -> u8 {
+        self.attributes[i].cardinality()
+    }
+
+    /// Cardinalities of all attributes, in order.
+    pub fn cardinalities(&self) -> Vec<u8> {
+        self.attributes.iter().map(Attribute::cardinality).collect()
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Total number of full value combinations, `Π c_i`, saturating at
+    /// `u128::MAX`.
+    ///
+    /// This is `c_A` in the paper's notation for `A_i = A`.
+    pub fn combination_count(&self) -> u128 {
+        self.attributes
+            .iter()
+            .fold(1u128, |acc, a| acc.saturating_mul(a.cardinality() as u128))
+    }
+
+    /// Total number of patterns, `Π (c_i + 1)` (`c⁺_A`), saturating at
+    /// `u128::MAX`.
+    pub fn pattern_count(&self) -> u128 {
+        self.attributes.iter().fold(1u128, |acc, a| {
+            acc.saturating_mul(a.cardinality() as u128 + 1)
+        })
+    }
+
+    /// Restricts the schema to the attribute positions in `keep` (in the
+    /// given order). Used to project datasets down to fewer dimensions, as in
+    /// the paper's varying-`d` experiments.
+    pub fn project(&self, keep: &[usize]) -> Result<Self> {
+        Self::new(keep.iter().map(|&i| self.attributes[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_rejects_zero_cardinality() {
+        assert!(matches!(
+            Attribute::new("a", 0),
+            Err(DataError::BadCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_rejects_oversized_cardinality() {
+        assert!(Attribute::new("a", MAX_CARDINALITY).is_ok());
+        assert!(Attribute::new("a", MAX_CARDINALITY + 1).is_err());
+    }
+
+    #[test]
+    fn attribute_dictionary_roundtrip() {
+        let a = Attribute::with_values("race", ["African-American", "Caucasian", "Hispanic"])
+            .unwrap();
+        assert_eq!(a.cardinality(), 3);
+        assert_eq!(a.code_of("Hispanic").unwrap(), 2);
+        assert_eq!(a.value_name(1), "Caucasian");
+        assert!(a.code_of("Martian").is_err());
+    }
+
+    #[test]
+    fn attribute_numeric_fallback() {
+        let a = Attribute::new("age", 4).unwrap();
+        assert_eq!(a.code_of("3").unwrap(), 3);
+        assert!(a.code_of("4").is_err());
+        assert_eq!(a.value_name(2), "2");
+        assert!(!a.has_dictionary());
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(matches!(Schema::new(vec![]), Err(DataError::EmptySchema)));
+        let dup = Schema::new(vec![Attribute::binary("x"), Attribute::binary("x")]);
+        assert!(matches!(dup, Err(DataError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn schema_counts_match_paper_example() {
+        // Fig 2: three binary attributes → 27 pattern-graph nodes.
+        let s = Schema::binary(3).unwrap();
+        assert_eq!(s.pattern_count(), 27);
+        assert_eq!(s.combination_count(), 8);
+    }
+
+    #[test]
+    fn schema_bluenile_combination_count() {
+        // §V-C1: BlueNile cardinalities 10,4,7,8,3,3,5 → 100,800 combinations.
+        let s = Schema::with_cardinalities(&[10, 4, 7, 8, 3, 3, 5]).unwrap();
+        assert_eq!(s.combination_count(), 100_800);
+    }
+
+    #[test]
+    fn schema_projection_keeps_order() {
+        let s = Schema::with_cardinalities(&[2, 3, 4]).unwrap();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.cardinality(0), 4);
+        assert_eq!(p.cardinality(1), 2);
+    }
+
+    #[test]
+    fn schema_index_of() {
+        let s = Schema::binary(3).unwrap();
+        assert_eq!(s.index_of("A2").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow() {
+        let s = Schema::with_cardinalities(&vec![254; 40]).unwrap();
+        assert_eq!(s.pattern_count(), u128::MAX);
+        assert_eq!(s.combination_count(), u128::MAX);
+    }
+}

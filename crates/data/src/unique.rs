@@ -1,0 +1,155 @@
+//! Aggregation of a dataset into unique value combinations with
+//! multiplicities (`D̄` + `cnt` in Appendix A).
+//!
+//! The coverage oracle operates over unique combinations rather than raw
+//! rows: with `n = 1M` rows over 15 binary attributes there are at most
+//! 32,768 distinct combinations, so the aggregation shrinks all downstream
+//! bit-vectors by orders of magnitude.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+
+/// A dataset compressed to its distinct value combinations.
+#[derive(Debug, Clone)]
+pub struct UniqueCombinations {
+    arity: usize,
+    cardinalities: Vec<u8>,
+    /// Row-major distinct combinations.
+    combos: Vec<u8>,
+    /// `counts[k]` = number of original rows equal to combination `k`.
+    counts: Vec<u64>,
+    /// Total number of original rows (Σ counts).
+    total: u64,
+}
+
+impl UniqueCombinations {
+    /// Aggregates `dataset` into unique combinations.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let d = dataset.arity();
+        let mut index: HashMap<&[u8], usize> = HashMap::new();
+        let mut combos: Vec<u8> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        for row in dataset.rows() {
+            match index.entry(row) {
+                std::collections::hash_map::Entry::Occupied(e) => counts[*e.get()] += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(counts.len());
+                    counts.push(1);
+                    combos.extend_from_slice(row);
+                }
+            }
+        }
+        Self {
+            arity: d,
+            cardinalities: dataset.schema().cardinalities(),
+            combos,
+            counts,
+            total: dataset.len() as u64,
+        }
+    }
+
+    /// Number of distinct combinations.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the source dataset was empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Attribute cardinalities, in order.
+    pub fn cardinalities(&self) -> &[u8] {
+        &self.cardinalities
+    }
+
+    /// The `k`-th distinct combination.
+    pub fn combo(&self, k: usize) -> &[u8] {
+        &self.combos[k * self.arity..(k + 1) * self.arity]
+    }
+
+    /// Iterates over `(combination, count)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[u8], u64)> + '_ {
+        self.combos
+            .chunks_exact(self.arity)
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Multiplicity vector aligned with combination indices.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total row count of the source dataset.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn aggregates_example1() {
+        // Example 1 / Appendix A: rows 010 001 000 011 001 →
+        // distinct combos {000:1, 001:2, 010:1, 011:1}.
+        let ds = Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap();
+        let u = UniqueCombinations::from_dataset(&ds);
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.total(), 5);
+        let mut pairs: Vec<(Vec<u8>, u64)> =
+            u.iter().map(|(c, n)| (c.to_vec(), n)).collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (vec![0, 0, 0], 1),
+                (vec![0, 0, 1], 2),
+                (vec![0, 1, 0], 1),
+                (vec![0, 1, 1], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_dataset_aggregates_to_nothing() {
+        let ds = Dataset::new(Schema::binary(2).unwrap());
+        let u = UniqueCombinations::from_dataset(&ds);
+        assert!(u.is_empty());
+        assert_eq!(u.total(), 0);
+    }
+
+    #[test]
+    fn counts_align_with_combos() {
+        let ds = Dataset::from_rows(
+            Schema::binary(2).unwrap(),
+            &[vec![1, 1], vec![1, 1], vec![1, 1], vec![0, 0]],
+        )
+        .unwrap();
+        let u = UniqueCombinations::from_dataset(&ds);
+        assert_eq!(u.len(), 2);
+        let total: u64 = u.counts().iter().sum();
+        assert_eq!(total, u.total());
+        // First-seen order is preserved.
+        assert_eq!(u.combo(0), &[1, 1]);
+        assert_eq!(u.counts()[0], 3);
+    }
+}

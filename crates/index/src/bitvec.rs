@@ -1,0 +1,406 @@
+//! A packed bit-vector tuned for the paper's two inverted-index workloads:
+//! word-parallel AND across several vectors with early exit (Appendix B's
+//! "early stop strategy ... conducting the operation word by word and
+//! terminating as soon as a 1 is observed"), and weighted popcounts against a
+//! multiplicity vector (Appendix A's dot product with the `cnt` vector).
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A growable packed bit-vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// An all-one vector of `len` bits (trailing bits of the last word are
+    /// kept zero so popcounts stay exact).
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector of `len` bits with the given indices set.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(len);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Appends one bit (used by the growable MUP dominance index).
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Copies `other` into `self` without reallocating when capacities match.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether `self & other` has any set bit (early exit, no allocation).
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Dot product with a multiplicity vector: Σ `weights[i]` over set bits
+    /// `i`. This is Appendix A's `result · cnt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights.len() < self.len()`.
+    pub fn weighted_sum(&self, weights: &[u64]) -> u64 {
+        assert!(weights.len() >= self.len, "weight vector too short");
+        let mut total = 0u64;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                total += weights[wi * WORD_BITS + bit];
+                w &= w - 1;
+            }
+        }
+        total
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors(
+                if word == 0 { None } else { Some(word) },
+                |w| {
+                    let w = w & (w - 1);
+                    (w != 0).then_some(w)
+                },
+            )
+            .map(move |w| wi * WORD_BITS + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// Raw storage words (low bit of word 0 is bit 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Weighted popcount of the intersection of several vectors without
+/// materializing it: Σ `weights[i]` over bits set in *all* of `vectors`.
+///
+/// An empty `vectors` slice denotes the universe (all bits set), matching the
+/// all-`X` pattern whose coverage is the full dataset size.
+///
+/// # Panics
+///
+/// Panics when vector lengths differ or `weights` is shorter than the vectors.
+pub fn intersection_weighted_sum(vectors: &[&BitVec], weights: &[u64]) -> u64 {
+    match vectors {
+        [] => weights.iter().sum(),
+        [single] => single.weighted_sum(weights),
+        [first, rest @ ..] => {
+            let len = first.len;
+            for v in rest {
+                assert_eq!(v.len, len, "bitvec length mismatch");
+            }
+            assert!(weights.len() >= len, "weight vector too short");
+            let mut total = 0u64;
+            for wi in 0..first.words.len() {
+                let mut word = first.words[wi];
+                for v in rest {
+                    if word == 0 {
+                        break;
+                    }
+                    word &= v.words[wi];
+                }
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    total += weights[wi * WORD_BITS + bit];
+                    word &= word - 1;
+                }
+            }
+            total
+        }
+    }
+}
+
+/// Whether the weighted popcount of the intersection reaches `tau`, with
+/// early exit as soon as the running total does — the hot path of every
+/// covered/uncovered decision (`cov(P) ≥ τ`), which in covered regions
+/// terminates after a handful of words instead of scanning the dataset.
+///
+/// An empty `vectors` slice denotes the universe.
+pub fn intersection_weight_at_least(vectors: &[&BitVec], weights: &[u64], tau: u64) -> bool {
+    if tau == 0 {
+        return true;
+    }
+    match vectors {
+        [] => {
+            let mut total = 0u64;
+            for &w in weights {
+                total = total.saturating_add(w);
+                if total >= tau {
+                    return true;
+                }
+            }
+            false
+        }
+        [first, rest @ ..] => {
+            for v in rest {
+                assert_eq!(v.len, first.len, "bitvec length mismatch");
+            }
+            assert!(weights.len() >= first.len, "weight vector too short");
+            let mut total = 0u64;
+            for wi in 0..first.words.len() {
+                let mut word = first.words[wi];
+                for v in rest {
+                    if word == 0 {
+                        break;
+                    }
+                    word &= v.words[wi];
+                }
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    total = total.saturating_add(weights[wi * WORD_BITS + bit]);
+                    if total >= tau {
+                        return true;
+                    }
+                    word &= word - 1;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Whether the intersection of `vectors` is non-empty, with word-level early
+/// exit (Appendix B's early-stop strategy). An empty slice denotes the
+/// universe and yields `true` iff the universe is non-empty — callers must
+/// special-case the all-`X` pattern themselves, so this returns `false` for
+/// an empty slice to stay conservative.
+pub fn intersection_any(vectors: &[&BitVec]) -> bool {
+    match vectors {
+        [] => false,
+        [single] => single.any(),
+        [first, rest @ ..] => {
+            for v in rest {
+                assert_eq!(v.len, first.len, "bitvec length mismatch");
+            }
+            for wi in 0..first.words.len() {
+                let mut word = first.words[wi];
+                for v in rest {
+                    if word == 0 {
+                        break;
+                    }
+                    word &= v.words[wi];
+                }
+                if word != 0 {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_get_set() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+
+        let ones = BitVec::ones(130);
+        assert_eq!(ones.count_ones(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut v = BitVec::default();
+        for i in 0..200 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        assert_eq!(v.count_ones(), 67);
+        assert!(v.get(0) && v.get(3) && !v.get(1));
+    }
+
+    #[test]
+    fn and_or_assign() {
+        let a0 = BitVec::from_indices(100, [1, 5, 64, 99]);
+        let b = BitVec::from_indices(100, [5, 64, 70]);
+        let mut a = a0.clone();
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+        let mut o = a0.clone();
+        o.or_assign(&b);
+        assert_eq!(o.iter_ones().collect::<Vec<_>>(), vec![1, 5, 64, 70, 99]);
+    }
+
+    #[test]
+    fn weighted_sum_matches_appendix_a_example() {
+        // Appendix A: cov(0X1) = (v1,0 & v3,1) · cnt = 3 with
+        // cnt = [1,2,1,1], combos 000,001,010,011.
+        let v1_0 = BitVec::ones(4);
+        let v3_1 = BitVec::from_indices(4, [1, 3]);
+        let cnt = [1u64, 2, 1, 1];
+        assert_eq!(intersection_weighted_sum(&[&v1_0, &v3_1], &cnt), 3);
+    }
+
+    #[test]
+    fn intersection_weighted_sum_empty_is_total() {
+        let cnt = [1u64, 2, 3];
+        assert_eq!(intersection_weighted_sum(&[], &cnt), 6);
+    }
+
+    #[test]
+    fn intersection_any_early_exit_semantics() {
+        let a = BitVec::from_indices(300, [250]);
+        let b = BitVec::from_indices(300, [250, 10]);
+        let c = BitVec::from_indices(300, [10]);
+        assert!(intersection_any(&[&a, &b]));
+        assert!(!intersection_any(&[&a, &c]));
+        assert!(!intersection_any(&[]));
+        assert!(intersection_any(&[&a]));
+        assert!(!intersection_any(&[&BitVec::zeros(300)]));
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let v = BitVec::from_indices(200, [0, 63, 64, 127, 128, 199]);
+        assert_eq!(
+            v.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn intersects_pairwise() {
+        let a = BitVec::from_indices(70, [69]);
+        let b = BitVec::from_indices(70, [69, 1]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&BitVec::from_indices(70, [1])));
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let mut dst = BitVec::zeros(128);
+        let src = BitVec::from_indices(128, [7, 100]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn ones_masks_tail_bits() {
+        let v = BitVec::ones(65);
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v.words()[1], 1);
+    }
+}

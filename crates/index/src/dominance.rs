@@ -1,0 +1,254 @@
+//! The dynamic MUP-dominance index of Appendix B.
+//!
+//! DEEPDIVER visits a large number of pattern-graph nodes and must decide,
+//! for each, whether it *dominates* or *is dominated by* any already
+//! discovered MUP (Definition 9). A linear scan over the MUP set is too slow,
+//! so the paper keeps, per attribute, one growable bit-vector per value
+//! **plus one for `X`**; bit `k` describes MUP `k`. Both checks reduce to a
+//! word-parallel AND with early termination.
+
+use crate::bitvec::{intersection_any, BitVec};
+use crate::oracle::X;
+
+/// Growable inverted index over a set of MUPs supporting bit-parallel
+/// dominance checks.
+#[derive(Debug, Clone)]
+pub struct MupDominanceIndex {
+    /// `slabs[offsets[i] + v]` = bit-vector of MUPs with value `v` on
+    /// attribute `i`; slot `cardinality(i)` within each attribute block is
+    /// the `X` vector.
+    slabs: Vec<BitVec>,
+    offsets: Vec<usize>,
+    cardinalities: Vec<u8>,
+    len: usize,
+}
+
+impl MupDominanceIndex {
+    /// Creates an empty index for attributes with the given cardinalities.
+    pub fn new(cardinalities: &[u8]) -> Self {
+        let mut offsets = Vec::with_capacity(cardinalities.len() + 1);
+        let mut acc = 0usize;
+        for &c in cardinalities {
+            offsets.push(acc);
+            acc += c as usize + 1; // one slot per value plus the X slot
+        }
+        offsets.push(acc);
+        Self {
+            slabs: vec![BitVec::default(); acc],
+            offsets,
+            cardinalities: cardinalities.to_vec(),
+            len: 0,
+        }
+    }
+
+    fn slot(&self, attribute: usize, code: u8) -> usize {
+        let c = self.cardinalities[attribute];
+        let v = if code == X {
+            c as usize
+        } else {
+            assert!(code < c, "value {code} out of range for attribute {attribute}");
+            code as usize
+        };
+        self.offsets[attribute] + v
+    }
+
+    /// Number of MUPs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no MUPs have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers a newly discovered MUP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range value codes.
+    pub fn add(&mut self, codes: &[u8]) {
+        assert_eq!(codes.len(), self.cardinalities.len(), "arity mismatch");
+        for (i, &code) in codes.iter().enumerate() {
+            let hit = self.slot(i, code);
+            let base = self.offsets[i];
+            let end = self.offsets[i + 1];
+            for s in base..end {
+                self.slabs[s].push(s == hit);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Whether `codes` dominates at least one stored MUP: some MUP `M`
+    /// agrees with every deterministic element of `codes` (so `M` lies in
+    /// the subtree below `codes`).
+    pub fn dominates_any(&self, codes: &[u8]) -> bool {
+        assert_eq!(codes.len(), self.cardinalities.len(), "arity mismatch");
+        if self.len == 0 {
+            return false;
+        }
+        let selected: Vec<&BitVec> = codes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != X)
+            .map(|(i, &v)| &self.slabs[self.slot(i, v)])
+            .collect();
+        if selected.is_empty() {
+            // The all-X root dominates every pattern, hence any MUP.
+            return true;
+        }
+        intersection_any(&selected)
+    }
+
+    /// Whether some stored MUP dominates `codes` (i.e. `codes` lies in a
+    /// pruned subtree): some MUP `M` with `M[i] ∈ {X, codes[i]}` for every
+    /// deterministic `i`, and `M[i] = X` wherever `codes[i] = X`.
+    ///
+    /// Per Appendix B this ORs the value vector with the `X` vector for
+    /// deterministic elements and uses the bare `X` vector for
+    /// non-deterministic ones.
+    pub fn dominated_by_any(&self, codes: &[u8]) -> bool {
+        assert_eq!(codes.len(), self.cardinalities.len(), "arity mismatch");
+        if self.len == 0 {
+            return false;
+        }
+        // Word-parallel without materializing the OR vectors: for each
+        // storage word, AND together (value | X) words across attributes,
+        // short-circuiting within the word and returning on the first
+        // surviving bit. All slabs share the same bit length, and `push`
+        // keeps tail bits zero, so no masking is needed.
+        let words = self.len.div_ceil(64);
+        for w in 0..words {
+            let mut acc = u64::MAX;
+            for (i, &v) in codes.iter().enumerate() {
+                let x_word = self.slabs[self.slot(i, X)].words()[w];
+                acc &= if v == X {
+                    x_word
+                } else {
+                    self.slabs[self.slot(i, v)].words()[w] | x_word
+                };
+                if acc == 0 {
+                    break;
+                }
+            }
+            if acc != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_with(mups: &[&[u8]], cards: &[u8]) -> MupDominanceIndex {
+        let mut idx = MupDominanceIndex::new(cards);
+        for m in mups {
+            idx.add(m);
+        }
+        idx
+    }
+
+    #[test]
+    fn empty_index_dominates_nothing() {
+        let idx = MupDominanceIndex::new(&[2, 2, 2]);
+        assert!(!idx.dominates_any(&[X, X, X]) || idx.is_empty());
+        assert!(!idx.dominated_by_any(&[1, 1, 1]));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn paper_example_dominance() {
+        // MUP 1XX from Example 1.
+        let idx = index_with(&[&[1, X, X]], &[2, 2, 2]);
+        // 10X is dominated by 1XX.
+        assert!(idx.dominated_by_any(&[1, 0, X]));
+        assert!(idx.dominated_by_any(&[1, 1, 1]));
+        // XXX dominates 1XX.
+        assert!(idx.dominates_any(&[X, X, X]));
+        // 0XX neither dominates nor is dominated.
+        assert!(!idx.dominated_by_any(&[0, X, X]));
+        assert!(!idx.dominates_any(&[0, X, X]));
+        // The MUP itself is dominated by (equal to) a stored MUP and
+        // dominates one too — both checks include equality.
+        assert!(idx.dominated_by_any(&[1, X, X]));
+        assert!(idx.dominates_any(&[1, X, X]));
+    }
+
+    #[test]
+    fn x_positions_require_x_in_dominator() {
+        // MUP 10X: pattern 1XX is NOT dominated by it (1XX is more general).
+        let idx = index_with(&[&[1, 0, X]], &[2, 2, 2]);
+        assert!(!idx.dominated_by_any(&[1, X, X]));
+        assert!(idx.dominates_any(&[1, X, X]));
+        assert!(idx.dominated_by_any(&[1, 0, 1]));
+    }
+
+    #[test]
+    fn multiple_mups_any_semantics() {
+        let idx = index_with(&[&[1, X, X], &[X, 0, 2]], &[2, 2, 3]);
+        assert!(idx.dominated_by_any(&[1, 1, 0])); // by 1XX
+        assert!(idx.dominated_by_any(&[0, 0, 2])); // by X02
+        assert!(!idx.dominated_by_any(&[0, 1, 0]));
+        assert!(idx.dominates_any(&[X, X, 2])); // dominates X02
+        assert!(!idx.dominates_any(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn agrees_with_reference_implementation() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let cards = [2u8, 3, 2, 4];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let random_pattern = |rng: &mut rand_chacha::ChaCha8Rng| -> Vec<u8> {
+            cards
+                .iter()
+                .map(|&c| {
+                    if rng.random::<f64>() < 0.4 {
+                        X
+                    } else {
+                        rng.random_range(0..c)
+                    }
+                })
+                .collect()
+        };
+        let dominates = |general: &[u8], specific: &[u8]| {
+            general
+                .iter()
+                .zip(specific)
+                .all(|(&g, &s)| g == X || g == s)
+        };
+        let mups: Vec<Vec<u8>> = (0..30).map(|_| random_pattern(&mut rng)).collect();
+        let mut idx = MupDominanceIndex::new(&cards);
+        for m in &mups {
+            idx.add(m);
+        }
+        for _ in 0..300 {
+            let p = random_pattern(&mut rng);
+            let expect_dominated = mups.iter().any(|m| dominates(m, &p));
+            let expect_dominates = mups.iter().any(|m| dominates(&p, m));
+            assert_eq!(idx.dominated_by_any(&p), expect_dominated, "pattern {p:?}");
+            assert_eq!(idx.dominates_any(&p), expect_dominates, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn grows_past_word_boundaries() {
+        let mut idx = MupDominanceIndex::new(&[2, 2]);
+        for k in 0..130 {
+            // MUPs alternate between 0X and X1.
+            if k % 2 == 0 {
+                idx.add(&[0, X]);
+            } else {
+                idx.add(&[X, 1]);
+            }
+        }
+        assert_eq!(idx.len(), 130);
+        assert!(idx.dominated_by_any(&[0, 0]));
+        assert!(idx.dominated_by_any(&[1, 1]));
+        assert!(!idx.dominated_by_any(&[1, 0]));
+    }
+}

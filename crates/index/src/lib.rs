@@ -1,0 +1,24 @@
+//! # coverage-index
+//!
+//! Bit-parallel index structures behind the *mithra* coverage library:
+//!
+//! * [`BitVec`] — packed bit-vectors with word-parallel AND/OR, weighted
+//!   popcounts, and early-exit intersection tests;
+//! * [`CoverageOracle`] — the inverted-index coverage oracle of Appendix A
+//!   (`cov(P)` as an AND over per-(attribute, value) vectors followed by a
+//!   dot product with the multiplicity vector);
+//! * [`MupDominanceIndex`] — the growable dominance index of Appendix B used
+//!   by DEEPDIVER to prune ancestors and descendants of discovered MUPs.
+//!
+//! The low-level pattern contract throughout is a `&[u8]` of value codes
+//! with [`X`] (= `0xFF`) marking non-deterministic elements.
+
+#![warn(missing_docs)]
+
+mod bitvec;
+mod dominance;
+mod oracle;
+
+pub use bitvec::{intersection_any, intersection_weighted_sum, BitVec};
+pub use dominance::MupDominanceIndex;
+pub use oracle::{CoverageOracle, X};

@@ -1,0 +1,223 @@
+//! The coverage oracle of Appendix A.
+//!
+//! The dataset is aggregated into unique value combinations with
+//! multiplicities; one bit-vector per `(attribute, value)` pair marks the
+//! combinations carrying that value. `cov(P)` is then the weighted popcount
+//! of the AND of the vectors selected by `P`'s deterministic elements —
+//! never a scan over the raw rows.
+
+use coverage_data::{Dataset, UniqueCombinations};
+
+use crate::bitvec::{intersection_weighted_sum, BitVec};
+
+/// Sentinel code for a non-deterministic (`X`) pattern element.
+///
+/// Shared contract with the pattern layer: a pattern over `d` attributes is a
+/// `&[u8]` of length `d` where each element is either a value code or `X`.
+pub const X: u8 = 0xFF;
+
+/// Inverted-index coverage oracle (`cov` in the paper).
+#[derive(Debug, Clone)]
+pub struct CoverageOracle {
+    /// `index[i][v]` = bit-vector of unique combinations with value `v` on
+    /// attribute `i`. Outer index laid out as a prefix-offset table.
+    vectors: Vec<BitVec>,
+    offsets: Vec<usize>,
+    cardinalities: Vec<u8>,
+    combos: UniqueCombinations,
+}
+
+impl CoverageOracle {
+    /// Builds the oracle directly from a dataset (aggregating internally).
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_unique(UniqueCombinations::from_dataset(dataset))
+    }
+
+    /// Builds the oracle from pre-aggregated unique combinations.
+    pub fn from_unique(combos: UniqueCombinations) -> Self {
+        let cards = combos.cardinalities().to_vec();
+        let mut offsets = Vec::with_capacity(cards.len() + 1);
+        let mut acc = 0usize;
+        for &c in &cards {
+            offsets.push(acc);
+            acc += c as usize;
+        }
+        offsets.push(acc);
+        let mut vectors = vec![BitVec::zeros(combos.len()); acc];
+        for (k, (combo, _)) in combos.iter().enumerate() {
+            for (i, &v) in combo.iter().enumerate() {
+                vectors[offsets[i] + v as usize].set(k, true);
+            }
+        }
+        Self {
+            vectors,
+            offsets,
+            cardinalities: cards,
+            combos,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Attribute cardinalities.
+    pub fn cardinalities(&self) -> &[u8] {
+        &self.cardinalities
+    }
+
+    /// Total number of rows in the underlying dataset (`cov(XX..X)`).
+    pub fn total(&self) -> u64 {
+        self.combos.total()
+    }
+
+    /// The underlying unique-combination aggregation.
+    pub fn combinations(&self) -> &UniqueCombinations {
+        &self.combos
+    }
+
+    /// The inverted-index bit-vector for `(attribute, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value >= cardinality(attribute)`.
+    pub fn vector(&self, attribute: usize, value: u8) -> &BitVec {
+        assert!(
+            value < self.cardinalities[attribute],
+            "value {value} out of range for attribute {attribute}"
+        );
+        &self.vectors[self.offsets[attribute] + value as usize]
+    }
+
+    /// `cov(P, D)`: the number of rows matching the pattern, where `codes`
+    /// uses [`X`] for non-deterministic elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codes.len() != arity()` or a deterministic code is out of
+    /// range.
+    pub fn coverage(&self, codes: &[u8]) -> u64 {
+        assert_eq!(codes.len(), self.arity(), "pattern arity mismatch");
+        let mut selected: Vec<&BitVec> = Vec::with_capacity(codes.len());
+        for (i, &v) in codes.iter().enumerate() {
+            if v != X {
+                selected.push(self.vector(i, v));
+            }
+        }
+        intersection_weighted_sum(&selected, self.combos.counts())
+    }
+
+    /// Whether `cov(P) ≥ tau`, with early exit as soon as the running count
+    /// reaches the threshold — much cheaper than [`Self::coverage`] in
+    /// covered regions, where most traversal decisions are made.
+    pub fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        assert_eq!(codes.len(), self.arity(), "pattern arity mismatch");
+        let mut selected: Vec<&BitVec> = Vec::with_capacity(codes.len());
+        for (i, &v) in codes.iter().enumerate() {
+            if v != X {
+                selected.push(self.vector(i, v));
+            }
+        }
+        crate::bitvec::intersection_weight_at_least(&selected, self.combos.counts(), tau)
+    }
+
+    /// Materializes the match bit-vector of a pattern over the unique
+    /// combinations (used by callers that post-process matches).
+    pub fn match_vector(&self, codes: &[u8]) -> BitVec {
+        assert_eq!(codes.len(), self.arity(), "pattern arity mismatch");
+        let mut result = BitVec::ones(self.combos.len());
+        for (i, &v) in codes.iter().enumerate() {
+            if v != X {
+                result.and_assign(self.vector(i, v));
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::Schema;
+
+    /// Example 1 of the paper (also Appendix A's worked bit-vectors).
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn appendix_a_worked_example() {
+        let oracle = CoverageOracle::from_dataset(&example1());
+        // cov(0X1) = 3 (tuples 001 ×2 and 011).
+        assert_eq!(oracle.coverage(&[0, X, 1]), 3);
+        // cov(XXX) = 5, cov(1XX) = 0 (the MUP), cov(X1X) = 2.
+        assert_eq!(oracle.coverage(&[X, X, X]), 5);
+        assert_eq!(oracle.coverage(&[1, X, X]), 0);
+        assert_eq!(oracle.coverage(&[X, 1, X]), 2);
+        assert_eq!(oracle.coverage(&[0, 0, 1]), 2);
+    }
+
+    #[test]
+    fn coverage_agrees_with_brute_force() {
+        let ds = coverage_data::generators::airbnb_like(2_000, 6, 11).unwrap();
+        let oracle = CoverageOracle::from_dataset(&ds);
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X; 6],
+            vec![1, X, X, X, X, X],
+            vec![X, 0, X, 1, X, X],
+            vec![1, 1, 0, X, X, 0],
+            vec![0, 0, 0, 0, 0, 0],
+        ];
+        for p in patterns {
+            let expected = ds.count_where(|row, _| {
+                row.iter().zip(&p).all(|(&r, &pv)| pv == X || pv == r)
+            }) as u64;
+            assert_eq!(oracle.coverage(&p), expected, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn match_vector_selects_unique_combos() {
+        let oracle = CoverageOracle::from_dataset(&example1());
+        let mv = oracle.match_vector(&[X, 0, X]);
+        // Unique combos in first-seen order: 010, 001, 000, 011.
+        assert_eq!(mv.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn total_equals_row_count() {
+        let oracle = CoverageOracle::from_dataset(&example1());
+        assert_eq!(oracle.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        CoverageOracle::from_dataset(&example1()).coverage(&[X, X]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_value_panics() {
+        CoverageOracle::from_dataset(&example1()).coverage(&[7, X, X]);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_coverage() {
+        let ds = Dataset::new(Schema::binary(2).unwrap());
+        let oracle = CoverageOracle::from_dataset(&ds);
+        assert_eq!(oracle.coverage(&[X, X]), 0);
+        assert_eq!(oracle.coverage(&[1, 0]), 0);
+    }
+}

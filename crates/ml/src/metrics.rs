@@ -1,0 +1,145 @@
+//! Binary-classification metrics: confusion matrix, accuracy, precision,
+//! recall, and the F1 measure reported in Fig 11.
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Accumulates predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut m = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.tp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Fraction of correct predictions (0 on empty input).
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// Positive-class precision (0 when nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Positive-class recall (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1: the harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Convenience accuracy over parallel slices.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    ConfusionMatrix::from_predictions(predicted, actual).accuracy()
+}
+
+/// Convenience F1 over parallel slices.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    ConfusionMatrix::from_predictions(predicted, actual).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [true, false, true, true];
+        let m = ConfusionMatrix::from_predictions(&y, &y);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_predictions(&predicted, &actual);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        // All-negative predictions on all-negative truth: accuracy 1, f1 0.
+        let m = ConfusionMatrix::from_predictions(&[false; 4], &[false; 4]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn helpers_match_matrix() {
+        let p = [true, false, true];
+        let a = [false, false, true];
+        let m = ConfusionMatrix::from_predictions(&p, &a);
+        assert_eq!(accuracy(&p, &a), m.accuracy());
+        assert_eq!(f1_score(&p, &a), m.f1());
+    }
+}

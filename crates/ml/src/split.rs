@@ -1,0 +1,130 @@
+//! Seeded train/test splitting and k-fold cross-validation over [`Dataset`]s.
+
+use coverage_data::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Selects the rows at `indices` (with labels) into a new dataset.
+///
+/// # Panics
+///
+/// Panics when an index is out of range.
+pub fn take_rows(dataset: &Dataset, indices: &[usize]) -> Dataset {
+    let mut out = Dataset::new(dataset.schema().clone());
+    for &i in indices {
+        match dataset.label(i) {
+            Some(label) => out
+                .push_labeled_row(dataset.row(i), label)
+                .expect("row was valid in the source dataset"),
+            None => out
+                .push_row(dataset.row(i))
+                .expect("row was valid in the source dataset"),
+        }
+    }
+    out
+}
+
+/// Splits into (train, test) with `test_fraction` of rows in the test set,
+/// shuffled deterministically by `seed`.
+pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1]"
+    );
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    let test_len = ((dataset.len() as f64) * test_fraction).round() as usize;
+    let (test_idx, train_idx) = indices.split_at(test_len.min(dataset.len()));
+    (take_rows(dataset, train_idx), take_rows(dataset, test_idx))
+}
+
+/// Yields `k` (train, test) folds for cross-validation, shuffled by `seed`.
+///
+/// # Panics
+///
+/// Panics when `k < 2` or `k > dataset.len()`.
+pub fn k_folds(dataset: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= dataset.len(), "k-fold needs k <= n");
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let test_idx: Vec<usize> = indices
+            .iter()
+            .copied()
+            .skip(f)
+            .step_by(k)
+            .collect();
+        let train_idx: Vec<usize> = indices
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != f)
+            .map(|(_, i)| i)
+            .collect();
+        folds.push((take_rows(dataset, &train_idx), take_rows(dataset, &test_idx)));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::Schema;
+
+    fn labeled(n: usize) -> Dataset {
+        let rows: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 2) as u8]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        Dataset::from_labeled_rows(Schema::binary(1).unwrap(), &rows, &labels).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let ds = labeled(100);
+        let (train, test) = train_test_split(&ds, 0.2, 7);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        assert!(train.is_labeled() && test.is_labeled());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = labeled(50);
+        let (a, _) = train_test_split(&ds, 0.3, 42);
+        let (b, _) = train_test_split(&ds, 0.3, 42);
+        let (c, _) = train_test_split(&ds, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        let ds = labeled(30);
+        let folds = k_folds(&ds, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut test_total = 0;
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 30);
+            test_total += test.len();
+        }
+        assert_eq!(test_total, 30);
+    }
+
+    #[test]
+    fn take_rows_preserves_labels() {
+        let ds = labeled(10);
+        let sub = take_rows(&ds, &[0, 3, 6]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(0), ds.label(0));
+        assert_eq!(sub.label(1), ds.label(3));
+        assert_eq!(sub.row(2), ds.row(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn one_fold_panics() {
+        k_folds(&labeled(10), 1, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! A CART-style decision tree for categorical attributes.
+//!
+//! §V-B2 of the paper trains a scikit-learn decision tree on the COMPAS
+//! demographics to show that a model with acceptable *overall* accuracy can
+//! fail badly on under-covered subgroups. This is the same model family
+//! rebuilt for encoded categorical data: greedy top-down induction, gini
+//! impurity, multiway splits (one branch per attribute value), with depth
+//! and minimum-split-size controls.
+
+use coverage_data::Dataset;
+
+/// Tree induction hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). `usize::MAX` grows until pure.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: usize::MAX,
+            min_samples_split: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prediction: bool,
+    },
+    Split {
+        attribute: usize,
+        /// One child per attribute value.
+        children: Vec<Node>,
+    },
+}
+
+/// A trained binary classifier over encoded categorical rows.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    arity: usize,
+}
+
+/// Gini impurity of a (positives, total) split.
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fits a tree on a labeled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is unlabeled or empty.
+    pub fn fit(dataset: &Dataset, config: &TreeConfig) -> Self {
+        assert!(dataset.is_labeled(), "DecisionTree::fit needs labels");
+        assert!(!dataset.is_empty(), "DecisionTree::fit needs rows");
+        let cards = dataset.schema().cardinalities();
+        let indices: Vec<u32> = (0..dataset.len() as u32).collect();
+        let root = Self::grow(dataset, &cards, &indices, 0, config);
+        Self {
+            root,
+            arity: dataset.arity(),
+        }
+    }
+
+    fn majority(dataset: &Dataset, indices: &[u32]) -> bool {
+        let pos = indices
+            .iter()
+            .filter(|&&i| dataset.label(i as usize) == Some(true))
+            .count();
+        2 * pos >= indices.len()
+    }
+
+    fn grow(
+        dataset: &Dataset,
+        cards: &[u8],
+        indices: &[u32],
+        depth: usize,
+        config: &TreeConfig,
+    ) -> Node {
+        let pos = indices
+            .iter()
+            .filter(|&&i| dataset.label(i as usize) == Some(true))
+            .count();
+        let total = indices.len();
+        let pure = pos == 0 || pos == total;
+        if pure || depth >= config.max_depth || total < config.min_samples_split {
+            return Node::Leaf {
+                prediction: 2 * pos >= total,
+            };
+        }
+
+        // Choose the attribute whose multiway split minimizes weighted gini.
+        let parent_gini = gini(pos, total);
+        let mut best: Option<(f64, usize)> = None;
+        for (attr, &card) in cards.iter().enumerate() {
+            let c = card as usize;
+            let mut pos_by_value = vec![0usize; c];
+            let mut total_by_value = vec![0usize; c];
+            for &i in indices {
+                let v = dataset.row(i as usize)[attr] as usize;
+                total_by_value[v] += 1;
+                if dataset.label(i as usize) == Some(true) {
+                    pos_by_value[v] += 1;
+                }
+            }
+            // A split that puts everything in one branch is useless.
+            if total_by_value.iter().filter(|&&t| t > 0).count() < 2 {
+                continue;
+            }
+            let weighted: f64 = (0..c)
+                .map(|v| gini(pos_by_value[v], total_by_value[v]) * total_by_value[v] as f64)
+                .sum::<f64>()
+                / total as f64;
+            // Zero-gain splits are allowed (as in scikit-learn's default
+            // min_impurity_decrease = 0), which is what lets the tree fit
+            // XOR-like interactions level by level.
+            if weighted <= parent_gini + 1e-12 && best.is_none_or(|(bg, _)| weighted < bg) {
+                best = Some((weighted, attr));
+            }
+        }
+        let Some((_, attribute)) = best else {
+            return Node::Leaf {
+                prediction: 2 * pos >= total,
+            };
+        };
+
+        let c = cards[attribute] as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for &i in indices {
+            buckets[dataset.row(i as usize)[attribute] as usize].push(i);
+        }
+        let fallback = Self::majority(dataset, indices);
+        let children = buckets
+            .into_iter()
+            .map(|bucket| {
+                if bucket.is_empty() {
+                    Node::Leaf {
+                        prediction: fallback,
+                    }
+                } else {
+                    Self::grow(dataset, cards, &bucket, depth + 1, config)
+                }
+            })
+            .collect();
+        Node::Split {
+            attribute,
+            children,
+        }
+    }
+
+    /// Predicts the label of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range values.
+    pub fn predict(&self, row: &[u8]) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prediction } => return *prediction,
+                Node::Split {
+                    attribute,
+                    children,
+                } => node = &children[row[*attribute] as usize],
+            }
+        }
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_all(&self, dataset: &Dataset) -> Vec<bool> {
+        dataset.rows().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { children, .. } => {
+                    1 + children.iter().map(count).sum::<usize>()
+                }
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { children, .. } => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::Schema;
+
+    fn xor_dataset() -> Dataset {
+        // label = A1 XOR A2 — requires depth 2 to fit.
+        let rows: Vec<Vec<u8>> = (0..40).map(|i| vec![(i / 2) % 2, i % 2]).collect();
+        let labels: Vec<bool> = rows.iter().map(|r| (r[0] ^ r[1]) == 1).collect();
+        Dataset::from_labeled_rows(Schema::binary(2).unwrap(), &rows, &labels).unwrap()
+    }
+
+    #[test]
+    fn fits_xor_exactly() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        for i in 0..ds.len() {
+            assert_eq!(tree.predict(ds.row(i)), ds.label(i).unwrap());
+        }
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn depth_limit_forces_underfit() {
+        let ds = xor_dataset();
+        let stump = DecisionTree::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stump.depth(), 0);
+        // A stump on XOR gets exactly half right.
+        let correct = (0..ds.len())
+            .filter(|&i| stump.predict(ds.row(i)) == ds.label(i).unwrap())
+            .count();
+        assert_eq!(correct, ds.len() / 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let rows = vec![vec![0, 0], vec![1, 1], vec![0, 1]];
+        let ds = Dataset::from_labeled_rows(
+            Schema::binary(2).unwrap(),
+            &rows,
+            &[true, true, true],
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.predict(&[1, 0]));
+    }
+
+    #[test]
+    fn multiway_split_on_high_cardinality() {
+        // label = (A1 == 2), A1 ternary.
+        let rows: Vec<Vec<u8>> = (0..30).map(|i| vec![(i % 3) as u8]).collect();
+        let labels: Vec<bool> = rows.iter().map(|r| r[0] == 2).collect();
+        let schema = Schema::with_cardinalities(&[3]).unwrap();
+        let ds = Dataset::from_labeled_rows(schema, &rows, &labels).unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert!(tree.predict(&[2]));
+        assert!(!tree.predict(&[0]));
+        assert!(!tree.predict(&[1]));
+    }
+
+    #[test]
+    fn min_samples_split_stops_growth() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(
+            &ds,
+            &TreeConfig {
+                min_samples_split: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs labels")]
+    fn unlabeled_data_panics() {
+        let ds = Dataset::from_rows(Schema::binary(1).unwrap(), &[vec![0]]).unwrap();
+        DecisionTree::fit(&ds, &TreeConfig::default());
+    }
+
+    #[test]
+    fn unseen_value_uses_majority_fallback() {
+        // Train where A1=2 never occurs; prediction falls back to majority.
+        let schema = Schema::with_cardinalities(&[3, 2]).unwrap();
+        let rows = vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1], vec![0, 0]];
+        let labels = vec![true, true, false, false, true];
+        let ds = Dataset::from_labeled_rows(schema, &rows, &labels).unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        // Majority overall is `true` (3/5): the empty A1=2 branch predicts it.
+        assert!(tree.predict(&[2, 0]));
+    }
+}

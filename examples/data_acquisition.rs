@@ -1,0 +1,82 @@
+//! Remedy lack of coverage by planning the minimum additional data
+//! collection (Problem 2), with a human-in-the-loop validation oracle.
+//!
+//! Pipeline: audit → (expert marks immaterial MUPs / configures validation
+//! rules) → plan for a target maximum covered level λ → apply the plan →
+//! re-audit and verify the guarantee.
+//!
+//! ```text
+//! cargo run --example data_acquisition
+//! ```
+
+use mithra::data::generators::{compas_like, CompasConfig};
+use mithra::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dataset = compas_like(&CompasConfig::default())?;
+    let tau = 10u64;
+    let lambda = 2usize;
+
+    // 1. Audit.
+    let report = CoverageReport::audit(&dataset, Threshold::Count(tau))?;
+    println!(
+        "before: {} MUPs, maximum covered level {}",
+        report.mup_count(),
+        report.maximum_covered_level()
+    );
+
+    // 2. The expert's validation oracle (§V-B3): no `marital = unknown`
+    //    records can be collected, and under-20s must be single.
+    let validation = ValidationOracle::new(vec![
+        ValidationRule::forbid_values(3, vec![6]),
+        ValidationRule::new(vec![(1, vec![0]), (3, vec![1, 2, 3, 4, 5, 6])]),
+    ]);
+
+    // 3. Plan the acquisition: hit every uncovered pattern at level λ.
+    let enhancer = CoverageEnhancer::with_validation(validation);
+    let plan = enhancer.plan_for_level(
+        &GreedyHittingSet,
+        &report.mups,
+        &dataset.schema().cardinalities(),
+        lambda,
+    )?;
+    println!(
+        "plan: {} target pattern(s) at level {lambda}, {} profile(s) to collect",
+        plan.input_size(),
+        plan.output_size()
+    );
+    for (combo, general) in plan.combinations.iter().zip(&plan.generalized) {
+        let human: Vec<String> = combo
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| dataset.schema().attribute(i).value_name(v))
+            .collect();
+        println!("  collect ({})   — any tuple matching {general} works", human.join(", "));
+    }
+
+    // 4. Collect enough copies to close each pattern's deficit to τ, then
+    //    apply. (In real life this is field work; here we synthesize.)
+    let oracle = CoverageReport::oracle_for(&dataset);
+    let copies = plan.required_copies(&oracle, tau);
+    println!(
+        "copies per profile to reach τ = {tau}: {copies:?} ({} tuples total)",
+        copies.iter().sum::<u64>()
+    );
+    plan.apply_to(&mut dataset, &copies)?;
+
+    // 5. Re-audit: no *collectible* uncovered pattern remains at level ≤ λ.
+    let after = CoverageReport::audit(&dataset, Threshold::Count(tau))?;
+    let remaining: Vec<_> = after
+        .mups
+        .iter()
+        .filter(|m| m.level() <= lambda && enhancer.validation.is_valid(m))
+        .collect();
+    println!(
+        "after: {} MUPs; material MUPs at level ≤ {lambda}: {}",
+        after.mup_count(),
+        remaining.len()
+    );
+    assert!(remaining.is_empty(), "enhancement failed: {remaining:?}");
+    println!("coverage level guarantee satisfied ✓");
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! `mithra` — command-line coverage auditing for CSV datasets.
+//!
+//! ```text
+//! mithra audit   <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
+//! mithra enhance <file.csv> --attrs sex,race,age --tau 30 --lambda 2
+//! ```
+//!
+//! `audit` prints the coverage report (MUPs per level, maximum covered
+//! level, decoded patterns); `enhance` additionally plans the minimum data
+//! collection that fixes every uncovered pattern at level λ.
+
+use std::process::ExitCode;
+
+use mithra::data::io::read_csv_auto_path;
+use mithra::prelude::*;
+
+struct Args {
+    command: String,
+    file: String,
+    attrs: Vec<String>,
+    tau: Threshold,
+    lambda: usize,
+    max_level: Option<usize>,
+    limit: usize,
+}
+
+fn usage() -> String {
+    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L"
+        .to_string()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let command = argv.next().ok_or_else(usage)?;
+    if !matches!(command.as_str(), "audit" | "enhance") {
+        return Err(usage());
+    }
+    let file = argv.next().ok_or_else(usage)?;
+    let mut attrs = Vec::new();
+    let mut tau = None;
+    let mut lambda = 2usize;
+    let mut max_level = None;
+    let mut limit = 20usize;
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--attrs" => {
+                attrs = value()?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--tau" => {
+                tau = Some(Threshold::Count(
+                    value()?.parse().map_err(|e| format!("--tau: {e}"))?,
+                ))
+            }
+            "--rate" => {
+                tau = Some(Threshold::Fraction(
+                    value()?.parse().map_err(|e| format!("--rate: {e}"))?,
+                ))
+            }
+            "--lambda" => lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--max-level" => {
+                max_level = Some(value()?.parse().map_err(|e| format!("--max-level: {e}"))?)
+            }
+            "--limit" => limit = value()?.parse().map_err(|e| format!("--limit: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if attrs.is_empty() {
+        return Err("--attrs is required".into());
+    }
+    Ok(Args {
+        command,
+        file,
+        attrs,
+        tau: tau.ok_or("--tau or --rate is required")?,
+        lambda,
+        max_level,
+        limit,
+    })
+}
+
+fn decode(pattern: &Pattern, ds: &Dataset) -> String {
+    let parts: Vec<String> = (0..ds.arity())
+        .filter_map(|i| {
+            pattern.get(i).map(|v| {
+                format!(
+                    "{}={}",
+                    ds.schema().attribute(i).name(),
+                    ds.schema().attribute(i).value_name(v)
+                )
+            })
+        })
+        .collect();
+    if parts.is_empty() {
+        "(anything)".into()
+    } else {
+        parts.join(", ")
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
+    let ds = read_csv_auto_path(&args.file, &attr_refs, None)
+        .map_err(|e| format!("{}: {e}", args.file))?;
+    let algorithm = match args.max_level {
+        Some(l) => DeepDiver::with_max_level(l),
+        None => DeepDiver::default(),
+    };
+    let report = CoverageReport::audit_with(&algorithm, &ds, args.tau)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: {} rows, {} attributes, τ = {}",
+        args.file,
+        ds.len(),
+        ds.arity(),
+        report.tau
+    );
+    println!(
+        "maximal uncovered patterns: {}   maximum covered level: {}/{}",
+        report.mup_count(),
+        report.maximum_covered_level(),
+        report.arity
+    );
+    for (level, &count) in report.level_histogram.iter().enumerate() {
+        if count > 0 {
+            println!("  level {level}: {count}");
+        }
+    }
+    println!("\nmost general MUPs (first {}):", args.limit);
+    for mup in report.mups.iter().take(args.limit) {
+        println!("  {mup}  {}", decode(mup, &ds));
+    }
+
+    if args.command == "enhance" {
+        let plan = CoverageEnhancer::default()
+            .plan_for_level(
+                &GreedyHittingSet,
+                &report.mups,
+                &ds.schema().cardinalities(),
+                args.lambda,
+            )
+            .map_err(|e| e.to_string())?;
+        println!(
+            "\nenhancement for λ = {}: {} uncovered pattern(s) to hit, collect {} profile(s):",
+            args.lambda,
+            plan.input_size(),
+            plan.output_size()
+        );
+        let oracle = CoverageReport::oracle_for(&ds);
+        let copies = plan.required_copies(&oracle, report.tau);
+        for ((combo, general), n) in plan
+            .combinations
+            .iter()
+            .zip(&plan.generalized)
+            .zip(&copies)
+        {
+            let human: Vec<String> = combo
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ds.schema().attribute(i).value_name(v))
+                .collect();
+            println!(
+                "  ({})  × {n} tuples   — any tuple matching {general} counts",
+                human.join(", ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

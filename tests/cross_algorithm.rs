@@ -1,0 +1,104 @@
+//! Cross-algorithm agreement: all five MUP identification algorithms must
+//! return the same set on every dataset.
+
+use mithra::prelude::*;
+
+fn all_algorithms() -> Vec<Box<dyn MupAlgorithm>> {
+    vec![
+        Box::new(NaiveMup::default()),
+        Box::new(PatternBreaker::default()),
+        Box::new(PatternCombiner::default()),
+        Box::new(DeepDiver::default()),
+        Box::new(Apriori::default()),
+    ]
+}
+
+fn assert_all_agree(ds: &Dataset, threshold: Threshold, label: &str) {
+    let algorithms = all_algorithms();
+    let reference = algorithms[0]
+        .find_mups(ds, threshold)
+        .unwrap_or_else(|e| panic!("{label}: reference failed: {e}"));
+    for alg in &algorithms[1..] {
+        let got = alg
+            .find_mups(ds, threshold)
+            .unwrap_or_else(|e| panic!("{label}/{}: failed: {e}", alg.name()));
+        assert_eq!(got, reference, "{label}: {} disagrees", alg.name());
+    }
+}
+
+#[test]
+fn agree_on_airbnb_like_across_thresholds() {
+    let ds = mithra::data::generators::airbnb_like(2_000, 8, 42).unwrap();
+    for tau in [1, 5, 25, 100, 500] {
+        assert_all_agree(&ds, Threshold::Count(tau), &format!("airbnb tau={tau}"));
+    }
+}
+
+#[test]
+fn agree_on_bluenile_like_high_cardinality() {
+    let ds = mithra::data::generators::bluenile_like(3_000, 7)
+        .unwrap()
+        .project(&[0, 1, 4, 6])
+        .unwrap();
+    for tau in [2, 20, 200] {
+        assert_all_agree(&ds, Threshold::Count(tau), &format!("bluenile tau={tau}"));
+    }
+}
+
+#[test]
+fn agree_on_compas_like() {
+    let ds =
+        mithra::data::generators::compas_like(&Default::default()).unwrap();
+    for tau in [10, 50] {
+        assert_all_agree(&ds, Threshold::Count(tau), &format!("compas tau={tau}"));
+    }
+}
+
+#[test]
+fn agree_on_diagonal_worst_case() {
+    let ds = mithra::data::generators::diagonal_dataset(8).unwrap();
+    assert_all_agree(&ds, Threshold::Count(5), "diagonal");
+}
+
+#[test]
+fn agree_on_vertex_cover_reduction() {
+    let ds = mithra::data::generators::vertex_cover_dataset(
+        &mithra::data::generators::SampleGraph::figure1(),
+    )
+    .unwrap();
+    assert_all_agree(&ds, Threshold::Count(3), "vertex-cover");
+}
+
+#[test]
+fn agree_with_fractional_thresholds() {
+    let ds = mithra::data::generators::airbnb_like(1_500, 7, 9).unwrap();
+    for rate in [1e-4, 1e-2, 0.2] {
+        assert_all_agree(&ds, Threshold::Fraction(rate), &format!("rate={rate}"));
+    }
+}
+
+#[test]
+fn level_bounded_variants_agree_with_filtered_full_output() {
+    let ds = mithra::data::generators::bluenile_like(1_000, 3)
+        .unwrap()
+        .project(&[1, 2, 4, 5])
+        .unwrap();
+    let full = DeepDiver::default()
+        .find_mups(&ds, Threshold::Count(15))
+        .unwrap();
+    for max_level in 1..=4 {
+        let expected: Vec<_> = full
+            .iter()
+            .filter(|m| m.level() <= max_level)
+            .cloned()
+            .collect();
+        let dd = DeepDiver::with_max_level(max_level)
+            .find_mups(&ds, Threshold::Count(15))
+            .unwrap();
+        let pb = PatternBreaker::with_max_level(max_level)
+            .find_mups(&ds, Threshold::Count(15))
+            .unwrap();
+        assert_eq!(dd, expected, "DeepDiver max_level={max_level}");
+        assert_eq!(pb, expected, "PatternBreaker max_level={max_level}");
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end pipelines spanning every crate: audit → enhance → re-audit,
+//! CSV round trips, and the coverage-aware classification workflow.
+
+use mithra::prelude::*;
+
+/// The full remediation loop must deliver Problem 2's guarantee: after
+/// applying the plan with deficit-closing copies, no material uncovered
+/// pattern remains at level ≤ λ.
+#[test]
+fn audit_enhance_reaudit_guarantee() {
+    for (seed, tau, lambda) in [(1u64, 8u64, 1usize), (2, 5, 2), (3, 12, 2)] {
+        let base = mithra::data::generators::bluenile_like(400, seed)
+            .unwrap()
+            .project(&[1, 4, 5, 6])
+            .unwrap();
+        let report = CoverageReport::audit(&base, Threshold::Count(tau)).unwrap();
+        if report.mup_count() == 0 {
+            continue;
+        }
+        let plan = CoverageEnhancer::default()
+            .plan_for_level(
+                &GreedyHittingSet,
+                &report.mups,
+                &base.schema().cardinalities(),
+                lambda,
+            )
+            .unwrap();
+        let oracle = CoverageReport::oracle_for(&base);
+        let copies = plan.required_copies(&oracle, tau);
+        let mut enhanced = base.clone();
+        plan.apply_to(&mut enhanced, &copies).unwrap();
+
+        let after = CoverageReport::audit(&enhanced, Threshold::Count(tau)).unwrap();
+        assert!(
+            after.mups.iter().all(|m| m.level() > lambda),
+            "seed={seed}: MUP at level ≤ {lambda} remains: {:?}",
+            after.mups
+        );
+        assert!(after.maximum_covered_level() >= lambda);
+    }
+}
+
+/// Greedy and naïve hitting sets deliver plans of identical size (same
+/// greedy strategy, different machinery).
+#[test]
+fn greedy_and_naive_solvers_agree_on_plan_size() {
+    let ds = mithra::data::generators::airbnb_like(800, 7, 5).unwrap();
+    let report = CoverageReport::audit(&ds, Threshold::Count(20)).unwrap();
+    let cards = ds.schema().cardinalities();
+    for lambda in [1usize, 2, 3] {
+        let fast = CoverageEnhancer::default()
+            .plan_for_level(&GreedyHittingSet, &report.mups, &cards, lambda)
+            .unwrap();
+        let naive = CoverageEnhancer::default()
+            .plan_for_level(&NaiveHittingSet::default(), &report.mups, &cards, lambda)
+            .unwrap();
+        assert_eq!(fast.input_size(), naive.input_size(), "lambda={lambda}");
+        assert_eq!(fast.output_size(), naive.output_size(), "lambda={lambda}");
+    }
+}
+
+/// CSV round trip: write an audited dataset out, read it back, re-audit —
+/// identical MUPs.
+#[test]
+fn csv_roundtrip_preserves_audit() {
+    let ds = mithra::data::generators::compas_like(&Default::default()).unwrap();
+    let before = CoverageReport::audit(&ds, Threshold::Count(10)).unwrap();
+
+    let mut buf = Vec::new();
+    mithra::data::io::write_csv(&mut buf, &ds).unwrap();
+    let back = mithra::data::io::read_csv_auto(
+        buf.as_slice(),
+        &["sex", "age", "race", "marital"],
+        Some("label"),
+    )
+    .unwrap();
+    // Auto-encoding assigns codes in first-seen order, which may differ from
+    // the generator's dictionary — compare through decoded string forms.
+    let decode = |ds: &Dataset, mups: &[Pattern]| -> Vec<String> {
+        let mut out: Vec<String> = mups
+            .iter()
+            .map(|m| {
+                (0..ds.arity())
+                    .map(|i| match m.get(i) {
+                        Some(v) => ds.schema().attribute(i).value_name(v),
+                        None => "*".into(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    let after = CoverageReport::audit(&back, Threshold::Count(10)).unwrap();
+    assert_eq!(decode(&ds, &before.mups), decode(&back, &after.mups));
+}
+
+/// The coverage-aware ML workflow of §V-B: a model trained without a
+/// subgroup underperforms on it; adding subgroup rows recovers accuracy
+/// while overall accuracy stays put.
+#[test]
+fn classifier_subgroup_recovery() {
+    use mithra::data::generators::{FEMALE, HISPANIC};
+    use mithra::ml::{take_rows, train_and_evaluate, TreeConfig};
+
+    let ds = mithra::data::generators::compas_like(&Default::default()).unwrap();
+    let hf: Vec<usize> = (0..ds.len())
+        .filter(|&i| ds.row(i)[2] == HISPANIC && ds.row(i)[0] == FEMALE)
+        .collect();
+    let rest: Vec<usize> = (0..ds.len())
+        .filter(|&i| !(ds.row(i)[2] == HISPANIC && ds.row(i)[0] == FEMALE))
+        .collect();
+    let (test_hf, pool_hf) = hf.split_at(20);
+    let test = take_rows(&ds, test_hf);
+
+    let without = train_and_evaluate(
+        &take_rows(&ds, &rest),
+        &test,
+        &TreeConfig::default(),
+    );
+    let mut with_idx = rest.clone();
+    with_idx.extend_from_slice(pool_hf);
+    let with = train_and_evaluate(&take_rows(&ds, &with_idx), &test, &TreeConfig::default());
+    assert!(
+        with.accuracy() > without.accuracy(),
+        "coverage remediation did not help: {} -> {}",
+        without.accuracy(),
+        with.accuracy()
+    );
+}
+
+/// Value-count variant end to end: every uncovered pattern hiding at least
+/// `v` combinations is hit by the plan.
+#[test]
+fn value_count_variant_end_to_end() {
+    let ds = mithra::data::generators::bluenile_like(300, 11)
+        .unwrap()
+        .project(&[0, 1, 4])
+        .unwrap(); // cards [10, 4, 3]
+    let report = CoverageReport::audit(&ds, Threshold::Count(4)).unwrap();
+    let cards = ds.schema().cardinalities();
+    let min_vc = 12u128;
+    let plan = CoverageEnhancer::default()
+        .plan_for_value_count(&GreedyHittingSet, &report.mups, &cards, min_vc)
+        .unwrap();
+    for t in &plan.targets {
+        assert!(t.value_count(&cards) >= min_vc);
+        assert!(plan.combinations.iter().any(|c| t.matches(c)));
+    }
+}
+
+/// Bucketization + audit: continuous ages become the paper's four buckets
+/// and the audit runs over them.
+#[test]
+fn bucketized_continuous_attribute_pipeline() {
+    let bucketizer = Bucketizer::from_boundaries(vec![20.0, 40.0, 60.0]).unwrap();
+    let ages = [17.0, 25.0, 33.0, 45.0, 52.0, 61.0, 70.0, 38.0, 41.0, 19.0];
+    let schema = Schema::new(vec![
+        bucketizer.to_attribute("age").unwrap(),
+        Attribute::binary("employed"),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for (i, &age) in ages.iter().enumerate() {
+        ds.push_row(&[bucketizer.encode(age), (i % 2) as u8]).unwrap();
+    }
+    let report = CoverageReport::audit(&ds, Threshold::Count(1)).unwrap();
+    // With 10 rows over 8 cells some cells are empty — MUPs exist and all
+    // verify against the oracle.
+    let oracle = CoverageReport::oracle_for(&ds);
+    for m in &report.mups {
+        assert!(oracle.coverage(m.codes()) < 1);
+        for parent in m.parents() {
+            assert!(oracle.coverage(parent.codes()) >= 1);
+        }
+    }
+}

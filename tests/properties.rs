@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) over the core invariants, spanning the
+//! data, index, and core crates.
+
+use mithra::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// A random small dataset: 2–4 attributes of cardinality 2–4, 0–120 rows.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=4, 2u8..=4)
+        .prop_flat_map(|(d, c)| {
+            let rows = proptest::collection::vec(
+                proptest::collection::vec(0..c, d),
+                0..120,
+            );
+            (Just((d, c)), rows)
+        })
+        .prop_map(|((d, c), rows)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            Dataset::from_rows(schema, &rows).unwrap()
+        })
+}
+
+/// A random pattern for a given shape.
+fn pattern_strategy(d: usize, c: u8) -> impl Strategy<Value = Pattern> {
+    proptest::collection::vec(
+        prop_oneof![4 => (0..c).prop_map(Some), 3 => Just(None)],
+        d,
+    )
+    .prop_map(|elems| {
+        Pattern::from_codes(
+            elems
+                .into_iter()
+                .map(|e| e.unwrap_or(mithra::index::X))
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The oracle's coverage equals brute-force counting, and `covered`
+    /// agrees with it for arbitrary thresholds.
+    #[test]
+    fn oracle_matches_brute_force(ds in dataset_strategy(), tau in 0u64..40) {
+        let oracle = CoverageReport::oracle_for(&ds);
+        let c = ds.schema().cardinality(0);
+        let d = ds.arity();
+        let runner = pattern_strategy(d, c);
+        let mut runner_rng = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..10 {
+            let p = runner.new_tree(&mut runner_rng).unwrap().current();
+            let expected = ds.count_where(|row, _| p.matches(row)) as u64;
+            prop_assert_eq!(oracle.coverage(p.codes()), expected);
+            prop_assert_eq!(oracle.covered(p.codes(), tau), expected >= tau);
+        }
+    }
+
+    /// Every reported MUP satisfies Definition 5, the output is an
+    /// antichain, and it is complete (no uncovered pattern escapes
+    /// domination by a reported MUP).
+    #[test]
+    fn mup_definition_invariants(ds in dataset_strategy(), tau in 1u64..30) {
+        let oracle = CoverageReport::oracle_for(&ds);
+        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(tau)).unwrap();
+        // Definition 5 per pattern.
+        for m in &mups {
+            prop_assert!(oracle.coverage(m.codes()) < tau, "{} covered", m);
+            for parent in m.parents() {
+                prop_assert!(oracle.coverage(parent.codes()) >= tau);
+            }
+        }
+        // Antichain.
+        for a in &mups {
+            for b in &mups {
+                prop_assert!(a == b || !a.dominates(b));
+            }
+        }
+        // Completeness: every uncovered pattern is dominated by some MUP
+        // (checked by full enumeration — the spaces are small).
+        let cards = ds.schema().cardinalities();
+        let mut queue = vec![Pattern::all_x(ds.arity())];
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let p = queue[cursor].clone();
+            queue.extend(p.rule1_children(&cards));
+            if oracle.coverage(p.codes()) < tau {
+                prop_assert!(
+                    mups.iter().any(|m| m.dominates(&p)),
+                    "uncovered {} not dominated", p
+                );
+            }
+            cursor += 1;
+        }
+    }
+
+    /// Coverage is monotone: a parent covers at least as much as its child.
+    #[test]
+    fn coverage_monotonicity(ds in dataset_strategy()) {
+        let oracle = CoverageReport::oracle_for(&ds);
+        let c = ds.schema().cardinality(0);
+        let runner = pattern_strategy(ds.arity(), c);
+        let mut rng = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..10 {
+            let p = runner.new_tree(&mut rng).unwrap().current();
+            let cov = oracle.coverage(p.codes());
+            for parent in p.parents() {
+                prop_assert!(oracle.coverage(parent.codes()) >= cov);
+            }
+        }
+    }
+
+    /// The hitting-set output hits every target, and the enhancement raises
+    /// the maximum covered level to at least λ.
+    #[test]
+    fn enhancement_guarantee(ds in dataset_strategy(), tau in 2u64..12, lambda in 1usize..3) {
+        let report = CoverageReport::audit(&ds, Threshold::Count(tau)).unwrap();
+        let cards = ds.schema().cardinalities();
+        let lambda = lambda.min(ds.arity());
+        let plan = CoverageEnhancer::default()
+            .plan_for_level(&GreedyHittingSet, &report.mups, &cards, lambda)
+            .unwrap();
+        for t in &plan.targets {
+            prop_assert!(plan.combinations.iter().any(|c| t.matches(c)));
+        }
+        let oracle = CoverageReport::oracle_for(&ds);
+        let copies = plan.required_copies(&oracle, tau);
+        let mut enhanced = ds.clone();
+        plan.apply_to(&mut enhanced, &copies).unwrap();
+        let after = CoverageReport::audit(&enhanced, Threshold::Count(tau)).unwrap();
+        prop_assert!(after.maximum_covered_level() >= lambda,
+            "max covered level {} < {lambda}", after.maximum_covered_level());
+    }
+
+    /// Rule 1 / Rule 2 generator uniqueness on random shapes: every node's
+    /// generator regenerates it.
+    #[test]
+    fn rule_generators_roundtrip(d in 2usize..5, c in 2u8..4) {
+        let cards = vec![c; d];
+        let runner = pattern_strategy(d, c);
+        let mut rng = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..20 {
+            let p = runner.new_tree(&mut rng).unwrap().current();
+            if let Some(generator) = p.rule1_generator() {
+                prop_assert!(generator.rule1_children(&cards).contains(&p));
+            }
+            if let Some(generator) = p.rule2_generator() {
+                prop_assert!(generator.rule2_parents().contains(&p));
+            }
+        }
+    }
+
+    /// Dominance is consistent with matching: if P dominates Q, every tuple
+    /// matching Q matches P.
+    #[test]
+    fn dominance_implies_match_subset(ds in dataset_strategy()) {
+        let c = ds.schema().cardinality(0);
+        let runner = pattern_strategy(ds.arity(), c);
+        let mut rng = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..10 {
+            let p = runner.new_tree(&mut rng).unwrap().current();
+            let q = runner.new_tree(&mut rng).unwrap().current();
+            if p.dominates(&q) {
+                for row in ds.rows() {
+                    if q.matches(row) {
+                        prop_assert!(p.matches(row));
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All algorithms agree on random datasets (the heaviest property —
+    /// fewer cases).
+    #[test]
+    fn algorithms_agree_on_random_data(ds in dataset_strategy(), tau in 1u64..20) {
+        let reference = NaiveMup::default().find_mups(&ds, Threshold::Count(tau)).unwrap();
+        let algorithms: Vec<Box<dyn MupAlgorithm>> = vec![
+            Box::new(PatternBreaker::default()),
+            Box::new(PatternCombiner::default()),
+            Box::new(DeepDiver::default()),
+            Box::new(Apriori::default()),
+        ];
+        for alg in &algorithms {
+            let got = alg.find_mups(&ds, Threshold::Count(tau)).unwrap();
+            prop_assert_eq!(&got, &reference, "{} disagrees", alg.name());
+        }
+    }
+}
