@@ -59,8 +59,9 @@ fn bench_dominance(c: &mut Criterion) {
 
     c.bench_function("dominance_add_10k", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let patterns: Vec<Vec<u8>> =
-            (0..10_000).map(|_| random_pattern(&mut rng, &cards)).collect();
+        let patterns: Vec<Vec<u8>> = (0..10_000)
+            .map(|_| random_pattern(&mut rng, &cards))
+            .collect();
         b.iter(|| {
             let mut index = MupDominanceIndex::new(&cards);
             for p in &patterns {

@@ -1,4 +1,6 @@
 //! Runs the `fig06_mup_distribution` experiment (see crate docs; `--quick` shrinks it).
 fn main() {
-    coverage_bench::experiments::fig06_mup_distribution::run(coverage_bench::experiments::quick_flag());
+    coverage_bench::experiments::fig06_mup_distribution::run(
+        coverage_bench::experiments::quick_flag(),
+    );
 }

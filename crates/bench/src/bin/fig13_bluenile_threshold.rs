@@ -1,4 +1,6 @@
 //! Runs the `fig13_bluenile_threshold` experiment (see crate docs; `--quick` shrinks it).
 fn main() {
-    coverage_bench::experiments::fig13_bluenile_threshold::run(coverage_bench::experiments::quick_flag());
+    coverage_bench::experiments::fig13_bluenile_threshold::run(
+        coverage_bench::experiments::quick_flag(),
+    );
 }

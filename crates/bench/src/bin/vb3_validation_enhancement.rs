@@ -1,4 +1,6 @@
 //! Runs the `vb3_validation_enhancement` experiment (see crate docs; `--quick` shrinks it).
 fn main() {
-    coverage_bench::experiments::vb3_validation_enhancement::run(coverage_bench::experiments::quick_flag());
+    coverage_bench::experiments::vb3_validation_enhancement::run(
+        coverage_bench::experiments::quick_flag(),
+    );
 }

@@ -1,4 +1,6 @@
 //! Runs the `vertex_cover_reduction` experiment (see crate docs; `--quick` shrinks it).
 fn main() {
-    coverage_bench::experiments::vertex_cover_reduction::run(coverage_bench::experiments::quick_flag());
+    coverage_bench::experiments::vertex_cover_reduction::run(
+        coverage_bench::experiments::quick_flag(),
+    );
 }

@@ -42,9 +42,8 @@ pub fn run(_quick: bool) -> Vec<usize> {
         WIDOWED,
     ]);
     let cov = oracle.coverage(xx23.codes());
-    let reoffenders = ds.count_where(|r, label| {
-        r[2] == HISPANIC && r[3] == WIDOWED && label == Some(true)
-    });
+    let reoffenders =
+        ds.count_where(|r, label| r[2] == HISPANIC && r[3] == WIDOWED && label == Some(true));
     println!(
         "pattern XX23 (widowed Hispanic): coverage = {cov}, re-offenders among them = {reoffenders} (paper: 2 and 2)"
     );

@@ -11,9 +11,7 @@
 //! very noisy, so this harness averages each point over several seeded
 //! splits (the paper's qualitative shape is asserted on the mean).
 
-use coverage_data::generators::{
-    compas_like, CompasConfig, FEMALE, HISPANIC, MALE, OTHER_RACE,
-};
+use coverage_data::generators::{compas_like, CompasConfig, FEMALE, HISPANIC, MALE, OTHER_RACE};
 use coverage_data::Dataset;
 use coverage_ml::{take_rows, train_and_evaluate, TreeConfig};
 use rand::seq::SliceRandom;
@@ -61,8 +59,7 @@ pub fn run(quick: bool) -> Vec<Point> {
         let mut hf: Vec<usize> = indices_where(&ds, |r| r[2] == HISPANIC && r[0] == FEMALE);
         hf.shuffle(&mut rng);
         let (hf_test_idx, hf_pool) = hf.split_at(20);
-        let mut rest: Vec<usize> =
-            indices_where(&ds, |r| !(r[2] == HISPANIC && r[0] == FEMALE));
+        let mut rest: Vec<usize> = indices_where(&ds, |r| !(r[2] == HISPANIC && r[0] == FEMALE));
         rest.shuffle(&mut rng);
         let global_test_len = rest.len() / 5;
         let (global_test_idx, rest_train) = rest.split_at(global_test_len);
@@ -130,11 +127,7 @@ pub fn run(quick: bool) -> Vec<Point> {
     println!("overall accuracy flat (~0.76), overall f1 flat (~0.70)\n");
 
     let mut ablation = Table::new(&["group removed", "accuracy (mean)", "paper"]);
-    ablation.row(&[
-        "Female-Other (FO)".into(),
-        f3(fo_sum / r),
-        "0.39".into(),
-    ]);
+    ablation.row(&["Female-Other (FO)".into(), f3(fo_sum / r), "0.39".into()]);
     ablation.row(&["Male-Other (MO)".into(), f3(mo_sum / r), "0.59".into()]);
     points
 }

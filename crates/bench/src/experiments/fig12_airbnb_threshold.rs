@@ -28,12 +28,7 @@ pub struct Point {
 }
 
 /// Runs one algorithm at one rate against a prebuilt oracle.
-pub fn measure(
-    alg: &dyn MupAlgorithm,
-    oracle: &CoverageOracle,
-    n: u64,
-    rate: f64,
-) -> Point {
+pub fn measure(alg: &dyn MupAlgorithm, oracle: &CoverageOracle, n: u64, rate: f64) -> Point {
     let tau = Threshold::Fraction(rate).resolve(n).expect("valid rate");
     let (result, seconds) = timed(|| alg.find_mups_with_oracle(oracle, tau));
     match result {

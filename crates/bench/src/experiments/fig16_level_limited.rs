@@ -37,7 +37,11 @@ pub fn run(quick: bool) -> Vec<Point> {
         "Fig 16",
         &format!("Level-bounded DeepDiver vs dimensions (n={n}, tau={rate})"),
     );
-    let dims: &[usize] = if quick { &[10, 20] } else { &[10, 15, 20, 25, 30, 35] };
+    let dims: &[usize] = if quick {
+        &[10, 20]
+    } else {
+        &[10, 15, 20, 25, 30, 35]
+    };
     let levels: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
     let d_max = *dims.last().expect("non-empty");
     let (full, gen_s) = timed(|| airbnb_like(n, d_max, 2019).expect("generator"));
@@ -56,12 +60,7 @@ pub fn run(quick: bool) -> Vec<Point> {
             .expect("valid rate");
         for &ml in levels {
             if blown.contains(&ml) {
-                table.row(&[
-                    d.to_string(),
-                    ml.to_string(),
-                    "skipped".into(),
-                    "-".into(),
-                ]);
+                table.row(&[d.to_string(), ml.to_string(), "skipped".into(), "-".into()]);
                 points.push(Point {
                     d,
                     max_level: ml,

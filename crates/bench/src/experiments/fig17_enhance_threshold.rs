@@ -57,9 +57,8 @@ pub fn run(quick: bool) -> Vec<Point> {
             .expect("mups");
         for &lambda in lambdas {
             // GREEDY (the paper's efficient implementation).
-            let (plan, s) = timed(|| {
-                enhancer.plan_for_level(&GreedyHittingSet, &mups, &cards, lambda)
-            });
+            let (plan, s) =
+                timed(|| enhancer.plan_for_level(&GreedyHittingSet, &mups, &cards, lambda));
             let p = match plan {
                 Ok(plan) => Point {
                     rate,
@@ -92,8 +91,7 @@ pub fn run(quick: bool) -> Vec<Point> {
             // it appears once).
             if lambda == 3 && !naive_blown {
                 let naive = NaiveHittingSet::default();
-                let (plan, s) =
-                    timed(|| enhancer.plan_for_level(&naive, &mups, &cards, lambda));
+                let (plan, s) = timed(|| enhancer.plan_for_level(&naive, &mups, &cards, lambda));
                 let p = match plan {
                     Ok(plan) => Point {
                         rate,

@@ -40,7 +40,11 @@ pub fn run(quick: bool) -> Vec<Point> {
         "Figs 18+19",
         &format!("Coverage enhancement vs dimensions (AirBnB-like, n={n}, tau={rate})"),
     );
-    let dims: &[usize] = if quick { &[5, 10, 15] } else { &[5, 10, 15, 20, 25, 30, 35] };
+    let dims: &[usize] = if quick {
+        &[5, 10, 15]
+    } else {
+        &[5, 10, 15, 20, 25, 30, 35]
+    };
     let lambdas: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6] };
     let d_max = *dims.last().expect("non-empty");
     let (full, _) = timed(|| airbnb_like(n, d_max, 2019).expect("generator"));
@@ -79,9 +83,8 @@ pub fn run(quick: bool) -> Vec<Point> {
                 });
                 continue;
             }
-            let (plan, s) = timed(|| {
-                enhancer.plan_for_level(&GreedyHittingSet, &mups, &cards, lambda)
-            });
+            let (plan, s) =
+                timed(|| enhancer.plan_for_level(&GreedyHittingSet, &mups, &cards, lambda));
             let p = match plan {
                 Ok(plan) => Point {
                     d,

@@ -19,7 +19,14 @@ pub fn run(quick: bool) -> Vec<(usize, usize, u64)> {
         "Diagonal worst case: |MUPs| = n + C(n, n/2) > 2^n at tau = n/2 + 1",
     );
     let sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 12, 16] };
-    let mut table = Table::new(&["n", "expected MUPs", "measured", "DeepDiver", "Breaker", "Combiner"]);
+    let mut table = Table::new(&[
+        "n",
+        "expected MUPs",
+        "measured",
+        "DeepDiver",
+        "Breaker",
+        "Combiner",
+    ]);
     let mut out = Vec::new();
     for &n in sizes {
         let ds = diagonal_dataset(n).expect("diagonal");

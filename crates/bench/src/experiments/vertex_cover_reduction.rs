@@ -21,7 +21,11 @@ pub fn run(_quick: bool) -> (usize, usize, usize) {
     let mups = DeepDiver::default()
         .find_mups(&ds, Threshold::Count(VERTEX_COVER_TAU))
         .expect("mups");
-    println!("dataset: {} rows x {} edge-attributes", ds.len(), ds.arity());
+    println!(
+        "dataset: {} rows x {} edge-attributes",
+        ds.len(),
+        ds.arity()
+    );
     println!(
         "MUPs ({}): {}",
         mups.len(),
@@ -46,7 +50,11 @@ pub fn run(_quick: bool) -> (usize, usize, usize) {
         let combo: Vec<u8> = (0..ds.arity()).map(|i| ((bits >> i) & 1) as u8).collect();
         if !allowed.contains(&combo) {
             rules.push(ValidationRule::new(
-                combo.iter().enumerate().map(|(i, &v)| (i, vec![v])).collect(),
+                combo
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i, vec![v]))
+                    .collect(),
             ));
         }
     }
@@ -59,7 +67,11 @@ pub fn run(_quick: bool) -> (usize, usize, usize) {
     );
     for c in &restricted.combinations {
         let vertex = allowed.iter().position(|a| a == c).expect("vertex tuple");
-        println!("  collect incidence vector of vertex v{}: {:?}", vertex + 1, c);
+        println!(
+            "  collect incidence vector of vertex v{}: {:?}",
+            vertex + 1,
+            c
+        );
     }
     (mups.len(), free.output_size(), restricted.output_size())
 }

@@ -66,10 +66,12 @@ mod tests {
 
     /// Example 2's MUP set (Fig 8) over cardinalities [2, 3, 3, 2, 2].
     fn example2_mups() -> Vec<Pattern> {
-        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X"]
-            .iter()
-            .map(|s| Pattern::parse(s).unwrap())
-            .collect()
+        [
+            "XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X",
+        ]
+        .iter()
+        .map(|s| Pattern::parse(s).unwrap())
+        .collect()
     }
 
     const EX2_CARDS: [u8; 5] = [2, 3, 3, 2, 2];
@@ -102,7 +104,9 @@ mod tests {
         let targets = uncovered_patterns_at_level(&example2_mups(), &EX2_CARDS, 3);
         let strs: HashSet<String> = targets.iter().map(|p| p.to_string()).collect();
         assert!(strs.contains("1X11X"));
-        for expected in ["0X01X", "1X01X", "X001X", "X101X", "X201X", "XX010", "XX011"] {
+        for expected in [
+            "0X01X", "1X01X", "X001X", "X101X", "X201X", "XX010", "XX011",
+        ] {
             assert!(strs.contains(expected), "missing {expected}");
         }
         // P7 (level 3) is now included as its own descendant.
@@ -133,9 +137,7 @@ mod tests {
         assert_eq!(t12.len(), 1);
         let t6 = uncovered_patterns_with_value_count(&mups, &EX2_CARDS, 6);
         assert!(t6.len() > 1);
-        assert!(t6
-            .iter()
-            .all(|p| p.value_count(&EX2_CARDS) >= 6));
+        assert!(t6.iter().all(|p| p.value_count(&EX2_CARDS) >= 6));
         // Every target is dominated by the MUP.
         assert!(t6.iter().all(|p| mups[0].dominates(p)));
     }

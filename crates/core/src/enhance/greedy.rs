@@ -143,11 +143,10 @@ impl HittingSetSolver for GreedyHittingSet {
             let Some(combo) = search.best_combo else {
                 // Every remaining pattern is matched only by invalid
                 // combinations — surface them instead of looping forever.
-                let remaining = filter
-                    .iter_ones()
-                    .map(|j| targets[j].to_string())
-                    .collect();
-                return Err(CoverageError::Unhittable { patterns: remaining });
+                let remaining = filter.iter_ones().map(|j| targets[j].to_string()).collect();
+                return Err(CoverageError::Unhittable {
+                    patterns: remaining,
+                });
             };
             // Clear the freshly hit patterns from the filter.
             let mut hits = filter.clone();
@@ -190,7 +189,12 @@ mod tests {
         let combos = solver
             .solve(&targets, &EX2_CARDS, &ValidationOracle::accept_all())
             .unwrap();
-        assert_eq!(hit_count(&combos[0], &targets), 3, "first pick {:?}", combos[0]);
+        assert_eq!(
+            hit_count(&combos[0], &targets),
+            3,
+            "first pick {:?}",
+            combos[0]
+        );
     }
 
     #[test]
@@ -266,7 +270,9 @@ mod tests {
             4,
             vec![0],
         )]);
-        let combos = GreedyHittingSet.solve(&targets, &EX2_CARDS, &oracle).unwrap();
+        let combos = GreedyHittingSet
+            .solve(&targets, &EX2_CARDS, &oracle)
+            .unwrap();
         for c in &combos {
             assert_ne!(c[4], 0, "validation violated by {c:?}");
         }

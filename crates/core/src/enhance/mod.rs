@@ -187,8 +187,7 @@ impl CoverageEnhancer {
         cardinalities: &[u8],
         min_value_count: u128,
     ) -> Result<EnhancementPlan> {
-        let mut targets =
-            uncovered_patterns_with_value_count(mups, cardinalities, min_value_count);
+        let mut targets = uncovered_patterns_with_value_count(mups, cardinalities, min_value_count);
         targets.retain(|p| self.validation.is_valid(p));
         let combinations = solver.solve(&targets, cardinalities, &self.validation)?;
         Ok(EnhancementPlan::build(targets, combinations))
@@ -203,10 +202,12 @@ mod tests {
     use coverage_data::generators::{vertex_cover_dataset, SampleGraph, VERTEX_COVER_TAU};
 
     fn example2_mups() -> Vec<Pattern> {
-        ["XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X"]
-            .iter()
-            .map(|s| Pattern::parse(s).unwrap())
-            .collect()
+        [
+            "XX01X", "1X20X", "XXXX1", "02XXX", "XX11X", "111XX", "X020X",
+        ]
+        .iter()
+        .map(|s| Pattern::parse(s).unwrap())
+        .collect()
     }
 
     const EX2_CARDS: [u8; 5] = [2, 3, 3, 2, 2];

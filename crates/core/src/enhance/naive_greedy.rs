@@ -75,10 +75,7 @@ impl HittingSetSolver for NaiveHittingSet {
             let mut best_count = 0usize;
             let mut best: Option<&Vec<u8>> = None;
             for combo in &combos {
-                let count = unhit
-                    .iter()
-                    .filter(|&&j| targets[j].matches(combo))
-                    .count();
+                let count = unhit.iter().filter(|&&j| targets[j].matches(combo)).count();
                 if count > best_count {
                     best_count = count;
                     best = Some(combo);
@@ -143,9 +140,10 @@ mod tests {
     #[test]
     fn respects_validation_oracle() {
         let targets = p1_to_p6();
-        let oracle = ValidationOracle::new(vec![
-            crate::validation::ValidationRule::forbid_values(4, vec![0]),
-        ]);
+        let oracle = ValidationOracle::new(vec![crate::validation::ValidationRule::forbid_values(
+            4,
+            vec![0],
+        )]);
         let combos = NaiveHittingSet::default()
             .solve(&targets, &EX2_CARDS, &oracle)
             .unwrap();
@@ -155,9 +153,10 @@ mod tests {
     #[test]
     fn unhittable_is_reported() {
         let targets = p1_to_p6();
-        let oracle = ValidationOracle::new(vec![
-            crate::validation::ValidationRule::forbid_values(2, vec![2]),
-        ]);
+        let oracle = ValidationOracle::new(vec![crate::validation::ValidationRule::forbid_values(
+            2,
+            vec![2],
+        )]);
         assert!(matches!(
             NaiveHittingSet::default().solve(&targets, &EX2_CARDS, &oracle),
             Err(CoverageError::Unhittable { .. })

@@ -38,7 +38,10 @@ impl fmt::Display for CoverageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoverageError::ArityMismatch { pattern, expected } => {
-                write!(f, "pattern arity {pattern} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "pattern arity {pattern} does not match schema arity {expected}"
+                )
             }
             CoverageError::SearchSpaceTooLarge {
                 algorithm,

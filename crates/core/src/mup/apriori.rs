@@ -37,7 +37,12 @@ impl Default for Apriori {
 /// An item id encodes (attribute, value) through the offset table.
 type Item = u32;
 
-fn itemset_to_codes(itemset: &[Item], item_attr: &[usize], item_value: &[u8], d: usize) -> Option<Vec<u8>> {
+fn itemset_to_codes(
+    itemset: &[Item],
+    item_attr: &[usize],
+    item_value: &[u8],
+    d: usize,
+) -> Option<Vec<u8>> {
     let mut codes = vec![X; d];
     for &item in itemset {
         let a = item_attr[item as usize];
@@ -110,8 +115,7 @@ impl MupAlgorithm for Apriori {
             // with a common prefix form contiguous blocks — the join is
             // quadratic only within a block, not across all of L_k.
             frequent.sort_unstable();
-            let frequent_set: FxHashSet<&[Item]> =
-                frequent.iter().map(Vec::as_slice).collect();
+            let frequent_set: FxHashSet<&[Item]> = frequent.iter().map(Vec::as_slice).collect();
             let mut candidates: Vec<Vec<Item>> = Vec::new();
             let mut block_start = 0;
             while block_start < frequent.len() {
@@ -159,9 +163,7 @@ impl MupAlgorithm for Apriori {
             for cand in candidates {
                 if frequent_check(&cand) {
                     next_frequent.push(cand);
-                } else if let Some(codes) =
-                    itemset_to_codes(&cand, &item_attr, &item_value, d)
-                {
+                } else if let Some(codes) = itemset_to_codes(&cand, &item_attr, &item_value, d) {
                     mups.push(Pattern::from_codes(codes));
                 }
             }
@@ -193,7 +195,9 @@ mod tests {
     #[test]
     fn root_mup_when_dataset_too_small() {
         let ds = coverage_data::generators::airbnb_like(5, 4, 0).unwrap();
-        let mups = Apriori::default().find_mups(&ds, Threshold::Count(10)).unwrap();
+        let mups = Apriori::default()
+            .find_mups(&ds, Threshold::Count(10))
+            .unwrap();
         assert_eq!(mups.len(), 1);
         assert_eq!(mups[0].level(), 0);
     }
@@ -204,12 +208,12 @@ mod tests {
         // the invalid itemset {A1=0, A1=1}, which must not appear as a MUP.
         let ds = coverage_data::Dataset::from_rows(
             coverage_data::Schema::binary(2).unwrap(),
-            &(0..20)
-                .map(|i| vec![(i % 2) as u8, 0])
-                .collect::<Vec<_>>(),
+            &(0..20).map(|i| vec![(i % 2) as u8, 0]).collect::<Vec<_>>(),
         )
         .unwrap();
-        let mups = Apriori::default().find_mups(&ds, Threshold::Count(3)).unwrap();
+        let mups = Apriori::default()
+            .find_mups(&ds, Threshold::Count(3))
+            .unwrap();
         for m in &mups {
             // Every reported pattern has at most one value per attribute by
             // construction; verify it satisfies Definition 5 too.

@@ -39,7 +39,9 @@ impl MupAlgorithm for PatternCombiner {
     fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
         let cards = oracle.cardinalities().to_vec();
         let d = cards.len();
-        let space: u128 = cards.iter().fold(1u128, |a, &c| a.saturating_mul(c as u128));
+        let space: u128 = cards
+            .iter()
+            .fold(1u128, |a, &c| a.saturating_mul(c as u128));
         if space > self.max_combinations {
             return Err(CoverageError::SearchSpaceTooLarge {
                 algorithm: "PatternCombiner",
@@ -55,10 +57,7 @@ impl MupAlgorithm for PatternCombiner {
         // combinations come from the aggregation; absent ones count 0.
         // Patterns are keyed by their raw code slices (X = 0xFF) so the hot
         // loops can probe the maps without allocating.
-        let present: FxHashMap<&[u8], u64> = oracle
-            .combinations()
-            .iter()
-            .collect();
+        let present: FxHashMap<&[u8], u64> = oracle.combinations().iter().collect();
         let mut count: FxHashMap<Box<[u8]>, u64> = FxHashMap::default();
         let mut odometer = vec![0u8; d];
         loop {
@@ -194,7 +193,9 @@ mod tests {
 
     #[test]
     fn refuses_huge_bottom_levels() {
-        let guard = PatternCombiner { max_combinations: 4 };
+        let guard = PatternCombiner {
+            max_combinations: 4,
+        };
         let ds = coverage_data::generators::airbnb_like(50, 4, 0).unwrap();
         assert!(matches!(
             guard.find_mups(&ds, Threshold::Count(1)),

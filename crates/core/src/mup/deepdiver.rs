@@ -153,23 +153,25 @@ mod tests {
         let n = 8usize;
         let ds = coverage_data::generators::diagonal_dataset(n).unwrap();
         let tau = (n / 2 + 1) as u64;
-        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(tau)).unwrap();
-        let choose = |n: u64, k: u64| -> u64 {
-            (1..=k).fold(1u64, |acc, i| acc * (n - i + 1) / i)
-        };
+        let mups = DeepDiver::default()
+            .find_mups(&ds, Threshold::Count(tau))
+            .unwrap();
+        let choose = |n: u64, k: u64| -> u64 { (1..=k).fold(1u64, |acc, i| acc * (n - i + 1) / i) };
         let expected = n as u64 + choose(n as u64, n as u64 / 2);
         assert_eq!(mups.len() as u64, expected);
         // All single-1 level-1 patterns are MUPs.
-        let ones = mups.iter().filter(|p| {
-            p.level() == 1 && (0..n).any(|i| p.get(i) == Some(1))
-        });
+        let ones = mups
+            .iter()
+            .filter(|p| p.level() == 1 && (0..n).any(|i| p.get(i) == Some(1)));
         assert_eq!(ones.count(), n);
     }
 
     #[test]
     fn empty_dataset_root_is_mup() {
         let ds = coverage_data::Dataset::new(coverage_data::Schema::binary(5).unwrap());
-        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(1)).unwrap();
+        let mups = DeepDiver::default()
+            .find_mups(&ds, Threshold::Count(1))
+            .unwrap();
         assert_eq!(mups.len(), 1);
         assert_eq!(mups[0].level(), 0);
     }
@@ -177,7 +179,9 @@ mod tests {
     #[test]
     fn output_is_an_antichain() {
         let ds = coverage_data::generators::airbnb_like(400, 8, 12).unwrap();
-        let mups = DeepDiver::default().find_mups(&ds, Threshold::Count(12)).unwrap();
+        let mups = DeepDiver::default()
+            .find_mups(&ds, Threshold::Count(12))
+            .unwrap();
         for a in &mups {
             for b in &mups {
                 if a != b {

@@ -108,8 +108,6 @@ pub(crate) mod test_support {
             all.extend(p.rule1_children(&cards));
             cursor += 1;
         }
-        all.into_iter()
-            .filter(|p| is_mup(oracle, p, tau))
-            .collect()
+        all.into_iter().filter(|p| is_mup(oracle, p, tau)).collect()
     }
 }

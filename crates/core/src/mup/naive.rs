@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn zero_threshold_yields_no_mups() {
         let ds = crate::mup::test_support::example1();
-        let mups = NaiveMup::default().find_mups(&ds, Threshold::Count(0)).unwrap();
+        let mups = NaiveMup::default()
+            .find_mups(&ds, Threshold::Count(0))
+            .unwrap();
         assert!(mups.is_empty());
     }
 

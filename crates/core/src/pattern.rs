@@ -92,10 +92,7 @@ impl Pattern {
     /// Whether the tuple `t` matches this pattern (Equation 1).
     pub fn matches(&self, t: &[u8]) -> bool {
         debug_assert_eq!(t.len(), self.codes.len());
-        self.codes
-            .iter()
-            .zip(t)
-            .all(|(&p, &v)| p == X || p == v)
+        self.codes.iter().zip(t).all(|(&p, &v)| p == X || p == v)
     }
 
     /// Whether `self` dominates `other`: `other` can be obtained from `self`
@@ -348,8 +345,7 @@ mod tests {
         assert_eq!(parents, vec!["XX1"]);
 
         let p = Pattern::parse("000").unwrap();
-        let mut parents: Vec<String> =
-            p.rule2_parents().iter().map(|q| q.to_string()).collect();
+        let mut parents: Vec<String> = p.rule2_parents().iter().map(|q| q.to_string()).collect();
         parents.sort();
         assert_eq!(parents, vec!["00X", "0X0", "X00"]);
     }
@@ -391,7 +387,10 @@ mod tests {
         // Paper: P = X1X0 over binary attributes → c_AP = 2 × 2 = 4.
         let p = Pattern::parse("X1X0").unwrap();
         assert_eq!(p.value_count(&[2, 2, 2, 2]), 4);
-        assert_eq!(Pattern::parse("1010").unwrap().value_count(&[2, 2, 2, 2]), 1);
+        assert_eq!(
+            Pattern::parse("1010").unwrap().value_count(&[2, 2, 2, 2]),
+            1
+        );
         assert_eq!(Pattern::all_x(3).value_count(&[10, 4, 7]), 280);
     }
 

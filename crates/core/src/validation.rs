@@ -44,9 +44,10 @@ impl ValidationRule {
     /// deterministic in `P` with a value in the clause's set.
     pub fn satisfied_by(&self, pattern: &Pattern) -> bool {
         !self.clauses.is_empty()
-            && self.clauses.iter().all(|(attr, values)| {
-                pattern.get(*attr).is_some_and(|v| values.contains(&v))
-            })
+            && self
+                .clauses
+                .iter()
+                .all(|(attr, values)| pattern.get(*attr).is_some_and(|v| values.contains(&v)))
     }
 
     /// Prefix variant used during the greedy tree descent: the first

@@ -35,11 +35,42 @@ const P_ONE: [f64; 12] = [
 const CORRELATION: f64 = 0.25;
 
 const AMENITIES: [&str; 36] = [
-    "tv", "internet", "wifi", "hot_tub", "kitchen", "heating", "washer", "gym", "dryer",
-    "essentials", "shampoo", "hangers", "iron", "pool", "laptop_ws", "fireplace", "doorman",
-    "elevator", "parking", "breakfast", "pets_ok", "family_ok", "events_ok", "smoking_ok",
-    "wheelchair", "aircon", "smoke_alarm", "co_alarm", "first_aid", "safety_card",
-    "extinguisher", "self_checkin", "lockbox", "private_bath", "balcony", "crib",
+    "tv",
+    "internet",
+    "wifi",
+    "hot_tub",
+    "kitchen",
+    "heating",
+    "washer",
+    "gym",
+    "dryer",
+    "essentials",
+    "shampoo",
+    "hangers",
+    "iron",
+    "pool",
+    "laptop_ws",
+    "fireplace",
+    "doorman",
+    "elevator",
+    "parking",
+    "breakfast",
+    "pets_ok",
+    "family_ok",
+    "events_ok",
+    "smoking_ok",
+    "wheelchair",
+    "aircon",
+    "smoke_alarm",
+    "co_alarm",
+    "first_aid",
+    "safety_card",
+    "extinguisher",
+    "self_checkin",
+    "lockbox",
+    "private_bath",
+    "balcony",
+    "crib",
 ];
 
 /// Generates an AirBnB-like boolean dataset with `n` rows and `d` attributes.

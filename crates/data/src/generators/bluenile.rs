@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(bluenile_like(50, 9).unwrap(), bluenile_like(50, 9).unwrap());
-        assert_ne!(bluenile_like(50, 9).unwrap(), bluenile_like(50, 10).unwrap());
+        assert_ne!(
+            bluenile_like(50, 9).unwrap(),
+            bluenile_like(50, 10).unwrap()
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ mod constructions;
 pub use airbnb::{airbnb_like, AIRBNB_MAX_ATTRIBUTES};
 pub use bluenile::{bluenile_like, BLUENILE_CARDINALITIES, BLUENILE_ROWS};
 pub use compas::{
-    compas_like, compas_schema, CompasConfig, COMPAS_ROWS, HISPANIC, FEMALE, MALE, OTHER_RACE,
+    compas_like, compas_schema, CompasConfig, COMPAS_ROWS, FEMALE, HISPANIC, MALE, OTHER_RACE,
     WIDOWED,
 };
 pub use constructions::{diagonal_dataset, vertex_cover_dataset, SampleGraph, VERTEX_COVER_TAU};

@@ -30,12 +30,10 @@ fn parse_label(raw: &str) -> Result<bool> {
 ///
 /// Columns are matched to attributes **by header name**; extra columns are
 /// ignored. When `label_column` is given, that column populates the labels.
-pub fn read_csv<R: Read>(
-    reader: R,
-    schema: Schema,
-    label_column: Option<&str>,
-) -> Result<Dataset> {
-    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+pub fn read_csv<R: Read>(reader: R, schema: Schema, label_column: Option<&str>) -> Result<Dataset> {
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .from_reader(reader);
     let headers = rdr.headers()?.clone();
     let col_of = |name: &str| -> Result<usize> {
         headers
@@ -85,7 +83,9 @@ pub fn read_csv_auto<R: Read>(
     attribute_columns: &[&str],
     label_column: Option<&str>,
 ) -> Result<Dataset> {
-    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .from_reader(reader);
     let headers = rdr.headers()?.clone();
     let col_of = |name: &str| -> Result<usize> {
         headers
@@ -182,7 +182,11 @@ pub fn read_csv_auto_path(
     label_column: Option<&str>,
 ) -> Result<Dataset> {
     let file = std::fs::File::open(path)?;
-    read_csv_auto(std::io::BufReader::new(file), attribute_columns, label_column)
+    read_csv_auto(
+        std::io::BufReader::new(file),
+        attribute_columns,
+        label_column,
+    )
 }
 
 /// Convenience wrapper over [`write_csv`] for a file path.

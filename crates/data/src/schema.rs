@@ -238,8 +238,8 @@ mod tests {
 
     #[test]
     fn attribute_dictionary_roundtrip() {
-        let a = Attribute::with_values("race", ["African-American", "Caucasian", "Hispanic"])
-            .unwrap();
+        let a =
+            Attribute::with_values("race", ["African-American", "Caucasian", "Hispanic"]).unwrap();
         assert_eq!(a.cardinality(), 3);
         assert_eq!(a.code_of("Hispanic").unwrap(), 2);
         assert_eq!(a.value_name(1), "Caucasian");

@@ -115,8 +115,7 @@ mod tests {
         let u = UniqueCombinations::from_dataset(&ds);
         assert_eq!(u.len(), 4);
         assert_eq!(u.total(), 5);
-        let mut pairs: Vec<(Vec<u8>, u64)> =
-            u.iter().map(|(c, n)| (c.to_vec(), n)).collect();
+        let mut pairs: Vec<(Vec<u8>, u64)> = u.iter().map(|(c, n)| (c.to_vec(), n)).collect();
         pairs.sort();
         assert_eq!(
             pairs,

@@ -160,13 +160,10 @@ impl BitVec {
     /// Iterates over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            std::iter::successors(
-                if word == 0 { None } else { Some(word) },
-                |w| {
-                    let w = w & (w - 1);
-                    (w != 0).then_some(w)
-                },
-            )
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let w = w & (w - 1);
+                (w != 0).then_some(w)
+            })
             .map(move |w| wi * WORD_BITS + w.trailing_zeros() as usize)
         })
     }

@@ -46,7 +46,10 @@ impl MupDominanceIndex {
         let v = if code == X {
             c as usize
         } else {
-            assert!(code < c, "value {code} out of range for attribute {attribute}");
+            assert!(
+                code < c,
+                "value {code} out of range for attribute {attribute}"
+            );
             code as usize
         };
         self.offsets[attribute] + v

@@ -180,9 +180,9 @@ mod tests {
             vec![0, 0, 0, 0, 0, 0],
         ];
         for p in patterns {
-            let expected = ds.count_where(|row, _| {
-                row.iter().zip(&p).all(|(&r, &pv)| pv == X || pv == r)
-            }) as u64;
+            let expected = ds
+                .count_where(|row, _| row.iter().zip(&p).all(|(&r, &pv)| pv == X || pv == r))
+                as u64;
             assert_eq!(oracle.coverage(&p), expected, "pattern {p:?}");
         }
     }

@@ -23,11 +23,7 @@ use coverage_data::Dataset;
 
 /// Trains on `train`, evaluates on `test`, and returns the confusion matrix
 /// — the one-line harness used throughout the Fig 11 experiment.
-pub fn train_and_evaluate(
-    train: &Dataset,
-    test: &Dataset,
-    config: &TreeConfig,
-) -> ConfusionMatrix {
+pub fn train_and_evaluate(train: &Dataset, test: &Dataset, config: &TreeConfig) -> ConfusionMatrix {
     let tree = DecisionTree::fit(train, config);
     let predicted = tree.predict_all(test);
     ConfusionMatrix::from_predictions(&predicted, test.labels())

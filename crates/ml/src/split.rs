@@ -51,12 +51,7 @@ pub fn k_folds(dataset: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)
     indices.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
     let mut folds = Vec::with_capacity(k);
     for f in 0..k {
-        let test_idx: Vec<usize> = indices
-            .iter()
-            .copied()
-            .skip(f)
-            .step_by(k)
-            .collect();
+        let test_idx: Vec<usize> = indices.iter().copied().skip(f).step_by(k).collect();
         let train_idx: Vec<usize> = indices
             .iter()
             .copied()
@@ -64,7 +59,10 @@ pub fn k_folds(dataset: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)
             .filter(|(pos, _)| pos % k != f)
             .map(|(_, i)| i)
             .collect();
-        folds.push((take_rows(dataset, &train_idx), take_rows(dataset, &test_idx)));
+        folds.push((
+            take_rows(dataset, &train_idx),
+            take_rows(dataset, &test_idx),
+        ));
     }
     folds
 }

@@ -188,9 +188,7 @@ impl DecisionTree {
         fn count(n: &Node) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Split { children, .. } => {
-                    1 + children.iter().map(count).sum::<usize>()
-                }
+                Node::Split { children, .. } => 1 + children.iter().map(count).sum::<usize>(),
             }
         }
         count(&self.root)
@@ -201,9 +199,7 @@ impl DecisionTree {
         fn depth(n: &Node) -> usize {
             match n {
                 Node::Leaf { .. } => 0,
-                Node::Split { children, .. } => {
-                    1 + children.iter().map(depth).max().unwrap_or(0)
-                }
+                Node::Split { children, .. } => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
         depth(&self.root)
@@ -253,12 +249,8 @@ mod tests {
     #[test]
     fn pure_node_becomes_leaf() {
         let rows = vec![vec![0, 0], vec![1, 1], vec![0, 1]];
-        let ds = Dataset::from_labeled_rows(
-            Schema::binary(2).unwrap(),
-            &rows,
-            &[true, true, true],
-        )
-        .unwrap();
+        let ds = Dataset::from_labeled_rows(Schema::binary(2).unwrap(), &rows, &[true, true, true])
+            .unwrap();
         let tree = DecisionTree::fit(&ds, &TreeConfig::default());
         assert_eq!(tree.node_count(), 1);
         assert!(tree.predict(&[1, 0]));

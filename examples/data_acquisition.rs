@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .enumerate()
             .map(|(i, &v)| dataset.schema().attribute(i).value_name(v))
             .collect();
-        println!("  collect ({})   — any tuple matching {general} works", human.join(", "));
+        println!(
+            "  collect ({})   — any tuple matching {general} works",
+            human.join(", ")
+        );
     }
 
     // 4. Collect enough copies to close each pattern's deficit to τ, then

@@ -24,10 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{line}");
     println!("{:^width$}", "DATASET NUTRITIONAL LABEL — COVERAGE");
     println!("{line}");
-    println!("rows: {:<12} attributes of interest: {}", report.n, report.arity);
+    println!(
+        "rows: {:<12} attributes of interest: {}",
+        report.n, report.arity
+    );
     println!("coverage threshold: {} tuples (0.05% of rows)", report.tau);
     println!("{}", "-".repeat(width));
-    println!("maximum covered level: {} / {}", report.maximum_covered_level(), report.arity);
+    println!(
+        "maximum covered level: {} / {}",
+        report.maximum_covered_level(),
+        report.arity
+    );
     println!("maximal uncovered patterns: {}", report.mup_count());
     for (level, &count) in report.level_histogram.iter().enumerate() {
         if count > 0 {
@@ -42,9 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mup in by_size.iter().take(5) {
         let described: Vec<String> = (0..dataset.arity())
             .filter_map(|i| {
-                mup.get(i).map(|v| {
-                    format!("{}={}", dataset.schema().attribute(i).name(), v)
-                })
+                mup.get(i)
+                    .map(|v| format!("{}={}", dataset.schema().attribute(i).name(), v))
             })
             .collect();
         println!(

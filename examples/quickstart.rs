@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let report = CoverageReport::audit(&dataset, Threshold::Count(1))?;
-    println!("dataset: {} rows over {} attributes", dataset.len(), dataset.arity());
+    println!(
+        "dataset: {} rows over {} attributes",
+        dataset.len(),
+        dataset.arity()
+    );
     println!("threshold τ = {}", report.tau);
     println!("maximal uncovered patterns ({}):", report.mup_count());
     for mup in &report.mups {

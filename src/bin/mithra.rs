@@ -9,11 +9,26 @@
 //! level, decoded patterns); `enhance` additionally plans the minimum data
 //! collection that fixes every uncovered pattern at level λ.
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use mithra::data::io::read_csv_auto_path;
 use mithra::prelude::*;
 
+/// `println!` that exits quietly when stdout is a closed pipe (e.g.
+/// `mithra audit … | head`) instead of panicking with a backtrace.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        if let Err(e) = writeln!(std::io::stdout(), $($arg)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            return Err(format!("cannot write to stdout: {e}"));
+        }
+    };
+}
+
+#[derive(Debug)]
 struct Args {
     command: String,
     file: String,
@@ -29,6 +44,12 @@ fn usage() -> String {
         .to_string()
 }
 
+/// Formats a flag-value error with the usage text attached, so every
+/// malformed invocation tells the user how to fix it.
+fn flag_error(flag: &str, detail: impl std::fmt::Display) -> String {
+    format!("{flag}: {detail}\n{}", usage())
+}
+
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or_else(usage)?;
     if !matches!(command.as_str(), "audit" | "enhance") {
@@ -41,37 +62,67 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut max_level = None;
     let mut limit = 20usize;
     while let Some(flag) = argv.next() {
-        let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
+        let mut value = || {
+            argv.next()
+                .ok_or_else(|| flag_error(&flag, "missing value"))
+        };
         match flag.as_str() {
             "--attrs" => {
-                attrs = value()?.split(',').map(|s| s.trim().to_string()).collect()
+                attrs = value()?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
             }
             "--tau" => {
-                tau = Some(Threshold::Count(
-                    value()?.parse().map_err(|e| format!("--tau: {e}"))?,
-                ))
+                let count: u64 = value()?.parse().map_err(|e| flag_error("--tau", e))?;
+                if count == 0 {
+                    return Err(flag_error("--tau", "threshold must be at least 1"));
+                }
+                tau = Some(Threshold::Count(count));
             }
             "--rate" => {
-                tau = Some(Threshold::Fraction(
-                    value()?.parse().map_err(|e| format!("--rate: {e}"))?,
-                ))
+                let rate: f64 = value()?.parse().map_err(|e| flag_error("--rate", e))?;
+                if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+                    return Err(flag_error(
+                        "--rate",
+                        format!("rate must be a fraction in (0, 1], got `{rate}`"),
+                    ));
+                }
+                tau = Some(Threshold::Fraction(rate));
             }
-            "--lambda" => lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--lambda" => {
+                lambda = value()?.parse().map_err(|e| flag_error("--lambda", e))?;
+                if lambda == 0 {
+                    return Err(flag_error("--lambda", "level must be at least 1"));
+                }
+            }
             "--max-level" => {
-                max_level = Some(value()?.parse().map_err(|e| format!("--max-level: {e}"))?)
+                let level: usize = value()?.parse().map_err(|e| flag_error("--max-level", e))?;
+                if level == 0 {
+                    // Level 0 would silently explore nothing and report the
+                    // dataset as fully covered.
+                    return Err(flag_error("--max-level", "level must be at least 1"));
+                }
+                max_level = Some(level);
             }
-            "--limit" => limit = value()?.parse().map_err(|e| format!("--limit: {e}"))?,
+            "--limit" => limit = value()?.parse().map_err(|e| flag_error("--limit", e))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     if attrs.is_empty() {
-        return Err("--attrs is required".into());
+        return Err(format!("--attrs is required\n{}", usage()));
+    }
+    if command == "enhance" && max_level.is_some() {
+        // A level-bounded search can miss deep MUPs, which would make the
+        // enhancement plan silently incomplete.
+        return Err(flag_error("--max-level", "only supported with `audit`"));
     }
     Ok(Args {
         command,
         file,
         attrs,
-        tau: tau.ok_or("--tau or --rate is required")?,
+        tau: tau.ok_or_else(|| format!("--tau or --rate is required\n{}", usage()))?,
         lambda,
         max_level,
         limit,
@@ -101,21 +152,28 @@ fn run(args: Args) -> Result<(), String> {
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let ds = read_csv_auto_path(&args.file, &attr_refs, None)
         .map_err(|e| format!("{}: {e}", args.file))?;
+    if args.command == "enhance" && args.lambda > ds.arity() {
+        return Err(format!(
+            "--lambda {} exceeds the number of attributes ({})",
+            args.lambda,
+            ds.arity()
+        ));
+    }
     let algorithm = match args.max_level {
         Some(l) => DeepDiver::with_max_level(l),
         None => DeepDiver::default(),
     };
-    let report = CoverageReport::audit_with(&algorithm, &ds, args.tau)
-        .map_err(|e| e.to_string())?;
+    let report =
+        CoverageReport::audit_with(&algorithm, &ds, args.tau).map_err(|e| e.to_string())?;
 
-    println!(
+    out!(
         "{}: {} rows, {} attributes, τ = {}",
         args.file,
         ds.len(),
         ds.arity(),
         report.tau
     );
-    println!(
+    out!(
         "maximal uncovered patterns: {}   maximum covered level: {}/{}",
         report.mup_count(),
         report.maximum_covered_level(),
@@ -123,12 +181,12 @@ fn run(args: Args) -> Result<(), String> {
     );
     for (level, &count) in report.level_histogram.iter().enumerate() {
         if count > 0 {
-            println!("  level {level}: {count}");
+            out!("  level {level}: {count}");
         }
     }
-    println!("\nmost general MUPs (first {}):", args.limit);
+    out!("\nmost general MUPs (first {}):", args.limit);
     for mup in report.mups.iter().take(args.limit) {
-        println!("  {mup}  {}", decode(mup, &ds));
+        out!("  {mup}  {}", decode(mup, &ds));
     }
 
     if args.command == "enhance" {
@@ -140,7 +198,7 @@ fn run(args: Args) -> Result<(), String> {
                 args.lambda,
             )
             .map_err(|e| e.to_string())?;
-        println!(
+        out!(
             "\nenhancement for λ = {}: {} uncovered pattern(s) to hit, collect {} profile(s):",
             args.lambda,
             plan.input_size(),
@@ -148,18 +206,13 @@ fn run(args: Args) -> Result<(), String> {
         );
         let oracle = CoverageReport::oracle_for(&ds);
         let copies = plan.required_copies(&oracle, report.tau);
-        for ((combo, general), n) in plan
-            .combinations
-            .iter()
-            .zip(&plan.generalized)
-            .zip(&copies)
-        {
+        for ((combo, general), n) in plan.combinations.iter().zip(&plan.generalized).zip(&copies) {
             let human: Vec<String> = combo
                 .iter()
                 .enumerate()
                 .map(|(i, &v)| ds.schema().attribute(i).value_name(v))
                 .collect();
-            println!(
+            out!(
                 "  ({})  × {n} tuples   — any tuple matching {general} counts",
                 human.join(", ")
             );
@@ -181,5 +234,142 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn valid_audit_invocation_parses() {
+        let args = parse(&[
+            "audit",
+            "data.csv",
+            "--attrs",
+            "sex, race",
+            "--tau",
+            "30",
+            "--max-level",
+            "3",
+            "--limit",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(args.command, "audit");
+        assert_eq!(args.attrs, ["sex", "race"]);
+        assert!(matches!(args.tau, Threshold::Count(30)));
+        assert_eq!(args.max_level, Some(3));
+        assert_eq!(args.limit, 5);
+    }
+
+    #[test]
+    fn rate_threshold_parses() {
+        let args = parse(&["enhance", "d.csv", "--attrs", "a", "--rate", "0.01"]).unwrap();
+        assert!(matches!(args.tau, Threshold::Fraction(f) if (f - 0.01).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unknown_command_and_missing_args_show_usage() {
+        for argv in [&["frobnicate"][..], &[][..], &["audit"][..]] {
+            let err = parse(argv).unwrap_err();
+            assert!(err.contains("usage:"), "no usage in: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_tau_is_a_usage_error_not_a_panic() {
+        for bad in ["abc", "-3", "1.5", "", "999999999999999999999"] {
+            let err = parse(&["audit", "d.csv", "--attrs", "a", "--tau", bad]).unwrap_err();
+            assert!(err.starts_with("--tau:"), "unexpected: {err}");
+            assert!(err.contains("usage:"), "no usage in: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_or_out_of_domain_rate_is_a_usage_error() {
+        for bad in ["xyz", "", "NaN", "inf", "-0.5", "0", "1.5"] {
+            let err = parse(&["audit", "d.csv", "--attrs", "a", "--rate", bad]).unwrap_err();
+            assert!(err.starts_with("--rate:"), "unexpected for `{bad}`: {err}");
+            assert!(err.contains("usage:"), "no usage in: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_tau_lambda_and_max_level_are_rejected() {
+        assert!(parse(&["audit", "d.csv", "--attrs", "a", "--tau", "0"]).is_err());
+        assert!(
+            parse(&["enhance", "d.csv", "--attrs", "a", "--tau", "1", "--lambda", "0"]).is_err()
+        );
+        assert!(parse(&[
+            "audit",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--max-level",
+            "0"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_is_reported() {
+        let err = parse(&["audit", "d.csv", "--attrs", "a", "--tau"]).unwrap_err();
+        assert!(err.contains("missing value"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn empty_attrs_are_rejected() {
+        for argv in [
+            &["audit", "d.csv", "--tau", "1"][..],
+            &["audit", "d.csv", "--attrs", ",,", "--tau", "1"][..],
+        ] {
+            let err = parse(argv).unwrap_err();
+            assert!(err.contains("--attrs"), "unexpected: {err}");
+        }
+    }
+
+    #[test]
+    fn max_level_is_rejected_for_enhance() {
+        // A level-bounded search could miss deep MUPs and yield a silently
+        // incomplete enhancement plan.
+        let err = parse(&[
+            "enhance",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--max-level",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("only supported with `audit`"),
+            "unexpected: {err}"
+        );
+        assert!(parse(&[
+            "audit",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--max-level",
+            "2"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn threshold_is_required() {
+        let err = parse(&["audit", "d.csv", "--attrs", "a"]).unwrap_err();
+        assert!(err.contains("--tau or --rate"), "unexpected: {err}");
     }
 }

@@ -47,8 +47,7 @@ fn agree_on_bluenile_like_high_cardinality() {
 
 #[test]
 fn agree_on_compas_like() {
-    let ds =
-        mithra::data::generators::compas_like(&Default::default()).unwrap();
+    let ds = mithra::data::generators::compas_like(&Default::default()).unwrap();
     for tau in [10, 50] {
         assert_all_agree(&ds, Threshold::Count(tau), &format!("compas tau={tau}"));
     }

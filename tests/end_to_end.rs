@@ -114,11 +114,7 @@ fn classifier_subgroup_recovery() {
     let (test_hf, pool_hf) = hf.split_at(20);
     let test = take_rows(&ds, test_hf);
 
-    let without = train_and_evaluate(
-        &take_rows(&ds, &rest),
-        &test,
-        &TreeConfig::default(),
-    );
+    let without = train_and_evaluate(&take_rows(&ds, &rest), &test, &TreeConfig::default());
     let mut with_idx = rest.clone();
     with_idx.extend_from_slice(pool_hf);
     let with = train_and_evaluate(&take_rows(&ds, &with_idx), &test, &TreeConfig::default());
@@ -163,7 +159,8 @@ fn bucketized_continuous_attribute_pipeline() {
     .unwrap();
     let mut ds = Dataset::new(schema);
     for (i, &age) in ages.iter().enumerate() {
-        ds.push_row(&[bucketizer.encode(age), (i % 2) as u8]).unwrap();
+        ds.push_row(&[bucketizer.encode(age), (i % 2) as u8])
+            .unwrap();
     }
     let report = CoverageReport::audit(&ds, Threshold::Count(1)).unwrap();
     // With 10 rows over 8 cells some cells are empty — MUPs exist and all

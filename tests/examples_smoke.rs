@@ -1,0 +1,45 @@
+//! Smoke tests: every example in `examples/` must run to completion via
+//! `cargo run --example`, keeping the quickstart documentation honest.
+
+use std::process::Command;
+
+/// Runs one example through Cargo (the same entry point the README
+/// documents) and asserts it exits successfully with non-empty output.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {:?}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` printed nothing"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn compas_audit_runs() {
+    run_example("compas_audit");
+}
+
+#[test]
+fn nutritional_label_runs() {
+    run_example("nutritional_label");
+}
+
+#[test]
+fn data_acquisition_runs() {
+    run_example("data_acquisition");
+}

@@ -9,10 +9,7 @@ use proptest::strategy::ValueTree;
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..=4, 2u8..=4)
         .prop_flat_map(|(d, c)| {
-            let rows = proptest::collection::vec(
-                proptest::collection::vec(0..c, d),
-                0..120,
-            );
+            let rows = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..120);
             (Just((d, c)), rows)
         })
         .prop_map(|((d, c), rows)| {
@@ -23,18 +20,16 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
 
 /// A random pattern for a given shape.
 fn pattern_strategy(d: usize, c: u8) -> impl Strategy<Value = Pattern> {
-    proptest::collection::vec(
-        prop_oneof![4 => (0..c).prop_map(Some), 3 => Just(None)],
-        d,
+    proptest::collection::vec(prop_oneof![4 => (0..c).prop_map(Some), 3 => Just(None)], d).prop_map(
+        |elems| {
+            Pattern::from_codes(
+                elems
+                    .into_iter()
+                    .map(|e| e.unwrap_or(mithra::index::X))
+                    .collect::<Vec<_>>(),
+            )
+        },
     )
-    .prop_map(|elems| {
-        Pattern::from_codes(
-            elems
-                .into_iter()
-                .map(|e| e.unwrap_or(mithra::index::X))
-                .collect::<Vec<_>>(),
-        )
-    })
 }
 
 proptest! {

@@ -1,0 +1,365 @@
+//! Offline shim for the subset of the `csv` crate API this workspace uses:
+//! header-aware reading via `ReaderBuilder`/`Reader::records`, and writing
+//! via `Writer`. Parsing is RFC-4180: quoted fields may contain commas,
+//! doubled quotes, and embedded line breaks; CRLF and LF line endings are
+//! accepted. Not implemented: custom delimiters, serde, byte records.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// An error produced while reading or writing CSV data.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// One parsed row of string fields.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StringRecord {
+    fields: Vec<String>,
+}
+
+impl StringRecord {
+    pub fn get(&self, index: usize) -> Option<&str> {
+        self.fields.get(index).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(String::as_str)
+    }
+}
+
+impl<'a> IntoIterator for &'a StringRecord {
+    type Item = &'a str;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, String>, fn(&'a String) -> &'a str>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter().map(String::as_str)
+    }
+}
+
+/// Builder mirroring `csv::ReaderBuilder`.
+#[derive(Clone, Debug)]
+pub struct ReaderBuilder {
+    has_headers: bool,
+}
+
+impl Default for ReaderBuilder {
+    fn default() -> Self {
+        Self { has_headers: true }
+    }
+}
+
+impl ReaderBuilder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn has_headers(&mut self, yes: bool) -> &mut Self {
+        self.has_headers = yes;
+        self
+    }
+
+    pub fn from_reader<R: Read>(&self, reader: R) -> Reader<R> {
+        Reader {
+            reader: Some(reader),
+            has_headers: self.has_headers,
+            state: None,
+        }
+    }
+}
+
+/// Parsed-input state: all records, plus the header row if one was read.
+struct Parsed {
+    headers: StringRecord,
+    records: std::vec::IntoIter<StringRecord>,
+    error: Option<String>,
+}
+
+/// A CSV reader over any `io::Read`.
+pub struct Reader<R> {
+    reader: Option<R>,
+    has_headers: bool,
+    state: Option<Parsed>,
+}
+
+impl<R: Read> Reader<R> {
+    pub fn from_reader(reader: R) -> Self {
+        ReaderBuilder::new().from_reader(reader)
+    }
+
+    /// Reads (or returns the cached) header record. With `has_headers(false)`
+    /// this is an empty record — a deliberate divergence from upstream
+    /// (which returns the first data row); this workspace always reads with
+    /// headers enabled.
+    pub fn headers(&mut self) -> Result<&StringRecord, Error> {
+        self.ensure_parsed()?;
+        let state = self.state.as_ref().expect("parsed above");
+        Ok(&state.headers)
+    }
+
+    /// Iterates over data records (header excluded when `has_headers`).
+    pub fn records(&mut self) -> Records<'_> {
+        let parse_error = self.ensure_parsed().err();
+        Records {
+            state: self.state.as_mut(),
+            parse_error,
+        }
+    }
+
+    fn ensure_parsed(&mut self) -> Result<(), Error> {
+        if self.state.is_some() {
+            return Ok(());
+        }
+        let mut input = String::new();
+        self.reader
+            .take()
+            .expect("reader consumed exactly once")
+            .read_to_string(&mut input)?;
+        let (rows, error) = parse_all(&input);
+        let mut rows = rows.into_iter();
+        let headers = if self.has_headers {
+            rows.next().unwrap_or_default()
+        } else {
+            StringRecord::default()
+        };
+        self.state = Some(Parsed {
+            headers,
+            records: rows.collect::<Vec<_>>().into_iter(),
+            error,
+        });
+        Ok(())
+    }
+}
+
+/// Iterator over `Result<StringRecord, Error>`.
+pub struct Records<'r> {
+    state: Option<&'r mut Parsed>,
+    parse_error: Option<Error>,
+}
+
+impl Iterator for Records<'_> {
+    type Item = Result<StringRecord, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.parse_error.take() {
+            return Some(Err(e));
+        }
+        let state = self.state.as_mut()?;
+        match state.records.next() {
+            Some(rec) => Some(Ok(rec)),
+            None => state.error.take().map(|m| Err(Error::new(m))),
+        }
+    }
+}
+
+/// Parses the whole input; returns complete records plus a trailing error
+/// (e.g. an unterminated quote) to surface after the good records.
+fn parse_all(input: &str) -> (Vec<StringRecord>, Option<String>) {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started = false;
+
+    macro_rules! end_field {
+        () => {{
+            fields.push(std::mem::take(&mut field));
+            field_started = false;
+        }};
+    }
+    macro_rules! end_record {
+        () => {{
+            end_field!();
+            // Skip blank lines (a single empty field), as upstream does.
+            if !(fields.len() == 1 && fields[0].is_empty()) {
+                records.push(StringRecord {
+                    fields: std::mem::take(&mut fields),
+                });
+            } else {
+                fields.clear();
+            }
+        }};
+    }
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            ',' => end_field!(),
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                end_record!();
+            }
+            '\n' => end_record!(),
+            _ => {
+                field.push(c);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return (records, Some("unterminated quoted field".to_string()));
+    }
+    // Final record when the input lacks a trailing newline.
+    if field_started || !fields.is_empty() {
+        fields.push(field);
+        if !(fields.len() == 1 && fields[0].is_empty()) {
+            records.push(StringRecord { fields });
+        }
+    }
+    (records, None)
+}
+
+/// A CSV writer over any `io::Write`.
+pub struct Writer<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> Writer<W> {
+    pub fn from_writer(writer: W) -> Self {
+        Self { writer }
+    }
+
+    pub fn write_record<I, T>(&mut self, record: I) -> Result<(), Error>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<str>,
+    {
+        let mut first = true;
+        for cell in record {
+            if !first {
+                self.writer.write_all(b",")?;
+            }
+            first = false;
+            let cell = cell.as_ref();
+            if cell.contains(['"', ',', '\n', '\r']) {
+                let escaped = cell.replace('"', "\"\"");
+                write!(self.writer, "\"{escaped}\"")?;
+            } else {
+                self.writer.write_all(cell.as_bytes())?;
+            }
+        }
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(input: &str) -> (StringRecord, Vec<StringRecord>) {
+        let mut rdr = ReaderBuilder::new()
+            .has_headers(true)
+            .from_reader(input.as_bytes());
+        let headers = rdr.headers().unwrap().clone();
+        let records: Vec<_> = rdr.records().map(|r| r.unwrap()).collect();
+        (headers, records)
+    }
+
+    #[test]
+    fn plain_fields_and_headers() {
+        let (h, rows) = read_all("a,b,c\n1,2,3\n4,5,6\n");
+        assert_eq!(h.iter().collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get(2), Some("6"));
+        assert_eq!(rows[0].get(9), None);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_newlines_and_quotes() {
+        let (_, rows) = read_all("h1,h2\n\"a,b\",\"line1\nline2\"\n\"say \"\"hi\"\"\",x\n");
+        assert_eq!(rows[0].get(0), Some("a,b"));
+        assert_eq!(rows[0].get(1), Some("line1\nline2"));
+        assert_eq!(rows[1].get(0), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let (_, rows) = read_all("h\r\nv1\r\nv2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get(0), Some("v2"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let (_, rows) = read_all("h\n\nv\n\n");
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let mut rdr = ReaderBuilder::new().from_reader("h\n\"open\n".as_bytes());
+        let results: Vec<_> = rdr.records().collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_with_quoting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::from_writer(&mut buf);
+            w.write_record(["h1", "h2"]).unwrap();
+            w.write_record(["a,b", "say \"hi\""]).unwrap();
+            w.flush().unwrap();
+        }
+        let (h, rows) = read_all(std::str::from_utf8(&buf).unwrap());
+        assert_eq!(h.get(1), Some("h2"));
+        assert_eq!(rows[0].get(0), Some("a,b"));
+        assert_eq!(rows[0].get(1), Some("say \"hi\""));
+    }
+}

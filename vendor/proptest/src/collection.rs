@@ -1,0 +1,100 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        Self {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = runner.random_usize_inclusive(self.size.min, self.size.max);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut runner = TestRunner::deterministic();
+        let exact = vec(0u8..5, 7usize);
+        assert_eq!(exact.generate(&mut runner).len(), 7);
+
+        let ranged = vec(0u8..5, 0..120);
+        let mut lens: Vec<usize> = Vec::new();
+        for _ in 0..200 {
+            lens.push(ranged.generate(&mut runner).len());
+        }
+        assert!(lens.iter().all(|&l| l < 120));
+        // With 200 draws over [0,119] we should see real spread.
+        assert!(lens.iter().max() != lens.iter().min());
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let mut runner = TestRunner::deterministic();
+        let rows = vec(vec(0u8..3, 4usize), 2..=5);
+        for _ in 0..50 {
+            let m = rows.generate(&mut runner);
+            assert!((2..=5).contains(&m.len()));
+            assert!(m
+                .iter()
+                .all(|row| row.len() == 4 && row.iter().all(|&v| v < 3)));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! It keeps proptest's *shape* — `Strategy`, `ValueTree`, `prop_map` /
+//! `prop_flat_map`, `proptest::collection::vec`, `prop_oneof!`, the
+//! `proptest!` macro with `#![proptest_config]`, and `prop_assert*` — backed
+//! by a deterministic ChaCha8 generator, so property tests explore a fixed,
+//! reproducible sample of the input space on every run. Shrinking of failing
+//! cases is not implemented: a failure reports the case number and message,
+//! and the deterministic RNG means the same case reproduces under a
+//! debugger. Swap in upstream `proptest` for minimized counterexamples.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strategy),+)
+    };
+}
+
+/// Property-test declaration: each `fn name(binding in strategy, ...)` body
+/// runs `config.cases` times with fresh generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::deterministic();
+                for case in 0..config.cases {
+                    $(
+                        let $binding = $crate::strategy::ValueTree::current(
+                            &$crate::strategy::Strategy::new_tree(&($strategy), &mut runner)
+                                .expect("strategy generation cannot fail in the shim"),
+                        );
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Like `assert!` but reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, "{left:?} != {right:?}");
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, "{left:?} != {right:?}: {}", format!($($fmt)+));
+    }};
+}
+
+/// Like `assert_ne!` but reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "both sides equal {left:?}");
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "both sides equal {left:?}: {}", format!($($fmt)+));
+    }};
+}

@@ -1,0 +1,243 @@
+//! Strategies: composable random-value generators.
+//!
+//! The shim collapses proptest's strategy/value-tree split: a "tree" is just
+//! the generated value (no shrinking), so `Strategy::new_tree` always
+//! succeeds and `ValueTree::current` clones the value out.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRunner;
+
+/// A generated value plus (upstream) its shrink state; here, just the value.
+pub trait ValueTree {
+    type Value;
+    fn current(&self) -> Self::Value;
+}
+
+/// The trivial value tree wrapping an already-generated value.
+pub struct Node<T: Clone>(T);
+
+impl<T: Clone> ValueTree for Node<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    type Value: Clone;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Upstream-compatible entry point used by `proptest!` and by tests that
+    /// drive strategies manually.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Node<Self::Value>, String> {
+        Ok(Node(self.generate(runner)))
+    }
+
+    fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |runner| self.generate(runner)))
+    }
+}
+
+/// A type-erased strategy (the closure owns the original).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRunner) -> T>);
+
+impl<T: Clone> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (self.0)(runner)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, runner: &mut TestRunner) -> O::Value {
+        (self.f)(self.source.generate(runner)).generate(runner)
+    }
+}
+
+/// Weighted choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            variants.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! requires at least one positive weight"
+        );
+        Self { variants }
+    }
+}
+
+impl<T: Clone> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = (runner.random_f64() * total as f64) as u64;
+        for (weight, strategy) in &self.variants {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strategy.generate(runner);
+            }
+            pick -= weight;
+        }
+        // Floating-point edge (pick == total): fall back to the last
+        // positively-weighted variant.
+        self.variants
+            .iter()
+            .rev()
+            .find(|(w, _)| *w > 0)
+            .expect("validated in new()")
+            .1
+            .generate(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (runner.random_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (runner.random_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut runner = TestRunner::deterministic();
+        let strategy = (0u8..4).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = strategy.new_tree(&mut runner).unwrap().current();
+            assert!(v % 10 == 0 && v < 40);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_intermediate_values() {
+        let mut runner = TestRunner::deterministic();
+        let strategy = (1usize..=3).prop_flat_map(|n| crate::collection::vec(0u8..2, n));
+        for _ in 0..50 {
+            let v = strategy.generate(&mut runner);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 2));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weights() {
+        let mut runner = TestRunner::deterministic();
+        let strategy = Union::new(vec![(0, Just(1u8).boxed()), (5, Just(2u8).boxed())]);
+        for _ in 0..100 {
+            assert_eq!(strategy.generate(&mut runner), 2);
+        }
+    }
+
+    #[test]
+    fn union_mixes_weighted_variants() {
+        let mut runner = TestRunner::deterministic();
+        let strategy = crate::prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let draws: Vec<u8> = (0..400).map(|_| strategy.generate(&mut runner)).collect();
+        let ones = draws.iter().filter(|&&v| v == 1).count();
+        assert!(ones > 40 && ones < 200, "weighting off: {ones}/400 ones");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut runner = TestRunner::deterministic();
+        let strategy = (2usize..=4, 2u8..=4);
+        for _ in 0..50 {
+            let (d, c) = strategy.generate(&mut runner);
+            assert!((2..=4).contains(&d));
+            assert!((2..=4).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Test-runner state: configuration, the deterministic RNG, and the failure
+//! type threaded through `prop_assert*`.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured by the
+/// shim; the other knobs upstream offers (forking, shrink iterations,
+/// persistence) have no equivalent here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated input cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Carries generator state through a property run.
+pub struct TestRunner {
+    rng: ChaCha8Rng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed: every `cargo test` run explores the same
+    /// inputs, which is what this repo's CI reproducibility story needs.
+    pub fn deterministic() -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(0x70726f7074657374), // "proptest"
+        }
+    }
+
+    pub(crate) fn random_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    pub(crate) fn random_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub(crate) fn random_usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        if hi == usize::MAX {
+            // Avoid overflow in the exclusive upper bound; this extreme
+            // never occurs with the size ranges used in practice.
+            return self.rng.random();
+        }
+        self.rng.random_range(lo..hi + 1)
+    }
+}
+
+/// A failed property case (no shrinking in the shim — see crate docs).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+
+    /// Upstream-compatible alias.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias mirroring upstream.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_runners_agree() {
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        for _ in 0..32 {
+            assert_eq!(a.random_u64(), b.random_u64());
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = TestRunner::deterministic();
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..200 {
+            match r.random_usize_inclusive(2, 4) {
+                2 => lo_seen = true,
+                4 => hi_seen = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,62 @@
+//! Sequence helpers (`SliceRandom::shuffle`).
+
+use crate::{RngCore, SampleUniform};
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle, deterministic given the RNG state.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_in(rng, 0, i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut Counter::seed_from_u64(9));
+        b.shuffle(&mut Counter::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements should not shuffle to identity");
+    }
+
+    // Compile-time check that the upstream import shape works.
+    #[allow(dead_code)]
+    fn upstream_shape(rng: &mut Counter) {
+        let mut v = [1, 2, 3];
+        v.shuffle(rng);
+        let _unused = crate::Rng::random_bool(rng, 0.5);
+    }
+}
