@@ -1,0 +1,258 @@
+//! Offline shim for the subset of the Criterion benchmarking API this
+//! workspace uses. It is a real (if simple) harness: `Bencher::iter`
+//! auto-calibrates an iteration count, measures wall-clock time, and prints
+//! `benchmark-id ... time: <mean>` lines, so `cargo bench` both compiles
+//! and produces useful numbers without the upstream dependency. Statistical
+//! analysis (outlier detection, regression vs. saved baselines, HTML
+//! reports) is intentionally out of scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark; kept short because the shim does
+/// no statistical analysis that would benefit from long runs.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [FILTER]`; honour a
+        // positional filter so `cargo bench -- <substring>` narrows the run.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream uses this to trade precision for speed; the shim scales its
+    /// calibration budget accordingly.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.sample_size, |b| {
+            b_input(&mut f, b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function`-style calls.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured closure; collects one timing estimate.
+pub struct Bencher {
+    mean_ns: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the iteration count until the batch is long
+        // enough to time reliably, then measure within the budget.
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= (1 << 20) {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut total = elapsed;
+        let mut total_iters = iters;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += start.elapsed();
+            total_iters += iters;
+        }
+        self.mean_ns = total.as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, sample_size: usize, mut f: F) {
+    if !c.matches(id) {
+        return;
+    }
+    // Small sample sizes signal heavy benchmarks upstream; shrink the budget
+    // proportionally so whole suites stay fast.
+    let budget = TARGET_TIME.mul_f64((sample_size as f64 / DEFAULT_SAMPLE_SIZE as f64).min(1.0));
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        budget,
+    };
+    f(&mut bencher);
+    println!("{id:<60} time: {:>12}", format_time(bencher.mean_ns));
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => { $crate::criterion_group!($name, $($rest)*); };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("cov", 3).into_benchmark_id(), "cov/3");
+        assert_eq!(BenchmarkId::from_parameter(9).into_benchmark_id(), "9");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert_eq!(format_time(12.0), "12.0 ns");
+        assert_eq!(format_time(1_500.0), "1.50 µs");
+        assert_eq!(format_time(2_000_000.0), "2.00 ms");
+        assert_eq!(format_time(3.2e9), "3.200 s");
+    }
+}
