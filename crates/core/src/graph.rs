@@ -6,10 +6,55 @@
 //! (guarding the naïve algorithms) and the materialized form backs tests and
 //! teaching examples.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::{CoverageError, Result};
 use crate::pattern::Pattern;
+
+/// Neighborhood walk for incremental (delta) MUP maintenance: given a
+/// pattern `root` that has just *become covered* — an ex-MUP after new
+/// tuples arrived — returns the maximal uncovered patterns strictly below
+/// it, i.e. exactly the new MUPs that replace `root` in the frontier.
+///
+/// The walk expands the children of covered nodes and emits every uncovered
+/// node whose parents are all covered. Because coverage is monotone along
+/// dominance (a parent covers at least as much as any child), every maximal
+/// uncovered descendant of `root` is reachable through covered nodes only,
+/// so the region visited is bounded by the covered slab between `root` and
+/// the new frontier — not the whole subgraph.
+///
+/// `is_covered` is called at most once per visited pattern plus once per
+/// parent probe; callers typically back it with a coverage oracle and a memo
+/// cache. `root` itself is assumed covered and is never probed.
+pub fn maximal_uncovered_below(
+    root: &Pattern,
+    cardinalities: &[u8],
+    mut is_covered: impl FnMut(&Pattern) -> bool,
+) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<Pattern> = HashSet::new();
+    let mut stack: Vec<Pattern> = Vec::new();
+    for child in root.children(cardinalities) {
+        if seen.insert(child.clone()) {
+            stack.push(child);
+        }
+    }
+    while let Some(p) = stack.pop() {
+        if is_covered(&p) {
+            for child in p.children(cardinalities) {
+                if seen.insert(child.clone()) {
+                    stack.push(child);
+                }
+            }
+        } else if p.parents().all(|parent| is_covered(&parent)) {
+            // Uncovered with every parent covered: a MUP by Definition 5.
+            // (Uncovered nodes with an uncovered parent are dropped — they
+            // lie below some other maximal uncovered pattern.)
+            out.push(p);
+        }
+    }
+    out
+}
 
 /// Structural statistics of the pattern graph over the given cardinalities.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,6 +253,70 @@ mod tests {
             PatternGraph::materialize(&[9; 10]),
             Err(CoverageError::SearchSpaceTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn maximal_uncovered_below_finds_replacement_mups() {
+        // Example 1 with tuple (1,0,1) inserted: the old MUP 1XX becomes
+        // covered (τ=1) and the walk below it must find the new frontier
+        // {11X, 1X0, 10X∖{101}…} — computed here against a brute-force
+        // coverage predicate over the extended dataset.
+        let rows: Vec<[u8; 3]> = vec![
+            [0, 1, 0],
+            [0, 0, 1],
+            [0, 0, 0],
+            [0, 1, 1],
+            [0, 0, 1],
+            [1, 0, 1], // the insert
+        ];
+        let covered = |p: &Pattern| rows.iter().any(|r| p.matches(r));
+        let root = Pattern::parse("1XX").unwrap();
+        let mut got: Vec<String> = maximal_uncovered_below(&root, &[2, 2, 2], covered)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["11X", "1X0"]);
+    }
+
+    #[test]
+    fn walk_agrees_with_exhaustive_enumeration() {
+        // Random coverage assignments (downward-closed in the uncovered
+        // direction): the walk from the root equals the brute-force maximal
+        // uncovered set.
+        use rand::{Rng, SeedableRng};
+        let cards = [2u8, 3, 2];
+        for seed in 0..20u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            // Sample a random "dataset" of 0..6 tuples; coverage = matching.
+            let n = rng.random_range(0..6usize);
+            let tuples: Vec<Vec<u8>> = (0..n)
+                .map(|_| cards.iter().map(|&c| rng.random_range(0..c)).collect())
+                .collect();
+            let covered = |p: &Pattern| tuples.iter().any(|t| p.matches(t));
+            let root = Pattern::all_x(3);
+            if !covered(&root) {
+                continue; // walk contract requires a covered root
+            }
+            let mut got = maximal_uncovered_below(&root, &cards, covered);
+            got.sort();
+            let graph = PatternGraph::materialize(&cards).unwrap();
+            let mut expected: Vec<Pattern> = graph
+                .nodes()
+                .iter()
+                .filter(|p| !covered(p) && p.parents().all(|q| covered(&q)))
+                .cloned()
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "seed {seed} tuples {tuples:?}");
+        }
+    }
+
+    #[test]
+    fn walk_below_fully_covered_root_is_empty() {
+        let covered = |_: &Pattern| true;
+        let root = Pattern::all_x(3);
+        assert!(maximal_uncovered_below(&root, &[2, 2, 2], covered).is_empty());
     }
 
     #[test]

@@ -41,23 +41,57 @@ impl Pattern {
         }
     }
 
-    /// Parses the paper's compact notation: one character per attribute,
-    /// `X`/`x` for non-deterministic, digits for values 0–9.
+    /// Parses the paper's compact notation: one element per attribute,
+    /// `X`/`x` for non-deterministic, digits for values 0–9, and `[NN]` for
+    /// values 10 and above — exactly what [`Display`](fmt::Display) emits,
+    /// so every pattern round-trips.
     ///
     /// # Errors
     ///
-    /// Returns an error for characters outside `[0-9Xx]`.
+    /// Returns an error for characters outside `[0-9Xx]` / bracket groups,
+    /// and for bracket groups that are empty, unterminated, or ≥ 255 (the
+    /// [`X`] sentinel).
     pub fn parse(s: &str) -> Result<Self> {
-        let codes: Vec<u8> = s
-            .chars()
-            .map(|ch| match ch {
-                'X' | 'x' => Ok(X),
-                '0'..='9' => Ok(ch as u8 - b'0'),
-                other => Err(CoverageError::BadThreshold(format!(
-                    "unexpected pattern character `{other}`"
-                ))),
-            })
-            .collect::<Result<_>>()?;
+        let bad = |msg: String| CoverageError::BadThreshold(msg);
+        let mut codes = Vec::new();
+        let mut chars = s.chars();
+        while let Some(ch) = chars.next() {
+            match ch {
+                'X' | 'x' => codes.push(X),
+                '0'..='9' => codes.push(ch as u8 - b'0'),
+                '[' => {
+                    let mut value: u32 = 0;
+                    let mut digits = 0usize;
+                    loop {
+                        match chars.next() {
+                            Some(d @ '0'..='9') => {
+                                digits += 1;
+                                value = value * 10 + (d as u32 - '0' as u32);
+                                if value >= X as u32 {
+                                    return Err(bad(format!(
+                                        "bracketed value must be below {X}, got `[{value}…`"
+                                    )));
+                                }
+                            }
+                            Some(']') => break,
+                            Some(other) => {
+                                return Err(bad(format!(
+                                    "unexpected `{other}` inside bracketed value"
+                                )))
+                            }
+                            None => return Err(bad("unterminated `[` in pattern".into())),
+                        }
+                    }
+                    if digits == 0 {
+                        return Err(bad("empty `[]` in pattern".into()));
+                    }
+                    codes.push(value as u8);
+                }
+                other => {
+                    return Err(bad(format!("unexpected pattern character `{other}`")));
+                }
+            }
+        }
         Ok(Self::from_codes(codes))
     }
 
@@ -244,11 +278,23 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["XXX", "1X0", "X1X0", "10X1", "012"] {
+        for s in ["XXX", "1X0", "X1X0", "10X1", "012", "[12]X0", "[10][254]X"] {
             assert_eq!(Pattern::parse(s).unwrap().to_string(), s);
         }
         assert!(Pattern::parse("1?0").is_err());
         assert_eq!(Pattern::from_codes(vec![12, X, 0]).to_string(), "[12]X0");
+        // Bracket groups parse to single elements ([7] ≡ 7).
+        assert_eq!(
+            Pattern::parse("[7]X").unwrap(),
+            Pattern::parse("7X").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_bracket_groups() {
+        for bad in ["[", "[]", "[12", "[1x]", "[255]", "[999]", "]0"] {
+            assert!(Pattern::parse(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

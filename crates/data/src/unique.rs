@@ -21,12 +21,17 @@ pub struct UniqueCombinations {
     counts: Vec<u64>,
     /// Total number of original rows (Σ counts).
     total: u64,
+    /// Combination → index, built lazily on the first [`Self::add_row`] so
+    /// batch-only consumers never pay for it; empty until then.
+    index: HashMap<Box<[u8]>, usize>,
 }
 
 impl UniqueCombinations {
     /// Aggregates `dataset` into unique combinations.
     pub fn from_dataset(dataset: &Dataset) -> Self {
         let d = dataset.arity();
+        // Transient borrow-keyed map: dropped on return, so the batch path
+        // carries no index overhead.
         let mut index: HashMap<&[u8], usize> = HashMap::new();
         let mut combos: Vec<u8> = Vec::new();
         let mut counts: Vec<u64> = Vec::new();
@@ -46,6 +51,41 @@ impl UniqueCombinations {
             combos,
             counts,
             total: dataset.len() as u64,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Registers one additional row, returning `(combination index, is_new)`.
+    ///
+    /// First-seen combination order is preserved, so the result is identical
+    /// to re-aggregating the extended dataset from scratch. The first call
+    /// builds the persistent combination index (O(#combos)); subsequent
+    /// calls are O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on arity mismatch; callers validate value
+    /// ranges against the schema before streaming rows in.
+    pub fn add_row(&mut self, row: &[u8]) -> (usize, bool) {
+        debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
+        if self.index.len() != self.counts.len() {
+            self.index = self
+                .combos
+                .chunks_exact(self.arity)
+                .enumerate()
+                .map(|(k, combo)| (combo.to_vec().into_boxed_slice(), k))
+                .collect();
+        }
+        self.total += 1;
+        if let Some(&k) = self.index.get(row) {
+            self.counts[k] += 1;
+            (k, false)
+        } else {
+            let k = self.counts.len();
+            self.index.insert(row.to_vec().into_boxed_slice(), k);
+            self.counts.push(1);
+            self.combos.extend_from_slice(row);
+            (k, true)
         }
     }
 
@@ -134,6 +174,34 @@ mod tests {
         let u = UniqueCombinations::from_dataset(&ds);
         assert!(u.is_empty());
         assert_eq!(u.total(), 0);
+    }
+
+    #[test]
+    fn add_row_matches_rebuild() {
+        let schema = Schema::binary(3).unwrap();
+        let rows = [
+            vec![0u8, 1, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 1],
+            vec![1, 1, 1],
+            vec![0, 0, 1],
+            vec![1, 1, 1],
+        ];
+        let mut streaming =
+            UniqueCombinations::from_dataset(&Dataset::new(Schema::binary(3).unwrap()));
+        for (i, row) in rows.iter().enumerate() {
+            let (k, is_new) = streaming.add_row(row);
+            // New combos take the next index; repeats return the original.
+            assert_eq!(is_new, rows[..i].iter().all(|r| r != row), "row {i}");
+            assert_eq!(streaming.combo(k), row.as_slice());
+        }
+        let rebuilt = UniqueCombinations::from_dataset(&Dataset::from_rows(schema, &rows).unwrap());
+        assert_eq!(streaming.len(), rebuilt.len());
+        assert_eq!(streaming.total(), rebuilt.total());
+        assert_eq!(streaming.counts(), rebuilt.counts());
+        for k in 0..rebuilt.len() {
+            assert_eq!(streaming.combo(k), rebuilt.combo(k));
+        }
     }
 
     #[test]

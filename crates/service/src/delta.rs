@@ -1,0 +1,169 @@
+//! Delta maintenance: how a batch of inserted tuples moves the MUP frontier.
+//!
+//! Under a fixed threshold, inserts only *increase* coverage, so the MUP set
+//! moves strictly downward: a MUP matching an inserted tuple may become
+//! covered (it retires), and its replacements are exactly the maximal
+//! uncovered patterns in the pattern-graph region below it
+//! ([`coverage_core::graph::maximal_uncovered_below`]). MUPs matching no
+//! inserted tuple keep their coverage — and their status — untouched, so a
+//! single insert re-probes only the `≲ 2^level` patterns around the frontier
+//! it actually touches instead of re-running discovery over the whole graph.
+
+use std::collections::HashSet;
+
+use coverage_core::graph::maximal_uncovered_below;
+use coverage_core::pattern::Pattern;
+use coverage_index::CoverageOracle;
+
+use crate::cache::CoverageCache;
+
+/// What an insert delta did to the MUP set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// MUPs that became covered and left the frontier.
+    pub retired: usize,
+    /// New MUPs discovered below retired ones.
+    pub discovered: usize,
+}
+
+/// Coverage of `codes` through the memo cache.
+pub(crate) fn coverage_cached(
+    oracle: &CoverageOracle,
+    cache: &mut CoverageCache,
+    codes: &[u8],
+) -> u64 {
+    if let Some(v) = cache.get(codes) {
+        return v;
+    }
+    let v = oracle.coverage(codes);
+    cache.insert(codes, v);
+    v
+}
+
+/// Updates `mups` in place for a batch of freshly ingested rows (the oracle
+/// must already include them). Only valid when the resolved threshold is
+/// unchanged; a shifted rate threshold requires a full recompute because
+/// previously covered patterns anywhere may have dropped below the new τ.
+pub(crate) fn apply_insert_delta(
+    oracle: &CoverageOracle,
+    cache: &mut CoverageCache,
+    tau: u64,
+    mups: &mut Vec<Pattern>,
+    rows: &[Vec<u8>],
+) -> DeltaOutcome {
+    let cards = oracle.cardinalities().to_vec();
+    let affected: Vec<Pattern> = mups
+        .iter()
+        .filter(|m| rows.iter().any(|r| m.matches(r)))
+        .cloned()
+        .collect();
+    if affected.is_empty() {
+        return DeltaOutcome::default();
+    }
+    let retired: HashSet<Pattern> = affected
+        .into_iter()
+        .filter(|m| coverage_cached(oracle, cache, m.codes()) >= tau)
+        .collect();
+    if retired.is_empty() {
+        return DeltaOutcome::default();
+    }
+    mups.retain(|m| !retired.contains(m));
+    // Walks from different retired MUPs can meet at a shared descendant;
+    // the set keeps each new MUP once.
+    let mut discovered: HashSet<Pattern> = HashSet::new();
+    for root in &retired {
+        discovered.extend(maximal_uncovered_below(root, &cards, |p| {
+            coverage_cached(oracle, cache, p.codes()) >= tau
+        }));
+    }
+    let outcome = DeltaOutcome {
+        retired: retired.len(),
+        discovered: discovered.len(),
+    };
+    mups.extend(discovered);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::mup::{DeepDiver, MupAlgorithm};
+    use coverage_data::{Dataset, Schema};
+
+    /// Example 1 of the paper plus a streamed insert: the delta must agree
+    /// with re-running DEEPDIVER on the extended dataset.
+    #[test]
+    fn insert_retires_mup_and_discovers_frontier() {
+        let rows = [
+            vec![0u8, 1, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 0],
+            vec![0, 1, 1],
+            vec![0, 0, 1],
+        ];
+        let ds = Dataset::from_rows(Schema::binary(3).unwrap(), &rows).unwrap();
+        let mut oracle = CoverageOracle::from_dataset(&ds);
+        let mut mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, 1)
+            .unwrap();
+        assert_eq!(mups.len(), 1); // 1XX
+
+        let insert = vec![vec![1u8, 0, 1]];
+        oracle.add_row(&insert[0]);
+        let mut cache = CoverageCache::new(64);
+        let outcome = apply_insert_delta(&oracle, &mut cache, 1, &mut mups, &insert);
+        assert_eq!(
+            outcome,
+            DeltaOutcome {
+                retired: 1,
+                discovered: 2
+            }
+        );
+        mups.sort();
+        let expected = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, 1)
+            .unwrap();
+        let mut expected = expected;
+        expected.sort();
+        assert_eq!(mups, expected);
+    }
+
+    /// An insert matching no MUP leaves the frontier untouched without any
+    /// oracle traffic beyond the match filter.
+    #[test]
+    fn unrelated_insert_is_a_no_op() {
+        let rows = [vec![0u8, 1, 0], vec![0, 0, 1]];
+        let ds = Dataset::from_rows(Schema::binary(3).unwrap(), &rows).unwrap();
+        let mut oracle = CoverageOracle::from_dataset(&ds);
+        let mut mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, 1)
+            .unwrap();
+        let before = mups.clone();
+        // (0,1,0) is already present: it matches the covered region only.
+        let insert = vec![vec![0u8, 1, 0]];
+        oracle.add_row(&insert[0]);
+        let mut cache = CoverageCache::new(64);
+        let outcome = apply_insert_delta(&oracle, &mut cache, 1, &mut mups, &insert);
+        assert_eq!(outcome, DeltaOutcome::default());
+        assert_eq!(mups, before);
+    }
+
+    /// A matching insert that does not lift the MUP over τ keeps it.
+    #[test]
+    fn insufficient_insert_keeps_mup() {
+        let rows = [vec![0u8, 0], vec![0, 1], vec![0, 0]];
+        let ds = Dataset::from_rows(Schema::binary(2).unwrap(), &rows).unwrap();
+        let mut oracle = CoverageOracle::from_dataset(&ds);
+        let tau = 2u64;
+        let mut mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, tau)
+            .unwrap();
+        assert!(mups.iter().any(|m| m.to_string() == "1X"));
+        let insert = vec![vec![1u8, 0]]; // cov(1X) 0 → 1, still < 2
+        oracle.add_row(&insert[0]);
+        let mut cache = CoverageCache::new(64);
+        let outcome = apply_insert_delta(&oracle, &mut cache, tau, &mut mups, &insert);
+        assert_eq!(outcome, DeltaOutcome::default());
+        assert!(mups.iter().any(|m| m.to_string() == "1X"));
+    }
+}

@@ -1,0 +1,412 @@
+//! The long-lived [`CoverageEngine`]: a mutable dataset + oracle whose MUP
+//! set is maintained incrementally as tuples stream in.
+//!
+//! * Fixed (count) thresholds take the pure delta path: only MUPs matching
+//!   an inserted tuple are re-probed, and retired MUPs are replaced by a
+//!   bounded neighborhood walk below them — never a full re-discovery.
+//! * Rate thresholds re-resolve `τ = max(1, round(f·n))` after every batch;
+//!   while the resolved τ is unchanged the delta path applies, and on the
+//!   rare batch where τ steps up the engine falls back to one DEEPDIVER run
+//!   over the (incrementally maintained) oracle, since a larger τ can
+//!   uncover patterns far from the current frontier.
+
+use coverage_core::enhance::{CoverageEnhancer, EnhancementPlan, GreedyHittingSet};
+use coverage_core::mup::{DeepDiver, MupAlgorithm};
+use coverage_core::pattern::Pattern;
+use coverage_core::{CoverageReport, Threshold};
+use coverage_data::Dataset;
+use coverage_index::{CoverageOracle, X};
+
+use crate::cache::CoverageCache;
+use crate::delta::{apply_insert_delta, coverage_cached};
+use crate::{Result, ServiceError};
+
+/// Default bound on the pattern-coverage memo cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Counters describing the engine's maintenance work so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rows ingested through [`CoverageEngine::insert`] /
+    /// [`CoverageEngine::insert_batch`] (the initial dataset not included).
+    pub inserts: u64,
+    /// Insert batches processed (a single insert counts as a batch of one).
+    pub batches: u64,
+    /// MUPs retired (covered by newly arrived tuples).
+    pub mups_retired: u64,
+    /// MUPs discovered by delta walks below retired ones.
+    pub mups_discovered: u64,
+    /// Full DEEPDIVER fallbacks triggered by a shifted rate threshold.
+    pub full_recomputes: u64,
+}
+
+/// A long-lived coverage engine over a mutable dataset.
+#[derive(Debug, Clone)]
+pub struct CoverageEngine {
+    dataset: Dataset,
+    oracle: CoverageOracle,
+    threshold: Threshold,
+    tau: u64,
+    mups: Vec<Pattern>,
+    cache: CoverageCache,
+    stats: EngineStats,
+}
+
+impl CoverageEngine {
+    /// Builds an engine over `dataset`, running one initial DEEPDIVER audit.
+    pub fn new(dataset: Dataset, threshold: Threshold) -> Result<Self> {
+        Self::with_cache_capacity(dataset, threshold, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Like [`Self::new`] with an explicit memo-cache bound (0 disables the
+    /// cache).
+    pub fn with_cache_capacity(
+        dataset: Dataset,
+        threshold: Threshold,
+        cache_capacity: usize,
+    ) -> Result<Self> {
+        let oracle = CoverageOracle::from_dataset(&dataset);
+        let tau = threshold.resolve(dataset.len() as u64)?;
+        let mut mups = DeepDiver::default().find_mups_with_oracle(&oracle, tau)?;
+        mups.sort();
+        Ok(Self {
+            dataset,
+            oracle,
+            threshold,
+            tau,
+            mups,
+            cache: CoverageCache::new(cache_capacity),
+            stats: EngineStats::default(),
+        })
+    }
+
+    fn validate(&self, row: &[u8]) -> Result<()> {
+        let schema = self.dataset.schema();
+        if row.len() != schema.arity() {
+            return Err(ServiceError::BadRequest(format!(
+                "row has {} values, schema has {} attributes",
+                row.len(),
+                schema.arity()
+            )));
+        }
+        for (i, &v) in row.iter().enumerate() {
+            if v >= schema.cardinality(i) {
+                return Err(ServiceError::BadRequest(format!(
+                    "value code {v} out of range for attribute `{}` (cardinality {})",
+                    schema.attribute(i).name(),
+                    schema.cardinality(i)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests one tuple, incrementally maintaining the MUP set.
+    pub fn insert(&mut self, row: &[u8]) -> Result<()> {
+        self.insert_batch(std::slice::from_ref(&row.to_vec()))
+    }
+
+    /// Ingests a batch of tuples atomically: either every row is valid and
+    /// applied, or none is.
+    pub fn insert_batch(&mut self, rows: &[Vec<u8>]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        if self.dataset.is_labeled() {
+            // push_row would fail halfway through and break batch atomicity.
+            return Err(ServiceError::BadRequest(
+                "labeled datasets do not support streaming inserts".into(),
+            ));
+        }
+        for row in rows {
+            self.validate(row)?;
+        }
+        for row in rows {
+            self.dataset
+                .push_row(row)
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            self.oracle.add_row(row);
+        }
+        self.cache.invalidate_matching_any(rows);
+        self.stats.inserts += rows.len() as u64;
+        self.stats.batches += 1;
+        let new_tau = self.threshold.resolve(self.dataset.len() as u64)?;
+        if new_tau != self.tau {
+            // The resolved rate threshold stepped up: patterns anywhere may
+            // have dropped below it, so the delta walk is not sound here.
+            self.tau = new_tau;
+            self.mups = DeepDiver::default().find_mups_with_oracle(&self.oracle, new_tau)?;
+            self.stats.full_recomputes += 1;
+        } else {
+            let outcome = apply_insert_delta(
+                &self.oracle,
+                &mut self.cache,
+                self.tau,
+                &mut self.mups,
+                rows,
+            );
+            self.stats.mups_retired += outcome.retired as u64;
+            self.stats.mups_discovered += outcome.discovered as u64;
+        }
+        self.mups.sort();
+        Ok(())
+    }
+
+    /// The current maximal uncovered patterns, sorted.
+    pub fn mups(&self) -> &[Pattern] {
+        &self.mups
+    }
+
+    /// `cov(P)` for a pattern given as raw codes ([`X`] = non-deterministic),
+    /// answered through the memo cache.
+    pub fn coverage(&mut self, codes: &[u8]) -> Result<u64> {
+        let schema = self.dataset.schema();
+        if codes.len() != schema.arity() {
+            return Err(ServiceError::BadRequest(format!(
+                "pattern has {} elements, schema has {} attributes",
+                codes.len(),
+                schema.arity()
+            )));
+        }
+        for (i, &v) in codes.iter().enumerate() {
+            if v != X && v >= schema.cardinality(i) {
+                return Err(ServiceError::BadRequest(format!(
+                    "pattern value {v} out of range for attribute `{}`",
+                    schema.attribute(i).name()
+                )));
+            }
+        }
+        Ok(coverage_cached(&self.oracle, &mut self.cache, codes))
+    }
+
+    /// Whether `cov(P) ≥ τ` under the current resolved threshold.
+    pub fn covered(&mut self, codes: &[u8]) -> Result<bool> {
+        Ok(self.coverage(codes)? >= self.tau)
+    }
+
+    /// Plans the minimum data collection fixing every uncovered pattern at
+    /// level `lambda`, with per-combination copy counts closing the deficit.
+    pub fn enhance(&self, lambda: usize) -> Result<(EnhancementPlan, Vec<u64>)> {
+        if lambda == 0 || lambda > self.dataset.arity() {
+            return Err(ServiceError::BadRequest(format!(
+                "lambda must be in 1..={}, got {lambda}",
+                self.dataset.arity()
+            )));
+        }
+        let plan = CoverageEnhancer::default().plan_for_level(
+            &GreedyHittingSet,
+            &self.mups,
+            &self.dataset.schema().cardinalities(),
+            lambda,
+        )?;
+        let copies = plan.required_copies(&self.oracle, self.tau);
+        Ok((plan, copies))
+    }
+
+    /// A point-in-time coverage report (the paper's audit widget).
+    pub fn report(&self) -> CoverageReport {
+        CoverageReport::from_mups(
+            self.mups.clone(),
+            self.tau,
+            self.dataset.len() as u64,
+            self.dataset.arity(),
+        )
+    }
+
+    /// The configured threshold (count or rate).
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// The currently resolved absolute threshold τ.
+    pub fn tau(&self) -> u64 {
+        self.tau
+    }
+
+    /// The live dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The incrementally maintained oracle.
+    pub fn oracle(&self) -> &CoverageOracle {
+        &self.oracle
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Memo-cache counters: `(len, capacity, hits, misses)`.
+    pub fn cache_stats(&self) -> (usize, usize, u64, u64) {
+        (
+            self.cache.len(),
+            self.cache.capacity(),
+            self.cache.hits(),
+            self.cache.misses(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::Schema;
+    use rand::{Rng, SeedableRng};
+
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn batch_mups(ds: &Dataset, threshold: Threshold) -> Vec<Pattern> {
+        let mut mups = DeepDiver::default().find_mups(ds, threshold).unwrap();
+        mups.sort();
+        mups
+    }
+
+    #[test]
+    fn initial_audit_matches_deepdiver() {
+        let engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        assert_eq!(engine.mups(), batch_mups(&example1(), Threshold::Count(1)));
+        assert_eq!(engine.tau(), 1);
+    }
+
+    #[test]
+    fn incremental_inserts_track_batch_recompute() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(2)).unwrap();
+        let mut materialized = example1();
+        let stream = [
+            vec![1u8, 0, 1],
+            vec![1, 0, 1],
+            vec![1, 1, 0],
+            vec![0, 1, 0],
+            vec![1, 1, 1],
+            vec![1, 1, 1],
+        ];
+        for row in &stream {
+            engine.insert(row).unwrap();
+            materialized.push_row(row).unwrap();
+            assert_eq!(
+                engine.mups(),
+                batch_mups(&materialized, Threshold::Count(2)),
+                "after insert {row:?}"
+            );
+        }
+        assert_eq!(engine.stats().inserts, stream.len() as u64);
+        assert_eq!(engine.stats().full_recomputes, 0);
+        assert!(engine.stats().mups_retired > 0);
+    }
+
+    #[test]
+    fn batch_insert_equals_single_inserts() {
+        let stream: Vec<Vec<u8>> = {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+            (0..40)
+                .map(|_| (0..3).map(|_| rng.random_range(0..2u8)).collect())
+                .collect()
+        };
+        let mut singles = CoverageEngine::new(example1(), Threshold::Count(3)).unwrap();
+        for row in &stream {
+            singles.insert(row).unwrap();
+        }
+        let mut batched = CoverageEngine::new(example1(), Threshold::Count(3)).unwrap();
+        for chunk in stream.chunks(7) {
+            batched.insert_batch(chunk).unwrap();
+        }
+        assert_eq!(singles.mups(), batched.mups());
+    }
+
+    #[test]
+    fn rate_threshold_resteps_and_recomputes() {
+        // Rate 0.2 over a growing dataset: τ starts at 1 and steps up every
+        // 5 rows, forcing full-recompute fallbacks that must stay correct.
+        let ds = example1();
+        let mut engine = CoverageEngine::new(ds.clone(), Threshold::Fraction(0.2)).unwrap();
+        assert_eq!(engine.tau(), 1);
+        let mut materialized = ds;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for i in 0..30 {
+            let row: Vec<u8> = (0..3).map(|_| rng.random_range(0..2u8)).collect();
+            engine.insert(&row).unwrap();
+            materialized.push_row(&row).unwrap();
+            assert_eq!(
+                engine.tau(),
+                Threshold::Fraction(0.2)
+                    .resolve(materialized.len() as u64)
+                    .unwrap()
+            );
+            assert_eq!(
+                engine.mups(),
+                batch_mups(&materialized, Threshold::Fraction(0.2)),
+                "after insert {i}"
+            );
+        }
+        assert!(engine.stats().full_recomputes > 0);
+        assert!(engine.stats().full_recomputes < 30);
+    }
+
+    #[test]
+    fn insert_from_empty_dataset() {
+        let mut engine = CoverageEngine::new(
+            Dataset::new(Schema::binary(2).unwrap()),
+            Threshold::Count(1),
+        )
+        .unwrap();
+        // Empty dataset: the root is the single MUP.
+        assert_eq!(engine.mups().len(), 1);
+        assert_eq!(engine.mups()[0].level(), 0);
+        for row in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            engine.insert(&row).unwrap();
+        }
+        assert!(engine.mups().is_empty());
+        assert_eq!(engine.report().maximum_covered_level(), 2);
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_atomically() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        let before_len = engine.dataset().len();
+        let err = engine
+            .insert_batch(&[vec![0, 0, 0], vec![0, 9, 0]])
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert_eq!(engine.dataset().len(), before_len, "batch must be atomic");
+        assert!(engine.insert(&[0, 0]).is_err(), "arity mismatch");
+    }
+
+    #[test]
+    fn coverage_queries_are_cached_and_validated() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        assert_eq!(engine.coverage(&[0, X, 1]).unwrap(), 3);
+        assert_eq!(engine.coverage(&[0, X, 1]).unwrap(), 3);
+        let (_, _, hits, _) = engine.cache_stats();
+        assert!(hits >= 1);
+        assert!(engine.coverage(&[0, X]).is_err());
+        assert!(engine.coverage(&[0, 5, X]).is_err());
+        assert!(engine.covered(&[X, X, X]).unwrap());
+        assert!(!engine.covered(&[1, X, X]).unwrap());
+    }
+
+    #[test]
+    fn enhance_plan_covers_lambda_frontier() {
+        let engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        let (plan, copies) = engine.enhance(1).unwrap();
+        assert_eq!(plan.combinations.len(), copies.len());
+        for t in &plan.targets {
+            assert!(plan.combinations.iter().any(|c| t.matches(c)));
+        }
+        assert!(engine.enhance(0).is_err());
+        assert!(engine.enhance(4).is_err());
+    }
+}

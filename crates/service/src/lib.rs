@@ -1,0 +1,94 @@
+//! # coverage-service
+//!
+//! The serving layer that turns the ICDE 2019 reproduction from an offline
+//! batch job into a long-lived system: a [`CoverageEngine`] owns a mutable
+//! dataset + coverage oracle and maintains the MUP set **incrementally** as
+//! tuples stream in, and a newline-delimited JSON protocol exposes it over
+//! stdin/stdout or TCP (`mithra serve`).
+//!
+//! Modules:
+//!
+//! * [`engine`] — the incremental engine (insert / insert_batch, cached
+//!   coverage queries, enhancement planning, rate-threshold re-resolution);
+//! * [`delta`] — how a batch of inserts moves the MUP frontier (retire
+//!   covered MUPs, walk the pattern-graph region below them);
+//! * [`cache`] — the bounded LRU pattern-coverage memo, invalidated only
+//!   for patterns matching the delta;
+//! * [`protocol`] — hand-rolled NDJSON request parsing and response
+//!   serialization (no external dependencies);
+//! * [`server`] — stdin/stdout and TCP front ends (thread-per-connection
+//!   pool over one shared engine).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coverage_core::Threshold;
+//! use coverage_data::{Dataset, Schema};
+//! use coverage_service::CoverageEngine;
+//!
+//! // Example 1 of the paper: the lone MUP is 1XX…
+//! let dataset = Dataset::from_rows(
+//!     Schema::binary(3)?,
+//!     &[vec![0, 1, 0], vec![0, 0, 1], vec![0, 0, 0], vec![0, 1, 1], vec![0, 0, 1]],
+//! )?;
+//! let mut engine = CoverageEngine::new(dataset, Threshold::Count(1))?;
+//! assert_eq!(engine.mups().len(), 1);
+//!
+//! // …until a matching tuple arrives, which retires it incrementally.
+//! engine.insert(&[1, 0, 1])?;
+//! assert_eq!(
+//!     engine.mups().iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+//!     ["11X", "1X0"]
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod delta;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use cache::CoverageCache;
+pub use delta::DeltaOutcome;
+pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
+pub use server::{handle_line, serve_lines, serve_tcp, DEFAULT_WORKERS};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request was structurally valid but semantically rejected
+    /// (arity mismatch, unknown value, out-of-range λ, …).
+    BadRequest(String),
+    /// An underlying algorithm error (threshold resolution, enhancement).
+    Core(coverage_core::CoverageError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(msg) => write!(f, "{msg}"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::BadRequest(_) => None,
+            ServiceError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<coverage_core::CoverageError> for ServiceError {
+    fn from(e: coverage_core::CoverageError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;

@@ -1,0 +1,631 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request, always an object:
+//!
+//! ```text
+//! → {"op":"insert","row":["f","black"]}
+//! ← {"ok":true,"op":"insert","inserted":1,"rows":6,"tau":1,"mups":2}
+//! → {"op":"mups","limit":10}
+//! ← {"ok":true,"op":"mups","count":2,"tau":1,"mups":["1XX","X10"],"decoded":["sex=f","race=black, age=young"]}
+//! ```
+//!
+//! Malformed lines never kill the connection — they produce
+//! `{"ok":false,"error":"..."}` responses. The JSON reader/writer is
+//! hand-rolled (vendoring policy: no new external dependencies) and covers
+//! the full value grammar: objects, arrays, strings with escapes and
+//! `\uXXXX` (including surrogate pairs), numbers, booleans, null.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like browsers do).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last value on
+    /// lookup, matching common parsers).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            text: input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object (last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting bound for the recursive-descent parser: requests are flat
+/// (depth ≤ 3), but a hostile line of `[[[…` must produce an error
+/// response, not a stack overflow that kills the whole server.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    /// The input as a `&str`: already-valid UTF-8, so multi-byte scalars in
+    /// strings decode in O(1) instead of re-validating the suffix.
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("lone low surrogate".into());
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).ok_or("invalid unicode escape")?);
+                        }
+                        other => {
+                            return Err(format!("invalid escape `\\{}`", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. `pos` only ever advances by
+                    // whole scalars, so this O(1) str slice cannot split a
+                    // character (and cannot re-validate the whole suffix,
+                    // which would make long strings quadratic to parse).
+                    let ch = self.text[self.pos..].chars().next().expect("non-empty");
+                    if (ch as u32) < 0x20 {
+                        return Err("unescaped control character in string".into());
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted JSON string with all required escapes.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A validated protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Ingest one or more tuples (`"row"` or `"rows"`), values given as
+    /// attribute value names (or numeric codes).
+    Insert {
+        /// The tuples, outer = rows, inner = per-attribute raw values.
+        rows: Vec<Vec<String>>,
+    },
+    /// List the current MUPs, optionally truncated.
+    Mups {
+        /// Maximum number of patterns to return.
+        limit: Option<usize>,
+    },
+    /// Query `cov(P)` for a pattern in compact notation (`1XX`).
+    Coverage {
+        /// The pattern text.
+        pattern: String,
+    },
+    /// Plan coverage enhancement for level λ.
+    Enhance {
+        /// The target level λ.
+        lambda: usize,
+    },
+    /// Engine statistics.
+    Stats,
+}
+
+/// Converts a JSON value into one raw attribute value.
+fn raw_value(v: &Json) -> Result<String, String> {
+    match v {
+        Json::String(s) => Ok(s.clone()),
+        Json::Number(n) if n.fract() == 0.0 => Ok(format!("{}", *n as i64)),
+        other => Err(format!(
+            "row values must be strings or integer codes, got {other:?}"
+        )),
+    }
+}
+
+/// One tuple: an array of raw attribute values. `what` names the offending
+/// field in errors (`row`, or an element of `rows`).
+fn parse_one_row(value: &Json, what: &str) -> Result<Vec<String>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{what} must be an array of values"))?;
+    items.iter().map(raw_value).collect()
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line)?;
+    if !matches!(doc, Json::Object(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "insert" => {
+            let rows = match (doc.get("rows"), doc.get("row")) {
+                (Some(rows), _) => rows
+                    .as_array()
+                    .ok_or("`rows` must be an array of rows")?
+                    .iter()
+                    .map(|row| parse_one_row(row, "each row in `rows`"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                (None, Some(row)) => vec![parse_one_row(row, "`row`")?],
+                (None, None) => return Err("insert needs `row` or `rows`".into()),
+            };
+            if rows.is_empty() {
+                return Err("insert needs at least one row".into());
+            }
+            Ok(Request::Insert { rows })
+        }
+        "mups" => {
+            let limit = match doc.get("limit") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or("`limit` must be a non-negative integer")? as usize)
+                }
+            };
+            Ok(Request::Mups { limit })
+        }
+        "coverage" => {
+            let pattern = doc
+                .get("pattern")
+                .and_then(Json::as_str)
+                .ok_or("coverage needs a string field `pattern`")?;
+            Ok(Request::Coverage {
+                pattern: pattern.to_string(),
+            })
+        }
+        "enhance" => {
+            let lambda = doc
+                .get("lambda")
+                .and_then(Json::as_u64)
+                .ok_or("enhance needs a non-negative integer field `lambda`")?;
+            Ok(Request::Enhance {
+                lambda: lambda as usize,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        other => Err(format!(
+            "unknown op `{other}` (expected insert|mups|coverage|enhance|stats)"
+        )),
+    }
+}
+
+/// Builds the `{"ok":false,...}` response for a rejected request.
+pub fn error_response(message: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    write_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"insert","row":["f","black"]}"#).unwrap(),
+            Request::Insert {
+                rows: vec![vec!["f".into(), "black".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"insert","rows":[["a","b"],["c","d"]]}"#).unwrap(),
+            Request::Insert {
+                rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"insert","row":[1,0]}"#).unwrap(),
+            Request::Insert {
+                rows: vec![vec!["1".into(), "0".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mups"}"#).unwrap(),
+            Request::Mups { limit: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mups","limit":5}"#).unwrap(),
+            Request::Mups { limit: Some(5) }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"coverage","pattern":"1XX"}"#).unwrap(),
+            Request::Coverage {
+                pattern: "1XX".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"enhance","lambda":2}"#).unwrap(),
+            Request::Enhance { lambda: 2 }
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("", "unexpected end"),
+            ("not json", "invalid literal"),
+            ("@garbage", "unexpected `@`"),
+            ("[1,2]", "must be a JSON object"),
+            ("{}", "missing string field `op`"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"insert"}"#, "needs `row` or `rows`"),
+            (r#"{"op":"insert","rows":[]}"#, "at least one row"),
+            (
+                r#"{"op":"insert","row":[true]}"#,
+                "strings or integer codes",
+            ),
+            (
+                r#"{"op":"insert","row":"f,black"}"#,
+                "`row` must be an array",
+            ),
+            (
+                r#"{"op":"insert","rows":["f","black"]}"#,
+                "each row in `rows` must be an array",
+            ),
+            (r#"{"op":"mups","limit":-1}"#, "non-negative integer"),
+            (r#"{"op":"mups","limit":1.5}"#, "non-negative integer"),
+            (r#"{"op":"coverage"}"#, "string field `pattern`"),
+            (
+                r#"{"op":"enhance","lambda":"two"}"#,
+                "integer field `lambda`",
+            ),
+            (r#"{"op":"stats"} trailing"#, "trailing characters"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "line `{line}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn json_parser_covers_the_grammar() {
+        let doc = Json::parse(
+            r#" {"a": [1, -2.5, 1e3], "b": {"nested": null}, "c": true, "d": "q\"\\\nA😀"} "#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap(),
+            &[Json::Number(1.0), Json::Number(-2.5), Json::Number(1000.0)]
+        );
+        assert_eq!(doc.get("b").unwrap().get("nested"), Some(&Json::Null));
+        assert_eq!(doc.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("d").unwrap().as_str(), Some("q\"\\\nA😀"));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in [
+            "{",
+            "{\"a\"}",
+            "[1,]",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "01a",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // 200k unclosed brackets must come back as an error response, not
+        // abort the serving process.
+        let bomb = "[".repeat(200_000);
+        assert!(Json::parse(&bomb).unwrap_err().contains("nesting"));
+        let nested_obj = "{\"a\":".repeat(200_000);
+        assert!(Json::parse(&nested_obj).unwrap_err().contains("nesting"));
+        // Depth is tracked, not merely counted: 70 sequential sibling
+        // arrays are fine even though 70 > MAX_DEPTH nested would not be.
+        let wide = format!("[{}]", vec!["[]"; 70].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression: per-char suffix re-validation made this quadratic
+        // (~2 s at 400 kB); linear parsing handles 1 MB in milliseconds.
+        let payload = "a".repeat(1 << 20);
+        let line = format!("{{\"op\":\"coverage\",\"pattern\":\"{payload}\"}}");
+        let start = std::time::Instant::now();
+        let doc = Json::parse(&line).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "string parse took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(
+            doc.get("pattern").and_then(Json::as_str).map(str::len),
+            Some(payload.len())
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let doc = Json::parse(r#"{"op":"stats","op":"mups"}"#).unwrap();
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("mups"));
+    }
+
+    #[test]
+    fn string_writer_escapes() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{0001}e");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+        // Round trip through the parser.
+        assert_eq!(
+            Json::parse(&out).unwrap().as_str(),
+            Some("a\"b\\c\nd\u{0001}e")
+        );
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = error_response("boom \"quoted\"");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("error").and_then(Json::as_str),
+            Some("boom \"quoted\"")
+        );
+    }
+}

@@ -1,0 +1,533 @@
+//! Serving front ends: request dispatch, stdin/stdout line serving, and a
+//! TCP listener with a small thread-per-connection pool.
+//!
+//! All front ends funnel into [`handle_line`], which never panics on
+//! malformed input — every request line yields exactly one response line.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use coverage_core::pattern::Pattern;
+use coverage_data::Schema;
+
+use crate::engine::CoverageEngine;
+use crate::protocol::{error_response, parse_request, write_json_string, Request};
+
+/// Default number of worker threads for [`serve_tcp`].
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Encodes one protocol row (raw value names) into schema codes.
+fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, String> {
+    if raw.len() != schema.arity() {
+        return Err(format!(
+            "row has {} values, schema has {} attributes",
+            raw.len(),
+            schema.arity()
+        ));
+    }
+    raw.iter()
+        .enumerate()
+        .map(|(i, v)| schema.attribute(i).code_of(v).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Human-readable form of a pattern's deterministic elements, e.g.
+/// `sex=f, race=black` (the CLI's decode format); `(anything)` for the root.
+fn decode_pattern(schema: &Schema, pattern: &Pattern) -> String {
+    let parts: Vec<String> = (0..schema.arity())
+        .filter_map(|i| {
+            pattern.get(i).map(|v| {
+                format!(
+                    "{}={}",
+                    schema.attribute(i).name(),
+                    schema.attribute(i).value_name(v)
+                )
+            })
+        })
+        .collect();
+    if parts.is_empty() {
+        "(anything)".into()
+    } else {
+        parts.join(", ")
+    }
+}
+
+fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, String> {
+    let mut out = String::with_capacity(128);
+    match request {
+        Request::Insert { rows } => {
+            let coded: Vec<Vec<u8>> = rows
+                .iter()
+                .map(|r| encode_row(engine.dataset().schema(), r))
+                .collect::<Result<_, _>>()?;
+            engine.insert_batch(&coded).map_err(|e| e.to_string())?;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"op\":\"insert\",\"inserted\":{},\"rows\":{},\"tau\":{},\"mups\":{}}}",
+                    coded.len(),
+                    engine.dataset().len(),
+                    engine.tau(),
+                    engine.mups().len()
+                ),
+            );
+        }
+        Request::Mups { limit } => {
+            let total = engine.mups().len();
+            let shown = limit.unwrap_or(total).min(total);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"op\":\"mups\",\"count\":{},\"tau\":{},\"mups\":[",
+                    total,
+                    engine.tau()
+                ),
+            );
+            for (i, mup) in engine.mups().iter().take(shown).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, &mup.to_string());
+            }
+            out.push_str("],\"decoded\":[");
+            let schema = engine.dataset().schema();
+            for (i, mup) in engine.mups().iter().take(shown).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, &decode_pattern(schema, mup));
+            }
+            out.push_str("]}");
+        }
+        Request::Coverage { pattern } => {
+            let p = Pattern::parse(&pattern).map_err(|e| e.to_string())?;
+            let coverage = engine.coverage(p.codes()).map_err(|e| e.to_string())?;
+            let covered = coverage >= engine.tau();
+            out.push_str("{\"ok\":true,\"op\":\"coverage\",\"pattern\":");
+            write_json_string(&mut out, &pattern);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"coverage\":{coverage},\"covered\":{covered},\"tau\":{}}}",
+                    engine.tau()
+                ),
+            );
+        }
+        Request::Enhance { lambda } => {
+            let (plan, copies) = engine.enhance(lambda).map_err(|e| e.to_string())?;
+            let schema = engine.dataset().schema();
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"op\":\"enhance\",\"lambda\":{lambda},\"targets\":{},\"collect\":[",
+                    plan.input_size()
+                ),
+            );
+            for (i, (combo, n)) in plan.combinations.iter().zip(&copies).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"values\":[");
+                for (j, &v) in combo.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(&mut out, &schema.attribute(j).value_name(v));
+                }
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("],\"copies\":{n}}}"));
+            }
+            out.push_str("]}");
+        }
+        Request::Stats => {
+            let report = engine.report();
+            let stats = engine.stats();
+            let (cache_len, cache_cap, hits, misses) = engine.cache_stats();
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    concat!(
+                        "{{\"ok\":true,\"op\":\"stats\",\"rows\":{},\"attributes\":{},",
+                        "\"tau\":{},\"mups\":{},\"max_covered_level\":{},",
+                        "\"inserts\":{},\"batches\":{},\"mups_retired\":{},",
+                        "\"mups_discovered\":{},\"full_recomputes\":{},",
+                        "\"cache\":{{\"len\":{},\"capacity\":{},\"hits\":{},\"misses\":{}}}}}"
+                    ),
+                    engine.dataset().len(),
+                    engine.dataset().arity(),
+                    engine.tau(),
+                    report.mup_count(),
+                    report.maximum_covered_level(),
+                    stats.inserts,
+                    stats.batches,
+                    stats.mups_retired,
+                    stats.mups_discovered,
+                    stats.full_recomputes,
+                    cache_len,
+                    cache_cap,
+                    hits,
+                    misses,
+                ),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Handles one request line, returning exactly one response line (without
+/// the trailing newline). Never panics on malformed input.
+pub fn handle_line(engine: &mut CoverageEngine, line: &str) -> String {
+    match parse_request(line).and_then(|req| dispatch(engine, req)) {
+        Ok(response) => response,
+        Err(message) => error_response(&message),
+    }
+}
+
+/// Upper bound on one request line. Longer lines answer an error response
+/// and are discarded up to the next newline — without this cap a single
+/// newline-free stream would buffer unboundedly and OOM the whole server.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+enum LineRead {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+/// Reads one newline-terminated request line, never buffering more than
+/// [`MAX_LINE_BYTES`] of it. Invalid UTF-8 is replaced lossily (the JSON
+/// layer then rejects it with a normal error response).
+fn read_request_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let n = io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    let terminated = buf.last() == Some(&b'\n');
+    if terminated {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() <= MAX_LINE_BYTES && (terminated || n <= MAX_LINE_BYTES) {
+        // Unterminated final lines (EOF without newline) are served too.
+        return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+    }
+    // Cap hit mid-line: discard the rest in bounded chunks to resync.
+    loop {
+        buf.clear();
+        let m = io::Read::take(&mut *reader, 64 * 1024).read_until(b'\n', &mut buf)?;
+        if m == 0 || buf.last() == Some(&b'\n') {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// The shared request/response loop: one response line per request line,
+/// oversized lines answered with an error and skipped, until EOF.
+fn serve_loop(
+    mut input: impl BufRead,
+    mut output: impl Write,
+    mut respond: impl FnMut(&str) -> String,
+) -> io::Result<()> {
+    loop {
+        let response = match read_request_line(&mut input)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                error_response(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                respond(&line)
+            }
+        };
+        writeln!(output, "{response}")?;
+        output.flush()?;
+    }
+}
+
+/// Serves newline-delimited requests from `input` to `output` until EOF
+/// (the `mithra serve` stdin/stdout mode). Blank lines are skipped.
+pub fn serve_lines(
+    engine: &mut CoverageEngine,
+    input: impl BufRead,
+    output: impl Write,
+) -> io::Result<()> {
+    serve_loop(input, output, |line| handle_line(engine, line))
+}
+
+/// How long a TCP connection may sit idle between requests before it is
+/// closed. Workers come from a small fixed pool — without this bound a
+/// handful of silent clients would park every worker in a blocking read
+/// and starve all queued connections.
+pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+fn serve_connection(engine: &Arc<Mutex<CoverageEngine>>, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_loop(reader, stream, |line| {
+        // Parse needs no engine state — keep it outside the lock so one
+        // connection's slow/hostile request text cannot stall the others.
+        match parse_request(line) {
+            Err(message) => error_response(&message),
+            Ok(request) => {
+                let mut engine = engine.lock().expect("engine mutex poisoned");
+                dispatch(&mut engine, request).unwrap_or_else(|message| error_response(&message))
+            }
+        }
+    })
+}
+
+/// Serves the protocol over TCP with a fixed pool of `workers` threads
+/// (thread-per-connection, up to `2 × workers` connections queue when all
+/// workers are busy; beyond that new connections are closed immediately
+/// rather than pinning file descriptors in an unbounded queue).
+/// Runs until the listener fails; individual connection errors are dropped.
+pub fn serve_tcp(
+    engine: Arc<Mutex<CoverageEngine>>,
+    listener: TcpListener,
+    workers: usize,
+) -> io::Result<()> {
+    let workers = workers.max(1);
+    let (sender, receiver) = mpsc::sync_channel::<TcpStream>(workers * 2);
+    let receiver = Arc::new(Mutex::new(receiver));
+    let mut pool = Vec::new();
+    for _ in 0..workers {
+        let receiver = Arc::clone(&receiver);
+        let engine = Arc::clone(&engine);
+        pool.push(thread::spawn(move || loop {
+            let next = receiver.lock().expect("queue mutex poisoned").recv();
+            match next {
+                Ok(stream) => {
+                    // A dropped connection only ends that conversation.
+                    let _ = serve_connection(&engine, stream);
+                }
+                Err(_) => break, // listener gone — shut the worker down
+            }
+        }));
+    }
+    let mut accept_failures = 0u32;
+    let mut result = Ok(());
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                accept_failures = 0;
+                match sender.try_send(stream) {
+                    Ok(()) => {}
+                    // Saturated: shed load by closing the new connection now
+                    // (dropping the stream) instead of letting queued sockets
+                    // accumulate fds with no idle timer running.
+                    Err(mpsc::TrySendError::Full(stream)) => drop(stream),
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                }
+            }
+            // Transient accept failures (ECONNABORTED, EMFILE under fd
+            // pressure) recur immediately; back off briefly so they cannot
+            // busy-spin the accept thread while workers hold the fds that
+            // need to drain — but a listener that stays broken must
+            // surface as an error, not an idle zombie process.
+            Err(e) => {
+                accept_failures += 1;
+                if accept_failures >= 100 {
+                    result = Err(e);
+                    break;
+                }
+                thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+    drop(sender);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Json;
+    use coverage_core::Threshold;
+    use coverage_data::{Attribute, Dataset};
+
+    /// A dictionary-carrying dataset: sex ∈ {m,f}, race ∈ {white,black,asian}.
+    fn engine() -> CoverageEngine {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black", "asian"]).unwrap(),
+        ])
+        .unwrap();
+        let ds =
+            Dataset::from_rows(schema, &[vec![0, 0], vec![0, 1], vec![1, 0], vec![0, 0]]).unwrap();
+        CoverageEngine::new(ds, Threshold::Count(1)).unwrap()
+    }
+
+    fn ok(engine: &mut CoverageEngine, line: &str) -> Json {
+        let response = handle_line(engine, line);
+        let doc = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request `{line}` failed: {response}"
+        );
+        doc
+    }
+
+    #[test]
+    fn insert_by_value_name_and_by_code() {
+        let mut engine = engine();
+        // MUPs at start: f|black (11), X|asian (X2) per τ=1.
+        let doc = ok(&mut engine, r#"{"op":"insert","row":["f","black"]}"#);
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
+        // Numeric codes also work ("1" = f, "2" = asian).
+        let doc = ok(
+            &mut engine,
+            r#"{"op":"insert","rows":[["1","2"],["m","asian"]]}"#,
+        );
+        assert_eq!(doc.get("inserted").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("mups").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn mups_lists_and_limits() {
+        let mut engine = engine();
+        let doc = ok(&mut engine, r#"{"op":"mups"}"#);
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("mups").unwrap().as_array().unwrap().len(), 2);
+        let doc = ok(&mut engine, r#"{"op":"mups","limit":1}"#);
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("mups").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mups_decode_to_value_names() {
+        let mut engine = engine();
+        let doc = ok(&mut engine, r#"{"op":"mups"}"#);
+        let decoded: Vec<&str> = doc
+            .get("decoded")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(decoded, vec!["sex=f, race=black", "race=asian"]);
+    }
+
+    #[test]
+    fn coverage_roundtrip() {
+        let mut engine = engine();
+        let doc = ok(&mut engine, r#"{"op":"coverage","pattern":"0X"}"#);
+        assert_eq!(doc.get("coverage").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(true));
+        let doc = ok(&mut engine, r#"{"op":"coverage","pattern":"12"}"#);
+        assert_eq!(doc.get("coverage").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn enhance_decodes_value_names() {
+        let mut engine = engine();
+        let doc = ok(&mut engine, r#"{"op":"enhance","lambda":2}"#);
+        let collect = doc.get("collect").unwrap().as_array().unwrap();
+        assert!(!collect.is_empty());
+        for item in collect {
+            let values = item.get("values").unwrap().as_array().unwrap();
+            assert_eq!(values.len(), 2);
+            assert!(item.get("copies").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn stats_reports_counters() {
+        let mut engine = engine();
+        let _ = ok(&mut engine, r#"{"op":"insert","row":["f","black"]}"#);
+        let doc = ok(&mut engine, r#"{"op":"stats"}"#);
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("attributes").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("inserts").and_then(Json::as_u64), Some(1));
+        assert!(doc.get("cache").unwrap().get("capacity").is_some());
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses() {
+        let mut engine = engine();
+        for line in [
+            "nonsense",
+            r#"{"op":"insert","row":["f"]}"#, // wrong arity
+            r#"{"op":"insert","row":["f","martian"]}"#, // unknown value
+            r#"{"op":"coverage","pattern":"XXX"}"#, // wrong arity
+            r#"{"op":"coverage","pattern":"9X"}"#, // out-of-range code
+            r#"{"op":"enhance","lambda":9}"#,
+        ] {
+            let response = handle_line(&mut engine, line);
+            let doc = Json::parse(&response).expect("error response is valid JSON");
+            assert_eq!(
+                doc.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "`{line}` should fail: {response}"
+            );
+            assert!(doc.get("error").and_then(Json::as_str).is_some());
+        }
+        // The engine stays usable after every rejected request.
+        let _ = ok(&mut engine, r#"{"op":"stats"}"#);
+    }
+
+    #[test]
+    fn oversized_and_hostile_lines_get_error_responses_and_resync() {
+        let mut engine = engine();
+        // 2 MiB of 'a' with no structure, then a valid request on the next
+        // line: the big line answers an error, the session keeps going.
+        let mut script = vec![b'a'; 2 * MAX_LINE_BYTES];
+        script.push(b'\n');
+        script.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        // And a nesting bomb, which must be rejected by the parser's depth
+        // cap rather than blowing the stack.
+        script.extend_from_slice("[".repeat(100_000).as_bytes());
+        script.push(b'\n');
+        let mut output = Vec::new();
+        serve_lines(&mut engine, script.as_slice(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"ok\":false") && lines[0].contains("exceeds"));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(lines[2].contains("\"ok\":false") && lines[2].contains("nesting"));
+    }
+
+    #[test]
+    fn unterminated_final_line_is_served() {
+        let mut engine = engine();
+        let mut output = Vec::new();
+        serve_lines(&mut engine, &b"{\"op\":\"stats\"}"[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("\"ok\":true"), "{text}");
+    }
+
+    #[test]
+    fn serve_lines_end_to_end() {
+        let mut engine = engine();
+        let script = concat!(
+            "{\"op\":\"stats\"}\n",
+            "\n", // blank lines are skipped
+            "{\"op\":\"insert\",\"row\":[\"f\",\"black\"]}\n",
+            "{\"op\":\"mups\"}\n",
+        );
+        let mut output = Vec::new();
+        serve_lines(&mut engine, script.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one response per request: {text}");
+        for line in lines {
+            assert_eq!(
+                Json::parse(line).unwrap().get("ok").and_then(Json::as_bool),
+                Some(true)
+            );
+        }
+    }
+}

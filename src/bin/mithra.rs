@@ -3,11 +3,15 @@
 //! ```text
 //! mithra audit   <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
 //! mithra enhance <file.csv> --attrs sex,race,age --tau 30 --lambda 2
+//! mithra serve   <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR]
 //! ```
 //!
 //! `audit` prints the coverage report (MUPs per level, maximum covered
 //! level, decoded patterns); `enhance` additionally plans the minimum data
-//! collection that fixes every uncovered pattern at level λ.
+//! collection that fixes every uncovered pattern at level λ; `serve` keeps
+//! the dataset live behind an incremental coverage engine and answers
+//! newline-delimited JSON requests on stdin/stdout (or TCP with
+//! `--listen`).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -37,10 +41,12 @@ struct Args {
     lambda: usize,
     max_level: Option<usize>,
     limit: usize,
+    listen: Option<String>,
+    threads: usize,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L"
+    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N]"
         .to_string()
 }
 
@@ -52,15 +58,17 @@ fn flag_error(flag: &str, detail: impl std::fmt::Display) -> String {
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or_else(usage)?;
-    if !matches!(command.as_str(), "audit" | "enhance") {
+    if !matches!(command.as_str(), "audit" | "enhance" | "serve") {
         return Err(usage());
     }
     let file = argv.next().ok_or_else(usage)?;
     let mut attrs = Vec::new();
     let mut tau = None;
-    let mut lambda = 2usize;
+    let mut lambda = None;
     let mut max_level = None;
-    let mut limit = 20usize;
+    let mut limit = None;
+    let mut listen = None;
+    let mut threads = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -92,10 +100,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 tau = Some(Threshold::Fraction(rate));
             }
             "--lambda" => {
-                lambda = value()?.parse().map_err(|e| flag_error("--lambda", e))?;
-                if lambda == 0 {
+                let level: usize = value()?.parse().map_err(|e| flag_error("--lambda", e))?;
+                if level == 0 {
                     return Err(flag_error("--lambda", "level must be at least 1"));
                 }
+                lambda = Some(level);
             }
             "--max-level" => {
                 let level: usize = value()?.parse().map_err(|e| flag_error("--max-level", e))?;
@@ -106,26 +115,59 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 max_level = Some(level);
             }
-            "--limit" => limit = value()?.parse().map_err(|e| flag_error("--limit", e))?,
+            "--limit" => limit = Some(value()?.parse().map_err(|e| flag_error("--limit", e))?),
+            "--listen" => listen = Some(value()?),
+            "--threads" => {
+                let workers: usize = value()?.parse().map_err(|e| flag_error("--threads", e))?;
+                if workers == 0 {
+                    return Err(flag_error("--threads", "need at least one worker"));
+                }
+                threads = Some(workers);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     if attrs.is_empty() {
         return Err(format!("--attrs is required\n{}", usage()));
     }
-    if command == "enhance" && max_level.is_some() {
+    if command != "audit" && max_level.is_some() {
         // A level-bounded search can miss deep MUPs, which would make the
-        // enhancement plan silently incomplete.
+        // enhancement plan (or the served MUP set) silently incomplete.
         return Err(flag_error("--max-level", "only supported with `audit`"));
+    }
+    if command != "serve" && (listen.is_some() || threads.is_some()) {
+        let flag = if listen.is_some() {
+            "--listen"
+        } else {
+            "--threads"
+        };
+        return Err(flag_error(flag, "only supported with `serve`"));
+    }
+    if command == "serve" && listen.is_none() && threads.is_some() {
+        // stdin/stdout mode is single-threaded; silently ignoring the flag
+        // would hide a forgotten --listen.
+        return Err(flag_error("--threads", "requires --listen"));
+    }
+    if command == "serve" && (lambda.is_some() || limit.is_some()) {
+        // λ comes per-request over the protocol (`{"op":"enhance",...}`);
+        // silently ignoring these would hide a typo'd invocation.
+        let flag = if lambda.is_some() {
+            "--lambda"
+        } else {
+            "--limit"
+        };
+        return Err(flag_error(flag, "not supported with `serve`"));
     }
     Ok(Args {
         command,
         file,
         attrs,
         tau: tau.ok_or_else(|| format!("--tau or --rate is required\n{}", usage()))?,
-        lambda,
+        lambda: lambda.unwrap_or(2),
         max_level,
-        limit,
+        limit: limit.unwrap_or(20),
+        listen,
+        threads: threads.unwrap_or(coverage_service::DEFAULT_WORKERS),
     })
 }
 
@@ -148,10 +190,50 @@ fn decode(pattern: &Pattern, ds: &Dataset) -> String {
     }
 }
 
+/// `serve`: keep the dataset live behind an incremental engine and answer
+/// NDJSON requests on stdin/stdout, or on TCP when `--listen` is given.
+/// Diagnostics go to stderr — stdout carries protocol lines only.
+fn serve(args: &Args, ds: Dataset) -> Result<(), String> {
+    let engine = CoverageEngine::new(ds, args.tau).map_err(|e| e.to_string())?;
+    eprintln!(
+        "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s)",
+        engine.dataset().len(),
+        engine.dataset().arity(),
+        engine.tau(),
+        engine.mups().len()
+    );
+    let served = match &args.listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            eprintln!("listening on {local} ({} worker threads)", args.threads);
+            let shared = std::sync::Arc::new(std::sync::Mutex::new(engine));
+            mithra::service::serve_tcp(shared, listener, args.threads)
+        }
+        None => {
+            let mut engine = engine;
+            let stdin = std::io::stdin();
+            mithra::service::serve_lines(&mut engine, stdin.lock(), std::io::stdout())
+        }
+    };
+    match served {
+        Ok(()) => Ok(()),
+        // A client hanging up (e.g. `| head`) is a normal way to stop.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("serve: {e}")),
+    }
+}
+
 fn run(args: Args) -> Result<(), String> {
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let ds = read_csv_auto_path(&args.file, &attr_refs, None)
         .map_err(|e| format!("{}: {e}", args.file))?;
+    if args.command == "serve" {
+        return serve(&args, ds);
+    }
     if args.command == "enhance" && args.lambda > ds.arity() {
         return Err(format!(
             "--lambda {} exceeds the number of attributes ({})",
@@ -371,5 +453,94 @@ mod tests {
     fn threshold_is_required() {
         let err = parse(&["audit", "d.csv", "--attrs", "a"]).unwrap_err();
         assert!(err.contains("--tau or --rate"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn valid_serve_invocation_parses() {
+        let args = parse(&[
+            "serve",
+            "data.csv",
+            "--attrs",
+            "sex,race",
+            "--tau",
+            "5",
+            "--listen",
+            "127.0.0.1:7878",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(args.command, "serve");
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(args.threads, 2);
+        // stdin/stdout mode needs no --listen.
+        let args = parse(&["serve", "data.csv", "--attrs", "a", "--rate", "0.01"]).unwrap();
+        assert!(args.listen.is_none());
+        assert_eq!(args.threads, coverage_service::DEFAULT_WORKERS);
+    }
+
+    #[test]
+    fn serve_flag_domains_are_enforced() {
+        // --listen is serve-only; --max-level is audit-only; --threads ≥ 1.
+        let err = parse(&[
+            "audit", "d.csv", "--attrs", "a", "--tau", "1", "--listen", ":0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+        let err = parse(&[
+            "enhance",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--max-level",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `audit`"), "{err}");
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--threads",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least one worker"), "{err}");
+        // λ and limit are per-request in the protocol, not serve CLI flags.
+        for flag in ["--lambda", "--limit"] {
+            let err =
+                parse(&["serve", "d.csv", "--attrs", "a", "--tau", "1", flag, "2"]).unwrap_err();
+            assert!(err.contains("not supported with `serve`"), "{err}");
+        }
+        // Worker threads exist only in TCP mode.
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("requires --listen"), "{err}");
     }
 }

@@ -15,7 +15,10 @@
 //!   algorithms (PATTERN-BREAKER, PATTERN-COMBINER, DEEPDIVER) with naïve and
 //!   APRIORI baselines, and coverage enhancement via greedy hitting set;
 //! * [`ml`] — the decision-tree classifier and metrics used by the paper's
-//!   coverage-impact experiment (Fig 11).
+//!   coverage-impact experiment (Fig 11);
+//! * [`service`] — the long-lived serving layer: an incremental
+//!   [`CoverageEngine`](service::CoverageEngine) that maintains the MUP set
+//!   under streamed inserts, plus the NDJSON protocol behind `mithra serve`.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use coverage_core as core;
 pub use coverage_data as data;
 pub use coverage_index as index;
 pub use coverage_ml as ml;
+pub use coverage_service as service;
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -50,4 +54,5 @@ pub mod prelude {
     };
     pub use coverage_data::{Attribute, Bucketizer, Dataset, Schema, UniqueCombinations};
     pub use coverage_index::{CoverageOracle, MupDominanceIndex};
+    pub use coverage_service::{CoverageEngine, EngineStats};
 }

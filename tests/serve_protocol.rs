@@ -1,0 +1,210 @@
+//! End-to-end drive of the `mithra serve` NDJSON protocol: the engine is
+//! spawned in-process and exercised through the same [`handle_line`] /
+//! [`serve_lines`] / [`serve_tcp`] entry points the CLI uses, including
+//! malformed-request error responses and a real TCP round trip.
+
+use std::io::{BufRead, BufReader, Write};
+
+use mithra::prelude::*;
+use mithra::service::protocol::Json;
+use mithra::service::{handle_line, serve_lines, serve_tcp};
+
+/// COMPAS-flavored fixture with value dictionaries, so protocol rows can be
+/// sent as value names.
+fn engine() -> CoverageEngine {
+    let schema = Schema::new(vec![
+        Attribute::with_values("sex", ["m", "f"]).unwrap(),
+        Attribute::with_values("race", ["white", "black", "hispanic"]).unwrap(),
+        Attribute::with_values("age", ["young", "old"]).unwrap(),
+    ])
+    .unwrap();
+    let rows = [
+        vec![0, 0, 0],
+        vec![0, 0, 1],
+        vec![0, 1, 0],
+        vec![1, 0, 0],
+        vec![1, 0, 1],
+        vec![0, 2, 0],
+    ];
+    let ds = Dataset::from_rows(schema, &rows).unwrap();
+    CoverageEngine::new(ds, Threshold::Count(1)).unwrap()
+}
+
+fn request(engine: &mut CoverageEngine, line: &str) -> Json {
+    let response = handle_line(engine, line);
+    Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON `{response}`: {e}"))
+}
+
+fn assert_ok(doc: &Json, line: &str) {
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {line} → {doc:?}"
+    );
+}
+
+/// The ISSUE's acceptance sequence: insert → mups → coverage → stats, each
+/// answered with one valid JSON line, with state visibly advancing.
+#[test]
+fn insert_mups_coverage_stats_sequence() {
+    let mut engine = engine();
+    let initial_mups = engine.mups().len();
+    assert!(initial_mups > 0, "fixture must start uncovered");
+
+    // 1. Insert a batch closing part of the frontier.
+    let line = r#"{"op":"insert","rows":[["f","black","young"],["f","hispanic","old"]]}"#;
+    let doc = request(&mut engine, line);
+    assert_ok(&doc, line);
+    assert_eq!(doc.get("inserted").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(8));
+
+    // 2. The MUP list reflects the inserts and matches the engine state.
+    let doc = request(&mut engine, r#"{"op":"mups"}"#);
+    assert_ok(&doc, "mups");
+    let listed = doc.get("mups").unwrap().as_array().unwrap().len();
+    assert_eq!(listed, engine.mups().len());
+    assert!(listed < initial_mups + 2, "frontier should have shrunk");
+
+    // 3. Coverage of the batch's pattern went up.
+    let line = r#"{"op":"coverage","pattern":"11X"}"#; // f|black|X
+    let doc = request(&mut engine, line);
+    assert_ok(&doc, line);
+    assert_eq!(doc.get("coverage").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(true));
+
+    // 4. Stats report the maintenance that just happened.
+    let doc = request(&mut engine, r#"{"op":"stats"}"#);
+    assert_ok(&doc, "stats");
+    assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(8));
+    assert_eq!(doc.get("inserts").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("batches").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        doc.get("mups").and_then(Json::as_u64),
+        Some(engine.mups().len() as u64)
+    );
+}
+
+/// Engine state advanced through the protocol equals a batch DEEPDIVER
+/// audit of the same materialized dataset.
+#[test]
+fn protocol_inserts_match_batch_audit() {
+    let mut engine = engine();
+    let mut materialized = engine.dataset().clone();
+    let inserts = [
+        ("m", "hispanic", "old"),
+        ("f", "white", "young"),
+        ("f", "white", "young"),
+        ("m", "black", "old"),
+    ];
+    for (sex, race, age) in inserts {
+        let line = format!(r#"{{"op":"insert","row":["{sex}","{race}","{age}"]}}"#);
+        let doc = request(&mut engine, &line);
+        assert_ok(&doc, &line);
+        let row = [
+            materialized.schema().attribute(0).code_of(sex).unwrap(),
+            materialized.schema().attribute(1).code_of(race).unwrap(),
+            materialized.schema().attribute(2).code_of(age).unwrap(),
+        ];
+        materialized.push_row(&row).unwrap();
+    }
+    let batch = CoverageReport::audit(&materialized, Threshold::Count(1)).unwrap();
+    assert_eq!(engine.mups(), batch.mups.as_slice());
+}
+
+/// Every malformed request yields `{"ok":false}` with a reason — and the
+/// engine keeps serving afterwards, with no state damage.
+#[test]
+fn malformed_requests_get_error_responses() {
+    let mut engine = engine();
+    let rows_before = engine.dataset().len();
+    let bad_lines = [
+        "",                                       // handled upstream (blank skipped) but must not panic
+        "{",                                      // truncated JSON
+        "[]",                                     // not an object
+        r#"{"op":"audit"}"#,                      // unknown op
+        r#"{"op":"insert"}"#,                     // missing rows
+        r#"{"op":"insert","row":["m","black"]}"#, // arity mismatch
+        r#"{"op":"insert","row":["m","martian","old"]}"#, // unknown value
+        r#"{"op":"insert","rows":[["m","white","old"],["m","martian","old"]]}"#, // bad batch → atomic reject
+        r#"{"op":"coverage","pattern":"1X"}"#,                                   // pattern arity
+        r#"{"op":"coverage","pattern":"1?X"}"#,                                  // pattern syntax
+        r#"{"op":"enhance","lambda":0}"#,                                        // λ out of range
+        r#"{"op":"mups","limit":"ten"}"#,                                        // wrong type
+    ];
+    for line in bad_lines {
+        let doc = request(&mut engine, line);
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "`{line}` should have been rejected"
+        );
+        let reason = doc.get("error").and_then(Json::as_str).unwrap();
+        assert!(!reason.is_empty());
+    }
+    assert_eq!(
+        engine.dataset().len(),
+        rows_before,
+        "rejected requests must not mutate the dataset"
+    );
+    let doc = request(&mut engine, r#"{"op":"stats"}"#);
+    assert_ok(&doc, "stats after errors");
+}
+
+/// `serve_lines` (the stdin/stdout mode): a scripted session produces one
+/// response line per request, in order.
+#[test]
+fn scripted_stdio_session() {
+    let mut engine = engine();
+    let script = "\
+{\"op\":\"stats\"}\n\
+not json\n\
+{\"op\":\"insert\",\"row\":[\"f\",\"black\",\"young\"]}\n\
+{\"op\":\"mups\",\"limit\":3}\n";
+    let mut output = Vec::new();
+    serve_lines(&mut engine, script.as_bytes(), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    let oks: Vec<Option<bool>> = lines
+        .iter()
+        .map(|l| Json::parse(l).unwrap().get("ok").and_then(Json::as_bool))
+        .collect();
+    assert_eq!(oks, vec![Some(true), Some(false), Some(true), Some(true)]);
+}
+
+/// Full TCP round trip: bind an ephemeral port, serve with a two-thread
+/// pool, and run two sequential client connections against the shared
+/// engine — state must persist across connections.
+#[test]
+fn tcp_round_trip_shares_one_engine() {
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::{Arc, Mutex};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let shared = Arc::new(Mutex::new(engine()));
+    let server = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        let _ = serve_tcp(server, listener, 2);
+    });
+
+    let ask = |line: &str| -> Json {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        drop(stream);
+        Json::parse(response.trim()).unwrap()
+    };
+
+    let doc = ask(r#"{"op":"insert","row":["f","black","young"]}"#);
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    // A second connection sees the first connection's insert.
+    let doc = ask(r#"{"op":"stats"}"#);
+    assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(7));
+    assert_eq!(doc.get("inserts").and_then(Json::as_u64), Some(1));
+    // And the in-process handle agrees.
+    assert_eq!(shared.lock().unwrap().dataset().len(), 7);
+}

@@ -1,0 +1,124 @@
+//! Property tests for the incremental coverage engine: after any insert
+//! stream, the maintained MUP set must equal a batch DEEPDIVER run over the
+//! materialized dataset — for absolute thresholds (pure delta path) and for
+//! rate thresholds (whose resolved τ shifts as the dataset grows, forcing
+//! re-resolution and occasional full-recompute fallbacks).
+
+use mithra::prelude::*;
+use proptest::prelude::*;
+
+/// A random shape, base dataset, and insert stream over a shared schema:
+/// 2–4 attributes of cardinality 2–4, 0–40 base rows, 1–60 streamed rows.
+fn workload_strategy() -> impl Strategy<Value = (Dataset, Vec<Vec<u8>>)> {
+    (2usize..=4, 2u8..=4)
+        .prop_flat_map(|(d, c)| {
+            let base = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..40);
+            let stream = proptest::collection::vec(proptest::collection::vec(0..c, d), 1..60);
+            (Just((d, c)), base, stream)
+        })
+        .prop_map(|((d, c), base, stream)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            (Dataset::from_rows(schema, &base).unwrap(), stream)
+        })
+}
+
+/// Applies the stream through the engine in mixed batch sizes (1, 2, 3, …)
+/// so both `insert` and `insert_batch` paths are exercised, asserting
+/// equivalence with the batch algorithm at every step.
+fn assert_engine_tracks_batch(
+    base: Dataset,
+    stream: &[Vec<u8>],
+    threshold: Threshold,
+) -> Result<(), TestCaseError> {
+    let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+    let mut materialized = base;
+    let mut cursor = 0usize;
+    let mut batch_size = 1usize;
+    while cursor < stream.len() {
+        let end = (cursor + batch_size).min(stream.len());
+        let chunk = &stream[cursor..end];
+        if chunk.len() == 1 {
+            engine.insert(&chunk[0]).unwrap();
+        } else {
+            engine.insert_batch(chunk).unwrap();
+        }
+        for row in chunk {
+            materialized.push_row(row).unwrap();
+        }
+        let mut expected = DeepDiver::default()
+            .find_mups(&materialized, threshold)
+            .unwrap();
+        expected.sort();
+        prop_assert_eq!(
+            engine.mups(),
+            expected.as_slice(),
+            "divergence after {} rows (threshold {:?})",
+            materialized.len(),
+            threshold
+        );
+        prop_assert_eq!(
+            engine.tau(),
+            threshold.resolve(materialized.len() as u64).unwrap()
+        );
+        cursor = end;
+        batch_size = batch_size % 5 + 1;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Absolute thresholds: the delta path alone must track batch discovery.
+    #[test]
+    fn engine_matches_deepdiver_under_count_threshold(
+        workload in workload_strategy(),
+        tau in 1u64..12,
+    ) {
+        let (base, stream) = workload;
+        assert_engine_tracks_batch(base, &stream, Threshold::Count(tau))?;
+    }
+
+    /// Rate thresholds: τ = max(1, round(f·n)) moves as n grows; the engine
+    /// must re-resolve it on every batch and stay equivalent.
+    #[test]
+    fn engine_matches_deepdiver_under_rate_threshold(
+        workload in workload_strategy(),
+        rate_milli in 5u64..300,
+    ) {
+        let (base, stream) = workload;
+        let rate = rate_milli as f64 / 1000.0;
+        assert_engine_tracks_batch(base, &stream, Threshold::Fraction(rate))?;
+    }
+}
+
+/// Deterministic regression: a rate stream crossing many τ steps, checked
+/// against the count of full recomputes actually triggered (the fallback
+/// must fire, but only when the resolved τ moves).
+#[test]
+fn rate_threshold_fallbacks_are_bounded_by_tau_steps() {
+    let schema = Schema::with_cardinalities(&[2, 3]).unwrap();
+    let base = Dataset::from_rows(schema, &[vec![0, 0], vec![1, 1]]).unwrap();
+    let threshold = Threshold::Fraction(0.25); // τ steps every 4 rows
+    let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+    let mut materialized = base;
+    let mut tau_steps = 0u64;
+    let mut tau = engine.tau();
+    for i in 0..40usize {
+        let row = vec![(i % 2) as u8, (i % 3) as u8];
+        engine.insert(&row).unwrap();
+        materialized.push_row(&row).unwrap();
+        let resolved = threshold.resolve(materialized.len() as u64).unwrap();
+        if resolved != tau {
+            tau_steps += 1;
+            tau = resolved;
+        }
+    }
+    assert_eq!(engine.stats().full_recomputes, tau_steps);
+    assert!(tau_steps > 0, "stream must actually cross τ steps");
+    let mut expected = DeepDiver::default()
+        .find_mups(&materialized, threshold)
+        .unwrap();
+    expected.sort();
+    assert_eq!(engine.mups(), expected.as_slice());
+}
