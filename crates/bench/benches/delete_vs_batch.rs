@@ -1,0 +1,126 @@
+//! MUP maintenance over a mixed 1k insert/delete stream: the incremental
+//! [`CoverageEngine`] delete delta versus re-running full DEEPDIVER
+//! discovery after every op. Both sides see the same stream and the
+//! recompute baseline reuses the incrementally maintained oracle
+//! (`add_row`/`remove_row`), so the measured gap is purely discovery work.
+//!
+//! Besides the Criterion timings, a one-shot summary reports the observed
+//! per-op speedup, asserts both strategies land on the same MUP set, and
+//! asserts the delete delta clears the 10× bar the serving layer is sized
+//! around.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use coverage_core::mup::{DeepDiver, MupAlgorithm};
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_data::Dataset;
+use coverage_index::CoverageOracle;
+use coverage_service::CoverageEngine;
+
+const TAU: u64 = 25;
+const OPS: usize = 1_000;
+
+/// One streamed mutation.
+enum Op {
+    Insert(Vec<u8>),
+    Delete(Vec<u8>),
+}
+
+/// Base dataset plus a 1,000-op mixed stream: two inserts, then a delete of
+/// the oldest still-present inserted row — every delete targets a row that
+/// is guaranteed to exist, and the dataset drifts slowly upward (~+445
+/// rows) so both delta paths stay busy around a moving frontier.
+fn workload() -> (Dataset, Vec<Op>) {
+    let base = airbnb_like(2_000, 6, 7).expect("generator");
+    let pool = airbnb_like(700, 6, 99).expect("generator");
+    let pool: Vec<Vec<u8>> = pool.rows().map(<[u8]>::to_vec).collect();
+    let mut ops = Vec::with_capacity(OPS);
+    let mut inserted = 0usize;
+    let mut deleted = 0usize;
+    for i in 0..OPS {
+        if i % 3 == 2 {
+            ops.push(Op::Delete(pool[deleted].clone()));
+            deleted += 1;
+        } else {
+            ops.push(Op::Insert(pool[inserted].clone()));
+            inserted += 1;
+        }
+    }
+    assert!(deleted <= inserted, "deletes must lag inserts");
+    (base, ops)
+}
+
+/// Incremental path: one engine, insert/delete deltas per op.
+fn run_incremental(base: &Dataset, ops: &[Op]) -> usize {
+    let mut engine = CoverageEngine::new(base.clone(), Threshold::Count(TAU)).expect("engine");
+    for op in ops {
+        match op {
+            Op::Insert(row) => engine.insert(row).expect("insert"),
+            Op::Delete(row) => engine.remove(row).expect("delete"),
+        }
+    }
+    engine.mups().len()
+}
+
+/// Baseline: apply each op to the oracle, then re-run full DEEPDIVER
+/// discovery from the root — all prior discovery work is thrown away.
+fn run_full_recompute(base: &Dataset, ops: &[Op]) -> usize {
+    let mut oracle = CoverageOracle::from_dataset(base);
+    let mut mups = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(row) => {
+                oracle.add_row(row);
+            }
+            Op::Delete(row) => {
+                assert!(oracle.remove_row(row), "deleted row must be present");
+            }
+        }
+        mups = DeepDiver::default()
+            .find_mups_with_oracle(&oracle, TAU)
+            .expect("mups");
+    }
+    mups.len()
+}
+
+fn bench_delete_vs_batch(c: &mut Criterion) {
+    let (base, ops) = workload();
+
+    // One-shot equivalence check + speedup summary outside the harness.
+    let start = Instant::now();
+    let incremental_mups = run_incremental(&base, &ops);
+    let incremental_time = start.elapsed();
+    let start = Instant::now();
+    let recompute_mups = run_full_recompute(&base, &ops);
+    let recompute_time = start.elapsed();
+    assert_eq!(
+        incremental_mups, recompute_mups,
+        "incremental and batch MUP sets diverged"
+    );
+    let speedup = recompute_time.as_secs_f64() / incremental_time.as_secs_f64();
+    println!(
+        "delete_vs_batch summary: {OPS} mixed ops → \
+         incremental {incremental_time:?} vs full recompute {recompute_time:?} \
+         ({speedup:.1}x speedup, {incremental_mups} final MUPs)"
+    );
+    assert!(
+        speedup >= 10.0,
+        "delete delta must beat per-op DEEPDIVER recompute by ≥ 10× (got {speedup:.1}×)"
+    );
+
+    let mut group = c.benchmark_group("mup_maintenance_mixed_1k_stream");
+    group.sample_size(10);
+    group.bench_function("incremental_engine_per_op", |b| {
+        b.iter(|| black_box(run_incremental(black_box(&base), black_box(&ops))));
+    });
+    group.bench_function("deepdiver_recompute_per_op", |b| {
+        b.iter(|| black_box(run_full_recompute(black_box(&base), black_box(&ops))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delete_vs_batch);
+criterion_main!(benches);

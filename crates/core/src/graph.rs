@@ -56,6 +56,62 @@ pub fn maximal_uncovered_below(
     out
 }
 
+/// Neighborhood walk for incremental *delete* maintenance: given a tuple
+/// `t` that has just been removed from the dataset, returns every maximal
+/// uncovered pattern that *matches* `t` — exactly the candidate MUPs a
+/// deletion can mint, plus any existing MUPs matching `t` (callers diff
+/// against their current frontier).
+///
+/// Deletes only decrease coverage, and only for patterns matching the
+/// deleted tuple, so every brand-new MUP lies in the sublattice of patterns
+/// whose deterministic elements agree with `t` (size `2^d`, one node per
+/// attribute subset). Parents of a sublattice node are sublattice nodes
+/// (a parent drops a deterministic element), so Definition 5's
+/// all-parents-covered condition is decidable without leaving the
+/// sublattice. The walk descends through covered nodes only, so the region
+/// visited is bounded by the covered slab above the post-delete frontier —
+/// not all `2^d` nodes.
+///
+/// `is_covered` is called at most once per visited pattern plus once per
+/// parent probe; callers typically back it with a coverage oracle and a
+/// memo cache.
+pub fn maximal_uncovered_within(
+    tuple: &[u8],
+    mut is_covered: impl FnMut(&Pattern) -> bool,
+) -> Vec<Pattern> {
+    let root = Pattern::all_x(tuple.len());
+    if !is_covered(&root) {
+        // The whole dataset dropped below τ: the root dominates everything.
+        return vec![root];
+    }
+    let sublattice_children = |p: &Pattern| -> Vec<Pattern> {
+        (0..tuple.len())
+            .filter(|&i| !p.is_deterministic(i))
+            .map(|i| p.with(i, tuple[i]))
+            .collect()
+    };
+    let mut out = Vec::new();
+    let mut seen: HashSet<Pattern> = HashSet::new();
+    let mut stack: Vec<Pattern> = Vec::new();
+    for child in sublattice_children(&root) {
+        if seen.insert(child.clone()) {
+            stack.push(child);
+        }
+    }
+    while let Some(p) = stack.pop() {
+        if is_covered(&p) {
+            for child in sublattice_children(&p) {
+                if seen.insert(child.clone()) {
+                    stack.push(child);
+                }
+            }
+        } else if p.parents().all(|parent| is_covered(&parent)) {
+            out.push(p);
+        }
+    }
+    out
+}
+
 /// Structural statistics of the pattern graph over the given cardinalities.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternGraphStats {
@@ -310,6 +366,60 @@ mod tests {
             expected.sort();
             assert_eq!(got, expected, "seed {seed} tuples {tuples:?}");
         }
+    }
+
+    #[test]
+    fn maximal_uncovered_within_finds_post_delete_frontier() {
+        // Example 1 plus (1,0,1), then (1,0,1) deleted again: every pattern
+        // matching the deleted tuple reverts to its Example-1 coverage, and
+        // the walk within the (1,0,1) sublattice must surface 1XX (τ=1).
+        let rows: Vec<[u8; 3]> = vec![[0, 1, 0], [0, 0, 1], [0, 0, 0], [0, 1, 1], [0, 0, 1]];
+        let covered = |p: &Pattern| rows.iter().any(|r| p.matches(r));
+        let got: Vec<String> = maximal_uncovered_within(&[1, 0, 1], covered)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(got, vec!["1XX"]);
+    }
+
+    #[test]
+    fn within_walk_agrees_with_exhaustive_enumeration() {
+        // Random datasets: for every possible deleted tuple the walk must
+        // equal the brute-force maximal uncovered patterns restricted to the
+        // tuple's sublattice.
+        use rand::{Rng, SeedableRng};
+        let cards = [2u8, 3, 2];
+        let graph = PatternGraph::materialize(&cards).unwrap();
+        for seed in 0..20u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.random_range(0..6usize);
+            let tuples: Vec<Vec<u8>> = (0..n)
+                .map(|_| cards.iter().map(|&c| rng.random_range(0..c)).collect())
+                .collect();
+            let covered = |p: &Pattern| tuples.iter().any(|t| p.matches(t));
+            let deleted: Vec<u8> = cards.iter().map(|&c| rng.random_range(0..c)).collect();
+            let mut got = maximal_uncovered_within(&deleted, covered);
+            got.sort();
+            let mut expected: Vec<Pattern> = graph
+                .nodes()
+                .iter()
+                .filter(|p| p.matches(&deleted) && !covered(p) && p.parents().all(|q| covered(&q)))
+                .cloned()
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "seed {seed} deleted {deleted:?}");
+        }
+    }
+
+    #[test]
+    fn within_walk_over_empty_dataset_is_the_root() {
+        let got = maximal_uncovered_within(&[1, 0], |_| false);
+        assert_eq!(got, vec![Pattern::all_x(2)]);
+    }
+
+    #[test]
+    fn within_walk_over_fully_covered_sublattice_is_empty() {
+        assert!(maximal_uncovered_within(&[0, 0, 0], |_| true).is_empty());
     }
 
     #[test]

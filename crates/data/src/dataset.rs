@@ -96,6 +96,37 @@ impl Dataset {
         Ok(())
     }
 
+    /// Removes one row equal to `row` (the multiset loses one copy; row
+    /// order is not preserved — the last row moves into the vacated slot).
+    ///
+    /// # Errors
+    ///
+    /// Fails on labeled datasets (which copy of the row would surrender its
+    /// label is ambiguous), on arity/value-range mismatches, and when no
+    /// matching row is present.
+    pub fn remove_row(&mut self, row: &[u8]) -> Result<()> {
+        if !self.labels.is_empty() {
+            return Err(DataError::Io(
+                "cannot remove rows from a labeled dataset".into(),
+            ));
+        }
+        self.validate_row(row)?;
+        let d = self.schema.arity();
+        // Scan newest-first: streaming workloads usually delete recent rows.
+        let i = (0..self.len)
+            .rev()
+            .find(|&i| &self.values[i * d..(i + 1) * d] == row)
+            .ok_or(DataError::RowNotFound)?;
+        let last = (self.len - 1) * d;
+        if i * d < last {
+            let (head, tail) = self.values.split_at_mut(last);
+            head[i * d..(i + 1) * d].copy_from_slice(tail);
+        }
+        self.values.truncate(last);
+        self.len -= 1;
+        Ok(())
+    }
+
     /// Appends a labeled row.
     pub fn push_labeled_row(&mut self, row: &[u8], label: bool) -> Result<()> {
         if self.len > 0 && self.labels.is_empty() {
@@ -265,6 +296,55 @@ mod tests {
             ds.push_row(&[0, 2]),
             Err(DataError::ValueOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn remove_row_shrinks_the_multiset() {
+        let mut ds = toy();
+        ds.remove_row(&[0, 0, 1]).unwrap(); // present twice — one copy goes
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.count_where(|r, _| r == [0, 0, 1]), 1);
+        ds.remove_row(&[0, 0, 1]).unwrap();
+        assert_eq!(ds.count_where(|r, _| r == [0, 0, 1]), 0);
+        assert!(matches!(
+            ds.remove_row(&[0, 0, 1]),
+            Err(DataError::RowNotFound)
+        ));
+        // The surviving rows are exactly the rest of the original multiset.
+        let mut rows: Vec<Vec<u8>> = ds.rows().map(<[u8]>::to_vec).collect();
+        rows.sort();
+        assert_eq!(rows, vec![vec![0, 0, 0], vec![0, 1, 0], vec![0, 1, 1]]);
+    }
+
+    #[test]
+    fn remove_row_validates_and_rejects_labeled() {
+        let mut ds = toy();
+        assert!(matches!(
+            ds.remove_row(&[0, 0]),
+            Err(DataError::RowArity { .. })
+        ));
+        assert!(matches!(
+            ds.remove_row(&[0, 0, 9]),
+            Err(DataError::ValueOutOfRange { .. })
+        ));
+        let mut labeled = Dataset::from_labeled_rows(
+            Schema::binary(2).unwrap(),
+            &[vec![0, 1], vec![1, 0]],
+            &[true, false],
+        )
+        .unwrap();
+        assert!(labeled.remove_row(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn remove_every_row_empties_the_dataset() {
+        let mut ds = toy();
+        for row in toy().rows() {
+            ds.remove_row(row).unwrap();
+        }
+        assert!(ds.is_empty());
+        ds.push_row(&[1, 1, 1]).unwrap();
+        assert_eq!(ds.row(0), &[1, 1, 1]);
     }
 
     #[test]

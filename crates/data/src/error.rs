@@ -45,6 +45,8 @@ pub enum DataError {
         /// The unresolvable raw value.
         value: String,
     },
+    /// A row slated for removal is not present in the dataset.
+    RowNotFound,
     /// Underlying CSV or filesystem failure.
     Io(String),
 }
@@ -83,6 +85,7 @@ impl fmt::Display for DataError {
                 f,
                 "value `{value}` is not in the dictionary of attribute `{attribute}`"
             ),
+            DataError::RowNotFound => write!(f, "no matching row is present in the dataset"),
             DataError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }

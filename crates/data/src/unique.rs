@@ -68,14 +68,7 @@ impl UniqueCombinations {
     /// ranges against the schema before streaming rows in.
     pub fn add_row(&mut self, row: &[u8]) -> (usize, bool) {
         debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
-        if self.index.len() != self.counts.len() {
-            self.index = self
-                .combos
-                .chunks_exact(self.arity)
-                .enumerate()
-                .map(|(k, combo)| (combo.to_vec().into_boxed_slice(), k))
-                .collect();
-        }
+        self.ensure_index();
         self.total += 1;
         if let Some(&k) = self.index.get(row) {
             self.counts[k] += 1;
@@ -86,6 +79,54 @@ impl UniqueCombinations {
             self.counts.push(1);
             self.combos.extend_from_slice(row);
             (k, true)
+        }
+    }
+
+    /// Unregisters one row, returning `(combination index, removed)` where
+    /// `removed` says the combination's multiplicity hit zero and it was
+    /// deleted — by moving the *last* combination into its slot
+    /// (`Vec::swap_remove` style), so callers mirroring combination indices
+    /// (the coverage oracle's bit-vectors) can apply the same O(1) move.
+    /// Returns `None`, changing nothing, when no such row is registered.
+    ///
+    /// After a removal the first-seen combination order is no longer
+    /// preserved; only the multiset of `(combination, count)` pairs matches a
+    /// from-scratch re-aggregation.
+    pub fn remove_row(&mut self, row: &[u8]) -> Option<(usize, bool)> {
+        debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.ensure_index();
+        let &k = self.index.get(row)?;
+        self.total -= 1;
+        if self.counts[k] > 1 {
+            self.counts[k] -= 1;
+            return Some((k, false));
+        }
+        // Multiplicity exhausted: swap-remove the combination.
+        self.index.remove(row);
+        self.counts.swap_remove(k);
+        let last = self.combos.len() - self.arity;
+        if k * self.arity < last {
+            let (head, tail) = self.combos.split_at_mut(last);
+            head[k * self.arity..(k + 1) * self.arity].copy_from_slice(tail);
+            *self
+                .index
+                .get_mut(tail as &[u8])
+                .expect("moved combination is indexed") = k;
+        }
+        self.combos.truncate(last);
+        Some((k, true))
+    }
+
+    /// Builds the persistent combination index if it is stale (lazy, shared
+    /// by [`Self::add_row`] and [`Self::remove_row`]).
+    fn ensure_index(&mut self) {
+        if self.index.len() != self.counts.len() {
+            self.index = self
+                .combos
+                .chunks_exact(self.arity)
+                .enumerate()
+                .map(|(k, combo)| (combo.to_vec().into_boxed_slice(), k))
+                .collect();
         }
     }
 
@@ -202,6 +243,60 @@ mod tests {
         for k in 0..rebuilt.len() {
             assert_eq!(streaming.combo(k), rebuilt.combo(k));
         }
+    }
+
+    #[test]
+    fn remove_row_matches_rebuild_as_multiset() {
+        let schema = Schema::binary(3).unwrap();
+        let rows = [
+            vec![0u8, 1, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 1],
+            vec![1, 1, 1],
+            vec![0, 0, 1],
+        ];
+        let mut streaming =
+            UniqueCombinations::from_dataset(&Dataset::from_rows(schema.clone(), &rows).unwrap());
+        // Decrement: (0,0,1) ×3 → ×2, combination retained.
+        assert_eq!(streaming.remove_row(&[0, 0, 1]), Some((1, false)));
+        // Exhaustion: (0,1,0) ×1 → gone; the last combination (1,1,1) moves
+        // into its slot, exactly as reported.
+        let (k, removed) = streaming.remove_row(&[0, 1, 0]).unwrap();
+        assert!(removed);
+        assert_eq!(streaming.combo(k), &[1, 1, 1][..]);
+        // Absent rows change nothing.
+        assert_eq!(streaming.remove_row(&[1, 0, 0]), None);
+        assert_eq!(streaming.remove_row(&[0, 1, 0]), None);
+
+        let remaining = [vec![1u8, 1, 1], vec![0, 0, 1], vec![0, 0, 1]];
+        let rebuilt =
+            UniqueCombinations::from_dataset(&Dataset::from_rows(schema, &remaining).unwrap());
+        assert_eq!(streaming.total(), rebuilt.total());
+        let sorted = |u: &UniqueCombinations| {
+            let mut pairs: Vec<(Vec<u8>, u64)> = u.iter().map(|(c, n)| (c.to_vec(), n)).collect();
+            pairs.sort();
+            pairs
+        };
+        assert_eq!(sorted(&streaming), sorted(&rebuilt));
+    }
+
+    #[test]
+    fn remove_then_add_round_trips() {
+        let schema = Schema::binary(2).unwrap();
+        let mut u = UniqueCombinations::from_dataset(
+            &Dataset::from_rows(schema, &[vec![0, 0], vec![1, 1]]).unwrap(),
+        );
+        assert_eq!(u.remove_row(&[0, 0]), Some((0, true)));
+        assert_eq!(u.len(), 1);
+        // Re-adding lands in a fresh slot and the index stays consistent.
+        let (k, is_new) = u.add_row(&[0, 0]);
+        assert!(is_new);
+        assert_eq!(u.combo(k), &[0, 0][..]);
+        assert_eq!(u.total(), 2);
+        assert_eq!(u.remove_row(&[1, 1]), Some((0, true)));
+        assert_eq!(u.remove_row(&[0, 0]), Some((0, true)));
+        assert!(u.is_empty());
+        assert_eq!(u.total(), 0);
     }
 
     #[test]

@@ -94,6 +94,36 @@ impl BitVec {
         }
     }
 
+    /// Removes and returns the last bit (used by the shrinkable coverage
+    /// oracle when a unique combination's multiplicity drops to zero).
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.get(self.len - 1);
+        self.set(self.len - 1, false); // keep trailing bits zero for popcounts
+        self.len -= 1;
+        if self.words.len() > self.len.div_ceil(WORD_BITS) {
+            self.words.pop();
+        }
+        Some(value)
+    }
+
+    /// Removes bit `i` in O(1) by moving the last bit into its place
+    /// (mirrors `Vec::swap_remove`), returning the removed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn swap_remove(&mut self, i: usize) -> bool {
+        let removed = self.get(i);
+        let last = self.pop().expect("len checked by get");
+        if i < self.len {
+            self.set(i, last);
+        }
+        removed
+    }
+
     /// `self &= other`.
     ///
     /// # Panics
@@ -327,6 +357,40 @@ mod tests {
         assert_eq!(v.len(), 200);
         assert_eq!(v.count_ones(), 67);
         assert!(v.get(0) && v.get(3) && !v.get(1));
+    }
+
+    #[test]
+    fn pop_shrinks_and_keeps_tail_clean() {
+        let mut v = BitVec::from_indices(130, [0, 64, 129]);
+        assert_eq!(v.pop(), Some(true));
+        assert_eq!(v.len(), 129);
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v.pop(), Some(false));
+        // Word count shrinks as whole words empty out.
+        for _ in 0..64 {
+            v.pop();
+        }
+        assert_eq!(v.len(), 64);
+        assert_eq!(v.words().len(), 1);
+        assert!(v.get(0));
+        let mut empty = BitVec::default();
+        assert_eq!(empty.pop(), None);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_bit_into_hole() {
+        let mut v = BitVec::from_indices(100, [3, 99]);
+        assert!(!v.swap_remove(5)); // bit 99 (set) moves into slot 5
+        assert_eq!(v.len(), 99);
+        assert!(v.get(5) && v.get(3));
+        assert_eq!(v.count_ones(), 2);
+        assert!(v.swap_remove(3)); // last bit (98, unset) moves into slot 3
+        assert!(!v.get(3));
+        // Removing the final bit needs no move.
+        let mut w = BitVec::from_indices(2, [1]);
+        assert!(w.swap_remove(1));
+        assert_eq!(w.len(), 1);
+        assert!(!w.get(0));
     }
 
     #[test]

@@ -85,6 +85,36 @@ impl CoverageOracle {
         k
     }
 
+    /// Incrementally forgets one row (streamed deletes): the aggregation
+    /// loses a count — and when a combination's multiplicity hits zero every
+    /// bit-vector shrinks by one bit in place (the last combination's bit
+    /// moves into the vacated slot, mirroring the aggregation's swap-remove).
+    /// Coverage answers are identical to rebuilding from the shrunk dataset.
+    /// Returns whether a matching row was registered (and removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a value code out of range.
+    pub fn remove_row(&mut self, row: &[u8]) -> bool {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        for (i, &v) in row.iter().enumerate() {
+            assert!(
+                v < self.cardinalities[i],
+                "value {v} out of range for attribute {i}"
+            );
+        }
+        match self.combos.remove_row(row) {
+            None => false,
+            Some((_, false)) => true, // multiplicity decremented, index intact
+            Some((k, true)) => {
+                for vector in &mut self.vectors {
+                    vector.swap_remove(k);
+                }
+                true
+            }
+        }
+    }
+
     /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.cardinalities.len()
@@ -269,6 +299,64 @@ mod tests {
                 assert_eq!(streaming.covered(p, tau), rebuilt.covered(p, tau));
             }
         }
+    }
+
+    #[test]
+    fn remove_row_matches_from_dataset_rebuild() {
+        // Delete a prefix of a generated dataset from a full oracle; coverage
+        // must equal a from-scratch rebuild on the suffix for every probe.
+        let ds = coverage_data::generators::airbnb_like(600, 5, 23).unwrap();
+        let mut shrinking = CoverageOracle::from_dataset(&ds);
+        for i in 0..300 {
+            assert!(shrinking.remove_row(ds.row(i)), "row {i} must be present");
+        }
+        let suffix: Vec<Vec<u8>> = (300..ds.len()).map(|i| ds.row(i).to_vec()).collect();
+        let rebuilt = CoverageOracle::from_dataset(
+            &Dataset::from_rows(ds.schema().clone(), &suffix).unwrap(),
+        );
+        assert_eq!(shrinking.total(), rebuilt.total());
+        assert_eq!(shrinking.combinations().len(), rebuilt.combinations().len());
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X; 5],
+            vec![1, X, X, X, X],
+            vec![X, 0, X, 1, X],
+            vec![1, 1, 0, X, 0],
+            vec![0, 0, 0, 0, 0],
+            vec![X, X, X, X, 1],
+        ];
+        for p in &patterns {
+            assert_eq!(shrinking.coverage(p), rebuilt.coverage(p), "pattern {p:?}");
+            for tau in [1u64, 5, 50, 500] {
+                assert_eq!(shrinking.covered(p, tau), rebuilt.covered(p, tau));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_row_reports_absence_and_handles_exhaustion() {
+        let mut oracle = CoverageOracle::from_dataset(&example1());
+        assert!(!oracle.remove_row(&[1, 1, 1]), "row was never present");
+        assert_eq!(oracle.total(), 5);
+        // (0,1,0) is present exactly once: removing it shrinks the index.
+        assert!(oracle.remove_row(&[0, 1, 0]));
+        assert!(!oracle.remove_row(&[0, 1, 0]));
+        assert_eq!(oracle.total(), 4);
+        assert_eq!(oracle.coverage(&[X, 1, X]), 1);
+        assert_eq!(oracle.coverage(&[X, X, 0]), 1);
+        // Remove everything, then stream rows back in.
+        for row in [[0u8, 0, 1], [0, 0, 0], [0, 1, 1], [0, 0, 1]] {
+            assert!(oracle.remove_row(&row));
+        }
+        assert_eq!(oracle.total(), 0);
+        assert_eq!(oracle.coverage(&[X, X, X]), 0);
+        oracle.add_row(&[1, 0, 1]);
+        assert_eq!(oracle.coverage(&[1, X, 1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_row_rejects_out_of_range_values() {
+        CoverageOracle::from_dataset(&example1()).remove_row(&[0, 0, 7]);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The long-lived [`CoverageEngine`]: a mutable dataset + oracle whose MUP
-//! set is maintained incrementally as tuples stream in.
+//! set is maintained incrementally as tuples stream in — and out.
 //!
-//! * Fixed (count) thresholds take the pure delta path: only MUPs matching
-//!   an inserted tuple are re-probed, and retired MUPs are replaced by a
-//!   bounded neighborhood walk below them — never a full re-discovery.
+//! * Fixed (count) thresholds take the pure delta path: an insert re-probes
+//!   only the MUPs matching it (retired ones are replaced by a bounded
+//!   neighborhood walk below them), a delete re-probes only the covered
+//!   sublattice matching the removed tuple (newly uncovered ancestors retire
+//!   the MUPs they dominate) — never a full re-discovery.
 //! * Rate thresholds re-resolve `τ = max(1, round(f·n))` after every batch;
 //!   while the resolved τ is unchanged the delta path applies, and on the
-//!   rare batch where τ steps up the engine falls back to one DEEPDIVER run
-//!   over the (incrementally maintained) oracle, since a larger τ can
-//!   uncover patterns far from the current frontier.
+//!   rare batch where τ steps (up on inserts, down on deletes) the engine
+//!   falls back to one DEEPDIVER run over the (incrementally maintained)
+//!   oracle, since a shifted τ can flip patterns far from the frontier.
 
 use coverage_core::enhance::{CoverageEnhancer, EnhancementPlan, GreedyHittingSet};
 use coverage_core::mup::{DeepDiver, MupAlgorithm};
@@ -18,7 +20,7 @@ use coverage_data::Dataset;
 use coverage_index::{CoverageOracle, X};
 
 use crate::cache::CoverageCache;
-use crate::delta::{apply_insert_delta, coverage_cached};
+use crate::delta::{apply_delete_delta, apply_insert_delta, coverage_cached};
 use crate::{Result, ServiceError};
 
 /// Default bound on the pattern-coverage memo cache.
@@ -32,11 +34,18 @@ pub struct EngineStats {
     pub inserts: u64,
     /// Insert batches processed (a single insert counts as a batch of one).
     pub batches: u64,
-    /// MUPs retired (covered by newly arrived tuples).
+    /// Rows removed through [`CoverageEngine::remove`] /
+    /// [`CoverageEngine::remove_batch`].
+    pub deletes: u64,
+    /// Delete batches processed (a single remove counts as a batch of one).
+    pub delete_batches: u64,
+    /// MUPs retired (covered by newly arrived tuples, or dominated by newly
+    /// uncovered ancestors after deletes).
     pub mups_retired: u64,
-    /// MUPs discovered by delta walks below retired ones.
+    /// MUPs discovered by delta walks around retired ones.
     pub mups_discovered: u64,
-    /// Full DEEPDIVER fallbacks triggered by a shifted rate threshold.
+    /// Full DEEPDIVER fallbacks triggered by a shifted rate threshold (or a
+    /// post-panic [`CoverageEngine::rebuild`]).
     pub full_recomputes: u64,
 }
 
@@ -101,14 +110,19 @@ impl CoverageEngine {
         Ok(())
     }
 
-    /// Ingests one tuple, incrementally maintaining the MUP set.
+    /// Ingests one tuple, incrementally maintaining the MUP set. This is the
+    /// streaming hot path: the row is borrowed all the way down — no copy.
     pub fn insert(&mut self, row: &[u8]) -> Result<()> {
-        self.insert_batch(std::slice::from_ref(&row.to_vec()))
+        self.insert_rows(std::slice::from_ref(&row))
     }
 
     /// Ingests a batch of tuples atomically: either every row is valid and
     /// applied, or none is.
     pub fn insert_batch(&mut self, rows: &[Vec<u8>]) -> Result<()> {
+        self.insert_rows(rows)
+    }
+
+    fn insert_rows<R: AsRef<[u8]>>(&mut self, rows: &[R]) -> Result<()> {
         if rows.is_empty() {
             return Ok(());
         }
@@ -119,13 +133,13 @@ impl CoverageEngine {
             ));
         }
         for row in rows {
-            self.validate(row)?;
+            self.validate(row.as_ref())?;
         }
         for row in rows {
             self.dataset
-                .push_row(row)
+                .push_row(row.as_ref())
                 .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
-            self.oracle.add_row(row);
+            self.oracle.add_row(row.as_ref());
         }
         self.cache.invalidate_matching_any(rows);
         self.stats.inserts += rows.len() as u64;
@@ -150,6 +164,118 @@ impl CoverageEngine {
         }
         self.mups.sort();
         Ok(())
+    }
+
+    /// Removes one tuple (one copy of it), incrementally maintaining the MUP
+    /// set. Borrowed all the way down, like [`Self::insert`].
+    pub fn remove(&mut self, row: &[u8]) -> Result<()> {
+        self.remove_rows(std::slice::from_ref(&row))
+    }
+
+    /// Removes a batch of tuples atomically: either every requested copy is
+    /// present (counting multiplicity within the batch) and removed, or
+    /// nothing changes.
+    pub fn remove_batch(&mut self, rows: &[Vec<u8>]) -> Result<()> {
+        self.remove_rows(rows)
+    }
+
+    fn remove_rows<R: AsRef<[u8]>>(&mut self, rows: &[R]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        if self.dataset.is_labeled() {
+            return Err(ServiceError::BadRequest(
+                "labeled datasets do not support streaming deletes".into(),
+            ));
+        }
+        for row in rows {
+            self.validate(row.as_ref())?;
+        }
+        // Atomicity pre-check: every distinct row must be present at least
+        // as many times as the batch removes it. `cov` of a fully
+        // deterministic pattern is exactly that row's multiplicity.
+        let mut batch_copies: std::collections::HashMap<&[u8], u64> =
+            std::collections::HashMap::new();
+        for row in rows {
+            *batch_copies.entry(row.as_ref()).or_insert(0) += 1;
+        }
+        for (row, &copies) in &batch_copies {
+            let present = self.oracle.coverage(row);
+            if present < copies {
+                return Err(ServiceError::BadRequest(format!(
+                    "cannot delete {copies} copies of row {row:?}: only {present} present"
+                )));
+            }
+        }
+        for row in rows {
+            self.dataset
+                .remove_row(row.as_ref())
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            let removed = self.oracle.remove_row(row.as_ref());
+            debug_assert!(removed, "pre-checked row vanished from the oracle");
+        }
+        self.cache.invalidate_matching_any(rows);
+        self.stats.deletes += rows.len() as u64;
+        self.stats.delete_batches += 1;
+        let new_tau = self.threshold.resolve(self.dataset.len() as u64)?;
+        if new_tau != self.tau {
+            // The resolved rate threshold stepped down: patterns anywhere
+            // may have risen above it, so the delta walk is not sound here.
+            self.tau = new_tau;
+            self.mups = DeepDiver::default().find_mups_with_oracle(&self.oracle, new_tau)?;
+            self.stats.full_recomputes += 1;
+        } else {
+            let outcome = apply_delete_delta(
+                &self.oracle,
+                &mut self.cache,
+                self.tau,
+                &mut self.mups,
+                rows,
+            );
+            self.stats.mups_retired += outcome.retired as u64;
+            self.stats.mups_discovered += outcome.discovered as u64;
+        }
+        self.mups.sort();
+        Ok(())
+    }
+
+    /// Rebuilds every derived structure (oracle, τ, MUP set, memo cache)
+    /// from the dataset alone. The serving layer calls this after a request
+    /// handler panics while holding the engine, whose derived state may have
+    /// been torn mid-update; counted as a full recompute in [`Self::stats`].
+    pub fn rebuild(&mut self) -> Result<()> {
+        self.oracle = CoverageOracle::from_dataset(&self.dataset);
+        self.tau = self.threshold.resolve(self.dataset.len() as u64)?;
+        self.mups = DeepDiver::default().find_mups_with_oracle(&self.oracle, self.tau)?;
+        self.mups.sort();
+        self.cache.clear();
+        self.stats.full_recomputes += 1;
+        Ok(())
+    }
+
+    /// Reassembles an engine from snapshot parts **without re-running
+    /// discovery** — the caller (the snapshot loader) vouches that `mups` is
+    /// exactly the MUP set of `dataset` under `threshold`. The oracle is
+    /// rebuilt from the dataset; stats carry over; the memo cache starts
+    /// cold.
+    pub fn from_snapshot_parts(
+        dataset: Dataset,
+        threshold: Threshold,
+        mut mups: Vec<Pattern>,
+        stats: EngineStats,
+    ) -> Result<Self> {
+        let oracle = CoverageOracle::from_dataset(&dataset);
+        let tau = threshold.resolve(dataset.len() as u64)?;
+        mups.sort();
+        Ok(Self {
+            dataset,
+            oracle,
+            threshold,
+            tau,
+            mups,
+            cache: CoverageCache::new(DEFAULT_CACHE_CAPACITY),
+            stats,
+        })
     }
 
     /// The current maximal uncovered patterns, sorted.
@@ -238,13 +364,17 @@ impl CoverageEngine {
         self.stats
     }
 
-    /// Memo-cache counters: `(len, capacity, hits, misses)`.
-    pub fn cache_stats(&self) -> (usize, usize, u64, u64) {
+    /// Memo-cache counters: `(len, capacity, hits, misses, invalidated)`.
+    /// `invalidated` counts entries dropped because an inserted or deleted
+    /// tuple changed their coverage — the cache-churn signal operators watch
+    /// under write-heavy load.
+    pub fn cache_stats(&self) -> (usize, usize, u64, u64, u64) {
         (
             self.cache.len(),
             self.cache.capacity(),
             self.cache.hits(),
             self.cache.misses(),
+            self.cache.invalidated(),
         )
     }
 }
@@ -390,12 +520,145 @@ mod tests {
         let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
         assert_eq!(engine.coverage(&[0, X, 1]).unwrap(), 3);
         assert_eq!(engine.coverage(&[0, X, 1]).unwrap(), 3);
-        let (_, _, hits, _) = engine.cache_stats();
+        let (_, _, hits, _, _) = engine.cache_stats();
         assert!(hits >= 1);
         assert!(engine.coverage(&[0, X]).is_err());
         assert!(engine.coverage(&[0, 5, X]).is_err());
         assert!(engine.covered(&[X, X, X]).unwrap());
         assert!(!engine.covered(&[1, X, X]).unwrap());
+    }
+
+    #[test]
+    fn incremental_deletes_track_batch_recompute() {
+        // Grow the dataset, then shrink it back down, checking equivalence
+        // with batch discovery after every single delete.
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(2)).unwrap();
+        let stream = [
+            vec![1u8, 0, 1],
+            vec![1, 0, 1],
+            vec![1, 1, 0],
+            vec![0, 1, 0],
+            vec![1, 1, 1],
+            vec![1, 1, 1],
+        ];
+        for row in &stream {
+            engine.insert(row).unwrap();
+        }
+        let mut materialized = example1();
+        for row in &stream {
+            materialized.push_row(row).unwrap();
+        }
+        for row in stream.iter().rev() {
+            engine.remove(row).unwrap();
+            materialized.remove_row(row).unwrap();
+            let remaining: Vec<Vec<u8>> = materialized.rows().map(<[u8]>::to_vec).collect();
+            let expected = batch_mups(
+                &Dataset::from_rows(materialized.schema().clone(), &remaining).unwrap(),
+                Threshold::Count(2),
+            );
+            assert_eq!(engine.mups(), expected, "after delete {row:?}");
+        }
+        assert_eq!(engine.stats().deletes, stream.len() as u64);
+        assert_eq!(engine.stats().full_recomputes, 0);
+        assert_eq!(engine.mups(), batch_mups(&example1(), Threshold::Count(2)));
+    }
+
+    #[test]
+    fn delete_batch_is_atomic_and_validates_multiplicity() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        let before_len = engine.dataset().len();
+        let before_mups = engine.mups().to_vec();
+        // (0,0,1) appears twice; asking for three copies must change nothing.
+        let err = engine
+            .remove_batch(&[vec![0, 0, 1], vec![0, 0, 1], vec![0, 0, 1]])
+            .unwrap_err();
+        assert!(err.to_string().contains("only 2 present"), "{err}");
+        assert_eq!(engine.dataset().len(), before_len);
+        assert_eq!(engine.mups(), before_mups.as_slice());
+        // Absent row.
+        assert!(engine.remove(&[1, 1, 1]).is_err());
+        // Arity / range validation mirrors the insert path.
+        assert!(engine.remove(&[0, 0]).is_err());
+        assert!(engine.remove(&[0, 9, 0]).is_err());
+        // Exactly two copies works.
+        engine
+            .remove_batch(&[vec![0, 0, 1], vec![0, 0, 1]])
+            .unwrap();
+        assert_eq!(engine.dataset().len(), before_len - 2);
+        assert_eq!(engine.stats().delete_batches, 1);
+    }
+
+    #[test]
+    fn rate_threshold_steps_down_on_deletes_and_recomputes() {
+        // Fraction 0.2: τ = max(1, round(n/5)) steps down as rows leave.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let rows: Vec<Vec<u8>> = (0..40)
+            .map(|_| (0..3).map(|_| rng.random_range(0..2u8)).collect())
+            .collect();
+        let ds = Dataset::from_rows(Schema::binary(3).unwrap(), &rows).unwrap();
+        let mut engine = CoverageEngine::new(ds, Threshold::Fraction(0.2)).unwrap();
+        let mut remaining = rows;
+        while remaining.len() > 3 {
+            let row = remaining.pop().unwrap();
+            engine.remove(&row).unwrap();
+            assert_eq!(
+                engine.tau(),
+                Threshold::Fraction(0.2)
+                    .resolve(remaining.len() as u64)
+                    .unwrap()
+            );
+            let expected = batch_mups(
+                &Dataset::from_rows(Schema::binary(3).unwrap(), &remaining).unwrap(),
+                Threshold::Fraction(0.2),
+            );
+            assert_eq!(
+                engine.mups(),
+                expected,
+                "after shrink to {}",
+                remaining.len()
+            );
+        }
+        assert!(engine.stats().full_recomputes > 0, "τ must have stepped");
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        for row in example1().rows() {
+            engine.remove(row).unwrap();
+        }
+        assert!(engine.dataset().is_empty());
+        assert_eq!(engine.mups().len(), 1);
+        assert_eq!(engine.mups()[0].level(), 0);
+        engine.insert(&[1, 1, 1]).unwrap();
+        assert!(engine.covered(&[1, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn rebuild_restores_derived_state() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(2)).unwrap();
+        engine.insert(&[1, 0, 1]).unwrap();
+        let mups_before = engine.mups().to_vec();
+        let recomputes_before = engine.stats().full_recomputes;
+        engine.rebuild().unwrap();
+        assert_eq!(engine.mups(), mups_before.as_slice());
+        assert_eq!(engine.stats().full_recomputes, recomputes_before + 1);
+        let (len, _, _, _, _) = engine.cache_stats();
+        assert_eq!(len, 0, "rebuild starts the memo cache cold");
+    }
+
+    #[test]
+    fn cache_stats_surface_invalidation_churn() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        // Prime the cache with a pattern matching the upcoming insert…
+        assert_eq!(engine.coverage(&[0, X, 1]).unwrap(), 3);
+        let (_, _, _, _, invalidated_before) = engine.cache_stats();
+        engine.insert(&[0, 1, 1]).unwrap();
+        let (_, _, _, _, invalidated) = engine.cache_stats();
+        assert!(
+            invalidated > invalidated_before,
+            "insert matching a cached pattern must invalidate it"
+        );
     }
 
     #[test]

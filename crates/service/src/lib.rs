@@ -8,16 +8,20 @@
 //!
 //! Modules:
 //!
-//! * [`engine`] — the incremental engine (insert / insert_batch, cached
-//!   coverage queries, enhancement planning, rate-threshold re-resolution);
-//! * [`delta`] — how a batch of inserts moves the MUP frontier (retire
-//!   covered MUPs, walk the pattern-graph region below them);
+//! * [`engine`] — the incremental engine (insert/remove plus batch forms,
+//!   cached coverage queries, enhancement planning, rate-threshold
+//!   re-resolution);
+//! * [`delta`] — how a batch of inserts or deletes moves the MUP frontier
+//!   (inserts retire covered MUPs and walk the region below them; deletes
+//!   walk the deleted tuple's match sublattice and retire dominated MUPs);
 //! * [`cache`] — the bounded LRU pattern-coverage memo, invalidated only
 //!   for patterns matching the delta;
+//! * [`snapshot`] — versioned on-disk engine state, so a restarted server
+//!   resumes without a full re-audit;
 //! * [`protocol`] — hand-rolled NDJSON request parsing and response
 //!   serialization (no external dependencies);
 //! * [`server`] — stdin/stdout and TCP front ends (thread-per-connection
-//!   pool over one shared engine).
+//!   pool over one shared engine, panic-contained workers).
 //!
 //! ## Quickstart
 //!
@@ -50,11 +54,16 @@ pub mod delta;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::CoverageCache;
 pub use delta::DeltaOutcome;
 pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
-pub use server::{handle_line, serve_lines, serve_tcp, DEFAULT_WORKERS};
+pub use server::{
+    handle_line, handle_line_with, serve_lines, serve_lines_with, serve_tcp, serve_tcp_with,
+    DEFAULT_WORKERS,
+};
+pub use snapshot::{load_snapshot, save_snapshot, SNAPSHOT_VERSION};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]
@@ -62,6 +71,8 @@ pub enum ServiceError {
     /// The request was structurally valid but semantically rejected
     /// (arity mismatch, unknown value, out-of-range λ, …).
     BadRequest(String),
+    /// A snapshot could not be written, read, or understood.
+    Snapshot(String),
     /// An underlying algorithm error (threshold resolution, enhancement).
     Core(coverage_core::CoverageError),
 }
@@ -70,6 +81,7 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::BadRequest(msg) => write!(f, "{msg}"),
+            ServiceError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
             ServiceError::Core(e) => write!(f, "{e}"),
         }
     }
@@ -78,7 +90,7 @@ impl std::fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServiceError::BadRequest(_) => None,
+            ServiceError::BadRequest(_) | ServiceError::Snapshot(_) => None,
             ServiceError::Core(e) => Some(e),
         }
     }

@@ -346,6 +346,17 @@ pub enum Request {
         /// The tuples, outer = rows, inner = per-attribute raw values.
         rows: Vec<Vec<String>>,
     },
+    /// Remove one or more tuples (`"row"` or `"rows"`, same shapes as
+    /// `insert`); every requested copy must be present or the batch is
+    /// rejected atomically.
+    Delete {
+        /// The tuples to remove, outer = rows, inner = raw values.
+        rows: Vec<Vec<String>>,
+    },
+    /// Write the engine state to the server's configured snapshot path.
+    Snapshot,
+    /// Replace the engine with the state in the configured snapshot path.
+    Restore,
     /// List the current MUPs, optionally truncated.
     Mups {
         /// Maximum number of patterns to return.
@@ -385,6 +396,25 @@ fn parse_one_row(value: &Json, what: &str) -> Result<Vec<String>, String> {
     items.iter().map(raw_value).collect()
 }
 
+/// The `"row"` / `"rows"` payload shared by `insert` and `delete`. `op`
+/// names the operation in error messages.
+fn parse_rows(doc: &Json, op: &str) -> Result<Vec<Vec<String>>, String> {
+    let rows = match (doc.get("rows"), doc.get("row")) {
+        (Some(rows), _) => rows
+            .as_array()
+            .ok_or("`rows` must be an array of rows")?
+            .iter()
+            .map(|row| parse_one_row(row, "each row in `rows`"))
+            .collect::<Result<Vec<_>, _>>()?,
+        (None, Some(row)) => vec![parse_one_row(row, "`row`")?],
+        (None, None) => return Err(format!("{op} needs `row` or `rows`")),
+    };
+    if rows.is_empty() {
+        return Err(format!("{op} needs at least one row"));
+    }
+    Ok(rows)
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = Json::parse(line)?;
@@ -396,22 +426,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Json::as_str)
         .ok_or("missing string field `op`")?;
     match op {
-        "insert" => {
-            let rows = match (doc.get("rows"), doc.get("row")) {
-                (Some(rows), _) => rows
-                    .as_array()
-                    .ok_or("`rows` must be an array of rows")?
-                    .iter()
-                    .map(|row| parse_one_row(row, "each row in `rows`"))
-                    .collect::<Result<Vec<_>, _>>()?,
-                (None, Some(row)) => vec![parse_one_row(row, "`row`")?],
-                (None, None) => return Err("insert needs `row` or `rows`".into()),
-            };
-            if rows.is_empty() {
-                return Err("insert needs at least one row".into());
-            }
-            Ok(Request::Insert { rows })
-        }
+        "insert" => Ok(Request::Insert {
+            rows: parse_rows(&doc, "insert")?,
+        }),
+        "delete" => Ok(Request::Delete {
+            rows: parse_rows(&doc, "delete")?,
+        }),
+        "snapshot" => Ok(Request::Snapshot),
+        "restore" => Ok(Request::Restore),
         "mups" => {
             let limit = match doc.get("limit") {
                 None | Some(Json::Null) => None,
@@ -441,7 +463,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         other => Err(format!(
-            "unknown op `{other}` (expected insert|mups|coverage|enhance|stats)"
+            "unknown op `{other}` (expected insert|delete|mups|coverage|enhance|stats|snapshot|restore)"
         )),
     }
 }
@@ -479,6 +501,26 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request(r#"{"op":"delete","row":["f","black"]}"#).unwrap(),
+            Request::Delete {
+                rows: vec![vec!["f".into(), "black".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"delete","rows":[["a","b"],["c","d"]]}"#).unwrap(),
+            Request::Delete {
+                rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"snapshot"}"#).unwrap(),
+            Request::Snapshot
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"restore"}"#).unwrap(),
+            Request::Restore
+        );
+        assert_eq!(
             parse_request(r#"{"op":"mups"}"#).unwrap(),
             Request::Mups { limit: None }
         );
@@ -510,6 +552,12 @@ mod tests {
             (r#"{"op":"frobnicate"}"#, "unknown op"),
             (r#"{"op":"insert"}"#, "needs `row` or `rows`"),
             (r#"{"op":"insert","rows":[]}"#, "at least one row"),
+            (r#"{"op":"delete"}"#, "needs `row` or `rows`"),
+            (r#"{"op":"delete","rows":[]}"#, "at least one row"),
+            (
+                r#"{"op":"delete","row":"f,black"}"#,
+                "`row` must be an array",
+            ),
             (
                 r#"{"op":"insert","row":[true]}"#,
                 "strings or integer codes",

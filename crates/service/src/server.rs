@@ -1,11 +1,16 @@
 //! Serving front ends: request dispatch, stdin/stdout line serving, and a
 //! TCP listener with a small thread-per-connection pool.
 //!
-//! All front ends funnel into [`handle_line`], which never panics on
+//! All front ends funnel into [`handle_line_with`], which never panics on
 //! malformed input — every request line yields exactly one response line.
+//! TCP workers additionally *contain* panics: a request handler that panics
+//! answers an error response (after rebuilding the engine's derived state)
+//! instead of poisoning the shared mutex and silently killing the pool.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -15,6 +20,7 @@ use coverage_data::Schema;
 
 use crate::engine::CoverageEngine;
 use crate::protocol::{error_response, parse_request, write_json_string, Request};
+use crate::snapshot::{load_snapshot, save_snapshot};
 
 /// Default number of worker threads for [`serve_tcp`].
 pub const DEFAULT_WORKERS: usize = 4;
@@ -55,7 +61,11 @@ fn decode_pattern(schema: &Schema, pattern: &Pattern) -> String {
     }
 }
 
-fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, String> {
+fn dispatch(
+    engine: &mut CoverageEngine,
+    snapshot_path: Option<&Path>,
+    request: Request,
+) -> Result<String, String> {
     let mut out = String::with_capacity(128);
     match request {
         Request::Insert { rows } => {
@@ -69,6 +79,54 @@ fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, Str
                 format_args!(
                     "{{\"ok\":true,\"op\":\"insert\",\"inserted\":{},\"rows\":{},\"tau\":{},\"mups\":{}}}",
                     coded.len(),
+                    engine.dataset().len(),
+                    engine.tau(),
+                    engine.mups().len()
+                ),
+            );
+        }
+        Request::Delete { rows } => {
+            let coded: Vec<Vec<u8>> = rows
+                .iter()
+                .map(|r| encode_row(engine.dataset().schema(), r))
+                .collect::<Result<_, _>>()?;
+            engine.remove_batch(&coded).map_err(|e| e.to_string())?;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"op\":\"delete\",\"deleted\":{},\"rows\":{},\"tau\":{},\"mups\":{}}}",
+                    coded.len(),
+                    engine.dataset().len(),
+                    engine.tau(),
+                    engine.mups().len()
+                ),
+            );
+        }
+        Request::Snapshot => {
+            let path = snapshot_path.ok_or(
+                "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
+            )?;
+            save_snapshot(engine, path).map_err(|e| e.to_string())?;
+            out.push_str("{\"ok\":true,\"op\":\"snapshot\",\"path\":");
+            write_json_string(&mut out, &path.display().to_string());
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"rows\":{},\"mups\":{}}}",
+                    engine.dataset().len(),
+                    engine.mups().len()
+                ),
+            );
+        }
+        Request::Restore => {
+            let path = snapshot_path.ok_or(
+                "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
+            )?;
+            *engine = load_snapshot(path).map_err(|e| e.to_string())?;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"op\":\"restore\",\"rows\":{},\"tau\":{},\"mups\":{}}}",
                     engine.dataset().len(),
                     engine.tau(),
                     engine.mups().len()
@@ -144,16 +202,17 @@ fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, Str
         Request::Stats => {
             let report = engine.report();
             let stats = engine.stats();
-            let (cache_len, cache_cap, hits, misses) = engine.cache_stats();
+            let (cache_len, cache_cap, hits, misses, invalidated) = engine.cache_stats();
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
                     concat!(
                         "{{\"ok\":true,\"op\":\"stats\",\"rows\":{},\"attributes\":{},",
                         "\"tau\":{},\"mups\":{},\"max_covered_level\":{},",
-                        "\"inserts\":{},\"batches\":{},\"mups_retired\":{},",
-                        "\"mups_discovered\":{},\"full_recomputes\":{},",
-                        "\"cache\":{{\"len\":{},\"capacity\":{},\"hits\":{},\"misses\":{}}}}}"
+                        "\"inserts\":{},\"batches\":{},\"deletes\":{},\"delete_batches\":{},",
+                        "\"mups_retired\":{},\"mups_discovered\":{},\"full_recomputes\":{},",
+                        "\"cache\":{{\"len\":{},\"capacity\":{},\"hits\":{},\"misses\":{},",
+                        "\"invalidated\":{}}}}}"
                     ),
                     engine.dataset().len(),
                     engine.dataset().arity(),
@@ -162,6 +221,8 @@ fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, Str
                     report.maximum_covered_level(),
                     stats.inserts,
                     stats.batches,
+                    stats.deletes,
+                    stats.delete_batches,
                     stats.mups_retired,
                     stats.mups_discovered,
                     stats.full_recomputes,
@@ -169,6 +230,7 @@ fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, Str
                     cache_cap,
                     hits,
                     misses,
+                    invalidated,
                 ),
             );
         }
@@ -177,12 +239,22 @@ fn dispatch(engine: &mut CoverageEngine, request: Request) -> Result<String, Str
 }
 
 /// Handles one request line, returning exactly one response line (without
-/// the trailing newline). Never panics on malformed input.
-pub fn handle_line(engine: &mut CoverageEngine, line: &str) -> String {
-    match parse_request(line).and_then(|req| dispatch(engine, req)) {
+/// the trailing newline). Never panics on malformed input. `snapshot_path`
+/// backs the `snapshot`/`restore` ops; without one they answer an error.
+pub fn handle_line_with(
+    engine: &mut CoverageEngine,
+    snapshot_path: Option<&Path>,
+    line: &str,
+) -> String {
+    match parse_request(line).and_then(|req| dispatch(engine, snapshot_path, req)) {
         Ok(response) => response,
         Err(message) => error_response(&message),
     }
+}
+
+/// [`handle_line_with`] without a snapshot path.
+pub fn handle_line(engine: &mut CoverageEngine, line: &str) -> String {
+    handle_line_with(engine, None, line)
 }
 
 /// Upper bound on one request line. Longer lines answer an error response
@@ -253,12 +325,25 @@ fn serve_loop(
 
 /// Serves newline-delimited requests from `input` to `output` until EOF
 /// (the `mithra serve` stdin/stdout mode). Blank lines are skipped.
+/// `snapshot_path` backs the `snapshot`/`restore` ops.
+pub fn serve_lines_with(
+    engine: &mut CoverageEngine,
+    snapshot_path: Option<&Path>,
+    input: impl BufRead,
+    output: impl Write,
+) -> io::Result<()> {
+    serve_loop(input, output, |line| {
+        handle_line_with(engine, snapshot_path, line)
+    })
+}
+
+/// [`serve_lines_with`] without a snapshot path.
 pub fn serve_lines(
     engine: &mut CoverageEngine,
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<()> {
-    serve_loop(input, output, |line| handle_line(engine, line))
+    serve_lines_with(engine, None, input, output)
 }
 
 /// How long a TCP connection may sit idle between requests before it is
@@ -267,7 +352,50 @@ pub fn serve_lines(
 /// and starve all queued connections.
 pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
 
-fn serve_connection(engine: &Arc<Mutex<CoverageEngine>>, stream: TcpStream) -> io::Result<()> {
+/// Runs `action` against the shared engine with panics **contained**: the
+/// closure executes inside `catch_unwind` while the guard is held, so a
+/// panicking handler unwinds *within* the lock scope and the mutex is
+/// released cleanly instead of being poisoned — the failure stays scoped to
+/// one request rather than cascading through the worker pool.
+///
+/// Two layers of defense:
+///
+/// * A caught panic answers an error response after
+///   [`CoverageEngine::rebuild`] re-derives the engine's oracle/MUPs/cache
+///   from the dataset (the panic may have torn a mid-update invariant).
+/// * If the mutex is *already* poisoned (a panic that predates this guard,
+///   e.g. an external lock holder), the poison is cleared, the engine
+///   rebuilt, and serving resumes — the pool never wedges permanently.
+fn with_engine_contained(
+    engine: &Arc<Mutex<CoverageEngine>>,
+    action: impl FnOnce(&mut CoverageEngine) -> Result<String, String>,
+) -> String {
+    let mut guard = match engine.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            engine.clear_poison();
+            let mut guard = poisoned.into_inner();
+            if let Err(e) = guard.rebuild() {
+                return error_response(&format!("engine rebuild after panic failed: {e}"));
+            }
+            guard
+        }
+    };
+    match std::panic::catch_unwind(AssertUnwindSafe(|| action(&mut guard))) {
+        Ok(Ok(response)) => response,
+        Ok(Err(message)) => error_response(&message),
+        Err(_) => match guard.rebuild() {
+            Ok(()) => error_response("internal error: request handler panicked; engine rebuilt"),
+            Err(e) => error_response(&format!("engine rebuild after panic failed: {e}")),
+        },
+    }
+}
+
+fn serve_connection(
+    engine: &Arc<Mutex<CoverageEngine>>,
+    snapshot_path: Option<&Path>,
+    stream: TcpStream,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
     let reader = BufReader::new(stream.try_clone()?);
     serve_loop(reader, stream, |line| {
@@ -276,8 +404,7 @@ fn serve_connection(engine: &Arc<Mutex<CoverageEngine>>, stream: TcpStream) -> i
         match parse_request(line) {
             Err(message) => error_response(&message),
             Ok(request) => {
-                let mut engine = engine.lock().expect("engine mutex poisoned");
-                dispatch(&mut engine, request).unwrap_or_else(|message| error_response(&message))
+                with_engine_contained(engine, |engine| dispatch(engine, snapshot_path, request))
             }
         }
     })
@@ -287,9 +414,13 @@ fn serve_connection(engine: &Arc<Mutex<CoverageEngine>>, stream: TcpStream) -> i
 /// (thread-per-connection, up to `2 × workers` connections queue when all
 /// workers are busy; beyond that new connections are closed immediately
 /// rather than pinning file descriptors in an unbounded queue).
-/// Runs until the listener fails; individual connection errors are dropped.
-pub fn serve_tcp(
+/// Runs until the listener fails; individual connection errors are dropped,
+/// and a panicking request handler costs one error response — never a
+/// worker thread or the engine mutex (see [`with_engine_contained`]).
+/// `snapshot_path` backs the `snapshot`/`restore` ops.
+pub fn serve_tcp_with(
     engine: Arc<Mutex<CoverageEngine>>,
+    snapshot_path: Option<std::path::PathBuf>,
     listener: TcpListener,
     workers: usize,
 ) -> io::Result<()> {
@@ -300,12 +431,26 @@ pub fn serve_tcp(
     for _ in 0..workers {
         let receiver = Arc::clone(&receiver);
         let engine = Arc::clone(&engine);
+        let snapshot_path = snapshot_path.clone();
         pool.push(thread::spawn(move || loop {
-            let next = receiver.lock().expect("queue mutex poisoned").recv();
+            // recv() itself cannot panic while holding the lock, but recover
+            // from poison anyway: a wedged queue mutex must never strand the
+            // listener accepting connections nobody will serve.
+            let next = receiver
+                .lock()
+                .unwrap_or_else(|poisoned| {
+                    receiver.clear_poison();
+                    poisoned.into_inner()
+                })
+                .recv();
             match next {
                 Ok(stream) => {
-                    // A dropped connection only ends that conversation.
-                    let _ = serve_connection(&engine, stream);
+                    // A dropped connection only ends that conversation, and
+                    // an I/O-layer panic only ends this iteration — the
+                    // worker survives to take the next connection.
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let _ = serve_connection(&engine, snapshot_path.as_deref(), stream);
+                    }));
                 }
                 Err(_) => break, // listener gone — shut the worker down
             }
@@ -346,6 +491,15 @@ pub fn serve_tcp(
         let _ = worker.join();
     }
     result
+}
+
+/// [`serve_tcp_with`] without a snapshot path.
+pub fn serve_tcp(
+    engine: Arc<Mutex<CoverageEngine>>,
+    listener: TcpListener,
+    workers: usize,
+) -> io::Result<()> {
+    serve_tcp_with(engine, None, listener, workers)
 }
 
 #[cfg(test)]
@@ -451,7 +605,179 @@ mod tests {
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
         assert_eq!(doc.get("attributes").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("inserts").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("deletes").and_then(Json::as_u64), Some(0));
         assert!(doc.get("cache").unwrap().get("capacity").is_some());
+        assert!(
+            doc.get("cache").unwrap().get("invalidated").is_some(),
+            "invalidation churn must be visible to operators"
+        );
+    }
+
+    #[test]
+    fn delete_op_removes_rows_and_reports() {
+        let mut engine = engine();
+        let doc = ok(&mut engine, r#"{"op":"delete","row":["m","white"]}"#);
+        assert_eq!(doc.get("deleted").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(3));
+        // Numeric codes work, as for insert.
+        let doc = ok(
+            &mut engine,
+            r#"{"op":"delete","rows":[["0","1"],["0","0"]]}"#,
+        );
+        assert_eq!(doc.get("deleted").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(1));
+        // Deleting more copies than exist is rejected atomically.
+        let response = handle_line(
+            &mut engine,
+            r#"{"op":"delete","rows":[["f","white"],["f","white"]]}"#,
+        );
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("only 1 present"), "{response}");
+        let doc = ok(&mut engine, r#"{"op":"stats"}"#);
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("deletes").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("delete_batches").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips_the_mup_set() {
+        let mut engine = engine();
+        let before = ok(&mut engine, r#"{"op":"mups"}"#);
+        let _ = ok(&mut engine, r#"{"op":"insert","row":["f","black"]}"#);
+        let _ = ok(&mut engine, r#"{"op":"delete","row":["f","black"]}"#);
+        let after = ok(&mut engine, r#"{"op":"mups"}"#);
+        assert_eq!(
+            before.get("mups").unwrap().as_array().unwrap(),
+            after.get("mups").unwrap().as_array().unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_through_the_protocol() {
+        let dir = std::env::temp_dir().join(format!("mithra-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snapshot");
+        let mut engine = engine();
+        let _ = handle_line_with(
+            &mut engine,
+            Some(&path),
+            r#"{"op":"insert","row":["f","black"]}"#,
+        );
+        let mups_line = handle_line_with(&mut engine, Some(&path), r#"{"op":"mups"}"#);
+        let doc = Json::parse(&handle_line_with(
+            &mut engine,
+            Some(&path),
+            r#"{"op":"snapshot"}"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
+
+        // Wreck the live state, then restore: responses must match exactly.
+        let _ = handle_line_with(
+            &mut engine,
+            Some(&path),
+            r#"{"op":"insert","rows":[["m","asian"],["m","asian"]]}"#,
+        );
+        let doc = Json::parse(&handle_line_with(
+            &mut engine,
+            Some(&path),
+            r#"{"op":"restore"}"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            handle_line_with(&mut engine, Some(&path), r#"{"op":"mups"}"#),
+            mups_line,
+            "restored engine must serve identical mups responses"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ops_without_a_path_answer_errors() {
+        let mut engine = engine();
+        for line in [r#"{"op":"snapshot"}"#, r#"{"op":"restore"}"#] {
+            let response = handle_line(&mut engine, line);
+            assert!(response.contains("\"ok\":false"), "{response}");
+            assert!(response.contains("no snapshot path"), "{response}");
+        }
+    }
+
+    #[test]
+    fn panicking_handler_answers_an_error_and_spares_the_mutex() {
+        let shared = Arc::new(Mutex::new(engine()));
+        // A handler that panics while holding the engine must yield an error
+        // response, not poison the mutex (which would kill every worker).
+        let response = with_engine_contained(&shared, |_| -> Result<String, String> {
+            panic!("handler bug")
+        });
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("panicked"), "{response}");
+        assert!(
+            shared.lock().is_ok(),
+            "mutex must not be poisoned by a contained panic"
+        );
+        // And the engine still answers real requests afterwards.
+        let response =
+            with_engine_contained(&shared, |engine| dispatch(engine, None, Request::Stats));
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+
+    #[test]
+    fn externally_poisoned_mutex_recovers_with_a_rebuild() {
+        let shared = Arc::new(Mutex::new(engine()));
+        let poisoner = Arc::clone(&shared);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("simulated handler crash while holding the engine");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "mutex must start poisoned");
+        let response =
+            with_engine_contained(&shared, |engine| dispatch(engine, None, Request::Stats));
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(shared.lock().is_ok(), "poison must be cleared");
+        // The recovery rebuild is visible in the stats.
+        let doc = Json::parse(&response).unwrap();
+        assert_eq!(doc.get("full_recomputes").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn connection_after_handler_panic_still_gets_an_answer() {
+        // The ISSUE's availability bug end-to-end: poison the engine mutex
+        // (exactly what a panicking handler used to do), then connect — the
+        // worker pool must still answer instead of hanging the connection.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let shared = Arc::new(Mutex::new(engine()));
+        let poisoner = Arc::clone(&shared);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("simulated handler crash");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "mutex must start poisoned");
+        let server = Arc::clone(&shared);
+        thread::spawn(move || {
+            let _ = serve_tcp(server, listener, 1);
+        });
+        for _ in 0..2 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            writeln!(stream, "{{\"op\":\"stats\"}}").unwrap();
+            stream.flush().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            assert!(
+                response.contains("\"ok\":true"),
+                "post-panic connection must be served: {response}"
+            );
+        }
     }
 
     #[test]

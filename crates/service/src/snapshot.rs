@@ -1,0 +1,417 @@
+//! Versioned on-disk snapshots of engine state, so `mithra serve` can
+//! restart **without a full re-audit**.
+//!
+//! A snapshot is a single JSON document (written compactly on one line)
+//! carrying everything [`CoverageEngine::from_snapshot_parts`] needs:
+//! the schema (names + value dictionaries), the encoded rows, the
+//! configured threshold, the current MUP set, and the maintenance counters.
+//! The coverage oracle is *not* serialized — it is derived state, rebuilt
+//! from the rows in linear time on load, which keeps the format independent
+//! of the bit-vector layout.
+//!
+//! Format policy (documented in the README):
+//!
+//! * `"format"` is always `"mithra-coverage-snapshot"`; `"version"` is an
+//!   integer, currently [`SNAPSHOT_VERSION`]. Readers reject any other
+//!   version rather than guessing — bump the version on any incompatible
+//!   change and keep old readers readable only via explicit migration.
+//! * Snapshots are **trusted input**: the loader validates structure, value
+//!   ranges, and arities, but takes the MUP set at its word (re-deriving it
+//!   would defeat the purpose). Keep snapshot files as protected as the
+//!   dataset itself.
+//! * Writes are atomic: the document goes to `<path>.tmp` and is renamed
+//!   into place, so a crash mid-write never corrupts the previous snapshot.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use coverage_core::pattern::Pattern;
+use coverage_core::Threshold;
+use coverage_data::{Attribute, Dataset, Schema};
+
+use crate::engine::{CoverageEngine, EngineStats};
+use crate::protocol::{write_json_string, Json};
+use crate::{Result, ServiceError};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// The `"format"` marker distinguishing snapshots from arbitrary JSON.
+pub const SNAPSHOT_FORMAT: &str = "mithra-coverage-snapshot";
+
+fn bad(message: impl Into<String>) -> ServiceError {
+    ServiceError::Snapshot(message.into())
+}
+
+/// Serializes the engine's durable state to a one-line JSON document.
+///
+/// # Errors
+///
+/// Fails for labeled datasets (the serving layer never builds one, and the
+/// format deliberately omits labels).
+pub fn snapshot_string(engine: &CoverageEngine) -> Result<String> {
+    let dataset = engine.dataset();
+    if dataset.is_labeled() {
+        return Err(bad("labeled datasets cannot be snapshotted"));
+    }
+    let mut out = String::with_capacity(1024 + dataset.len() * dataset.arity() * 4);
+    out.push_str("{\"format\":");
+    write_json_string(&mut out, SNAPSHOT_FORMAT);
+    let _ = write!(out, ",\"version\":{SNAPSHOT_VERSION},\"threshold\":");
+    match engine.threshold() {
+        Threshold::Count(c) => {
+            let _ = write!(out, "{{\"count\":{c}}}");
+        }
+        Threshold::Fraction(f) => {
+            // Rust's shortest-roundtrip float formatting: parses back to the
+            // bit-identical f64.
+            let _ = write!(out, "{{\"fraction\":{f}}}");
+        }
+    }
+    out.push_str(",\"attributes\":[");
+    let schema = dataset.schema();
+    for i in 0..schema.arity() {
+        if i > 0 {
+            out.push(',');
+        }
+        let attr = schema.attribute(i);
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, attr.name());
+        let _ = write!(out, ",\"cardinality\":{}", attr.cardinality());
+        if attr.has_dictionary() {
+            out.push_str(",\"values\":[");
+            for v in 0..attr.cardinality() {
+                if v > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, &attr.value_name(v));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"rows\":[");
+    for (r, row) in dataset.rows().enumerate() {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (i, &v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    out.push_str("],\"mups\":[");
+    for (i, mup) in engine.mups().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, &mup.to_string());
+    }
+    let stats = engine.stats();
+    let _ = write!(
+        out,
+        concat!(
+            "],\"stats\":{{\"inserts\":{},\"batches\":{},\"deletes\":{},",
+            "\"delete_batches\":{},\"mups_retired\":{},\"mups_discovered\":{},",
+            "\"full_recomputes\":{}}}}}"
+        ),
+        stats.inserts,
+        stats.batches,
+        stats.deletes,
+        stats.delete_batches,
+        stats.mups_retired,
+        stats.mups_discovered,
+        stats.full_recomputes,
+    );
+    Ok(out)
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json> {
+    doc.get(key)
+        .ok_or_else(|| bad(format!("snapshot is missing field `{key}`")))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64> {
+    field(doc, key)?.as_u64().ok_or_else(|| {
+        bad(format!(
+            "snapshot field `{key}` must be a non-negative integer"
+        ))
+    })
+}
+
+/// Reassembles an engine from a snapshot document produced by
+/// [`snapshot_string`].
+pub fn parse_snapshot(text: &str) -> Result<CoverageEngine> {
+    let doc = Json::parse(text).map_err(|e| bad(format!("snapshot is not valid JSON: {e}")))?;
+    match field(&doc, "format")?.as_str() {
+        Some(SNAPSHOT_FORMAT) => {}
+        _ => return Err(bad("not a mithra coverage snapshot (bad `format` field)")),
+    }
+    let version = u64_field(&doc, "version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(bad(format!(
+            "snapshot version {version} is not supported (this build reads version {SNAPSHOT_VERSION})"
+        )));
+    }
+    let threshold_doc = field(&doc, "threshold")?;
+    let threshold = match (threshold_doc.get("count"), threshold_doc.get("fraction")) {
+        (Some(c), None) => Threshold::Count(
+            c.as_u64()
+                .ok_or_else(|| bad("threshold `count` must be a non-negative integer"))?,
+        ),
+        (None, Some(Json::Number(f))) => Threshold::Fraction(*f),
+        _ => {
+            return Err(bad(
+                "threshold must carry exactly one of `count`/`fraction`",
+            ))
+        }
+    };
+    let mut attributes = Vec::new();
+    for a in field(&doc, "attributes")?
+        .as_array()
+        .ok_or_else(|| bad("`attributes` must be an array"))?
+    {
+        let name = a
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("attribute is missing string field `name`"))?;
+        let cardinality = u64_field(a, "cardinality")?;
+        let attr = match a.get("values") {
+            Some(values) => {
+                let names: Vec<&str> = values
+                    .as_array()
+                    .ok_or_else(|| bad("attribute `values` must be an array"))?
+                    .iter()
+                    .map(|v| v.as_str().ok_or_else(|| bad("value names must be strings")))
+                    .collect::<Result<_>>()?;
+                if names.len() as u64 != cardinality {
+                    return Err(bad(format!(
+                        "attribute `{name}`: {} value names but cardinality {cardinality}",
+                        names.len()
+                    )));
+                }
+                Attribute::with_values(name, names)
+            }
+            None => Attribute::new(name, cardinality as usize),
+        }
+        .map_err(|e| bad(format!("attribute `{name}`: {e}")))?;
+        attributes.push(attr);
+    }
+    let schema = Schema::new(attributes).map_err(|e| bad(format!("bad schema: {e}")))?;
+    let arity = schema.arity();
+    let mut dataset = Dataset::new(schema);
+    for (r, row_doc) in field(&doc, "rows")?
+        .as_array()
+        .ok_or_else(|| bad("`rows` must be an array"))?
+        .iter()
+        .enumerate()
+    {
+        let row: Vec<u8> = row_doc
+            .as_array()
+            .ok_or_else(|| bad(format!("row {r} must be an array")))?
+            .iter()
+            .map(|v| match v.as_u64() {
+                Some(code) if code <= u8::MAX as u64 => Ok(code as u8),
+                _ => Err(bad(format!("row {r} carries a non-u8 value code"))),
+            })
+            .collect::<Result<_>>()?;
+        dataset
+            .push_row(&row)
+            .map_err(|e| bad(format!("row {r}: {e}")))?;
+    }
+    let mut mups = Vec::new();
+    for m in field(&doc, "mups")?
+        .as_array()
+        .ok_or_else(|| bad("`mups` must be an array"))?
+    {
+        let text = m
+            .as_str()
+            .ok_or_else(|| bad("MUPs must be pattern strings"))?;
+        let pattern = Pattern::parse(text).map_err(|e| bad(format!("MUP `{text}`: {e}")))?;
+        if pattern.arity() != arity {
+            return Err(bad(format!(
+                "MUP `{text}` has arity {} but the schema has {arity} attributes",
+                pattern.arity()
+            )));
+        }
+        mups.push(pattern);
+    }
+    let stats_doc = field(&doc, "stats")?;
+    let stats = EngineStats {
+        inserts: u64_field(stats_doc, "inserts")?,
+        batches: u64_field(stats_doc, "batches")?,
+        deletes: u64_field(stats_doc, "deletes")?,
+        delete_batches: u64_field(stats_doc, "delete_batches")?,
+        mups_retired: u64_field(stats_doc, "mups_retired")?,
+        mups_discovered: u64_field(stats_doc, "mups_discovered")?,
+        full_recomputes: u64_field(stats_doc, "full_recomputes")?,
+    };
+    CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats)
+}
+
+/// Writes a snapshot atomically: the document lands in `<path>.tmp` first
+/// and is renamed over `path`, so a crash mid-write leaves any previous
+/// snapshot intact.
+pub fn save_snapshot(engine: &CoverageEngine, path: &Path) -> Result<()> {
+    let text = snapshot_string(engine)?;
+    // Append `.tmp` to the full file name (`with_extension` would *replace*
+    // the extension — colliding with the target for `--snapshot state.tmp`,
+    // and making `prod.a`/`prod.b` in one directory stage through the same
+    // `prod.tmp`, either of which breaks the crash-atomicity promise).
+    let tmp = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".tmp");
+        std::path::PathBuf::from(name)
+    };
+    let describe = |what: &str, e: std::io::Error| bad(format!("{what} {}: {e}", tmp.display()));
+    std::fs::write(&tmp, text.as_bytes()).map_err(|e| describe("cannot write", e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| bad(format!("cannot move snapshot into {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Loads a snapshot written by [`save_snapshot`].
+pub fn load_snapshot(path: &Path) -> Result<CoverageEngine> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| bad(format!("cannot read {}: {e}", path.display())))?;
+    parse_snapshot(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CoverageEngine {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black", "asian"]).unwrap(),
+        ])
+        .unwrap();
+        let ds =
+            Dataset::from_rows(schema, &[vec![0, 0], vec![0, 1], vec![1, 0], vec![0, 0]]).unwrap();
+        let mut engine = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
+        engine.insert(&[1, 1]).unwrap();
+        engine.remove(&[0, 1]).unwrap();
+        engine
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_durable() {
+        let original = engine();
+        let text = snapshot_string(&original).unwrap();
+        let restored = parse_snapshot(&text).unwrap();
+        assert_eq!(restored.mups(), original.mups());
+        assert_eq!(restored.tau(), original.tau());
+        assert_eq!(restored.threshold(), original.threshold());
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.dataset(), original.dataset());
+        // And the restored engine keeps serving correctly.
+        let mut restored = restored;
+        restored.insert(&[1, 2]).unwrap();
+        assert!(restored.covered(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn fraction_thresholds_round_trip_bit_exactly() {
+        let ds = Dataset::from_rows(
+            Schema::binary(2).unwrap(),
+            &[vec![0, 0], vec![0, 1], vec![1, 0]],
+        )
+        .unwrap();
+        let original = CoverageEngine::new(ds, Threshold::Fraction(0.1 + 0.2)).unwrap();
+        let restored = parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
+        assert_eq!(restored.threshold(), original.threshold());
+    }
+
+    #[test]
+    fn anonymous_attributes_round_trip() {
+        let ds = Dataset::from_rows(
+            Schema::with_cardinalities(&[2, 3]).unwrap(),
+            &[vec![0, 2], vec![1, 1]],
+        )
+        .unwrap();
+        let original = CoverageEngine::new(ds, Threshold::Count(2)).unwrap();
+        let restored = parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
+        assert_eq!(restored.dataset(), original.dataset());
+        assert_eq!(restored.mups(), original.mups());
+    }
+
+    #[test]
+    fn save_and_load_via_disk() {
+        let dir = std::env::temp_dir().join(format!("mithra-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snapshot");
+        let original = engine();
+        save_snapshot(&original, &path).unwrap();
+        let restored = load_snapshot(&path).unwrap();
+        assert_eq!(restored.mups(), original.mups());
+        assert_eq!(restored.dataset(), original.dataset());
+        // Overwriting is atomic-by-rename: a second save replaces the first.
+        save_snapshot(&restored, &path).unwrap();
+        assert!(load_snapshot(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn staging_file_never_collides_with_the_target() {
+        let dir = std::env::temp_dir().join(format!("mithra-snap-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let original = engine();
+        // A target that already ends in `.tmp` must not be its own staging
+        // file (with_extension would make them identical).
+        let path = dir.join("state.tmp");
+        save_snapshot(&original, &path).unwrap();
+        assert!(load_snapshot(&path).is_ok());
+        assert!(
+            !dir.join("state.tmp.tmp").exists(),
+            "staging file renamed away"
+        );
+        // Two snapshots differing only in extension stage through distinct
+        // files (prod.a.tmp / prod.b.tmp), not a shared prod.tmp.
+        save_snapshot(&original, &dir.join("prod.a")).unwrap();
+        save_snapshot(&original, &dir.join("prod.b")).unwrap();
+        assert!(!dir.join("prod.tmp").exists());
+        assert!(load_snapshot(&dir.join("prod.a")).is_ok());
+        assert!(load_snapshot(&dir.join("prod.b")).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_malformed_documents() {
+        let good = snapshot_string(&engine()).unwrap();
+        let wrong_version = good.replace(
+            &format!("\"version\":{SNAPSHOT_VERSION}"),
+            "\"version\":9999",
+        );
+        let err = parse_snapshot(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version 9999"), "{err}");
+
+        for (mutation, needle) in [
+            ("not json at all".to_string(), "not valid JSON"),
+            ("{}".to_string(), "missing field `format`"),
+            (
+                good.replace(SNAPSHOT_FORMAT, "something-else"),
+                "bad `format`",
+            ),
+            (good.replace("\"mups\":[", "\"mups\":[\"XXXXX\","), "arity"),
+            (good.replace("\"rows\":[[", "\"rows\":[[9,"), "row 0"),
+        ] {
+            let err = parse_snapshot(&mutation).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{needle}` not in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let good = snapshot_string(&engine()).unwrap();
+        let err = parse_snapshot(&good[..good.len() / 2]).unwrap_err();
+        assert!(err.to_string().contains("not valid JSON"), "{err}");
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! mithra audit   <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
 //! mithra enhance <file.csv> --attrs sex,race,age --tau 30 --lambda 2
-//! mithra serve   <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR]
+//! mithra serve   <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR] [--snapshot PATH]
 //! ```
 //!
 //! `audit` prints the coverage report (MUPs per level, maximum covered
@@ -11,7 +11,8 @@
 //! collection that fixes every uncovered pattern at level λ; `serve` keeps
 //! the dataset live behind an incremental coverage engine and answers
 //! newline-delimited JSON requests on stdin/stdout (or TCP with
-//! `--listen`).
+//! `--listen`). With `--snapshot PATH` the served state persists across
+//! restarts: an existing snapshot is restored without a re-audit.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -43,10 +44,11 @@ struct Args {
     limit: usize,
     listen: Option<String>,
     threads: usize,
+    snapshot: Option<std::path::PathBuf>,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N]"
+    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--snapshot PATH]"
         .to_string()
 }
 
@@ -69,6 +71,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut limit = None;
     let mut listen = None;
     let mut threads = None;
+    let mut snapshot = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -117,6 +120,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--limit" => limit = Some(value()?.parse().map_err(|e| flag_error("--limit", e))?),
             "--listen" => listen = Some(value()?),
+            "--snapshot" => snapshot = Some(std::path::PathBuf::from(value()?)),
             "--threads" => {
                 let workers: usize = value()?.parse().map_err(|e| flag_error("--threads", e))?;
                 if workers == 0 {
@@ -135,11 +139,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         // enhancement plan (or the served MUP set) silently incomplete.
         return Err(flag_error("--max-level", "only supported with `audit`"));
     }
-    if command != "serve" && (listen.is_some() || threads.is_some()) {
+    if command != "serve" && (listen.is_some() || threads.is_some() || snapshot.is_some()) {
         let flag = if listen.is_some() {
             "--listen"
-        } else {
+        } else if threads.is_some() {
             "--threads"
+        } else {
+            "--snapshot"
         };
         return Err(flag_error(flag, "only supported with `serve`"));
     }
@@ -168,6 +174,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         limit: limit.unwrap_or(20),
         listen,
         threads: threads.unwrap_or(coverage_service::DEFAULT_WORKERS),
+        snapshot,
     })
 }
 
@@ -190,11 +197,53 @@ fn decode(pattern: &Pattern, ds: &Dataset) -> String {
     }
 }
 
+/// Builds the serving engine: restored from `--snapshot PATH` when that
+/// file exists (no re-audit — the whole point of snapshots), freshly
+/// audited from the CSV otherwise.
+fn serve_engine(args: &Args) -> Result<CoverageEngine, String> {
+    if let Some(path) = args.snapshot.as_deref() {
+        if path.exists() {
+            let engine = mithra::service::load_snapshot(path).map_err(|e| e.to_string())?;
+            if engine.threshold() != args.tau {
+                return Err(format!(
+                    "snapshot {} was taken under a different threshold ({:?}, CLI asked {:?}); \
+                     pass the matching --tau/--rate or delete the snapshot to re-audit",
+                    path.display(),
+                    engine.threshold(),
+                    args.tau
+                ));
+            }
+            // The CSV is not read on restore, so --attrs is the only clue to
+            // which dataset the operator *meant* to serve — refuse a snapshot
+            // over different attributes rather than silently serving it.
+            let schema = engine.dataset().schema();
+            let names: Vec<&str> = (0..schema.arity())
+                .map(|i| schema.attribute(i).name())
+                .collect();
+            if names != args.attrs.iter().map(String::as_str).collect::<Vec<_>>() {
+                return Err(format!(
+                    "snapshot {} covers attributes [{}] but the CLI asked for [{}]; \
+                     pass the matching --attrs or delete the snapshot to re-audit",
+                    path.display(),
+                    names.join(","),
+                    args.attrs.join(",")
+                ));
+            }
+            eprintln!("restored engine from snapshot {}", path.display());
+            return Ok(engine);
+        }
+    }
+    let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
+    let ds = read_csv_auto_path(&args.file, &attr_refs, None)
+        .map_err(|e| format!("{}: {e}", args.file))?;
+    CoverageEngine::new(ds, args.tau).map_err(|e| e.to_string())
+}
+
 /// `serve`: keep the dataset live behind an incremental engine and answer
 /// NDJSON requests on stdin/stdout, or on TCP when `--listen` is given.
 /// Diagnostics go to stderr — stdout carries protocol lines only.
-fn serve(args: &Args, ds: Dataset) -> Result<(), String> {
-    let engine = CoverageEngine::new(ds, args.tau).map_err(|e| e.to_string())?;
+fn serve(args: &Args) -> Result<(), String> {
+    let engine = serve_engine(args)?;
     eprintln!(
         "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s)",
         engine.dataset().len(),
@@ -202,6 +251,7 @@ fn serve(args: &Args, ds: Dataset) -> Result<(), String> {
         engine.tau(),
         engine.mups().len()
     );
+    let snapshot_path = args.snapshot.clone();
     let served = match &args.listen {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -211,12 +261,17 @@ fn serve(args: &Args, ds: Dataset) -> Result<(), String> {
                 .unwrap_or_else(|_| addr.clone());
             eprintln!("listening on {local} ({} worker threads)", args.threads);
             let shared = std::sync::Arc::new(std::sync::Mutex::new(engine));
-            mithra::service::serve_tcp(shared, listener, args.threads)
+            mithra::service::serve_tcp_with(shared, snapshot_path, listener, args.threads)
         }
         None => {
             let mut engine = engine;
             let stdin = std::io::stdin();
-            mithra::service::serve_lines(&mut engine, stdin.lock(), std::io::stdout())
+            mithra::service::serve_lines_with(
+                &mut engine,
+                snapshot_path.as_deref(),
+                stdin.lock(),
+                std::io::stdout(),
+            )
         }
     };
     match served {
@@ -228,12 +283,13 @@ fn serve(args: &Args, ds: Dataset) -> Result<(), String> {
 }
 
 fn run(args: Args) -> Result<(), String> {
+    if args.command == "serve" {
+        // `serve` loads its own data: the CSV, or a snapshot if one exists.
+        return serve(&args);
+    }
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let ds = read_csv_auto_path(&args.file, &attr_refs, None)
         .map_err(|e| format!("{}: {e}", args.file))?;
-    if args.command == "serve" {
-        return serve(&args, ds);
-    }
     if args.command == "enhance" && args.lambda > ds.arity() {
         return Err(format!(
             "--lambda {} exceeds the number of attributes ({})",
@@ -477,6 +533,82 @@ mod tests {
         let args = parse(&["serve", "data.csv", "--attrs", "a", "--rate", "0.01"]).unwrap();
         assert!(args.listen.is_none());
         assert_eq!(args.threads, coverage_service::DEFAULT_WORKERS);
+    }
+
+    #[test]
+    fn snapshot_flag_parses_and_is_serve_only() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--snapshot",
+            "state.snapshot",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.snapshot.as_deref(),
+            Some(std::path::Path::new("state.snapshot"))
+        );
+        // Works in stdio mode (no --listen) and TCP mode alike; audit/enhance
+        // reject it.
+        for cmd in ["audit", "enhance"] {
+            let mut argv = vec![cmd, "d.csv", "--attrs", "a", "--tau", "1"];
+            if cmd == "enhance" {
+                argv.extend(["--lambda", "1"]);
+            }
+            argv.extend(["--snapshot", "s"]);
+            let err = parse(&argv).unwrap_err();
+            assert!(err.contains("only supported with `serve`"), "{err}");
+        }
+        let err =
+            parse(&["serve", "d.csv", "--attrs", "a", "--tau", "1", "--snapshot"]).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
+    }
+
+    #[test]
+    fn serve_engine_refuses_mismatched_snapshots() {
+        use mithra::service::{save_snapshot, CoverageEngine};
+
+        let dir = std::env::temp_dir().join(format!("mithra-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("people.csv");
+        std::fs::write(&csv, "sex,race\nm,white\nf,black\n").unwrap();
+        let snap = dir.join("engine.snapshot");
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black"]).unwrap(),
+        ])
+        .unwrap();
+        let ds = Dataset::from_rows(schema, &[vec![0, 0], vec![1, 1]]).unwrap();
+        let engine = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
+        save_snapshot(&engine, &snap).unwrap();
+
+        let args = |attrs: &[&str], tau: Threshold| Args {
+            command: "serve".into(),
+            file: csv.to_string_lossy().into_owned(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            tau,
+            lambda: 2,
+            max_level: None,
+            limit: 20,
+            listen: None,
+            threads: 1,
+            snapshot: Some(snap.clone()),
+        };
+        // Matching threshold + attrs restores.
+        let restored = serve_engine(&args(&["sex", "race"], Threshold::Count(1))).unwrap();
+        assert_eq!(restored.dataset().len(), 2);
+        // A different threshold is refused…
+        let err = serve_engine(&args(&["sex", "race"], Threshold::Count(2))).unwrap_err();
+        assert!(err.contains("different threshold"), "{err}");
+        // …and so are different attributes (the CSV is never read on
+        // restore, so this is the only guard against serving the wrong data).
+        let err = serve_engine(&args(&["sex", "age"], Threshold::Count(1))).unwrap_err();
+        assert!(err.contains("covers attributes"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::io::{BufRead, BufReader, Write};
 
 use mithra::prelude::*;
 use mithra::service::protocol::Json;
-use mithra::service::{handle_line, serve_lines, serve_tcp};
+use mithra::service::{handle_line, handle_line_with, load_snapshot, serve_lines, serve_tcp};
 
 /// COMPAS-flavored fixture with value dictionaries, so protocol rows can be
 /// sent as value names.
@@ -148,6 +148,103 @@ fn malformed_requests_get_error_responses() {
     );
     let doc = request(&mut engine, r#"{"op":"stats"}"#);
     assert_ok(&doc, "stats after errors");
+}
+
+/// Deletes through the protocol are the exact inverse of inserts: after an
+/// insert+delete pair the MUP set, coverage answers, and row count are back
+/// to baseline, and a delete of an absent row is rejected atomically.
+#[test]
+fn protocol_deletes_mirror_inserts() {
+    let mut engine = engine();
+    let baseline_mups = request(&mut engine, r#"{"op":"mups"}"#);
+    let line = r#"{"op":"insert","rows":[["f","black","young"],["f","black","young"]]}"#;
+    assert_ok(&request(&mut engine, line), line);
+
+    let line = r#"{"op":"delete","row":["f","black","young"]}"#;
+    let doc = request(&mut engine, line);
+    assert_ok(&doc, line);
+    assert_eq!(doc.get("deleted").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(7));
+
+    let line = r#"{"op":"delete","rows":[["f","black","young"]]}"#;
+    assert_ok(&request(&mut engine, line), line);
+    let after = request(&mut engine, r#"{"op":"mups"}"#);
+    assert_eq!(
+        baseline_mups.get("mups").unwrap().as_array().unwrap(),
+        after.get("mups").unwrap().as_array().unwrap(),
+        "insert+delete must be a no-op on the frontier"
+    );
+
+    // Both copies are gone: a third delete is rejected and changes nothing.
+    let doc = request(&mut engine, line);
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(engine.dataset().len(), 6);
+
+    // The protocol-maintained state still equals a batch audit.
+    let batch = CoverageReport::audit(engine.dataset(), Threshold::Count(1)).unwrap();
+    assert_eq!(engine.mups(), batch.mups.as_slice());
+}
+
+/// The durability acceptance path: mutate through the protocol, `snapshot`,
+/// kill the engine, restore from disk — the revived engine serves byte-for-
+/// byte identical `mups` and `stats` responses without a re-audit.
+#[test]
+fn killed_and_restored_engine_serves_identical_responses() {
+    let dir = std::env::temp_dir().join(format!("mithra-proto-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.snapshot");
+
+    let (mups_response, stats_response) = {
+        let mut engine = engine();
+        for line in [
+            r#"{"op":"insert","rows":[["f","black","young"],["m","hispanic","old"]]}"#,
+            r#"{"op":"delete","row":["m","white","young"]}"#,
+        ] {
+            assert_ok(&request(&mut engine, line), line);
+        }
+        let doc = Json::parse(&handle_line_with(
+            &mut engine,
+            Some(&path),
+            r#"{"op":"snapshot"}"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        (
+            handle_line(&mut engine, r#"{"op":"mups"}"#),
+            handle_line(&mut engine, r#"{"op":"stats"}"#),
+        )
+        // …engine dropped here: the process state is gone.
+    };
+
+    let mut revived = load_snapshot(&path).expect("snapshot loads");
+    assert_eq!(handle_line(&mut revived, r#"{"op":"mups"}"#), mups_response);
+    // Stats must agree on every durable field; the memo-cache gauges are
+    // process-local (a restored engine starts cold) and are exempt.
+    let revived_stats = handle_line(&mut revived, r#"{"op":"stats"}"#);
+    let expected = Json::parse(&stats_response).unwrap();
+    let got = Json::parse(&revived_stats).unwrap();
+    for key in [
+        "ok",
+        "rows",
+        "attributes",
+        "tau",
+        "mups",
+        "max_covered_level",
+        "inserts",
+        "batches",
+        "deletes",
+        "delete_batches",
+        "mups_retired",
+        "mups_discovered",
+        "full_recomputes",
+    ] {
+        assert_eq!(got.get(key), expected.get(key), "stats field `{key}`");
+    }
+    assert!(got.get("cache").is_some());
+    // And it is a live engine, not a read-only replica.
+    let line = r#"{"op":"insert","row":["f","white","old"]}"#;
+    assert_ok(&request(&mut revived, line), line);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// `serve_lines` (the stdin/stdout mode): a scripted session produces one

@@ -1,10 +1,12 @@
-//! Property tests for the incremental coverage engine: after any insert
-//! stream, the maintained MUP set must equal a batch DEEPDIVER run over the
-//! materialized dataset — for absolute thresholds (pure delta path) and for
-//! rate thresholds (whose resolved τ shifts as the dataset grows, forcing
-//! re-resolution and occasional full-recompute fallbacks).
+//! Property tests for the incremental coverage engine: after any insert (or
+//! mixed insert/delete) stream, the maintained MUP set must equal a batch
+//! DEEPDIVER run over the materialized dataset — for absolute thresholds
+//! (pure delta path) and for rate thresholds (whose resolved τ shifts as
+//! the dataset grows or shrinks, forcing re-resolution and occasional
+//! full-recompute fallbacks).
 
 use mithra::prelude::*;
+use mithra::service::snapshot::{parse_snapshot, snapshot_string};
 use proptest::prelude::*;
 
 /// A random shape, base dataset, and insert stream over a shared schema:
@@ -66,6 +68,71 @@ fn assert_engine_tracks_batch(
     Ok(())
 }
 
+/// A random shape, base dataset, and *mixed* op stream: each op is
+/// `(selector, row, delete_seed)` — a selector of 0 or 1 deletes a
+/// currently-present row chosen by the seed (falling back to an insert when
+/// the dataset is empty); anything else inserts `row`.
+fn mixed_workload_strategy() -> impl Strategy<Value = (Dataset, Vec<(u8, Vec<u8>, u16)>)> {
+    (2usize..=3, 2u8..=3)
+        .prop_flat_map(|(d, c)| {
+            let base = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..25);
+            let ops = proptest::collection::vec(
+                (0u8..6, proptest::collection::vec(0..c, d), 0u16..1000),
+                1..40,
+            );
+            (Just((d, c)), base, ops)
+        })
+        .prop_map(|((d, c), base, ops)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            (Dataset::from_rows(schema, &base).unwrap(), ops)
+        })
+}
+
+/// Replays a mixed insert/delete stream through the engine, asserting
+/// equivalence with batch DEEPDIVER over the materialized multiset after
+/// every op. Deletes arrive through `remove` and (for pairs of consecutive
+/// deletes) `remove_batch`, so both entry points are exercised.
+fn assert_engine_tracks_batch_mixed(
+    base: Dataset,
+    ops: &[(u8, Vec<u8>, u16)],
+    threshold: Threshold,
+) -> Result<(), TestCaseError> {
+    let schema = base.schema().clone();
+    let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+    let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
+    for (selector, row, delete_seed) in ops {
+        let delete = *selector < 2 && !rows.is_empty();
+        if delete {
+            let victim = rows.swap_remove(*delete_seed as usize % rows.len());
+            if *selector == 0 && !rows.is_empty() {
+                // Two-victim batch through remove_batch.
+                let second = rows.swap_remove(*delete_seed as usize % rows.len());
+                engine.remove_batch(&[victim, second]).unwrap();
+            } else {
+                engine.remove(&victim).unwrap();
+            }
+        } else {
+            engine.insert(row).unwrap();
+            rows.push(row.clone());
+        }
+        let materialized = Dataset::from_rows(schema.clone(), &rows).unwrap();
+        let mut expected = DeepDiver::default()
+            .find_mups(&materialized, threshold)
+            .unwrap();
+        expected.sort();
+        prop_assert_eq!(
+            engine.mups(),
+            expected.as_slice(),
+            "divergence at {} rows after {} (threshold {:?})",
+            rows.len(),
+            if delete { "a delete" } else { "an insert" },
+            threshold
+        );
+        prop_assert_eq!(engine.tau(), threshold.resolve(rows.len() as u64).unwrap());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -89,6 +156,57 @@ proptest! {
         let (base, stream) = workload;
         let rate = rate_milli as f64 / 1000.0;
         assert_engine_tracks_batch(base, &stream, Threshold::Fraction(rate))?;
+    }
+
+    /// Mixed insert/delete streams under absolute thresholds: the insert
+    /// and delete delta paths must compose to exactly batch discovery.
+    #[test]
+    fn engine_matches_deepdiver_under_mixed_stream_count_threshold(
+        workload in mixed_workload_strategy(),
+        tau in 1u64..10,
+    ) {
+        let (base, ops) = workload;
+        assert_engine_tracks_batch_mixed(base, &ops, Threshold::Count(tau))?;
+    }
+
+    /// Mixed streams under rate thresholds: τ steps up on growth and *down*
+    /// on shrinkage; both directions must trigger sound fallbacks.
+    #[test]
+    fn engine_matches_deepdiver_under_mixed_stream_rate_threshold(
+        workload in mixed_workload_strategy(),
+        rate_milli in 5u64..300,
+    ) {
+        let (base, ops) = workload;
+        let rate = rate_milli as f64 / 1000.0;
+        assert_engine_tracks_batch_mixed(base, &ops, Threshold::Fraction(rate))?;
+    }
+
+    /// Snapshot round trip at an arbitrary point in a stream: the restored
+    /// engine serves identical MUPs/τ/stats and keeps tracking batch
+    /// discovery afterwards.
+    #[test]
+    fn snapshot_round_trip_preserves_engine_equivalence(
+        workload in mixed_workload_strategy(),
+        tau in 1u64..10,
+    ) {
+        let (base, ops) = workload;
+        let threshold = Threshold::Count(tau);
+        let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+        let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
+        for (selector, row, delete_seed) in &ops {
+            if *selector < 2 && !rows.is_empty() {
+                let victim = rows.swap_remove(*delete_seed as usize % rows.len());
+                engine.remove(&victim).unwrap();
+            } else {
+                engine.insert(row).unwrap();
+                rows.push(row.clone());
+            }
+        }
+        let restored = parse_snapshot(&snapshot_string(&engine).unwrap()).unwrap();
+        prop_assert_eq!(restored.mups(), engine.mups());
+        prop_assert_eq!(restored.tau(), engine.tau());
+        prop_assert_eq!(restored.stats(), engine.stats());
+        prop_assert_eq!(restored.dataset(), engine.dataset());
     }
 }
 
