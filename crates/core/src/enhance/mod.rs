@@ -18,7 +18,7 @@ pub use greedy::GreedyHittingSet;
 pub use naive_greedy::NaiveHittingSet;
 
 use coverage_data::Dataset;
-use coverage_index::CoverageOracle;
+use coverage_index::CoverageProvider;
 
 use crate::error::Result;
 use crate::pattern::Pattern;
@@ -109,8 +109,9 @@ impl EnhancementPlan {
     /// the threshold `tau` (the paper's hitting-set formulation counts one
     /// hit per pattern; real collection must close each pattern's deficit
     /// `τ − cov(P)`). The allocation is conservative: each combination is
-    /// replicated to the largest deficit among the patterns it hits.
-    pub fn required_copies(&self, oracle: &CoverageOracle, tau: u64) -> Vec<u64> {
+    /// replicated to the largest deficit among the patterns it hits. Any
+    /// [`CoverageProvider`] backend answers the deficit probes.
+    pub fn required_copies(&self, oracle: &dyn CoverageProvider, tau: u64) -> Vec<u64> {
         self.combinations
             .iter()
             .zip(&self.hits)
@@ -337,7 +338,7 @@ mod tests {
             .plan_for_level(&GreedyHittingSet, &mups, &cards, lambda)
             .unwrap();
         let mut ds = ds0.clone();
-        let oracle = coverage_index::CoverageOracle::from_dataset(&ds0);
+        let oracle = crate::CoverageReport::oracle_for(&ds0);
         let copies = plan.required_copies(&oracle, tau);
         plan.apply_to(&mut ds, &copies).unwrap();
         // After collection no uncovered pattern remains at level ≤ λ.

@@ -13,7 +13,7 @@
 
 use crate::fxhash::FxHashSet;
 
-use coverage_index::{CoverageOracle, X};
+use coverage_index::{CoverageProvider, X};
 
 use crate::error::{CoverageError, Result};
 use crate::mup::MupAlgorithm;
@@ -59,7 +59,11 @@ impl MupAlgorithm for Apriori {
         "Apriori"
     }
 
-    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+    fn find_mups_with_oracle(
+        &self,
+        oracle: &dyn CoverageProvider,
+        tau: u64,
+    ) -> Result<Vec<Pattern>> {
         let cards = oracle.cardinalities().to_vec();
         let d = cards.len();
         if tau == 0 {
@@ -217,7 +221,7 @@ mod tests {
         for m in &mups {
             // Every reported pattern has at most one value per attribute by
             // construction; verify it satisfies Definition 5 too.
-            let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+            let oracle = crate::mup::test_support::oracle_for(&ds);
             assert!(crate::mup::is_mup(&oracle, m, 3), "{m}");
         }
         // XX1 (A2 = 1 never occurs) is the expected MUP.

@@ -9,7 +9,7 @@
 
 use crate::fxhash::FxHashMap;
 
-use coverage_index::CoverageOracle;
+use coverage_index::CoverageProvider;
 
 use crate::error::{CoverageError, Result};
 use crate::mup::MupAlgorithm;
@@ -36,7 +36,11 @@ impl MupAlgorithm for PatternCombiner {
         "PatternCombiner"
     }
 
-    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+    fn find_mups_with_oracle(
+        &self,
+        oracle: &dyn CoverageProvider,
+        tau: u64,
+    ) -> Result<Vec<Pattern>> {
         let cards = oracle.cardinalities().to_vec();
         let d = cards.len();
         let space: u128 = cards
@@ -54,10 +58,16 @@ impl MupAlgorithm for PatternCombiner {
         }
 
         // Bottom level: counts of every full value combination. Present
-        // combinations come from the aggregation; absent ones count 0.
-        // Patterns are keyed by their raw code slices (X = 0xFF) so the hot
-        // loops can probe the maps without allocating.
-        let present: FxHashMap<&[u8], u64> = oracle.combinations().iter().collect();
+        // combinations come from the provider's aggregation (a sharded
+        // backend may report one combination once per shard — summed here);
+        // absent ones count 0. Patterns are keyed by their raw code slices
+        // (X = 0xFF) so the hot loops can probe the maps without allocating.
+        let mut present: FxHashMap<Box<[u8]>, u64> = FxHashMap::default();
+        oracle.for_each_combination(&mut |combo, count| {
+            *present
+                .entry(combo.to_vec().into_boxed_slice())
+                .or_insert(0) += count;
+        });
         let mut count: FxHashMap<Box<[u8]>, u64> = FxHashMap::default();
         let mut odometer = vec![0u8; d];
         loop {
@@ -183,7 +193,7 @@ mod tests {
     fn coverage_summation_identity() {
         // §III-D: cov(1XX) = cov(1X0) + cov(1X1).
         let ds = coverage_data::generators::airbnb_like(1_000, 3, 6).unwrap();
-        let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+        let oracle = crate::mup::test_support::oracle_for(&ds);
         assert_eq!(
             oracle.coverage(&[1, coverage_index::X, coverage_index::X]),
             oracle.coverage(&[1, coverage_index::X, 0])

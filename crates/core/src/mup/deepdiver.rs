@@ -11,7 +11,7 @@
 //!   children; uncovered nodes trigger a walk-up (moving to any uncovered
 //!   parent until none exists) that lands exactly on a new MUP.
 
-use coverage_index::{CoverageOracle, MupDominanceIndex};
+use coverage_index::{CoverageProvider, MupDominanceIndex};
 
 use crate::error::Result;
 use crate::mup::MupAlgorithm;
@@ -36,7 +36,7 @@ impl DeepDiver {
     /// Walk-up phase: starting from an uncovered pattern, repeatedly move to
     /// an uncovered parent; the fixed point has all parents covered and is
     /// therefore a MUP.
-    fn climb(oracle: &CoverageOracle, tau: u64, start: Pattern) -> Pattern {
+    fn climb(oracle: &dyn CoverageProvider, tau: u64, start: Pattern) -> Pattern {
         let mut current = start;
         'climb: loop {
             let uncovered_parent = current
@@ -58,7 +58,11 @@ impl MupAlgorithm for DeepDiver {
         "DeepDiver"
     }
 
-    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+    fn find_mups_with_oracle(
+        &self,
+        oracle: &dyn CoverageProvider,
+        tau: u64,
+    ) -> Result<Vec<Pattern>> {
         let cards = oracle.cardinalities().to_vec();
         let d = cards.len();
         let depth = self.max_level.map_or(d, |m| m.min(d));
@@ -99,7 +103,7 @@ impl MupAlgorithm for DeepDiver {
 mod tests {
     use super::*;
     use crate::mup::test_support::{
-        assert_example1, assert_matches_reference, brute_force_mups, example1,
+        assert_example1, assert_matches_reference, brute_force_mups, example1, oracle_for,
     };
     use crate::Threshold;
 
@@ -119,14 +123,14 @@ mod tests {
     fn climb_finds_mup_from_deep_uncovered_node() {
         // §III-E example: the dive XXX → X0X → 10X reaches the uncovered
         // non-MUP 10X whose walk-up must land on 1XX.
-        let oracle = coverage_index::CoverageOracle::from_dataset(&example1());
+        let oracle = oracle_for(&example1());
         let mup = DeepDiver::climb(&oracle, 1, Pattern::parse("10X").unwrap());
         assert_eq!(mup.to_string(), "1XX");
     }
 
     #[test]
     fn climb_on_mup_is_identity() {
-        let oracle = coverage_index::CoverageOracle::from_dataset(&example1());
+        let oracle = oracle_for(&example1());
         let mup = DeepDiver::climb(&oracle, 1, Pattern::parse("1XX").unwrap());
         assert_eq!(mup.to_string(), "1XX");
     }
@@ -134,7 +138,7 @@ mod tests {
     #[test]
     fn level_bound_truncates_output() {
         let ds = coverage_data::generators::bluenile_like(500, 5).unwrap();
-        let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+        let oracle = oracle_for(&ds);
         let mut expected: Vec<Pattern> = brute_force_mups(&oracle, 20)
             .into_iter()
             .filter(|p| p.level() <= 2)

@@ -22,23 +22,33 @@ pub use deepdiver::DeepDiver;
 pub use naive::NaiveMup;
 
 use coverage_data::Dataset;
-use coverage_index::CoverageOracle;
+use coverage_index::{CoverageOracle, CoverageProvider};
 
 use crate::error::Result;
 use crate::pattern::Pattern;
 use crate::Threshold;
 
 /// Common interface of the MUP identification algorithms.
+///
+/// Every algorithm probes the data exclusively through the
+/// [`CoverageProvider`] trait, so any backend — the canonical single-shard
+/// [`CoverageOracle`], a [`coverage_index::ShardedOracle`], or a future
+/// compressed/columnar/remote index — plugs in without touching algorithm
+/// code.
 pub trait MupAlgorithm {
     /// Human-readable algorithm name (as used in the paper's figures).
     fn name(&self) -> &'static str;
 
-    /// Finds all maximal uncovered patterns given a prebuilt coverage oracle
-    /// and an absolute threshold `tau`.
-    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>>;
+    /// Finds all maximal uncovered patterns given a prebuilt coverage
+    /// provider and an absolute threshold `tau`.
+    fn find_mups_with_oracle(
+        &self,
+        oracle: &dyn CoverageProvider,
+        tau: u64,
+    ) -> Result<Vec<Pattern>>;
 
-    /// Convenience entry point: builds the oracle, resolves the threshold,
-    /// and returns the MUPs sorted lexicographically.
+    /// Convenience entry point: builds the canonical single-shard oracle,
+    /// resolves the threshold, and returns the MUPs sorted lexicographically.
     fn find_mups(&self, dataset: &Dataset, threshold: Threshold) -> Result<Vec<Pattern>> {
         let oracle = CoverageOracle::from_dataset(dataset);
         let tau = threshold.resolve(dataset.len() as u64)?;
@@ -48,10 +58,10 @@ pub trait MupAlgorithm {
     }
 }
 
-/// Checks the MUP definition (Definition 5) for a single pattern against an
-/// oracle: uncovered itself, every parent covered. Shared by tests and the
-/// property suite.
-pub fn is_mup(oracle: &CoverageOracle, pattern: &Pattern, tau: u64) -> bool {
+/// Checks the MUP definition (Definition 5) for a single pattern against a
+/// coverage provider: uncovered itself, every parent covered. Shared by
+/// tests and the property suite.
+pub fn is_mup(oracle: &dyn CoverageProvider, pattern: &Pattern, tau: u64) -> bool {
     oracle.coverage(pattern.codes()) < tau
         && pattern.parents().all(|p| oracle.coverage(p.codes()) >= tau)
 }
@@ -76,6 +86,12 @@ pub(crate) mod test_support {
         .unwrap()
     }
 
+    /// The canonical single-shard provider over a dataset — the one place
+    /// the algorithm tests name a concrete backend.
+    pub fn oracle_for(dataset: &Dataset) -> CoverageOracle {
+        CoverageOracle::from_dataset(dataset)
+    }
+
     /// Runs an algorithm on Example 1 and asserts the single MUP `1XX`.
     pub fn assert_example1(alg: &dyn MupAlgorithm) {
         let mups = alg.find_mups(&example1(), Threshold::Count(1)).unwrap();
@@ -90,7 +106,7 @@ pub(crate) mod test_support {
             .unwrap()
             .project(&[1, 4, 5, 6])
             .unwrap();
-        let oracle = CoverageOracle::from_dataset(&ds);
+        let oracle = oracle_for(&ds);
         let mut got = alg.find_mups_with_oracle(&oracle, tau).unwrap();
         got.sort();
         let mut expected = brute_force_mups(&oracle, tau);
@@ -99,7 +115,7 @@ pub(crate) mod test_support {
     }
 
     /// Brute-force MUP enumeration straight from Definition 5.
-    pub fn brute_force_mups(oracle: &CoverageOracle, tau: u64) -> Vec<Pattern> {
+    pub fn brute_force_mups(oracle: &dyn CoverageProvider, tau: u64) -> Vec<Pattern> {
         let cards = oracle.cardinalities().to_vec();
         let mut all = vec![Pattern::all_x(cards.len())];
         let mut cursor = 0;

@@ -5,7 +5,7 @@
 //! pattern spaces larger than a configurable guard (the paper reports it
 //! "did not finish for any of the settings within the time limit").
 
-use coverage_index::CoverageOracle;
+use coverage_index::CoverageProvider;
 
 use crate::error::{CoverageError, Result};
 use crate::graph::pattern_graph_stats;
@@ -32,7 +32,11 @@ impl MupAlgorithm for NaiveMup {
         "Naive"
     }
 
-    fn find_mups_with_oracle(&self, oracle: &CoverageOracle, tau: u64) -> Result<Vec<Pattern>> {
+    fn find_mups_with_oracle(
+        &self,
+        oracle: &dyn CoverageProvider,
+        tau: u64,
+    ) -> Result<Vec<Pattern>> {
         let cards = oracle.cardinalities().to_vec();
         let stats = pattern_graph_stats(&cards);
         if stats.total_nodes > self.max_patterns {
@@ -87,7 +91,7 @@ mod tests {
         // The paper: besides the MUP 1XX there are 8 dominated uncovered
         // patterns (9 uncovered in total).
         let ds = crate::mup::test_support::example1();
-        let oracle = coverage_index::CoverageOracle::from_dataset(&ds);
+        let oracle = crate::mup::test_support::oracle_for(&ds);
         let cards = oracle.cardinalities().to_vec();
         let mut uncovered = 0;
         let mut queue = vec![Pattern::all_x(3)];

@@ -4,11 +4,13 @@
 //! Label attributes (`Y` in §II) are kept separate from the attributes of
 //! interest and are never considered by the coverage machinery.
 
+use std::collections::HashMap;
+
 use crate::error::{DataError, Result};
 use crate::schema::Schema;
 
 /// An encoded categorical dataset.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
     /// Row-major values; length is `len * schema.arity()`.
@@ -17,7 +19,29 @@ pub struct Dataset {
     /// "has re-offended"). Empty when unlabeled.
     labels: Vec<bool>,
     len: usize,
+    /// Row-position index: value combination → indices of the rows carrying
+    /// it. Built lazily on the first [`Self::remove_row`] (batch-only
+    /// consumers never pay for it) and maintained across pushes and
+    /// swap-removes from then on, so deletes locate their victim in O(d)
+    /// instead of the O(n·d) scan that dominated the delete path at scale.
+    positions: HashMap<Box<[u8]>, Vec<usize>>,
+    /// Whether `positions` is live. Bulk mutations that bypass the
+    /// row-by-row paths clear it; the next delete rebuilds.
+    indexed: bool,
 }
+
+/// Equality is over the observable data (schema, rows, labels) — the
+/// lazily built position index is derived state and deliberately excluded.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.values == other.values
+            && self.labels == other.labels
+            && self.len == other.len
+    }
+}
+
+impl Eq for Dataset {}
 
 impl Dataset {
     /// Creates an empty dataset over `schema`.
@@ -27,6 +51,8 @@ impl Dataset {
             values: Vec::new(),
             labels: Vec::new(),
             len: 0,
+            positions: HashMap::new(),
+            indexed: false,
         }
     }
 
@@ -92,12 +118,36 @@ impl Dataset {
         }
         self.validate_row(row)?;
         self.values.extend_from_slice(row);
+        if self.indexed {
+            self.positions
+                .entry(row.to_vec().into_boxed_slice())
+                .or_default()
+                .push(self.len);
+        }
         self.len += 1;
         Ok(())
     }
 
+    /// (Re)builds the row-position index from the raw values.
+    fn build_position_index(&mut self) {
+        let d = self.schema.arity();
+        self.positions.clear();
+        for (i, row) in self.values.chunks_exact(d).enumerate() {
+            match self.positions.get_mut(row) {
+                Some(list) => list.push(i),
+                None => {
+                    self.positions
+                        .insert(row.to_vec().into_boxed_slice(), vec![i]);
+                }
+            }
+        }
+        self.indexed = true;
+    }
+
     /// Removes one row equal to `row` (the multiset loses one copy; row
     /// order is not preserved — the last row moves into the vacated slot).
+    /// The victim is located through the row-position index in O(d), not a
+    /// row scan; the first call builds the index in one O(n·d) pass.
     ///
     /// # Errors
     ///
@@ -111,18 +161,41 @@ impl Dataset {
             ));
         }
         self.validate_row(row)?;
-        let d = self.schema.arity();
-        // Scan newest-first: streaming workloads usually delete recent rows.
-        let i = (0..self.len)
-            .rev()
-            .find(|&i| &self.values[i * d..(i + 1) * d] == row)
-            .ok_or(DataError::RowNotFound)?;
-        let last = (self.len - 1) * d;
-        if i * d < last {
-            let (head, tail) = self.values.split_at_mut(last);
-            head[i * d..(i + 1) * d].copy_from_slice(tail);
+        if !self.indexed {
+            self.build_position_index();
         }
-        self.values.truncate(last);
+        let d = self.schema.arity();
+        let list = self.positions.get_mut(row).ok_or(DataError::RowNotFound)?;
+        // Take the newest copy, mirroring the historical newest-first scan
+        // (streaming workloads usually delete recent rows).
+        let slot = list
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &p)| p)
+            .map(|(s, _)| s)
+            .expect("position lists are never left empty");
+        let i = list.swap_remove(slot);
+        if list.is_empty() {
+            self.positions.remove(row);
+        }
+        let last_row = self.len - 1;
+        if i < last_row {
+            // Swap-remove: the last row moves into the vacated slot, and its
+            // index entry follows it.
+            let moved: Vec<u8> = self.values[last_row * d..(last_row + 1) * d].to_vec();
+            let (head, tail) = self.values.split_at_mut(last_row * d);
+            head[i * d..(i + 1) * d].copy_from_slice(tail);
+            let entry = self
+                .positions
+                .get_mut(moved.as_slice())
+                .expect("moved row is indexed");
+            let at = entry
+                .iter()
+                .position(|&p| p == last_row)
+                .expect("moved row's old position is indexed");
+            entry[at] = i;
+        }
+        self.values.truncate(last_row * d);
         self.len -= 1;
         Ok(())
     }
@@ -138,6 +211,9 @@ impl Dataset {
         self.values.extend_from_slice(row);
         self.labels.push(label);
         self.len += 1;
+        // Labeled datasets reject remove_row, so the index is dead weight.
+        self.positions.clear();
+        self.indexed = false;
         Ok(())
     }
 
@@ -206,6 +282,8 @@ impl Dataset {
             values,
             labels: self.labels.clone(),
             len: self.len,
+            positions: HashMap::new(),
+            indexed: false,
         })
     }
 
@@ -223,6 +301,8 @@ impl Dataset {
                 self.labels[..n].to_vec()
             },
             len: n,
+            positions: HashMap::new(),
+            indexed: false,
         }
     }
 
@@ -246,6 +326,10 @@ impl Dataset {
         self.values.extend_from_slice(&other.values);
         self.labels.extend_from_slice(&other.labels);
         self.len += other.len;
+        // Bulk append bypasses the per-row index maintenance; the next
+        // delete rebuilds from scratch.
+        self.positions.clear();
+        self.indexed = false;
         Ok(())
     }
 }
@@ -345,6 +429,83 @@ mod tests {
         assert!(ds.is_empty());
         ds.push_row(&[1, 1, 1]).unwrap();
         assert_eq!(ds.row(0), &[1, 1, 1]);
+    }
+
+    /// The pre-index implementation of `remove_row`: O(n·d) newest-first
+    /// scan plus swap-remove. Kept as the behavioral reference the indexed
+    /// path must match *exactly* (same victim, same final row order).
+    fn remove_row_by_scan(values: &mut Vec<u8>, len: &mut usize, d: usize, row: &[u8]) -> bool {
+        let Some(i) = (0..*len)
+            .rev()
+            .find(|&i| &values[i * d..(i + 1) * d] == row)
+        else {
+            return false;
+        };
+        let last = (*len - 1) * d;
+        if i * d < last {
+            let (head, tail) = values.split_at_mut(last);
+            head[i * d..(i + 1) * d].copy_from_slice(tail);
+        }
+        values.truncate(last);
+        *len -= 1;
+        true
+    }
+
+    #[test]
+    fn indexed_remove_matches_the_scan_reference() {
+        // Random interleaved pushes and deletes over a tiny value space (so
+        // duplicates are plentiful): after every op the indexed dataset must
+        // be byte-identical to the scan-based reference.
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let d = 3usize;
+            let mut ds = Dataset::new(Schema::binary(d).unwrap());
+            let mut ref_values: Vec<u8> = Vec::new();
+            let mut ref_len = 0usize;
+            for _ in 0..300 {
+                let row: Vec<u8> = (0..d).map(|_| rng.random_range(0..2u8)).collect();
+                if rng.random_range(0..3u8) == 0 {
+                    let removed = ds.remove_row(&row).is_ok();
+                    let ref_removed = remove_row_by_scan(&mut ref_values, &mut ref_len, d, &row);
+                    assert_eq!(removed, ref_removed, "seed {seed} presence for {row:?}");
+                } else {
+                    ds.push_row(&row).unwrap();
+                    ref_values.extend_from_slice(&row);
+                    ref_len += 1;
+                }
+                assert_eq!(ds.len(), ref_len, "seed {seed}");
+                assert_eq!(ds.values, ref_values, "seed {seed}: divergent row layout");
+            }
+        }
+    }
+
+    #[test]
+    fn position_index_survives_drain_and_refill() {
+        let mut ds = toy();
+        for row in toy().rows() {
+            ds.remove_row(row).unwrap();
+        }
+        assert!(ds.is_empty());
+        // Pushes after the index is live must keep it consistent.
+        for row in [[1u8, 0, 1], [1, 0, 1], [0, 1, 0]] {
+            ds.push_row(&row).unwrap();
+        }
+        ds.remove_row(&[1, 0, 1]).unwrap();
+        assert_eq!(ds.count_where(|r, _| r == [1, 0, 1]), 1);
+        assert!(ds.remove_row(&[1, 1, 1]).is_err());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn extend_from_invalidates_the_position_index() {
+        let mut ds = toy();
+        ds.remove_row(&[0, 1, 0]).unwrap(); // index now live
+        ds.extend_from(&toy()).unwrap(); // bulk append bypasses it
+                                         // Deletes after the bulk append must see the appended rows.
+        ds.remove_row(&[0, 1, 0]).unwrap();
+        assert_eq!(ds.count_where(|r, _| r == [0, 1, 0]), 0);
+        assert_eq!(ds.len(), 8);
     }
 
     #[test]

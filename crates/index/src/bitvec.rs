@@ -243,26 +243,31 @@ pub fn intersection_weighted_sum(vectors: &[&BitVec], weights: &[u64]) -> u64 {
     }
 }
 
-/// Whether the weighted popcount of the intersection reaches `tau`, with
-/// early exit as soon as the running total does — the hot path of every
-/// covered/uncovered decision (`cov(P) ≥ τ`), which in covered regions
-/// terminates after a handful of words instead of scanning the dataset.
+/// The weighted popcount of the intersection, computed only up to `cap`:
+/// the exact sum when it is below `cap`, otherwise the first running total
+/// that reached `cap` — the early exit behind every covered/uncovered
+/// decision (`cov(P) ≥ τ`), which in covered regions terminates after a
+/// handful of words instead of scanning the dataset. Returning the capped
+/// count instead of a bool lets a caller summing over several disjoint
+/// partitions (a sharded oracle) keep the early exit *within* each
+/// partition while the cross-partition total stays exact until the
+/// threshold is met.
 ///
 /// An empty `vectors` slice denotes the universe.
-pub fn intersection_weight_at_least(vectors: &[&BitVec], weights: &[u64], tau: u64) -> bool {
-    if tau == 0 {
-        return true;
+pub fn intersection_weight_capped(vectors: &[&BitVec], weights: &[u64], cap: u64) -> u64 {
+    if cap == 0 {
+        return 0;
     }
     match vectors {
         [] => {
             let mut total = 0u64;
             for &w in weights {
                 total = total.saturating_add(w);
-                if total >= tau {
-                    return true;
+                if total >= cap {
+                    return total;
                 }
             }
-            false
+            total
         }
         [first, rest @ ..] => {
             for v in rest {
@@ -281,13 +286,13 @@ pub fn intersection_weight_at_least(vectors: &[&BitVec], weights: &[u64], tau: u
                 while word != 0 {
                     let bit = word.trailing_zeros() as usize;
                     total = total.saturating_add(weights[wi * WORD_BITS + bit]);
-                    if total >= tau {
-                        return true;
+                    if total >= cap {
+                        return total;
                     }
                     word &= word - 1;
                 }
             }
-            false
+            total
         }
     }
 }

@@ -4,9 +4,14 @@
 //!
 //! * [`BitVec`] — packed bit-vectors with word-parallel AND/OR, weighted
 //!   popcounts, and early-exit intersection tests;
+//! * [`CoverageProvider`] / [`CoverageBackend`] — the probe-and-mutate
+//!   surface the algorithms and the serving layer are generic over;
 //! * [`CoverageOracle`] — the inverted-index coverage oracle of Appendix A
 //!   (`cov(P)` as an AND over per-(attribute, value) vectors followed by a
-//!   dot product with the multiplicity vector);
+//!   dot product with the multiplicity vector) — the canonical single-shard
+//!   provider;
+//! * [`ShardedOracle`] — N row-disjoint oracles behind the same trait, with
+//!   parallel build/ingest/wide-probes for multi-core serving;
 //! * [`MupDominanceIndex`] — the growable dominance index of Appendix B used
 //!   by DEEPDIVER to prune ancestors and descendants of discovered MUPs.
 //!
@@ -18,7 +23,11 @@
 mod bitvec;
 mod dominance;
 mod oracle;
+mod provider;
+mod sharded;
 
 pub use bitvec::{intersection_any, intersection_weighted_sum, BitVec};
 pub use dominance::MupDominanceIndex;
 pub use oracle::{CoverageOracle, X};
+pub use provider::{CoverageBackend, CoverageProvider};
+pub use sharded::ShardedOracle;

@@ -170,6 +170,15 @@ impl CoverageOracle {
     /// reaches the threshold — much cheaper than [`Self::coverage`] in
     /// covered regions, where most traversal decisions are made.
     pub fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        self.coverage_capped(codes, tau) >= tau
+    }
+
+    /// `cov(P)` computed only up to `cap`: the exact count when it is below
+    /// `cap`, otherwise the first running count that reached `cap` (same
+    /// early exit as [`Self::covered`]). A sharded backend sums these across
+    /// its shards, keeping the early exit within each shard while the
+    /// cross-shard total stays exact until the threshold is met.
+    pub fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
         assert_eq!(codes.len(), self.arity(), "pattern arity mismatch");
         let mut selected: Vec<&BitVec> = Vec::with_capacity(codes.len());
         for (i, &v) in codes.iter().enumerate() {
@@ -177,7 +186,7 @@ impl CoverageOracle {
                 selected.push(self.vector(i, v));
             }
         }
-        crate::bitvec::intersection_weight_at_least(&selected, self.combos.counts(), tau)
+        crate::bitvec::intersection_weight_capped(&selected, self.combos.counts(), cap)
     }
 
     /// Materializes the match bit-vector of a pattern over the unique
@@ -377,6 +386,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn add_row_rejects_out_of_range_values() {
         CoverageOracle::from_dataset(&example1()).add_row(&[0, 0, 7]);
+    }
+
+    #[test]
+    fn coverage_capped_is_exact_below_the_cap() {
+        let oracle = CoverageOracle::from_dataset(&example1());
+        // cov(0XX) = 5: exact below the cap, ≥ cap once it is reached.
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 100), 5);
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 6), 5);
+        assert!(oracle.coverage_capped(&[0, X, X], 3) >= 3);
+        assert_eq!(oracle.coverage_capped(&[1, X, X], 3), 0);
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 0), 0);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! The [`CoverageProvider`] trait: the probe surface the MUP algorithms,
+//! the enhancement planner, and the serving layer actually need from a
+//! coverage backend — decoupled from any particular index layout.
+//!
+//! [`CoverageOracle`] is the canonical single-shard implementation;
+//! [`crate::ShardedOracle`] distributes rows over several of them for
+//! multi-core ingest. Future backends (compressed bitmaps, columnar stores,
+//! remote shards) plug in behind the same two traits without touching a
+//! single algorithm.
+
+use coverage_data::Dataset;
+
+use crate::oracle::CoverageOracle;
+
+/// Read/write probe interface over a coverage index.
+///
+/// The pattern contract is the crate-wide one: a `&[u8]` of value codes with
+/// [`crate::X`] marking non-deterministic elements. All methods follow the
+/// oracle's semantics — `coverage(p)` counts matching rows, `covered(p, τ)`
+/// tests `cov(p) ≥ τ`, and the mutation hooks keep answers identical to a
+/// from-scratch rebuild over the updated multiset.
+///
+/// The trait is dyn-compatible on purpose: algorithms take
+/// `&dyn CoverageProvider`, so a single compiled body serves every backend.
+pub trait CoverageProvider {
+    /// Number of attributes (`d`).
+    fn arity(&self) -> usize;
+
+    /// Attribute cardinalities, in order.
+    fn cardinalities(&self) -> &[u8];
+
+    /// Total number of rows (`cov(XX..X)`).
+    fn total(&self) -> u64;
+
+    /// `cov(P, D)`: the number of rows matching the pattern.
+    fn coverage(&self, codes: &[u8]) -> u64;
+
+    /// Whether `cov(P) ≥ tau`. Implementations should exit early once the
+    /// running count reaches the threshold; the default recomputes the exact
+    /// count.
+    fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        self.coverage(codes) >= tau
+    }
+
+    /// `cov` for a batch of patterns at once — the wide-probe entry point a
+    /// multi-shard backend answers in parallel. The default is a sequential
+    /// loop over [`Self::coverage`].
+    fn coverage_batch(&self, patterns: &[&[u8]]) -> Vec<u64> {
+        patterns.iter().map(|p| self.coverage(p)).collect()
+    }
+
+    /// Ingests one row; answers afterwards are identical to a rebuild over
+    /// the extended multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a value code out of range (callers
+    /// validate against the schema first, as with [`CoverageOracle::add_row`]).
+    fn add_row(&mut self, row: &[u8]);
+
+    /// Ingests a batch of rows — the entry point a multi-shard backend
+    /// parallelizes over shard-local sub-batches. The default is a
+    /// sequential loop over [`Self::add_row`].
+    fn add_rows(&mut self, rows: &[&[u8]]) {
+        for row in rows {
+            self.add_row(row);
+        }
+    }
+
+    /// Forgets one copy of `row`, returning whether a matching row was
+    /// registered (and removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a value code out of range.
+    fn remove_row(&mut self, row: &[u8]) -> bool;
+
+    /// Visits every distinct `(combination, multiplicity)` pair. A sharded
+    /// backend may visit the same combination once per shard holding copies
+    /// of it — consumers must sum multiplicities, never assume distinctness.
+    fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64));
+
+    /// Rows held per shard — `[total()]` for single-shard backends. Serving
+    /// stats surface this so operators can see skew.
+    fn shard_totals(&self) -> Vec<u64> {
+        vec![self.total()]
+    }
+}
+
+impl CoverageProvider for CoverageOracle {
+    fn arity(&self) -> usize {
+        CoverageOracle::arity(self)
+    }
+
+    fn cardinalities(&self) -> &[u8] {
+        CoverageOracle::cardinalities(self)
+    }
+
+    fn total(&self) -> u64 {
+        CoverageOracle::total(self)
+    }
+
+    fn coverage(&self, codes: &[u8]) -> u64 {
+        CoverageOracle::coverage(self, codes)
+    }
+
+    fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        CoverageOracle::covered(self, codes, tau)
+    }
+
+    fn add_row(&mut self, row: &[u8]) {
+        CoverageOracle::add_row(self, row);
+    }
+
+    fn remove_row(&mut self, row: &[u8]) -> bool {
+        CoverageOracle::remove_row(self, row)
+    }
+
+    fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
+        for (combo, count) in self.combinations().iter() {
+            visit(combo, count);
+        }
+    }
+}
+
+/// A provider a long-lived engine can own: constructible from a dataset
+/// (with a shard-layout hint) and rebuildable after faults.
+///
+/// `shards` is a *hint*: single-shard backends ignore it, sharded backends
+/// clamp it to at least 1. The bounds (`Clone + Send + 'static`) are what
+/// the serving layer needs to share an engine across worker threads.
+pub trait CoverageBackend: CoverageProvider + Clone + Send + std::fmt::Debug + 'static {
+    /// Builds the backend over a dataset, honoring the shard-layout hint.
+    fn build(dataset: &Dataset, shards: usize) -> Self;
+}
+
+impl CoverageBackend for CoverageOracle {
+    fn build(dataset: &Dataset, _shards: usize) -> Self {
+        CoverageOracle::from_dataset(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::X;
+    use coverage_data::Schema;
+
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn oracle_implements_the_provider_surface() {
+        let mut oracle: Box<dyn CoverageProvider> =
+            Box::new(CoverageOracle::from_dataset(&example1()));
+        assert_eq!(oracle.arity(), 3);
+        assert_eq!(oracle.cardinalities(), &[2, 2, 2]);
+        assert_eq!(oracle.total(), 5);
+        assert_eq!(oracle.coverage(&[0, X, 1]), 3);
+        assert!(oracle.covered(&[X, X, X], 5));
+        assert!(!oracle.covered(&[1, X, X], 1));
+        assert_eq!(oracle.coverage_batch(&[&[X, X, X], &[1, X, X]]), vec![5, 0]);
+        oracle.add_rows(&[&[1, 0, 1], &[1, 0, 1]]);
+        assert_eq!(oracle.coverage(&[1, X, X]), 2);
+        assert!(oracle.remove_row(&[1, 0, 1]));
+        assert_eq!(oracle.coverage(&[1, X, X]), 1);
+        assert_eq!(oracle.shard_totals(), vec![6]);
+        let mut seen = 0u64;
+        oracle.for_each_combination(&mut |combo, count| {
+            assert_eq!(combo.len(), 3);
+            seen += count;
+        });
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn backend_build_matches_from_dataset() {
+        let built = <CoverageOracle as CoverageBackend>::build(&example1(), 7);
+        let direct = CoverageOracle::from_dataset(&example1());
+        assert_eq!(built.coverage(&[0, X, 1]), direct.coverage(&[0, X, 1]));
+        assert_eq!(built.total(), direct.total());
+    }
+}

@@ -1,0 +1,408 @@
+//! [`ShardedOracle`]: N row-disjoint [`CoverageOracle`] shards behind the
+//! [`CoverageProvider`] trait, for multi-core ingest and wide probes.
+//!
+//! Coverage is row-partitionable — `cov(P, D)` over a dataset is the sum of
+//! `cov(P, D_i)` over disjoint row shards — so every probe answer is the sum
+//! of shard-local answers and every row mutation touches exactly one shard:
+//!
+//! * **build** ([`ShardedOracle::from_dataset`]) splits rows round-robin and
+//!   builds the shard oracles in parallel (`std::thread::scope`);
+//! * **batch ingest** ([`CoverageProvider::add_rows`]) routes each row to
+//!   the least-loaded shard, then runs the shard-local ingests in parallel;
+//! * **wide probes** ([`CoverageProvider::coverage_batch`]) fan the whole
+//!   pattern batch out to every shard in parallel and sum the per-shard
+//!   count vectors;
+//! * **point probes** stay sequential — [`CoverageProvider::covered`] walks
+//!   shards with an early-out as soon as the running count reaches τ, which
+//!   beats thread fan-out for the single-pattern probes traversals issue.
+//!
+//! A combination present in several shards is counted independently by each;
+//! only the sums are meaningful, which is exactly what the provider contract
+//! promises.
+
+use coverage_data::Dataset;
+
+use crate::oracle::CoverageOracle;
+use crate::provider::{CoverageBackend, CoverageProvider};
+
+/// Minimum rows in a build/ingest batch before thread fan-out pays for
+/// itself; smaller batches run sequentially.
+const PARALLEL_ROW_THRESHOLD: usize = 256;
+
+/// Minimum patterns in a wide probe before thread fan-out pays for itself.
+const PARALLEL_PROBE_THRESHOLD: usize = 8;
+
+/// Row-sharded coverage oracle: disjoint row partitions, summed probes.
+#[derive(Debug, Clone)]
+pub struct ShardedOracle {
+    shards: Vec<CoverageOracle>,
+}
+
+impl ShardedOracle {
+    /// Builds a sharded oracle over `dataset` with `shards` row partitions
+    /// (clamped to at least 1). Rows are dealt round-robin; shard oracles
+    /// are built in parallel for non-trivial datasets.
+    pub fn from_dataset(dataset: &Dataset, shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut parts: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::new(dataset.schema().clone()))
+            .collect();
+        for (i, row) in dataset.rows().enumerate() {
+            parts[i % n]
+                .push_row(row)
+                .expect("source rows are schema-valid");
+        }
+        let shards = if n > 1 && dataset.len() >= PARALLEL_ROW_THRESHOLD {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|part| scope.spawn(|| CoverageOracle::from_dataset(part)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard build does not panic"))
+                    .collect()
+            })
+        } else {
+            parts.iter().map(CoverageOracle::from_dataset).collect()
+        };
+        Self { shards }
+    }
+
+    /// Number of shards (always at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard oracles, in layout order.
+    pub fn shards(&self) -> &[CoverageOracle] {
+        &self.shards
+    }
+
+    /// Index of the shard the next [`CoverageProvider::add_row`] will land
+    /// in: the least-loaded one, lowest index on ties — which degrades to
+    /// round-robin under uniform load.
+    fn least_loaded(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, shard)| shard.total())
+            .map(|(i, _)| i)
+            .expect("at least one shard")
+    }
+}
+
+impl CoverageProvider for ShardedOracle {
+    fn arity(&self) -> usize {
+        self.shards[0].arity()
+    }
+
+    fn cardinalities(&self) -> &[u8] {
+        self.shards[0].cardinalities()
+    }
+
+    fn total(&self) -> u64 {
+        self.shards.iter().map(CoverageOracle::total).sum()
+    }
+
+    fn coverage(&self, codes: &[u8]) -> u64 {
+        self.shards.iter().map(|shard| shard.coverage(codes)).sum()
+    }
+
+    fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        if tau == 0 {
+            return true;
+        }
+        // Early-out across shards, early exit within each: every shard
+        // counts only up to the still-missing remainder (exact below it),
+        // so one scan per shard and the walk stops the moment the running
+        // total reaches τ — in covered regions usually inside shard 0
+        // after a handful of words.
+        let mut acc = 0u64;
+        for shard in &self.shards {
+            acc = acc.saturating_add(shard.coverage_capped(codes, tau - acc));
+            if acc >= tau {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn coverage_batch(&self, patterns: &[&[u8]]) -> Vec<u64> {
+        if self.shards.len() == 1 || patterns.len() < PARALLEL_PROBE_THRESHOLD {
+            let mut sums = vec![0u64; patterns.len()];
+            for shard in &self.shards {
+                for (sum, p) in sums.iter_mut().zip(patterns) {
+                    *sum += shard.coverage(p);
+                }
+            }
+            return sums;
+        }
+        // Wide probe: every shard answers the whole batch in parallel, then
+        // the per-shard count vectors are summed element-wise.
+        let per_shard: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        patterns
+                            .iter()
+                            .map(|p| shard.coverage(p))
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard probe does not panic"))
+                .collect()
+        });
+        let mut sums = vec![0u64; patterns.len()];
+        for counts in per_shard {
+            for (sum, c) in sums.iter_mut().zip(counts) {
+                *sum += c;
+            }
+        }
+        sums
+    }
+
+    fn add_row(&mut self, row: &[u8]) {
+        let target = self.least_loaded();
+        self.shards[target].add_row(row);
+    }
+
+    fn add_rows(&mut self, rows: &[&[u8]]) {
+        if self.shards.len() == 1 {
+            for row in rows {
+                self.shards[0].add_row(row);
+            }
+            return;
+        }
+        // Route first (sequential, cheap): simulate the per-row least-loaded
+        // choice so batch ingest lands rows exactly where the equivalent
+        // stream of add_row calls would.
+        let mut loads: Vec<u64> = self.shards.iter().map(CoverageOracle::total).collect();
+        let mut groups: Vec<Vec<&[u8]>> = vec![Vec::new(); self.shards.len()];
+        for &row in rows {
+            let target = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &load)| load)
+                .map(|(i, _)| i)
+                .expect("at least one shard");
+            loads[target] += 1;
+            groups[target].push(row);
+        }
+        if rows.len() < PARALLEL_ROW_THRESHOLD {
+            for (shard, group) in self.shards.iter_mut().zip(&groups) {
+                for row in group {
+                    shard.add_row(row);
+                }
+            }
+            return;
+        }
+        // Shard-local ingest in parallel: each thread owns one shard.
+        std::thread::scope(|scope| {
+            for (shard, group) in self.shards.iter_mut().zip(&groups) {
+                scope.spawn(move || {
+                    for row in group {
+                        shard.add_row(row);
+                    }
+                });
+            }
+        });
+    }
+
+    fn remove_row(&mut self, row: &[u8]) -> bool {
+        // One copy from whichever shard holds the row; shards without it
+        // answer with a cheap index miss.
+        self.shards.iter_mut().any(|shard| shard.remove_row(row))
+    }
+
+    fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
+        for shard in &self.shards {
+            for (combo, count) in shard.combinations().iter() {
+                visit(combo, count);
+            }
+        }
+    }
+
+    fn shard_totals(&self) -> Vec<u64> {
+        self.shards.iter().map(CoverageOracle::total).collect()
+    }
+}
+
+impl CoverageBackend for ShardedOracle {
+    fn build(dataset: &Dataset, shards: usize) -> Self {
+        Self::from_dataset(dataset, shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::X;
+    use coverage_data::Schema;
+
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn probes(d: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![vec![X; d]];
+        for i in 0..d {
+            for v in 0..2u8 {
+                let mut p = vec![X; d];
+                p[i] = v;
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shard_counts_are_clamped_and_rows_dealt_round_robin() {
+        let sharded = ShardedOracle::from_dataset(&example1(), 0);
+        assert_eq!(sharded.shard_count(), 1);
+        let sharded = ShardedOracle::from_dataset(&example1(), 3);
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.shard_totals(), vec![2, 2, 1]);
+        assert_eq!(sharded.total(), 5);
+    }
+
+    #[test]
+    fn summed_probes_match_the_single_oracle() {
+        let single = CoverageOracle::from_dataset(&example1());
+        for shards in 1..=4 {
+            let sharded = ShardedOracle::from_dataset(&example1(), shards);
+            for p in probes(3) {
+                assert_eq!(
+                    CoverageProvider::coverage(&sharded, &p),
+                    single.coverage(&p),
+                    "{shards} shards, pattern {p:?}"
+                );
+                for tau in [1u64, 2, 3, 5, 6] {
+                    assert_eq!(
+                        CoverageProvider::covered(&sharded, &p, tau),
+                        single.covered(&p, tau),
+                        "{shards} shards, pattern {p:?}, tau {tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_batch_matches_point_probes() {
+        let ds = coverage_data::generators::airbnb_like(2_000, 5, 3).unwrap();
+        let sharded = ShardedOracle::from_dataset(&ds, 4);
+        let patterns: Vec<Vec<u8>> = probes(5);
+        let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let batch = sharded.coverage_batch(&refs);
+        for (p, &count) in patterns.iter().zip(&batch) {
+            assert_eq!(CoverageProvider::coverage(&sharded, p), count, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn add_row_routes_to_the_least_loaded_shard() {
+        let mut sharded = ShardedOracle::from_dataset(&example1(), 3);
+        assert_eq!(sharded.shard_totals(), vec![2, 2, 1]);
+        sharded.add_row(&[1, 1, 1]);
+        assert_eq!(sharded.shard_totals(), vec![2, 2, 2]);
+        sharded.add_row(&[1, 1, 0]);
+        assert_eq!(sharded.shard_totals(), vec![3, 2, 2]);
+        assert_eq!(CoverageProvider::coverage(&sharded, &[1, 1, X]), 2);
+    }
+
+    #[test]
+    fn batch_ingest_equals_streamed_single_rows() {
+        let ds = coverage_data::generators::airbnb_like(400, 4, 9).unwrap();
+        let stream = coverage_data::generators::airbnb_like(800, 4, 10).unwrap();
+        let rows: Vec<&[u8]> = stream.rows().collect();
+        let mut batched = ShardedOracle::from_dataset(&ds, 3);
+        batched.add_rows(&rows);
+        let mut streamed = ShardedOracle::from_dataset(&ds, 3);
+        for row in &rows {
+            CoverageProvider::add_row(&mut streamed, row);
+        }
+        assert_eq!(batched.shard_totals(), streamed.shard_totals());
+        for p in probes(4) {
+            assert_eq!(
+                CoverageProvider::coverage(&batched, &p),
+                CoverageProvider::coverage(&streamed, &p),
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_row_takes_exactly_one_copy_across_shards() {
+        let mut sharded = ShardedOracle::from_dataset(&example1(), 2);
+        // (0,0,1) is present twice (one copy per shard under round-robin).
+        assert_eq!(CoverageProvider::coverage(&sharded, &[0, 0, 1]), 2);
+        assert!(CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
+        assert_eq!(CoverageProvider::coverage(&sharded, &[0, 0, 1]), 1);
+        assert!(CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
+        assert!(!CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
+        assert_eq!(sharded.total(), 3);
+    }
+
+    #[test]
+    fn for_each_combination_multiplicities_sum_to_total() {
+        let ds = coverage_data::generators::airbnb_like(500, 3, 5).unwrap();
+        let sharded = ShardedOracle::from_dataset(&ds, 4);
+        let mut sum = 0u64;
+        sharded.for_each_combination(&mut |combo, count| {
+            assert_eq!(combo.len(), 3);
+            sum += count;
+        });
+        assert_eq!(sum, 500);
+    }
+
+    #[test]
+    fn parallel_build_and_ingest_match_sequential_results() {
+        // Large enough to cross PARALLEL_ROW_THRESHOLD on both paths.
+        let ds = coverage_data::generators::airbnb_like(3_000, 5, 21).unwrap();
+        let stream = coverage_data::generators::airbnb_like(1_500, 5, 22).unwrap();
+        let rows: Vec<&[u8]> = stream.rows().collect();
+        let mut sharded = ShardedOracle::from_dataset(&ds, 4);
+        sharded.add_rows(&rows);
+        let mut everything = Dataset::new(ds.schema().clone());
+        everything.extend_from(&ds).unwrap();
+        for row in &rows {
+            everything.push_row(row).unwrap();
+        }
+        let single = CoverageOracle::from_dataset(&everything);
+        assert_eq!(sharded.total(), single.total());
+        for p in probes(5) {
+            assert_eq!(
+                CoverageProvider::coverage(&sharded, &p),
+                single.coverage(&p),
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dataset_shards_cleanly() {
+        let ds = Dataset::new(Schema::binary(2).unwrap());
+        let mut sharded = ShardedOracle::from_dataset(&ds, 4);
+        assert_eq!(sharded.total(), 0);
+        assert_eq!(CoverageProvider::coverage(&sharded, &[X, X]), 0);
+        assert!(!CoverageProvider::covered(&sharded, &[X, X], 1));
+        CoverageProvider::add_row(&mut sharded, &[1, 0]);
+        assert_eq!(CoverageProvider::coverage(&sharded, &[1, X]), 1);
+    }
+}

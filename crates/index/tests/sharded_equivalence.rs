@@ -1,0 +1,112 @@
+//! Property tests: a [`ShardedOracle`] with any shard count is
+//! observationally identical to the single [`CoverageOracle`] — on
+//! `coverage`, `covered`, `coverage_batch`, and `total` — after arbitrary
+//! mixed insert/delete streams.
+
+use coverage_data::{Dataset, Schema};
+use coverage_index::{CoverageOracle, CoverageProvider, ShardedOracle, X};
+use proptest::prelude::*;
+
+/// A random workload: schema shape, base rows, a mixed op stream, and probe
+/// patterns. Ops: selector 0 = delete the row (a no-op on both sides when
+/// absent), anything else = insert it. Probes: `(row, x_mask)` pairs turned
+/// into patterns by masking positions to `X`.
+#[allow(clippy::type_complexity)]
+fn workload_strategy() -> impl Strategy<Value = (Dataset, Vec<(u8, Vec<u8>)>, Vec<(Vec<u8>, u8)>)> {
+    (2usize..=3, 2u8..=4)
+        .prop_flat_map(|(d, c)| {
+            let base = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..30);
+            let ops =
+                proptest::collection::vec((0u8..4, proptest::collection::vec(0..c, d)), 1..50);
+            let probes =
+                proptest::collection::vec((proptest::collection::vec(0..c, d), 0u8..=255), 1..12);
+            (Just((d, c)), base, ops, probes)
+        })
+        .prop_map(|((d, c), base, ops, probes)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            (Dataset::from_rows(schema, &base).unwrap(), ops, probes)
+        })
+}
+
+fn to_pattern(row: &[u8], x_mask: u8) -> Vec<u8> {
+    row.iter()
+        .enumerate()
+        .map(|(i, &v)| if x_mask & (1 << i) != 0 { X } else { v })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sharded_oracle_equals_single_oracle_after_mixed_streams(
+        workload in workload_strategy(),
+        shards in 1usize..=4,
+    ) {
+        let (base, ops, probes) = workload;
+        let mut single = CoverageOracle::from_dataset(&base);
+        let mut sharded = ShardedOracle::from_dataset(&base, shards);
+        prop_assert_eq!(sharded.shard_count(), shards);
+        for (selector, row) in &ops {
+            if *selector == 0 {
+                let removed_single = single.remove_row(row);
+                let removed_sharded = CoverageProvider::remove_row(&mut sharded, row);
+                prop_assert_eq!(removed_single, removed_sharded, "presence of {:?}", row);
+            } else {
+                single.add_row(row);
+                CoverageProvider::add_row(&mut sharded, row);
+            }
+            prop_assert_eq!(single.total(), sharded.total());
+        }
+        let patterns: Vec<Vec<u8>> = probes
+            .iter()
+            .map(|(row, mask)| to_pattern(row, *mask))
+            .collect();
+        for p in &patterns {
+            prop_assert_eq!(
+                single.coverage(p),
+                CoverageProvider::coverage(&sharded, p),
+                "pattern {:?} over {} shards", p, shards
+            );
+            for tau in [1u64, 2, 3, 5, 10, 100] {
+                prop_assert_eq!(
+                    single.covered(p, tau),
+                    CoverageProvider::covered(&sharded, p, tau),
+                    "pattern {:?}, tau {}", p, tau
+                );
+            }
+        }
+        // The wide-probe path must agree with the point probes.
+        let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let batch = sharded.coverage_batch(&refs);
+        for (p, &count) in patterns.iter().zip(&batch) {
+            prop_assert_eq!(single.coverage(p), count, "batch probe {:?}", p);
+        }
+    }
+
+    /// Batch ingest must land on the same aggregate state as streamed
+    /// single-row ingest (routing is simulated identically).
+    #[test]
+    fn batch_ingest_equals_streamed_ingest(
+        workload in workload_strategy(),
+        shards in 1usize..=4,
+    ) {
+        let (base, ops, probes) = workload;
+        let rows: Vec<&[u8]> = ops.iter().map(|(_, row)| row.as_slice()).collect();
+        let mut batched = ShardedOracle::from_dataset(&base, shards);
+        batched.add_rows(&rows);
+        let mut streamed = ShardedOracle::from_dataset(&base, shards);
+        for row in &rows {
+            CoverageProvider::add_row(&mut streamed, row);
+        }
+        prop_assert_eq!(batched.shard_totals(), streamed.shard_totals());
+        for (row, mask) in &probes {
+            let p = to_pattern(row, *mask);
+            prop_assert_eq!(
+                CoverageProvider::coverage(&batched, &p),
+                CoverageProvider::coverage(&streamed, &p),
+                "pattern {:?}", p
+            );
+        }
+    }
+}

@@ -21,7 +21,7 @@ use std::collections::HashSet;
 
 use coverage_core::graph::{maximal_uncovered_below, maximal_uncovered_within};
 use coverage_core::pattern::Pattern;
-use coverage_index::CoverageOracle;
+use coverage_index::CoverageProvider;
 
 use crate::cache::CoverageCache;
 
@@ -38,7 +38,7 @@ pub struct DeltaOutcome {
 
 /// Coverage of `codes` through the memo cache.
 pub(crate) fn coverage_cached(
-    oracle: &CoverageOracle,
+    oracle: &dyn CoverageProvider,
     cache: &mut CoverageCache,
     codes: &[u8],
 ) -> u64 {
@@ -50,6 +50,37 @@ pub(crate) fn coverage_cached(
     v
 }
 
+/// Coverage of a batch of patterns through the memo cache: misses are
+/// gathered and answered with **one** [`CoverageProvider::coverage_batch`]
+/// call — the wide probe a sharded backend fans out across its shards in
+/// parallel — then fed back into the cache.
+pub(crate) fn coverage_cached_batch(
+    oracle: &dyn CoverageProvider,
+    cache: &mut CoverageCache,
+    patterns: &[Pattern],
+) -> Vec<u64> {
+    let mut out = vec![0u64; patterns.len()];
+    let mut miss_at: Vec<usize> = Vec::new();
+    let mut miss_codes: Vec<&[u8]> = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        match cache.get(p.codes()) {
+            Some(v) => out[i] = v,
+            None => {
+                miss_at.push(i);
+                miss_codes.push(p.codes());
+            }
+        }
+    }
+    if !miss_codes.is_empty() {
+        let counts = oracle.coverage_batch(&miss_codes);
+        for (&i, &count) in miss_at.iter().zip(&counts) {
+            out[i] = count;
+            cache.insert(patterns[i].codes(), count);
+        }
+    }
+    out
+}
+
 /// Covered test for walk decisions: a cache hit answers from the memo,
 /// otherwise the oracle's early-exit `cov ≥ τ` probe runs — in covered
 /// regions (where most traversal decisions are made) it terminates after a
@@ -57,7 +88,7 @@ pub(crate) fn coverage_cached(
 /// keeps the per-delete walk an order of magnitude under a full recompute.
 /// Nothing is cached on the fast path (there is no exact count to store).
 fn covered_fast(
-    oracle: &CoverageOracle,
+    oracle: &dyn CoverageProvider,
     cache: &mut CoverageCache,
     tau: u64,
     codes: &[u8],
@@ -73,7 +104,7 @@ fn covered_fast(
 /// unchanged; a shifted rate threshold requires a full recompute because
 /// previously covered patterns anywhere may have dropped below the new τ.
 pub(crate) fn apply_insert_delta<R: AsRef<[u8]>>(
-    oracle: &CoverageOracle,
+    oracle: &dyn CoverageProvider,
     cache: &mut CoverageCache,
     tau: u64,
     mups: &mut Vec<Pattern>,
@@ -88,9 +119,14 @@ pub(crate) fn apply_insert_delta<R: AsRef<[u8]>>(
     if affected.is_empty() {
         return DeltaOutcome::default();
     }
+    // One wide probe for every touched MUP — a sharded backend answers the
+    // whole batch with parallel shard-local scans.
+    let counts = coverage_cached_batch(oracle, cache, &affected);
     let retired: HashSet<Pattern> = affected
         .into_iter()
-        .filter(|m| coverage_cached(oracle, cache, m.codes()) >= tau)
+        .zip(counts)
+        .filter(|&(_, count)| count >= tau)
+        .map(|(m, _)| m)
         .collect();
     if retired.is_empty() {
         return DeltaOutcome::default();
@@ -117,7 +153,7 @@ pub(crate) fn apply_insert_delta<R: AsRef<[u8]>>(
 /// is unchanged; a shrinking dataset can step a rate threshold *down*, which
 /// may newly cover patterns anywhere and requires a full recompute.
 pub(crate) fn apply_delete_delta<R: AsRef<[u8]>>(
-    oracle: &CoverageOracle,
+    oracle: &dyn CoverageProvider,
     cache: &mut CoverageCache,
     tau: u64,
     mups: &mut Vec<Pattern>,
@@ -166,6 +202,7 @@ mod tests {
     use super::*;
     use coverage_core::mup::{DeepDiver, MupAlgorithm};
     use coverage_data::{Dataset, Schema};
+    use coverage_index::CoverageOracle;
 
     /// Example 1 of the paper plus a streamed insert: the delta must agree
     /// with re-running DEEPDIVER on the extended dataset.

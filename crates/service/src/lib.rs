@@ -2,9 +2,15 @@
 //!
 //! The serving layer that turns the ICDE 2019 reproduction from an offline
 //! batch job into a long-lived system: a [`CoverageEngine`] owns a mutable
-//! dataset + coverage oracle and maintains the MUP set **incrementally** as
+//! dataset + coverage backend and maintains the MUP set **incrementally** as
 //! tuples stream in, and a newline-delimited JSON protocol exposes it over
 //! stdin/stdout or TCP (`mithra serve`).
+//!
+//! The engine is generic over [`coverage_index::CoverageBackend`]: the
+//! default is the single-shard [`coverage_index::CoverageOracle`], while
+//! `mithra serve --shards N` runs a [`ShardedCoverageEngine`] whose
+//! [`coverage_index::ShardedOracle`] ingests batches and answers wide
+//! probes with one thread per row shard.
 //!
 //! Modules:
 //!
@@ -59,11 +65,15 @@ pub mod snapshot;
 pub use cache::CoverageCache;
 pub use delta::DeltaOutcome;
 pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
+
+/// The multi-core serving engine behind `mithra serve --shards N`: a
+/// [`CoverageEngine`] over a row-sharded oracle.
+pub type ShardedCoverageEngine = CoverageEngine<coverage_index::ShardedOracle>;
 pub use server::{
     handle_line, handle_line_with, serve_lines, serve_lines_with, serve_tcp, serve_tcp_with,
     DEFAULT_WORKERS,
 };
-pub use snapshot::{load_snapshot, save_snapshot, SNAPSHOT_VERSION};
+pub use snapshot::{load_snapshot, load_snapshot_with_layout, save_snapshot, SNAPSHOT_VERSION};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

@@ -17,10 +17,11 @@ use std::thread;
 
 use coverage_core::pattern::Pattern;
 use coverage_data::Schema;
+use coverage_index::CoverageBackend;
 
 use crate::engine::CoverageEngine;
 use crate::protocol::{error_response, parse_request, write_json_string, Request};
-use crate::snapshot::{load_snapshot, save_snapshot};
+use crate::snapshot::save_snapshot;
 
 /// Default number of worker threads for [`serve_tcp`].
 pub const DEFAULT_WORKERS: usize = 4;
@@ -61,8 +62,8 @@ fn decode_pattern(schema: &Schema, pattern: &Pattern) -> String {
     }
 }
 
-fn dispatch(
-    engine: &mut CoverageEngine,
+fn dispatch<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
     snapshot_path: Option<&Path>,
     request: Request,
 ) -> Result<String, String> {
@@ -122,7 +123,12 @@ fn dispatch(
             let path = snapshot_path.ok_or(
                 "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
             )?;
-            *engine = load_snapshot(path).map_err(|e| e.to_string())?;
+            // The op restores *data*, not deployment config: the serving
+            // process keeps its current shard layout (which already
+            // reflects any CLI --shards override) rather than silently
+            // adopting whatever layout the snapshot was taken under.
+            *engine = crate::snapshot::load_snapshot_with_layout(path, Some(engine.shards()))
+                .map_err(|e| e.to_string())?;
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
@@ -203,6 +209,7 @@ fn dispatch(
             let report = engine.report();
             let stats = engine.stats();
             let (cache_len, cache_cap, hits, misses, invalidated) = engine.cache_stats();
+            let shard_layout = engine.shard_layout();
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
@@ -212,7 +219,7 @@ fn dispatch(
                         "\"inserts\":{},\"batches\":{},\"deletes\":{},\"delete_batches\":{},",
                         "\"mups_retired\":{},\"mups_discovered\":{},\"full_recomputes\":{},",
                         "\"cache\":{{\"len\":{},\"capacity\":{},\"hits\":{},\"misses\":{},",
-                        "\"invalidated\":{}}}}}"
+                        "\"invalidated\":{}}},\"shards\":{{\"count\":{},\"rows\":["
                     ),
                     engine.dataset().len(),
                     engine.dataset().arity(),
@@ -231,8 +238,17 @@ fn dispatch(
                     hits,
                     misses,
                     invalidated,
+                    shard_layout.len(),
                 ),
             );
+            // Per-shard row counts, so operators can see routing skew.
+            for (i, rows) in shard_layout.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{rows}"));
+            }
+            out.push_str("]}}");
         }
     }
     Ok(out)
@@ -241,8 +257,8 @@ fn dispatch(
 /// Handles one request line, returning exactly one response line (without
 /// the trailing newline). Never panics on malformed input. `snapshot_path`
 /// backs the `snapshot`/`restore` ops; without one they answer an error.
-pub fn handle_line_with(
-    engine: &mut CoverageEngine,
+pub fn handle_line_with<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
     snapshot_path: Option<&Path>,
     line: &str,
 ) -> String {
@@ -253,7 +269,7 @@ pub fn handle_line_with(
 }
 
 /// [`handle_line_with`] without a snapshot path.
-pub fn handle_line(engine: &mut CoverageEngine, line: &str) -> String {
+pub fn handle_line<B: CoverageBackend>(engine: &mut CoverageEngine<B>, line: &str) -> String {
     handle_line_with(engine, None, line)
 }
 
@@ -326,8 +342,8 @@ fn serve_loop(
 /// Serves newline-delimited requests from `input` to `output` until EOF
 /// (the `mithra serve` stdin/stdout mode). Blank lines are skipped.
 /// `snapshot_path` backs the `snapshot`/`restore` ops.
-pub fn serve_lines_with(
-    engine: &mut CoverageEngine,
+pub fn serve_lines_with<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
     snapshot_path: Option<&Path>,
     input: impl BufRead,
     output: impl Write,
@@ -338,8 +354,8 @@ pub fn serve_lines_with(
 }
 
 /// [`serve_lines_with`] without a snapshot path.
-pub fn serve_lines(
-    engine: &mut CoverageEngine,
+pub fn serve_lines<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<()> {
@@ -366,9 +382,9 @@ pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300
 /// * If the mutex is *already* poisoned (a panic that predates this guard,
 ///   e.g. an external lock holder), the poison is cleared, the engine
 ///   rebuilt, and serving resumes — the pool never wedges permanently.
-fn with_engine_contained(
-    engine: &Arc<Mutex<CoverageEngine>>,
-    action: impl FnOnce(&mut CoverageEngine) -> Result<String, String>,
+fn with_engine_contained<B: CoverageBackend>(
+    engine: &Arc<Mutex<CoverageEngine<B>>>,
+    action: impl FnOnce(&mut CoverageEngine<B>) -> Result<String, String>,
 ) -> String {
     let mut guard = match engine.lock() {
         Ok(guard) => guard,
@@ -391,8 +407,8 @@ fn with_engine_contained(
     }
 }
 
-fn serve_connection(
-    engine: &Arc<Mutex<CoverageEngine>>,
+fn serve_connection<B: CoverageBackend>(
+    engine: &Arc<Mutex<CoverageEngine<B>>>,
     snapshot_path: Option<&Path>,
     stream: TcpStream,
 ) -> io::Result<()> {
@@ -418,8 +434,8 @@ fn serve_connection(
 /// and a panicking request handler costs one error response — never a
 /// worker thread or the engine mutex (see [`with_engine_contained`]).
 /// `snapshot_path` backs the `snapshot`/`restore` ops.
-pub fn serve_tcp_with(
-    engine: Arc<Mutex<CoverageEngine>>,
+pub fn serve_tcp_with<B: CoverageBackend>(
+    engine: Arc<Mutex<CoverageEngine<B>>>,
     snapshot_path: Option<std::path::PathBuf>,
     listener: TcpListener,
     workers: usize,
@@ -494,8 +510,8 @@ pub fn serve_tcp_with(
 }
 
 /// [`serve_tcp_with`] without a snapshot path.
-pub fn serve_tcp(
-    engine: Arc<Mutex<CoverageEngine>>,
+pub fn serve_tcp<B: CoverageBackend>(
+    engine: Arc<Mutex<CoverageEngine<B>>>,
     listener: TcpListener,
     workers: usize,
 ) -> io::Result<()> {
@@ -521,7 +537,7 @@ mod tests {
         CoverageEngine::new(ds, Threshold::Count(1)).unwrap()
     }
 
-    fn ok(engine: &mut CoverageEngine, line: &str) -> Json {
+    fn ok<B: CoverageBackend>(engine: &mut CoverageEngine<B>, line: &str) -> Json {
         let response = handle_line(engine, line);
         let doc = Json::parse(&response).expect("response is valid JSON");
         assert_eq!(
@@ -611,6 +627,47 @@ mod tests {
             doc.get("cache").unwrap().get("invalidated").is_some(),
             "invalidation churn must be visible to operators"
         );
+        let shards = doc.get("shards").expect("stats must report shard layout");
+        assert_eq!(shards.get("count").and_then(Json::as_u64), Some(1));
+        let rows: Vec<u64> = shards
+            .get("rows")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(rows, vec![5]);
+    }
+
+    #[test]
+    fn stats_report_per_shard_rows_for_sharded_engines() {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black", "asian"]).unwrap(),
+        ])
+        .unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            &[vec![0, 0], vec![0, 1], vec![1, 0], vec![0, 0], vec![1, 2]],
+        )
+        .unwrap();
+        let mut engine = crate::ShardedCoverageEngine::with_shards(ds, Threshold::Count(1), 2)
+            .expect("sharded engine");
+        let _ = ok(&mut engine, r#"{"op":"insert","row":["f","black"]}"#);
+        let doc = ok(&mut engine, r#"{"op":"stats"}"#);
+        let shards = doc.get("shards").unwrap();
+        assert_eq!(shards.get("count").and_then(Json::as_u64), Some(2));
+        let rows: Vec<u64> = shards
+            .get("rows")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.iter().sum::<u64>(), 6, "per-shard rows must sum to n");
     }
 
     #[test]
@@ -692,6 +749,37 @@ mod tests {
             mups_line,
             "restored engine must serve identical mups responses"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_keeps_the_serving_processes_shard_layout() {
+        // A snapshot taken under one layout must not downgrade a server
+        // running another: restore swaps the data in, not the deployment
+        // config.
+        let dir =
+            std::env::temp_dir().join(format!("mithra-restore-shards-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snapshot");
+        let single = engine(); // 1-shard engine writes the snapshot
+        crate::snapshot::save_snapshot(&single, &path).unwrap();
+        let mut sharded = crate::ShardedCoverageEngine::with_shards(
+            engine().dataset().clone(),
+            Threshold::Count(1),
+            3,
+        )
+        .unwrap();
+        let _ = ok(&mut sharded, r#"{"op":"insert","row":["f","black"]}"#);
+        let response = handle_line_with(&mut sharded, Some(&path), r#"{"op":"restore"}"#);
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert_eq!(
+            sharded.shards(),
+            3,
+            "restore must not adopt the snapshot's layout"
+        );
+        assert_eq!(sharded.shard_layout().len(), 3);
+        assert_eq!(sharded.dataset().len(), single.dataset().len());
+        assert_eq!(sharded.mups(), single.mups());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

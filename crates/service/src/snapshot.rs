@@ -3,18 +3,24 @@
 //!
 //! A snapshot is a single JSON document (written compactly on one line)
 //! carrying everything [`CoverageEngine::from_snapshot_parts`] needs:
-//! the schema (names + value dictionaries), the encoded rows, the
-//! configured threshold, the current MUP set, and the maintenance counters.
-//! The coverage oracle is *not* serialized — it is derived state, rebuilt
-//! from the rows in linear time on load, which keeps the format independent
-//! of the bit-vector layout.
+//! the schema (names + value dictionaries), the dataset as **unique value
+//! combinations with multiplicities**, the shard layout, the configured
+//! threshold, the current MUP set, and the maintenance counters. The
+//! coverage backend is *not* serialized — it is derived state, rebuilt from
+//! the combinations in linear time on load, which keeps the format
+//! independent of the bit-vector layout.
 //!
 //! Format policy (documented in the README):
 //!
 //! * `"format"` is always `"mithra-coverage-snapshot"`; `"version"` is an
-//!   integer, currently [`SNAPSHOT_VERSION`]. Readers reject any other
-//!   version rather than guessing — bump the version on any incompatible
-//!   change and keep old readers readable only via explicit migration.
+//!   integer, currently [`SNAPSHOT_VERSION`]. Version 2 stores
+//!   `"combos": [[[codes…], count], …]` (compacted — heavily duplicated
+//!   datasets shrink by orders of magnitude) plus `"shards"` (the backend's
+//!   row-shard layout). Version 1 documents (raw `"rows"`, no layout) are
+//!   still read: their rows restore into a single shard (shard 0), and the
+//!   next `snapshot` op rewrites them as version 2. Any *newer* version is
+//!   rejected rather than guessed at — bump the version on any incompatible
+//!   change.
 //! * Snapshots are **trusted input**: the loader validates structure, value
 //!   ranges, and arities, but takes the MUP set at its word (re-deriving it
 //!   would defeat the purpose). Keep snapshot files as protected as the
@@ -27,14 +33,18 @@ use std::path::Path;
 
 use coverage_core::pattern::Pattern;
 use coverage_core::Threshold;
-use coverage_data::{Attribute, Dataset, Schema};
+use coverage_data::{Attribute, Dataset, Schema, UniqueCombinations};
+use coverage_index::CoverageBackend;
 
 use crate::engine::{CoverageEngine, EngineStats};
 use crate::protocol::{write_json_string, Json};
 use crate::{Result, ServiceError};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Oldest snapshot version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u64 = 1;
 
 /// The `"format"` marker distinguishing snapshots from arbitrary JSON.
 pub const SNAPSHOT_FORMAT: &str = "mithra-coverage-snapshot";
@@ -49,15 +59,20 @@ fn bad(message: impl Into<String>) -> ServiceError {
 ///
 /// Fails for labeled datasets (the serving layer never builds one, and the
 /// format deliberately omits labels).
-pub fn snapshot_string(engine: &CoverageEngine) -> Result<String> {
+pub fn snapshot_string<B: CoverageBackend>(engine: &CoverageEngine<B>) -> Result<String> {
     let dataset = engine.dataset();
     if dataset.is_labeled() {
         return Err(bad("labeled datasets cannot be snapshotted"));
     }
-    let mut out = String::with_capacity(1024 + dataset.len() * dataset.arity() * 4);
+    let combos = UniqueCombinations::from_dataset(dataset);
+    let mut out = String::with_capacity(1024 + combos.len() * (dataset.arity() * 4 + 8));
     out.push_str("{\"format\":");
     write_json_string(&mut out, SNAPSHOT_FORMAT);
-    let _ = write!(out, ",\"version\":{SNAPSHOT_VERSION},\"threshold\":");
+    let _ = write!(
+        out,
+        ",\"version\":{SNAPSHOT_VERSION},\"shards\":{},\"threshold\":",
+        engine.shards()
+    );
     match engine.threshold() {
         Threshold::Count(c) => {
             let _ = write!(out, "{{\"count\":{c}}}");
@@ -90,19 +105,19 @@ pub fn snapshot_string(engine: &CoverageEngine) -> Result<String> {
         }
         out.push('}');
     }
-    out.push_str("],\"rows\":[");
-    for (r, row) in dataset.rows().enumerate() {
-        if r > 0 {
+    out.push_str("],\"combos\":[");
+    for (k, (combo, count)) in combos.iter().enumerate() {
+        if k > 0 {
             out.push(',');
         }
-        out.push('[');
-        for (i, &v) in row.iter().enumerate() {
+        out.push_str("[[");
+        for (i, &v) in combo.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "{v}");
         }
-        out.push(']');
+        let _ = write!(out, "],{count}]");
     }
     out.push_str("],\"mups\":[");
     for (i, mup) in engine.mups().iter().enumerate() {
@@ -144,19 +159,39 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64> {
 }
 
 /// Reassembles an engine from a snapshot document produced by
-/// [`snapshot_string`].
-pub fn parse_snapshot(text: &str) -> Result<CoverageEngine> {
+/// [`snapshot_string`] — current (version 2, compacted combos + shard
+/// layout) or legacy (version 1, raw rows, restored into a single shard).
+pub fn parse_snapshot<B: CoverageBackend>(text: &str) -> Result<CoverageEngine<B>> {
+    parse_snapshot_with_layout(text, None)
+}
+
+/// [`parse_snapshot`] with the shard layout decided by the caller:
+/// `shards_override` replaces the snapshot's recorded layout *before* the
+/// backend is built, so the index is constructed exactly once (resharding
+/// after the fact would build it twice). `None` honors the recorded layout.
+pub fn parse_snapshot_with_layout<B: CoverageBackend>(
+    text: &str,
+    shards_override: Option<usize>,
+) -> Result<CoverageEngine<B>> {
     let doc = Json::parse(text).map_err(|e| bad(format!("snapshot is not valid JSON: {e}")))?;
     match field(&doc, "format")?.as_str() {
         Some(SNAPSHOT_FORMAT) => {}
         _ => return Err(bad("not a mithra coverage snapshot (bad `format` field)")),
     }
     let version = u64_field(&doc, "version")?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(bad(format!(
-            "snapshot version {version} is not supported (this build reads version {SNAPSHOT_VERSION})"
+            "snapshot version {version} is not supported (this build reads versions \
+             {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
         )));
     }
+    // v1 predates sharding: everything restores into shard 0.
+    let recorded = if version >= 2 {
+        u64_field(&doc, "shards")?.max(1) as usize
+    } else {
+        1
+    };
+    let shards = shards_override.unwrap_or(recorded);
     let threshold_doc = field(&doc, "threshold")?;
     let threshold = match (threshold_doc.get("count"), threshold_doc.get("fraction")) {
         (Some(c), None) => Threshold::Count(
@@ -204,24 +239,51 @@ pub fn parse_snapshot(text: &str) -> Result<CoverageEngine> {
     let schema = Schema::new(attributes).map_err(|e| bad(format!("bad schema: {e}")))?;
     let arity = schema.arity();
     let mut dataset = Dataset::new(schema);
-    for (r, row_doc) in field(&doc, "rows")?
-        .as_array()
-        .ok_or_else(|| bad("`rows` must be an array"))?
-        .iter()
-        .enumerate()
-    {
-        let row: Vec<u8> = row_doc
-            .as_array()
-            .ok_or_else(|| bad(format!("row {r} must be an array")))?
+    let parse_codes = |what: &str, doc: &Json| -> Result<Vec<u8>> {
+        doc.as_array()
+            .ok_or_else(|| bad(format!("{what} must be an array")))?
             .iter()
             .map(|v| match v.as_u64() {
                 Some(code) if code <= u8::MAX as u64 => Ok(code as u8),
-                _ => Err(bad(format!("row {r} carries a non-u8 value code"))),
+                _ => Err(bad(format!("{what} carries a non-u8 value code"))),
             })
-            .collect::<Result<_>>()?;
-        dataset
-            .push_row(&row)
-            .map_err(|e| bad(format!("row {r}: {e}")))?;
+            .collect()
+    };
+    if version >= 2 {
+        // Compacted form: [[codes…], multiplicity] per distinct combination.
+        for (k, combo_doc) in field(&doc, "combos")?
+            .as_array()
+            .ok_or_else(|| bad("`combos` must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let pair = combo_doc
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| bad(format!("combo {k} must be a [codes, count] pair")))?;
+            let combo = parse_codes(&format!("combo {k}"), &pair[0])?;
+            let count = pair[1]
+                .as_u64()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| bad(format!("combo {k} must carry a positive count")))?;
+            for _ in 0..count {
+                dataset
+                    .push_row(&combo)
+                    .map_err(|e| bad(format!("combo {k}: {e}")))?;
+            }
+        }
+    } else {
+        for (r, row_doc) in field(&doc, "rows")?
+            .as_array()
+            .ok_or_else(|| bad("`rows` must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let row = parse_codes(&format!("row {r}"), row_doc)?;
+            dataset
+                .push_row(&row)
+                .map_err(|e| bad(format!("row {r}: {e}")))?;
+        }
     }
     let mut mups = Vec::new();
     for m in field(&doc, "mups")?
@@ -250,13 +312,13 @@ pub fn parse_snapshot(text: &str) -> Result<CoverageEngine> {
         mups_discovered: u64_field(stats_doc, "mups_discovered")?,
         full_recomputes: u64_field(stats_doc, "full_recomputes")?,
     };
-    CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats)
+    CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats, shards)
 }
 
 /// Writes a snapshot atomically: the document lands in `<path>.tmp` first
 /// and is renamed over `path`, so a crash mid-write leaves any previous
 /// snapshot intact.
-pub fn save_snapshot(engine: &CoverageEngine, path: &Path) -> Result<()> {
+pub fn save_snapshot<B: CoverageBackend>(engine: &CoverageEngine<B>, path: &Path) -> Result<()> {
     let text = snapshot_string(engine)?;
     // Append `.tmp` to the full file name (`with_extension` would *replace*
     // the extension — colliding with the target for `--snapshot state.tmp`,
@@ -275,15 +337,33 @@ pub fn save_snapshot(engine: &CoverageEngine, path: &Path) -> Result<()> {
 }
 
 /// Loads a snapshot written by [`save_snapshot`].
-pub fn load_snapshot(path: &Path) -> Result<CoverageEngine> {
+pub fn load_snapshot<B: CoverageBackend>(path: &Path) -> Result<CoverageEngine<B>> {
+    load_snapshot_with_layout(path, None)
+}
+
+/// [`load_snapshot`] with a caller-decided shard layout (see
+/// [`parse_snapshot_with_layout`]).
+pub fn load_snapshot_with_layout<B: CoverageBackend>(
+    path: &Path,
+    shards_override: Option<usize>,
+) -> Result<CoverageEngine<B>> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| bad(format!("cannot read {}: {e}", path.display())))?;
-    parse_snapshot(&text)
+    parse_snapshot_with_layout(&text, shards_override)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coverage_index::{CoverageOracle, ShardedOracle};
+
+    /// Row multiset of a dataset — snapshot compaction groups duplicate
+    /// rows, so restores preserve the multiset, not the row order.
+    fn sorted_rows(ds: &Dataset) -> Vec<Vec<u8>> {
+        let mut rows: Vec<Vec<u8>> = ds.rows().map(<[u8]>::to_vec).collect();
+        rows.sort();
+        rows
+    }
 
     fn engine() -> CoverageEngine {
         let schema = Schema::new(vec![
@@ -303,16 +383,36 @@ mod tests {
     fn round_trip_preserves_everything_durable() {
         let original = engine();
         let text = snapshot_string(&original).unwrap();
-        let restored = parse_snapshot(&text).unwrap();
+        let restored: CoverageEngine = parse_snapshot(&text).unwrap();
         assert_eq!(restored.mups(), original.mups());
         assert_eq!(restored.tau(), original.tau());
         assert_eq!(restored.threshold(), original.threshold());
         assert_eq!(restored.stats(), original.stats());
-        assert_eq!(restored.dataset(), original.dataset());
+        assert_eq!(restored.shards(), original.shards());
+        assert_eq!(
+            sorted_rows(restored.dataset()),
+            sorted_rows(original.dataset())
+        );
         // And the restored engine keeps serving correctly.
         let mut restored = restored;
         restored.insert(&[1, 2]).unwrap();
         assert!(restored.covered(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn sharded_engines_round_trip_their_layout() {
+        let ds = coverage_data::generators::airbnb_like(300, 4, 2).unwrap();
+        let original =
+            CoverageEngine::<ShardedOracle>::with_shards(ds, Threshold::Count(3), 3).unwrap();
+        let restored: CoverageEngine<ShardedOracle> =
+            parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
+        assert_eq!(restored.shards(), 3);
+        assert_eq!(restored.oracle().shard_count(), 3);
+        assert_eq!(restored.mups(), original.mups());
+        assert_eq!(
+            sorted_rows(restored.dataset()),
+            sorted_rows(original.dataset())
+        );
     }
 
     #[test]
@@ -323,7 +423,8 @@ mod tests {
         )
         .unwrap();
         let original = CoverageEngine::new(ds, Threshold::Fraction(0.1 + 0.2)).unwrap();
-        let restored = parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
+        let restored: CoverageEngine =
+            parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
         assert_eq!(restored.threshold(), original.threshold());
     }
 
@@ -335,8 +436,12 @@ mod tests {
         )
         .unwrap();
         let original = CoverageEngine::new(ds, Threshold::Count(2)).unwrap();
-        let restored = parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
-        assert_eq!(restored.dataset(), original.dataset());
+        let restored: CoverageEngine =
+            parse_snapshot(&snapshot_string(&original).unwrap()).unwrap();
+        assert_eq!(
+            sorted_rows(restored.dataset()),
+            sorted_rows(original.dataset())
+        );
         assert_eq!(restored.mups(), original.mups());
     }
 
@@ -347,12 +452,15 @@ mod tests {
         let path = dir.join("engine.snapshot");
         let original = engine();
         save_snapshot(&original, &path).unwrap();
-        let restored = load_snapshot(&path).unwrap();
+        let restored: CoverageEngine = load_snapshot(&path).unwrap();
         assert_eq!(restored.mups(), original.mups());
-        assert_eq!(restored.dataset(), original.dataset());
+        assert_eq!(
+            sorted_rows(restored.dataset()),
+            sorted_rows(original.dataset())
+        );
         // Overwriting is atomic-by-rename: a second save replaces the first.
         save_snapshot(&restored, &path).unwrap();
-        assert!(load_snapshot(&path).is_ok());
+        assert!(load_snapshot::<CoverageOracle>(&path).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -365,7 +473,7 @@ mod tests {
         // file (with_extension would make them identical).
         let path = dir.join("state.tmp");
         save_snapshot(&original, &path).unwrap();
-        assert!(load_snapshot(&path).is_ok());
+        assert!(load_snapshot::<CoverageOracle>(&path).is_ok());
         assert!(
             !dir.join("state.tmp.tmp").exists(),
             "staging file renamed away"
@@ -375,8 +483,8 @@ mod tests {
         save_snapshot(&original, &dir.join("prod.a")).unwrap();
         save_snapshot(&original, &dir.join("prod.b")).unwrap();
         assert!(!dir.join("prod.tmp").exists());
-        assert!(load_snapshot(&dir.join("prod.a")).is_ok());
-        assert!(load_snapshot(&dir.join("prod.b")).is_ok());
+        assert!(load_snapshot::<CoverageOracle>(&dir.join("prod.a")).is_ok());
+        assert!(load_snapshot::<CoverageOracle>(&dir.join("prod.b")).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -387,7 +495,7 @@ mod tests {
             &format!("\"version\":{SNAPSHOT_VERSION}"),
             "\"version\":9999",
         );
-        let err = parse_snapshot(&wrong_version).unwrap_err();
+        let err = parse_snapshot::<CoverageOracle>(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version 9999"), "{err}");
 
         for (mutation, needle) in [
@@ -398,9 +506,16 @@ mod tests {
                 "bad `format`",
             ),
             (good.replace("\"mups\":[", "\"mups\":[\"XXXXX\","), "arity"),
-            (good.replace("\"rows\":[[", "\"rows\":[[9,"), "row 0"),
+            (
+                good.replace("\"combos\":[[[", "\"combos\":[[[9,"),
+                "combo 0",
+            ),
+            (
+                good.replace("\"shards\":1", "\"shards\":\"two\""),
+                "`shards`",
+            ),
         ] {
-            let err = parse_snapshot(&mutation).unwrap_err();
+            let err = parse_snapshot::<CoverageOracle>(&mutation).unwrap_err();
             assert!(
                 err.to_string().contains(needle),
                 "`{needle}` not in `{err}`"
@@ -409,9 +524,78 @@ mod tests {
     }
 
     #[test]
+    fn version1_documents_restore_into_a_single_shard() {
+        // A handwritten pre-sharding (version 1) snapshot: raw rows, no
+        // layout field. It must restore — into one shard — and the next
+        // save must rewrite it as the current compacted version.
+        let v1 = concat!(
+            "{\"format\":\"mithra-coverage-snapshot\",\"version\":1,",
+            "\"threshold\":{\"count\":1},",
+            "\"attributes\":[{\"name\":\"a\",\"cardinality\":2},",
+            "{\"name\":\"b\",\"cardinality\":2}],",
+            "\"rows\":[[0,1],[1,0],[0,1]],",
+            "\"mups\":[\"00\",\"11\"],",
+            "\"stats\":{\"inserts\":3,\"batches\":2,\"deletes\":0,",
+            "\"delete_batches\":0,\"mups_retired\":1,\"mups_discovered\":2,",
+            "\"full_recomputes\":0}}"
+        );
+        let restored: CoverageEngine<ShardedOracle> = parse_snapshot(v1).unwrap();
+        assert_eq!(restored.shards(), 1);
+        assert_eq!(restored.shard_layout(), vec![3]);
+        assert_eq!(restored.dataset().len(), 3);
+        assert_eq!(restored.mups().len(), 2);
+        assert_eq!(restored.stats().inserts, 3);
+        let rewritten = snapshot_string(&restored).unwrap();
+        assert!(rewritten.contains(&format!("\"version\":{SNAPSHOT_VERSION}")));
+        assert!(rewritten.contains("\"combos\":"));
+    }
+
+    #[test]
+    fn layout_override_wins_without_a_second_build() {
+        let ds = coverage_data::generators::airbnb_like(200, 3, 4).unwrap();
+        let original =
+            CoverageEngine::<ShardedOracle>::with_shards(ds, Threshold::Count(2), 2).unwrap();
+        let text = snapshot_string(&original).unwrap();
+        let overridden: CoverageEngine<ShardedOracle> =
+            parse_snapshot_with_layout(&text, Some(4)).unwrap();
+        assert_eq!(overridden.shards(), 4);
+        assert_eq!(overridden.oracle().shard_count(), 4);
+        assert_eq!(overridden.mups(), original.mups());
+        let honored: CoverageEngine<ShardedOracle> =
+            parse_snapshot_with_layout(&text, None).unwrap();
+        assert_eq!(honored.shards(), 2);
+    }
+
+    #[test]
+    fn compaction_shrinks_heavily_duplicated_datasets() {
+        // 1,000 copies of two distinct rows: version 1 stored every row
+        // verbatim (≥ 6 bytes per row just for `[0,1],`); version 2 stores
+        // two combos with counts, so the document stays in the hundreds of
+        // bytes no matter how many duplicates arrive.
+        let ds = Dataset::from_rows(
+            Schema::binary(2).unwrap(),
+            &(0..1_000)
+                .map(|i| vec![(i % 2) as u8, (i % 2) as u8])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let engine = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
+        let text = snapshot_string(&engine).unwrap();
+        let v1_rows_lower_bound = 1_000 * 6;
+        assert!(
+            text.len() < v1_rows_lower_bound,
+            "compacted snapshot ({} bytes) must undercut raw rows (≥ {v1_rows_lower_bound})",
+            text.len()
+        );
+        let restored: CoverageEngine = parse_snapshot(&text).unwrap();
+        assert_eq!(restored.dataset().len(), 1_000);
+        assert_eq!(restored.mups(), engine.mups());
+    }
+
+    #[test]
     fn truncated_file_is_rejected() {
         let good = snapshot_string(&engine()).unwrap();
-        let err = parse_snapshot(&good[..good.len() / 2]).unwrap_err();
+        let err = parse_snapshot::<CoverageOracle>(&good[..good.len() / 2]).unwrap_err();
         assert!(err.to_string().contains("not valid JSON"), "{err}");
     }
 }

@@ -11,8 +11,12 @@
 //! collection that fixes every uncovered pattern at level λ; `serve` keeps
 //! the dataset live behind an incremental coverage engine and answers
 //! newline-delimited JSON requests on stdin/stdout (or TCP with
-//! `--listen`). With `--snapshot PATH` the served state persists across
-//! restarts: an existing snapshot is restored without a re-audit.
+//! `--listen`). The serving engine shards its coverage index over
+//! `--shards N` row partitions (default: one per available core, capped so
+//! every shard starts with a few thousand rows) for multi-core ingest and
+//! wide probes. With
+//! `--snapshot PATH` the served state persists across restarts: an existing
+//! snapshot is restored without a re-audit.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -45,10 +49,13 @@ struct Args {
     listen: Option<String>,
     threads: usize,
     snapshot: Option<std::path::PathBuf>,
+    /// `None` = default (machine parallelism for fresh starts, the
+    /// snapshot's recorded layout on restore).
+    shards: Option<usize>,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--snapshot PATH]"
+    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--shards N] [--snapshot PATH]"
         .to_string()
 }
 
@@ -72,6 +79,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut listen = None;
     let mut threads = None;
     let mut snapshot = None;
+    let mut shards = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -128,6 +136,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 threads = Some(workers);
             }
+            "--shards" => {
+                let count: usize = value()?.parse().map_err(|e| flag_error("--shards", e))?;
+                if count == 0 {
+                    return Err(flag_error("--shards", "need at least one shard"));
+                }
+                shards = Some(count);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -139,11 +154,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         // enhancement plan (or the served MUP set) silently incomplete.
         return Err(flag_error("--max-level", "only supported with `audit`"));
     }
-    if command != "serve" && (listen.is_some() || threads.is_some() || snapshot.is_some()) {
+    if command != "serve"
+        && (listen.is_some() || threads.is_some() || snapshot.is_some() || shards.is_some())
+    {
         let flag = if listen.is_some() {
             "--listen"
         } else if threads.is_some() {
             "--threads"
+        } else if shards.is_some() {
+            "--shards"
         } else {
             "--snapshot"
         };
@@ -175,6 +194,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         listen,
         threads: threads.unwrap_or(coverage_service::DEFAULT_WORKERS),
         snapshot,
+        shards,
     })
 }
 
@@ -197,13 +217,37 @@ fn decode(pattern: &Pattern, ds: &Dataset) -> String {
     }
 }
 
-/// Builds the serving engine: restored from `--snapshot PATH` when that
-/// file exists (no re-audit — the whole point of snapshots), freshly
-/// audited from the CSV otherwise.
-fn serve_engine(args: &Args) -> Result<CoverageEngine, String> {
+/// Below this many rows per shard, the per-probe overhead of walking extra
+/// shards outweighs any ingest parallelism, so the default layout stops
+/// splitting (an explicit `--shards` is always honored as given).
+const MIN_ROWS_PER_SHARD: usize = 4096;
+
+/// Row-shard count when `--shards` is not given: one shard per available
+/// core, capped so every shard starts with at least [`MIN_ROWS_PER_SHARD`]
+/// rows — a 100-row dataset on a 64-core host serves from one shard, not
+/// 64 near-empty ones.
+fn default_shards(rows: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(rows / MIN_ROWS_PER_SHARD).max(1)
+}
+
+/// Builds the serving engine — sharded over `--shards N` row partitions —
+/// restored from `--snapshot PATH` when that file exists (no re-audit — the
+/// whole point of snapshots), freshly audited from the CSV otherwise. On
+/// restore the snapshot's recorded shard layout wins unless `--shards` was
+/// given explicitly, in which case the backend is re-laid-out (cheap: the
+/// MUP set stays valid).
+fn serve_engine(args: &Args) -> Result<mithra::service::ShardedCoverageEngine, String> {
     if let Some(path) = args.snapshot.as_deref() {
         if path.exists() {
-            let engine = mithra::service::load_snapshot(path).map_err(|e| e.to_string())?;
+            // An explicit --shards overrides the snapshot's recorded layout
+            // *at load time*, so the index is built exactly once.
+            let engine =
+                mithra::service::load_snapshot_with_layout::<mithra::index::ShardedOracle>(
+                    path,
+                    args.shards,
+                )
+                .map_err(|e| e.to_string())?;
             if engine.threshold() != args.tau {
                 return Err(format!(
                     "snapshot {} was taken under a different threshold ({:?}, CLI asked {:?}); \
@@ -236,7 +280,9 @@ fn serve_engine(args: &Args) -> Result<CoverageEngine, String> {
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let ds = read_csv_auto_path(&args.file, &attr_refs, None)
         .map_err(|e| format!("{}: {e}", args.file))?;
-    CoverageEngine::new(ds, args.tau).map_err(|e| e.to_string())
+    let shards = args.shards.unwrap_or_else(|| default_shards(ds.len()));
+    mithra::service::ShardedCoverageEngine::with_shards(ds, args.tau, shards)
+        .map_err(|e| e.to_string())
 }
 
 /// `serve`: keep the dataset live behind an incremental engine and answer
@@ -245,11 +291,12 @@ fn serve_engine(args: &Args) -> Result<CoverageEngine, String> {
 fn serve(args: &Args) -> Result<(), String> {
     let engine = serve_engine(args)?;
     eprintln!(
-        "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s)",
+        "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s), {} shard(s)",
         engine.dataset().len(),
         engine.dataset().arity(),
         engine.tau(),
-        engine.mups().len()
+        engine.mups().len(),
+        engine.shards()
     );
     let snapshot_path = args.snapshot.clone();
     let served = match &args.listen {
@@ -533,6 +580,39 @@ mod tests {
         let args = parse(&["serve", "data.csv", "--attrs", "a", "--rate", "0.01"]).unwrap();
         assert!(args.listen.is_none());
         assert_eq!(args.threads, coverage_service::DEFAULT_WORKERS);
+        assert_eq!(args.shards, None, "default layout is decided at build time");
+    }
+
+    #[test]
+    fn default_shard_count_scales_with_dataset_size() {
+        // Tiny datasets must not be sliced into near-empty per-core shards.
+        assert_eq!(default_shards(0), 1);
+        assert_eq!(default_shards(100), 1);
+        assert_eq!(default_shards(MIN_ROWS_PER_SHARD - 1), 1);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(default_shards(MIN_ROWS_PER_SHARD * 2), cores.min(2));
+        assert_eq!(default_shards(usize::MAX), cores);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_is_serve_only() {
+        let args = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--shards", "4",
+        ])
+        .unwrap();
+        assert_eq!(args.shards, Some(4));
+        let err = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--shards", "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least one shard"), "{err}");
+        let err = parse(&[
+            "audit", "d.csv", "--attrs", "a", "--tau", "1", "--shards", "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+        let err = parse(&["serve", "d.csv", "--attrs", "a", "--tau", "1", "--shards"]).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
     }
 
     #[test]
@@ -597,6 +677,7 @@ mod tests {
             listen: None,
             threads: 1,
             snapshot: Some(snap.clone()),
+            shards: None,
         };
         // Matching threshold + attrs restores.
         let restored = serve_engine(&args(&["sex", "race"], Threshold::Count(1))).unwrap();

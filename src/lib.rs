@@ -53,6 +53,8 @@ pub mod prelude {
         CoverageReport, Threshold,
     };
     pub use coverage_data::{Attribute, Bucketizer, Dataset, Schema, UniqueCombinations};
-    pub use coverage_index::{CoverageOracle, MupDominanceIndex};
-    pub use coverage_service::{CoverageEngine, EngineStats};
+    pub use coverage_index::{
+        CoverageBackend, CoverageOracle, CoverageProvider, MupDominanceIndex, ShardedOracle,
+    };
+    pub use coverage_service::{CoverageEngine, EngineStats, ShardedCoverageEngine};
 }

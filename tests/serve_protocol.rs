@@ -31,6 +31,13 @@ fn engine() -> CoverageEngine {
 }
 
 fn request(engine: &mut CoverageEngine, line: &str) -> Json {
+    request_on(engine, line)
+}
+
+fn request_on<B: mithra::index::CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    line: &str,
+) -> Json {
     let response = handle_line(engine, line);
     Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON `{response}`: {e}"))
 }
@@ -72,7 +79,8 @@ fn insert_mups_coverage_stats_sequence() {
     assert_eq!(doc.get("coverage").and_then(Json::as_u64), Some(1));
     assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(true));
 
-    // 4. Stats report the maintenance that just happened.
+    // 4. Stats report the maintenance that just happened — including the
+    // shard layout (a single shard holding every row, for this engine).
     let doc = request(&mut engine, r#"{"op":"stats"}"#);
     assert_ok(&doc, "stats");
     assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(8));
@@ -81,6 +89,52 @@ fn insert_mups_coverage_stats_sequence() {
     assert_eq!(
         doc.get("mups").and_then(Json::as_u64),
         Some(engine.mups().len() as u64)
+    );
+    let shards = doc.get("shards").expect("stats must carry shard layout");
+    assert_eq!(shards.get("count").and_then(Json::as_u64), Some(1));
+}
+
+/// A sharded serving engine answers byte-identical `mups`/`coverage`
+/// responses to the single-shard engine over the same request stream, and
+/// its `stats` expose per-shard row counts that sum to the dataset size.
+#[test]
+fn sharded_engine_serves_identical_answers_and_reports_skew() {
+    use mithra::service::ShardedCoverageEngine;
+
+    let dataset = engine().dataset().clone();
+    let mut single = engine();
+    let mut sharded = ShardedCoverageEngine::with_shards(dataset, Threshold::Count(1), 3).unwrap();
+    let script = [
+        r#"{"op":"mups"}"#,
+        r#"{"op":"insert","rows":[["f","black","young"],["f","hispanic","old"]]}"#,
+        r#"{"op":"coverage","pattern":"11X"}"#,
+        r#"{"op":"delete","row":["f","black","young"]}"#,
+        r#"{"op":"mups"}"#,
+        r#"{"op":"coverage","pattern":"X0X"}"#,
+    ];
+    for line in script {
+        assert_eq!(
+            handle_line(&mut single, line),
+            handle_line(&mut sharded, line),
+            "single- and sharded-backend responses diverged on {line}"
+        );
+    }
+    let doc = request_on(&mut sharded, r#"{"op":"stats"}"#);
+    let shards = doc.get("shards").unwrap();
+    assert_eq!(shards.get("count").and_then(Json::as_u64), Some(3));
+    let per_shard: Vec<u64> = shards
+        .get("rows")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(per_shard.len(), 3);
+    assert_eq!(
+        per_shard.iter().sum::<u64>(),
+        sharded.dataset().len() as u64,
+        "per-shard rows must sum to the dataset size"
     );
 }
 
@@ -216,7 +270,7 @@ fn killed_and_restored_engine_serves_identical_responses() {
         // …engine dropped here: the process state is gone.
     };
 
-    let mut revived = load_snapshot(&path).expect("snapshot loads");
+    let mut revived: CoverageEngine = load_snapshot(&path).expect("snapshot loads");
     assert_eq!(handle_line(&mut revived, r#"{"op":"mups"}"#), mups_response);
     // Stats must agree on every durable field; the memo-cache gauges are
     // process-local (a restored engine starts cold) and are exempt.

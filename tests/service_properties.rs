@@ -3,11 +3,22 @@
 //! DEEPDIVER run over the materialized dataset — for absolute thresholds
 //! (pure delta path) and for rate thresholds (whose resolved τ shifts as
 //! the dataset grows or shrinks, forcing re-resolution and occasional
-//! full-recompute fallbacks).
+//! full-recompute fallbacks). The same equivalences are asserted for the
+//! engine over a [`ShardedOracle`] backend with a random shard count, and
+//! for snapshot round trips (including the compacted v2 on-disk form).
 
+use mithra::index::{CoverageBackend, ShardedOracle};
 use mithra::prelude::*;
 use mithra::service::snapshot::{parse_snapshot, snapshot_string};
 use proptest::prelude::*;
+
+/// Row multiset — snapshot compaction and shard routing do not preserve row
+/// order, only the multiset.
+fn sorted_rows(ds: &Dataset) -> Vec<Vec<u8>> {
+    let mut rows: Vec<Vec<u8>> = ds.rows().map(<[u8]>::to_vec).collect();
+    rows.sort();
+    rows
+}
 
 /// A random shape, base dataset, and insert stream over a shared schema:
 /// 2–4 attributes of cardinality 2–4, 0–40 base rows, 1–60 streamed rows.
@@ -26,13 +37,15 @@ fn workload_strategy() -> impl Strategy<Value = (Dataset, Vec<Vec<u8>>)> {
 
 /// Applies the stream through the engine in mixed batch sizes (1, 2, 3, …)
 /// so both `insert` and `insert_batch` paths are exercised, asserting
-/// equivalence with the batch algorithm at every step.
-fn assert_engine_tracks_batch(
+/// equivalence with the batch algorithm at every step. Generic over the
+/// coverage backend and its shard layout.
+fn assert_engine_tracks_batch<B: CoverageBackend>(
     base: Dataset,
     stream: &[Vec<u8>],
     threshold: Threshold,
+    shards: usize,
 ) -> Result<(), TestCaseError> {
-    let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+    let mut engine = CoverageEngine::<B>::with_shards(base.clone(), threshold, shards).unwrap();
     let mut materialized = base;
     let mut cursor = 0usize;
     let mut batch_size = 1usize;
@@ -92,13 +105,14 @@ fn mixed_workload_strategy() -> impl Strategy<Value = (Dataset, Vec<(u8, Vec<u8>
 /// equivalence with batch DEEPDIVER over the materialized multiset after
 /// every op. Deletes arrive through `remove` and (for pairs of consecutive
 /// deletes) `remove_batch`, so both entry points are exercised.
-fn assert_engine_tracks_batch_mixed(
+fn assert_engine_tracks_batch_mixed<B: CoverageBackend>(
     base: Dataset,
     ops: &[(u8, Vec<u8>, u16)],
     threshold: Threshold,
+    shards: usize,
 ) -> Result<(), TestCaseError> {
     let schema = base.schema().clone();
-    let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
+    let mut engine = CoverageEngine::<B>::with_shards(base.clone(), threshold, shards).unwrap();
     let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
     for (selector, row, delete_seed) in ops {
         let delete = *selector < 2 && !rows.is_empty();
@@ -143,7 +157,7 @@ proptest! {
         tau in 1u64..12,
     ) {
         let (base, stream) = workload;
-        assert_engine_tracks_batch(base, &stream, Threshold::Count(tau))?;
+        assert_engine_tracks_batch::<CoverageOracle>(base, &stream, Threshold::Count(tau), 1)?;
     }
 
     /// Rate thresholds: τ = max(1, round(f·n)) moves as n grows; the engine
@@ -155,7 +169,7 @@ proptest! {
     ) {
         let (base, stream) = workload;
         let rate = rate_milli as f64 / 1000.0;
-        assert_engine_tracks_batch(base, &stream, Threshold::Fraction(rate))?;
+        assert_engine_tracks_batch::<CoverageOracle>(base, &stream, Threshold::Fraction(rate), 1)?;
     }
 
     /// Mixed insert/delete streams under absolute thresholds: the insert
@@ -166,7 +180,7 @@ proptest! {
         tau in 1u64..10,
     ) {
         let (base, ops) = workload;
-        assert_engine_tracks_batch_mixed(base, &ops, Threshold::Count(tau))?;
+        assert_engine_tracks_batch_mixed::<CoverageOracle>(base, &ops, Threshold::Count(tau), 1)?;
     }
 
     /// Mixed streams under rate thresholds: τ steps up on growth and *down*
@@ -178,7 +192,45 @@ proptest! {
     ) {
         let (base, ops) = workload;
         let rate = rate_milli as f64 / 1000.0;
-        assert_engine_tracks_batch_mixed(base, &ops, Threshold::Fraction(rate))?;
+        assert_engine_tracks_batch_mixed::<CoverageOracle>(base, &ops, Threshold::Fraction(rate), 1)?;
+    }
+
+    /// The sharded backend with a random shard count must behave exactly
+    /// like the single-shard engine — and like batch DEEPDIVER — over
+    /// arbitrary insert streams.
+    #[test]
+    fn sharded_engine_matches_deepdiver_under_count_threshold(
+        workload in workload_strategy(),
+        tau in 1u64..12,
+        shards in 1usize..=4,
+    ) {
+        let (base, stream) = workload;
+        assert_engine_tracks_batch::<ShardedOracle>(base, &stream, Threshold::Count(tau), shards)?;
+    }
+
+    /// …and over arbitrary *mixed* insert/delete streams, where deletes must
+    /// find their victim row in whichever shard holds a copy.
+    #[test]
+    fn sharded_engine_matches_deepdiver_under_mixed_stream(
+        workload in mixed_workload_strategy(),
+        tau in 1u64..10,
+        shards in 1usize..=4,
+    ) {
+        let (base, ops) = workload;
+        assert_engine_tracks_batch_mixed::<ShardedOracle>(base, &ops, Threshold::Count(tau), shards)?;
+    }
+
+    /// Sharded engines under rate thresholds: the full-recompute fallback
+    /// runs DEEPDIVER *over the sharded backend* and must stay equivalent.
+    #[test]
+    fn sharded_engine_matches_deepdiver_under_mixed_stream_rate_threshold(
+        workload in mixed_workload_strategy(),
+        rate_milli in 5u64..300,
+        shards in 1usize..=4,
+    ) {
+        let (base, ops) = workload;
+        let rate = rate_milli as f64 / 1000.0;
+        assert_engine_tracks_batch_mixed::<ShardedOracle>(base, &ops, Threshold::Fraction(rate), shards)?;
     }
 
     /// Snapshot round trip at an arbitrary point in a stream: the restored
@@ -202,11 +254,39 @@ proptest! {
                 rows.push(row.clone());
             }
         }
-        let restored = parse_snapshot(&snapshot_string(&engine).unwrap()).unwrap();
+        let restored: CoverageEngine = parse_snapshot(&snapshot_string(&engine).unwrap()).unwrap();
         prop_assert_eq!(restored.mups(), engine.mups());
         prop_assert_eq!(restored.tau(), engine.tau());
         prop_assert_eq!(restored.stats(), engine.stats());
-        prop_assert_eq!(restored.dataset(), engine.dataset());
+        prop_assert_eq!(sorted_rows(restored.dataset()), sorted_rows(engine.dataset()));
+    }
+
+    /// Snapshot compaction (v2 stores unique combos + counts): a heavily
+    /// duplicated dataset must round-trip exactly AND land on disk in far
+    /// fewer bytes than the raw-rows encoding needs (≥ 2d+2 bytes per row).
+    #[test]
+    fn compacted_snapshots_round_trip_and_shrink(
+        shape in (2usize..=3, 2u8..=3).prop_flat_map(|(d, c)| {
+            let combos = proptest::collection::vec(
+                proptest::collection::vec(0..c, d), 1..5);
+            (Just((d, c)), combos, 200usize..400)
+        }),
+    ) {
+        let ((d, c), combos, n) = shape;
+        let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+        let rows: Vec<Vec<u8>> = (0..n).map(|i| combos[i % combos.len()].clone()).collect();
+        let base = Dataset::from_rows(schema, &rows).unwrap();
+        let engine = CoverageEngine::new(base, Threshold::Count(1)).unwrap();
+        let text = snapshot_string(&engine).unwrap();
+        let raw_rows_lower_bound = n * (2 * d + 2);
+        prop_assert!(
+            text.len() < raw_rows_lower_bound,
+            "compacted snapshot ({} bytes) must undercut raw rows (≥ {} bytes, {} rows)",
+            text.len(), raw_rows_lower_bound, n
+        );
+        let restored: CoverageEngine = parse_snapshot(&text).unwrap();
+        prop_assert_eq!(restored.mups(), engine.mups());
+        prop_assert_eq!(sorted_rows(restored.dataset()), sorted_rows(engine.dataset()));
     }
 }
 
