@@ -217,6 +217,14 @@ impl Dataset {
         Ok(())
     }
 
+    /// Registers one additional value on attribute `attribute`, returning
+    /// its code. Existing rows are untouched — the new value starts with
+    /// zero occurrences; subsequent [`Self::push_row`] calls carrying the
+    /// new code validate against the grown cardinality.
+    pub fn grow_value(&mut self, attribute: usize, name: impl Into<String>) -> Result<u8> {
+        self.schema.add_value(attribute, name)
+    }
+
     /// Number of rows (`n` in the paper).
     pub fn len(&self) -> usize {
         self.len
@@ -380,6 +388,24 @@ mod tests {
             ds.push_row(&[0, 2]),
             Err(DataError::ValueOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn grow_value_admits_previously_rejected_rows() {
+        let mut ds = toy();
+        assert!(matches!(
+            ds.push_row(&[0, 2, 0]),
+            Err(DataError::ValueOutOfRange { .. })
+        ));
+        assert_eq!(ds.grow_value(1, "third").unwrap(), 2);
+        ds.push_row(&[0, 2, 0]).unwrap();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.schema().cardinality(1), 3);
+        // Other attributes keep rejecting out-of-range codes.
+        assert!(ds.push_row(&[2, 0, 0]).is_err());
+        // Grown rows delete like any other.
+        ds.remove_row(&[0, 2, 0]).unwrap();
+        assert_eq!(ds.count_where(|r, _| r == [0, 2, 0]), 0);
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum DataError {
     DuplicateAttribute(String),
     /// A named attribute is missing from the schema.
     UnknownAttribute(String),
+    /// A value name already resolves to a code on its attribute (a repeated
+    /// dictionary name, or a numeric string shadowing an existing code) —
+    /// string→code encoding would be ambiguous.
+    DuplicateValue {
+        /// Name of the offending attribute.
+        attribute: String,
+        /// The repeated value name.
+        value: String,
+    },
     /// A raw string value could not be resolved against an attribute dictionary.
     UnknownValue {
         /// Name of the attribute being decoded.
@@ -81,6 +90,10 @@ impl fmt::Display for DataError {
             DataError::UnknownAttribute(name) => {
                 write!(f, "attribute `{name}` is not part of the schema")
             }
+            DataError::DuplicateValue { attribute, value } => write!(
+                f,
+                "value `{value}` already resolves on attribute `{attribute}` — string→code encoding must stay unambiguous"
+            ),
             DataError::UnknownValue { attribute, value } => write!(
                 f,
                 "value `{value}` is not in the dictionary of attribute `{attribute}`"

@@ -250,6 +250,23 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_dictionary_values_cannot_reach_the_load_path() {
+        // A schema carrying an ambiguous dictionary is rejected at
+        // construction, so `read_csv` can never silently first-match-wins
+        // encode against one…
+        assert!(matches!(
+            Attribute::with_values("race", ["Caucasian", "Caucasian"]),
+            Err(DataError::DuplicateValue { .. })
+        ));
+        // …and the auto-encoding path builds dictionaries from *distinct*
+        // cell values, so repeated cells never create duplicates.
+        let csv = "sex,race\nmale,Caucasian\nmale,Caucasian\nfemale,Caucasian\n";
+        let ds = read_csv_auto(csv.as_bytes(), &["sex", "race"], None).unwrap();
+        assert_eq!(ds.schema().attribute(1).cardinality(), 1);
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
     fn missing_column_is_an_error() {
         assert!(matches!(
             read_csv_auto(CSV.as_bytes(), &["sex", "nope"], None),

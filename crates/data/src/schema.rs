@@ -49,6 +49,13 @@ impl Attribute {
 
     /// Creates an attribute whose cardinality and value dictionary come from
     /// an explicit list of value names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadCardinality`] for an empty or oversized list
+    /// and [`DataError::DuplicateValue`] when a value name repeats (the
+    /// string→code encoding would be ambiguous — the first match would win
+    /// silently).
     pub fn with_values<S: Into<String>>(
         name: impl Into<String>,
         values: impl IntoIterator<Item = S>,
@@ -60,6 +67,14 @@ impl Attribute {
                 attribute: name,
                 cardinality: value_names.len(),
             });
+        }
+        for (i, v) in value_names.iter().enumerate() {
+            if value_names[..i].contains(v) {
+                return Err(DataError::DuplicateValue {
+                    attribute: name,
+                    value: v.clone(),
+                });
+            }
         }
         Ok(Self {
             name,
@@ -110,6 +125,43 @@ impl Attribute {
     /// Whether a dictionary of value names is attached.
     pub fn has_dictionary(&self) -> bool {
         !self.value_names.is_empty()
+    }
+
+    /// Registers one additional value, growing the cardinality by one, and
+    /// returns the new value's code (always the old cardinality).
+    ///
+    /// An attribute without a dictionary first materializes one from the
+    /// numeric fallback names (`"0"`, `"1"`, …), so existing codes keep
+    /// their display names and `code_of` answers unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadCardinality`] when the attribute is already
+    /// at [`MAX_CARDINALITY`] values and [`DataError::DuplicateValue`] when
+    /// `name` already resolves to a code — a dictionary hit *or* an
+    /// in-range numeric fallback: registering e.g. `"1"` as a brand-new
+    /// value would silently re-map every client that addresses codes
+    /// numerically (`code_of` consults the dictionary first).
+    pub fn add_value(&mut self, name: impl Into<String>) -> Result<u8> {
+        let name = name.into();
+        if self.cardinality as usize >= MAX_CARDINALITY {
+            return Err(DataError::BadCardinality {
+                attribute: self.name.clone(),
+                cardinality: self.cardinality as usize + 1,
+            });
+        }
+        if self.value_names.is_empty() {
+            self.value_names = (0..self.cardinality).map(|v| v.to_string()).collect();
+        }
+        if self.code_of(&name).is_ok() {
+            return Err(DataError::DuplicateValue {
+                attribute: self.name.clone(),
+                value: name,
+            });
+        }
+        self.value_names.push(name);
+        self.cardinality += 1;
+        Ok(self.cardinality - 1)
     }
 }
 
@@ -184,6 +236,20 @@ impl Schema {
         self.attributes.iter().map(Attribute::cardinality).collect()
     }
 
+    /// Registers one additional value on attribute `attribute`, returning
+    /// the new value's code (see [`Attribute::add_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownAttribute`] for an out-of-range position
+    /// and propagates [`Attribute::add_value`] failures.
+    pub fn add_value(&mut self, attribute: usize, name: impl Into<String>) -> Result<u8> {
+        self.attributes
+            .get_mut(attribute)
+            .ok_or_else(|| DataError::UnknownAttribute(format!("#{attribute}")))?
+            .add_value(name)
+    }
+
     /// Position of the attribute named `name`.
     pub fn index_of(&self, name: &str) -> Result<usize> {
         self.attributes
@@ -253,6 +319,93 @@ mod tests {
         assert!(a.code_of("4").is_err());
         assert_eq!(a.value_name(2), "2");
         assert!(!a.has_dictionary());
+    }
+
+    #[test]
+    fn with_values_rejects_duplicate_value_names() {
+        let err = Attribute::with_values("race", ["white", "black", "white"]).unwrap_err();
+        assert!(
+            matches!(err, DataError::DuplicateValue { ref attribute, ref value }
+                if attribute == "race" && value == "white"),
+            "{err}"
+        );
+        assert!(Attribute::with_values("race", ["white", "black"]).is_ok());
+    }
+
+    #[test]
+    fn add_value_grows_the_dictionary() {
+        let mut a = Attribute::with_values("race", ["white", "black"]).unwrap();
+        assert_eq!(a.add_value("hispanic").unwrap(), 2);
+        assert_eq!(a.cardinality(), 3);
+        assert_eq!(a.code_of("hispanic").unwrap(), 2);
+        assert_eq!(a.value_name(2), "hispanic");
+        // Existing codes are untouched.
+        assert_eq!(a.code_of("black").unwrap(), 1);
+        // Duplicates are rejected, growth is not applied.
+        assert!(matches!(
+            a.add_value("hispanic"),
+            Err(DataError::DuplicateValue { .. })
+        ));
+        assert_eq!(a.cardinality(), 3);
+    }
+
+    #[test]
+    fn add_value_on_anonymous_attribute_pads_the_dictionary() {
+        let mut a = Attribute::new("age", 3).unwrap();
+        assert!(!a.has_dictionary());
+        assert_eq!(a.add_value("elderly").unwrap(), 3);
+        assert_eq!(a.cardinality(), 4);
+        // Old codes keep their numeric display names and encodings.
+        assert_eq!(a.value_name(1), "1");
+        assert_eq!(a.code_of("2").unwrap(), 2);
+        assert_eq!(a.code_of("elderly").unwrap(), 3);
+        // A numeric name that collides with an existing code is a duplicate.
+        assert!(matches!(
+            a.add_value("1"),
+            Err(DataError::DuplicateValue { .. })
+        ));
+    }
+
+    #[test]
+    fn add_value_rejects_numeric_names_shadowing_existing_codes() {
+        // Clients may address dictionary attributes by numeric code
+        // (`code_of`'s fallback), so registering "1" as a brand-new value
+        // would silently re-map those inputs from code 1 to the new code.
+        let mut a = Attribute::with_values("race", ["white", "black"]).unwrap();
+        assert!(matches!(
+            a.add_value("1"),
+            Err(DataError::DuplicateValue { .. })
+        ));
+        assert_eq!(a.cardinality(), 2);
+        // Out-of-range numeric names are unambiguous: "2" becomes code 2,
+        // so its numeric and dictionary readings agree forever.
+        assert_eq!(a.add_value("2").unwrap(), 2);
+        assert_eq!(a.code_of("2").unwrap(), 2);
+    }
+
+    #[test]
+    fn add_value_respects_the_cardinality_ceiling() {
+        let mut a = Attribute::new("big", MAX_CARDINALITY).unwrap();
+        assert!(matches!(
+            a.add_value("overflow"),
+            Err(DataError::BadCardinality { .. })
+        ));
+        assert_eq!(a.cardinality() as usize, MAX_CARDINALITY);
+    }
+
+    #[test]
+    fn schema_add_value_targets_one_attribute() {
+        let mut s = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black"]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s.add_value(1, "asian").unwrap(), 2);
+        assert_eq!(s.cardinalities(), vec![2, 3]);
+        assert!(matches!(
+            s.add_value(5, "nope"),
+            Err(DataError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

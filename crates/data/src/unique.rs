@@ -117,6 +117,22 @@ impl UniqueCombinations {
         Some((k, true))
     }
 
+    /// Grows attribute `attribute`'s recorded cardinality by one (a new
+    /// value was registered on the source schema). No combination changes —
+    /// the new value has zero occurrences until rows carrying it arrive
+    /// through [`Self::add_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range attribute position or when the cardinality
+    /// is already at the encoding ceiling.
+    pub fn grow_value(&mut self, attribute: usize) {
+        assert!(attribute < self.arity, "attribute {attribute} out of range");
+        let c = self.cardinalities[attribute];
+        assert!(c < u8::MAX - 1, "cardinality ceiling reached");
+        self.cardinalities[attribute] = c + 1;
+    }
+
     /// Builds the persistent combination index if it is stale (lazy, shared
     /// by [`Self::add_row`] and [`Self::remove_row`]).
     fn ensure_index(&mut self) {
@@ -297,6 +313,27 @@ mod tests {
         assert_eq!(u.remove_row(&[0, 0]), Some((0, true)));
         assert!(u.is_empty());
         assert_eq!(u.total(), 0);
+    }
+
+    #[test]
+    fn grow_value_bumps_cardinality_then_accepts_rows() {
+        let ds = Dataset::from_rows(Schema::binary(2).unwrap(), &[vec![0, 1], vec![1, 0]]).unwrap();
+        let mut u = UniqueCombinations::from_dataset(&ds);
+        assert_eq!(u.cardinalities(), &[2, 2]);
+        u.grow_value(1);
+        assert_eq!(u.cardinalities(), &[2, 3]);
+        assert_eq!(u.len(), 2, "no combination changes on growth");
+        let (k, is_new) = u.add_row(&[0, 2]);
+        assert!(is_new);
+        assert_eq!(u.combo(k), &[0, 2][..]);
+        assert_eq!(u.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grow_value_rejects_bad_attribute() {
+        let ds = Dataset::from_rows(Schema::binary(2).unwrap(), &[vec![0, 1]]).unwrap();
+        UniqueCombinations::from_dataset(&ds).grow_value(7);
     }
 
     #[test]

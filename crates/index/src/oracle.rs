@@ -115,6 +115,36 @@ impl CoverageOracle {
         }
     }
 
+    /// Grows attribute `attribute`'s value dictionary by one (the schema
+    /// registered a new value), returning the new value's code. One all-zero
+    /// bit-vector is appended to the attribute's value list — the new value
+    /// matches no existing combination — and later offsets shift by one.
+    /// Coverage answers for existing patterns are unchanged; patterns
+    /// carrying the new code answer 0 until rows arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range attribute position or when the cardinality
+    /// is already at the encoding ceiling.
+    pub fn grow_value(&mut self, attribute: usize) -> u8 {
+        assert!(
+            attribute < self.cardinalities.len(),
+            "attribute {attribute} out of range"
+        );
+        let code = self.cardinalities[attribute];
+        assert!(code < u8::MAX - 1, "cardinality ceiling reached");
+        self.vectors.insert(
+            self.offsets[attribute] + code as usize,
+            BitVec::zeros(self.combos.len()),
+        );
+        for offset in &mut self.offsets[attribute + 1..] {
+            *offset += 1;
+        }
+        self.cardinalities[attribute] = code + 1;
+        self.combos.grow_value(attribute);
+        code
+    }
+
     /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.cardinalities.len()
@@ -386,6 +416,74 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn add_row_rejects_out_of_range_values() {
         CoverageOracle::from_dataset(&example1()).add_row(&[0, 0, 7]);
+    }
+
+    #[test]
+    fn grow_value_matches_from_dataset_rebuild() {
+        // Grow attribute 1 of Example 1, stream in rows carrying the new
+        // value, and compare every probe against a from-scratch rebuild over
+        // the equivalent grown dataset.
+        let mut grown = CoverageOracle::from_dataset(&example1());
+        assert_eq!(grown.grow_value(1), 2);
+        assert_eq!(grown.cardinalities(), &[2, 3, 2]);
+        // Existing answers are untouched; the new value covers nothing yet.
+        assert_eq!(grown.coverage(&[X, X, X]), 5);
+        assert_eq!(grown.coverage(&[X, 2, X]), 0);
+        grown.add_row(&[1, 2, 0]);
+        grown.add_row(&[0, 2, 0]);
+
+        let mut ds = Dataset::new(Schema::with_cardinalities(&[2, 3, 2]).unwrap());
+        for row in example1().rows() {
+            ds.push_row(row).unwrap();
+        }
+        ds.push_row(&[1, 2, 0]).unwrap();
+        ds.push_row(&[0, 2, 0]).unwrap();
+        let rebuilt = CoverageOracle::from_dataset(&ds);
+        assert_eq!(grown.total(), rebuilt.total());
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X, X, X],
+            vec![X, 2, X],
+            vec![1, 2, X],
+            vec![X, 2, 0],
+            vec![0, 1, X],
+            vec![1, X, X],
+            vec![0, 2, 1],
+        ];
+        for p in &patterns {
+            assert_eq!(grown.coverage(p), rebuilt.coverage(p), "pattern {p:?}");
+            for tau in [1u64, 2, 5] {
+                assert_eq!(
+                    grown.covered(p, tau),
+                    rebuilt.covered(p, tau),
+                    "{p:?} τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grow_value_on_every_attribute_keeps_offsets_consistent() {
+        let mut oracle = CoverageOracle::from_dataset(&example1());
+        for i in 0..3 {
+            oracle.grow_value(i);
+        }
+        assert_eq!(oracle.cardinalities(), &[3, 3, 3]);
+        for i in 0..3 {
+            let mut p = vec![X; 3];
+            p[i] = 2;
+            assert_eq!(oracle.coverage(&p), 0, "new value on attribute {i}");
+        }
+        assert_eq!(oracle.coverage(&[0, 1, 0]), 1);
+        oracle.add_row(&[2, 2, 2]);
+        assert_eq!(oracle.coverage(&[2, X, X]), 1);
+        assert_eq!(oracle.coverage(&[2, 2, 2]), 1);
+        assert_eq!(oracle.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grow_value_rejects_bad_attribute() {
+        CoverageOracle::from_dataset(&example1()).grow_value(9);
     }
 
     #[test]

@@ -75,6 +75,19 @@ pub trait CoverageProvider {
     /// Panics on arity mismatch or a value code out of range.
     fn remove_row(&mut self, row: &[u8]) -> bool;
 
+    /// Grows attribute `attribute`'s value dictionary by one, returning the
+    /// new value's code (always the old cardinality). Answers for existing
+    /// patterns must be unchanged; patterns carrying the new code answer 0
+    /// until matching rows arrive. A sharded backend grows every shard so
+    /// the per-shard cardinalities stay in lock-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range attribute position or when the cardinality
+    /// is already at the encoding ceiling (callers validate against the
+    /// schema's [`coverage_data::MAX_CARDINALITY`] bound first).
+    fn grow_value(&mut self, attribute: usize) -> u8;
+
     /// Visits every distinct `(combination, multiplicity)` pair. A sharded
     /// backend may visit the same combination once per shard holding copies
     /// of it — consumers must sum multiplicities, never assume distinctness.
@@ -114,6 +127,10 @@ impl CoverageProvider for CoverageOracle {
 
     fn remove_row(&mut self, row: &[u8]) -> bool {
         CoverageOracle::remove_row(self, row)
+    }
+
+    fn grow_value(&mut self, attribute: usize) -> u8 {
+        CoverageOracle::grow_value(self, attribute)
     }
 
     fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
@@ -175,6 +192,12 @@ mod tests {
         assert_eq!(oracle.coverage(&[1, X, X]), 2);
         assert!(oracle.remove_row(&[1, 0, 1]));
         assert_eq!(oracle.coverage(&[1, X, X]), 1);
+        assert_eq!(oracle.grow_value(2), 2);
+        assert_eq!(oracle.cardinalities(), &[2, 2, 3]);
+        assert_eq!(oracle.coverage(&[X, X, 2]), 0);
+        oracle.add_row(&[0, 0, 2]);
+        assert_eq!(oracle.coverage(&[X, X, 2]), 1);
+        assert!(oracle.remove_row(&[0, 0, 2]));
         assert_eq!(oracle.shard_totals(), vec![6]);
         let mut seen = 0u64;
         oracle.for_each_combination(&mut |combo, count| {

@@ -220,6 +220,16 @@ impl CoverageProvider for ShardedOracle {
         self.shards.iter_mut().any(|shard| shard.remove_row(row))
     }
 
+    fn grow_value(&mut self, attribute: usize) -> u8 {
+        // Every shard grows, so per-shard cardinalities stay in lock-step
+        // and any shard can receive rows carrying the new code.
+        let mut code = 0;
+        for shard in &mut self.shards {
+            code = shard.grow_value(attribute);
+        }
+        code
+    }
+
     fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
         for shard in &self.shards {
             for (combo, count) in shard.combinations().iter() {
@@ -357,6 +367,40 @@ mod tests {
         assert!(CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
         assert!(!CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
         assert_eq!(sharded.total(), 3);
+    }
+
+    #[test]
+    fn grow_value_fans_out_to_every_shard() {
+        let mut sharded = ShardedOracle::from_dataset(&example1(), 3);
+        assert_eq!(CoverageProvider::grow_value(&mut sharded, 1), 2);
+        assert_eq!(CoverageProvider::cardinalities(&sharded), &[2, 3, 2]);
+        for shard in sharded.shards() {
+            assert_eq!(shard.cardinalities(), &[2, 3, 2]);
+        }
+        // Existing answers unchanged, the new value covers nothing…
+        assert_eq!(CoverageProvider::coverage(&sharded, &[X, X, X]), 5);
+        assert_eq!(CoverageProvider::coverage(&sharded, &[X, 2, X]), 0);
+        // …and rows carrying it route to any shard without panicking.
+        for _ in 0..4 {
+            CoverageProvider::add_row(&mut sharded, &[0, 2, 1]);
+        }
+        assert_eq!(CoverageProvider::coverage(&sharded, &[X, 2, X]), 4);
+        // Equivalence with a from-scratch single oracle over the grown data.
+        let mut ds = Dataset::new(Schema::with_cardinalities(&[2, 3, 2]).unwrap());
+        for row in example1().rows() {
+            ds.push_row(row).unwrap();
+        }
+        for _ in 0..4 {
+            ds.push_row(&[0, 2, 1]).unwrap();
+        }
+        let single = CoverageOracle::from_dataset(&ds);
+        for p in [vec![X, 2, X], vec![0, 2, 1], vec![X, X, 1], vec![X, 2, 0]] {
+            assert_eq!(
+                CoverageProvider::coverage(&sharded, &p),
+                single.coverage(&p),
+                "{p:?}"
+            );
+        }
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct CoverageEngine<B: CoverageBackend = CoverageOracle> {
     mups: Vec<Pattern>,
     cache: CoverageCache,
     stats: EngineStats,
+    /// Values added per attribute through [`Self::grow_value`] since the
+    /// engine was built (restored engines carry the counters over via
+    /// snapshot v3) — the dictionary-growth signal `stats` surfaces.
+    grown: Vec<u64>,
 }
 
 impl CoverageEngine {
@@ -111,6 +115,7 @@ impl<B: CoverageBackend> CoverageEngine<B> {
         let tau = threshold.resolve(dataset.len() as u64)?;
         let mut mups = DeepDiver::default().find_mups_with_oracle(&oracle, tau)?;
         mups.sort();
+        let grown = vec![0; dataset.arity()];
         Ok(Self {
             dataset,
             oracle,
@@ -120,6 +125,7 @@ impl<B: CoverageBackend> CoverageEngine<B> {
             mups,
             cache: CoverageCache::new(cache_capacity),
             stats: EngineStats::default(),
+            grown,
         })
     }
 
@@ -283,6 +289,46 @@ impl<B: CoverageBackend> CoverageEngine<B> {
         Ok(())
     }
 
+    /// Registers a brand-new value on attribute `attribute`, growing the
+    /// schema, the oracle, and the MUP set in lock-step, and returns the new
+    /// value's code. Subsequent inserts may carry the code (or the value
+    /// name, through the protocol).
+    ///
+    /// The MUP delta is O(1): no row coverage changes, so existing MUPs stay
+    /// exactly where they are, and the only candidate new MUP is the level-1
+    /// pattern `(X,…,v,…,X)` — any deeper pattern carrying `v` has an
+    /// uncovered parent still carrying `v`, so it cannot be maximal. That
+    /// candidate covers nothing (no row carries `v` yet) and its lone parent
+    /// is the root, so it joins the frontier iff the root is covered; when
+    /// the root itself is uncovered it already dominates everything and the
+    /// frontier is unchanged. Rows carrying `v` arriving later retire it
+    /// through the ordinary insert delta.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range attribute positions, duplicate value names, and
+    /// growth beyond [`coverage_data::MAX_CARDINALITY`]; nothing changes on
+    /// error.
+    pub fn grow_value(&mut self, attribute: usize, value: impl Into<String>) -> Result<u8> {
+        let code = self
+            .dataset
+            .grow_value(attribute, value)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        self.oracle.grow_value(attribute);
+        self.grown[attribute] += 1;
+        // τ depends only on n, which is unchanged — no re-resolution needed.
+        let d = self.dataset.arity();
+        let root = vec![X; d];
+        if self.tau > 0 && self.oracle.covered(&root, self.tau) {
+            let mut codes = root;
+            codes[attribute] = code;
+            self.mups.push(Pattern::from_codes(codes));
+            self.mups.sort();
+            self.stats.mups_discovered += 1;
+        }
+        Ok(code)
+    }
+
     /// Rebuilds every derived structure (oracle, τ, MUP set, memo cache)
     /// from the dataset alone. The serving layer calls this after a request
     /// handler panics while holding the engine, whose derived state may have
@@ -309,15 +355,24 @@ impl<B: CoverageBackend> CoverageEngine<B> {
     /// Reassembles an engine from snapshot parts **without re-running
     /// discovery** — the caller (the snapshot loader) vouches that `mups` is
     /// exactly the MUP set of `dataset` under `threshold`. The backend is
-    /// rebuilt from the dataset over `shards` shards; stats carry over; the
-    /// memo cache starts cold.
+    /// rebuilt from the dataset over `shards` shards; stats and the
+    /// per-attribute dictionary-growth counters (`grown`, zeros for pre-v3
+    /// snapshots) carry over; the memo cache starts cold.
     pub fn from_snapshot_parts(
         dataset: Dataset,
         threshold: Threshold,
         mut mups: Vec<Pattern>,
         stats: EngineStats,
         shards: usize,
+        grown: Vec<u64>,
     ) -> Result<Self> {
+        if grown.len() != dataset.arity() {
+            return Err(ServiceError::Snapshot(format!(
+                "{} grown counters but {} attributes",
+                grown.len(),
+                dataset.arity()
+            )));
+        }
         let shards = shards.max(1);
         let oracle = B::build(&dataset, shards);
         let tau = threshold.resolve(dataset.len() as u64)?;
@@ -331,6 +386,7 @@ impl<B: CoverageBackend> CoverageEngine<B> {
             mups,
             cache: CoverageCache::new(DEFAULT_CACHE_CAPACITY),
             stats,
+            grown,
         })
     }
 
@@ -429,6 +485,12 @@ impl<B: CoverageBackend> CoverageEngine<B> {
     /// Maintenance counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Values added per attribute through [`Self::grow_value`] since the
+    /// engine was built (carried across snapshot/restore).
+    pub fn dictionary_growth(&self) -> &[u64] {
+        &self.grown
     }
 
     /// Memo-cache counters: `(len, capacity, hits, misses, invalidated)`.
@@ -775,6 +837,88 @@ mod tests {
         engine.insert(&[0, 0, 0, 0]).unwrap();
         let expected = batch_mups(&engine.dataset().clone(), Threshold::Count(5));
         assert_eq!(engine.mups(), expected.as_slice());
+    }
+
+    #[test]
+    fn grow_value_mints_the_level1_mup_and_tracks_batch() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        let before = engine.mups().len();
+        let code = engine.grow_value(1, "third").unwrap();
+        assert_eq!(code, 2);
+        assert_eq!(engine.dataset().schema().cardinality(1), 3);
+        assert_eq!(engine.dictionary_growth(), &[0, 1, 0]);
+        // Exactly one new MUP: (X,2,X).
+        assert_eq!(engine.mups().len(), before + 1);
+        let expected = {
+            let mut ds = Dataset::new(Schema::with_cardinalities(&[2, 3, 2]).unwrap());
+            for row in example1().rows() {
+                ds.push_row(row).unwrap();
+            }
+            batch_mups(&ds, Threshold::Count(1))
+        };
+        assert_eq!(engine.mups(), expected.as_slice());
+        // Inserting rows carrying the new value retires it via the ordinary
+        // insert delta and keeps tracking batch discovery.
+        engine.insert(&[0, 2, 0]).unwrap();
+        engine.insert(&[0, 2, 1]).unwrap();
+        let expected = {
+            let mut ds = Dataset::new(Schema::with_cardinalities(&[2, 3, 2]).unwrap());
+            for row in example1().rows() {
+                ds.push_row(row).unwrap();
+            }
+            ds.push_row(&[0, 2, 0]).unwrap();
+            ds.push_row(&[0, 2, 1]).unwrap();
+            batch_mups(&ds, Threshold::Count(1))
+        };
+        assert_eq!(engine.mups(), expected.as_slice());
+        assert!(!engine.covered(&[1, 2, X]).unwrap());
+        assert_eq!(engine.coverage(&[X, 2, X]).unwrap(), 2);
+    }
+
+    #[test]
+    fn grow_value_under_uncovered_root_changes_nothing() {
+        // τ above n: the root itself is uncovered, dominates everything, and
+        // the grown value must not join the frontier.
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(10)).unwrap();
+        assert_eq!(engine.mups(), &[Pattern::all_x(3)]);
+        engine.grow_value(0, "extra").unwrap();
+        assert_eq!(engine.mups(), &[Pattern::all_x(3)]);
+        assert_eq!(engine.dictionary_growth(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn grow_value_rejects_bad_requests_without_side_effects() {
+        let mut engine = CoverageEngine::new(example1(), Threshold::Count(1)).unwrap();
+        let mups_before = engine.mups().to_vec();
+        assert!(engine.grow_value(7, "nope").is_err(), "bad attribute index");
+        engine.grow_value(0, "v").unwrap();
+        let err = engine.grow_value(0, "v").unwrap_err();
+        assert!(err.to_string().contains("already resolves"), "{err}");
+        assert_eq!(engine.dataset().schema().cardinality(0), 3);
+        assert_eq!(engine.dictionary_growth(), &[1, 0, 0]);
+        assert_eq!(engine.mups().len(), mups_before.len() + 1);
+    }
+
+    #[test]
+    fn grow_value_on_sharded_backend_tracks_single_shard() {
+        use coverage_index::ShardedOracle;
+        let mut single = CoverageEngine::new(example1(), Threshold::Count(2)).unwrap();
+        let mut sharded =
+            CoverageEngine::<ShardedOracle>::with_shards(example1(), Threshold::Count(2), 3)
+                .unwrap();
+        for engine_code in [
+            single.grow_value(2, "new").unwrap(),
+            sharded.grow_value(2, "new").unwrap(),
+        ] {
+            assert_eq!(engine_code, 2);
+        }
+        assert_eq!(sharded.mups(), single.mups());
+        for row in [[0u8, 0, 2], [1, 1, 2], [0, 0, 2], [1, 1, 2]] {
+            single.insert(&row).unwrap();
+            sharded.insert(&row).unwrap();
+            assert_eq!(sharded.mups(), single.mups(), "after {row:?}");
+        }
+        assert_eq!(sharded.dictionary_growth(), single.dictionary_growth());
     }
 
     #[test]

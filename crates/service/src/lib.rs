@@ -15,8 +15,8 @@
 //! Modules:
 //!
 //! * [`engine`] — the incremental engine (insert/remove plus batch forms,
-//!   cached coverage queries, enhancement planning, rate-threshold
-//!   re-resolution);
+//!   value-dictionary growth, cached coverage queries, enhancement
+//!   planning, rate-threshold re-resolution);
 //! * [`delta`] — how a batch of inserts or deletes moves the MUP frontier
 //!   (inserts retire covered MUPs and walk the region below them; deletes
 //!   walk the deleted tuple's match sublattice and retire dominated MUPs);
@@ -70,8 +70,8 @@ pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
 /// [`CoverageEngine`] over a row-sharded oracle.
 pub type ShardedCoverageEngine = CoverageEngine<coverage_index::ShardedOracle>;
 pub use server::{
-    handle_line, handle_line_with, serve_lines, serve_lines_with, serve_tcp, serve_tcp_with,
-    DEFAULT_WORKERS,
+    handle_line, handle_line_opts, handle_line_with, serve_lines, serve_lines_opts,
+    serve_lines_with, serve_tcp, serve_tcp_opts, serve_tcp_with, ServeOptions, DEFAULT_WORKERS,
 };
 pub use snapshot::{load_snapshot, load_snapshot_with_layout, save_snapshot, SNAPSHOT_VERSION};
 

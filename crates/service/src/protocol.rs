@@ -71,9 +71,14 @@ impl Json {
     }
 
     /// The numeric payload as a non-negative integer, if it is one.
+    ///
+    /// The upper bound is strict: `u64::MAX as f64` rounds *up* to 2^64, so
+    /// a `<=` comparison would admit `18446744073709551616` (and the f64
+    /// rounding of `u64::MAX` itself) and silently saturate the cast to
+    /// `u64::MAX`; `<` rejects everything from 2^64 up instead.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
-            Json::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+            Json::Number(n) if n >= 0.0 && n.fract() == 0.0 && n < u64::MAX as f64 => {
                 Some(n as u64)
             }
             _ => None,
@@ -353,6 +358,14 @@ pub enum Request {
         /// The tuples to remove, outer = rows, inner = raw values.
         rows: Vec<Vec<String>>,
     },
+    /// Register a brand-new value on an attribute's dictionary, growing its
+    /// cardinality by one, without touching any row.
+    Grow {
+        /// Name of the attribute to grow.
+        attribute: String,
+        /// The new value's name.
+        value: String,
+    },
     /// Write the engine state to the server's configured snapshot path.
     Snapshot,
     /// Replace the engine with the state in the configured snapshot path.
@@ -432,6 +445,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "delete" => Ok(Request::Delete {
             rows: parse_rows(&doc, "delete")?,
         }),
+        "grow" => {
+            let attribute = doc
+                .get("attr")
+                .and_then(Json::as_str)
+                .ok_or("grow needs a string field `attr` (the attribute name)")?;
+            let value = doc
+                .get("value")
+                .ok_or("grow needs a field `value` (the new value's name)")?;
+            Ok(Request::Grow {
+                attribute: attribute.to_string(),
+                value: raw_value(value)?,
+            })
+        }
         "snapshot" => Ok(Request::Snapshot),
         "restore" => Ok(Request::Restore),
         "mups" => {
@@ -463,7 +489,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         other => Err(format!(
-            "unknown op `{other}` (expected insert|delete|mups|coverage|enhance|stats|snapshot|restore)"
+            "unknown op `{other}` (expected insert|delete|grow|mups|coverage|enhance|stats|snapshot|restore)"
         )),
     }
 }
@@ -510,6 +536,21 @@ mod tests {
             parse_request(r#"{"op":"delete","rows":[["a","b"],["c","d"]]}"#).unwrap(),
             Request::Delete {
                 rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"grow","attr":"race","value":"hispanic"}"#).unwrap(),
+            Request::Grow {
+                attribute: "race".into(),
+                value: "hispanic".into()
+            }
+        );
+        // Numeric values stringify, mirroring row cells.
+        assert_eq!(
+            parse_request(r#"{"op":"grow","attr":"age","value":7}"#).unwrap(),
+            Request::Grow {
+                attribute: "age".into(),
+                value: "7".into()
             }
         );
         assert_eq!(
@@ -572,6 +613,16 @@ mod tests {
             ),
             (r#"{"op":"mups","limit":-1}"#, "non-negative integer"),
             (r#"{"op":"mups","limit":1.5}"#, "non-negative integer"),
+            (r#"{"op":"grow"}"#, "string field `attr`"),
+            (
+                r#"{"op":"grow","attr":7,"value":"v"}"#,
+                "string field `attr`",
+            ),
+            (r#"{"op":"grow","attr":"race"}"#, "field `value`"),
+            (
+                r#"{"op":"grow","attr":"race","value":[1]}"#,
+                "strings or integer codes",
+            ),
             (r#"{"op":"coverage"}"#, "string field `pattern`"),
             (
                 r#"{"op":"enhance","lambda":"two"}"#,
@@ -646,6 +697,27 @@ mod tests {
             doc.get("pattern").and_then(Json::as_str).map(str::len),
             Some(payload.len())
         );
+    }
+
+    #[test]
+    fn as_u64_rejects_two_pow_64_and_up() {
+        // Regression: `n <= u64::MAX as f64` admitted 2^64 (the cast rounds
+        // the bound up) and silently saturated it to u64::MAX.
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+        // u64::MAX itself rounds to 2^64 as an f64, so it is rejected too
+        // rather than silently misparsed.
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), None);
+        // The largest f64 below 2^64 and friends are exact and accepted.
+        assert_eq!(
+            Json::parse("18446744073709549568").unwrap().as_u64(),
+            Some(18446744073709549568)
+        );
+        assert_eq!(
+            Json::parse("9223372036854775808").unwrap().as_u64(),
+            Some(1 << 63)
+        );
+        assert_eq!(Json::parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
     }
 
     #[test]

@@ -26,6 +26,18 @@ use crate::snapshot::save_snapshot;
 /// Default number of worker threads for [`serve_tcp`].
 pub const DEFAULT_WORKERS: usize = 4;
 
+/// Configuration shared by every serving front end.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Backs the `snapshot`/`restore` ops; without a path they answer an
+    /// error response.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Auto-register unknown value strings on `insert` as new dictionary
+    /// values (`mithra serve --grow-schema`) instead of rejecting the row.
+    /// The explicit `grow` op works regardless of this flag.
+    pub grow_schema: bool,
+}
+
 /// Encodes one protocol row (raw value names) into schema codes.
 fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, String> {
     if raw.len() != schema.arity() {
@@ -39,6 +51,57 @@ fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, String> {
         .enumerate()
         .map(|(i, v)| schema.attribute(i).code_of(v).map_err(|e| e.to_string()))
         .collect()
+}
+
+/// Encodes protocol rows with **dictionary growth**: a value that resolves
+/// against neither the dictionary nor the numeric fallback registers itself
+/// as a new value on its attribute (the `--grow-schema` mode).
+///
+/// The whole batch is dry-run against a clone of the schema first — every
+/// encoding and every growth is validated before the engine is touched —
+/// so a rejected batch (bad arity, a dictionary at the cardinality
+/// ceiling) registers nothing: insert stays atomic even while it grows
+/// dictionaries.
+fn encode_rows_growing<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    rows: &[Vec<String>],
+) -> Result<Vec<Vec<u8>>, String> {
+    let mut schema = engine.dataset().schema().clone();
+    let arity = schema.arity();
+    for raw in rows {
+        if raw.len() != arity {
+            return Err(format!(
+                "row has {} values, schema has {arity} attributes",
+                raw.len()
+            ));
+        }
+    }
+    let mut growths: Vec<(usize, String)> = Vec::new();
+    let mut coded = Vec::with_capacity(rows.len());
+    for raw in rows {
+        let mut row = Vec::with_capacity(arity);
+        for (i, v) in raw.iter().enumerate() {
+            let code = match schema.attribute(i).code_of(v) {
+                Ok(code) => code,
+                Err(_) => {
+                    let code = schema.add_value(i, v).map_err(|e| e.to_string())?;
+                    growths.push((i, v.clone()));
+                    code
+                }
+            };
+            row.push(code);
+        }
+        coded.push(row);
+    }
+    // Replay the validated growths on the engine: the clone started from
+    // the engine's schema and accepted these exact operations in this exact
+    // order, so the codes line up and none of them can fail.
+    for (attribute, value) in growths {
+        engine
+            .grow_value(attribute, value)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(coded)
 }
 
 /// Human-readable form of a pattern's deterministic elements, e.g.
@@ -64,16 +127,20 @@ fn decode_pattern(schema: &Schema, pattern: &Pattern) -> String {
 
 fn dispatch<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
-    snapshot_path: Option<&Path>,
+    options: &ServeOptions,
     request: Request,
 ) -> Result<String, String> {
+    let snapshot_path = options.snapshot_path.as_deref();
     let mut out = String::with_capacity(128);
     match request {
         Request::Insert { rows } => {
-            let coded: Vec<Vec<u8>> = rows
-                .iter()
-                .map(|r| encode_row(engine.dataset().schema(), r))
-                .collect::<Result<_, _>>()?;
+            let coded: Vec<Vec<u8>> = if options.grow_schema {
+                encode_rows_growing(engine, &rows)?
+            } else {
+                rows.iter()
+                    .map(|r| encode_row(engine.dataset().schema(), r))
+                    .collect::<Result<_, _>>()?
+            };
             engine.insert_batch(&coded).map_err(|e| e.to_string())?;
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
@@ -99,6 +166,28 @@ fn dispatch<B: CoverageBackend>(
                     coded.len(),
                     engine.dataset().len(),
                     engine.tau(),
+                    engine.mups().len()
+                ),
+            );
+        }
+        Request::Grow { attribute, value } => {
+            let index = engine
+                .dataset()
+                .schema()
+                .index_of(&attribute)
+                .map_err(|e| e.to_string())?;
+            let code = engine
+                .grow_value(index, &value)
+                .map_err(|e| e.to_string())?;
+            out.push_str("{\"ok\":true,\"op\":\"grow\",\"attribute\":");
+            write_json_string(&mut out, &attribute);
+            out.push_str(",\"value\":");
+            write_json_string(&mut out, &value);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"code\":{code},\"cardinality\":{},\"mups\":{}}}",
+                    engine.dataset().schema().cardinality(index),
                     engine.mups().len()
                 ),
             );
@@ -219,7 +308,7 @@ fn dispatch<B: CoverageBackend>(
                         "\"inserts\":{},\"batches\":{},\"deletes\":{},\"delete_batches\":{},",
                         "\"mups_retired\":{},\"mups_discovered\":{},\"full_recomputes\":{},",
                         "\"cache\":{{\"len\":{},\"capacity\":{},\"hits\":{},\"misses\":{},",
-                        "\"invalidated\":{}}},\"shards\":{{\"count\":{},\"rows\":["
+                        "\"invalidated\":{}}},\"dictionaries\":["
                     ),
                     engine.dataset().len(),
                     engine.dataset().arity(),
@@ -238,8 +327,34 @@ fn dispatch<B: CoverageBackend>(
                     hits,
                     misses,
                     invalidated,
-                    shard_layout.len(),
                 ),
+            );
+            // Per-attribute dictionary sizes plus how much of each is growth
+            // since load — the signal that the served schema has drifted
+            // from the CSV's.
+            let schema = engine.dataset().schema();
+            for (i, (attr, grown)) in schema
+                .attributes()
+                .iter()
+                .zip(engine.dictionary_growth())
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                write_json_string(&mut out, attr.name());
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        ",\"cardinality\":{},\"grown\":{grown}}}",
+                        attr.cardinality()
+                    ),
+                );
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("],\"shards\":{{\"count\":{},\"rows\":[", shard_layout.len()),
             );
             // Per-shard row counts, so operators can see routing skew.
             for (i, rows) in shard_layout.iter().enumerate() {
@@ -254,18 +369,33 @@ fn dispatch<B: CoverageBackend>(
     Ok(out)
 }
 
-/// Handles one request line, returning exactly one response line (without
-/// the trailing newline). Never panics on malformed input. `snapshot_path`
-/// backs the `snapshot`/`restore` ops; without one they answer an error.
+/// Handles one request line under the given [`ServeOptions`], returning
+/// exactly one response line (without the trailing newline). Never panics on
+/// malformed input.
+pub fn handle_line_opts<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    line: &str,
+) -> String {
+    match parse_request(line).and_then(|req| dispatch(engine, options, req)) {
+        Ok(response) => response,
+        Err(message) => error_response(&message),
+    }
+}
+
+/// [`handle_line_opts`] with only a snapshot path configured (no dictionary
+/// growth on insert). `snapshot_path` backs the `snapshot`/`restore` ops;
+/// without one they answer an error.
 pub fn handle_line_with<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     snapshot_path: Option<&Path>,
     line: &str,
 ) -> String {
-    match parse_request(line).and_then(|req| dispatch(engine, snapshot_path, req)) {
-        Ok(response) => response,
-        Err(message) => error_response(&message),
-    }
+    let options = ServeOptions {
+        snapshot_path: snapshot_path.map(Path::to_path_buf),
+        grow_schema: false,
+    };
+    handle_line_opts(engine, &options, line)
 }
 
 /// [`handle_line_with`] without a snapshot path.
@@ -340,17 +470,32 @@ fn serve_loop(
 }
 
 /// Serves newline-delimited requests from `input` to `output` until EOF
-/// (the `mithra serve` stdin/stdout mode). Blank lines are skipped.
-/// `snapshot_path` backs the `snapshot`/`restore` ops.
+/// (the `mithra serve` stdin/stdout mode) under the given [`ServeOptions`].
+/// Blank lines are skipped.
+pub fn serve_lines_opts<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    input: impl BufRead,
+    output: impl Write,
+) -> io::Result<()> {
+    serve_loop(input, output, |line| {
+        handle_line_opts(engine, options, line)
+    })
+}
+
+/// [`serve_lines_opts`] with only a snapshot path configured (no dictionary
+/// growth on insert).
 pub fn serve_lines_with<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     snapshot_path: Option<&Path>,
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<()> {
-    serve_loop(input, output, |line| {
-        handle_line_with(engine, snapshot_path, line)
-    })
+    let options = ServeOptions {
+        snapshot_path: snapshot_path.map(Path::to_path_buf),
+        grow_schema: false,
+    };
+    serve_lines_opts(engine, &options, input, output)
 }
 
 /// [`serve_lines_with`] without a snapshot path.
@@ -409,7 +554,7 @@ fn with_engine_contained<B: CoverageBackend>(
 
 fn serve_connection<B: CoverageBackend>(
     engine: &Arc<Mutex<CoverageEngine<B>>>,
-    snapshot_path: Option<&Path>,
+    options: &ServeOptions,
     stream: TcpStream,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
@@ -420,7 +565,7 @@ fn serve_connection<B: CoverageBackend>(
         match parse_request(line) {
             Err(message) => error_response(&message),
             Ok(request) => {
-                with_engine_contained(engine, |engine| dispatch(engine, snapshot_path, request))
+                with_engine_contained(engine, |engine| dispatch(engine, options, request))
             }
         }
     })
@@ -433,10 +578,9 @@ fn serve_connection<B: CoverageBackend>(
 /// Runs until the listener fails; individual connection errors are dropped,
 /// and a panicking request handler costs one error response — never a
 /// worker thread or the engine mutex (see [`with_engine_contained`]).
-/// `snapshot_path` backs the `snapshot`/`restore` ops.
-pub fn serve_tcp_with<B: CoverageBackend>(
+pub fn serve_tcp_opts<B: CoverageBackend>(
     engine: Arc<Mutex<CoverageEngine<B>>>,
-    snapshot_path: Option<std::path::PathBuf>,
+    options: ServeOptions,
     listener: TcpListener,
     workers: usize,
 ) -> io::Result<()> {
@@ -447,7 +591,7 @@ pub fn serve_tcp_with<B: CoverageBackend>(
     for _ in 0..workers {
         let receiver = Arc::clone(&receiver);
         let engine = Arc::clone(&engine);
-        let snapshot_path = snapshot_path.clone();
+        let options = options.clone();
         pool.push(thread::spawn(move || loop {
             // recv() itself cannot panic while holding the lock, but recover
             // from poison anyway: a wedged queue mutex must never strand the
@@ -465,7 +609,7 @@ pub fn serve_tcp_with<B: CoverageBackend>(
                     // an I/O-layer panic only ends this iteration — the
                     // worker survives to take the next connection.
                     let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        let _ = serve_connection(&engine, snapshot_path.as_deref(), stream);
+                        let _ = serve_connection(&engine, &options, stream);
                     }));
                 }
                 Err(_) => break, // listener gone — shut the worker down
@@ -507,6 +651,21 @@ pub fn serve_tcp_with<B: CoverageBackend>(
         let _ = worker.join();
     }
     result
+}
+
+/// [`serve_tcp_opts`] with only a snapshot path configured (no dictionary
+/// growth on insert). `snapshot_path` backs the `snapshot`/`restore` ops.
+pub fn serve_tcp_with<B: CoverageBackend>(
+    engine: Arc<Mutex<CoverageEngine<B>>>,
+    snapshot_path: Option<std::path::PathBuf>,
+    listener: TcpListener,
+    workers: usize,
+) -> io::Result<()> {
+    let options = ServeOptions {
+        snapshot_path,
+        grow_schema: false,
+    };
+    serve_tcp_opts(engine, options, listener, workers)
 }
 
 /// [`serve_tcp_with`] without a snapshot path.
@@ -671,6 +830,137 @@ mod tests {
     }
 
     #[test]
+    fn grow_op_registers_a_value_and_mints_its_mup() {
+        let mut engine = engine();
+        let doc = ok(
+            &mut engine,
+            r#"{"op":"grow","attr":"race","value":"hispanic"}"#,
+        );
+        assert_eq!(doc.get("code").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("cardinality").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("attribute").and_then(Json::as_str), Some("race"));
+        // The zero-coverage level-1 pattern joined the frontier…
+        let doc = ok(&mut engine, r#"{"op":"coverage","pattern":"X3"}"#);
+        assert_eq!(doc.get("coverage").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(false));
+        // …and inserting the value by name retires it.
+        let doc = ok(&mut engine, r#"{"op":"insert","row":["m","hispanic"]}"#);
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
+        let doc = ok(&mut engine, r#"{"op":"coverage","pattern":"X3"}"#);
+        assert_eq!(doc.get("covered").and_then(Json::as_bool), Some(true));
+        // Unknown attributes and duplicate values answer errors.
+        for line in [
+            r#"{"op":"grow","attr":"height","value":"tall"}"#,
+            r#"{"op":"grow","attr":"race","value":"hispanic"}"#,
+        ] {
+            let response = handle_line(&mut engine, line);
+            assert!(response.contains("\"ok\":false"), "{response}");
+        }
+    }
+
+    #[test]
+    fn grow_schema_mode_auto_registers_unknown_values() {
+        let mut engine = engine();
+        let options = ServeOptions {
+            snapshot_path: None,
+            grow_schema: true,
+        };
+        // Without the flag the unseen value is rejected (the original bug's
+        // guard behavior, still the default)…
+        let strict = handle_line(&mut engine, r#"{"op":"insert","row":["f","hispanic"]}"#);
+        assert!(strict.contains("\"ok\":false"), "{strict}");
+        // …with it, the insert grows the dictionary and lands the row.
+        let response = handle_line_opts(
+            &mut engine,
+            &options,
+            r#"{"op":"insert","rows":[["f","hispanic"],["nonbinary","hispanic"]]}"#,
+        );
+        let doc = Json::parse(&response).unwrap();
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        assert_eq!(doc.get("inserted").and_then(Json::as_u64), Some(2));
+        let schema_cards = engine.dataset().schema().cardinalities();
+        assert_eq!(schema_cards, vec![3, 4], "both dictionaries grew");
+        assert_eq!(engine.dictionary_growth(), &[1, 1]);
+        assert_eq!(engine.coverage(&[2, 3]).unwrap(), 1);
+        // Arity is validated before any growth: a malformed batch with a
+        // fresh value must not register it.
+        let response = handle_line_opts(
+            &mut engine,
+            &options,
+            r#"{"op":"insert","rows":[["f","martian","extra"]]}"#,
+        );
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert_eq!(engine.dataset().schema().cardinalities(), vec![3, 4]);
+    }
+
+    #[test]
+    fn grow_schema_batches_are_atomic_under_growth_failure() {
+        use coverage_data::MAX_CARDINALITY;
+        // An attribute one value short of the ceiling: the first row's new
+        // value fits, the second's does not — the whole batch must be
+        // rejected with nothing registered and no MUP minted.
+        let schema = Schema::new(vec![coverage_data::Attribute::new(
+            "big",
+            MAX_CARDINALITY - 1,
+        )
+        .unwrap()])
+        .unwrap();
+        let ds = Dataset::from_rows(schema, &[vec![0]]).unwrap();
+        let mut engine = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
+        let options = ServeOptions {
+            snapshot_path: None,
+            grow_schema: true,
+        };
+        let mups_before = engine.mups().len();
+        let response = handle_line_opts(
+            &mut engine,
+            &options,
+            r#"{"op":"insert","rows":[["newA"],["newB"]]}"#,
+        );
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert_eq!(
+            engine.dataset().schema().cardinality(0) as usize,
+            MAX_CARDINALITY - 1,
+            "failed batch must not grow the dictionary"
+        );
+        assert_eq!(engine.dictionary_growth(), &[0]);
+        assert_eq!(engine.mups().len(), mups_before);
+        assert_eq!(engine.dataset().len(), 1);
+        // A batch that fits entirely still grows and inserts.
+        let response = handle_line_opts(
+            &mut engine,
+            &options,
+            r#"{"op":"insert","rows":[["newA"],["newA"]]}"#,
+        );
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert_eq!(engine.dictionary_growth(), &[1]);
+        assert_eq!(engine.dataset().len(), 3);
+    }
+
+    #[test]
+    fn stats_report_per_attribute_dictionaries() {
+        let mut engine = engine();
+        let _ = ok(&mut engine, r#"{"op":"grow","attr":"sex","value":"x"}"#);
+        let doc = ok(&mut engine, r#"{"op":"stats"}"#);
+        let dicts = doc
+            .get("dictionaries")
+            .expect("stats must report dictionaries")
+            .as_array()
+            .unwrap();
+        assert_eq!(dicts.len(), 2);
+        assert_eq!(dicts[0].get("name").and_then(Json::as_str), Some("sex"));
+        assert_eq!(dicts[0].get("cardinality").and_then(Json::as_u64), Some(3));
+        assert_eq!(dicts[0].get("grown").and_then(Json::as_u64), Some(1));
+        assert_eq!(dicts[1].get("name").and_then(Json::as_str), Some("race"));
+        assert_eq!(dicts[1].get("cardinality").and_then(Json::as_u64), Some(3));
+        assert_eq!(dicts[1].get("grown").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
     fn delete_op_removes_rows_and_reports() {
         let mut engine = engine();
         let doc = ok(&mut engine, r#"{"op":"delete","row":["m","white"]}"#);
@@ -808,8 +1098,9 @@ mod tests {
             "mutex must not be poisoned by a contained panic"
         );
         // And the engine still answers real requests afterwards.
-        let response =
-            with_engine_contained(&shared, |engine| dispatch(engine, None, Request::Stats));
+        let response = with_engine_contained(&shared, |engine| {
+            dispatch(engine, &ServeOptions::default(), Request::Stats)
+        });
         assert!(response.contains("\"ok\":true"), "{response}");
     }
 
@@ -823,8 +1114,9 @@ mod tests {
         })
         .join();
         assert!(shared.lock().is_err(), "mutex must start poisoned");
-        let response =
-            with_engine_contained(&shared, |engine| dispatch(engine, None, Request::Stats));
+        let response = with_engine_contained(&shared, |engine| {
+            dispatch(engine, &ServeOptions::default(), Request::Stats)
+        });
         assert!(response.contains("\"ok\":true"), "{response}");
         assert!(shared.lock().is_ok(), "poison must be cleared");
         // The recovery rebuild is visible in the stats.

@@ -13,14 +13,19 @@
 //! Format policy (documented in the README):
 //!
 //! * `"format"` is always `"mithra-coverage-snapshot"`; `"version"` is an
-//!   integer, currently [`SNAPSHOT_VERSION`]. Version 2 stores
+//!   integer, currently [`SNAPSHOT_VERSION`]. Version 3 adds `"grown"` — the
+//!   per-attribute count of values registered through dictionary growth
+//!   since load, so a restarted server keeps reporting dictionary growth in
+//!   `stats` (the grown dictionaries themselves travel in `"attributes"`,
+//!   which always records the *current* value lists). Version 2 stores
 //!   `"combos": [[[codes…], count], …]` (compacted — heavily duplicated
 //!   datasets shrink by orders of magnitude) plus `"shards"` (the backend's
 //!   row-shard layout). Version 1 documents (raw `"rows"`, no layout) are
-//!   still read: their rows restore into a single shard (shard 0), and the
-//!   next `snapshot` op rewrites them as version 2. Any *newer* version is
-//!   rejected rather than guessed at — bump the version on any incompatible
-//!   change.
+//!   still read: their rows restore into a single shard (shard 0). Both
+//!   older versions restore with zeroed growth counters, and the next
+//!   `snapshot` op rewrites the file as the current version. Any *newer*
+//!   version is rejected rather than guessed at — bump the version on any
+//!   incompatible change.
 //! * Snapshots are **trusted input**: the loader validates structure, value
 //!   ranges, and arities, but takes the MUP set at its word (re-deriving it
 //!   would defeat the purpose). Keep snapshot files as protected as the
@@ -41,7 +46,7 @@ use crate::protocol::{write_json_string, Json};
 use crate::{Result, ServiceError};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 2;
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Oldest snapshot version this build still reads.
 pub const SNAPSHOT_MIN_VERSION: u64 = 1;
@@ -70,9 +75,16 @@ pub fn snapshot_string<B: CoverageBackend>(engine: &CoverageEngine<B>) -> Result
     write_json_string(&mut out, SNAPSHOT_FORMAT);
     let _ = write!(
         out,
-        ",\"version\":{SNAPSHOT_VERSION},\"shards\":{},\"threshold\":",
+        ",\"version\":{SNAPSHOT_VERSION},\"shards\":{},\"grown\":[",
         engine.shards()
     );
+    for (i, g) in engine.dictionary_growth().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{g}");
+    }
+    out.push_str("],\"threshold\":");
     match engine.threshold() {
         Threshold::Count(c) => {
             let _ = write!(out, "{{\"count\":{c}}}");
@@ -159,8 +171,9 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64> {
 }
 
 /// Reassembles an engine from a snapshot document produced by
-/// [`snapshot_string`] — current (version 2, compacted combos + shard
-/// layout) or legacy (version 1, raw rows, restored into a single shard).
+/// [`snapshot_string`] — current (version 3, compacted combos + shard
+/// layout + dictionary-growth counters), version 2 (no growth counters),
+/// or version 1 (raw rows, restored into a single shard).
 pub fn parse_snapshot<B: CoverageBackend>(text: &str) -> Result<CoverageEngine<B>> {
     parse_snapshot_with_layout(text, None)
 }
@@ -312,7 +325,28 @@ pub fn parse_snapshot_with_layout<B: CoverageBackend>(
         mups_discovered: u64_field(stats_doc, "mups_discovered")?,
         full_recomputes: u64_field(stats_doc, "full_recomputes")?,
     };
-    CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats, shards)
+    // v1/v2 predate dictionary growth: counters restore as zeros.
+    let grown = if version >= 3 {
+        let grown: Vec<u64> = field(&doc, "grown")?
+            .as_array()
+            .ok_or_else(|| bad("`grown` must be an array"))?
+            .iter()
+            .map(|g| {
+                g.as_u64()
+                    .ok_or_else(|| bad("`grown` counters must be non-negative integers"))
+            })
+            .collect::<Result<_>>()?;
+        if grown.len() != arity {
+            return Err(bad(format!(
+                "{} grown counters but {arity} attributes",
+                grown.len()
+            )));
+        }
+        grown
+    } else {
+        vec![0; arity]
+    };
+    CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats, shards, grown)
 }
 
 /// Writes a snapshot atomically: the document lands in `<path>.tmp` first
@@ -521,6 +555,74 @@ mod tests {
                 "`{needle}` not in `{err}`"
             );
         }
+    }
+
+    #[test]
+    fn grown_dictionaries_round_trip_through_version3() {
+        let mut original = engine();
+        // Grow the race dictionary and land a row on the new value, then
+        // grow sex without any rows (the zero-occurrence MUP case).
+        original.grow_value(1, "hispanic").unwrap();
+        original.insert(&[0, 3]).unwrap();
+        original.grow_value(0, "x").unwrap();
+        let text = snapshot_string(&original).unwrap();
+        assert!(text.contains("\"version\":3"), "{text}");
+        assert!(text.contains("\"grown\":[1,1]"), "{text}");
+        let restored: CoverageEngine = parse_snapshot(&text).unwrap();
+        assert_eq!(restored.dictionary_growth(), &[1, 1]);
+        assert_eq!(restored.mups(), original.mups());
+        assert_eq!(
+            sorted_rows(restored.dataset()),
+            sorted_rows(original.dataset())
+        );
+        let schema = restored.dataset().schema();
+        assert_eq!(schema.cardinalities(), vec![3, 4]);
+        assert_eq!(schema.attribute(1).code_of("hispanic").unwrap(), 3);
+        assert_eq!(schema.attribute(0).value_name(2), "x");
+        // The restored engine keeps growing and serving.
+        let mut restored = restored;
+        restored.grow_value(1, "other").unwrap();
+        assert_eq!(restored.dictionary_growth(), &[1, 2]);
+        restored.insert(&[2, 4]).unwrap();
+        assert!(restored.covered(&[2, 4]).unwrap());
+    }
+
+    #[test]
+    fn mismatched_grown_counters_are_rejected() {
+        let good = snapshot_string(&engine()).unwrap();
+        let bad_len = good.replace("\"grown\":[0,0]", "\"grown\":[0,0,0]");
+        let err = parse_snapshot::<CoverageOracle>(&bad_len).unwrap_err();
+        assert!(err.to_string().contains("grown counters"), "{err}");
+        let bad_type = good.replace("\"grown\":[0,0]", "\"grown\":[0,\"one\"]");
+        let err = parse_snapshot::<CoverageOracle>(&bad_type).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn version2_documents_restore_with_zeroed_growth_counters() {
+        // A pre-growth (version 2) snapshot: compacted combos + layout, no
+        // `grown` field. It must restore with zeroed counters — grown value
+        // dictionaries still travel in `attributes` — and the next save
+        // rewrites it as the current version.
+        let v2 = concat!(
+            "{\"format\":\"mithra-coverage-snapshot\",\"version\":2,\"shards\":2,",
+            "\"threshold\":{\"count\":1},",
+            "\"attributes\":[{\"name\":\"a\",\"cardinality\":2},",
+            "{\"name\":\"b\",\"cardinality\":3,\"values\":[\"x\",\"y\",\"z\"]}],",
+            "\"combos\":[[[0,1],2],[[1,0],1]],",
+            "\"mups\":[\"X2\"],",
+            "\"stats\":{\"inserts\":3,\"batches\":2,\"deletes\":0,",
+            "\"delete_batches\":0,\"mups_retired\":1,\"mups_discovered\":2,",
+            "\"full_recomputes\":0}}"
+        );
+        let restored: CoverageEngine<ShardedOracle> = parse_snapshot(v2).unwrap();
+        assert_eq!(restored.shards(), 2);
+        assert_eq!(restored.dataset().len(), 3);
+        assert_eq!(restored.dictionary_growth(), &[0, 0]);
+        assert_eq!(restored.mups().len(), 1);
+        let rewritten = snapshot_string(&restored).unwrap();
+        assert!(rewritten.contains(&format!("\"version\":{SNAPSHOT_VERSION}")));
+        assert!(rewritten.contains("\"grown\":[0,0]"));
     }
 
     #[test]

@@ -52,10 +52,12 @@ struct Args {
     /// `None` = default (machine parallelism for fresh starts, the
     /// snapshot's recorded layout on restore).
     shards: Option<usize>,
+    /// Auto-register unknown value strings on insert (dictionary growth).
+    grow_schema: bool,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--shards N] [--snapshot PATH]"
+    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--shards N] [--snapshot PATH] [--grow-schema]"
         .to_string()
 }
 
@@ -80,6 +82,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut threads = None;
     let mut snapshot = None;
     let mut shards = None;
+    let mut grow_schema = false;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -143,6 +146,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 shards = Some(count);
             }
+            "--grow-schema" => grow_schema = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -155,7 +159,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         return Err(flag_error("--max-level", "only supported with `audit`"));
     }
     if command != "serve"
-        && (listen.is_some() || threads.is_some() || snapshot.is_some() || shards.is_some())
+        && (listen.is_some()
+            || threads.is_some()
+            || snapshot.is_some()
+            || shards.is_some()
+            || grow_schema)
     {
         let flag = if listen.is_some() {
             "--listen"
@@ -163,6 +171,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--threads"
         } else if shards.is_some() {
             "--shards"
+        } else if grow_schema {
+            "--grow-schema"
         } else {
             "--snapshot"
         };
@@ -195,6 +205,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         threads: threads.unwrap_or(coverage_service::DEFAULT_WORKERS),
         snapshot,
         shards,
+        grow_schema,
     })
 }
 
@@ -298,7 +309,10 @@ fn serve(args: &Args) -> Result<(), String> {
         engine.mups().len(),
         engine.shards()
     );
-    let snapshot_path = args.snapshot.clone();
+    let options = mithra::service::ServeOptions {
+        snapshot_path: args.snapshot.clone(),
+        grow_schema: args.grow_schema,
+    };
     let served = match &args.listen {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -308,14 +322,14 @@ fn serve(args: &Args) -> Result<(), String> {
                 .unwrap_or_else(|_| addr.clone());
             eprintln!("listening on {local} ({} worker threads)", args.threads);
             let shared = std::sync::Arc::new(std::sync::Mutex::new(engine));
-            mithra::service::serve_tcp_with(shared, snapshot_path, listener, args.threads)
+            mithra::service::serve_tcp_opts(shared, options, listener, args.threads)
         }
         None => {
             let mut engine = engine;
             let stdin = std::io::stdin();
-            mithra::service::serve_lines_with(
+            mithra::service::serve_lines_opts(
                 &mut engine,
-                snapshot_path.as_deref(),
+                &options,
                 stdin.lock(),
                 std::io::stdout(),
             )
@@ -616,6 +630,32 @@ mod tests {
     }
 
     #[test]
+    fn grow_schema_flag_parses_and_is_serve_only() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--grow-schema",
+        ])
+        .unwrap();
+        assert!(args.grow_schema);
+        let args = parse(&["serve", "d.csv", "--attrs", "a", "--tau", "1"]).unwrap();
+        assert!(!args.grow_schema, "growth is opt-in");
+        for cmd in ["audit", "enhance"] {
+            let mut argv = vec![cmd, "d.csv", "--attrs", "a", "--tau", "1"];
+            if cmd == "enhance" {
+                argv.extend(["--lambda", "1"]);
+            }
+            argv.push("--grow-schema");
+            let err = parse(&argv).unwrap_err();
+            assert!(err.contains("only supported with `serve`"), "{err}");
+        }
+    }
+
+    #[test]
     fn snapshot_flag_parses_and_is_serve_only() {
         let args = parse(&[
             "serve",
@@ -678,6 +718,7 @@ mod tests {
             threads: 1,
             snapshot: Some(snap.clone()),
             shards: None,
+            grow_schema: false,
         };
         // Matching threshold + attrs restores.
         let restored = serve_engine(&args(&["sex", "race"], Threshold::Count(1))).unwrap();

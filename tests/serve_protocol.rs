@@ -7,7 +7,10 @@ use std::io::{BufRead, BufReader, Write};
 
 use mithra::prelude::*;
 use mithra::service::protocol::Json;
-use mithra::service::{handle_line, handle_line_with, load_snapshot, serve_lines, serve_tcp};
+use mithra::service::{
+    handle_line, handle_line_opts, handle_line_with, load_snapshot, serve_lines, serve_tcp,
+    ServeOptions,
+};
 
 /// COMPAS-flavored fixture with value dictionaries, so protocol rows can be
 /// sent as value names.
@@ -202,6 +205,73 @@ fn malformed_requests_get_error_responses() {
     );
     let doc = request(&mut engine, r#"{"op":"stats"}"#);
     assert_ok(&doc, "stats after errors");
+}
+
+/// The bug this PR fixes, end-to-end: a row carrying a previously unseen
+/// value string arrives over the protocol. Strict mode still rejects it;
+/// under `--grow-schema` (or an explicit `grow` op) it lands, the engine's
+/// MUP set equals a batch audit of the rebuilt grown dataset, and snapshot
+/// v3 round-trips the grown dictionaries through a process restart.
+#[test]
+fn unseen_values_grow_through_the_serving_path() {
+    let dir = std::env::temp_dir().join(format!("mithra-grow-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.snapshot");
+    let options = ServeOptions {
+        snapshot_path: Some(path.clone()),
+        grow_schema: true,
+    };
+
+    let mups_response = {
+        let mut engine = engine();
+        // Strict mode: the unseen value is rejected (default behavior).
+        let strict = handle_line(&mut engine, r#"{"op":"insert","row":["f","asian","old"]}"#);
+        assert!(strict.contains("\"ok\":false"), "{strict}");
+
+        // Growth mode: the same insert registers `asian` and lands the row.
+        let line = r#"{"op":"insert","row":["f","asian","old"]}"#;
+        let doc = Json::parse(&handle_line_opts(&mut engine, &options, line)).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(7));
+
+        // An explicit grow op registers a value with zero rows.
+        let line = r#"{"op":"grow","attr":"age","value":"middle"}"#;
+        let doc = Json::parse(&handle_line_opts(&mut engine, &options, line)).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("code").and_then(Json::as_u64), Some(2));
+
+        // The maintained MUP set equals a batch audit of the grown dataset.
+        let batch = CoverageReport::audit(engine.dataset(), Threshold::Count(1)).unwrap();
+        assert_eq!(engine.mups(), batch.mups.as_slice());
+
+        let doc = Json::parse(&handle_line_opts(
+            &mut engine,
+            &options,
+            r#"{"op":"snapshot"}"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        handle_line(&mut engine, r#"{"op":"mups"}"#)
+        // …engine dropped: process state gone.
+    };
+
+    let mut revived: CoverageEngine = load_snapshot(&path).expect("snapshot v3 loads");
+    assert_eq!(
+        handle_line(&mut revived, r#"{"op":"mups"}"#),
+        mups_response,
+        "restored engine must serve the identical mups response"
+    );
+    assert_eq!(revived.dictionary_growth(), &[0, 1, 1]);
+    let schema = revived.dataset().schema();
+    assert_eq!(schema.attribute(1).code_of("asian").unwrap(), 3);
+    assert_eq!(schema.attribute(2).code_of("middle").unwrap(), 2);
+    // The revived engine keeps accepting rows on the grown values.
+    let line = r#"{"op":"insert","row":["m","asian","middle"]}"#;
+    let doc = Json::parse(&handle_line_opts(&mut revived, &options, line)).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    let batch = CoverageReport::audit(revived.dataset(), Threshold::Count(1)).unwrap();
+    assert_eq!(revived.mups(), batch.mups.as_slice());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Deletes through the protocol are the exact inverse of inserts: after an

@@ -147,6 +147,91 @@ fn assert_engine_tracks_batch_mixed<B: CoverageBackend>(
     Ok(())
 }
 
+/// A random shape plus a grow/insert op stream: a selector of 0 grows a
+/// random attribute's value dictionary (bounded so the pattern space stays
+/// testable); anything else inserts the row template mapped into the
+/// *current* grown value ranges, so streamed rows may carry grown codes.
+fn grow_workload_strategy() -> impl Strategy<Value = (Dataset, Vec<(u8, u8, Vec<u8>)>)> {
+    (2usize..=3, 2u8..=3)
+        .prop_flat_map(|(d, c)| {
+            let base = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..25);
+            let ops = proptest::collection::vec(
+                (0u8..4, 0u8..8, proptest::collection::vec(0u8..=u8::MAX, d)),
+                1..35,
+            );
+            (Just((d, c)), base, ops)
+        })
+        .prop_map(|((d, c), base, ops)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            (Dataset::from_rows(schema, &base).unwrap(), ops)
+        })
+}
+
+/// Upper bound on a grown attribute's cardinality in the property tests —
+/// keeps the pattern graph small enough for the per-op batch re-audit.
+const GROW_CARD_CAP: usize = 6;
+
+/// Replays a grow/insert stream through the engine, asserting after every
+/// op that the maintained MUP set equals a batch DeepDiver run over the
+/// rebuilt *grown* dataset (same cardinalities, same row multiset).
+fn assert_grow_stream_tracks_batch<B: CoverageBackend>(
+    base: Dataset,
+    ops: &[(u8, u8, Vec<u8>)],
+    threshold: Threshold,
+    shards: usize,
+) -> Result<(), TestCaseError> {
+    let mut engine = CoverageEngine::<B>::with_shards(base.clone(), threshold, shards).unwrap();
+    let mut cards: Vec<usize> = base
+        .schema()
+        .cardinalities()
+        .iter()
+        .map(|&c| c as usize)
+        .collect();
+    let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
+    let mut grown = vec![0usize; cards.len()];
+    for (selector, attr_choice, template) in ops {
+        let attr = *attr_choice as usize % cards.len();
+        if *selector == 0 && cards[attr] < GROW_CARD_CAP {
+            let code = engine
+                .grow_value(attr, format!("g{attr}-{}", grown[attr]))
+                .unwrap();
+            prop_assert_eq!(
+                code as usize,
+                cards[attr],
+                "new code is the old cardinality"
+            );
+            grown[attr] += 1;
+            cards[attr] += 1;
+        } else {
+            let row: Vec<u8> = template
+                .iter()
+                .zip(&cards)
+                .map(|(&t, &c)| t % c as u8)
+                .collect();
+            engine.insert(&row).unwrap();
+            rows.push(row);
+        }
+        let schema = Schema::with_cardinalities(&cards).unwrap();
+        let materialized = Dataset::from_rows(schema, &rows).unwrap();
+        let mut expected = DeepDiver::default()
+            .find_mups(&materialized, threshold)
+            .unwrap();
+        expected.sort();
+        prop_assert_eq!(
+            engine.mups(),
+            expected.as_slice(),
+            "divergence at {} rows / cardinalities {:?} (threshold {:?})",
+            rows.len(),
+            cards,
+            threshold
+        );
+        prop_assert_eq!(engine.tau(), threshold.resolve(rows.len() as u64).unwrap());
+    }
+    let total_grown: u64 = engine.dictionary_growth().iter().sum();
+    prop_assert_eq!(total_grown as usize, grown.iter().sum::<usize>());
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -233,6 +318,55 @@ proptest! {
         assert_engine_tracks_batch_mixed::<ShardedOracle>(base, &ops, Threshold::Fraction(rate), shards)?;
     }
 
+    /// Dictionary growth interleaved with inserts: the O(1) growth delta
+    /// plus the ordinary insert delta must track batch discovery over the
+    /// rebuilt grown dataset — single-shard backend, count thresholds.
+    #[test]
+    fn grow_stream_matches_deepdiver_under_count_threshold(
+        workload in grow_workload_strategy(),
+        tau in 1u64..10,
+    ) {
+        let (base, ops) = workload;
+        assert_grow_stream_tracks_batch::<CoverageOracle>(base, &ops, Threshold::Count(tau), 1)?;
+    }
+
+    /// …and under rate thresholds: growth never moves n (so never steps τ),
+    /// while the interleaved inserts do — both deltas must compose.
+    #[test]
+    fn grow_stream_matches_deepdiver_under_rate_threshold(
+        workload in grow_workload_strategy(),
+        rate_milli in 5u64..300,
+    ) {
+        let (base, ops) = workload;
+        let rate = rate_milli as f64 / 1000.0;
+        assert_grow_stream_tracks_batch::<CoverageOracle>(base, &ops, Threshold::Fraction(rate), 1)?;
+    }
+
+    /// The sharded backend grows every shard in lock-step and must stay
+    /// equivalent to batch discovery over the grown dataset.
+    #[test]
+    fn sharded_grow_stream_matches_deepdiver_under_count_threshold(
+        workload in grow_workload_strategy(),
+        tau in 1u64..10,
+        shards in 1usize..=4,
+    ) {
+        let (base, ops) = workload;
+        assert_grow_stream_tracks_batch::<ShardedOracle>(base, &ops, Threshold::Count(tau), shards)?;
+    }
+
+    /// Sharded backend, rate thresholds: the full-recompute fallback (when
+    /// an insert steps τ) runs DeepDiver over the *grown* sharded oracle.
+    #[test]
+    fn sharded_grow_stream_matches_deepdiver_under_rate_threshold(
+        workload in grow_workload_strategy(),
+        rate_milli in 5u64..300,
+        shards in 1usize..=4,
+    ) {
+        let (base, ops) = workload;
+        let rate = rate_milli as f64 / 1000.0;
+        assert_grow_stream_tracks_batch::<ShardedOracle>(base, &ops, Threshold::Fraction(rate), shards)?;
+    }
+
     /// Snapshot round trip at an arbitrary point in a stream: the restored
     /// engine serves identical MUPs/τ/stats and keeps tracking batch
     /// discovery afterwards.
@@ -243,12 +377,20 @@ proptest! {
     ) {
         let (base, ops) = workload;
         let threshold = Threshold::Count(tau);
+        let arity = base.arity();
         let mut engine = CoverageEngine::new(base.clone(), threshold).unwrap();
         let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
+        let mut grown = 0usize;
         for (selector, row, delete_seed) in &ops {
             if *selector < 2 && !rows.is_empty() {
                 let victim = rows.swap_remove(*delete_seed as usize % rows.len());
                 engine.remove(&victim).unwrap();
+            } else if *selector == 2 && grown < 3 {
+                // Snapshot v3 must carry grown dictionaries (incl. values
+                // with zero rows) and the growth counters.
+                let attr = *delete_seed as usize % arity;
+                engine.grow_value(attr, format!("grown-{grown}")).unwrap();
+                grown += 1;
             } else {
                 engine.insert(row).unwrap();
                 rows.push(row.clone());
@@ -258,6 +400,12 @@ proptest! {
         prop_assert_eq!(restored.mups(), engine.mups());
         prop_assert_eq!(restored.tau(), engine.tau());
         prop_assert_eq!(restored.stats(), engine.stats());
+        prop_assert_eq!(restored.dictionary_growth(), engine.dictionary_growth());
+        prop_assert_eq!(
+            restored.dataset().schema(),
+            engine.dataset().schema(),
+            "grown dictionaries must round-trip"
+        );
         prop_assert_eq!(sorted_rows(restored.dataset()), sorted_rows(engine.dataset()));
     }
 
