@@ -1,0 +1,533 @@
+//! TCP load generator for the `mithra serve` front ends.
+//!
+//! Spawns an in-process server (so one command measures a full stack with
+//! zero setup), drives it with N concurrent pipelined connections over a
+//! configurable op mix for a fixed wall-clock window, and reports
+//! throughput, latency percentiles, and the server's own `stats.io`
+//! counters — the batching counters are how cross-connection insert
+//! coalescing is observed from the outside.
+//!
+//! Exposed as `mithra loadgen` / `mithra bench-report` and as the
+//! standalone `loadgen` binary in this crate.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use coverage_core::Threshold;
+use coverage_data::generators::airbnb_like;
+use coverage_service::protocol::Json;
+use coverage_service::{serve, CoverageEngine, IoMode, ServeOptions};
+
+/// What one loadgen run does.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Which front end the in-process server runs.
+    pub io: IoMode,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Wall-clock run length in seconds.
+    pub secs: f64,
+    /// Requests each connection keeps in flight (batched writes).
+    pub pipeline: usize,
+    /// Worker threads for the blocking front end.
+    pub workers: usize,
+    /// Admission bound for the event front end.
+    pub max_pending: usize,
+    /// Rows in the synthetic (AirBnB-like) starting dataset.
+    pub rows: usize,
+    /// Attributes in the synthetic dataset.
+    pub attributes: usize,
+    /// Op mix, in percent: `(insert, coverage)`; the remainder is `mups`.
+    pub mix: (u32, u32),
+    /// RNG seed (per-client streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            io: IoMode::Event,
+            connections: 64,
+            secs: 2.0,
+            pipeline: 16,
+            workers: coverage_service::DEFAULT_WORKERS,
+            max_pending: coverage_service::DEFAULT_MAX_PENDING,
+            rows: 2_000,
+            attributes: 6,
+            mix: (80, 15),
+            seed: 2019,
+        }
+    }
+}
+
+/// What one loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// `"event"` or `"blocking"`.
+    pub io: String,
+    /// Concurrent client connections requested.
+    pub connections: usize,
+    /// Wall-clock seconds actually spent in the measurement window.
+    pub elapsed_secs: f64,
+    /// Responses received (any outcome).
+    pub requests: u64,
+    /// `{"ok":false}` responses that were *not* `overloaded` sheds.
+    pub errors: u64,
+    /// Responses shed with the `overloaded` code.
+    pub overloaded: u64,
+    /// Times a client had to reconnect (dropped/shed connections).
+    pub reconnects: u64,
+    /// Responses per second over the window.
+    pub ops_per_sec: f64,
+    /// Client-observed latency percentiles, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Server-side `stats.io.insert_requests` after the run.
+    pub insert_requests: u64,
+    /// Server-side `stats.io.insert_engine_batches` after the run.
+    pub insert_engine_batches: u64,
+    /// Server-side `stats.io.coalesced_inserts` after the run.
+    pub coalesced_inserts: u64,
+    /// Server-side `stats.io.shed_overloaded` after the run.
+    pub shed_overloaded: u64,
+}
+
+impl LoadgenReport {
+    /// The report as one JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"io\":\"{}\",\"connections\":{},\"elapsed_secs\":{:.3},\
+             \"requests\":{},\"errors\":{},\"overloaded\":{},\"reconnects\":{},\
+             \"ops_per_sec\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+             \"insert_requests\":{},\"insert_engine_batches\":{},\
+             \"coalesced_inserts\":{},\"shed_overloaded\":{}}}",
+            self.io,
+            self.connections,
+            self.elapsed_secs,
+            self.requests,
+            self.errors,
+            self.overloaded,
+            self.reconnects,
+            self.ops_per_sec,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.insert_requests,
+            self.insert_engine_batches,
+            self.coalesced_inserts,
+            self.shed_overloaded,
+        )
+    }
+}
+
+/// Splitmix-style PRNG: one u64 of state, good enough to pick ops and row
+/// values without dragging a generator dependency into the hot loop.
+struct Mix64(u64);
+
+impl Mix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct ClientStats {
+    latencies_ns: Vec<u64>,
+    requests: u64,
+    errors: u64,
+    overloaded: u64,
+    reconnects: u64,
+}
+
+fn gen_request(rng: &mut Mix64, attributes: usize, mix: (u32, u32)) -> String {
+    let roll = rng.below(100) as u32;
+    if roll < mix.0 {
+        let mut line = String::from("{\"op\":\"insert\",\"row\":[");
+        for i in 0..attributes {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            line.push(if rng.below(2) == 0 { '0' } else { '1' });
+            line.push('"');
+        }
+        line.push_str("]}");
+        line
+    } else if roll < mix.0 + mix.1 {
+        let mut pattern = String::with_capacity(attributes);
+        for _ in 0..attributes {
+            pattern.push(match rng.below(4) {
+                0 => '0',
+                1 => '1',
+                _ => 'X', // bias toward general patterns (cheap + cacheable)
+            });
+        }
+        format!("{{\"op\":\"coverage\",\"pattern\":\"{pattern}\"}}")
+    } else {
+        "{\"op\":\"mups\",\"limit\":3}".to_string()
+    }
+}
+
+/// One client: keeps `pipeline` requests in flight against `addr` until
+/// the deadline, reconnecting (with a tiny backoff) when the server sheds
+/// or drops the connection.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    config: &LoadgenConfig,
+    deadline: Instant,
+    seed: u64,
+) -> ClientStats {
+    let mut rng = Mix64(seed);
+    let mut stats = ClientStats {
+        latencies_ns: Vec::new(),
+        requests: 0,
+        errors: 0,
+        overloaded: 0,
+        reconnects: 0,
+    };
+    let mut first_attempt = true;
+    'reconnect: while Instant::now() < deadline {
+        if !first_attempt {
+            stats.reconnects += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        first_attempt = false;
+        let Ok(stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut write_half = stream;
+        let mut batch = String::new();
+        let mut line = String::new();
+        while Instant::now() < deadline {
+            batch.clear();
+            for _ in 0..config.pipeline {
+                batch.push_str(&gen_request(&mut rng, config.attributes, config.mix));
+                batch.push('\n');
+            }
+            let sent_at = Instant::now();
+            if write_half.write_all(batch.as_bytes()).is_err() {
+                continue 'reconnect;
+            }
+            for _ in 0..config.pipeline {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => continue 'reconnect,
+                    Ok(_) => {}
+                }
+                stats.requests += 1;
+                stats.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                if line.starts_with("{\"ok\":false") {
+                    if line.contains("\"code\":\"overloaded\"") {
+                        stats.overloaded += 1;
+                    } else {
+                        stats.errors += 1;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    stats
+}
+
+fn scrape_io_counter(io: &Json, key: &str) -> u64 {
+    io.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Asks the server for `stats` and returns the parsed `"io"` section.
+/// Retries briefly: right after the measurement window the front end may
+/// still be shedding the departing clients.
+fn scrape_stats(addr: std::net::SocketAddr) -> Option<Json> {
+    for _ in 0..50 {
+        let attempt = (|| -> std::io::Result<String> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+            let mut writer = stream.try_clone()?;
+            writer.write_all(b"{\"op\":\"stats\"}\n")?;
+            let mut line = String::new();
+            BufReader::new(stream).read_line(&mut line)?;
+            Ok(line)
+        })();
+        if let Ok(line) = attempt {
+            if let Ok(doc) = Json::parse(line.trim()) {
+                if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+                    return doc.get("io").cloned();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+/// Runs one loadgen measurement: in-process server, `config.connections`
+/// pipelined clients, `config.secs` of wall clock.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let dataset = airbnb_like(config.rows, config.attributes, config.seed)
+        .map_err(|e| format!("synthetic dataset: {e}"))?;
+    let engine =
+        CoverageEngine::new(dataset, Threshold::Count(5)).map_err(|e| format!("engine: {e}"))?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let options = ServeOptions::new()
+        .with_io(config.io)
+        .with_workers(config.workers)
+        .with_max_pending(config.max_pending);
+    let shared = Arc::new(Mutex::new(engine));
+    let server = Arc::clone(&shared);
+    // The server thread runs until process exit (the listener has no
+    // shutdown channel); a loadgen process is short-lived by design.
+    std::thread::spawn(move || {
+        let _ = serve(server, options, listener);
+    });
+    // Wait until the server answers before starting the clock.
+    if scrape_stats(addr).is_none() {
+        return Err("server did not come up".into());
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(config.secs);
+    let mut handles = Vec::with_capacity(config.connections);
+    for i in 0..config.connections {
+        let config = config.clone();
+        let seed = config.seed ^ (0xC0FFEE + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        handles.push(std::thread::spawn(move || {
+            client_loop(addr, &config, deadline, seed)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut requests, mut errors, mut overloaded, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
+    for handle in handles {
+        let stats = handle.join().map_err(|_| "client thread panicked")?;
+        latencies.extend(stats.latencies_ns);
+        requests += stats.requests;
+        errors += stats.errors;
+        overloaded += stats.overloaded;
+        reconnects += stats.reconnects;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let io_stats = scrape_stats(addr);
+    let counter = |key: &str| io_stats.as_ref().map_or(0, |io| scrape_io_counter(io, key));
+    Ok(LoadgenReport {
+        io: match config.io {
+            IoMode::Event => "event".into(),
+            IoMode::Blocking => "blocking".into(),
+        },
+        connections: config.connections,
+        elapsed_secs: elapsed,
+        requests,
+        errors,
+        overloaded,
+        reconnects,
+        ops_per_sec: if elapsed > 0.0 {
+            requests as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ns: pct(0.50),
+        p95_ns: pct(0.95),
+        p99_ns: pct(0.99),
+        insert_requests: counter("insert_requests"),
+        insert_engine_batches: counter("insert_engine_batches"),
+        coalesced_inserts: counter("coalesced_inserts"),
+        shed_overloaded: counter("shed_overloaded"),
+    })
+}
+
+/// Parses `mithra loadgen` / standalone `loadgen` flags into a config.
+pub fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<LoadgenConfig, String> {
+    const USAGE: &str = "usage: mithra loadgen [--io event|blocking] [--connections N] \
+         [--secs S] [--pipeline N] [--workers N] [--max-pending N] [--rows N] \
+         [--attrs-n N] [--mix INSERT,COVERAGE] [--seed N]";
+    let mut config = LoadgenConfig::default();
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .ok_or_else(|| format!("{flag}: missing value\n{USAGE}"))
+        };
+        let parse_usize = |flag: &str, v: String| -> Result<usize, String> {
+            let n: usize = v.parse().map_err(|e| format!("{flag}: {e}\n{USAGE}"))?;
+            if n == 0 {
+                return Err(format!("{flag}: must be at least 1\n{USAGE}"));
+            }
+            Ok(n)
+        };
+        match flag.as_str() {
+            "--io" => {
+                config.io = match value()?.as_str() {
+                    "event" => IoMode::Event,
+                    "blocking" => IoMode::Blocking,
+                    other => return Err(format!("--io: unknown mode `{other}`\n{USAGE}")),
+                }
+            }
+            "--connections" => config.connections = parse_usize(&flag, value()?)?,
+            "--secs" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}\n{USAGE}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--secs: must be a positive duration\n{USAGE}"));
+                }
+                config.secs = secs;
+            }
+            "--pipeline" => config.pipeline = parse_usize(&flag, value()?)?,
+            "--workers" => config.workers = parse_usize(&flag, value()?)?,
+            "--max-pending" => config.max_pending = parse_usize(&flag, value()?)?,
+            "--rows" => config.rows = parse_usize(&flag, value()?)?,
+            "--attrs-n" => config.attributes = parse_usize(&flag, value()?)?,
+            "--mix" => {
+                let v = value()?;
+                let parts: Vec<u32> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--mix: {e}\n{USAGE}"))?;
+                if parts.len() != 2 || parts[0] + parts[1] > 100 {
+                    return Err(format!(
+                        "--mix: expected INSERT,COVERAGE percentages summing to ≤ 100\n{USAGE}"
+                    ));
+                }
+                config.mix = (parts[0], parts[1]);
+            }
+            "--seed" => {
+                config.seed = value()?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}\n{USAGE}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+/// `mithra bench-report`: measure both front ends under one identical
+/// insert-heavy workload and emit the committed benchmark document
+/// (`BENCH_6.json` shape).
+pub fn bench_report(quick: bool) -> Result<String, String> {
+    let base = LoadgenConfig {
+        connections: if quick { 16 } else { 64 },
+        secs: if quick { 1.0 } else { 3.0 },
+        ..LoadgenConfig::default()
+    };
+    let event = run(&LoadgenConfig {
+        io: IoMode::Event,
+        ..base.clone()
+    })?;
+    let blocking = run(&LoadgenConfig {
+        io: IoMode::Blocking,
+        ..base.clone()
+    })?;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let speedup = if blocking.ops_per_sec > 0.0 {
+        event.ops_per_sec / blocking.ops_per_sec
+    } else {
+        0.0
+    };
+    Ok(format!(
+        "{{\n  \"bench\": \"BENCH_6\",\n  \"description\": \"event vs blocking serving front \
+         end, insert-heavy pipelined load\",\n  \"n\": {},\n  \"attributes\": {},\n  \
+         \"connections\": {},\n  \"secs\": {},\n  \"host_cores\": {},\n  \"event\": {},\n  \
+         \"blocking\": {},\n  \"speedup_event_over_blocking\": {:.2}\n}}",
+        base.rows,
+        base.attributes,
+        base.connections,
+        base.secs,
+        cores,
+        event.to_json(),
+        blocking.to_json(),
+        speedup,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_into_a_config() {
+        let config = parse_args(
+            [
+                "--io",
+                "blocking",
+                "--connections",
+                "8",
+                "--secs",
+                "0.5",
+                "--mix",
+                "50,25",
+                "--max-pending",
+                "3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(config.io, IoMode::Blocking);
+        assert_eq!(config.connections, 8);
+        assert!((config.secs - 0.5).abs() < 1e-9);
+        assert_eq!(config.mix, (50, 25));
+        assert_eq!(config.max_pending, 3);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_with_usage() {
+        for argv in [
+            &["--io", "sync"][..],
+            &["--connections", "0"][..],
+            &["--secs", "-1"][..],
+            &["--mix", "90,20"][..],
+            &["--frobnicate"][..],
+        ] {
+            let err = parse_args(argv.iter().map(|s| s.to_string())).unwrap_err();
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn a_short_run_measures_real_traffic() {
+        let config = LoadgenConfig {
+            connections: 4,
+            secs: 0.4,
+            pipeline: 4,
+            rows: 200,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).expect("loadgen runs");
+        assert!(report.requests > 0, "{report:?}");
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.p99_ns >= report.p50_ns);
+        assert_eq!(report.io, "event");
+        assert!(
+            report.insert_requests > 0,
+            "insert-heavy mix must reach the engine: {report:?}"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"ops_per_sec\""), "{json}");
+    }
+}

@@ -252,7 +252,7 @@ impl<B: CoverageBackend> CoverageEngine<B> {
         for (row, &copies) in &batch_copies {
             let present = self.oracle.coverage(row);
             if present < copies {
-                return Err(ServiceError::BadRequest(format!(
+                return Err(ServiceError::RowNotFound(format!(
                     "cannot delete {copies} copies of row {row:?}: only {present} present"
                 )));
             }
@@ -313,7 +313,7 @@ impl<B: CoverageBackend> CoverageEngine<B> {
         let code = self
             .dataset
             .grow_value(attribute, value)
-            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            .map_err(|e| ServiceError::Core(e.into()))?;
         self.oracle.grow_value(attribute);
         self.grown[attribute] += 1;
         // τ depends only on n, which is unchanged — no re-resolution needed.

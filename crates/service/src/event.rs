@@ -1,0 +1,876 @@
+//! The [`IoMode::Event`](crate::IoMode::Event) TCP front end: one thread,
+//! a readiness poller, and non-blocking I/O on every connection.
+//!
+//! ## Why an event loop
+//!
+//! The blocking pool burns a thread per in-flight connection and — more
+//! importantly — hands the engine one request at a time. The engine's
+//! delta path makes a *batch* of inserts far cheaper than the same inserts
+//! applied one by one (one frontier walk instead of N), but a
+//! thread-per-connection design has no natural place to form batches
+//! across clients. The event loop does: every poll tick it drains frames
+//! from **all** readable connections into one pending queue, then takes
+//! the engine lock once and serves the whole tick — coalescing runs of
+//! consecutive `insert` requests, *across connections*, into single
+//! [`CoverageEngine::insert_batch`] calls and fanning the responses back
+//! per request. Under concurrent insert load the engine sees a few large
+//! batches per tick instead of hundreds of tiny ones.
+//!
+//! ## Ordering and equivalence
+//!
+//! Responses are staged back in decode order, so each connection observes
+//! exactly the request/response pipelining the blocking front end gives
+//! it. Coalesced inserts report the dataset length *as of their position
+//! in the queue* (`len_before + cumulative inserted`), so response bytes
+//! are identical to sequential execution — the integration tests assert
+//! the two front ends match byte-for-byte.
+//!
+//! ## Overload behavior
+//!
+//! Three mechanisms bound resource use, in order of engagement:
+//!
+//! * **per-tick read cap** — a connection gets at most
+//!   [`PER_TICK_READ_BYTES`] of its stream decoded per tick, so one
+//!   firehose client cannot starve the rest;
+//! * **admission control** — at most `options.max_pending()` requests are
+//!   admitted per tick; beyond that, requests are answered immediately
+//!   with an `overloaded` error (cheap to produce, no engine work) and
+//!   counted in `stats.io.shed_overloaded`;
+//! * **write backpressure** — a connection whose response backlog exceeds
+//!   [`MAX_WRITE_BACKLOG`] stops being *read* (its poller interest drops
+//!   to write-only) until the peer drains what it already owes.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use coverage_index::CoverageBackend;
+
+use crate::engine::CoverageEngine;
+use crate::metrics::{OpClass, ServeMetrics};
+use crate::net::{Interest, Poller};
+use crate::protocol::{
+    error_response, parse_request, Envelope, ErrorCode, Request, RequestId, ServeError,
+};
+use crate::server::{
+    dispatch, encode_row, insert_response, line_too_long_error, op_class, with_engine_contained,
+    ServeOptions, IDLE_TIMEOUT, MAX_LINE_BYTES,
+};
+
+/// Poller token reserved for the listener (connection tokens encode a slab
+/// index in their low 32 bits, bounded far below this).
+const LISTENER: u64 = u64::MAX;
+
+/// Hard cap on simultaneously open connections; beyond it new accepts are
+/// closed immediately (fd exhaustion otherwise takes the listener down).
+const MAX_CONNECTIONS: usize = 16_384;
+
+/// Most bytes decoded from one connection in one tick.
+const PER_TICK_READ_BYTES: usize = 256 * 1024;
+
+/// Response backlog above which a connection stops being read.
+const MAX_WRITE_BACKLOG: usize = 1 << 20;
+
+/// How often idle connections are swept.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(30);
+
+/// An incremental NDJSON frame decoder over a connection's byte stream.
+///
+/// Bytes arrive in arbitrary fragments; frames are complete lines. A line
+/// that grows past [`MAX_LINE_BYTES`] without a newline flips the decoder
+/// into discard mode: the oversized tail is dropped as it streams in
+/// (bounded memory) and the eventual newline yields one [`Frame::TooLong`]
+/// so the client still gets its error response and the stream stays in
+/// sync — the same resync contract as the blocking reader.
+#[derive(Debug, Default)]
+struct FrameDecoder {
+    buf: Vec<u8>,
+    discarding: bool,
+}
+
+/// One decoded frame.
+#[derive(Debug, PartialEq, Eq)]
+enum Frame {
+    /// A complete request line (newline stripped, lossy UTF-8).
+    Line(String),
+    /// A line that exceeded [`MAX_LINE_BYTES`] (content discarded).
+    TooLong,
+}
+
+impl FrameDecoder {
+    /// Feeds freshly-read bytes into the decoder.
+    fn push(&mut self, bytes: &[u8]) {
+        if self.discarding {
+            // Keep only bytes from the newline onward (if one arrived).
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(pos) => self.buf.extend_from_slice(&bytes[pos..]),
+                None => return,
+            }
+        } else {
+            self.buf.extend_from_slice(bytes);
+        }
+        if !self.discarding && self.buf.len() > MAX_LINE_BYTES && !self.buf.contains(&b'\n') {
+            self.buf.clear();
+            self.discarding = true;
+        }
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    fn next_frame(&mut self) -> Option<Frame> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop(); // the newline
+        if self.discarding {
+            self.discarding = false;
+            return Some(Frame::TooLong);
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Some(Frame::TooLong);
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(Frame::Line(String::from_utf8_lossy(&line).into_owned()))
+    }
+
+    /// Flushes the final unterminated frame at EOF (served like the
+    /// blocking reader serves an unterminated last line).
+    fn finish(&mut self) -> Option<Frame> {
+        if self.discarding {
+            self.discarding = false;
+            self.buf.clear();
+            return Some(Frame::TooLong);
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut line = std::mem::take(&mut self.buf);
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(Frame::Line(String::from_utf8_lossy(&line).into_owned()))
+    }
+
+    /// Whether any undecoded bytes remain buffered.
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty() && !self.discarding
+    }
+}
+
+/// Per-connection state in the slab.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Staged response bytes awaiting the socket.
+    out: Vec<u8>,
+    /// How much of `out` has been written.
+    out_pos: usize,
+    /// Generation stamped into this connection's token: a response routed
+    /// by a stale token (its connection died and the slab slot was reused)
+    /// fails the generation check and is discarded instead of being
+    /// delivered to the wrong client.
+    gen: u32,
+    interest: Interest,
+    eof: bool,
+    dead: bool,
+    last_active: Instant,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.eof && self.backlog() < MAX_WRITE_BACKLOG,
+            writable: self.backlog() > 0,
+        }
+    }
+}
+
+fn token_of(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn split_token(token: u64) -> (usize, u32) {
+    ((token & u64::from(u32::MAX)) as usize, (token >> 32) as u32)
+}
+
+/// One queued unit of work for the drain phase.
+struct PendingItem {
+    token: u64,
+    op: OpClass,
+    start: Instant,
+    kind: PendingKind,
+}
+
+enum PendingKind {
+    /// A parsed request that needs the engine.
+    Op {
+        id: Option<RequestId>,
+        request: Request,
+    },
+    /// A response already in final form (parse error, oversized line,
+    /// admission shed) — flows through the queue so per-connection
+    /// response order matches request order.
+    Ready(String),
+}
+
+/// An engine-bound request, tagged with its slot in the tick's response
+/// vector.
+struct OpWork {
+    slot: usize,
+    id: Option<RequestId>,
+    request: Request,
+}
+
+fn overloaded_error(max_pending: usize) -> ServeError {
+    ServeError::new(
+        ErrorCode::Overloaded,
+        format!("server overloaded: more than {max_pending} requests queued; retry"),
+    )
+}
+
+/// Serves one connection's freshly-readable bytes: decode frames, parse
+/// them (no engine needed), and queue work. Returns `false` if the
+/// connection errored and must be torn down.
+#[allow(clippy::too_many_arguments)]
+fn read_ready(
+    conn: &mut Conn,
+    token: u64,
+    max_pending: usize,
+    admitted: &mut usize,
+    pending: &mut Vec<PendingItem>,
+    metrics: &ServeMetrics,
+) -> bool {
+    let mut chunk = [0u8; 8192];
+    let mut read_total = 0usize;
+    loop {
+        if conn.eof || read_total >= PER_TICK_READ_BYTES {
+            break;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+            }
+            Ok(n) => {
+                read_total += n;
+                conn.decoder.push(&chunk[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+        // Drain every complete frame the new bytes produced before the
+        // next read: the decoder buffer stays bounded by one frame.
+        while let Some(frame) = conn.decoder.next_frame() {
+            queue_frame(frame, token, max_pending, admitted, pending, metrics);
+        }
+    }
+    if conn.eof {
+        if let Some(frame) = conn.decoder.finish() {
+            queue_frame(frame, token, max_pending, admitted, pending, metrics);
+        }
+    }
+    true
+}
+
+/// Turns one decoded frame into a pending item (or drops blank lines).
+fn queue_frame(
+    frame: Frame,
+    token: u64,
+    max_pending: usize,
+    admitted: &mut usize,
+    pending: &mut Vec<PendingItem>,
+    metrics: &ServeMetrics,
+) {
+    let start = Instant::now();
+    let item = match frame {
+        Frame::TooLong => PendingItem {
+            token,
+            op: OpClass::Other,
+            start,
+            kind: PendingKind::Ready(error_response(None, &line_too_long_error())),
+        },
+        Frame::Line(line) => {
+            if line.trim().is_empty() {
+                return;
+            }
+            match parse_request(&line) {
+                Err(failure) => PendingItem {
+                    token,
+                    op: OpClass::Other,
+                    start,
+                    kind: PendingKind::Ready(error_response(failure.id.as_ref(), &failure.error)),
+                },
+                Ok(Envelope { id, request }) => {
+                    if *admitted >= max_pending {
+                        ServeMetrics::add(&metrics.shed_overloaded, 1);
+                        PendingItem {
+                            token,
+                            op: OpClass::Other,
+                            start,
+                            kind: PendingKind::Ready(error_response(
+                                id.as_ref(),
+                                &overloaded_error(max_pending),
+                            )),
+                        }
+                    } else {
+                        *admitted += 1;
+                        PendingItem {
+                            token,
+                            op: op_class(&request),
+                            start,
+                            kind: PendingKind::Op { id, request },
+                        }
+                    }
+                }
+            }
+        }
+    };
+    pending.push(item);
+}
+
+/// Runs one non-insert (or growth-mode) request and bumps insert counters
+/// when it was a successful insert.
+fn dispatch_counted<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+    id: Option<&RequestId>,
+    request: Request,
+) -> String {
+    let is_insert = matches!(request, Request::Insert { .. });
+    let response = match dispatch(engine, options, id, request, Some(metrics)) {
+        Ok(response) => response,
+        Err(error) => error_response(id, &error),
+    };
+    if is_insert && response.starts_with("{\"ok\":true") {
+        ServeMetrics::add(&metrics.insert_requests, 1);
+        ServeMetrics::add(&metrics.insert_engine_batches, 1);
+    }
+    response
+}
+
+/// Serves a run of ≥1 consecutive insert requests (coalescing them into
+/// one engine batch when there is more than one), appending `(slot,
+/// response)` pairs in run order.
+fn flush_insert_run<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+    run: &mut Vec<OpWork>,
+    out: &mut Vec<(usize, String)>,
+) {
+    if run.is_empty() {
+        return;
+    }
+    if run.len() == 1 {
+        let OpWork { slot, id, request } = run.pop().unwrap();
+        out.push((
+            slot,
+            dispatch_counted(engine, options, metrics, id.as_ref(), request),
+        ));
+        return;
+    }
+    // Encode every request up front; per-request encoding failures answer
+    // their own error and take no part in the combined batch.
+    type Entry = Result<(usize, Option<RequestId>, Vec<Vec<u8>>), (usize, String)>;
+    let entries: Vec<Entry> = {
+        let schema = engine.dataset().schema();
+        run.drain(..)
+            .map(|op| {
+                let OpWork { slot, id, request } = op;
+                let rows = match request {
+                    Request::Insert { rows } => rows,
+                    _ => unreachable!("insert runs hold only inserts"),
+                };
+                match rows
+                    .iter()
+                    .map(|r| encode_row(schema, r))
+                    .collect::<Result<Vec<Vec<u8>>, ServeError>>()
+                {
+                    Ok(coded) => Ok((slot, id, coded)),
+                    Err(e) => Err((slot, error_response(id.as_ref(), &e))),
+                }
+            })
+            .collect()
+    };
+    let combined: Vec<Vec<u8>> = entries
+        .iter()
+        .filter_map(|e| e.as_ref().ok())
+        .flat_map(|(_, _, coded)| coded.iter().cloned())
+        .collect();
+    let served = entries.iter().filter(|e| e.is_ok()).count();
+    let len_before = engine.dataset().len();
+    match engine.insert_batch(&combined) {
+        Ok(()) => {
+            // One engine batch answered `served` requests: fan responses
+            // back with the dataset length each would have observed had it
+            // run alone, in queue order — byte-identical to sequential.
+            let mut rows_so_far = len_before;
+            for entry in entries {
+                match entry {
+                    Ok((slot, id, coded)) => {
+                        rows_so_far += coded.len();
+                        out.push((slot, insert_response(id.as_ref(), coded.len(), rows_so_far)));
+                    }
+                    Err((slot, response)) => out.push((slot, response)),
+                }
+            }
+            if served > 0 {
+                ServeMetrics::add(&metrics.insert_engine_batches, 1);
+                ServeMetrics::add(&metrics.insert_requests, served as u64);
+                if served > 1 {
+                    ServeMetrics::add(&metrics.coalesced_inserts, served as u64);
+                }
+            }
+        }
+        Err(_) => {
+            // The combined batch was rejected as a whole (can't normally
+            // happen with pre-encoded rows, but the engine's verdict is
+            // authoritative): replay per request so each gets the exact
+            // verdict sequential execution would have given it.
+            for entry in entries {
+                match entry {
+                    Ok((slot, id, coded)) => match engine.insert_batch(&coded) {
+                        Ok(()) => {
+                            ServeMetrics::add(&metrics.insert_requests, 1);
+                            ServeMetrics::add(&metrics.insert_engine_batches, 1);
+                            out.push((
+                                slot,
+                                insert_response(id.as_ref(), coded.len(), engine.dataset().len()),
+                            ));
+                        }
+                        Err(e) => out.push((
+                            slot,
+                            error_response(id.as_ref(), &ServeError::from_service(e)),
+                        )),
+                    },
+                    Err((slot, response)) => out.push((slot, response)),
+                }
+            }
+        }
+    }
+}
+
+/// Serves every engine-bound request of one tick, coalescing consecutive
+/// insert runs (when dictionary growth is off — growth encoding mutates
+/// the schema mid-run, so growth mode serves inserts individually).
+fn process_ops<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+    ops: Vec<OpWork>,
+) -> Vec<(usize, String)> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut run: Vec<OpWork> = Vec::new();
+    for op in ops {
+        if !options.grow_schema() && matches!(op.request, Request::Insert { .. }) {
+            run.push(op);
+            continue;
+        }
+        flush_insert_run(engine, options, metrics, &mut run, &mut out);
+        let OpWork { slot, id, request } = op;
+        out.push((
+            slot,
+            dispatch_counted(engine, options, metrics, id.as_ref(), request),
+        ));
+    }
+    flush_insert_run(engine, options, metrics, &mut run, &mut out);
+    out
+}
+
+/// Flushes as much of `conn.out` as the socket will take. Returns `false`
+/// on a connection error.
+fn flush(conn: &mut Conn) -> bool {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    true
+}
+
+/// The event-driven front end behind [`crate::serve`] with
+/// [`IoMode::Event`](crate::IoMode::Event). Runs until the listener or
+/// poller fails.
+pub(crate) fn serve_event<B: CoverageBackend>(
+    engine: Arc<Mutex<CoverageEngine<B>>>,
+    options: ServeOptions,
+    listener: TcpListener,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+
+    let metrics = ServeMetrics::default();
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u32 = 0;
+    let mut live = 0usize;
+
+    let mut events = Vec::new();
+    let mut pending: Vec<PendingItem> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut accept_failures = 0u32;
+    let mut last_sweep = Instant::now();
+
+    loop {
+        poller.wait(&mut events, 1000)?;
+        let now = Instant::now();
+        let mut admitted = 0usize;
+
+        for event in &events {
+            if event.token == LISTENER {
+                // Drain the accept queue; level-triggering re-reports any
+                // leftovers next tick.
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accept_failures = 0;
+                            if live >= MAX_CONNECTIONS || stream.set_nonblocking(true).is_err() {
+                                drop(stream); // shed
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            next_gen = next_gen.wrapping_add(1);
+                            let idx = free.pop().unwrap_or_else(|| {
+                                conns.push(None);
+                                conns.len() - 1
+                            });
+                            let token = token_of(idx, next_gen);
+                            if poller
+                                .register(stream.as_raw_fd(), token, Interest::READ)
+                                .is_err()
+                            {
+                                free.push(idx);
+                                continue;
+                            }
+                            ServeMetrics::add(&metrics.connections, 1);
+                            live += 1;
+                            conns[idx] = Some(Conn {
+                                stream,
+                                decoder: FrameDecoder::default(),
+                                out: Vec::new(),
+                                out_pos: 0,
+                                gen: next_gen,
+                                interest: Interest::READ,
+                                eof: false,
+                                dead: false,
+                                last_active: now,
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            // Transient accept failures (ECONNABORTED,
+                            // EMFILE) recur fast; a listener that stays
+                            // broken must surface, not zombify.
+                            accept_failures += 1;
+                            if accept_failures >= 100 {
+                                return Err(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            let (idx, gen) = split_token(event.token);
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != gen || conn.dead {
+                continue;
+            }
+            conn.last_active = now;
+            if event.readable
+                && !read_ready(
+                    conn,
+                    event.token,
+                    options.max_pending(),
+                    &mut admitted,
+                    &mut pending,
+                    &metrics,
+                )
+            {
+                conn.dead = true;
+            }
+            if event.writable && !conn.dead && !flush(conn) {
+                conn.dead = true;
+            }
+            touched.push(idx);
+        }
+
+        if !pending.is_empty() {
+            // Split the tick's queue: preformed responses fill their slots
+            // now; engine-bound ops run under one lock acquisition and one
+            // panic-containment scope.
+            let mut slots: Vec<Option<String>> = Vec::with_capacity(pending.len());
+            slots.resize_with(pending.len(), || None);
+            let mut ops: Vec<OpWork> = Vec::new();
+            for (slot, item) in pending.iter_mut().enumerate() {
+                match &mut item.kind {
+                    PendingKind::Ready(response) => {
+                        slots[slot] = Some(std::mem::take(response));
+                    }
+                    PendingKind::Op { id, request } => {
+                        // Move the op out; the queue keeps token/op/start
+                        // for routing and latency accounting.
+                        let id = id.take();
+                        let request = std::mem::replace(request, Request::Stats);
+                        ops.push(OpWork { slot, id, request });
+                    }
+                }
+            }
+            if !ops.is_empty() {
+                // If the drain panics mid-batch, every op of the tick
+                // answers an internal error (the engine was rebuilt);
+                // responses already formed stay intact.
+                let failure_meta: Vec<(usize, Option<RequestId>)> =
+                    ops.iter().map(|op| (op.slot, op.id.clone())).collect();
+                let results = with_engine_contained(
+                    &engine,
+                    |error| {
+                        failure_meta
+                            .iter()
+                            .map(|(slot, id)| (*slot, error_response(id.as_ref(), &error)))
+                            .collect()
+                    },
+                    |engine| process_ops(engine, &options, &metrics, ops),
+                );
+                for (slot, response) in results {
+                    slots[slot] = Some(response);
+                }
+            }
+            // Stage responses in decode order so each connection sees its
+            // own requests answered strictly in the order it sent them.
+            for (slot, item) in pending.iter().enumerate() {
+                let Some(response) = slots[slot].take() else {
+                    continue;
+                };
+                metrics.record(item.op, item.start.elapsed().as_nanos() as u64);
+                let (idx, gen) = split_token(item.token);
+                // A connection that died mid-tick (or was already replaced
+                // in the slab) simply drops its responses — the engine
+                // effects stand, exactly as with a blocking worker whose
+                // peer vanished after the write succeeded.
+                let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if conn.gen != gen || conn.dead {
+                    continue;
+                }
+                conn.out.extend_from_slice(response.as_bytes());
+                conn.out.push(b'\n');
+                conn.last_active = now;
+                touched.push(idx);
+            }
+            pending.clear();
+        }
+
+        // Finalize every connection the tick touched: push bytes, close
+        // finished/broken ones, reconcile poller interest for the rest.
+        touched.sort_unstable();
+        touched.dedup();
+        for idx in touched.drain(..) {
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if !conn.dead && conn.backlog() > 0 && !flush(conn) {
+                conn.dead = true;
+            }
+            let finished = conn.eof && conn.backlog() == 0 && conn.decoder.is_empty();
+            if conn.dead || finished {
+                let conn = conns[idx].take().unwrap();
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+                free.push(idx);
+                live -= 1;
+                continue;
+            }
+            let desired = conn.desired_interest();
+            if desired != conn.interest {
+                let token = token_of(idx, conn.gen);
+                if poller
+                    .reregister(conn.stream.as_raw_fd(), token, desired)
+                    .is_ok()
+                {
+                    conn.interest = desired;
+                } else {
+                    conn.dead = true;
+                }
+            }
+        }
+
+        if now.duration_since(last_sweep) >= SWEEP_INTERVAL {
+            last_sweep = now;
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let idle = slot
+                    .as_ref()
+                    .is_some_and(|conn| now.duration_since(conn.last_active) > IDLE_TIMEOUT);
+                if idle {
+                    let conn = slot.take().unwrap();
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    free.push(idx);
+                    live -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::Threshold;
+    use coverage_data::{Attribute, Dataset, Schema};
+    use std::io::{BufRead, BufReader};
+
+    fn decode_all(decoder: &mut FrameDecoder) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        while let Some(frame) = decoder.next_frame() {
+            frames.push(frame);
+        }
+        frames
+    }
+
+    #[test]
+    fn decoder_reassembles_fragmented_frames() {
+        let mut d = FrameDecoder::default();
+        d.push(b"{\"op\":");
+        assert!(decode_all(&mut d).is_empty());
+        d.push(b"\"stats\"}\r\n{\"op\":\"mups\"}\n{\"op\":");
+        assert_eq!(
+            decode_all(&mut d),
+            vec![
+                Frame::Line("{\"op\":\"stats\"}".into()),
+                Frame::Line("{\"op\":\"mups\"}".into()),
+            ]
+        );
+        assert!(!d.is_empty());
+        d.push(b"\"x\"}\n");
+        assert_eq!(
+            decode_all(&mut d),
+            vec![Frame::Line("{\"op\":\"x\"}".into())]
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let mut d = FrameDecoder::default();
+        let mut frames = Vec::new();
+        for &b in b"a\nbb\n\ncc" {
+            d.push(&[b]);
+            frames.extend(decode_all(&mut d));
+        }
+        if let Some(f) = d.finish() {
+            frames.push(f);
+        }
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line("a".into()),
+                Frame::Line("bb".into()),
+                Frame::Line("".into()), // blank; dropped later by queue_frame
+                Frame::Line("cc".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn decoder_discards_oversized_lines_in_bounded_memory_and_resyncs() {
+        let mut d = FrameDecoder::default();
+        // Stream 3 MiB of garbage in chunks with no newline: the buffer
+        // must stay bounded (discard mode), then the newline yields
+        // TooLong and the next line decodes normally.
+        let chunk = vec![b'x'; 64 * 1024];
+        for _ in 0..48 {
+            d.push(&chunk);
+            assert!(
+                d.buf.len() <= MAX_LINE_BYTES + chunk.len(),
+                "unbounded buffer"
+            );
+        }
+        assert!(d.discarding);
+        d.push(b"tail\n{\"op\":\"stats\"}\n");
+        assert_eq!(
+            decode_all(&mut d),
+            vec![Frame::TooLong, Frame::Line("{\"op\":\"stats\"}".into())]
+        );
+        // EOF while discarding still reports the oversized line.
+        let mut d = FrameDecoder::default();
+        d.push(&vec![b'y'; MAX_LINE_BYTES + 1]);
+        assert_eq!(d.finish(), Some(Frame::TooLong));
+        assert!(d.is_empty());
+    }
+
+    fn test_engine() -> CoverageEngine {
+        let schema = Schema::new(vec![
+            Attribute::with_values("sex", ["m", "f"]).unwrap(),
+            Attribute::with_values("race", ["white", "black", "asian"]).unwrap(),
+        ])
+        .unwrap();
+        let ds =
+            Dataset::from_rows(schema, &[vec![0, 0], vec![0, 1], vec![1, 0], vec![0, 0]]).unwrap();
+        CoverageEngine::new(ds, Threshold::Count(1)).unwrap()
+    }
+
+    #[test]
+    fn event_front_end_serves_a_pipelined_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let engine = Arc::new(Mutex::new(test_engine()));
+        let server = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let _ = serve_event(server, ServeOptions::default(), listener);
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Pipeline several requests in one write, ids out of order.
+        stream
+            .write_all(
+                b"{\"op\":\"insert\",\"id\":1,\"row\":[\"f\",\"black\"]}\n\
+                  {\"op\":\"insert\",\"id\":2,\"row\":[\"m\",\"asian\"]}\n\
+                  {\"op\":\"mups\",\"id\":\"last\"}\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        assert_eq!(
+            lines[0],
+            "{\"ok\":true,\"id\":1,\"op\":\"insert\",\"inserted\":1,\"rows\":5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ok\":true,\"id\":2,\"op\":\"insert\",\"inserted\":1,\"rows\":6}"
+        );
+        assert!(
+            lines[2].starts_with("{\"ok\":true,\"id\":\"last\","),
+            "{}",
+            lines[2]
+        );
+        // Both inserts landed (whether or not they shared a tick).
+        assert_eq!(engine.lock().unwrap().dataset().len(), 6);
+    }
+}

@@ -25,9 +25,26 @@
 //! * [`snapshot`] — versioned on-disk engine state, so a restarted server
 //!   resumes without a full re-audit;
 //! * [`protocol`] — hand-rolled NDJSON request parsing and response
-//!   serialization (no external dependencies);
-//! * [`server`] — stdin/stdout and TCP front ends (thread-per-connection
-//!   pool over one shared engine, panic-contained workers).
+//!   serialization (no external dependencies), including the request
+//!   envelope (optional client `id`, echoed back) and the stable
+//!   machine-readable error-code table;
+//! * [`server`] — the [`server::ServeOptions`] builder and the shared
+//!   request dispatcher behind every front end: [`handle_line`] (one
+//!   request in, one response out), [`serve_lines`] (stdin/stdout), and
+//!   [`serve`] (TCP, in the [`server::IoMode`] of your choice);
+//! * `event` (internal) — the default TCP front end: a readiness-driven
+//!   event loop (epoll on Linux, portable fallback elsewhere) that
+//!   multiplexes every connection on one thread, reassembles fragmented
+//!   NDJSON frames incrementally, coalesces concurrent inserts into single
+//!   engine batches, and sheds load with `overloaded` responses once the
+//!   pending queue passes `--max-pending`;
+//! * [`net`] — the in-tree poll shim over `std::net` the event loop runs
+//!   on (hand-declared epoll FFI; no external dependencies);
+//! * [`metrics`] — allocation-free log-bucketed latency histograms and
+//!   serving counters, surfaced through the `stats` op's `"io"` section.
+//!
+//! The pre-redesign thread-per-connection pool survives as
+//! `mithra serve --io blocking` for A/B comparison under `mithra loadgen`.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +75,9 @@
 pub mod cache;
 pub mod delta;
 pub mod engine;
+mod event;
+pub mod metrics;
+pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -69,9 +89,9 @@ pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
 /// The multi-core serving engine behind `mithra serve --shards N`: a
 /// [`CoverageEngine`] over a row-sharded oracle.
 pub type ShardedCoverageEngine = CoverageEngine<coverage_index::ShardedOracle>;
+pub use metrics::ServeMetrics;
 pub use server::{
-    handle_line, handle_line_opts, handle_line_with, serve_lines, serve_lines_opts,
-    serve_lines_with, serve_tcp, serve_tcp_opts, serve_tcp_with, ServeOptions, DEFAULT_WORKERS,
+    handle_line, serve, serve_lines, IoMode, ServeOptions, DEFAULT_MAX_PENDING, DEFAULT_WORKERS,
 };
 pub use snapshot::{load_snapshot, load_snapshot_with_layout, save_snapshot, SNAPSHOT_VERSION};
 
@@ -81,6 +101,8 @@ pub enum ServiceError {
     /// The request was structurally valid but semantically rejected
     /// (arity mismatch, unknown value, out-of-range λ, …).
     BadRequest(String),
+    /// A delete names more copies of a row than the dataset holds.
+    RowNotFound(String),
     /// A snapshot could not be written, read, or understood.
     Snapshot(String),
     /// An underlying algorithm error (threshold resolution, enhancement).
@@ -91,6 +113,7 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::BadRequest(msg) => write!(f, "{msg}"),
+            ServiceError::RowNotFound(msg) => write!(f, "{msg}"),
             ServiceError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
             ServiceError::Core(e) => write!(f, "{e}"),
         }
@@ -100,7 +123,9 @@ impl std::fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServiceError::BadRequest(_) | ServiceError::Snapshot(_) => None,
+            ServiceError::BadRequest(_)
+            | ServiceError::RowNotFound(_)
+            | ServiceError::Snapshot(_) => None,
             ServiceError::Core(e) => Some(e),
         }
     }

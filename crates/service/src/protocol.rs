@@ -1,21 +1,32 @@
 //! The newline-delimited JSON request/response protocol.
 //!
-//! One request per line, one response line per request, always an object:
+//! One request per line, one response line per request, always an object.
+//! Every request may carry an optional `"id"` (string or number) that is
+//! echoed verbatim in its response, so pipelined clients can match
+//! responses to requests:
 //!
 //! ```text
-//! → {"op":"insert","row":["f","black"]}
-//! ← {"ok":true,"op":"insert","inserted":1,"rows":6,"tau":1,"mups":2}
+//! → {"op":"insert","id":7,"row":["f","black"]}
+//! ← {"ok":true,"id":7,"op":"insert","inserted":1,"rows":6}
 //! → {"op":"mups","limit":10}
 //! ← {"ok":true,"op":"mups","count":2,"tau":1,"mups":["1XX","X10"],"decoded":["sex=f","race=black, age=young"]}
 //! ```
 //!
-//! Malformed lines never kill the connection — they produce
-//! `{"ok":false,"error":"..."}` responses. The JSON reader/writer is
+//! Malformed lines never kill the connection — they produce a uniform
+//! `{"ok":false,"id":…,"code":"<machine-code>","error":"<human text>"}`
+//! response, where `code` comes from the enumerated [`ErrorCode`] table
+//! (stable contract for programs) and `error` is free-form prose (for
+//! humans; may change between releases). The JSON reader/writer is
 //! hand-rolled (vendoring policy: no new external dependencies) and covers
 //! the full value grammar: objects, arrays, strings with escapes and
 //! `\uXXXX` (including surrogate pairs), numbers, booleans, null.
 
 use std::fmt::Write as _;
+
+use coverage_core::CoverageError;
+use coverage_data::DataError;
+
+use crate::ServiceError;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -342,6 +353,171 @@ pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// The enumerated machine-readable error codes every `{"ok":false}`
+/// response carries in its `"code"` field. Programs should branch on these
+/// — the accompanying `"error"` text is for humans and may change wording
+/// between releases; the codes are a stable contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not a valid JSON object, or lacks a usable `"op"`.
+    Parse,
+    /// The request line exceeded the per-line byte cap and was discarded.
+    LineTooLong,
+    /// The `"op"` value is not a known operation.
+    UnknownOp,
+    /// A field is missing, of the wrong type, or otherwise malformed.
+    BadRequest,
+    /// A row or pattern has the wrong number of attributes.
+    ArityMismatch,
+    /// A row value does not resolve against its attribute's dictionary.
+    UnknownValue,
+    /// A named attribute is not part of the schema.
+    UnknownAttribute,
+    /// A `grow` value already resolves on its attribute.
+    DuplicateValue,
+    /// A `coverage` pattern string does not parse.
+    BadPattern,
+    /// A `delete` names more copies of a row than the dataset holds.
+    RowNotFound,
+    /// An `enhance` plan cannot hit every remaining pattern.
+    Unhittable,
+    /// `snapshot`/`restore` was requested but no path is configured.
+    NoSnapshot,
+    /// A snapshot could not be written, read, or understood.
+    SnapshotIo,
+    /// A `restore` would change the serving threshold mid-flight.
+    ThresholdMismatch,
+    /// The server shed this request under admission control; retry later.
+    Overloaded,
+    /// The handler failed internally (e.g. a contained panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire form of the code (snake_case).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ArityMismatch => "arity_mismatch",
+            ErrorCode::UnknownValue => "unknown_value",
+            ErrorCode::UnknownAttribute => "unknown_attribute",
+            ErrorCode::DuplicateValue => "duplicate_value",
+            ErrorCode::BadPattern => "bad_pattern",
+            ErrorCode::RowNotFound => "row_not_found",
+            ErrorCode::Unhittable => "unhittable",
+            ErrorCode::NoSnapshot => "no_snapshot",
+            ErrorCode::SnapshotIo => "snapshot_io",
+            ErrorCode::ThresholdMismatch => "threshold_mismatch",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A rejected request: a machine [`ErrorCode`] plus human-readable detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// The stable machine code.
+    pub code: ErrorCode,
+    /// Free-form human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServeError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Classifies a dataset-layer error into its protocol code.
+    pub fn from_data(e: DataError) -> Self {
+        let code = match &e {
+            DataError::RowArity { .. } => ErrorCode::ArityMismatch,
+            DataError::UnknownValue { .. } | DataError::ValueOutOfRange { .. } => {
+                ErrorCode::UnknownValue
+            }
+            DataError::UnknownAttribute(_) => ErrorCode::UnknownAttribute,
+            DataError::DuplicateValue { .. } => ErrorCode::DuplicateValue,
+            DataError::RowNotFound => ErrorCode::RowNotFound,
+            DataError::Io(_) => ErrorCode::SnapshotIo,
+            _ => ErrorCode::BadRequest,
+        };
+        ServeError::new(code, e.to_string())
+    }
+
+    /// Classifies a service-layer error into its protocol code.
+    pub fn from_service(e: ServiceError) -> Self {
+        let code = match &e {
+            ServiceError::BadRequest(_) => ErrorCode::BadRequest,
+            ServiceError::RowNotFound(_) => ErrorCode::RowNotFound,
+            ServiceError::Snapshot(_) => ErrorCode::SnapshotIo,
+            ServiceError::Core(core) => match core {
+                CoverageError::ArityMismatch { .. } => ErrorCode::ArityMismatch,
+                CoverageError::Unhittable { .. } => ErrorCode::Unhittable,
+                CoverageError::Data(d) => return ServeError::from_data_ref(d, e.to_string()),
+                _ => ErrorCode::BadRequest,
+            },
+        };
+        ServeError::new(code, e.to_string())
+    }
+
+    fn from_data_ref(e: &DataError, message: String) -> Self {
+        let code = match e {
+            DataError::RowArity { .. } => ErrorCode::ArityMismatch,
+            DataError::UnknownValue { .. } | DataError::ValueOutOfRange { .. } => {
+                ErrorCode::UnknownValue
+            }
+            DataError::UnknownAttribute(_) => ErrorCode::UnknownAttribute,
+            DataError::DuplicateValue { .. } => ErrorCode::DuplicateValue,
+            DataError::RowNotFound => ErrorCode::RowNotFound,
+            DataError::Io(_) => ErrorCode::SnapshotIo,
+            _ => ErrorCode::BadRequest,
+        };
+        ServeError::new(code, message)
+    }
+}
+
+/// A request's optional client-chosen correlation id, echoed verbatim in
+/// the response. Strings and numbers are accepted (matching what JSON-RPC
+/// clients conventionally send).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestId {
+    /// A string id.
+    Str(String),
+    /// A numeric id (JSON numbers are f64; integers echo without a dot).
+    Num(f64),
+}
+
+/// Appends a request id in its JSON wire form.
+pub fn write_request_id(out: &mut String, id: &RequestId) {
+    match id {
+        RequestId::Str(s) => write_json_string(out, s),
+        RequestId::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+    }
+}
+
+/// Starts a success response: `{"ok":true` plus the echoed id when the
+/// request carried one. The caller appends `,"op":…` and the body.
+pub fn ok_head(out: &mut String, id: Option<&RequestId>) {
+    out.push_str("{\"ok\":true");
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        write_request_id(out, id);
+    }
+}
+
 /// A validated protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -389,115 +565,180 @@ pub enum Request {
     Stats,
 }
 
+/// A parsed request line: the optional client id plus the validated op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The client's correlation id, echoed in the response.
+    pub id: Option<RequestId>,
+    /// The validated operation.
+    pub request: Request,
+}
+
+/// A rejected request line: the error plus the id when one was recoverable
+/// (the line parsed as an object but the op was invalid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseFailure {
+    /// The id, when the line got far enough to yield one.
+    pub id: Option<RequestId>,
+    /// What was wrong.
+    pub error: ServeError,
+}
+
 /// Converts a JSON value into one raw attribute value.
-fn raw_value(v: &Json) -> Result<String, String> {
+fn raw_value(v: &Json) -> Result<String, ServeError> {
     match v {
         Json::String(s) => Ok(s.clone()),
         Json::Number(n) if n.fract() == 0.0 => Ok(format!("{}", *n as i64)),
-        other => Err(format!(
-            "row values must be strings or integer codes, got {other:?}"
+        other => Err(ServeError::new(
+            ErrorCode::BadRequest,
+            format!("row values must be strings or integer codes, got {other:?}"),
         )),
     }
 }
 
 /// One tuple: an array of raw attribute values. `what` names the offending
 /// field in errors (`row`, or an element of `rows`).
-fn parse_one_row(value: &Json, what: &str) -> Result<Vec<String>, String> {
-    let items = value
-        .as_array()
-        .ok_or_else(|| format!("{what} must be an array of values"))?;
+fn parse_one_row(value: &Json, what: &str) -> Result<Vec<String>, ServeError> {
+    let items = value.as_array().ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::BadRequest,
+            format!("{what} must be an array of values"),
+        )
+    })?;
     items.iter().map(raw_value).collect()
 }
 
 /// The `"row"` / `"rows"` payload shared by `insert` and `delete`. `op`
 /// names the operation in error messages.
-fn parse_rows(doc: &Json, op: &str) -> Result<Vec<Vec<String>>, String> {
+fn parse_rows(doc: &Json, op: &str) -> Result<Vec<Vec<String>>, ServeError> {
+    let bad = |m: String| ServeError::new(ErrorCode::BadRequest, m);
     let rows = match (doc.get("rows"), doc.get("row")) {
         (Some(rows), _) => rows
             .as_array()
-            .ok_or("`rows` must be an array of rows")?
+            .ok_or_else(|| bad("`rows` must be an array of rows".into()))?
             .iter()
             .map(|row| parse_one_row(row, "each row in `rows`"))
             .collect::<Result<Vec<_>, _>>()?,
         (None, Some(row)) => vec![parse_one_row(row, "`row`")?],
-        (None, None) => return Err(format!("{op} needs `row` or `rows`")),
+        (None, None) => return Err(bad(format!("{op} needs `row` or `rows`"))),
     };
     if rows.is_empty() {
-        return Err(format!("{op} needs at least one row"));
+        return Err(bad(format!("{op} needs at least one row")));
     }
     Ok(rows)
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let doc = Json::parse(line)?;
+/// Parses one request line into its id + validated op. On failure the id is
+/// still returned when the line parsed as JSON (so the error response can
+/// echo it back to a pipelined client).
+pub fn parse_request(line: &str) -> Result<Envelope, ParseFailure> {
+    let fail_no_id = |code: ErrorCode, message: String| ParseFailure {
+        id: None,
+        error: ServeError::new(code, message),
+    };
+    let doc = Json::parse(line).map_err(|message| fail_no_id(ErrorCode::Parse, message))?;
     if !matches!(doc, Json::Object(_)) {
-        return Err("request must be a JSON object".into());
+        return Err(fail_no_id(
+            ErrorCode::Parse,
+            "request must be a JSON object".into(),
+        ));
     }
-    let op = doc
-        .get("op")
-        .and_then(Json::as_str)
-        .ok_or("missing string field `op`")?;
-    match op {
-        "insert" => Ok(Request::Insert {
-            rows: parse_rows(&doc, "insert")?,
-        }),
-        "delete" => Ok(Request::Delete {
-            rows: parse_rows(&doc, "delete")?,
-        }),
+    let id = match doc.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::String(s)) => Some(RequestId::Str(s.clone())),
+        Some(Json::Number(n)) => Some(RequestId::Num(*n)),
+        Some(_) => {
+            return Err(fail_no_id(
+                ErrorCode::BadRequest,
+                "`id` must be a string or number".into(),
+            ))
+        }
+    };
+    let fail = |code: ErrorCode, message: String| ParseFailure {
+        id: id.clone(),
+        error: ServeError::new(code, message),
+    };
+    let bad = |message: &str| fail(ErrorCode::BadRequest, message.into());
+    let op = match doc.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return Err(fail(ErrorCode::Parse, "missing string field `op`".into())),
+    };
+    let request = match op {
+        "insert" => Request::Insert {
+            rows: parse_rows(&doc, "insert").map_err(|e| fail(e.code, e.message))?,
+        },
+        "delete" => Request::Delete {
+            rows: parse_rows(&doc, "delete").map_err(|e| fail(e.code, e.message))?,
+        },
         "grow" => {
             let attribute = doc
                 .get("attr")
                 .and_then(Json::as_str)
-                .ok_or("grow needs a string field `attr` (the attribute name)")?;
+                .ok_or_else(|| bad("grow needs a string field `attr` (the attribute name)"))?;
             let value = doc
                 .get("value")
-                .ok_or("grow needs a field `value` (the new value's name)")?;
-            Ok(Request::Grow {
+                .ok_or_else(|| bad("grow needs a field `value` (the new value's name)"))?;
+            Request::Grow {
                 attribute: attribute.to_string(),
-                value: raw_value(value)?,
-            })
+                value: raw_value(value).map_err(|e| fail(e.code, e.message))?,
+            }
         }
-        "snapshot" => Ok(Request::Snapshot),
-        "restore" => Ok(Request::Restore),
+        "snapshot" => Request::Snapshot,
+        "restore" => Request::Restore,
         "mups" => {
             let limit = match doc.get("limit") {
                 None | Some(Json::Null) => None,
-                Some(v) => {
-                    Some(v.as_u64().ok_or("`limit` must be a non-negative integer")? as usize)
-                }
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| bad("`limit` must be a non-negative integer"))?
+                        as usize,
+                ),
             };
-            Ok(Request::Mups { limit })
+            Request::Mups { limit }
         }
         "coverage" => {
             let pattern = doc
                 .get("pattern")
                 .and_then(Json::as_str)
-                .ok_or("coverage needs a string field `pattern`")?;
-            Ok(Request::Coverage {
+                .ok_or_else(|| bad("coverage needs a string field `pattern`"))?;
+            Request::Coverage {
                 pattern: pattern.to_string(),
-            })
+            }
         }
         "enhance" => {
             let lambda = doc
                 .get("lambda")
                 .and_then(Json::as_u64)
-                .ok_or("enhance needs a non-negative integer field `lambda`")?;
-            Ok(Request::Enhance {
+                .ok_or_else(|| bad("enhance needs a non-negative integer field `lambda`"))?;
+            Request::Enhance {
                 lambda: lambda as usize,
-            })
+            }
         }
-        "stats" => Ok(Request::Stats),
-        other => Err(format!(
-            "unknown op `{other}` (expected insert|delete|grow|mups|coverage|enhance|stats|snapshot|restore)"
-        )),
-    }
+        "stats" => Request::Stats,
+        other => {
+            return Err(fail(
+                ErrorCode::UnknownOp,
+                format!(
+                    "unknown op `{other}` (expected insert|delete|grow|mups|coverage|enhance|stats|snapshot|restore)"
+                ),
+            ))
+        }
+    };
+    Ok(Envelope { id, request })
 }
 
-/// Builds the `{"ok":false,...}` response for a rejected request.
-pub fn error_response(message: &str) -> String {
-    let mut out = String::from("{\"ok\":false,\"error\":");
-    write_json_string(&mut out, message);
+/// Builds the uniform `{"ok":false,"id":…,"code":…,"error":…}` response for
+/// a rejected request (the `id` is omitted when the request had none).
+pub fn error_response(id: Option<&RequestId>, error: &ServeError) -> String {
+    let mut out = String::from("{\"ok\":false");
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        write_request_id(&mut out, id);
+    }
+    out.push_str(",\"code\":\"");
+    out.push_str(error.code.as_str());
+    out.push_str("\",\"error\":");
+    write_json_string(&mut out, &error.message);
     out.push('}');
     out
 }
@@ -506,40 +747,45 @@ pub fn error_response(message: &str) -> String {
 mod tests {
     use super::*;
 
+    /// Unwraps the op, discarding the id (most shape tests don't send one).
+    fn parse_op(line: &str) -> Request {
+        parse_request(line).unwrap().request
+    }
+
     #[test]
     fn parses_all_ops() {
         assert_eq!(
-            parse_request(r#"{"op":"insert","row":["f","black"]}"#).unwrap(),
+            parse_op(r#"{"op":"insert","row":["f","black"]}"#),
             Request::Insert {
                 rows: vec![vec!["f".into(), "black".into()]]
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"insert","rows":[["a","b"],["c","d"]]}"#).unwrap(),
+            parse_op(r#"{"op":"insert","rows":[["a","b"],["c","d"]]}"#),
             Request::Insert {
                 rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"insert","row":[1,0]}"#).unwrap(),
+            parse_op(r#"{"op":"insert","row":[1,0]}"#),
             Request::Insert {
                 rows: vec![vec!["1".into(), "0".into()]]
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"delete","row":["f","black"]}"#).unwrap(),
+            parse_op(r#"{"op":"delete","row":["f","black"]}"#),
             Request::Delete {
                 rows: vec![vec!["f".into(), "black".into()]]
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"delete","rows":[["a","b"],["c","d"]]}"#).unwrap(),
+            parse_op(r#"{"op":"delete","rows":[["a","b"],["c","d"]]}"#),
             Request::Delete {
                 rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"grow","attr":"race","value":"hispanic"}"#).unwrap(),
+            parse_op(r#"{"op":"grow","attr":"race","value":"hispanic"}"#),
             Request::Grow {
                 attribute: "race".into(),
                 value: "hispanic".into()
@@ -547,39 +793,30 @@ mod tests {
         );
         // Numeric values stringify, mirroring row cells.
         assert_eq!(
-            parse_request(r#"{"op":"grow","attr":"age","value":7}"#).unwrap(),
+            parse_op(r#"{"op":"grow","attr":"age","value":7}"#),
             Request::Grow {
                 attribute: "age".into(),
                 value: "7".into()
             }
         );
+        assert_eq!(parse_op(r#"{"op":"snapshot"}"#), Request::Snapshot);
+        assert_eq!(parse_op(r#"{"op":"restore"}"#), Request::Restore);
+        assert_eq!(parse_op(r#"{"op":"mups"}"#), Request::Mups { limit: None });
         assert_eq!(
-            parse_request(r#"{"op":"snapshot"}"#).unwrap(),
-            Request::Snapshot
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"restore"}"#).unwrap(),
-            Request::Restore
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"mups"}"#).unwrap(),
-            Request::Mups { limit: None }
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"mups","limit":5}"#).unwrap(),
+            parse_op(r#"{"op":"mups","limit":5}"#),
             Request::Mups { limit: Some(5) }
         );
         assert_eq!(
-            parse_request(r#"{"op":"coverage","pattern":"1XX"}"#).unwrap(),
+            parse_op(r#"{"op":"coverage","pattern":"1XX"}"#),
             Request::Coverage {
                 pattern: "1XX".into()
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"enhance","lambda":2}"#).unwrap(),
+            parse_op(r#"{"op":"enhance","lambda":2}"#),
             Request::Enhance { lambda: 2 }
         );
-        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_op(r#"{"op":"stats"}"#), Request::Stats);
     }
 
     #[test]
@@ -631,8 +868,63 @@ mod tests {
             (r#"{"op":"stats"} trailing"#, "trailing characters"),
         ] {
             let err = parse_request(line).unwrap_err();
-            assert!(err.contains(needle), "line `{line}` gave `{err}`");
+            assert!(
+                err.error.message.contains(needle),
+                "line `{line}` gave `{}`",
+                err.error.message
+            );
         }
+    }
+
+    #[test]
+    fn malformed_requests_carry_machine_codes() {
+        for (line, code) in [
+            ("not json", ErrorCode::Parse),
+            ("[1,2]", ErrorCode::Parse),
+            ("{}", ErrorCode::Parse),
+            (r#"{"op":"frobnicate"}"#, ErrorCode::UnknownOp),
+            (r#"{"op":"insert"}"#, ErrorCode::BadRequest),
+            (r#"{"op":"insert","id":[1]}"#, ErrorCode::BadRequest),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.error.code, code, "line `{line}`");
+        }
+    }
+
+    #[test]
+    fn ids_parse_and_echo() {
+        // String, integer, and float ids all round-trip.
+        let env = parse_request(r#"{"op":"stats","id":"abc"}"#).unwrap();
+        assert_eq!(env.id, Some(RequestId::Str("abc".into())));
+        let env = parse_request(r#"{"op":"stats","id":7}"#).unwrap();
+        assert_eq!(env.id, Some(RequestId::Num(7.0)));
+        // `null` id means "no id", like an absent field.
+        let env = parse_request(r#"{"op":"stats","id":null}"#).unwrap();
+        assert_eq!(env.id, None);
+        // Integer ids echo without a decimal point; floats keep theirs.
+        let mut out = String::new();
+        write_request_id(&mut out, &RequestId::Num(7.0));
+        assert_eq!(out, "7");
+        let mut out = String::new();
+        write_request_id(&mut out, &RequestId::Num(1.5));
+        assert_eq!(out, "1.5");
+        let mut out = String::new();
+        write_request_id(&mut out, &RequestId::Str("a\"b".into()));
+        assert_eq!(out, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn semantic_errors_echo_the_id() {
+        // The id is recovered even when the op is bad, so pipelined
+        // clients can correlate the failure.
+        let err = parse_request(r#"{"op":"frobnicate","id":42}"#).unwrap_err();
+        assert_eq!(err.id, Some(RequestId::Num(42.0)));
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        let resp = error_response(err.id.as_ref(), &err.error);
+        assert!(resp.starts_with("{\"ok\":false,\"id\":42,\"code\":\"unknown_op\""));
+        // A line that is not JSON at all cannot yield an id.
+        let err = parse_request("garbage").unwrap_err();
+        assert_eq!(err.id, None);
     }
 
     #[test]
@@ -740,12 +1032,18 @@ mod tests {
 
     #[test]
     fn error_response_shape() {
-        let resp = error_response("boom \"quoted\"");
+        let err = ServeError::new(ErrorCode::BadRequest, "boom \"quoted\"");
+        let resp = error_response(None, &err);
         let doc = Json::parse(&resp).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("bad_request"));
         assert_eq!(
             doc.get("error").and_then(Json::as_str),
             Some("boom \"quoted\"")
         );
+        assert_eq!(doc.get("id"), None);
+        // With an id, the echo comes right after `ok` for easy scanning.
+        let resp = error_response(Some(&RequestId::Str("x".into())), &err);
+        assert!(resp.starts_with("{\"ok\":false,\"id\":\"x\","));
     }
 }

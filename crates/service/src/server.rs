@@ -1,55 +1,181 @@
-//! Serving front ends: request dispatch, stdin/stdout line serving, and a
-//! TCP listener with a small thread-per-connection pool.
+//! Serving front ends: request dispatch, stdin/stdout line serving, and the
+//! TCP entry point behind [`serve`].
 //!
-//! All front ends funnel into [`handle_line_with`], which never panics on
-//! malformed input — every request line yields exactly one response line.
-//! TCP workers additionally *contain* panics: a request handler that panics
-//! answers an error response (after rebuilding the engine's derived state)
-//! instead of poisoning the shared mutex and silently killing the pool.
+//! Two TCP implementations sit behind one [`ServeOptions`] switch:
+//!
+//! * [`IoMode::Event`] (default) — the readiness-driven event loop in
+//!   `crate::event`: one thread multiplexes every connection through a
+//!   poller, coalescing inserts that arrive in the same tick — across
+//!   connections — into single engine batches.
+//! * [`IoMode::Blocking`] — the original thread-per-connection worker
+//!   pool, kept for one release as `mithra serve --io blocking` so the
+//!   two front ends can be diffed against each other.
+//!
+//! Both funnel into [`dispatch`], which never panics on malformed input —
+//! every request line yields exactly one response line carrying the
+//! request's `id` (when it sent one). Handlers run panic-*contained*: a
+//! request that panics answers an `internal` error response (after
+//! rebuilding the engine's derived state) instead of poisoning the shared
+//! mutex and silently killing the front end.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use coverage_core::pattern::Pattern;
 use coverage_data::Schema;
 use coverage_index::CoverageBackend;
 
 use crate::engine::CoverageEngine;
-use crate::protocol::{error_response, parse_request, write_json_string, Request};
+use crate::metrics::{OpClass, ServeMetrics};
+use crate::protocol::{
+    error_response, ok_head, parse_request, write_json_string, Envelope, ErrorCode, Request,
+    RequestId, ServeError,
+};
 use crate::snapshot::save_snapshot;
 
-/// Default number of worker threads for [`serve_tcp`].
+/// Default number of worker threads for [`IoMode::Blocking`].
 pub const DEFAULT_WORKERS: usize = 4;
 
-/// Configuration shared by every serving front end.
-#[derive(Debug, Clone, Default)]
+/// Default bound on requests admitted per event-loop tick before new ones
+/// are shed with an `overloaded` response.
+pub const DEFAULT_MAX_PENDING: usize = 1024;
+
+/// Which TCP front end [`serve`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// The readiness-driven event loop with cross-connection insert
+    /// coalescing (default).
+    #[default]
+    Event,
+    /// The legacy thread-per-connection worker pool (`--io blocking`),
+    /// kept for one release as an equivalence baseline.
+    Blocking,
+}
+
+/// Configuration for every serving front end, built fluently:
+///
+/// ```
+/// use coverage_service::{IoMode, ServeOptions};
+/// let options = ServeOptions::new()
+///     .with_grow_schema(true)
+///     .with_io(IoMode::Blocking)
+///     .with_workers(8);
+/// assert!(options.grow_schema());
+/// ```
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Backs the `snapshot`/`restore` ops; without a path they answer an
-    /// error response.
-    pub snapshot_path: Option<std::path::PathBuf>,
+    snapshot_path: Option<PathBuf>,
+    grow_schema: bool,
+    io: IoMode,
+    workers: usize,
+    max_pending: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            snapshot_path: None,
+            grow_schema: false,
+            io: IoMode::default(),
+            workers: DEFAULT_WORKERS,
+            max_pending: DEFAULT_MAX_PENDING,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Options with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the path backing the `snapshot`/`restore` ops; without one they
+    /// answer a `no_snapshot` error.
+    pub fn with_snapshot_path(mut self, path: Option<PathBuf>) -> Self {
+        self.snapshot_path = path;
+        self
+    }
+
     /// Auto-register unknown value strings on `insert` as new dictionary
     /// values (`mithra serve --grow-schema`) instead of rejecting the row.
     /// The explicit `grow` op works regardless of this flag.
-    pub grow_schema: bool,
+    pub fn with_grow_schema(mut self, grow_schema: bool) -> Self {
+        self.grow_schema = grow_schema;
+        self
+    }
+
+    /// Selects the TCP front end (`--io event|blocking`).
+    pub fn with_io(mut self, io: IoMode) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Sets the worker-thread count for [`IoMode::Blocking`] (ignored by
+    /// the event front end, which is single-threaded by design).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bounds how many requests the event loop admits per tick before
+    /// shedding with `overloaded` (`--max-pending`).
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// The configured snapshot path, if any.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// Whether inserts grow dictionaries on unknown values.
+    pub fn grow_schema(&self) -> bool {
+        self.grow_schema
+    }
+
+    /// The selected TCP front end.
+    pub fn io(&self) -> IoMode {
+        self.io
+    }
+
+    /// Worker-thread count for the blocking front end.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission-control bound for the event front end.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
 }
 
 /// Encodes one protocol row (raw value names) into schema codes.
-fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, String> {
+pub(crate) fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, ServeError> {
     if raw.len() != schema.arity() {
-        return Err(format!(
-            "row has {} values, schema has {} attributes",
-            raw.len(),
-            schema.arity()
+        return Err(ServeError::new(
+            ErrorCode::ArityMismatch,
+            format!(
+                "row has {} values, schema has {} attributes",
+                raw.len(),
+                schema.arity()
+            ),
         ));
     }
     raw.iter()
         .enumerate()
-        .map(|(i, v)| schema.attribute(i).code_of(v).map_err(|e| e.to_string()))
+        .map(|(i, v)| {
+            schema
+                .attribute(i)
+                .code_of(v)
+                .map_err(ServeError::from_data)
+        })
         .collect()
 }
 
@@ -65,14 +191,17 @@ fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, String> {
 fn encode_rows_growing<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     rows: &[Vec<String>],
-) -> Result<Vec<Vec<u8>>, String> {
+) -> Result<Vec<Vec<u8>>, ServeError> {
     let mut schema = engine.dataset().schema().clone();
     let arity = schema.arity();
     for raw in rows {
         if raw.len() != arity {
-            return Err(format!(
-                "row has {} values, schema has {arity} attributes",
-                raw.len()
+            return Err(ServeError::new(
+                ErrorCode::ArityMismatch,
+                format!(
+                    "row has {} values, schema has {arity} attributes",
+                    raw.len()
+                ),
             ));
         }
     }
@@ -84,7 +213,7 @@ fn encode_rows_growing<B: CoverageBackend>(
             let code = match schema.attribute(i).code_of(v) {
                 Ok(code) => code,
                 Err(_) => {
-                    let code = schema.add_value(i, v).map_err(|e| e.to_string())?;
+                    let code = schema.add_value(i, v).map_err(ServeError::from_data)?;
                     growths.push((i, v.clone()));
                     code
                 }
@@ -99,7 +228,7 @@ fn encode_rows_growing<B: CoverageBackend>(
     for (attribute, value) in growths {
         engine
             .grow_value(attribute, value)
-            .map_err(|e| e.to_string())?;
+            .map_err(ServeError::from_service)?;
     }
     Ok(coded)
 }
@@ -125,13 +254,53 @@ fn decode_pattern(schema: &Schema, pattern: &Pattern) -> String {
     }
 }
 
-fn dispatch<B: CoverageBackend>(
+/// The success response for an `insert` of `inserted` rows leaving the
+/// dataset at `rows` total. Shared by [`dispatch`] and the event loop's
+/// coalesced path so the two front ends answer byte-for-byte identically.
+pub(crate) fn insert_response(id: Option<&RequestId>, inserted: usize, rows: usize) -> String {
+    let mut out = String::with_capacity(64);
+    ok_head(&mut out, id);
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(",\"op\":\"insert\",\"inserted\":{inserted},\"rows\":{rows}}}"),
+    );
+    out
+}
+
+/// The `line_too_long` error answered for an oversized request line.
+pub(crate) fn line_too_long_error() -> ServeError {
+    ServeError::new(
+        ErrorCode::LineTooLong,
+        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    )
+}
+
+/// The metrics class a request's latency is recorded under.
+pub(crate) fn op_class(request: &Request) -> OpClass {
+    match request {
+        Request::Insert { .. } => OpClass::Insert,
+        Request::Delete { .. } => OpClass::Delete,
+        _ => OpClass::Other,
+    }
+}
+
+/// Executes one validated request against the engine, returning the full
+/// response line (with `id` echoed) or a typed error.
+pub(crate) fn dispatch<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
+    id: Option<&RequestId>,
     request: Request,
-) -> Result<String, String> {
-    let snapshot_path = options.snapshot_path.as_deref();
+    metrics: Option<&ServeMetrics>,
+) -> Result<String, ServeError> {
+    let no_snapshot = || {
+        ServeError::new(
+            ErrorCode::NoSnapshot,
+            "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
+        )
+    };
     let mut out = String::with_capacity(128);
+    ok_head(&mut out, id);
     match request {
         Request::Insert { rows } => {
             let coded: Vec<Vec<u8>> = if options.grow_schema {
@@ -141,32 +310,25 @@ fn dispatch<B: CoverageBackend>(
                     .map(|r| encode_row(engine.dataset().schema(), r))
                     .collect::<Result<_, _>>()?
             };
-            engine.insert_batch(&coded).map_err(|e| e.to_string())?;
-            let _ = std::fmt::Write::write_fmt(
-                &mut out,
-                format_args!(
-                    "{{\"ok\":true,\"op\":\"insert\",\"inserted\":{},\"rows\":{},\"tau\":{},\"mups\":{}}}",
-                    coded.len(),
-                    engine.dataset().len(),
-                    engine.tau(),
-                    engine.mups().len()
-                ),
-            );
+            engine
+                .insert_batch(&coded)
+                .map_err(ServeError::from_service)?;
+            return Ok(insert_response(id, coded.len(), engine.dataset().len()));
         }
         Request::Delete { rows } => {
             let coded: Vec<Vec<u8>> = rows
                 .iter()
                 .map(|r| encode_row(engine.dataset().schema(), r))
                 .collect::<Result<_, _>>()?;
-            engine.remove_batch(&coded).map_err(|e| e.to_string())?;
+            engine
+                .remove_batch(&coded)
+                .map_err(ServeError::from_service)?;
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
-                    "{{\"ok\":true,\"op\":\"delete\",\"deleted\":{},\"rows\":{},\"tau\":{},\"mups\":{}}}",
+                    ",\"op\":\"delete\",\"deleted\":{},\"rows\":{}}}",
                     coded.len(),
                     engine.dataset().len(),
-                    engine.tau(),
-                    engine.mups().len()
                 ),
             );
         }
@@ -175,11 +337,11 @@ fn dispatch<B: CoverageBackend>(
                 .dataset()
                 .schema()
                 .index_of(&attribute)
-                .map_err(|e| e.to_string())?;
+                .map_err(ServeError::from_data)?;
             let code = engine
                 .grow_value(index, &value)
-                .map_err(|e| e.to_string())?;
-            out.push_str("{\"ok\":true,\"op\":\"grow\",\"attribute\":");
+                .map_err(ServeError::from_service)?;
+            out.push_str(",\"op\":\"grow\",\"attribute\":");
             write_json_string(&mut out, &attribute);
             out.push_str(",\"value\":");
             write_json_string(&mut out, &value);
@@ -193,11 +355,9 @@ fn dispatch<B: CoverageBackend>(
             );
         }
         Request::Snapshot => {
-            let path = snapshot_path.ok_or(
-                "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
-            )?;
-            save_snapshot(engine, path).map_err(|e| e.to_string())?;
-            out.push_str("{\"ok\":true,\"op\":\"snapshot\",\"path\":");
+            let path = options.snapshot_path().ok_or_else(no_snapshot)?;
+            save_snapshot(engine, path).map_err(ServeError::from_service)?;
+            out.push_str(",\"op\":\"snapshot\",\"path\":");
             write_json_string(&mut out, &path.display().to_string());
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
@@ -209,19 +369,33 @@ fn dispatch<B: CoverageBackend>(
             );
         }
         Request::Restore => {
-            let path = snapshot_path.ok_or(
-                "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
-            )?;
+            let path = options.snapshot_path().ok_or_else(no_snapshot)?;
             // The op restores *data*, not deployment config: the serving
             // process keeps its current shard layout (which already
             // reflects any CLI --shards override) rather than silently
             // adopting whatever layout the snapshot was taken under.
-            *engine = crate::snapshot::load_snapshot_with_layout(path, Some(engine.shards()))
-                .map_err(|e| e.to_string())?;
+            let restored = crate::snapshot::load_snapshot_with_layout(path, Some(engine.shards()))
+                .map_err(ServeError::from_service)?;
+            // Same reasoning for the threshold: clients mid-conversation
+            // have been quoting τ from the serving config; a snapshot
+            // carrying a different threshold must be an explicit restart,
+            // not a silent semantic change.
+            if restored.threshold() != engine.threshold() {
+                return Err(ServeError::new(
+                    ErrorCode::ThresholdMismatch,
+                    format!(
+                        "snapshot threshold {:?} differs from the serving threshold {:?}; \
+                         restart the server to change thresholds",
+                        restored.threshold(),
+                        engine.threshold()
+                    ),
+                ));
+            }
+            *engine = restored;
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
-                    "{{\"ok\":true,\"op\":\"restore\",\"rows\":{},\"tau\":{},\"mups\":{}}}",
+                    ",\"op\":\"restore\",\"rows\":{},\"tau\":{},\"mups\":{}}}",
                     engine.dataset().len(),
                     engine.tau(),
                     engine.mups().len()
@@ -234,7 +408,7 @@ fn dispatch<B: CoverageBackend>(
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
-                    "{{\"ok\":true,\"op\":\"mups\",\"count\":{},\"tau\":{},\"mups\":[",
+                    ",\"op\":\"mups\",\"count\":{},\"tau\":{},\"mups\":[",
                     total,
                     engine.tau()
                 ),
@@ -256,10 +430,17 @@ fn dispatch<B: CoverageBackend>(
             out.push_str("]}");
         }
         Request::Coverage { pattern } => {
-            let p = Pattern::parse(&pattern).map_err(|e| e.to_string())?;
-            let coverage = engine.coverage(p.codes()).map_err(|e| e.to_string())?;
+            let p = Pattern::parse(&pattern)
+                .map_err(|e| ServeError::new(ErrorCode::BadPattern, e.to_string()))?;
+            // A structurally-valid pattern that doesn't fit the schema
+            // (wrong arity, out-of-range code) is still a *pattern*
+            // problem on this op, not a generic bad request.
+            let coverage = engine.coverage(p.codes()).map_err(|e| match e {
+                crate::ServiceError::BadRequest(msg) => ServeError::new(ErrorCode::BadPattern, msg),
+                other => ServeError::from_service(other),
+            })?;
             let covered = coverage >= engine.tau();
-            out.push_str("{\"ok\":true,\"op\":\"coverage\",\"pattern\":");
+            out.push_str(",\"op\":\"coverage\",\"pattern\":");
             write_json_string(&mut out, &pattern);
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
@@ -270,12 +451,12 @@ fn dispatch<B: CoverageBackend>(
             );
         }
         Request::Enhance { lambda } => {
-            let (plan, copies) = engine.enhance(lambda).map_err(|e| e.to_string())?;
+            let (plan, copies) = engine.enhance(lambda).map_err(ServeError::from_service)?;
             let schema = engine.dataset().schema();
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
-                    "{{\"ok\":true,\"op\":\"enhance\",\"lambda\":{lambda},\"targets\":{},\"collect\":[",
+                    ",\"op\":\"enhance\",\"lambda\":{lambda},\"targets\":{},\"collect\":[",
                     plan.input_size()
                 ),
             );
@@ -303,7 +484,7 @@ fn dispatch<B: CoverageBackend>(
                 &mut out,
                 format_args!(
                     concat!(
-                        "{{\"ok\":true,\"op\":\"stats\",\"rows\":{},\"attributes\":{},",
+                        ",\"op\":\"stats\",\"rows\":{},\"attributes\":{},",
                         "\"tau\":{},\"mups\":{},\"max_covered_level\":{},",
                         "\"inserts\":{},\"batches\":{},\"deletes\":{},\"delete_batches\":{},",
                         "\"mups_retired\":{},\"mups_discovered\":{},\"full_recomputes\":{},",
@@ -363,44 +544,38 @@ fn dispatch<B: CoverageBackend>(
                 }
                 let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{rows}"));
             }
-            out.push_str("]}}");
+            out.push_str("]}");
+            // TCP front ends append their I/O counters + latency
+            // histograms; the stdin front end has none to report.
+            if let Some(metrics) = metrics {
+                out.push_str(",\"io\":");
+                metrics.write_json(&mut out);
+            }
+            out.push('}');
         }
     }
     Ok(out)
 }
 
 /// Handles one request line under the given [`ServeOptions`], returning
-/// exactly one response line (without the trailing newline). Never panics on
-/// malformed input.
-pub fn handle_line_opts<B: CoverageBackend>(
+/// exactly one response line (without the trailing newline). Never panics
+/// on malformed input. This is the single in-process entry point — the
+/// stdin and TCP front ends answer identically to it (TCP `stats` adds an
+/// `"io"` section).
+pub fn handle_line<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
     line: &str,
 ) -> String {
-    match parse_request(line).and_then(|req| dispatch(engine, options, req)) {
-        Ok(response) => response,
-        Err(message) => error_response(&message),
+    match parse_request(line) {
+        Ok(Envelope { id, request }) => {
+            match dispatch(engine, options, id.as_ref(), request, None) {
+                Ok(response) => response,
+                Err(error) => error_response(id.as_ref(), &error),
+            }
+        }
+        Err(failure) => error_response(failure.id.as_ref(), &failure.error),
     }
-}
-
-/// [`handle_line_opts`] with only a snapshot path configured (no dictionary
-/// growth on insert). `snapshot_path` backs the `snapshot`/`restore` ops;
-/// without one they answer an error.
-pub fn handle_line_with<B: CoverageBackend>(
-    engine: &mut CoverageEngine<B>,
-    snapshot_path: Option<&Path>,
-    line: &str,
-) -> String {
-    let options = ServeOptions {
-        snapshot_path: snapshot_path.map(Path::to_path_buf),
-        grow_schema: false,
-    };
-    handle_line_opts(engine, &options, line)
-}
-
-/// [`handle_line_with`] without a snapshot path.
-pub fn handle_line<B: CoverageBackend>(engine: &mut CoverageEngine<B>, line: &str) -> String {
-    handle_line_with(engine, None, line)
 }
 
 /// Upper bound on one request line. Longer lines answer an error response
@@ -454,9 +629,7 @@ fn serve_loop(
     loop {
         let response = match read_request_line(&mut input)? {
             LineRead::Eof => return Ok(()),
-            LineRead::TooLong => {
-                error_response(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
-            }
+            LineRead::TooLong => error_response(None, &line_too_long_error()),
             LineRead::Line(line) => {
                 if line.trim().is_empty() {
                     continue;
@@ -472,119 +645,136 @@ fn serve_loop(
 /// Serves newline-delimited requests from `input` to `output` until EOF
 /// (the `mithra serve` stdin/stdout mode) under the given [`ServeOptions`].
 /// Blank lines are skipped.
-pub fn serve_lines_opts<B: CoverageBackend>(
+pub fn serve_lines<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<()> {
-    serve_loop(input, output, |line| {
-        handle_line_opts(engine, options, line)
-    })
-}
-
-/// [`serve_lines_opts`] with only a snapshot path configured (no dictionary
-/// growth on insert).
-pub fn serve_lines_with<B: CoverageBackend>(
-    engine: &mut CoverageEngine<B>,
-    snapshot_path: Option<&Path>,
-    input: impl BufRead,
-    output: impl Write,
-) -> io::Result<()> {
-    let options = ServeOptions {
-        snapshot_path: snapshot_path.map(Path::to_path_buf),
-        grow_schema: false,
-    };
-    serve_lines_opts(engine, &options, input, output)
-}
-
-/// [`serve_lines_with`] without a snapshot path.
-pub fn serve_lines<B: CoverageBackend>(
-    engine: &mut CoverageEngine<B>,
-    input: impl BufRead,
-    output: impl Write,
-) -> io::Result<()> {
-    serve_lines_with(engine, None, input, output)
+    serve_loop(input, output, |line| handle_line(engine, options, line))
 }
 
 /// How long a TCP connection may sit idle between requests before it is
-/// closed. Workers come from a small fixed pool — without this bound a
-/// handful of silent clients would park every worker in a blocking read
-/// and starve all queued connections.
+/// closed. Blocking workers come from a small fixed pool — without this
+/// bound a handful of silent clients would park every worker in a blocking
+/// read and starve all queued connections. The event front end applies the
+/// same bound for symmetry (and to shed dead clients' buffers).
 pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
 
 /// Runs `action` against the shared engine with panics **contained**: the
 /// closure executes inside `catch_unwind` while the guard is held, so a
 /// panicking handler unwinds *within* the lock scope and the mutex is
 /// released cleanly instead of being poisoned — the failure stays scoped to
-/// one request rather than cascading through the worker pool.
+/// one request rather than cascading through the front end.
 ///
 /// Two layers of defense:
 ///
-/// * A caught panic answers an error response after
+/// * A caught panic answers an `internal` error (via `on_failure`) after
 ///   [`CoverageEngine::rebuild`] re-derives the engine's oracle/MUPs/cache
 ///   from the dataset (the panic may have torn a mid-update invariant).
 /// * If the mutex is *already* poisoned (a panic that predates this guard,
 ///   e.g. an external lock holder), the poison is cleared, the engine
-///   rebuilt, and serving resumes — the pool never wedges permanently.
-fn with_engine_contained<B: CoverageBackend>(
+///   rebuilt, and serving resumes — the front end never wedges permanently.
+///
+/// Generic over the result so the event loop can run a whole batch drain
+/// under one containment scope: `on_failure` turns the failure into
+/// whatever `action` would have produced (e.g. error responses for every
+/// drained request).
+pub(crate) fn with_engine_contained<B: CoverageBackend, T>(
     engine: &Arc<Mutex<CoverageEngine<B>>>,
-    action: impl FnOnce(&mut CoverageEngine<B>) -> Result<String, String>,
-) -> String {
+    on_failure: impl FnOnce(ServeError) -> T,
+    action: impl FnOnce(&mut CoverageEngine<B>) -> T,
+) -> T {
+    let internal = |message: String| ServeError::new(ErrorCode::Internal, message);
     let mut guard = match engine.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
             engine.clear_poison();
             let mut guard = poisoned.into_inner();
             if let Err(e) = guard.rebuild() {
-                return error_response(&format!("engine rebuild after panic failed: {e}"));
+                return on_failure(internal(format!("engine rebuild after panic failed: {e}")));
             }
             guard
         }
     };
     match std::panic::catch_unwind(AssertUnwindSafe(|| action(&mut guard))) {
-        Ok(Ok(response)) => response,
-        Ok(Err(message)) => error_response(&message),
+        Ok(result) => result,
         Err(_) => match guard.rebuild() {
-            Ok(()) => error_response("internal error: request handler panicked; engine rebuilt"),
-            Err(e) => error_response(&format!("engine rebuild after panic failed: {e}")),
+            Ok(()) => on_failure(internal(
+                "internal error: request handler panicked; engine rebuilt".into(),
+            )),
+            Err(e) => on_failure(internal(format!("engine rebuild after panic failed: {e}"))),
         },
     }
+}
+
+/// Answers one parsed-or-failed request line against the shared engine,
+/// recording latency + batching counters. Shared by the blocking workers;
+/// the event loop has its own batched equivalent.
+fn respond_contained<B: CoverageBackend>(
+    engine: &Arc<Mutex<CoverageEngine<B>>>,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+    line: &str,
+) -> String {
+    let start = Instant::now();
+    // Parse needs no engine state — keep it outside the lock so one
+    // connection's slow/hostile request text cannot stall the others.
+    let (op, response) = match parse_request(line) {
+        Err(failure) => (
+            OpClass::Other,
+            error_response(failure.id.as_ref(), &failure.error),
+        ),
+        Ok(Envelope { id, request }) => {
+            let op = op_class(&request);
+            let response = with_engine_contained(
+                engine,
+                |error| error_response(id.as_ref(), &error),
+                |engine| match dispatch(engine, options, id.as_ref(), request, Some(metrics)) {
+                    Ok(response) => response,
+                    Err(error) => error_response(id.as_ref(), &error),
+                },
+            );
+            (op, response)
+        }
+    };
+    if op == OpClass::Insert && response.starts_with("{\"ok\":true") {
+        // Each blocking insert is its own engine batch — the coalescing
+        // counters make the contrast with the event loop measurable.
+        ServeMetrics::add(&metrics.insert_requests, 1);
+        ServeMetrics::add(&metrics.insert_engine_batches, 1);
+    }
+    metrics.record(op, start.elapsed().as_nanos() as u64);
+    response
 }
 
 fn serve_connection<B: CoverageBackend>(
     engine: &Arc<Mutex<CoverageEngine<B>>>,
     options: &ServeOptions,
+    metrics: &ServeMetrics,
     stream: TcpStream,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
     let reader = BufReader::new(stream.try_clone()?);
     serve_loop(reader, stream, |line| {
-        // Parse needs no engine state — keep it outside the lock so one
-        // connection's slow/hostile request text cannot stall the others.
-        match parse_request(line) {
-            Err(message) => error_response(&message),
-            Ok(request) => {
-                with_engine_contained(engine, |engine| dispatch(engine, options, request))
-            }
-        }
+        respond_contained(engine, options, metrics, line)
     })
 }
 
-/// Serves the protocol over TCP with a fixed pool of `workers` threads
-/// (thread-per-connection, up to `2 × workers` connections queue when all
-/// workers are busy; beyond that new connections are closed immediately
-/// rather than pinning file descriptors in an unbounded queue).
-/// Runs until the listener fails; individual connection errors are dropped,
-/// and a panicking request handler costs one error response — never a
-/// worker thread or the engine mutex (see [`with_engine_contained`]).
-pub fn serve_tcp_opts<B: CoverageBackend>(
+/// The [`IoMode::Blocking`] front end: a fixed pool of `options.workers()`
+/// threads (thread-per-connection; up to `2 × workers` connections queue
+/// when all workers are busy; beyond that new connections are closed
+/// immediately rather than pinning file descriptors in an unbounded
+/// queue). Runs until the listener fails; individual connection errors are
+/// dropped, and a panicking request handler costs one error response —
+/// never a worker thread or the engine mutex.
+fn serve_blocking<B: CoverageBackend>(
     engine: Arc<Mutex<CoverageEngine<B>>>,
     options: ServeOptions,
     listener: TcpListener,
-    workers: usize,
 ) -> io::Result<()> {
-    let workers = workers.max(1);
+    let workers = options.workers();
+    let metrics = Arc::new(ServeMetrics::default());
     let (sender, receiver) = mpsc::sync_channel::<TcpStream>(workers * 2);
     let receiver = Arc::new(Mutex::new(receiver));
     let mut pool = Vec::new();
@@ -592,6 +782,7 @@ pub fn serve_tcp_opts<B: CoverageBackend>(
         let receiver = Arc::clone(&receiver);
         let engine = Arc::clone(&engine);
         let options = options.clone();
+        let metrics = Arc::clone(&metrics);
         pool.push(thread::spawn(move || loop {
             // recv() itself cannot panic while holding the lock, but recover
             // from poison anyway: a wedged queue mutex must never strand the
@@ -609,7 +800,7 @@ pub fn serve_tcp_opts<B: CoverageBackend>(
                     // an I/O-layer panic only ends this iteration — the
                     // worker survives to take the next connection.
                     let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        let _ = serve_connection(&engine, &options, stream);
+                        let _ = serve_connection(&engine, &options, &metrics, stream);
                     }));
                 }
                 Err(_) => break, // listener gone — shut the worker down
@@ -622,6 +813,7 @@ pub fn serve_tcp_opts<B: CoverageBackend>(
         match stream {
             Ok(stream) => {
                 accept_failures = 0;
+                ServeMetrics::add(&metrics.connections, 1);
                 match sender.try_send(stream) {
                     Ok(()) => {}
                     // Saturated: shed load by closing the new connection now
@@ -653,28 +845,18 @@ pub fn serve_tcp_opts<B: CoverageBackend>(
     result
 }
 
-/// [`serve_tcp_opts`] with only a snapshot path configured (no dictionary
-/// growth on insert). `snapshot_path` backs the `snapshot`/`restore` ops.
-pub fn serve_tcp_with<B: CoverageBackend>(
+/// Serves the protocol over TCP until the listener fails, on the front end
+/// selected by `options.io()` — the single entry point for both the
+/// event-driven and the blocking implementation.
+pub fn serve<B: CoverageBackend>(
     engine: Arc<Mutex<CoverageEngine<B>>>,
-    snapshot_path: Option<std::path::PathBuf>,
+    options: ServeOptions,
     listener: TcpListener,
-    workers: usize,
 ) -> io::Result<()> {
-    let options = ServeOptions {
-        snapshot_path,
-        grow_schema: false,
-    };
-    serve_tcp_opts(engine, options, listener, workers)
-}
-
-/// [`serve_tcp_with`] without a snapshot path.
-pub fn serve_tcp<B: CoverageBackend>(
-    engine: Arc<Mutex<CoverageEngine<B>>>,
-    listener: TcpListener,
-    workers: usize,
-) -> io::Result<()> {
-    serve_tcp_with(engine, None, listener, workers)
+    match options.io() {
+        IoMode::Event => crate::event::serve_event(engine, options, listener),
+        IoMode::Blocking => serve_blocking(engine, options, listener),
+    }
 }
 
 #[cfg(test)]
@@ -696,8 +878,12 @@ mod tests {
         CoverageEngine::new(ds, Threshold::Count(1)).unwrap()
     }
 
+    fn plain(engine: &mut CoverageEngine, line: &str) -> String {
+        handle_line(engine, &ServeOptions::default(), line)
+    }
+
     fn ok<B: CoverageBackend>(engine: &mut CoverageEngine<B>, line: &str) -> Json {
-        let response = handle_line(engine, line);
+        let response = handle_line(engine, &ServeOptions::default(), line);
         let doc = Json::parse(&response).expect("response is valid JSON");
         assert_eq!(
             doc.get("ok").and_then(Json::as_bool),
@@ -719,7 +905,71 @@ mod tests {
             r#"{"op":"insert","rows":[["1","2"],["m","asian"]]}"#,
         );
         assert_eq!(doc.get("inserted").and_then(Json::as_u64), Some(2));
-        assert_eq!(doc.get("mups").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn responses_echo_request_ids() {
+        let mut engine = engine();
+        let response = plain(&mut engine, r#"{"op":"insert","id":7,"row":["f","black"]}"#);
+        assert_eq!(
+            response,
+            "{\"ok\":true,\"id\":7,\"op\":\"insert\",\"inserted\":1,\"rows\":5}"
+        );
+        let response = plain(&mut engine, r#"{"id":"q-1","op":"mups","limit":0}"#);
+        assert!(
+            response.starts_with("{\"ok\":true,\"id\":\"q-1\","),
+            "{response}"
+        );
+        // Errors echo the id too, with a machine code.
+        let response = plain(&mut engine, r#"{"op":"coverage","id":3,"pattern":"9X"}"#);
+        assert!(
+            response.starts_with("{\"ok\":false,\"id\":3,\"code\":\""),
+            "{response}"
+        );
+        // Legacy id-less requests answer exactly as before (no id field).
+        let response = plain(&mut engine, r#"{"op":"mups","limit":0}"#);
+        assert!(!response.contains("\"id\""), "{response}");
+    }
+
+    #[test]
+    fn error_codes_classify_request_failures() {
+        let mut engine = engine();
+        for (line, code) in [
+            ("nonsense", "parse"),
+            (r#"{"op":"frobnicate"}"#, "unknown_op"),
+            (r#"{"op":"insert","row":["f"]}"#, "arity_mismatch"),
+            (r#"{"op":"insert","row":["f","martian"]}"#, "unknown_value"),
+            (r#"{"op":"coverage","pattern":"XXX"}"#, "bad_pattern"),
+            (r#"{"op":"coverage","pattern":"=Y"}"#, "bad_pattern"),
+            (
+                r#"{"op":"grow","attr":"height","value":"tall"}"#,
+                "unknown_attribute",
+            ),
+            (
+                r#"{"op":"grow","attr":"race","value":"white"}"#,
+                "duplicate_value",
+            ),
+            (
+                r#"{"op":"delete","rows":[["f","white"],["f","white"]]}"#,
+                "row_not_found",
+            ),
+            (r#"{"op":"enhance","lambda":9}"#, "bad_request"),
+            (r#"{"op":"snapshot"}"#, "no_snapshot"),
+        ] {
+            let response = plain(&mut engine, line);
+            let doc = Json::parse(&response).expect("error response is valid JSON");
+            assert_eq!(
+                doc.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "`{line}` should fail: {response}"
+            );
+            assert_eq!(
+                doc.get("code").and_then(Json::as_str),
+                Some(code),
+                "`{line}` gave {response}"
+            );
+        }
     }
 
     #[test]
@@ -797,6 +1047,28 @@ mod tests {
             .map(|v| v.as_u64().unwrap())
             .collect();
         assert_eq!(rows, vec![5]);
+        // The stdin front end has no I/O metrics; the section appears only
+        // on the TCP front ends.
+        assert!(doc.get("io").is_none());
+    }
+
+    #[test]
+    fn stats_io_section_appears_with_metrics() {
+        let mut engine = engine();
+        let metrics = ServeMetrics::default();
+        metrics.record(OpClass::Insert, 1_000);
+        let response = dispatch(
+            &mut engine,
+            &ServeOptions::default(),
+            None,
+            Request::Stats,
+            Some(&metrics),
+        )
+        .unwrap();
+        let doc = Json::parse(&response).unwrap();
+        let io = doc.get("io").expect("io section present");
+        assert_eq!(io.get("requests").and_then(Json::as_u64), Some(1));
+        assert!(io.get("latency_ns").unwrap().get("insert").is_some());
     }
 
     #[test]
@@ -853,7 +1125,7 @@ mod tests {
             r#"{"op":"grow","attr":"height","value":"tall"}"#,
             r#"{"op":"grow","attr":"race","value":"hispanic"}"#,
         ] {
-            let response = handle_line(&mut engine, line);
+            let response = plain(&mut engine, line);
             assert!(response.contains("\"ok\":false"), "{response}");
         }
     }
@@ -861,16 +1133,13 @@ mod tests {
     #[test]
     fn grow_schema_mode_auto_registers_unknown_values() {
         let mut engine = engine();
-        let options = ServeOptions {
-            snapshot_path: None,
-            grow_schema: true,
-        };
+        let options = ServeOptions::new().with_grow_schema(true);
         // Without the flag the unseen value is rejected (the original bug's
         // guard behavior, still the default)…
-        let strict = handle_line(&mut engine, r#"{"op":"insert","row":["f","hispanic"]}"#);
+        let strict = plain(&mut engine, r#"{"op":"insert","row":["f","hispanic"]}"#);
         assert!(strict.contains("\"ok\":false"), "{strict}");
         // …with it, the insert grows the dictionary and lands the row.
-        let response = handle_line_opts(
+        let response = handle_line(
             &mut engine,
             &options,
             r#"{"op":"insert","rows":[["f","hispanic"],["nonbinary","hispanic"]]}"#,
@@ -888,7 +1157,7 @@ mod tests {
         assert_eq!(engine.coverage(&[2, 3]).unwrap(), 1);
         // Arity is validated before any growth: a malformed batch with a
         // fresh value must not register it.
-        let response = handle_line_opts(
+        let response = handle_line(
             &mut engine,
             &options,
             r#"{"op":"insert","rows":[["f","martian","extra"]]}"#,
@@ -911,12 +1180,9 @@ mod tests {
         .unwrap();
         let ds = Dataset::from_rows(schema, &[vec![0]]).unwrap();
         let mut engine = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
-        let options = ServeOptions {
-            snapshot_path: None,
-            grow_schema: true,
-        };
+        let options = ServeOptions::new().with_grow_schema(true);
         let mups_before = engine.mups().len();
-        let response = handle_line_opts(
+        let response = handle_line(
             &mut engine,
             &options,
             r#"{"op":"insert","rows":[["newA"],["newB"]]}"#,
@@ -931,7 +1197,7 @@ mod tests {
         assert_eq!(engine.mups().len(), mups_before);
         assert_eq!(engine.dataset().len(), 1);
         // A batch that fits entirely still grows and inserts.
-        let response = handle_line_opts(
+        let response = handle_line(
             &mut engine,
             &options,
             r#"{"op":"insert","rows":[["newA"],["newA"]]}"#,
@@ -974,12 +1240,16 @@ mod tests {
         assert_eq!(doc.get("deleted").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(1));
         // Deleting more copies than exist is rejected atomically.
-        let response = handle_line(
+        let response = plain(
             &mut engine,
             r#"{"op":"delete","rows":[["f","white"],["f","white"]]}"#,
         );
         assert!(response.contains("\"ok\":false"), "{response}");
         assert!(response.contains("only 1 present"), "{response}");
+        assert!(
+            response.contains("\"code\":\"row_not_found\""),
+            "{response}"
+        );
         let doc = ok(&mut engine, r#"{"op":"stats"}"#);
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(1));
         assert_eq!(doc.get("deletes").and_then(Json::as_u64), Some(3));
@@ -1004,41 +1274,58 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mithra-serve-snap-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("engine.snapshot");
+        let options = ServeOptions::new().with_snapshot_path(Some(path.clone()));
         let mut engine = engine();
-        let _ = handle_line_with(
+        let _ = handle_line(
             &mut engine,
-            Some(&path),
+            &options,
             r#"{"op":"insert","row":["f","black"]}"#,
         );
-        let mups_line = handle_line_with(&mut engine, Some(&path), r#"{"op":"mups"}"#);
-        let doc = Json::parse(&handle_line_with(
-            &mut engine,
-            Some(&path),
-            r#"{"op":"snapshot"}"#,
-        ))
-        .unwrap();
+        let mups_line = handle_line(&mut engine, &options, r#"{"op":"mups"}"#);
+        let doc = Json::parse(&handle_line(&mut engine, &options, r#"{"op":"snapshot"}"#)).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
 
         // Wreck the live state, then restore: responses must match exactly.
-        let _ = handle_line_with(
+        let _ = handle_line(
             &mut engine,
-            Some(&path),
+            &options,
             r#"{"op":"insert","rows":[["m","asian"],["m","asian"]]}"#,
         );
-        let doc = Json::parse(&handle_line_with(
-            &mut engine,
-            Some(&path),
-            r#"{"op":"restore"}"#,
-        ))
-        .unwrap();
+        let doc = Json::parse(&handle_line(&mut engine, &options, r#"{"op":"restore"}"#)).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(5));
         assert_eq!(
-            handle_line_with(&mut engine, Some(&path), r#"{"op":"mups"}"#),
+            handle_line(&mut engine, &options, r#"{"op":"mups"}"#),
             mups_line,
             "restored engine must serve identical mups responses"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_a_threshold_change_mid_flight() {
+        let dir =
+            std::env::temp_dir().join(format!("mithra-restore-threshold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snapshot");
+        // Snapshot taken at τ=2…
+        let ds = engine().dataset().clone();
+        let tau2 = CoverageEngine::new(ds.clone(), Threshold::Count(2)).unwrap();
+        crate::snapshot::save_snapshot(&tau2, &path).unwrap();
+        // …must not restore into a server resolving τ=1: clients have been
+        // quoting coverage verdicts against the serving threshold.
+        let mut serving = CoverageEngine::new(ds, Threshold::Count(1)).unwrap();
+        let options = ServeOptions::new().with_snapshot_path(Some(path.clone()));
+        let response = handle_line(&mut serving, &options, r#"{"op":"restore"}"#);
+        let doc = Json::parse(&response).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("code").and_then(Json::as_str),
+            Some("threshold_mismatch"),
+            "{response}"
+        );
+        assert_eq!(serving.tau(), 1, "serving engine must be untouched");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1060,7 +1347,8 @@ mod tests {
         )
         .unwrap();
         let _ = ok(&mut sharded, r#"{"op":"insert","row":["f","black"]}"#);
-        let response = handle_line_with(&mut sharded, Some(&path), r#"{"op":"restore"}"#);
+        let options = ServeOptions::new().with_snapshot_path(Some(path.clone()));
+        let response = handle_line(&mut sharded, &options, r#"{"op":"restore"}"#);
         assert!(response.contains("\"ok\":true"), "{response}");
         assert_eq!(
             sharded.shards(),
@@ -1077,9 +1365,10 @@ mod tests {
     fn snapshot_ops_without_a_path_answer_errors() {
         let mut engine = engine();
         for line in [r#"{"op":"snapshot"}"#, r#"{"op":"restore"}"#] {
-            let response = handle_line(&mut engine, line);
+            let response = plain(&mut engine, line);
             assert!(response.contains("\"ok\":false"), "{response}");
             assert!(response.contains("no snapshot path"), "{response}");
+            assert!(response.contains("\"code\":\"no_snapshot\""), "{response}");
         }
     }
 
@@ -1088,19 +1377,26 @@ mod tests {
         let shared = Arc::new(Mutex::new(engine()));
         // A handler that panics while holding the engine must yield an error
         // response, not poison the mutex (which would kill every worker).
-        let response = with_engine_contained(&shared, |_| -> Result<String, String> {
-            panic!("handler bug")
-        });
+        let response = with_engine_contained(
+            &shared,
+            |error| error_response(None, &error),
+            |_| -> String { panic!("handler bug") },
+        );
         assert!(response.contains("\"ok\":false"), "{response}");
         assert!(response.contains("panicked"), "{response}");
+        assert!(response.contains("\"code\":\"internal\""), "{response}");
         assert!(
             shared.lock().is_ok(),
             "mutex must not be poisoned by a contained panic"
         );
         // And the engine still answers real requests afterwards.
-        let response = with_engine_contained(&shared, |engine| {
-            dispatch(engine, &ServeOptions::default(), Request::Stats)
-        });
+        let metrics = ServeMetrics::default();
+        let response = respond_contained(
+            &shared,
+            &ServeOptions::default(),
+            &metrics,
+            r#"{"op":"stats"}"#,
+        );
         assert!(response.contains("\"ok\":true"), "{response}");
     }
 
@@ -1114,9 +1410,13 @@ mod tests {
         })
         .join();
         assert!(shared.lock().is_err(), "mutex must start poisoned");
-        let response = with_engine_contained(&shared, |engine| {
-            dispatch(engine, &ServeOptions::default(), Request::Stats)
-        });
+        let metrics = ServeMetrics::default();
+        let response = respond_contained(
+            &shared,
+            &ServeOptions::default(),
+            &metrics,
+            r#"{"op":"stats"}"#,
+        );
         assert!(response.contains("\"ok\":true"), "{response}");
         assert!(shared.lock().is_ok(), "poison must be cleared");
         // The recovery rebuild is visible in the stats.
@@ -1126,7 +1426,7 @@ mod tests {
 
     #[test]
     fn connection_after_handler_panic_still_gets_an_answer() {
-        // The ISSUE's availability bug end-to-end: poison the engine mutex
+        // The availability property end-to-end: poison the engine mutex
         // (exactly what a panicking handler used to do), then connect — the
         // worker pool must still answer instead of hanging the connection.
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -1141,7 +1441,10 @@ mod tests {
         assert!(shared.lock().is_err(), "mutex must start poisoned");
         let server = Arc::clone(&shared);
         thread::spawn(move || {
-            let _ = serve_tcp(server, listener, 1);
+            let options = ServeOptions::new()
+                .with_io(IoMode::Blocking)
+                .with_workers(1);
+            let _ = serve(server, options, listener);
         });
         for _ in 0..2 {
             let mut stream = TcpStream::connect(addr).expect("connect");
@@ -1171,7 +1474,7 @@ mod tests {
             r#"{"op":"coverage","pattern":"9X"}"#, // out-of-range code
             r#"{"op":"enhance","lambda":9}"#,
         ] {
-            let response = handle_line(&mut engine, line);
+            let response = plain(&mut engine, line);
             let doc = Json::parse(&response).expect("error response is valid JSON");
             assert_eq!(
                 doc.get("ok").and_then(Json::as_bool),
@@ -1179,6 +1482,10 @@ mod tests {
                 "`{line}` should fail: {response}"
             );
             assert!(doc.get("error").and_then(Json::as_str).is_some());
+            assert!(
+                doc.get("code").and_then(Json::as_str).is_some(),
+                "every failure carries a machine code: {response}"
+            );
         }
         // The engine stays usable after every rejected request.
         let _ = ok(&mut engine, r#"{"op":"stats"}"#);
@@ -1197,11 +1504,18 @@ mod tests {
         script.extend_from_slice("[".repeat(100_000).as_bytes());
         script.push(b'\n');
         let mut output = Vec::new();
-        serve_lines(&mut engine, script.as_slice(), &mut output).unwrap();
+        serve_lines(
+            &mut engine,
+            &ServeOptions::default(),
+            script.as_slice(),
+            &mut output,
+        )
+        .unwrap();
         let text = String::from_utf8(output).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3, "{text}");
         assert!(lines[0].contains("\"ok\":false") && lines[0].contains("exceeds"));
+        assert!(lines[0].contains("\"code\":\"line_too_long\""));
         assert!(lines[1].contains("\"ok\":true"));
         assert!(lines[2].contains("\"ok\":false") && lines[2].contains("nesting"));
     }
@@ -1210,7 +1524,13 @@ mod tests {
     fn unterminated_final_line_is_served() {
         let mut engine = engine();
         let mut output = Vec::new();
-        serve_lines(&mut engine, &b"{\"op\":\"stats\"}"[..], &mut output).unwrap();
+        serve_lines(
+            &mut engine,
+            &ServeOptions::default(),
+            &b"{\"op\":\"stats\"}"[..],
+            &mut output,
+        )
+        .unwrap();
         let text = String::from_utf8(output).unwrap();
         assert!(text.contains("\"ok\":true"), "{text}");
     }
@@ -1225,7 +1545,13 @@ mod tests {
             "{\"op\":\"mups\"}\n",
         );
         let mut output = Vec::new();
-        serve_lines(&mut engine, script.as_bytes(), &mut output).unwrap();
+        serve_lines(
+            &mut engine,
+            &ServeOptions::default(),
+            script.as_bytes(),
+            &mut output,
+        )
+        .unwrap();
         let text = String::from_utf8(output).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3, "one response per request: {text}");

@@ -1,9 +1,11 @@
 //! `mithra` — command-line coverage auditing for CSV datasets.
 //!
 //! ```text
-//! mithra audit   <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
-//! mithra enhance <file.csv> --attrs sex,race,age --tau 30 --lambda 2
-//! mithra serve   <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR] [--snapshot PATH]
+//! mithra audit        <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
+//! mithra enhance      <file.csv> --attrs sex,race,age --tau 30 --lambda 2
+//! mithra serve        <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR] [--io event|blocking] [--snapshot PATH]
+//! mithra loadgen      [--io event|blocking] [--connections N] [--secs S] …
+//! mithra bench-report [--quick]
 //! ```
 //!
 //! `audit` prints the coverage report (MUPs per level, maximum covered
@@ -54,10 +56,15 @@ struct Args {
     shards: Option<usize>,
     /// Auto-register unknown value strings on insert (dictionary growth).
     grow_schema: bool,
+    /// TCP front end: the readiness-driven event loop (default) or the
+    /// legacy thread-per-connection pool.
+    io: coverage_service::IoMode,
+    /// Event-loop admission bound (requests per tick before `overloaded`).
+    max_pending: usize,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit   <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve   <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--threads N] [--shards N] [--snapshot PATH] [--grow-schema]"
+    "usage:\n  mithra audit        <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance      <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve        <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--io event|blocking] [--threads N] [--max-pending N] [--shards N] [--snapshot PATH] [--grow-schema]\n  mithra loadgen      [--io event|blocking] [--connections N] [--secs S] [--mix I,C] …\n  mithra bench-report [--quick]"
         .to_string()
 }
 
@@ -83,6 +90,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut snapshot = None;
     let mut shards = None;
     let mut grow_schema = false;
+    let mut io = None;
+    let mut max_pending = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -147,6 +156,24 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 shards = Some(count);
             }
             "--grow-schema" => grow_schema = true,
+            "--io" => {
+                io = Some(match value()?.as_str() {
+                    "event" => coverage_service::IoMode::Event,
+                    "blocking" => coverage_service::IoMode::Blocking,
+                    other => {
+                        return Err(flag_error("--io", format!("unknown mode `{other}`")));
+                    }
+                })
+            }
+            "--max-pending" => {
+                let bound: usize = value()?
+                    .parse()
+                    .map_err(|e| flag_error("--max-pending", e))?;
+                if bound == 0 {
+                    return Err(flag_error("--max-pending", "need at least one slot"));
+                }
+                max_pending = Some(bound);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -163,6 +190,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             || threads.is_some()
             || snapshot.is_some()
             || shards.is_some()
+            || io.is_some()
+            || max_pending.is_some()
             || grow_schema)
     {
         let flag = if listen.is_some() {
@@ -171,6 +200,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--threads"
         } else if shards.is_some() {
             "--shards"
+        } else if io.is_some() {
+            "--io"
+        } else if max_pending.is_some() {
+            "--max-pending"
         } else if grow_schema {
             "--grow-schema"
         } else {
@@ -178,10 +211,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         };
         return Err(flag_error(flag, "only supported with `serve`"));
     }
-    if command == "serve" && listen.is_none() && threads.is_some() {
-        // stdin/stdout mode is single-threaded; silently ignoring the flag
-        // would hide a forgotten --listen.
-        return Err(flag_error("--threads", "requires --listen"));
+    if command == "serve" && listen.is_none() {
+        // stdin/stdout mode runs neither front end; silently ignoring
+        // these would hide a forgotten --listen.
+        for (set, flag) in [
+            (threads.is_some(), "--threads"),
+            (io.is_some(), "--io"),
+            (max_pending.is_some(), "--max-pending"),
+        ] {
+            if set {
+                return Err(flag_error(flag, "requires --listen"));
+            }
+        }
     }
     if command == "serve" && (lambda.is_some() || limit.is_some()) {
         // λ comes per-request over the protocol (`{"op":"enhance",...}`);
@@ -206,6 +247,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         snapshot,
         shards,
         grow_schema,
+        io: io.unwrap_or_default(),
+        max_pending: max_pending.unwrap_or(coverage_service::DEFAULT_MAX_PENDING),
     })
 }
 
@@ -309,10 +352,12 @@ fn serve(args: &Args) -> Result<(), String> {
         engine.mups().len(),
         engine.shards()
     );
-    let options = mithra::service::ServeOptions {
-        snapshot_path: args.snapshot.clone(),
-        grow_schema: args.grow_schema,
-    };
+    let options = mithra::service::ServeOptions::new()
+        .with_snapshot_path(args.snapshot.clone())
+        .with_grow_schema(args.grow_schema)
+        .with_io(args.io)
+        .with_workers(args.threads)
+        .with_max_pending(args.max_pending);
     let served = match &args.listen {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -320,19 +365,22 @@ fn serve(args: &Args) -> Result<(), String> {
                 .local_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| addr.clone());
-            eprintln!("listening on {local} ({} worker threads)", args.threads);
+            match args.io {
+                coverage_service::IoMode::Event => eprintln!(
+                    "listening on {local} (event loop, max {} pending requests/tick)",
+                    args.max_pending
+                ),
+                coverage_service::IoMode::Blocking => {
+                    eprintln!("listening on {local} ({} worker threads)", args.threads)
+                }
+            }
             let shared = std::sync::Arc::new(std::sync::Mutex::new(engine));
-            mithra::service::serve_tcp_opts(shared, options, listener, args.threads)
+            mithra::service::serve(shared, options, listener)
         }
         None => {
             let mut engine = engine;
             let stdin = std::io::stdin();
-            mithra::service::serve_lines_opts(
-                &mut engine,
-                &options,
-                stdin.lock(),
-                std::io::stdout(),
-            )
+            mithra::service::serve_lines(&mut engine, &options, stdin.lock(), std::io::stdout())
         }
     };
     match served {
@@ -420,8 +468,66 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `mithra loadgen`: run the bench crate's load generator against an
+/// in-process server and print the JSON report.
+fn run_loadgen(argv: impl Iterator<Item = String>) -> ExitCode {
+    let config = match coverage_bench::loadgen::parse_args(argv) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exec = || -> Result<(), String> {
+        let report = coverage_bench::loadgen::run(&config)?;
+        out!("{}", report.to_json());
+        Ok(())
+    };
+    match exec() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `mithra bench-report`: measure both TCP front ends under an identical
+/// workload and print the committed `BENCH_6.json` document.
+fn run_bench_report(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    let mut quick = false;
+    for flag in argv.by_ref() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag `{other}`\nusage: mithra bench-report [--quick]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let exec = || -> Result<(), String> {
+        out!("{}", coverage_bench::loadgen::bench_report(quick)?);
+        Ok(())
+    };
+    match exec() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    match parse_args(std::env::args().skip(1)) {
+    let mut argv = std::env::args().skip(1).peekable();
+    // The benchmarking subcommands take no CSV/attrs and parse their own
+    // flags; route them before the audit/enhance/serve parser.
+    match argv.peek().map(String::as_str) {
+        Some("loadgen") => return run_loadgen(argv.skip(1)),
+        Some("bench-report") => return run_bench_report(argv.skip(1)),
+        _ => {}
+    }
+    match parse_args(argv) {
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -598,6 +704,67 @@ mod tests {
     }
 
     #[test]
+    fn io_and_max_pending_flags_parse_and_are_tcp_serve_only() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--listen",
+            ":0",
+            "--io",
+            "blocking",
+            "--max-pending",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(args.io, coverage_service::IoMode::Blocking);
+        assert_eq!(args.max_pending, 64);
+        // Defaults: event front end, DEFAULT_MAX_PENDING.
+        let args = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--listen", ":0",
+        ])
+        .unwrap();
+        assert_eq!(args.io, coverage_service::IoMode::Event);
+        assert_eq!(args.max_pending, coverage_service::DEFAULT_MAX_PENDING);
+        // Unknown mode and zero bound are usage errors.
+        let err = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--listen", ":0", "--io", "sync",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown mode"), "{err}");
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--listen",
+            ":0",
+            "--max-pending",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least one slot"), "{err}");
+        // Both need TCP mode…
+        for flags in [&["--io", "event"][..], &["--max-pending", "8"][..]] {
+            let mut argv = vec!["serve", "d.csv", "--attrs", "a", "--tau", "1"];
+            argv.extend(flags);
+            let err = parse(&argv).unwrap_err();
+            assert!(err.contains("requires --listen"), "{err}");
+        }
+        // …and the serve command.
+        let err = parse(&[
+            "audit", "d.csv", "--attrs", "a", "--tau", "1", "--io", "event",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+    }
+
+    #[test]
     fn default_shard_count_scales_with_dataset_size() {
         // Tiny datasets must not be sliced into near-empty per-core shards.
         assert_eq!(default_shards(0), 1);
@@ -719,6 +886,8 @@ mod tests {
             snapshot: Some(snap.clone()),
             shards: None,
             grow_schema: false,
+            io: coverage_service::IoMode::Event,
+            max_pending: coverage_service::DEFAULT_MAX_PENDING,
         };
         // Matching threshold + attrs restores.
         let restored = serve_engine(&args(&["sex", "race"], Threshold::Count(1))).unwrap();

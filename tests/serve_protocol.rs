@@ -1,16 +1,13 @@
 //! End-to-end drive of the `mithra serve` NDJSON protocol: the engine is
 //! spawned in-process and exercised through the same [`handle_line`] /
-//! [`serve_lines`] / [`serve_tcp`] entry points the CLI uses, including
+//! [`serve_lines`] / [`serve`] entry points the CLI uses, including
 //! malformed-request error responses and a real TCP round trip.
 
 use std::io::{BufRead, BufReader, Write};
 
 use mithra::prelude::*;
 use mithra::service::protocol::Json;
-use mithra::service::{
-    handle_line, handle_line_opts, handle_line_with, load_snapshot, serve_lines, serve_tcp,
-    ServeOptions,
-};
+use mithra::service::{handle_line, load_snapshot, serve, serve_lines, IoMode, ServeOptions};
 
 /// COMPAS-flavored fixture with value dictionaries, so protocol rows can be
 /// sent as value names.
@@ -41,7 +38,7 @@ fn request_on<B: mithra::index::CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     line: &str,
 ) -> Json {
-    let response = handle_line(engine, line);
+    let response = handle_line(engine, &ServeOptions::new(), line);
     Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON `{response}`: {e}"))
 }
 
@@ -115,10 +112,11 @@ fn sharded_engine_serves_identical_answers_and_reports_skew() {
         r#"{"op":"mups"}"#,
         r#"{"op":"coverage","pattern":"X0X"}"#,
     ];
+    let options = ServeOptions::new();
     for line in script {
         assert_eq!(
-            handle_line(&mut single, line),
-            handle_line(&mut sharded, line),
+            handle_line(&mut single, &options, line),
+            handle_line(&mut sharded, &options, line),
             "single- and sharded-backend responses diverged on {line}"
         );
     }
@@ -217,26 +215,29 @@ fn unseen_values_grow_through_the_serving_path() {
     let dir = std::env::temp_dir().join(format!("mithra-grow-snap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("engine.snapshot");
-    let options = ServeOptions {
-        snapshot_path: Some(path.clone()),
-        grow_schema: true,
-    };
+    let options = ServeOptions::new()
+        .with_snapshot_path(Some(path.clone()))
+        .with_grow_schema(true);
 
     let mups_response = {
         let mut engine = engine();
         // Strict mode: the unseen value is rejected (default behavior).
-        let strict = handle_line(&mut engine, r#"{"op":"insert","row":["f","asian","old"]}"#);
+        let strict = handle_line(
+            &mut engine,
+            &ServeOptions::new(),
+            r#"{"op":"insert","row":["f","asian","old"]}"#,
+        );
         assert!(strict.contains("\"ok\":false"), "{strict}");
 
         // Growth mode: the same insert registers `asian` and lands the row.
         let line = r#"{"op":"insert","row":["f","asian","old"]}"#;
-        let doc = Json::parse(&handle_line_opts(&mut engine, &options, line)).unwrap();
+        let doc = Json::parse(&handle_line(&mut engine, &options, line)).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(7));
 
         // An explicit grow op registers a value with zero rows.
         let line = r#"{"op":"grow","attr":"age","value":"middle"}"#;
-        let doc = Json::parse(&handle_line_opts(&mut engine, &options, line)).unwrap();
+        let doc = Json::parse(&handle_line(&mut engine, &options, line)).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("code").and_then(Json::as_u64), Some(2));
 
@@ -244,20 +245,15 @@ fn unseen_values_grow_through_the_serving_path() {
         let batch = CoverageReport::audit(engine.dataset(), Threshold::Count(1)).unwrap();
         assert_eq!(engine.mups(), batch.mups.as_slice());
 
-        let doc = Json::parse(&handle_line_opts(
-            &mut engine,
-            &options,
-            r#"{"op":"snapshot"}"#,
-        ))
-        .unwrap();
+        let doc = Json::parse(&handle_line(&mut engine, &options, r#"{"op":"snapshot"}"#)).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
-        handle_line(&mut engine, r#"{"op":"mups"}"#)
+        handle_line(&mut engine, &ServeOptions::new(), r#"{"op":"mups"}"#)
         // …engine dropped: process state gone.
     };
 
     let mut revived: CoverageEngine = load_snapshot(&path).expect("snapshot v3 loads");
     assert_eq!(
-        handle_line(&mut revived, r#"{"op":"mups"}"#),
+        handle_line(&mut revived, &ServeOptions::new(), r#"{"op":"mups"}"#),
         mups_response,
         "restored engine must serve the identical mups response"
     );
@@ -267,7 +263,7 @@ fn unseen_values_grow_through_the_serving_path() {
     assert_eq!(schema.attribute(2).code_of("middle").unwrap(), 2);
     // The revived engine keeps accepting rows on the grown values.
     let line = r#"{"op":"insert","row":["m","asian","middle"]}"#;
-    let doc = Json::parse(&handle_line_opts(&mut revived, &options, line)).unwrap();
+    let doc = Json::parse(&handle_line(&mut revived, &options, line)).unwrap();
     assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
     let batch = CoverageReport::audit(revived.dataset(), Threshold::Count(1)).unwrap();
     assert_eq!(revived.mups(), batch.mups.as_slice());
@@ -326,25 +322,29 @@ fn killed_and_restored_engine_serves_identical_responses() {
         ] {
             assert_ok(&request(&mut engine, line), line);
         }
-        let doc = Json::parse(&handle_line_with(
+        let snap_options = ServeOptions::new().with_snapshot_path(Some(path.clone()));
+        let doc = Json::parse(&handle_line(
             &mut engine,
-            Some(&path),
+            &snap_options,
             r#"{"op":"snapshot"}"#,
         ))
         .unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         (
-            handle_line(&mut engine, r#"{"op":"mups"}"#),
-            handle_line(&mut engine, r#"{"op":"stats"}"#),
+            handle_line(&mut engine, &ServeOptions::new(), r#"{"op":"mups"}"#),
+            handle_line(&mut engine, &ServeOptions::new(), r#"{"op":"stats"}"#),
         )
         // …engine dropped here: the process state is gone.
     };
 
     let mut revived: CoverageEngine = load_snapshot(&path).expect("snapshot loads");
-    assert_eq!(handle_line(&mut revived, r#"{"op":"mups"}"#), mups_response);
+    assert_eq!(
+        handle_line(&mut revived, &ServeOptions::new(), r#"{"op":"mups"}"#),
+        mups_response
+    );
     // Stats must agree on every durable field; the memo-cache gauges are
     // process-local (a restored engine starts cold) and are exempt.
-    let revived_stats = handle_line(&mut revived, r#"{"op":"stats"}"#);
+    let revived_stats = handle_line(&mut revived, &ServeOptions::new(), r#"{"op":"stats"}"#);
     let expected = Json::parse(&stats_response).unwrap();
     let got = Json::parse(&revived_stats).unwrap();
     for key in [
@@ -382,7 +382,13 @@ not json\n\
 {\"op\":\"insert\",\"row\":[\"f\",\"black\",\"young\"]}\n\
 {\"op\":\"mups\",\"limit\":3}\n";
     let mut output = Vec::new();
-    serve_lines(&mut engine, script.as_bytes(), &mut output).unwrap();
+    serve_lines(
+        &mut engine,
+        &ServeOptions::new(),
+        script.as_bytes(),
+        &mut output,
+    )
+    .unwrap();
     let text = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 4);
@@ -393,9 +399,9 @@ not json\n\
     assert_eq!(oks, vec![Some(true), Some(false), Some(true), Some(true)]);
 }
 
-/// Full TCP round trip: bind an ephemeral port, serve with a two-thread
-/// pool, and run two sequential client connections against the shared
-/// engine — state must persist across connections.
+/// Full TCP round trip: bind an ephemeral port, serve with the blocking
+/// two-thread pool, and run two sequential client connections against the
+/// shared engine — state must persist across connections.
 #[test]
 fn tcp_round_trip_shares_one_engine() {
     use std::net::{TcpListener, TcpStream};
@@ -406,7 +412,10 @@ fn tcp_round_trip_shares_one_engine() {
     let shared = Arc::new(Mutex::new(engine()));
     let server = Arc::clone(&shared);
     std::thread::spawn(move || {
-        let _ = serve_tcp(server, listener, 2);
+        let options = ServeOptions::new()
+            .with_io(IoMode::Blocking)
+            .with_workers(2);
+        let _ = serve(server, options, listener);
     });
 
     let ask = |line: &str| -> Json {
