@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use coverage_core::Threshold;
 use coverage_data::generators::airbnb_like;
 use coverage_service::protocol::Json;
-use coverage_service::{serve, CoverageEngine, IoMode, ServeOptions};
+use coverage_service::{serve, CoverageEngine, IoMode, OpLog, ServeOptions, SyncPolicy};
 
 /// What one loadgen run does.
 #[derive(Debug, Clone)]
@@ -41,6 +41,12 @@ pub struct LoadgenConfig {
     pub attributes: usize,
     /// Op mix, in percent: `(insert, coverage)`; the remainder is `mups`.
     pub mix: (u32, u32),
+    /// Percent of requests that delete a row the client inserted earlier
+    /// (carved out before the `mix` shares; exercises delete coalescing).
+    pub deletes: u32,
+    /// Run the in-process server with an op log at this sync policy (the
+    /// replicated-write overhead knob for `BENCH_7`).
+    pub oplog: Option<SyncPolicy>,
     /// RNG seed (per-client streams derive from it).
     pub seed: u64,
 }
@@ -57,6 +63,8 @@ impl Default for LoadgenConfig {
             rows: 2_000,
             attributes: 6,
             mix: (80, 15),
+            deletes: 0,
+            oplog: None,
             seed: 2019,
         }
     }
@@ -93,6 +101,12 @@ pub struct LoadgenReport {
     pub insert_engine_batches: u64,
     /// Server-side `stats.io.coalesced_inserts` after the run.
     pub coalesced_inserts: u64,
+    /// Server-side `stats.io.delete_requests` after the run.
+    pub delete_requests: u64,
+    /// Server-side `stats.io.delete_engine_batches` after the run.
+    pub delete_engine_batches: u64,
+    /// Server-side `stats.io.coalesced_deletes` after the run.
+    pub coalesced_deletes: u64,
     /// Server-side `stats.io.shed_overloaded` after the run.
     pub shed_overloaded: u64,
 }
@@ -105,7 +119,9 @@ impl LoadgenReport {
              \"requests\":{},\"errors\":{},\"overloaded\":{},\"reconnects\":{},\
              \"ops_per_sec\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
              \"insert_requests\":{},\"insert_engine_batches\":{},\
-             \"coalesced_inserts\":{},\"shed_overloaded\":{}}}",
+             \"coalesced_inserts\":{},\"delete_requests\":{},\
+             \"delete_engine_batches\":{},\"coalesced_deletes\":{},\
+             \"shed_overloaded\":{}}}",
             self.io,
             self.connections,
             self.elapsed_secs,
@@ -120,6 +136,9 @@ impl LoadgenReport {
             self.insert_requests,
             self.insert_engine_batches,
             self.coalesced_inserts,
+            self.delete_requests,
+            self.delete_engine_batches,
+            self.coalesced_deletes,
             self.shed_overloaded,
         )
     }
@@ -151,21 +170,62 @@ struct ClientStats {
     reconnects: u64,
 }
 
-fn gen_request(rng: &mut Mix64, attributes: usize, mix: (u32, u32)) -> String {
-    let roll = rng.below(100) as u32;
-    if roll < mix.0 {
-        let mut line = String::from("{\"op\":\"insert\",\"row\":[");
-        for i in 0..attributes {
-            if i > 0 {
-                line.push(',');
-            }
-            line.push('"');
-            line.push(if rng.below(2) == 0 { '0' } else { '1' });
-            line.push('"');
+/// Most rows a client remembers for later deletion; a bounded ring so a
+/// long run with few deletes doesn't grow without limit.
+const DELETE_POOL: usize = 1024;
+
+/// Removes and returns a uniformly random element (order not preserved).
+fn pop_random(rng: &mut Mix64, pool: &mut Vec<String>) -> Option<String> {
+    if pool.is_empty() {
+        return None;
+    }
+    let slot = rng.below(pool.len() as u64) as usize;
+    Some(pool.swap_remove(slot))
+}
+
+/// Builds one random row literal (`"0","1",…`) and returns it.
+fn gen_row(rng: &mut Mix64, attributes: usize) -> String {
+    let mut row = String::with_capacity(attributes * 4);
+    for i in 0..attributes {
+        if i > 0 {
+            row.push(',');
         }
-        line.push_str("]}");
-        line
-    } else if roll < mix.0 + mix.1 {
+        row.push('"');
+        row.push(if rng.below(2) == 0 { '0' } else { '1' });
+        row.push('"');
+    }
+    row
+}
+
+fn gen_request(
+    rng: &mut Mix64,
+    attributes: usize,
+    mix: (u32, u32),
+    deletes: u32,
+    inserted: &mut Vec<String>,
+) -> String {
+    let roll = rng.below(100) as u32;
+    if roll < deletes {
+        // Delete a row this client inserted earlier (its copy is still in
+        // the dataset: per-connection ordering guarantees the insert landed
+        // first, and each remembered row is deleted at most once). With
+        // nothing banked yet, fall through to an insert.
+        if let Some(row) = pop_random(rng, inserted) {
+            return format!("{{\"op\":\"delete\",\"row\":[{row}]}}");
+        }
+    }
+    if roll < deletes + mix.0 {
+        let row = gen_row(rng, attributes);
+        if deletes > 0 {
+            if inserted.len() < DELETE_POOL {
+                inserted.push(row.clone());
+            } else {
+                let slot = rng.below(DELETE_POOL as u64) as usize;
+                inserted[slot] = row.clone();
+            }
+        }
+        format!("{{\"op\":\"insert\",\"row\":[{row}]}}")
+    } else if roll < deletes + mix.0 + mix.1 {
         let mut pattern = String::with_capacity(attributes);
         for _ in 0..attributes {
             pattern.push(match rng.below(4) {
@@ -198,6 +258,7 @@ fn client_loop(
         reconnects: 0,
     };
     let mut first_attempt = true;
+    let mut inserted: Vec<String> = Vec::new();
     'reconnect: while Instant::now() < deadline {
         if !first_attempt {
             stats.reconnects += 1;
@@ -219,7 +280,13 @@ fn client_loop(
         while Instant::now() < deadline {
             batch.clear();
             for _ in 0..config.pipeline {
-                batch.push_str(&gen_request(&mut rng, config.attributes, config.mix));
+                batch.push_str(&gen_request(
+                    &mut rng,
+                    config.attributes,
+                    config.mix,
+                    config.deletes,
+                    &mut inserted,
+                ));
                 batch.push('\n');
             }
             let sent_at = Instant::now();
@@ -287,10 +354,30 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         CoverageEngine::new(dataset, Threshold::Count(5)).map_err(|e| format!("engine: {e}"))?;
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // With an op log requested, the server appends every mutation to a
+    // scratch file for the duration of the run (the durability overhead is
+    // the thing being measured; the contents are discarded afterwards).
+    let oplog_path = config.oplog.map(|_| {
+        std::env::temp_dir().join(format!(
+            "mithra-loadgen-{}-{}.oplog",
+            std::process::id(),
+            addr.port()
+        ))
+    });
+    let oplog = match (&oplog_path, config.oplog) {
+        (Some(path), Some(sync)) => {
+            let _ = std::fs::remove_file(path);
+            Some(Arc::new(Mutex::new(
+                OpLog::open(path, sync).map_err(|e| format!("op log {}: {e}", path.display()))?,
+            )))
+        }
+        _ => None,
+    };
     let options = ServeOptions::new()
         .with_io(config.io)
         .with_workers(config.workers)
-        .with_max_pending(config.max_pending);
+        .with_max_pending(config.max_pending)
+        .with_oplog(oplog);
     let shared = Arc::new(Mutex::new(engine));
     let server = Arc::clone(&shared);
     // The server thread runs until process exit (the listener has no
@@ -334,6 +421,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     };
     let io_stats = scrape_stats(addr);
     let counter = |key: &str| io_stats.as_ref().map_or(0, |io| scrape_io_counter(io, key));
+    if let Some(path) = &oplog_path {
+        // The server thread keeps its handle; unlinking the scratch file is
+        // safe (and reclaims the space on process exit at the latest).
+        let _ = std::fs::remove_file(path);
+    }
     Ok(LoadgenReport {
         io: match config.io {
             IoMode::Event => "event".into(),
@@ -356,6 +448,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         insert_requests: counter("insert_requests"),
         insert_engine_batches: counter("insert_engine_batches"),
         coalesced_inserts: counter("coalesced_inserts"),
+        delete_requests: counter("delete_requests"),
+        delete_engine_batches: counter("delete_engine_batches"),
+        coalesced_deletes: counter("coalesced_deletes"),
         shed_overloaded: counter("shed_overloaded"),
     })
 }
@@ -364,7 +459,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 pub fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<LoadgenConfig, String> {
     const USAGE: &str = "usage: mithra loadgen [--io event|blocking] [--connections N] \
          [--secs S] [--pipeline N] [--workers N] [--max-pending N] [--rows N] \
-         [--attrs-n N] [--mix INSERT,COVERAGE] [--seed N]";
+         [--attrs-n N] [--mix INSERT,COVERAGE] [--deletes PCT] \
+         [--oplog-sync always|batch|off] [--seed N]";
     let mut config = LoadgenConfig::default();
     while let Some(flag) = argv.next() {
         let mut value = || {
@@ -415,6 +511,21 @@ pub fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<LoadgenConfi
                 }
                 config.mix = (parts[0], parts[1]);
             }
+            "--deletes" => {
+                let pct: u32 = value()?
+                    .parse()
+                    .map_err(|e| format!("--deletes: {e}\n{USAGE}"))?;
+                if pct > 100 {
+                    return Err(format!("--deletes: must be a percentage ≤ 100\n{USAGE}"));
+                }
+                config.deletes = pct;
+            }
+            "--oplog-sync" => {
+                let v = value()?;
+                config.oplog = Some(SyncPolicy::parse(&v).ok_or_else(|| {
+                    format!("--oplog-sync: unknown policy `{v}` (always, batch, or off)\n{USAGE}")
+                })?);
+            }
             "--seed" => {
                 config.seed = value()?
                     .parse()
@@ -423,45 +534,107 @@ pub fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<LoadgenConfi
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
+    if config.deletes + config.mix.0 + config.mix.1 > 100 {
+        return Err(format!(
+            "--deletes + --mix shares exceed 100 percent\n{USAGE}"
+        ));
+    }
     Ok(config)
 }
 
-/// `mithra bench-report`: measure both front ends under one identical
-/// insert-heavy workload and emit the committed benchmark document
-/// (`BENCH_6.json` shape).
+/// Measures follower catch-up: write `entries` single-row insert entries
+/// to a scratch op log, then time a cold engine reading and replaying the
+/// whole tail — exactly what a follower (or a restarted leader) does.
+/// Returns `(elapsed_secs, ops_per_sec)`.
+fn follower_catchup(entries: usize, attributes: usize, seed: u64) -> Result<(f64, f64), String> {
+    use coverage_service::LoggedOp;
+    let path = std::env::temp_dir().join(format!(
+        "mithra-catchup-{}-{seed}.oplog",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut log = OpLog::open(&path, SyncPolicy::Off)
+        .map_err(|e| format!("op log {}: {e}", path.display()))?;
+    let mut rng = Mix64(seed);
+    for _ in 0..entries {
+        let row: Vec<String> = (0..attributes)
+            .map(|_| if rng.below(2) == 0 { "0" } else { "1" }.to_string())
+            .collect();
+        log.append(LoggedOp::Insert { rows: vec![row] })
+            .map_err(|e| format!("append: {e}"))?;
+    }
+    drop(log);
+    let dataset =
+        airbnb_like(2_000, attributes, seed).map_err(|e| format!("synthetic dataset: {e}"))?;
+    let mut engine =
+        CoverageEngine::new(dataset, Threshold::Count(5)).map_err(|e| format!("engine: {e}"))?;
+    let started = Instant::now();
+    let tail = coverage_service::oplog::read_entries_from(&path, 1)
+        .map_err(|e| format!("read op log: {e}"))?;
+    let applied = coverage_service::replay_entries(&mut engine, &tail, 0)
+        .map_err(|e| format!("replay: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    if applied != entries as u64 {
+        return Err(format!("replayed {applied} of {entries} entries"));
+    }
+    Ok((
+        secs,
+        if secs > 0.0 {
+            entries as f64 / secs
+        } else {
+            0.0
+        },
+    ))
+}
+
+/// `mithra bench-report`: measure the durability cost of the op log under
+/// an identical mixed insert/delete workload (event front end, with and
+/// without `--oplog`) plus follower catch-up replay throughput, and emit
+/// the committed benchmark document (`BENCH_7.json` shape).
 pub fn bench_report(quick: bool) -> Result<String, String> {
     let base = LoadgenConfig {
         connections: if quick { 16 } else { 64 },
         secs: if quick { 1.0 } else { 3.0 },
+        mix: (60, 15),
+        deletes: 20,
         ..LoadgenConfig::default()
     };
-    let event = run(&LoadgenConfig {
-        io: IoMode::Event,
+    let no_oplog = run(&base)?;
+    let with_oplog = run(&LoadgenConfig {
+        oplog: Some(SyncPolicy::Batch),
         ..base.clone()
     })?;
-    let blocking = run(&LoadgenConfig {
-        io: IoMode::Blocking,
-        ..base.clone()
-    })?;
+    let catchup_entries = if quick { 10_000 } else { 50_000 };
+    let (catchup_secs, catchup_ops) =
+        follower_catchup(catchup_entries, base.attributes, base.seed)?;
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let speedup = if blocking.ops_per_sec > 0.0 {
-        event.ops_per_sec / blocking.ops_per_sec
+    let overhead_pct = if no_oplog.ops_per_sec > 0.0 {
+        100.0 * (1.0 - with_oplog.ops_per_sec / no_oplog.ops_per_sec)
     } else {
         0.0
     };
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_6\",\n  \"description\": \"event vs blocking serving front \
-         end, insert-heavy pipelined load\",\n  \"n\": {},\n  \"attributes\": {},\n  \
-         \"connections\": {},\n  \"secs\": {},\n  \"host_cores\": {},\n  \"event\": {},\n  \
-         \"blocking\": {},\n  \"speedup_event_over_blocking\": {:.2}\n}}",
+        "{{\n  \"bench\": \"BENCH_7\",\n  \"description\": \"op-log durability overhead \
+         (leader with vs without --oplog, batch fsync) and follower catch-up replay\",\n  \
+         \"n\": {},\n  \"attributes\": {},\n  \"connections\": {},\n  \"secs\": {},\n  \
+         \"mix_insert_coverage\": [{}, {}],\n  \"deletes_pct\": {},\n  \"host_cores\": {},\n  \
+         \"no_oplog\": {},\n  \"oplog_batch\": {},\n  \"oplog_overhead_pct\": {:.1},\n  \
+         \"catchup\": {{\"entries\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.1}}}\n}}",
         base.rows,
         base.attributes,
         base.connections,
         base.secs,
+        base.mix.0,
+        base.mix.1,
+        base.deletes,
         cores,
-        event.to_json(),
-        blocking.to_json(),
-        speedup,
+        no_oplog.to_json(),
+        with_oplog.to_json(),
+        overhead_pct,
+        catchup_entries,
+        catchup_secs,
+        catchup_ops,
     ))
 }
 
@@ -502,11 +675,71 @@ mod tests {
             &["--connections", "0"][..],
             &["--secs", "-1"][..],
             &["--mix", "90,20"][..],
+            &["--deletes", "101"][..],
+            &["--deletes", "20", "--mix", "70,15"][..],
+            &["--oplog-sync", "fsync"][..],
             &["--frobnicate"][..],
         ] {
             let err = parse_args(argv.iter().map(|s| s.to_string())).unwrap_err();
             assert!(err.contains("usage:"), "{err}");
         }
+    }
+
+    #[test]
+    fn delete_and_oplog_flags_parse() {
+        let config = parse_args(
+            ["--deletes", "20", "--mix", "60,15", "--oplog-sync", "batch"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(config.deletes, 20);
+        assert_eq!(config.oplog, Some(SyncPolicy::Batch));
+    }
+
+    #[test]
+    fn delete_share_generates_deletes_of_previously_inserted_rows() {
+        let mut rng = Mix64(7);
+        let mut inserted = Vec::new();
+        let mut saw_delete = false;
+        let mut saw_insert = false;
+        for _ in 0..200 {
+            let line = gen_request(&mut rng, 4, (50, 10), 30, &mut inserted);
+            if line.contains("\"op\":\"delete\"") {
+                saw_delete = true;
+            }
+            if line.contains("\"op\":\"insert\"") {
+                saw_insert = true;
+            }
+        }
+        assert!(saw_insert && saw_delete, "mixed stream expected");
+        // With no banked inserts yet, a delete roll falls back to insert.
+        let mut empty = Vec::new();
+        let line = gen_request(&mut Mix64(0), 4, (0, 0), 100, &mut empty);
+        assert!(line.contains("\"op\":\"insert\""), "{line}");
+    }
+
+    #[test]
+    fn a_short_run_with_deletes_and_oplog_reaches_the_engine() {
+        let config = LoadgenConfig {
+            connections: 4,
+            secs: 0.4,
+            pipeline: 8,
+            rows: 200,
+            mix: (60, 10),
+            deletes: 25,
+            oplog: Some(SyncPolicy::Off),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).expect("loadgen runs");
+        assert!(report.requests > 0, "{report:?}");
+        assert!(
+            report.delete_requests > 0,
+            "delete share must reach the engine: {report:?}"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"delete_requests\""), "{json}");
+        assert!(json.contains("\"coalesced_deletes\""), "{json}");
     }
 
     #[test]

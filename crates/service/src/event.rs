@@ -51,13 +51,15 @@ use coverage_index::CoverageBackend;
 use crate::engine::CoverageEngine;
 use crate::metrics::{OpClass, ServeMetrics};
 use crate::net::{Interest, Poller};
+use crate::oplog::LoggedOp;
 use crate::protocol::{
     error_response, parse_request, Envelope, ErrorCode, Request, RequestId, ServeError,
 };
 use crate::server::{
-    dispatch, encode_row, insert_response, line_too_long_error, op_class, with_engine_contained,
-    ServeOptions, IDLE_TIMEOUT, MAX_LINE_BYTES,
+    delete_response, dispatch, encode_row, insert_response, line_too_long_error, log_mutation,
+    op_class, sync_oplog_batch, with_engine_contained, ServeOptions, IDLE_TIMEOUT, MAX_LINE_BYTES,
 };
+use crate::tenant::{resolve_tenant, DatasetCounters};
 
 /// Poller token reserved for the listener (connection tokens encode a slab
 /// index in their low 32 bits, bounded far below this).
@@ -200,6 +202,21 @@ fn split_token(token: u64) -> (usize, u32) {
     ((token & u64::from(u32::MAX)) as usize, (token >> 32) as u32)
 }
 
+/// One hosted dataset as the event loop sees it: name for routing, engine,
+/// per-tenant options (snapshot/op-log paths), and the per-dataset request
+/// counter (multi-dataset mode only).
+pub(crate) struct EventTenant<B: CoverageBackend> {
+    /// Routing name; `None` for the single unnamed dataset of a plain
+    /// `serve` call (any `"dataset"` routing then answers an error).
+    pub name: Option<String>,
+    /// The engine serving this dataset.
+    pub engine: Arc<Mutex<CoverageEngine<B>>>,
+    /// This dataset's serving options.
+    pub options: ServeOptions,
+    /// Per-dataset request counter (set up by `serve_tenants`).
+    pub counters: Option<Arc<DatasetCounters>>,
+}
+
 /// One queued unit of work for the drain phase.
 struct PendingItem {
     token: u64,
@@ -209,21 +226,23 @@ struct PendingItem {
 }
 
 enum PendingKind {
-    /// A parsed request that needs the engine.
+    /// A parsed request that needs the engine of tenant `tenant`.
     Op {
+        tenant: usize,
         id: Option<RequestId>,
         request: Request,
     },
     /// A response already in final form (parse error, oversized line,
-    /// admission shed) — flows through the queue so per-connection
-    /// response order matches request order.
+    /// unknown dataset, admission shed) — flows through the queue so
+    /// per-connection response order matches request order.
     Ready(String),
 }
 
 /// An engine-bound request, tagged with its slot in the tick's response
-/// vector.
+/// vector and the tenant it routes to.
 struct OpWork {
     slot: usize,
+    tenant: usize,
     id: Option<RequestId>,
     request: Request,
 }
@@ -242,6 +261,7 @@ fn overloaded_error(max_pending: usize) -> ServeError {
 fn read_ready(
     conn: &mut Conn,
     token: u64,
+    names: &[Option<String>],
     max_pending: usize,
     admitted: &mut usize,
     pending: &mut Vec<PendingItem>,
@@ -268,21 +288,23 @@ fn read_ready(
         // Drain every complete frame the new bytes produced before the
         // next read: the decoder buffer stays bounded by one frame.
         while let Some(frame) = conn.decoder.next_frame() {
-            queue_frame(frame, token, max_pending, admitted, pending, metrics);
+            queue_frame(frame, token, names, max_pending, admitted, pending, metrics);
         }
     }
     if conn.eof {
         if let Some(frame) = conn.decoder.finish() {
-            queue_frame(frame, token, max_pending, admitted, pending, metrics);
+            queue_frame(frame, token, names, max_pending, admitted, pending, metrics);
         }
     }
     true
 }
 
 /// Turns one decoded frame into a pending item (or drops blank lines).
+#[allow(clippy::too_many_arguments)]
 fn queue_frame(
     frame: Frame,
     token: u64,
+    names: &[Option<String>],
     max_pending: usize,
     admitted: &mut usize,
     pending: &mut Vec<PendingItem>,
@@ -307,36 +329,52 @@ fn queue_frame(
                     start,
                     kind: PendingKind::Ready(error_response(failure.id.as_ref(), &failure.error)),
                 },
-                Ok(Envelope { id, request }) => {
-                    if *admitted >= max_pending {
-                        ServeMetrics::add(&metrics.shed_overloaded, 1);
-                        PendingItem {
-                            token,
-                            op: OpClass::Other,
-                            start,
-                            kind: PendingKind::Ready(error_response(
-                                id.as_ref(),
-                                &overloaded_error(max_pending),
-                            )),
-                        }
-                    } else {
-                        *admitted += 1;
-                        PendingItem {
-                            token,
-                            op: op_class(&request),
-                            start,
-                            kind: PendingKind::Op { id, request },
+                Ok(Envelope {
+                    id,
+                    dataset,
+                    request,
+                }) => match resolve_tenant(names, dataset.as_deref()) {
+                    Err(error) => PendingItem {
+                        token,
+                        op: OpClass::Other,
+                        start,
+                        kind: PendingKind::Ready(error_response(id.as_ref(), &error)),
+                    },
+                    Ok(tenant) => {
+                        if *admitted >= max_pending {
+                            ServeMetrics::add(&metrics.shed_overloaded, 1);
+                            PendingItem {
+                                token,
+                                op: OpClass::Other,
+                                start,
+                                kind: PendingKind::Ready(error_response(
+                                    id.as_ref(),
+                                    &overloaded_error(max_pending),
+                                )),
+                            }
+                        } else {
+                            *admitted += 1;
+                            PendingItem {
+                                token,
+                                op: op_class(&request),
+                                start,
+                                kind: PendingKind::Op {
+                                    tenant,
+                                    id,
+                                    request,
+                                },
+                            }
                         }
                     }
-                }
+                },
             }
         }
     };
     pending.push(item);
 }
 
-/// Runs one non-insert (or growth-mode) request and bumps insert counters
-/// when it was a successful insert.
+/// Runs one uncoalesced request and bumps the batching counters when it
+/// was a successful insert or delete.
 fn dispatch_counted<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
@@ -344,16 +382,58 @@ fn dispatch_counted<B: CoverageBackend>(
     id: Option<&RequestId>,
     request: Request,
 ) -> String {
-    let is_insert = matches!(request, Request::Insert { .. });
+    let class = op_class(&request);
     let response = match dispatch(engine, options, id, request, Some(metrics)) {
         Ok(response) => response,
         Err(error) => error_response(id, &error),
     };
-    if is_insert && response.starts_with("{\"ok\":true") {
-        ServeMetrics::add(&metrics.insert_requests, 1);
-        ServeMetrics::add(&metrics.insert_engine_batches, 1);
+    if response.starts_with("{\"ok\":true") {
+        match class {
+            OpClass::Insert => {
+                ServeMetrics::add(&metrics.insert_requests, 1);
+                ServeMetrics::add(&metrics.insert_engine_batches, 1);
+            }
+            OpClass::Delete => {
+                ServeMetrics::add(&metrics.delete_requests, 1);
+                ServeMetrics::add(&metrics.delete_engine_batches, 1);
+            }
+            OpClass::Other => {}
+        }
     }
     response
+}
+
+/// A coalesced-run entry: `(slot, id, raw rows, coded rows)` for requests
+/// that encoded, or the finished error response for ones that did not.
+/// The raw rows ride along so the op log records what the client sent.
+type RunEntry = Result<(usize, Option<RequestId>, Vec<Vec<String>>, Vec<Vec<u8>>), (usize, String)>;
+
+/// Encodes every request of a run up front; per-request encoding failures
+/// answer their own error and take no part in the combined batch.
+fn encode_run<B: CoverageBackend>(
+    engine: &CoverageEngine<B>,
+    run: &mut Vec<OpWork>,
+) -> Vec<RunEntry> {
+    let schema = engine.dataset().schema();
+    run.drain(..)
+        .map(|op| {
+            let OpWork {
+                slot, id, request, ..
+            } = op;
+            let rows = match request {
+                Request::Insert { rows } | Request::Delete { rows } => rows,
+                _ => unreachable!("coalesced runs hold only inserts or deletes"),
+            };
+            match rows
+                .iter()
+                .map(|r| encode_row(schema, r))
+                .collect::<Result<Vec<Vec<u8>>, ServeError>>()
+            {
+                Ok(coded) => Ok((slot, id, rows, coded)),
+                Err(e) => Err((slot, error_response(id.as_ref(), &e))),
+            }
+        })
+        .collect()
 }
 
 /// Serves a run of ≥1 consecutive insert requests (coalescing them into
@@ -370,40 +450,20 @@ fn flush_insert_run<B: CoverageBackend>(
         return;
     }
     if run.len() == 1 {
-        let OpWork { slot, id, request } = run.pop().unwrap();
+        let OpWork {
+            slot, id, request, ..
+        } = run.pop().unwrap();
         out.push((
             slot,
             dispatch_counted(engine, options, metrics, id.as_ref(), request),
         ));
         return;
     }
-    // Encode every request up front; per-request encoding failures answer
-    // their own error and take no part in the combined batch.
-    type Entry = Result<(usize, Option<RequestId>, Vec<Vec<u8>>), (usize, String)>;
-    let entries: Vec<Entry> = {
-        let schema = engine.dataset().schema();
-        run.drain(..)
-            .map(|op| {
-                let OpWork { slot, id, request } = op;
-                let rows = match request {
-                    Request::Insert { rows } => rows,
-                    _ => unreachable!("insert runs hold only inserts"),
-                };
-                match rows
-                    .iter()
-                    .map(|r| encode_row(schema, r))
-                    .collect::<Result<Vec<Vec<u8>>, ServeError>>()
-                {
-                    Ok(coded) => Ok((slot, id, coded)),
-                    Err(e) => Err((slot, error_response(id.as_ref(), &e))),
-                }
-            })
-            .collect()
-    };
+    let entries = encode_run(engine, run);
     let combined: Vec<Vec<u8>> = entries
         .iter()
         .filter_map(|e| e.as_ref().ok())
-        .flat_map(|(_, _, coded)| coded.iter().cloned())
+        .flat_map(|(_, _, _, coded)| coded.iter().cloned())
         .collect();
     let served = entries.iter().filter(|e| e.is_ok()).count();
     let len_before = engine.dataset().len();
@@ -412,12 +472,19 @@ fn flush_insert_run<B: CoverageBackend>(
             // One engine batch answered `served` requests: fan responses
             // back with the dataset length each would have observed had it
             // run alone, in queue order — byte-identical to sequential.
+            // The op log gets one entry per logical request, same order.
             let mut rows_so_far = len_before;
             for entry in entries {
                 match entry {
-                    Ok((slot, id, coded)) => {
+                    Ok((slot, id, raw, coded)) => {
                         rows_so_far += coded.len();
-                        out.push((slot, insert_response(id.as_ref(), coded.len(), rows_so_far)));
+                        match log_mutation(options, || LoggedOp::Insert { rows: raw }) {
+                            Ok(()) => out.push((
+                                slot,
+                                insert_response(id.as_ref(), coded.len(), rows_so_far),
+                            )),
+                            Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
+                        }
                     }
                     Err((slot, response)) => out.push((slot, response)),
                 }
@@ -437,14 +504,21 @@ fn flush_insert_run<B: CoverageBackend>(
             // verdict sequential execution would have given it.
             for entry in entries {
                 match entry {
-                    Ok((slot, id, coded)) => match engine.insert_batch(&coded) {
+                    Ok((slot, id, raw, coded)) => match engine.insert_batch(&coded) {
                         Ok(()) => {
                             ServeMetrics::add(&metrics.insert_requests, 1);
                             ServeMetrics::add(&metrics.insert_engine_batches, 1);
-                            out.push((
-                                slot,
-                                insert_response(id.as_ref(), coded.len(), engine.dataset().len()),
-                            ));
+                            match log_mutation(options, || LoggedOp::Insert { rows: raw }) {
+                                Ok(()) => out.push((
+                                    slot,
+                                    insert_response(
+                                        id.as_ref(),
+                                        coded.len(),
+                                        engine.dataset().len(),
+                                    ),
+                                )),
+                                Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
+                            }
                         }
                         Err(e) => out.push((
                             slot,
@@ -458,9 +532,112 @@ fn flush_insert_run<B: CoverageBackend>(
     }
 }
 
+/// Serves a run of ≥1 consecutive delete requests, mirroring
+/// [`flush_insert_run`]: one `remove_batch` when the run coalesces, with
+/// per-request responses reconstructed byte-identically to sequential
+/// execution (`rows` counts down as each request's deletions land).
+fn flush_delete_run<B: CoverageBackend>(
+    engine: &mut CoverageEngine<B>,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+    run: &mut Vec<OpWork>,
+    out: &mut Vec<(usize, String)>,
+) {
+    if run.is_empty() {
+        return;
+    }
+    if run.len() == 1 {
+        let OpWork {
+            slot, id, request, ..
+        } = run.pop().unwrap();
+        out.push((
+            slot,
+            dispatch_counted(engine, options, metrics, id.as_ref(), request),
+        ));
+        return;
+    }
+    let entries = encode_run(engine, run);
+    let combined: Vec<Vec<u8>> = entries
+        .iter()
+        .filter_map(|e| e.as_ref().ok())
+        .flat_map(|(_, _, _, coded)| coded.iter().cloned())
+        .collect();
+    let served = entries.iter().filter(|e| e.is_ok()).count();
+    let len_before = engine.dataset().len();
+    match engine.remove_batch(&combined) {
+        Ok(()) => {
+            let mut rows_so_far = len_before;
+            for entry in entries {
+                match entry {
+                    Ok((slot, id, raw, coded)) => {
+                        rows_so_far -= coded.len();
+                        match log_mutation(options, || LoggedOp::Delete { rows: raw }) {
+                            Ok(()) => out.push((
+                                slot,
+                                delete_response(id.as_ref(), coded.len(), rows_so_far),
+                            )),
+                            Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
+                        }
+                    }
+                    Err((slot, response)) => out.push((slot, response)),
+                }
+            }
+            if served > 0 {
+                ServeMetrics::add(&metrics.delete_engine_batches, 1);
+                ServeMetrics::add(&metrics.delete_requests, served as u64);
+                if served > 1 {
+                    ServeMetrics::add(&metrics.coalesced_deletes, served as u64);
+                }
+            }
+        }
+        Err(_) => {
+            // The combined batch was rejected atomically — and for deletes
+            // this is a *real* path, not just a safety net: two requests
+            // each deleting the last copy of the same row fail combined
+            // (multiplicity check) but sequentially the first succeeds and
+            // the second answers `row_not_found`. Replay per request so
+            // every response matches sequential execution exactly.
+            for entry in entries {
+                match entry {
+                    Ok((slot, id, raw, coded)) => match engine.remove_batch(&coded) {
+                        Ok(()) => {
+                            ServeMetrics::add(&metrics.delete_requests, 1);
+                            ServeMetrics::add(&metrics.delete_engine_batches, 1);
+                            match log_mutation(options, || LoggedOp::Delete { rows: raw }) {
+                                Ok(()) => out.push((
+                                    slot,
+                                    delete_response(
+                                        id.as_ref(),
+                                        coded.len(),
+                                        engine.dataset().len(),
+                                    ),
+                                )),
+                                Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
+                            }
+                        }
+                        Err(e) => out.push((
+                            slot,
+                            error_response(id.as_ref(), &ServeError::from_service(e)),
+                        )),
+                    },
+                    Err((slot, response)) => out.push((slot, response)),
+                }
+            }
+        }
+    }
+}
+
+/// What kind of coalesced run an op can join.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunKind {
+    Insert,
+    Delete,
+}
+
 /// Serves every engine-bound request of one tick, coalescing consecutive
-/// insert runs (when dictionary growth is off — growth encoding mutates
-/// the schema mid-run, so growth mode serves inserts individually).
+/// runs of inserts (when dictionary growth is off — growth encoding
+/// mutates the schema mid-run, so growth mode serves inserts
+/// individually) and of deletes (always: deletes never grow the schema).
 fn process_ops<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
@@ -469,19 +646,43 @@ fn process_ops<B: CoverageBackend>(
 ) -> Vec<(usize, String)> {
     let mut out = Vec::with_capacity(ops.len());
     let mut run: Vec<OpWork> = Vec::new();
+    let mut run_kind: Option<RunKind> = None;
+    let flush = |engine: &mut CoverageEngine<B>,
+                 kind: Option<RunKind>,
+                 run: &mut Vec<OpWork>,
+                 out: &mut Vec<(usize, String)>| match kind {
+        Some(RunKind::Insert) => flush_insert_run(engine, options, metrics, run, out),
+        Some(RunKind::Delete) => flush_delete_run(engine, options, metrics, run, out),
+        None => {}
+    };
     for op in ops {
-        if !options.grow_schema() && matches!(op.request, Request::Insert { .. }) {
+        let kind = match &op.request {
+            Request::Insert { .. } if !options.grow_schema() => Some(RunKind::Insert),
+            Request::Delete { .. } => Some(RunKind::Delete),
+            _ => None,
+        };
+        if kind.is_some() && kind == run_kind {
             run.push(op);
             continue;
         }
-        flush_insert_run(engine, options, metrics, &mut run, &mut out);
-        let OpWork { slot, id, request } = op;
-        out.push((
-            slot,
-            dispatch_counted(engine, options, metrics, id.as_ref(), request),
-        ));
+        flush(engine, run_kind.take(), &mut run, &mut out);
+        match kind {
+            Some(k) => {
+                run_kind = Some(k);
+                run.push(op);
+            }
+            None => {
+                let OpWork {
+                    slot, id, request, ..
+                } = op;
+                out.push((
+                    slot,
+                    dispatch_counted(engine, options, metrics, id.as_ref(), request),
+                ));
+            }
+        }
     }
-    flush_insert_run(engine, options, metrics, &mut run, &mut out);
+    flush(engine, run_kind.take(), &mut run, &mut out);
     out
 }
 
@@ -505,13 +706,38 @@ fn flush(conn: &mut Conn) -> bool {
 }
 
 /// The event-driven front end behind [`crate::serve`] with
-/// [`IoMode::Event`](crate::IoMode::Event). Runs until the listener or
-/// poller fails.
+/// [`IoMode::Event`](crate::IoMode::Event): the single-dataset case of
+/// [`serve_event_tenants`]. Runs until the listener or poller fails.
 pub(crate) fn serve_event<B: CoverageBackend>(
     engine: Arc<Mutex<CoverageEngine<B>>>,
     options: ServeOptions,
     listener: TcpListener,
 ) -> io::Result<()> {
+    serve_event_tenants(
+        vec![EventTenant {
+            name: None,
+            engine,
+            options,
+            counters: None,
+        }],
+        listener,
+    )
+}
+
+/// The event loop proper, hosting one or more datasets. Shared machinery —
+/// poller, connection slab, admission budget (`max_pending` read from
+/// tenant 0), I/O metrics — is per-process; each tick's engine-bound ops
+/// are split into maximal runs of consecutive same-tenant requests and
+/// each run is served under that tenant's engine lock (so cross-connection
+/// coalescing still happens within a tenant, and tenants can't corrupt
+/// each other: panic containment rebuilds only the tenant that panicked).
+pub(crate) fn serve_event_tenants<B: CoverageBackend>(
+    tenants: Vec<EventTenant<B>>,
+    listener: TcpListener,
+) -> io::Result<()> {
+    assert!(!tenants.is_empty(), "serve_event_tenants needs >= 1 tenant");
+    let names: Vec<Option<String>> = tenants.iter().map(|t| t.name.clone()).collect();
+    let max_pending = tenants[0].options.max_pending();
     listener.set_nonblocking(true)?;
     let poller = Poller::new()?;
     poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
@@ -601,7 +827,8 @@ pub(crate) fn serve_event<B: CoverageBackend>(
                 && !read_ready(
                     conn,
                     event.token,
-                    options.max_pending(),
+                    &names,
+                    max_pending,
                     &mut admitted,
                     &mut pending,
                     &metrics,
@@ -627,34 +854,62 @@ pub(crate) fn serve_event<B: CoverageBackend>(
                     PendingKind::Ready(response) => {
                         slots[slot] = Some(std::mem::take(response));
                     }
-                    PendingKind::Op { id, request } => {
+                    PendingKind::Op {
+                        tenant,
+                        id,
+                        request,
+                    } => {
                         // Move the op out; the queue keeps token/op/start
                         // for routing and latency accounting.
+                        let tenant = *tenant;
                         let id = id.take();
                         let request = std::mem::replace(request, Request::Stats);
-                        ops.push(OpWork { slot, id, request });
+                        ops.push(OpWork {
+                            slot,
+                            tenant,
+                            id,
+                            request,
+                        });
                     }
                 }
             }
-            if !ops.is_empty() {
-                // If the drain panics mid-batch, every op of the tick
-                // answers an internal error (the engine was rebuilt);
-                // responses already formed stay intact.
+            // Serve the tick's ops in maximal runs of consecutive
+            // same-tenant requests, each under its own tenant's engine
+            // lock. If a run panics mid-batch, every op of that run
+            // answers an internal error (that tenant's engine was
+            // rebuilt); other tenants' runs and already-formed responses
+            // stay intact.
+            let mut ops = ops.into_iter().peekable();
+            while let Some(first) = ops.next() {
+                let tenant = &tenants[first.tenant];
+                let mut segment = vec![first];
+                while ops.peek().is_some_and(|op| op.tenant == segment[0].tenant) {
+                    segment.push(ops.next().unwrap());
+                }
+                if let Some(counters) = &tenant.counters {
+                    counters.add_requests(segment.len() as u64);
+                }
                 let failure_meta: Vec<(usize, Option<RequestId>)> =
-                    ops.iter().map(|op| (op.slot, op.id.clone())).collect();
+                    segment.iter().map(|op| (op.slot, op.id.clone())).collect();
                 let results = with_engine_contained(
-                    &engine,
+                    &tenant.engine,
                     |error| {
                         failure_meta
                             .iter()
                             .map(|(slot, id)| (*slot, error_response(id.as_ref(), &error)))
                             .collect()
                     },
-                    |engine| process_ops(engine, &options, &metrics, ops),
+                    |engine| process_ops(engine, &tenant.options, &metrics, segment),
                 );
                 for (slot, response) in results {
                     slots[slot] = Some(response);
                 }
+            }
+            // One durability point per tick per tenant: everything the
+            // tick appended to an op log is fsynced (under the default
+            // batch policy) before any of the tick's responses go out.
+            for tenant in &tenants {
+                sync_oplog_batch(&tenant.options);
             }
             // Stage responses in decode order so each connection sees its
             // own requests answered strictly in the order it sent them.

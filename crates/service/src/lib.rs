@@ -23,7 +23,17 @@
 //! * [`cache`] — the bounded LRU pattern-coverage memo, invalidated only
 //!   for patterns matching the delta;
 //! * [`snapshot`] — versioned on-disk engine state, so a restarted server
-//!   resumes without a full re-audit;
+//!   resumes without a full re-audit; since v4 a snapshot carries the op-log
+//!   sequence number it captured (`oplog_seq`), anchoring tail replay;
+//! * [`oplog`] — the append-only durability log (`--oplog`): every applied
+//!   mutation becomes one NDJSON entry with a dense sequence number, so
+//!   recovery is snapshot + tail replay and followers can stream the tail;
+//! * [`replica`] — read-only followers (`mithra serve --follow`): a
+//!   background thread polls the leader's `replicate` op (or tails a shared
+//!   log file) and applies entries through the ordinary engine path;
+//! * [`tenant`] — multi-dataset tenancy (`mithra serve --datasets`): N
+//!   engines behind one event loop, routed by the optional `"dataset"`
+//!   request field;
 //! * [`protocol`] — hand-rolled NDJSON request parsing and response
 //!   serialization (no external dependencies), including the request
 //!   envelope (optional client `id`, echoed back) and the stable
@@ -78,9 +88,12 @@ pub mod engine;
 mod event;
 pub mod metrics;
 pub mod net;
+pub mod oplog;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod snapshot;
+pub mod tenant;
 
 pub use cache::CoverageCache;
 pub use delta::DeltaOutcome;
@@ -90,10 +103,16 @@ pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
 /// [`CoverageEngine`] over a row-sharded oracle.
 pub type ShardedCoverageEngine = CoverageEngine<coverage_index::ShardedOracle>;
 pub use metrics::ServeMetrics;
+pub use oplog::{LogEntry, LoggedOp, OpLog, SyncPolicy, OPLOG_VERSION};
+pub use replica::{apply_entry, replay_entries, run_follower, ReplicaSource, ReplicationStatus};
 pub use server::{
     handle_line, serve, serve_lines, IoMode, ServeOptions, DEFAULT_MAX_PENDING, DEFAULT_WORKERS,
 };
-pub use snapshot::{load_snapshot, load_snapshot_with_layout, save_snapshot, SNAPSHOT_VERSION};
+pub use snapshot::{
+    load_snapshot, load_snapshot_anchored, load_snapshot_with_layout, save_snapshot,
+    save_snapshot_anchored, SNAPSHOT_VERSION,
+};
+pub use tenant::{serve_tenants, DatasetCounters, TenantSpec};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

@@ -143,6 +143,13 @@ pub struct ServeMetrics {
     /// Insert requests that shared their engine batch with at least one
     /// other request (the acceptance metric for coalescing).
     pub coalesced_inserts: AtomicU64,
+    /// Delete requests answered successfully.
+    pub delete_requests: AtomicU64,
+    /// `remove_batch` calls made on the engine for those requests.
+    pub delete_engine_batches: AtomicU64,
+    /// Delete requests that shared their engine batch with at least one
+    /// other request.
+    pub coalesced_deletes: AtomicU64,
     /// Requests shed with an `overloaded` response by admission control.
     pub shed_overloaded: AtomicU64,
     /// Connections accepted over the lifetime of the front end.
@@ -164,17 +171,30 @@ impl ServeMetrics {
     /// Appends the `stats` response's `"io"` section: counters plus
     /// per-op `count`/`p50`/`p95`/`p99` (nanoseconds).
     pub fn write_json(&self, out: &mut String) {
+        self.write_json_fields(out);
+        out.push('}');
+    }
+
+    /// Like [`ServeMetrics::write_json`] but leaves the object **open** so
+    /// the caller can splice in extra fields (the multi-dataset front end
+    /// appends a per-dataset counter array) before closing the brace.
+    pub fn write_json_fields(&self, out: &mut String) {
         use std::fmt::Write as _;
         let _ = write!(
             out,
             "{{\"requests\":{},\"connections\":{},\"insert_requests\":{},\
              \"insert_engine_batches\":{},\"coalesced_inserts\":{},\
+             \"delete_requests\":{},\"delete_engine_batches\":{},\
+             \"coalesced_deletes\":{},\
              \"shed_overloaded\":{},\"latency_ns\":{{",
             self.requests.load(Ordering::Relaxed),
             self.connections.load(Ordering::Relaxed),
             self.insert_requests.load(Ordering::Relaxed),
             self.insert_engine_batches.load(Ordering::Relaxed),
             self.coalesced_inserts.load(Ordering::Relaxed),
+            self.delete_requests.load(Ordering::Relaxed),
+            self.delete_engine_batches.load(Ordering::Relaxed),
+            self.coalesced_deletes.load(Ordering::Relaxed),
             self.shed_overloaded.load(Ordering::Relaxed),
         );
         for (i, op) in OpClass::ALL.into_iter().enumerate() {
@@ -192,7 +212,7 @@ impl ServeMetrics {
                 snap.quantile(0.99),
             );
         }
-        out.push_str("}}");
+        out.push('}');
     }
 }
 
@@ -243,6 +263,8 @@ mod tests {
         let doc = Json::parse(&out).expect("io section parses");
         assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("insert_requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("delete_requests").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("coalesced_deletes").and_then(Json::as_u64), Some(0));
         let lat = doc.get("latency_ns").unwrap();
         assert_eq!(
             lat.get("insert")

@@ -389,6 +389,10 @@ pub enum ErrorCode {
     ThresholdMismatch,
     /// The server shed this request under admission control; retry later.
     Overloaded,
+    /// A mutation was sent to a read-only follower replica.
+    ReadOnly,
+    /// The request named a dataset this server does not host.
+    UnknownDataset,
     /// The handler failed internally (e.g. a contained panic).
     Internal,
 }
@@ -412,6 +416,8 @@ impl ErrorCode {
             ErrorCode::SnapshotIo => "snapshot_io",
             ErrorCode::ThresholdMismatch => "threshold_mismatch",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ReadOnly => "read_only",
+            ErrorCode::UnknownDataset => "unknown_dataset",
             ErrorCode::Internal => "internal",
         }
     }
@@ -563,6 +569,12 @@ pub enum Request {
     },
     /// Engine statistics.
     Stats,
+    /// Fetch a batch of op-log entries starting at a sequence number
+    /// (leader side of follower replication).
+    Replicate {
+        /// The first sequence number wanted (entries with `seq >= from`).
+        from_seq: u64,
+    },
 }
 
 /// A parsed request line: the optional client id plus the validated op.
@@ -570,6 +582,9 @@ pub enum Request {
 pub struct Envelope {
     /// The client's correlation id, echoed in the response.
     pub id: Option<RequestId>,
+    /// The dataset this request addresses in multi-tenant mode (absent =
+    /// the default dataset, byte-compatible with single-dataset clients).
+    pub dataset: Option<String>,
     /// The validated operation.
     pub request: Request,
 }
@@ -659,6 +674,11 @@ pub fn parse_request(line: &str) -> Result<Envelope, ParseFailure> {
         error: ServeError::new(code, message),
     };
     let bad = |message: &str| fail(ErrorCode::BadRequest, message.into());
+    let dataset = match doc.get("dataset") {
+        None | Some(Json::Null) => None,
+        Some(Json::String(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("`dataset` must be a string")),
+    };
     let op = match doc.get("op").and_then(Json::as_str) {
         Some(op) => op,
         None => return Err(fail(ErrorCode::Parse, "missing string field `op`".into())),
@@ -715,16 +735,27 @@ pub fn parse_request(line: &str) -> Result<Envelope, ParseFailure> {
             }
         }
         "stats" => Request::Stats,
+        "replicate" => {
+            let from_seq = doc
+                .get("from")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("replicate needs a non-negative integer field `from`"))?;
+            Request::Replicate { from_seq }
+        }
         other => {
             return Err(fail(
                 ErrorCode::UnknownOp,
                 format!(
-                    "unknown op `{other}` (expected insert|delete|grow|mups|coverage|enhance|stats|snapshot|restore)"
+                    "unknown op `{other}` (expected insert|delete|grow|mups|coverage|enhance|stats|snapshot|restore|replicate)"
                 ),
             ))
         }
     };
-    Ok(Envelope { id, request })
+    Ok(Envelope {
+        id,
+        dataset,
+        request,
+    })
 }
 
 /// Builds the uniform `{"ok":false,"id":…,"code":…,"error":…}` response for
@@ -817,6 +848,31 @@ mod tests {
             Request::Enhance { lambda: 2 }
         );
         assert_eq!(parse_op(r#"{"op":"stats"}"#), Request::Stats);
+        assert_eq!(
+            parse_op(r#"{"op":"replicate","from":17}"#),
+            Request::Replicate { from_seq: 17 }
+        );
+    }
+
+    #[test]
+    fn dataset_field_parses() {
+        // Absent and null both mean "the default dataset".
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap().dataset, None);
+        assert_eq!(
+            parse_request(r#"{"op":"stats","dataset":null}"#)
+                .unwrap()
+                .dataset,
+            None
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats","dataset":"jobs"}"#)
+                .unwrap()
+                .dataset,
+            Some("jobs".to_string())
+        );
+        let err = parse_request(r#"{"op":"stats","dataset":7}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::BadRequest);
+        assert!(err.error.message.contains("`dataset` must be a string"));
     }
 
     #[test]
@@ -865,6 +921,8 @@ mod tests {
                 r#"{"op":"enhance","lambda":"two"}"#,
                 "integer field `lambda`",
             ),
+            (r#"{"op":"replicate"}"#, "integer field `from`"),
+            (r#"{"op":"replicate","from":-1}"#, "integer field `from`"),
             (r#"{"op":"stats"} trailing"#, "trailing characters"),
         ] {
             let err = parse_request(line).unwrap_err();

@@ -33,11 +33,14 @@ use coverage_index::CoverageBackend;
 
 use crate::engine::CoverageEngine;
 use crate::metrics::{OpClass, ServeMetrics};
+use crate::oplog::{LoggedOp, OpLog, REPLICATE_BATCH_LIMIT};
 use crate::protocol::{
     error_response, ok_head, parse_request, write_json_string, Envelope, ErrorCode, Request,
     RequestId, ServeError,
 };
-use crate::snapshot::save_snapshot;
+use crate::replica::ReplicationStatus;
+use crate::snapshot::save_snapshot_anchored;
+use crate::tenant::DatasetCounters;
 
 /// Default number of worker threads for [`IoMode::Blocking`].
 pub const DEFAULT_WORKERS: usize = 4;
@@ -75,6 +78,10 @@ pub struct ServeOptions {
     io: IoMode,
     workers: usize,
     max_pending: usize,
+    oplog: Option<Arc<Mutex<OpLog>>>,
+    read_only: bool,
+    replication: Option<Arc<ReplicationStatus>>,
+    datasets: Option<Arc<Vec<Arc<DatasetCounters>>>>,
 }
 
 impl Default for ServeOptions {
@@ -85,6 +92,10 @@ impl Default for ServeOptions {
             io: IoMode::default(),
             workers: DEFAULT_WORKERS,
             max_pending: DEFAULT_MAX_PENDING,
+            oplog: None,
+            read_only: false,
+            replication: None,
+            datasets: None,
         }
     }
 }
@@ -130,6 +141,39 @@ impl ServeOptions {
         self
     }
 
+    /// Attaches a durable op log (`mithra serve --oplog PATH`): every
+    /// mutating op that the engine accepts is appended before its success
+    /// response is sent, and the `replicate` op serves the retained tail.
+    pub fn with_oplog(mut self, oplog: Option<Arc<Mutex<OpLog>>>) -> Self {
+        self.oplog = oplog;
+        self
+    }
+
+    /// Marks this server a read-only follower (`mithra serve --follow`):
+    /// `insert`/`delete`/`grow`/`restore` answer a `read_only` error while
+    /// the replication thread applies the leader's log.
+    pub fn with_read_only(mut self, read_only: bool) -> Self {
+        self.read_only = read_only;
+        self
+    }
+
+    /// Attaches follower replication progress, surfaced by the `stats` op
+    /// as the `"replication"` section.
+    pub fn with_replication(mut self, replication: Option<Arc<ReplicationStatus>>) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Attaches the multi-dataset counter directory, surfaced by the
+    /// `stats` op as `io.datasets` (set up by [`crate::serve_tenants`]).
+    pub fn with_dataset_directory(
+        mut self,
+        datasets: Option<Arc<Vec<Arc<DatasetCounters>>>>,
+    ) -> Self {
+        self.datasets = datasets;
+        self
+    }
+
     /// The configured snapshot path, if any.
     pub fn snapshot_path(&self) -> Option<&Path> {
         self.snapshot_path.as_deref()
@@ -154,6 +198,93 @@ impl ServeOptions {
     pub fn max_pending(&self) -> usize {
         self.max_pending
     }
+
+    /// The attached op log, if this server is a durable leader.
+    pub fn oplog(&self) -> Option<&Arc<Mutex<OpLog>>> {
+        self.oplog.as_ref()
+    }
+
+    /// Whether mutations are rejected with a `read_only` error.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Follower replication progress, if this server is a follower.
+    pub fn replication(&self) -> Option<&Arc<ReplicationStatus>> {
+        self.replication.as_ref()
+    }
+
+    /// The multi-dataset counter directory, if this server hosts several.
+    pub fn dataset_directory(&self) -> Option<&Arc<Vec<Arc<DatasetCounters>>>> {
+        self.datasets.as_ref()
+    }
+
+    /// The op-log position a snapshot taken *now* must anchor to: the last
+    /// appended seq on a leader, the last applied seq on a follower, 0 on
+    /// a standalone server (anchor 0 = "replay the whole log").
+    pub(crate) fn snapshot_anchor(&self) -> u64 {
+        if let Some(oplog) = &self.oplog {
+            let log = match oplog.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return log.last_seq();
+        }
+        if let Some(replication) = &self.replication {
+            return replication.applied_seq();
+        }
+        0
+    }
+}
+
+/// Appends one accepted mutation to the configured op log (no-op without
+/// one). The append happens *after* the engine applied the op and *before*
+/// the success response is sent: a crash in between loses only an op the
+/// client never saw acknowledged. An append failure (disk full, log gone)
+/// is answered as an `internal` error even though the engine applied —
+/// the message says so, and the operator must intervene anyway.
+pub(crate) fn log_mutation(
+    options: &ServeOptions,
+    op: impl FnOnce() -> LoggedOp,
+) -> Result<(), ServeError> {
+    let Some(oplog) = options.oplog() else {
+        return Ok(());
+    };
+    let mut log = match oplog.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    log.append(op()).map(|_| ()).map_err(|e| {
+        ServeError::new(
+            ErrorCode::Internal,
+            format!("op applied but appending to the op log failed: {e}"),
+        )
+    })
+}
+
+/// Flushes a `batch`-policy op log to disk (no-op without one, or under
+/// `always`/`off`). The front ends call this once per tick (event) or once
+/// per request (blocking/stdin, where `batch` degenerates to `always`).
+pub(crate) fn sync_oplog_batch(options: &ServeOptions) {
+    if let Some(oplog) = options.oplog() {
+        let mut log = match oplog.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = log.sync_batch();
+    }
+}
+
+/// The `unknown_dataset` error a single-dataset server answers when a
+/// request carries `"dataset"` routing.
+pub(crate) fn unknown_dataset_error(name: &str) -> ServeError {
+    ServeError::new(
+        ErrorCode::UnknownDataset,
+        format!(
+            "unknown dataset `{name}`: this server hosts a single unnamed dataset \
+             (multi-dataset routing needs `mithra serve --datasets …`)"
+        ),
+    )
 }
 
 /// Encodes one protocol row (raw value names) into schema codes.
@@ -188,7 +319,7 @@ pub(crate) fn encode_row(schema: &Schema, raw: &[String]) -> Result<Vec<u8>, Ser
 /// so a rejected batch (bad arity, a dictionary at the cardinality
 /// ceiling) registers nothing: insert stays atomic even while it grows
 /// dictionaries.
-fn encode_rows_growing<B: CoverageBackend>(
+pub(crate) fn encode_rows_growing<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     rows: &[Vec<String>],
 ) -> Result<Vec<Vec<u8>>, ServeError> {
@@ -267,6 +398,19 @@ pub(crate) fn insert_response(id: Option<&RequestId>, inserted: usize, rows: usi
     out
 }
 
+/// The success response for a `delete` of `deleted` rows leaving the
+/// dataset at `rows` total. Shared by [`dispatch`] and the event loop's
+/// coalesced path so the two front ends answer byte-for-byte identically.
+pub(crate) fn delete_response(id: Option<&RequestId>, deleted: usize, rows: usize) -> String {
+    let mut out = String::with_capacity(64);
+    ok_head(&mut out, id);
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(",\"op\":\"delete\",\"deleted\":{deleted},\"rows\":{rows}}}"),
+    );
+    out
+}
+
 /// The `line_too_long` error answered for an oversized request line.
 pub(crate) fn line_too_long_error() -> ServeError {
     ServeError::new(
@@ -299,6 +443,20 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             "no snapshot path configured (start with `mithra serve … --snapshot PATH`)",
         )
     };
+    if options.read_only
+        && matches!(
+            request,
+            Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::Grow { .. }
+                | Request::Restore
+        )
+    {
+        return Err(ServeError::new(
+            ErrorCode::ReadOnly,
+            "this server is a read-only follower; send mutations to the leader",
+        ));
+    }
     let mut out = String::with_capacity(128);
     ok_head(&mut out, id);
     match request {
@@ -313,6 +471,7 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             engine
                 .insert_batch(&coded)
                 .map_err(ServeError::from_service)?;
+            log_mutation(options, || LoggedOp::Insert { rows })?;
             return Ok(insert_response(id, coded.len(), engine.dataset().len()));
         }
         Request::Delete { rows } => {
@@ -323,14 +482,8 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             engine
                 .remove_batch(&coded)
                 .map_err(ServeError::from_service)?;
-            let _ = std::fmt::Write::write_fmt(
-                &mut out,
-                format_args!(
-                    ",\"op\":\"delete\",\"deleted\":{},\"rows\":{}}}",
-                    coded.len(),
-                    engine.dataset().len(),
-                ),
-            );
+            log_mutation(options, || LoggedOp::Delete { rows })?;
+            return Ok(delete_response(id, coded.len(), engine.dataset().len()));
         }
         Request::Grow { attribute, value } => {
             let index = engine
@@ -341,6 +494,10 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             let code = engine
                 .grow_value(index, &value)
                 .map_err(ServeError::from_service)?;
+            log_mutation(options, || LoggedOp::Grow {
+                attribute: attribute.clone(),
+                value: value.clone(),
+            })?;
             out.push_str(",\"op\":\"grow\",\"attribute\":");
             write_json_string(&mut out, &attribute);
             out.push_str(",\"value\":");
@@ -356,13 +513,29 @@ pub(crate) fn dispatch<B: CoverageBackend>(
         }
         Request::Snapshot => {
             let path = options.snapshot_path().ok_or_else(no_snapshot)?;
-            save_snapshot(engine, path).map_err(ServeError::from_service)?;
+            // The snapshot anchors the op-log position it captured; on a
+            // leader the log is then truncated through that anchor —
+            // recovery restores the snapshot and replays only the tail.
+            let anchor = options.snapshot_anchor();
+            save_snapshot_anchored(engine, path, anchor).map_err(ServeError::from_service)?;
+            if let Some(oplog) = options.oplog() {
+                let mut log = match oplog.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                log.truncate_through(anchor).map_err(|e| {
+                    ServeError::new(
+                        ErrorCode::Internal,
+                        format!("snapshot saved but truncating the op log failed: {e}"),
+                    )
+                })?;
+            }
             out.push_str(",\"op\":\"snapshot\",\"path\":");
             write_json_string(&mut out, &path.display().to_string());
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
-                    ",\"rows\":{},\"mups\":{}}}",
+                    ",\"rows\":{},\"mups\":{},\"oplog_seq\":{anchor}}}",
                     engine.dataset().len(),
                     engine.mups().len()
                 ),
@@ -370,6 +543,13 @@ pub(crate) fn dispatch<B: CoverageBackend>(
         }
         Request::Restore => {
             let path = options.snapshot_path().ok_or_else(no_snapshot)?;
+            if options.oplog().is_some() {
+                return Err(ServeError::new(
+                    ErrorCode::BadRequest,
+                    "restore is not supported while an op log is enabled (it would desync \
+                     followers); restart the server to recover from the snapshot + log",
+                ));
+            }
             // The op restores *data*, not deployment config: the serving
             // process keeps its current shard layout (which already
             // reflects any CLI --shards override) rather than silently
@@ -475,6 +655,49 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             }
             out.push_str("]}");
         }
+        Request::Replicate { from_seq } => {
+            let Some(oplog) = options.oplog() else {
+                return Err(ServeError::new(
+                    ErrorCode::BadRequest,
+                    "this server has no op log to replicate from (start the leader with \
+                     `mithra serve … --oplog PATH`)",
+                ));
+            };
+            let log = match oplog.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Seqs start at 1; `from:0` means "from the beginning".
+            let from = from_seq.max(1);
+            let entries = log
+                .entries_from(from, REPLICATE_BATCH_LIMIT)
+                .map_err(|oldest| {
+                    ServeError::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "seq {from} predates the retained op log (oldest retained is \
+                         {oldest}); restart the follower from a fresh snapshot"
+                        ),
+                    )
+                })?;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"op\":\"replicate\",\"from\":{from},\"last_seq\":{},\"count\":{},\
+                     \"entries\":[",
+                    log.last_seq(),
+                    entries.len(),
+                ),
+            );
+            for (i, entry) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&entry.to_line());
+            }
+            let next = entries.last().map_or(from, |e| e.seq + 1);
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("],\"next\":{next}}}"));
+        }
         Request::Stats => {
             let report = engine.report();
             let stats = engine.stats();
@@ -549,12 +772,66 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             // histograms; the stdin front end has none to report.
             if let Some(metrics) = metrics {
                 out.push_str(",\"io\":");
-                metrics.write_json(&mut out);
+                metrics.write_json_fields(&mut out);
+                if let Some(datasets) = options.dataset_directory() {
+                    out.push_str(",\"datasets\":[");
+                    for (i, counters) in datasets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"name\":");
+                        write_json_string(&mut out, counters.name());
+                        let _ = std::fmt::Write::write_fmt(
+                            &mut out,
+                            format_args!(",\"requests\":{}}}", counters.requests()),
+                        );
+                    }
+                    out.push(']');
+                }
+                out.push('}');
             }
+            write_replication_section(options, &mut out);
             out.push('}');
         }
     }
     Ok(out)
+}
+
+/// Appends the `stats` response's `"replication"` section: op-log position
+/// and durability counters on a leader, applied/leader seqs and lag on a
+/// follower. Standalone servers (neither) emit nothing.
+fn write_replication_section(options: &ServeOptions, out: &mut String) {
+    use std::fmt::Write as _;
+    if let Some(oplog) = options.oplog() {
+        let log = match oplog.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = write!(
+            out,
+            ",\"replication\":{{\"role\":\"leader\",\"last_seq\":{},\"retained\":{},\
+             \"appends\":{},\"fsyncs\":{},\"sync\":\"{}\"}}",
+            log.last_seq(),
+            log.len(),
+            log.appends(),
+            log.fsyncs(),
+            log.sync_policy().as_str(),
+        );
+    } else if let Some(status) = options.replication() {
+        let applied = status.applied_seq();
+        let leader = status.leader_seq();
+        out.push_str(",\"replication\":{\"role\":\"follower\",\"source\":");
+        write_json_string(out, status.source());
+        let _ = write!(
+            out,
+            ",\"applied_seq\":{applied},\"leader_seq\":{leader},\"lag\":{},\
+             \"entries_applied\":{},\"rounds\":{},\"errors\":{}}}",
+            leader.saturating_sub(applied),
+            status.entries_applied(),
+            status.rounds(),
+            status.errors(),
+        );
+    }
 }
 
 /// Handles one request line under the given [`ServeOptions`], returning
@@ -568,7 +845,14 @@ pub fn handle_line<B: CoverageBackend>(
     line: &str,
 ) -> String {
     match parse_request(line) {
-        Ok(Envelope { id, request }) => {
+        Ok(Envelope {
+            id,
+            dataset,
+            request,
+        }) => {
+            if let Some(name) = dataset {
+                return error_response(id.as_ref(), &unknown_dataset_error(&name));
+            }
             match dispatch(engine, options, id.as_ref(), request, None) {
                 Ok(response) => response,
                 Err(error) => error_response(id.as_ref(), &error),
@@ -651,7 +935,13 @@ pub fn serve_lines<B: CoverageBackend>(
     input: impl BufRead,
     output: impl Write,
 ) -> io::Result<()> {
-    serve_loop(input, output, |line| handle_line(engine, options, line))
+    serve_loop(input, output, |line| {
+        let response = handle_line(engine, options, line);
+        // No tick boundary here: a `batch`-policy op log syncs per request
+        // (i.e. degenerates to `always`).
+        sync_oplog_batch(options);
+        response
+    })
 }
 
 /// How long a TCP connection may sit idle between requests before it is
@@ -725,7 +1015,19 @@ fn respond_contained<B: CoverageBackend>(
             OpClass::Other,
             error_response(failure.id.as_ref(), &failure.error),
         ),
-        Ok(Envelope { id, request }) => {
+        Ok(Envelope {
+            id,
+            dataset: Some(name),
+            ..
+        }) => (
+            OpClass::Other,
+            error_response(id.as_ref(), &unknown_dataset_error(&name)),
+        ),
+        Ok(Envelope {
+            id,
+            dataset: None,
+            request,
+        }) => {
             let op = op_class(&request);
             let response = with_engine_contained(
                 engine,
@@ -735,14 +1037,25 @@ fn respond_contained<B: CoverageBackend>(
                     Err(error) => error_response(id.as_ref(), &error),
                 },
             );
+            sync_oplog_batch(options);
             (op, response)
         }
     };
-    if op == OpClass::Insert && response.starts_with("{\"ok\":true") {
-        // Each blocking insert is its own engine batch — the coalescing
-        // counters make the contrast with the event loop measurable.
-        ServeMetrics::add(&metrics.insert_requests, 1);
-        ServeMetrics::add(&metrics.insert_engine_batches, 1);
+    if response.starts_with("{\"ok\":true") {
+        // Each blocking insert/delete is its own engine batch — the
+        // coalescing counters make the contrast with the event loop
+        // measurable.
+        match op {
+            OpClass::Insert => {
+                ServeMetrics::add(&metrics.insert_requests, 1);
+                ServeMetrics::add(&metrics.insert_engine_batches, 1);
+            }
+            OpClass::Delete => {
+                ServeMetrics::add(&metrics.delete_requests, 1);
+                ServeMetrics::add(&metrics.delete_engine_batches, 1);
+            }
+            OpClass::Other => {}
+        }
     }
     metrics.record(op, start.elapsed().as_nanos() as u64);
     response

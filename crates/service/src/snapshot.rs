@@ -13,7 +13,12 @@
 //! Format policy (documented in the README):
 //!
 //! * `"format"` is always `"mithra-coverage-snapshot"`; `"version"` is an
-//!   integer, currently [`SNAPSHOT_VERSION`]. Version 3 adds `"grown"` — the
+//!   integer, currently [`SNAPSHOT_VERSION`]. Version 4 adds `"oplog_seq"`
+//!   — the op-log sequence number the snapshot is anchored at, so recovery
+//!   is "restore snapshot, replay log entries with `seq > oplog_seq`" and a
+//!   snapshot-anchored truncation can drop the replayed prefix. Snapshots
+//!   written without an op log record 0; versions 1–3 restore with anchor
+//!   0. Version 3 adds `"grown"` — the
 //!   per-attribute count of values registered through dictionary growth
 //!   since load, so a restarted server keeps reporting dictionary growth in
 //!   `stats` (the grown dictionaries themselves travel in `"attributes"`,
@@ -46,7 +51,7 @@ use crate::protocol::{write_json_string, Json};
 use crate::{Result, ServiceError};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 3;
+pub const SNAPSHOT_VERSION: u64 = 4;
 
 /// Oldest snapshot version this build still reads.
 pub const SNAPSHOT_MIN_VERSION: u64 = 1;
@@ -65,6 +70,17 @@ fn bad(message: impl Into<String>) -> ServiceError {
 /// Fails for labeled datasets (the serving layer never builds one, and the
 /// format deliberately omits labels).
 pub fn snapshot_string<B: CoverageBackend>(engine: &CoverageEngine<B>) -> Result<String> {
+    snapshot_string_anchored(engine, 0)
+}
+
+/// [`snapshot_string`] recording the op-log sequence number the snapshot is
+/// anchored at (`"oplog_seq"`): every logged entry with `seq <=
+/// oplog_seq` is already reflected in the document, so recovery replays
+/// only the tail past it, and the leader may truncate that prefix.
+pub fn snapshot_string_anchored<B: CoverageBackend>(
+    engine: &CoverageEngine<B>,
+    oplog_seq: u64,
+) -> Result<String> {
     let dataset = engine.dataset();
     if dataset.is_labeled() {
         return Err(bad("labeled datasets cannot be snapshotted"));
@@ -75,7 +91,7 @@ pub fn snapshot_string<B: CoverageBackend>(engine: &CoverageEngine<B>) -> Result
     write_json_string(&mut out, SNAPSHOT_FORMAT);
     let _ = write!(
         out,
-        ",\"version\":{SNAPSHOT_VERSION},\"shards\":{},\"grown\":[",
+        ",\"version\":{SNAPSHOT_VERSION},\"oplog_seq\":{oplog_seq},\"shards\":{},\"grown\":[",
         engine.shards()
     );
     for (i, g) in engine.dictionary_growth().iter().enumerate() {
@@ -171,9 +187,9 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64> {
 }
 
 /// Reassembles an engine from a snapshot document produced by
-/// [`snapshot_string`] — current (version 3, compacted combos + shard
-/// layout + dictionary-growth counters), version 2 (no growth counters),
-/// or version 1 (raw rows, restored into a single shard).
+/// [`snapshot_string`] — current (version 4, with the op-log anchor),
+/// version 3 (no anchor), version 2 (no growth counters), or version 1
+/// (raw rows, restored into a single shard).
 pub fn parse_snapshot<B: CoverageBackend>(text: &str) -> Result<CoverageEngine<B>> {
     parse_snapshot_with_layout(text, None)
 }
@@ -186,6 +202,17 @@ pub fn parse_snapshot_with_layout<B: CoverageBackend>(
     text: &str,
     shards_override: Option<usize>,
 ) -> Result<CoverageEngine<B>> {
+    parse_snapshot_anchored(text, shards_override).map(|(engine, _)| engine)
+}
+
+/// [`parse_snapshot_with_layout`] that also returns the snapshot's op-log
+/// anchor (`"oplog_seq"`; 0 for snapshots written without an op log or by
+/// pre-version-4 builds). Recovery replays log entries with `seq` strictly
+/// greater than the anchor.
+pub fn parse_snapshot_anchored<B: CoverageBackend>(
+    text: &str,
+    shards_override: Option<usize>,
+) -> Result<(CoverageEngine<B>, u64)> {
     let doc = Json::parse(text).map_err(|e| bad(format!("snapshot is not valid JSON: {e}")))?;
     match field(&doc, "format")?.as_str() {
         Some(SNAPSHOT_FORMAT) => {}
@@ -198,6 +225,14 @@ pub fn parse_snapshot_with_layout<B: CoverageBackend>(
              {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
         )));
     }
+    // v1–3 predate the op log: they restore with anchor 0 (replay the
+    // whole log, which is exactly right for a log that started alongside
+    // a pre-anchor snapshot).
+    let oplog_seq = if version >= 4 {
+        u64_field(&doc, "oplog_seq")?
+    } else {
+        0
+    };
     // v1 predates sharding: everything restores into shard 0.
     let recorded = if version >= 2 {
         u64_field(&doc, "shards")?.max(1) as usize
@@ -347,13 +382,24 @@ pub fn parse_snapshot_with_layout<B: CoverageBackend>(
         vec![0; arity]
     };
     CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats, shards, grown)
+        .map(|engine| (engine, oplog_seq))
 }
 
 /// Writes a snapshot atomically: the document lands in `<path>.tmp` first
 /// and is renamed over `path`, so a crash mid-write leaves any previous
 /// snapshot intact.
 pub fn save_snapshot<B: CoverageBackend>(engine: &CoverageEngine<B>, path: &Path) -> Result<()> {
-    let text = snapshot_string(engine)?;
+    save_snapshot_anchored(engine, path, 0)
+}
+
+/// [`save_snapshot`] recording an op-log anchor (see
+/// [`snapshot_string_anchored`]).
+pub fn save_snapshot_anchored<B: CoverageBackend>(
+    engine: &CoverageEngine<B>,
+    path: &Path,
+    oplog_seq: u64,
+) -> Result<()> {
+    let text = snapshot_string_anchored(engine, oplog_seq)?;
     // Append `.tmp` to the full file name (`with_extension` would *replace*
     // the extension — colliding with the target for `--snapshot state.tmp`,
     // and making `prod.a`/`prod.b` in one directory stage through the same
@@ -381,9 +427,18 @@ pub fn load_snapshot_with_layout<B: CoverageBackend>(
     path: &Path,
     shards_override: Option<usize>,
 ) -> Result<CoverageEngine<B>> {
+    load_snapshot_anchored(path, shards_override).map(|(engine, _)| engine)
+}
+
+/// [`load_snapshot_with_layout`] that also returns the op-log anchor (see
+/// [`parse_snapshot_anchored`]).
+pub fn load_snapshot_anchored<B: CoverageBackend>(
+    path: &Path,
+    shards_override: Option<usize>,
+) -> Result<(CoverageEngine<B>, u64)> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| bad(format!("cannot read {}: {e}", path.display())))?;
-    parse_snapshot_with_layout(&text, shards_override)
+    parse_snapshot_anchored(&text, shards_override)
 }
 
 #[cfg(test)]
@@ -566,7 +621,10 @@ mod tests {
         original.insert(&[0, 3]).unwrap();
         original.grow_value(0, "x").unwrap();
         let text = snapshot_string(&original).unwrap();
-        assert!(text.contains("\"version\":3"), "{text}");
+        assert!(
+            text.contains(&format!("\"version\":{SNAPSHOT_VERSION}")),
+            "{text}"
+        );
         assert!(text.contains("\"grown\":[1,1]"), "{text}");
         let restored: CoverageEngine = parse_snapshot(&text).unwrap();
         assert_eq!(restored.dictionary_growth(), &[1, 1]);
@@ -596,6 +654,51 @@ mod tests {
         let bad_type = good.replace("\"grown\":[0,0]", "\"grown\":[0,\"one\"]");
         let err = parse_snapshot::<CoverageOracle>(&bad_type).unwrap_err();
         assert!(err.to_string().contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn oplog_anchor_round_trips_and_defaults_to_zero() {
+        let original = engine();
+        // Anchorless save records 0.
+        let plain = snapshot_string(&original).unwrap();
+        assert!(plain.contains("\"oplog_seq\":0"), "{plain}");
+        let (_, anchor) = parse_snapshot_anchored::<CoverageOracle>(&plain, None).unwrap();
+        assert_eq!(anchor, 0);
+        // An anchored save round-trips its sequence number, and the engine
+        // state is unchanged by the anchor.
+        let anchored = snapshot_string_anchored(&original, 42).unwrap();
+        let (restored, anchor) =
+            parse_snapshot_anchored::<CoverageOracle>(&anchored, None).unwrap();
+        assert_eq!(anchor, 42);
+        assert_eq!(restored.mups(), original.mups());
+        // A version-4 document without the field is malformed.
+        let missing = anchored.replace(",\"oplog_seq\":42", "");
+        let err = parse_snapshot::<CoverageOracle>(&missing).unwrap_err();
+        assert!(err.to_string().contains("oplog_seq"), "{err}");
+    }
+
+    #[test]
+    fn version3_documents_restore_with_anchor_zero() {
+        // A pre-oplog (version 3) snapshot: growth counters but no
+        // `oplog_seq`. It must restore with anchor 0.
+        let v3 = concat!(
+            "{\"format\":\"mithra-coverage-snapshot\",\"version\":3,\"shards\":1,",
+            "\"grown\":[0,0],",
+            "\"threshold\":{\"count\":1},",
+            "\"attributes\":[{\"name\":\"a\",\"cardinality\":2},",
+            "{\"name\":\"b\",\"cardinality\":2}],",
+            "\"combos\":[[[0,1],2],[[1,0],1]],",
+            "\"mups\":[\"00\"],",
+            "\"stats\":{\"inserts\":3,\"batches\":2,\"deletes\":0,",
+            "\"delete_batches\":0,\"mups_retired\":1,\"mups_discovered\":2,",
+            "\"full_recomputes\":0}}"
+        );
+        let (restored, anchor) = parse_snapshot_anchored::<CoverageOracle>(v3, None).unwrap();
+        assert_eq!(anchor, 0);
+        assert_eq!(restored.dataset().len(), 3);
+        let rewritten = snapshot_string(&restored).unwrap();
+        assert!(rewritten.contains(&format!("\"version\":{SNAPSHOT_VERSION}")));
+        assert!(rewritten.contains("\"oplog_seq\":0"));
     }
 
     #[test]

@@ -61,10 +61,21 @@ struct Args {
     io: coverage_service::IoMode,
     /// Event-loop admission bound (requests per tick before `overloaded`).
     max_pending: usize,
+    /// Append-only durability log: every applied mutation is recorded here,
+    /// and recovery is snapshot + tail replay.
+    oplog: Option<std::path::PathBuf>,
+    /// Fsync policy for the op log.
+    oplog_sync: coverage_service::SyncPolicy,
+    /// Run as a read-only follower tailing this leader (`host:port` for the
+    /// `replicate` protocol op, or a path to the leader's log file).
+    follow: Option<String>,
+    /// Extra named datasets to host next to the default one:
+    /// `(name, csv path)` pairs from `--datasets name=file.csv,…`.
+    datasets: Vec<(String, String)>,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit        <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance      <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve        <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--io event|blocking] [--threads N] [--max-pending N] [--shards N] [--snapshot PATH] [--grow-schema]\n  mithra loadgen      [--io event|blocking] [--connections N] [--secs S] [--mix I,C] …\n  mithra bench-report [--quick]"
+    "usage:\n  mithra audit        <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance      <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve        <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--io event|blocking] [--threads N] [--max-pending N] [--shards N] [--snapshot PATH] [--grow-schema]\n                      [--oplog PATH] [--oplog-sync always|batch|off] [--follow ADDR|PATH] [--datasets name=file.csv,…]\n  mithra loadgen      [--io event|blocking] [--connections N] [--secs S] [--mix I,C] [--deletes PCT] …\n  mithra bench-report [--quick]"
         .to_string()
 }
 
@@ -92,6 +103,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut grow_schema = false;
     let mut io = None;
     let mut max_pending = None;
+    let mut oplog = None;
+    let mut oplog_sync = None;
+    let mut follow = None;
+    let mut datasets: Vec<(String, String)> = Vec::new();
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -174,6 +189,54 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 max_pending = Some(bound);
             }
+            "--oplog" => oplog = Some(std::path::PathBuf::from(value()?)),
+            "--oplog-sync" => {
+                let text = value()?;
+                oplog_sync = Some(coverage_service::SyncPolicy::parse(&text).ok_or_else(|| {
+                    flag_error(
+                        "--oplog-sync",
+                        format!("unknown policy `{text}` (expected always, batch, or off)"),
+                    )
+                })?);
+            }
+            "--follow" => follow = Some(value()?),
+            "--datasets" => {
+                for part in value()?.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let Some((name, file)) = part.split_once('=') else {
+                        return Err(flag_error(
+                            "--datasets",
+                            format!("`{part}` is not `name=file.csv`"),
+                        ));
+                    };
+                    let (name, file) = (name.trim(), file.trim());
+                    if name.is_empty() || file.is_empty() {
+                        return Err(flag_error(
+                            "--datasets",
+                            format!("`{part}` is not `name=file.csv`"),
+                        ));
+                    }
+                    if name == "default" {
+                        return Err(flag_error(
+                            "--datasets",
+                            "`default` names the positional <file.csv>; pick another name",
+                        ));
+                    }
+                    if datasets.iter().any(|(n, _)| n == name) {
+                        return Err(flag_error(
+                            "--datasets",
+                            format!("dataset `{name}` given twice"),
+                        ));
+                    }
+                    datasets.push((name.to_string(), file.to_string()));
+                }
+                if datasets.is_empty() {
+                    return Err(flag_error("--datasets", "needs at least one name=file.csv"));
+                }
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -192,6 +255,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             || shards.is_some()
             || io.is_some()
             || max_pending.is_some()
+            || oplog.is_some()
+            || oplog_sync.is_some()
+            || follow.is_some()
+            || !datasets.is_empty()
             || grow_schema)
     {
         let flag = if listen.is_some() {
@@ -204,12 +271,51 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--io"
         } else if max_pending.is_some() {
             "--max-pending"
+        } else if oplog.is_some() {
+            "--oplog"
+        } else if oplog_sync.is_some() {
+            "--oplog-sync"
+        } else if follow.is_some() {
+            "--follow"
+        } else if !datasets.is_empty() {
+            "--datasets"
         } else if grow_schema {
             "--grow-schema"
         } else {
             "--snapshot"
         };
         return Err(flag_error(flag, "only supported with `serve`"));
+    }
+    if oplog_sync.is_some() && oplog.is_none() {
+        return Err(flag_error("--oplog-sync", "requires --oplog"));
+    }
+    if follow.is_some() {
+        // A follower's mutations come from the leader's log, so its own
+        // durability/growth/tenancy knobs are contradictions, and the
+        // replication thread needs a shared (TCP-mode) engine.
+        for (set, flag) in [
+            (oplog.is_some(), "--oplog"),
+            (!datasets.is_empty(), "--datasets"),
+            (grow_schema, "--grow-schema"),
+        ] {
+            if set {
+                return Err(flag_error(flag, "cannot be combined with --follow"));
+            }
+        }
+        if listen.is_none() {
+            return Err(flag_error("--follow", "requires --listen"));
+        }
+    }
+    if !datasets.is_empty() {
+        if listen.is_none() {
+            return Err(flag_error("--datasets", "requires --listen"));
+        }
+        if io == Some(coverage_service::IoMode::Blocking) {
+            return Err(flag_error(
+                "--datasets",
+                "requires the event front end (--io event)",
+            ));
+        }
     }
     if command == "serve" && listen.is_none() {
         // stdin/stdout mode runs neither front end; silently ignoring
@@ -249,6 +355,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         grow_schema,
         io: io.unwrap_or_default(),
         max_pending: max_pending.unwrap_or(coverage_service::DEFAULT_MAX_PENDING),
+        oplog,
+        oplog_sync: oplog_sync.unwrap_or_default(),
+        follow,
+        datasets,
     })
 }
 
@@ -285,23 +395,27 @@ fn default_shards(rows: usize) -> usize {
     cores.min(rows / MIN_ROWS_PER_SHARD).max(1)
 }
 
-/// Builds the serving engine — sharded over `--shards N` row partitions —
-/// restored from `--snapshot PATH` when that file exists (no re-audit — the
-/// whole point of snapshots), freshly audited from the CSV otherwise. On
-/// restore the snapshot's recorded shard layout wins unless `--shards` was
-/// given explicitly, in which case the backend is re-laid-out (cheap: the
-/// MUP set stays valid).
-fn serve_engine(args: &Args) -> Result<mithra::service::ShardedCoverageEngine, String> {
-    if let Some(path) = args.snapshot.as_deref() {
+/// Builds one serving engine — sharded over `--shards N` row partitions —
+/// restored from `snapshot` when that file exists (no re-audit — the whole
+/// point of snapshots), freshly audited from the CSV at `file` otherwise.
+/// On restore the snapshot's recorded shard layout wins unless `--shards`
+/// was given explicitly, in which case the backend is re-laid-out (cheap:
+/// the MUP set stays valid). Also returns the op-log anchor: the log seq
+/// the restored snapshot captured (0 for fresh audits and pre-v4
+/// snapshots), i.e. where tail replay starts.
+fn serve_engine(
+    args: &Args,
+    file: &str,
+    snapshot: Option<&std::path::Path>,
+) -> Result<(mithra::service::ShardedCoverageEngine, u64), String> {
+    if let Some(path) = snapshot {
         if path.exists() {
             // An explicit --shards overrides the snapshot's recorded layout
             // *at load time*, so the index is built exactly once.
-            let engine =
-                mithra::service::load_snapshot_with_layout::<mithra::index::ShardedOracle>(
-                    path,
-                    args.shards,
-                )
-                .map_err(|e| e.to_string())?;
+            let (engine, anchor) = mithra::service::load_snapshot_anchored::<
+                mithra::index::ShardedOracle,
+            >(path, args.shards)
+            .map_err(|e| e.to_string())?;
             if engine.threshold() != args.tau {
                 return Err(format!(
                     "snapshot {} was taken under a different threshold ({:?}, CLI asked {:?}); \
@@ -328,22 +442,95 @@ fn serve_engine(args: &Args) -> Result<mithra::service::ShardedCoverageEngine, S
                 ));
             }
             eprintln!("restored engine from snapshot {}", path.display());
-            return Ok(engine);
+            return Ok((engine, anchor));
         }
     }
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
-    let ds = read_csv_auto_path(&args.file, &attr_refs, None)
-        .map_err(|e| format!("{}: {e}", args.file))?;
+    let ds = read_csv_auto_path(file, &attr_refs, None).map_err(|e| format!("{file}: {e}"))?;
     let shards = args.shards.unwrap_or_else(|| default_shards(ds.len()));
-    mithra::service::ShardedCoverageEngine::with_shards(ds, args.tau, shards)
-        .map_err(|e| e.to_string())
+    let engine = mithra::service::ShardedCoverageEngine::with_shards(ds, args.tau, shards)
+        .map_err(|e| e.to_string())?;
+    Ok((engine, 0))
+}
+
+/// Opens (or creates) the leader's op log and replays any tail past the
+/// snapshot anchor into the engine, completing crash recovery: rows
+/// acknowledged after the last snapshot come back from the log.
+fn recover_oplog(
+    engine: &mut mithra::service::ShardedCoverageEngine,
+    path: &std::path::Path,
+    sync: coverage_service::SyncPolicy,
+    anchor: u64,
+) -> Result<std::sync::Arc<std::sync::Mutex<coverage_service::OpLog>>, String> {
+    use std::sync::{Arc, Mutex};
+    let log = coverage_service::OpLog::open_anchored(path, sync, anchor)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = log.entries_from(anchor + 1, usize::MAX).map_err(|oldest| {
+        format!(
+            "op log {} retains entries only from seq {oldest}, but the snapshot was anchored at \
+             seq {anchor}; the intervening entries are gone — restore a newer snapshot or delete \
+             both to re-audit from the CSV",
+            path.display()
+        )
+    })?;
+    let replayed = entries.len();
+    let applied = mithra::service::replay_entries(engine, entries, anchor)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if replayed > 0 {
+        eprintln!(
+            "replayed {replayed} op-log entries (seq {}..={applied}) from {}",
+            anchor + 1,
+            path.display()
+        );
+    }
+    Ok(Arc::new(Mutex::new(log)))
+}
+
+/// Appends `.name` to a base path: with `--datasets`, each named dataset
+/// derives its snapshot/op-log path from the base flags (`state.snapshot`
+/// → `state.snapshot.hr`); the default dataset uses the base itself.
+fn dataset_path(base: &std::path::Path, name: &str) -> std::path::PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".");
+    os.push(name);
+    std::path::PathBuf::from(os)
+}
+
+/// Binds the `--listen` address and reports the resolved local address.
+fn bind_listener(addr: &str) -> Result<(std::net::TcpListener, String), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    Ok((listener, local))
+}
+
+/// Maps the serve loop's exit into the CLI's result: a client hanging up
+/// (e.g. `| head`) is a normal way to stop.
+fn served(result: std::io::Result<()>) -> Result<(), String> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("serve: {e}")),
+    }
 }
 
 /// `serve`: keep the dataset live behind an incremental engine and answer
 /// NDJSON requests on stdin/stdout, or on TCP when `--listen` is given.
 /// Diagnostics go to stderr — stdout carries protocol lines only.
 fn serve(args: &Args) -> Result<(), String> {
-    let engine = serve_engine(args)?;
+    if !args.datasets.is_empty() {
+        return serve_datasets(args);
+    }
+    if args.follow.is_some() {
+        return serve_follower(args);
+    }
+    let (mut engine, anchor) = serve_engine(args, &args.file, args.snapshot.as_deref())?;
+    let oplog = match args.oplog.as_deref() {
+        Some(path) => Some(recover_oplog(&mut engine, path, args.oplog_sync, anchor)?),
+        None => None,
+    };
     eprintln!(
         "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s), {} shard(s)",
         engine.dataset().len(),
@@ -352,19 +539,25 @@ fn serve(args: &Args) -> Result<(), String> {
         engine.mups().len(),
         engine.shards()
     );
+    if let Some(log) = &oplog {
+        let log = log.lock().unwrap();
+        eprintln!(
+            "op log {} at seq {} ({} sync)",
+            log.path().display(),
+            log.last_seq(),
+            log.sync_policy().as_str()
+        );
+    }
     let options = mithra::service::ServeOptions::new()
         .with_snapshot_path(args.snapshot.clone())
         .with_grow_schema(args.grow_schema)
         .with_io(args.io)
         .with_workers(args.threads)
-        .with_max_pending(args.max_pending);
-    let served = match &args.listen {
+        .with_max_pending(args.max_pending)
+        .with_oplog(oplog);
+    match &args.listen {
         Some(addr) => {
-            let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
-            let local = listener
-                .local_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| addr.clone());
+            let (listener, local) = bind_listener(addr)?;
             match args.io {
                 coverage_service::IoMode::Event => eprintln!(
                     "listening on {local} (event loop, max {} pending requests/tick)",
@@ -375,20 +568,132 @@ fn serve(args: &Args) -> Result<(), String> {
                 }
             }
             let shared = std::sync::Arc::new(std::sync::Mutex::new(engine));
-            mithra::service::serve(shared, options, listener)
+            served(mithra::service::serve(shared, options, listener))
         }
         None => {
-            let mut engine = engine;
             let stdin = std::io::stdin();
-            mithra::service::serve_lines(&mut engine, &options, stdin.lock(), std::io::stdout())
+            served(mithra::service::serve_lines(
+                &mut engine,
+                &options,
+                stdin.lock(),
+                std::io::stdout(),
+            ))
         }
-    };
-    match served {
-        Ok(()) => Ok(()),
-        // A client hanging up (e.g. `| head`) is a normal way to stop.
-        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
-        Err(e) => Err(format!("serve: {e}")),
     }
+}
+
+/// How often a follower polls its leader for new log entries.
+const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// `serve --follow`: bootstrap the engine (snapshot or CSV), start the
+/// replication thread tailing the leader, and serve read-only requests.
+fn serve_follower(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    let spec = args.follow.as_deref().expect("checked by caller");
+    let (engine, anchor) = serve_engine(args, &args.file, args.snapshot.as_deref())?;
+    let source = mithra::service::ReplicaSource::parse(spec);
+    let status = Arc::new(mithra::service::ReplicationStatus::new(
+        source.describe(),
+        anchor,
+    ));
+    eprintln!(
+        "mithra serve: read-only follower of {}, {} rows, {} MUP(s), tailing from seq {}",
+        status.source(),
+        engine.dataset().len(),
+        engine.mups().len(),
+        anchor + 1
+    );
+    let engine = Arc::new(Mutex::new(engine));
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let engine = Arc::clone(&engine);
+        let status = Arc::clone(&status);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            if let Err(e) = mithra::service::run_follower(engine, source, status, FOLLOW_POLL, stop)
+            {
+                // A fatal replication error means this replica's answers
+                // can no longer be trusted; serving on would be worse than
+                // dying visibly.
+                eprintln!("follower: fatal: {e}");
+                std::process::exit(1);
+            }
+        });
+    }
+    let options = mithra::service::ServeOptions::new()
+        .with_snapshot_path(args.snapshot.clone())
+        .with_io(args.io)
+        .with_workers(args.threads)
+        .with_max_pending(args.max_pending)
+        .with_read_only(true)
+        .with_replication(Some(status));
+    let addr = args.listen.as_deref().expect("checked in parse_args");
+    let (listener, local) = bind_listener(addr)?;
+    eprintln!("listening on {local} (read-only)");
+    served(mithra::service::serve(engine, options, listener))
+}
+
+/// `serve --datasets`: host the positional CSV as the `default` dataset
+/// plus every `name=file.csv` tenant behind one event loop.
+fn serve_datasets(args: &Args) -> Result<(), String> {
+    use std::sync::{Arc, Mutex};
+
+    let mut specs: Vec<(
+        String,
+        String,
+        Option<std::path::PathBuf>,
+        Option<std::path::PathBuf>,
+    )> = vec![(
+        "default".into(),
+        args.file.clone(),
+        args.snapshot.clone(),
+        args.oplog.clone(),
+    )];
+    for (name, file) in &args.datasets {
+        specs.push((
+            name.clone(),
+            file.clone(),
+            args.snapshot.as_deref().map(|p| dataset_path(p, name)),
+            args.oplog.as_deref().map(|p| dataset_path(p, name)),
+        ));
+    }
+    let mut tenants = Vec::with_capacity(specs.len());
+    for (name, file, snapshot, oplog_path) in specs {
+        let (mut engine, anchor) = serve_engine(args, &file, snapshot.as_deref())?;
+        let oplog = match oplog_path.as_deref() {
+            Some(path) => Some(recover_oplog(&mut engine, path, args.oplog_sync, anchor)?),
+            None => None,
+        };
+        eprintln!(
+            "dataset `{name}`: {} rows, {} attributes, τ = {}, {} MUP(s), {} shard(s)",
+            engine.dataset().len(),
+            engine.dataset().arity(),
+            engine.tau(),
+            engine.mups().len(),
+            engine.shards()
+        );
+        let options = mithra::service::ServeOptions::new()
+            .with_snapshot_path(snapshot)
+            .with_grow_schema(args.grow_schema)
+            .with_io(args.io)
+            .with_max_pending(args.max_pending)
+            .with_oplog(oplog);
+        tenants.push(mithra::service::TenantSpec::new(
+            name,
+            Arc::new(Mutex::new(engine)),
+            options,
+        ));
+    }
+    let addr = args.listen.as_deref().expect("checked in parse_args");
+    let (listener, local) = bind_listener(addr)?;
+    eprintln!(
+        "listening on {local} (event loop, {} datasets, max {} pending requests/tick)",
+        tenants.len(),
+        args.max_pending
+    );
+    served(mithra::service::serve_tenants(tenants, listener))
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -492,8 +797,9 @@ fn run_loadgen(argv: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-/// `mithra bench-report`: measure both TCP front ends under an identical
-/// workload and print the committed `BENCH_6.json` document.
+/// `mithra bench-report`: measure the op-log durability overhead and
+/// follower catch-up replay under an identical mixed workload and print
+/// the committed `BENCH_7.json` document.
 fn run_bench_report(mut argv: impl Iterator<Item = String>) -> ExitCode {
     let mut quick = false;
     for flag in argv.by_ref() {
@@ -888,18 +1194,171 @@ mod tests {
             grow_schema: false,
             io: coverage_service::IoMode::Event,
             max_pending: coverage_service::DEFAULT_MAX_PENDING,
+            oplog: None,
+            oplog_sync: coverage_service::SyncPolicy::default(),
+            follow: None,
+            datasets: Vec::new(),
         };
-        // Matching threshold + attrs restores.
-        let restored = serve_engine(&args(&["sex", "race"], Threshold::Count(1))).unwrap();
+        let build = |args: &Args| serve_engine(args, &args.file, args.snapshot.as_deref());
+        // Matching threshold + attrs restores (with the snapshot's anchor).
+        let (restored, anchor) = build(&args(&["sex", "race"], Threshold::Count(1))).unwrap();
         assert_eq!(restored.dataset().len(), 2);
+        assert_eq!(anchor, 0);
         // A different threshold is refused…
-        let err = serve_engine(&args(&["sex", "race"], Threshold::Count(2))).unwrap_err();
+        let err = build(&args(&["sex", "race"], Threshold::Count(2))).unwrap_err();
         assert!(err.contains("different threshold"), "{err}");
         // …and so are different attributes (the CSV is never read on
         // restore, so this is the only guard against serving the wrong data).
-        let err = serve_engine(&args(&["sex", "age"], Threshold::Count(1))).unwrap_err();
+        let err = build(&args(&["sex", "age"], Threshold::Count(1))).unwrap_err();
         assert!(err.contains("covers attributes"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oplog_flags_parse_and_are_validated() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--oplog",
+            "ops.log",
+            "--oplog-sync",
+            "always",
+        ])
+        .unwrap();
+        assert_eq!(args.oplog.as_deref(), Some(std::path::Path::new("ops.log")));
+        assert_eq!(args.oplog_sync, coverage_service::SyncPolicy::Always);
+        // Default policy is batch; --oplog-sync alone is a usage error.
+        let args = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--oplog", "ops.log",
+        ])
+        .unwrap();
+        assert_eq!(args.oplog_sync, coverage_service::SyncPolicy::Batch);
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--oplog-sync",
+            "batch",
+        ])
+        .unwrap_err();
+        assert!(err.contains("requires --oplog"), "{err}");
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--oplog",
+            "o",
+            "--oplog-sync",
+            "fsync",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        let err = parse(&[
+            "audit", "d.csv", "--attrs", "a", "--tau", "1", "--oplog", "o",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+    }
+
+    #[test]
+    fn follow_flag_parses_and_rejects_leader_knobs() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--listen",
+            ":0",
+            "--follow",
+            "127.0.0.1:7878",
+        ])
+        .unwrap();
+        assert_eq!(args.follow.as_deref(), Some("127.0.0.1:7878"));
+        // A follower replays the leader's log; its own durability/growth/
+        // tenancy flags are contradictions.
+        for extra in [
+            &["--oplog", "o"][..],
+            &["--datasets", "hr=hr.csv"][..],
+            &["--grow-schema"][..],
+        ] {
+            let mut argv = vec![
+                "serve", "d.csv", "--attrs", "a", "--tau", "1", "--listen", ":0", "--follow", ":1",
+            ];
+            argv.extend(extra);
+            let err = parse(&argv).unwrap_err();
+            assert!(err.contains("cannot be combined with --follow"), "{err}");
+        }
+        let err = parse(&[
+            "serve", "d.csv", "--attrs", "a", "--tau", "1", "--follow", ":1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("requires --listen"), "{err}");
+    }
+
+    #[test]
+    fn datasets_spec_parses_and_is_validated() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--listen",
+            ":0",
+            "--datasets",
+            "hr=hr.csv, sales=sales.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.datasets,
+            [
+                ("hr".to_string(), "hr.csv".to_string()),
+                ("sales".to_string(), "sales.csv".to_string()),
+            ]
+        );
+        let base = ["serve", "d.csv", "--attrs", "a", "--tau", "1"];
+        for (spec, expect) in [
+            ("hr.csv", "not `name=file.csv`"),
+            ("=hr.csv", "not `name=file.csv`"),
+            ("hr=", "not `name=file.csv`"),
+            ("default=d2.csv", "positional"),
+            ("hr=a.csv,hr=b.csv", "given twice"),
+            (",", "at least one"),
+        ] {
+            let mut argv = base.to_vec();
+            argv.extend(["--listen", ":0", "--datasets", spec]);
+            let err = parse(&argv).unwrap_err();
+            assert!(err.contains(expect), "spec `{spec}`: {err}");
+        }
+        // Tenancy needs the TCP event front end.
+        let mut argv = base.to_vec();
+        argv.extend(["--datasets", "hr=hr.csv"]);
+        let err = parse(&argv).unwrap_err();
+        assert!(err.contains("requires --listen"), "{err}");
+        let mut argv = base.to_vec();
+        argv.extend([
+            "--listen",
+            ":0",
+            "--io",
+            "blocking",
+            "--datasets",
+            "hr=hr.csv",
+        ]);
+        let err = parse(&argv).unwrap_err();
+        assert!(err.contains("event front end"), "{err}");
     }
 
     #[test]

@@ -9,7 +9,11 @@
 
 use mithra::index::{CoverageBackend, ShardedOracle};
 use mithra::prelude::*;
-use mithra::service::snapshot::{parse_snapshot, snapshot_string};
+use mithra::service::oplog::{read_entries_from, LoggedOp, OpLog, SyncPolicy};
+use mithra::service::replica::replay_entries;
+use mithra::service::snapshot::{
+    parse_snapshot, parse_snapshot_anchored, snapshot_string, snapshot_string_anchored,
+};
 use proptest::prelude::*;
 
 /// Row multiset — snapshot compaction and shard routing do not preserve row
@@ -467,4 +471,188 @@ fn rate_threshold_fallbacks_are_bounded_by_tau_steps() {
         .unwrap();
     expected.sort();
     assert_eq!(engine.mups(), expected.as_slice());
+}
+
+/// A unique scratch path for an op-log file (proptest runs cases
+/// concurrently across test binaries, so pid + counter both matter).
+fn scratch_log(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "mithra-props-{tag}-{}-{}.oplog",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Renders an encoded row back to the raw strings a client would have sent
+/// (the op log stores raw values, not codes).
+fn raw_row(schema: &Schema, row: &[u8]) -> Vec<String> {
+    row.iter()
+        .enumerate()
+        .map(|(i, &v)| schema.attribute(i).value_name(v))
+        .collect()
+}
+
+/// Drives a mixed mutation stream through a live engine while logging every
+/// op to a real on-disk [`OpLog`]; snapshots (anchored) after `cut` ops;
+/// then recovers a second engine as a restart would — snapshot + replay of
+/// the log tail past the anchor — and asserts full state equivalence.
+fn oplog_replay_matches_live<B: CoverageBackend>(
+    base: &Dataset,
+    ops: &[(u8, Vec<u8>, u16)],
+    cut: usize,
+    tau: u64,
+    tag: &str,
+) -> Result<(), TestCaseError> {
+    let path = scratch_log(tag);
+    let mut log = OpLog::open(&path, SyncPolicy::Off).unwrap();
+    let threshold = Threshold::Count(tau);
+    let arity = base.arity();
+    let mut engine = CoverageEngine::<B>::with_shards(base.clone(), threshold, 2).unwrap();
+    let mut rows: Vec<Vec<u8>> = base.rows().map(<[u8]>::to_vec).collect();
+    let mut grown = 0usize;
+    let mut snapshot: Option<(String, u64)> = None;
+    let mut take_cut = |engine: &CoverageEngine<B>, log: &OpLog, applied: usize| {
+        if applied == cut {
+            snapshot = Some((
+                snapshot_string_anchored(engine, log.last_seq()).unwrap(),
+                log.last_seq(),
+            ));
+        }
+    };
+    take_cut(&engine, &log, 0);
+    for (applied, (selector, row, delete_seed)) in ops.iter().enumerate() {
+        // Every iteration applies exactly one engine mutation and logs it,
+        // mirroring what the serving path does after each accepted request.
+        if *selector < 2 && !rows.is_empty() {
+            let victim = rows.swap_remove(*delete_seed as usize % rows.len());
+            let raw = raw_row(engine.dataset().schema(), &victim);
+            engine.remove(&victim).unwrap();
+            log.append(LoggedOp::Delete { rows: vec![raw] }).unwrap();
+        } else if *selector == 2 && grown < 3 {
+            let attr = *delete_seed as usize % arity;
+            let name = engine.dataset().schema().attribute(attr).name().to_string();
+            engine.grow_value(attr, format!("grown-{grown}")).unwrap();
+            log.append(LoggedOp::Grow {
+                attribute: name,
+                value: format!("grown-{grown}"),
+            })
+            .unwrap();
+            grown += 1;
+        } else {
+            let raw = raw_row(engine.dataset().schema(), row);
+            engine.insert(row).unwrap();
+            rows.push(row.clone());
+            log.append(LoggedOp::Insert { rows: vec![raw] }).unwrap();
+        }
+        take_cut(&engine, &log, applied + 1);
+    }
+    log.sync_batch().unwrap();
+    let final_seq = log.last_seq();
+    drop(log);
+
+    let (text, expected_anchor) = snapshot.expect("cut is always within 0..=ops.len()");
+    let (mut recovered, anchor) = parse_snapshot_anchored::<B>(&text, None).unwrap();
+    prop_assert_eq!(anchor, expected_anchor, "snapshot must carry its anchor");
+    let tail = read_entries_from(&path, anchor + 1).unwrap();
+    let applied = replay_entries(&mut recovered, &tail, anchor).unwrap();
+    std::fs::remove_file(&path).ok();
+    prop_assert_eq!(applied, final_seq, "replay must reach the log head");
+
+    prop_assert_eq!(recovered.mups(), engine.mups());
+    prop_assert_eq!(recovered.tau(), engine.tau());
+    prop_assert_eq!(recovered.dictionary_growth(), engine.dictionary_growth());
+    prop_assert_eq!(
+        recovered.dataset().schema(),
+        engine.dataset().schema(),
+        "replayed grows must rebuild the grown dictionaries"
+    );
+    prop_assert_eq!(
+        sorted_rows(recovered.dataset()),
+        sorted_rows(engine.dataset())
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Crash-recovery equivalence: for any mixed mutation stream and any
+    /// snapshot point within it, `snapshot + op-log tail replay` rebuilds an
+    /// engine indistinguishable from the one that never went down — MUPs,
+    /// τ, grown dictionaries, and the row multiset all match. Checked for
+    /// both oracle backends (followers may run either).
+    #[test]
+    fn snapshot_plus_oplog_tail_replay_matches_the_live_engine(
+        workload in mixed_workload_strategy(),
+        cut_seed in 0usize..1000,
+        tau in 1u64..6,
+    ) {
+        let (base, ops) = workload;
+        let cut = cut_seed % (ops.len() + 1);
+        oplog_replay_matches_live::<CoverageOracle>(&base, &ops, cut, tau, "single")?;
+        oplog_replay_matches_live::<ShardedOracle>(&base, &ops, cut, tau, "sharded")?;
+    }
+}
+
+/// A kill -9 mid-append leaves a torn final line. Recovery must keep every
+/// complete entry, drop the torn bytes, and continue numbering densely —
+/// end to end through the same snapshot + tail replay path a restart uses.
+#[test]
+fn torn_oplog_tail_recovers_to_the_last_complete_entry() {
+    use std::io::Write;
+
+    let path = scratch_log("torn");
+    let schema = Schema::with_cardinalities(&[2, 2]).unwrap();
+    let base = Dataset::from_rows(schema, &[vec![0, 0]]).unwrap();
+    let mut engine = CoverageEngine::new(base, Threshold::Count(1)).unwrap();
+    let text = snapshot_string_anchored(&engine, 0).unwrap();
+
+    let mut log = OpLog::open(&path, SyncPolicy::Always).unwrap();
+    for row in [vec![0u8, 1], vec![1, 0], vec![1, 1]] {
+        let raw = raw_row(engine.dataset().schema(), &row);
+        engine.insert(&row).unwrap();
+        log.append(LoggedOp::Insert { rows: vec![raw] }).unwrap();
+    }
+    drop(log);
+
+    // Simulate the crash: a fourth entry begins but the write is cut short.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    file.write_all(br#"{"v":1,"seq":4,"op":{"insert":"#)
+        .unwrap();
+    drop(file);
+
+    // The read-side scan stops at the last complete entry…
+    let entries = read_entries_from(&path, 1).unwrap();
+    assert_eq!(entries.len(), 3);
+    assert_eq!(entries.last().unwrap().seq, 3);
+
+    // …and a recovering engine lands exactly on the pre-crash state.
+    let (mut recovered, anchor) = parse_snapshot_anchored::<CoverageOracle>(&text, None).unwrap();
+    assert_eq!(anchor, 0);
+    let applied = replay_entries(&mut recovered, &entries, anchor).unwrap();
+    assert_eq!(applied, 3);
+    assert_eq!(recovered.mups(), engine.mups());
+    assert_eq!(
+        sorted_rows(recovered.dataset()),
+        sorted_rows(engine.dataset())
+    );
+
+    // Reopening for writes drops the torn bytes and keeps numbering dense.
+    let mut log = OpLog::open(&path, SyncPolicy::Batch).unwrap();
+    assert_eq!(log.last_seq(), 3);
+    let seq = log
+        .append(LoggedOp::Grow {
+            attribute: "a0".into(),
+            value: "extra".into(),
+        })
+        .unwrap();
+    assert_eq!(seq, 4);
+    drop(log);
+    assert_eq!(read_entries_from(&path, 1).unwrap().len(), 4);
+    std::fs::remove_file(&path).ok();
 }
