@@ -6,6 +6,8 @@
 //! printing, threshold sweeps — lives here. Criterion microbenches over the
 //! hot kernels are under `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 pub mod loadgen;

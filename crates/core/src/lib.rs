@@ -16,6 +16,7 @@
 //! * [`CoverageReport`] — a one-call audit: MUPs, per-level histogram, and
 //!   the maximum covered level (Definition 6).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod enhance;

@@ -17,6 +17,7 @@
 //!   BlueNile / COMPAS datasets, plus the Theorem 1 and Theorem 2
 //!   constructions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bucketize;

@@ -18,6 +18,7 @@
 //! The low-level pattern contract throughout is a `&[u8]` of value codes
 //! with [`X`] (= `0xFF`) marking non-deterministic elements.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitvec;

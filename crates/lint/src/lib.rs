@@ -1,0 +1,324 @@
+//! `mithra-lint`: the in-tree conformance linter.
+//!
+//! Clippy and rustc enforce language-level hygiene; this crate enforces
+//! *project* invariants that no off-the-shelf tool knows about (and, per
+//! the offline-build policy, no off-the-shelf tool could be added for):
+//!
+//! * `panic-freedom` — serving hot paths must not contain panicking calls;
+//! * `unsafe-audit` — every `unsafe` carries an adjacent `// SAFETY:`;
+//! * `error-codes` — the `ErrorCode` enum, the README table, production
+//!   construction sites, and test assertions all agree;
+//! * `protocol-ops` — every dispatched op is documented and tested;
+//! * `snapshot-version` — the snapshot format version is consistent across
+//!   the writer, the restore gates, and the README.
+//!
+//! The rules work on a token stream from a small hand-rolled lexer
+//! ([`lexer`]) — enough Rust to never mistake string/comment content for
+//! code, and no more. Findings can be suppressed with a
+//! `// LINT-ALLOW(rule): reason` comment on the offending line or the line
+//! above; allows are counted in the report, and a malformed or unused
+//! allow is itself a finding (rule `lint-allow`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod lexer;
+pub mod rules;
+
+use analysis::SourceFile;
+use rules::Finding;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The loaded workspace: every first-party `.rs` file plus the README.
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All discovered source files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// `README.md` content (empty when absent — rules report that).
+    pub readme: String,
+}
+
+/// Top-level directories scanned for Rust sources. `vendor/` is included:
+/// the shims are first-party code and subject to the unsafe audit.
+const SCAN_DIRS: [&str; 5] = ["crates", "src", "tests", "examples", "vendor"];
+
+impl Workspace {
+    /// Loads all sources under `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for dir in SCAN_DIRS {
+            let top = root.join(dir);
+            if top.is_dir() {
+                collect_rs_files(&top, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for abs in paths {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&abs)?;
+            files.push(SourceFile::new(rel, abs, text));
+        }
+        let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            readme,
+        })
+    }
+
+    /// Looks up a file by workspace-relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Returns the byte spans (`{` start .. `}` end) of every `fn <name>` body
+/// in the file. Multiple impls may define the same method name, so all
+/// spans are returned; callers pick the one whose contents match.
+pub fn fn_body_spans(file: &SourceFile, name: &str) -> Vec<(usize, usize)> {
+    let sig: Vec<usize> = file.significant().collect();
+    let mut spans = Vec::new();
+    let mut p = 0;
+    while p + 1 < sig.len() {
+        if file.is_ident(sig[p], "fn") && file.is_ident(sig[p + 1], name) {
+            // Find the opening brace of the body, then its match.
+            let mut q = p + 2;
+            while q < sig.len() && file.text_of(&file.tokens[sig[q]]) != "{" {
+                if file.text_of(&file.tokens[sig[q]]) == ";" {
+                    break; // trait method declaration — no body
+                }
+                q += 1;
+            }
+            if q < sig.len() && file.text_of(&file.tokens[sig[q]]) == "{" {
+                let open = sig[q];
+                let mut depth = 0usize;
+                let mut close = None;
+                for &j in &sig[q..] {
+                    match file.text_of(&file.tokens[j]) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = Some(j);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(close) = close {
+                    spans.push((file.tokens[open].start, file.tokens[close].end));
+                }
+            }
+        }
+        p += 1;
+    }
+    spans
+}
+
+/// Convenience: the first `fn <name>` body span, when there is exactly one
+/// obvious candidate. Returns `None` when the fn is absent.
+pub fn fn_body_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    fn_body_spans(file, name).into_iter().next()
+}
+
+/// Per-rule totals for the report.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Unsuppressed findings.
+    pub findings: usize,
+    /// Findings suppressed by a `LINT-ALLOW`.
+    pub allows: usize,
+}
+
+/// The result of a full workspace check.
+pub struct Report {
+    /// How many source files were scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, in rule order.
+    pub findings: Vec<Finding>,
+    /// Per-rule totals, in [`rules::RULE_NAMES`] order.
+    pub rules: Vec<RuleSummary>,
+}
+
+impl Report {
+    /// True when no findings survived suppression.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Loads the workspace at `root` and runs every rule, applying
+/// `LINT-ALLOW` suppression centrally.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    Ok(check_loaded(&ws))
+}
+
+/// Runs every rule over an already-loaded workspace.
+pub fn check_loaded(ws: &Workspace) -> Report {
+    let raw: Vec<(usize, Finding)> = [
+        rules::panic_free::run(ws),
+        rules::unsafe_audit::run(ws),
+        rules::error_codes::run(ws),
+        rules::protocol_ops::run(ws),
+        rules::snapshot_version::run(ws),
+    ]
+    .into_iter()
+    .enumerate()
+    .flat_map(|(ri, fs)| fs.into_iter().map(move |f| (ri, f)))
+    .collect();
+
+    // Suppression: an allow for the finding's rule on the finding's line,
+    // or on the line directly above, silences it. Track which allows
+    // fired so unused ones can be reported.
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+    let mut summaries: Vec<RuleSummary> = rules::RULE_NAMES
+        .iter()
+        .map(|&rule| RuleSummary {
+            rule,
+            findings: 0,
+            allows: 0,
+        })
+        .collect();
+    let mut findings = Vec::new();
+    for (ri, finding) in raw {
+        let suppressed = finding.line > 0
+            && ws.files.iter().enumerate().any(|(fi, file)| {
+                file.rel_path == finding.file
+                    && file.allows.iter().enumerate().any(|(ai, allow)| {
+                        let hit = allow.rule == finding.rule
+                            && (allow.line == finding.line || allow.line + 1 == finding.line);
+                        if hit {
+                            used[fi][ai] = true;
+                        }
+                        hit
+                    })
+            });
+        if suppressed {
+            summaries[ri].allows += 1;
+        } else {
+            summaries[ri].findings += 1;
+            findings.push(finding);
+        }
+    }
+
+    // The escape hatch itself is audited: malformed allows and allows that
+    // suppressed nothing are findings under the internal `lint-allow` rule.
+    let allow_rule_idx = summaries.len() - 1;
+    for (fi, file) in ws.files.iter().enumerate() {
+        for bad in &file.malformed_allows {
+            summaries[allow_rule_idx].findings += 1;
+            findings.push(Finding {
+                rule: "lint-allow",
+                file: file.rel_path.clone(),
+                line: bad.line,
+                message: format!("malformed LINT-ALLOW: {}", bad.problem),
+            });
+        }
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if !rules::RULE_NAMES.contains(&allow.rule.as_str()) {
+                summaries[allow_rule_idx].findings += 1;
+                findings.push(Finding {
+                    rule: "lint-allow",
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    message: format!("LINT-ALLOW names unknown rule `{}`", allow.rule),
+                });
+            } else if !used[fi][ai] {
+                summaries[allow_rule_idx].findings += 1;
+                findings.push(Finding {
+                    rule: "lint-allow",
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "unused LINT-ALLOW({}) — nothing to suppress here, remove it",
+                        allow.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    Report {
+        files_scanned: ws.files.len(),
+        findings,
+        rules: summaries,
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fn_body_spans_finds_all_overloads() {
+        let src = "\
+impl A { fn go(&self) -> u8 { 1 } }
+impl B { fn go(&self) -> u8 { { 2 } } }
+trait T { fn go(&self) -> u8; }
+";
+        let file = SourceFile::new("x.rs".into(), PathBuf::from("x.rs"), src.into());
+        let spans = fn_body_spans(&file, "go");
+        assert_eq!(spans.len(), 2);
+        assert!(src[spans[0].0..spans[0].1].contains('1'));
+        assert!(src[spans[1].0..spans[1].1].contains('2'));
+    }
+}

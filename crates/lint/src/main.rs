@@ -1,0 +1,113 @@
+//! CLI for the in-tree conformance linter.
+//!
+//! ```text
+//! mithra-lint check [--root PATH]
+//! ```
+//!
+//! Findings stream to stdout as NDJSON (one object per finding, then one
+//! `{"summary":…}` line), matching the service's wire idiom so CI and
+//! scripts can parse them the same way. A human per-rule summary goes to
+//! stderr. Exit code: 0 clean, 1 findings, 2 usage/IO error.
+
+use mithra_lint::{check_workspace, json_escape, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mithra-lint check [--root PATH]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "check" {
+        eprintln!("unknown command `{command}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "mithra-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    print_ndjson(&report);
+    print_human_summary(&report);
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// One NDJSON object per finding, then the summary object.
+fn print_ndjson(report: &Report) {
+    for f in &report.findings {
+        println!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        );
+    }
+    let rules: Vec<String> = report
+        .rules
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rule\":\"{}\",\"findings\":{},\"allows\":{}}}",
+                json_escape(r.rule),
+                r.findings,
+                r.allows
+            )
+        })
+        .collect();
+    println!(
+        "{{\"summary\":{{\"files_scanned\":{},\"total_findings\":{},\"rules\":[{}]}}}}",
+        report.files_scanned,
+        report.findings.len(),
+        rules.join(",")
+    );
+}
+
+/// Per-rule table on stderr for humans reading CI logs.
+fn print_human_summary(report: &Report) {
+    eprintln!("mithra-lint: scanned {} files", report.files_scanned);
+    for r in &report.rules {
+        eprintln!(
+            "  {:<18} {:>3} finding{}  {:>3} allow{}",
+            r.rule,
+            r.findings,
+            if r.findings == 1 { " " } else { "s" },
+            r.allows,
+            if r.allows == 1 { " " } else { "s" },
+        );
+    }
+    if report.clean() {
+        eprintln!("mithra-lint: clean");
+    } else {
+        eprintln!("mithra-lint: {} finding(s)", report.findings.len());
+    }
+}

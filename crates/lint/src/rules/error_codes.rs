@@ -1,0 +1,245 @@
+//! Rule `error-codes`: the `ErrorCode` table in `protocol.rs` is the
+//! single source of truth, and everything else must agree with it.
+//!
+//! For every code extracted from `ErrorCode::as_str`, the rule checks:
+//!
+//! 1. the README error-code table has a row for its wire string;
+//! 2. the variant is constructed somewhere in service-crate production
+//!    code (a code nothing can produce is dead protocol surface);
+//! 3. at least one test asserts the wire string (or matches the variant),
+//!    so a renamed code breaks a test and not a client.
+//!
+//! It also runs the reverse direction: README rows that name codes the
+//! enum no longer has are flagged as stale.
+
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "error-codes";
+
+/// Where the enum lives.
+pub const PROTOCOL_FILE: &str = "crates/service/src/protocol.rs";
+/// README table header the codes must appear under.
+pub const README_HEADER: &str = "| Code | Meaning |";
+
+/// One extracted `(Variant, "wire-string")` pair plus the byte span of the
+/// `as_str` body it came from (needed to exclude that span from the
+/// construction check).
+pub struct CodeTable {
+    /// `(variant name, wire string)` in declaration order.
+    pub codes: Vec<(String, String)>,
+    /// Byte span of the `fn as_str` body in `protocol.rs`.
+    pub as_str_span: (usize, usize),
+}
+
+/// Extracts the code table from `protocol.rs`, or explains why it can't.
+pub fn extract_table(ws: &Workspace) -> Result<CodeTable, Finding> {
+    let Some(file) = ws.file(PROTOCOL_FILE) else {
+        return Err(Finding {
+            rule: RULE,
+            file: PROTOCOL_FILE.into(),
+            line: 0,
+            message: "protocol.rs not found; cannot extract error-code table".into(),
+        });
+    };
+    // `as_str` may be defined on several types; the right body is the one
+    // containing `ErrorCode::Variant => "wire"` match arms.
+    let sig: Vec<usize> = file.significant().collect();
+    for span in crate::fn_body_spans(file, "as_str") {
+        let mut codes = Vec::new();
+        for w in sig.windows(7) {
+            let toks = &file.tokens;
+            if toks[w[0]].start < span.0 || toks[w[6]].end > span.1 {
+                continue;
+            }
+            if file.is_ident(w[0], "ErrorCode")
+                && file.text_of(&toks[w[1]]) == ":"
+                && file.text_of(&toks[w[2]]) == ":"
+                && toks[w[3]].kind == TokenKind::Ident
+                && file.text_of(&toks[w[4]]) == "="
+                && file.text_of(&toks[w[5]]) == ">"
+                && toks[w[6]].kind == TokenKind::Str
+            {
+                let wire = file.text_of(&toks[w[6]]).trim_matches('"').to_string();
+                codes.push((file.text_of(&toks[w[3]]).to_string(), wire));
+            }
+        }
+        if !codes.is_empty() {
+            return Ok(CodeTable {
+                codes,
+                as_str_span: span,
+            });
+        }
+    }
+    Err(Finding {
+        rule: RULE,
+        file: PROTOCOL_FILE.into(),
+        line: 0,
+        message: "no `fn as_str` with `ErrorCode::… => \"…\"` arms found in protocol.rs".into(),
+    })
+}
+
+/// Parses the backticked first-column entries of the markdown table that
+/// follows `header` in `readme`. Returns `(code, line)` pairs.
+pub fn readme_table_entries(readme: &str, header: &str) -> Vec<(String, u32)> {
+    let mut entries = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in readme.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with(header) {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if !trimmed.starts_with('|') {
+            break; // table ended
+        }
+        // Skip the separator row `| --- | --- |`.
+        let first_cell = trimmed
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("");
+        let cell = first_cell.trim();
+        if let Some(code) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            entries.push((code.to_string(), idx as u32 + 1));
+        }
+    }
+    entries
+}
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let table = match extract_table(ws) {
+        Ok(t) => t,
+        Err(f) => return vec![f],
+    };
+    let mut findings = Vec::new();
+    let readme_rows = readme_table_entries(&ws.readme, README_HEADER);
+    if readme_rows.is_empty() {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("no error-code table under `{README_HEADER}` in README"),
+        });
+    }
+
+    for (variant, wire) in &table.codes {
+        if !readme_rows.iter().any(|(c, _)| c == wire) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: 0,
+                message: format!("error code `{wire}` has no row in the README error-code table"),
+            });
+        }
+        if !is_constructed(ws, variant, table.as_str_span) {
+            findings.push(Finding {
+                rule: RULE,
+                file: PROTOCOL_FILE.into(),
+                line: 0,
+                message: format!(
+                    "ErrorCode::{variant} (`{wire}`) is never constructed in service production code"
+                ),
+            });
+        }
+        if !is_test_asserted(ws, variant, wire) {
+            findings.push(Finding {
+                rule: RULE,
+                file: PROTOCOL_FILE.into(),
+                line: 0,
+                message: format!("error code `{wire}` is not asserted by any test"),
+            });
+        }
+    }
+    // Reverse direction: stale README rows.
+    for (code, line) in &readme_rows {
+        if !table.codes.iter().any(|(_, wire)| wire == code) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: *line,
+                message: format!(
+                    "README error-code table lists `{code}`, which ErrorCode does not define"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// True when `ErrorCode::variant` appears in service-crate production code
+/// outside the `as_str` body itself.
+fn is_constructed(ws: &Workspace, variant: &str, as_str_span: (usize, usize)) -> bool {
+    for file in &ws.files {
+        if !file.rel_path.starts_with("crates/service/src/") {
+            continue;
+        }
+        let sig: Vec<usize> = file.significant().collect();
+        for w in sig.windows(4) {
+            let toks = &file.tokens;
+            if file.test_mask[w[0]] {
+                continue;
+            }
+            if file.rel_path == PROTOCOL_FILE
+                && toks[w[0]].start >= as_str_span.0
+                && toks[w[0]].start < as_str_span.1
+            {
+                continue;
+            }
+            if file.is_ident(w[0], "ErrorCode")
+                && file.text_of(&toks[w[1]]) == ":"
+                && file.text_of(&toks[w[2]]) == ":"
+                && file.is_ident(w[3], variant)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when some test mentions the code: a test-code string literal whose
+/// content contains `"code":"<wire>"` (raw or `\"`-escaped) or equals the
+/// bare wire string, or a test-code `ErrorCode::Variant` path.
+fn is_test_asserted(ws: &Workspace, variant: &str, wire: &str) -> bool {
+    let escaped = format!("\\\"code\\\":\\\"{wire}\\\"");
+    let raw = format!("\"code\":\"{wire}\"");
+    let bare = format!("\"{wire}\"");
+    for file in &ws.files {
+        for i in file.significant() {
+            if !file.test_mask[i] {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            match tok.kind {
+                TokenKind::Str => {
+                    let txt = file.text_of(tok);
+                    if txt.contains(&escaped) || txt.contains(&raw) || txt == bare {
+                        return true;
+                    }
+                }
+                TokenKind::Ident if file.text_of(tok) == variant => {
+                    // Require the `ErrorCode::` path prefix.
+                    let sig: Vec<usize> = file.significant().collect();
+                    if let Some(p) = sig.iter().position(|&s| s == i) {
+                        if p >= 3
+                            && file.is_ident(sig[p - 3], "ErrorCode")
+                            && file.text_of(&file.tokens[sig[p - 2]]) == ":"
+                            && file.text_of(&file.tokens[sig[p - 1]]) == ":"
+                        {
+                            return true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}

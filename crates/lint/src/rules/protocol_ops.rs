@@ -1,0 +1,179 @@
+//! Rule `protocol-ops`: every dispatched protocol op is documented and
+//! tested.
+//!
+//! The op set is extracted from the string match arms inside
+//! `fn parse_request` in `protocol.rs` — the place a request name becomes
+//! a typed `Request`. Each op must have a row in the README ops table and
+//! at least one test that sends it (an `"op":"…"` literal in test code or
+//! a `Request::Variant` construction). Stale README rows are flagged in
+//! the reverse direction.
+
+use crate::lexer::TokenKind;
+use crate::rules::error_codes::readme_table_entries;
+use crate::rules::Finding;
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "protocol-ops";
+
+/// Where the dispatcher lives.
+pub const PROTOCOL_FILE: &str = "crates/service/src/protocol.rs";
+/// README table header the ops must appear under.
+pub const README_HEADER: &str = "| Op | Request fields |";
+
+/// Extracts the op names from the `parse_request` match arms, in source
+/// order, deduplicated.
+pub fn extract_ops(ws: &Workspace) -> Result<Vec<String>, Finding> {
+    let Some(file) = ws.file(PROTOCOL_FILE) else {
+        return Err(Finding {
+            rule: RULE,
+            file: PROTOCOL_FILE.into(),
+            line: 0,
+            message: "protocol.rs not found; cannot extract op table".into(),
+        });
+    };
+    let Some(span) = crate::fn_body_span(file, "parse_request") else {
+        return Err(Finding {
+            rule: RULE,
+            file: PROTOCOL_FILE.into(),
+            line: 0,
+            message: "no `fn parse_request` in protocol.rs; cannot extract op table".into(),
+        });
+    };
+    // String-literal match arms `"op" =>` inside the body.
+    let sig: Vec<usize> = file.significant().collect();
+    let mut ops: Vec<String> = Vec::new();
+    for w in sig.windows(3) {
+        let toks = &file.tokens;
+        if toks[w[0]].start < span.0 || toks[w[2]].end > span.1 {
+            continue;
+        }
+        if toks[w[0]].kind == TokenKind::Str
+            && file.text_of(&toks[w[1]]) == "="
+            && file.text_of(&toks[w[2]]) == ">"
+        {
+            let op = file.text_of(&toks[w[0]]).trim_matches('"').to_string();
+            // Op names are lowercase identifiers; anything else matched
+            // against a string in parse_request (a field name, a unit
+            // value) is not an op arm.
+            if !op.is_empty()
+                && op.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+                && !ops.contains(&op)
+            {
+                ops.push(op);
+            }
+        }
+    }
+    if ops.is_empty() {
+        return Err(Finding {
+            rule: RULE,
+            file: PROTOCOL_FILE.into(),
+            line: 0,
+            message: "extracted zero ops from `parse_request`".into(),
+        });
+    }
+    Ok(ops)
+}
+
+/// `insert` → `Insert`: the `Request` variant for an op name.
+fn camelize(op: &str) -> String {
+    let mut out = String::with_capacity(op.len());
+    let mut upper = true;
+    for c in op.chars() {
+        if c == '_' {
+            upper = true;
+        } else if upper {
+            out.push(c.to_ascii_uppercase());
+            upper = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let ops = match extract_ops(ws) {
+        Ok(o) => o,
+        Err(f) => return vec![f],
+    };
+    let mut findings = Vec::new();
+    let readme_rows = readme_table_entries(&ws.readme, README_HEADER);
+    if readme_rows.is_empty() {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("no op table under `{README_HEADER}` in README"),
+        });
+    }
+    for op in &ops {
+        if !readme_rows.iter().any(|(o, _)| o == op) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: 0,
+                message: format!("op `{op}` has no row in the README protocol-ops table"),
+            });
+        }
+        if !is_test_covered(ws, op) {
+            findings.push(Finding {
+                rule: RULE,
+                file: PROTOCOL_FILE.into(),
+                line: 0,
+                message: format!("op `{op}` is not exercised by any test"),
+            });
+        }
+    }
+    for (op, line) in &readme_rows {
+        if !ops.contains(op) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: *line,
+                message: format!(
+                    "README op table lists `{op}`, which parse_request does not dispatch"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// True when some test sends the op: a test-code string literal containing
+/// `"op":"<op>"` (raw or `\"`-escaped), or a test-code
+/// `Request::<Camelized>` path.
+fn is_test_covered(ws: &Workspace, op: &str) -> bool {
+    let escaped = format!("\\\"op\\\":\\\"{op}\\\"");
+    let raw = format!("\"op\":\"{op}\"");
+    let variant = camelize(op);
+    for file in &ws.files {
+        let sig: Vec<usize> = file.significant().collect();
+        for (p, &i) in sig.iter().enumerate() {
+            if !file.test_mask[i] {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            match tok.kind {
+                TokenKind::Str => {
+                    let txt = file.text_of(tok);
+                    if txt.contains(&escaped) || txt.contains(&raw) {
+                        return true;
+                    }
+                }
+                TokenKind::Ident
+                    if file.text_of(tok) == variant
+                        && p >= 3
+                        && file.is_ident(sig[p - 3], "Request")
+                        && file.text_of(&file.tokens[sig[p - 2]]) == ":"
+                        && file.text_of(&file.tokens[sig[p - 1]]) == ":" =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}

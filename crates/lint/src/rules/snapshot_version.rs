@@ -1,0 +1,164 @@
+//! Rule `snapshot-version`: the snapshot format version is declared once
+//! and every consumer agrees with it.
+//!
+//! `SNAPSHOT_VERSION` (current) and `SNAPSHOT_MIN_VERSION` (oldest
+//! restorable) are extracted from `snapshot.rs`. The rule then checks:
+//!
+//! 1. the pair is sane (`1 <= min <= current`);
+//! 2. the restore path's feature gates (`version >= N` comparisons) cover
+//!    exactly the versions between `min` and `current` — bumping the
+//!    constant without teaching restore about the new format, or leaving
+//!    a gate behind after retiring one, both fail;
+//! 3. the README states the current version as `(currently N)`;
+//! 4. no production string literal in `snapshot.rs` hardcodes a
+//!    `"version":<digit>` — the writer must interpolate the constant.
+
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "snapshot-version";
+
+/// Where the format lives.
+pub const SNAPSHOT_FILE: &str = "crates/service/src/snapshot.rs";
+
+/// Finds `const <name> … = <integer>` in the file.
+fn extract_const(ws: &Workspace, name: &str) -> Option<u64> {
+    let file = ws.file(SNAPSHOT_FILE)?;
+    let sig: Vec<usize> = file.significant().collect();
+    for (p, &i) in sig.iter().enumerate() {
+        if !file.is_ident(i, name) {
+            continue;
+        }
+        // Accept `NAME = <num>` or `NAME : <type> = <num>`.
+        let mut q = p + 1;
+        if sig
+            .get(q)
+            .is_some_and(|&j| file.text_of(&file.tokens[j]) == ":")
+        {
+            q += 1; // `:`
+            while sig
+                .get(q)
+                .is_some_and(|&j| file.tokens[j].kind == TokenKind::Ident)
+            {
+                q += 1; // type path segment(s) — a plain `u64` in practice
+            }
+        }
+        if sig
+            .get(q)
+            .is_none_or(|&j| file.text_of(&file.tokens[j]) != "=")
+        {
+            continue;
+        }
+        q += 1;
+        if let Some(&j) = sig.get(q) {
+            if let Some(v) = file.tokens[j].integer_value(&file.text) {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(file) = ws.file(SNAPSHOT_FILE) else {
+        return vec![Finding {
+            rule: RULE,
+            file: SNAPSHOT_FILE.into(),
+            line: 0,
+            message: "snapshot.rs not found".into(),
+        }];
+    };
+    let current = extract_const(ws, "SNAPSHOT_VERSION");
+    let min = extract_const(ws, "SNAPSHOT_MIN_VERSION");
+    let (Some(current), Some(min)) = (current, min) else {
+        return vec![Finding {
+            rule: RULE,
+            file: SNAPSHOT_FILE.into(),
+            line: 0,
+            message: "SNAPSHOT_VERSION / SNAPSHOT_MIN_VERSION constants not found".into(),
+        }];
+    };
+    if !(1 <= min && min <= current) {
+        findings.push(Finding {
+            rule: RULE,
+            file: SNAPSHOT_FILE.into(),
+            line: 0,
+            message: format!("version pair out of order: min={min}, current={current}"),
+        });
+        return findings;
+    }
+
+    // Restore-path gates: `version >= N` comparisons in production code.
+    // Formats min..current-1 are upgraded in steps, so the gate set must
+    // be exactly {min+1, …, current}: each newer format adds one gate, and
+    // retiring an old format removes one.
+    let mut gates: Vec<u64> = Vec::new();
+    let sig: Vec<usize> = file.significant().collect();
+    for w in sig.windows(4) {
+        let toks = &file.tokens;
+        if file.test_mask[w[0]] {
+            continue;
+        }
+        if file.is_ident(w[0], "version")
+            && file.text_of(&toks[w[1]]) == ">"
+            && file.text_of(&toks[w[2]]) == "="
+        {
+            if let Some(v) = toks[w[3]].integer_value(&file.text) {
+                if !gates.contains(&v) {
+                    gates.push(v);
+                }
+            }
+        }
+    }
+    gates.sort_unstable();
+    let expected: Vec<u64> = (min + 1..=current).collect();
+    if gates != expected {
+        findings.push(Finding {
+            rule: RULE,
+            file: SNAPSHOT_FILE.into(),
+            line: 0,
+            message: format!(
+                "restore gates {gates:?} do not match expected {expected:?} (min={min}, current={current})"
+            ),
+        });
+    }
+
+    // README must state the current version.
+    let marker = format!("(currently {current})");
+    if !ws.readme.contains(&marker) {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("README does not state the snapshot version as `{marker}`"),
+        });
+    }
+
+    // The writer must interpolate the constant, never hardcode a digit.
+    for i in file.significant() {
+        let tok = &file.tokens[i];
+        if file.test_mask[i] || tok.kind != TokenKind::Str {
+            continue;
+        }
+        let txt = file.text_of(tok);
+        for key in ["\\\"version\\\":", "\"version\":"] {
+            if let Some(at) = txt.find(key) {
+                let after = txt[at + key.len()..].chars().next();
+                if after.is_some_and(|c| c.is_ascii_digit()) {
+                    findings.push(Finding {
+                        rule: RULE,
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: "string literal hardcodes a snapshot version digit (use SNAPSHOT_VERSION)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,82 @@
+//! Rule `unsafe-audit`: every `unsafe` must carry a `// SAFETY:` comment.
+//!
+//! Applies to the whole workspace (first-party crates), test code
+//! included — an unsound test is still unsound. The comment must be
+//! *adjacent*: the last comment block ending on the line directly above
+//! the `unsafe` keyword (or trailing on the same line) must contain
+//! `SAFETY:`. A doc comment three items up does not count.
+
+use crate::analysis::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "unsafe-audit";
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for i in file.significant() {
+        if !file.is_ident(i, "unsafe") {
+            continue;
+        }
+        // `unsafe` in a doc/string context never reaches here (the lexer
+        // already classified those); every Ident occurrence is real code:
+        // an unsafe block, fn, trait, or impl.
+        let line = file.tokens[i].line;
+        if !has_adjacent_safety_comment(file, i) {
+            findings.push(Finding {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment".into(),
+            });
+        }
+    }
+}
+
+/// Looks for a `SAFETY:` comment attached to the `unsafe` token at index
+/// `i`: either a comment on the line(s) immediately above the *statement*
+/// the `unsafe` starts on, or a comment earlier on the same line.
+fn has_adjacent_safety_comment(file: &SourceFile, i: usize) -> bool {
+    // The statement may start before `unsafe` on the same line
+    // (`let x = unsafe { … }`, `pub unsafe fn …`), so the comment
+    // requirement anchors on the first line of that statement: a comment
+    // counts when it ends on the `unsafe` line itself or forms a
+    // contiguous run of comment lines reaching the line directly above.
+    // `anchor` walks upward as adjacent comments are accepted, so the
+    // `SAFETY:` marker may sit on any line of a multi-line comment run.
+    let mut anchor = file.tokens[i].line;
+    for tok in file.tokens.iter().rev() {
+        if tok.start >= file.tokens[i].start {
+            continue;
+        }
+        let is_comment = matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment);
+        let end_line = tok.end_line(&file.text);
+        if is_comment {
+            if end_line + 1 >= anchor {
+                if tok.text(&file.text).contains("SAFETY:") {
+                    return true;
+                }
+                anchor = anchor.min(tok.line);
+                continue;
+            }
+            return false; // nearest comment is not adjacent
+        }
+        // A significant token between the candidate comments and the
+        // `unsafe` line: only blocking if it ends on a line *above* the
+        // current anchor (i.e. a real previous statement separating them).
+        if end_line < anchor {
+            return false;
+        }
+    }
+    false
+}

@@ -1,0 +1,462 @@
+//! Fixture tests: each rule must fire exactly where a seeded violation
+//! sits, and stay quiet on a conforming workspace.
+//!
+//! Every test materializes a miniature workspace under a temp directory —
+//! a hot-path file, a `protocol.rs`, a `snapshot.rs`, and a README — then
+//! mutates one facet and asserts the resulting findings.
+
+use mithra_lint::{check_workspace, Report};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A miniature workspace on disk, deleted on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+impl Fixture {
+    fn new() -> Fixture {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("mithra-lint-fixture-{}-{n}", std::process::id()));
+        fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    /// Writes `content` at `rel` (creating parent dirs) and returns self
+    /// for chaining.
+    fn file(self, rel: &str, content: &str) -> Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel has a parent")).expect("create parent");
+        fs::write(path, content).expect("write fixture file");
+        self
+    }
+
+    fn check(&self) -> Report {
+        check_workspace(&self.root).expect("check fixture workspace")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A conforming `protocol.rs`: two error codes, two ops, all constructed
+/// and test-asserted.
+const PROTOCOL_OK: &str = r#"
+pub enum ErrorCode { Parse, Internal }
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+pub fn classify(bad: bool) -> ErrorCode {
+    if bad { ErrorCode::Parse } else { ErrorCode::Internal }
+}
+pub fn parse_request(op: &str) -> u8 {
+    match op {
+        "insert" => 1,
+        "stats" => 2,
+        _ => 0,
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wire_strings() {
+        assert_eq!(super::classify(true).as_str(), "parse");
+        let resp = "{\"ok\":false,\"code\":\"internal\"}";
+        assert!(resp.contains("\"code\":\"internal\""));
+        assert_eq!(super::parse_request("insert"), 1);
+        let _ = "{\"op\":\"insert\"}";
+        let _ = "{\"op\":\"stats\"}";
+    }
+}
+"#;
+
+/// A conforming `snapshot.rs`: version 3, restorable from 1, gates for
+/// the two upgrades, writer interpolates the constant.
+const SNAPSHOT_OK: &str = r#"
+pub const SNAPSHOT_VERSION: u64 = 3;
+pub const SNAPSHOT_MIN_VERSION: u64 = 1;
+pub fn restore(version: u64) -> u8 {
+    let mut format = 0;
+    if version >= 2 { format += 1; }
+    if version >= 3 { format += 1; }
+    format
+}
+pub fn header() -> String {
+    format!("{{\"version\":{SNAPSHOT_VERSION}}}")
+}
+"#;
+
+/// A conforming README with both drift-checked tables.
+const README_OK: &str = "\
+# fixture
+
+| Op | Request fields | Success response fields |
+| --- | --- | --- |
+| `insert` | rows | ok |
+| `stats` | — | ok |
+
+| Code | Meaning |
+| --- | --- |
+| `parse` | malformed request |
+| `internal` | handler bug |
+
+Snapshots carry an integer `\"version\"` (currently 3).
+";
+
+/// A hot-path file with no violations.
+const EVENT_OK: &str = r#"
+pub fn tick(input: Option<u8>) -> u8 {
+    input.unwrap_or(0)
+}
+"#;
+
+fn conforming() -> Fixture {
+    Fixture::new()
+        .file("crates/service/src/protocol.rs", PROTOCOL_OK)
+        .file("crates/service/src/snapshot.rs", SNAPSHOT_OK)
+        .file("crates/service/src/event.rs", EVENT_OK)
+        .file("README.md", README_OK)
+}
+
+fn rule_findings<'r>(report: &'r Report, rule: &str) -> Vec<&'r mithra_lint::rules::Finding> {
+    report.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn conforming_fixture_is_clean() {
+    let report = conforming().check();
+    assert!(report.clean(), "expected clean, got: {:?}", report.findings);
+    assert_eq!(report.files_scanned, 3);
+}
+
+#[test]
+fn panic_freedom_fires_on_each_banned_form() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+pub fn tick(input: Option<u8>) -> u8 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if a + b > 9 { panic!("overflow"); }
+    if a == 1 { todo!() }
+    if b == 2 { unimplemented!() }
+    a
+}
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "panic-freedom");
+    assert_eq!(findings.len(), 5, "{:?}", report.findings);
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![3, 4, 5, 6, 7]
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.file == "crates/service/src/event.rs"));
+}
+
+#[test]
+fn panic_freedom_skips_strings_comments_and_tests() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+pub fn tick() -> &'static str {
+    // a comment may say unwrap() freely
+    /* so may a block comment: expect("x") */
+    let s = r"raw string with unwrap() inside";
+    let t = "escaped \" unwrap() too";
+    let _ = (s, t);
+    "panic!(no)"
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}
+"#,
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn panic_freedom_ignores_cold_paths() {
+    // The same unwrap in a non-hot-path file is not a finding.
+    let fixture = conforming().file(
+        "crates/core/src/solver.rs",
+        "pub fn go(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn lint_allow_suppresses_and_is_counted() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+pub fn tick(input: Option<u8>) -> u8 {
+    // LINT-ALLOW(panic-freedom): fixture-justified
+    input.unwrap()
+}
+pub fn tock(input: Option<u8>) -> u8 {
+    input.expect("same line") // LINT-ALLOW(panic-freedom): trailing form
+}
+"#,
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+    let summary = report
+        .rules
+        .iter()
+        .find(|r| r.rule == "panic-freedom")
+        .expect("summary row");
+    assert_eq!(summary.allows, 2);
+    assert_eq!(summary.findings, 0);
+}
+
+#[test]
+fn unused_and_malformed_allows_are_findings() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+// LINT-ALLOW(panic-freedom): nothing here needs it
+pub fn tick() -> u8 { 0 }
+// LINT-ALLOW(panic-freedom) missing the colon
+pub fn tock() -> u8 { 1 }
+// LINT-ALLOW(no-such-rule): unknown rule name
+pub fn tuck() -> u8 { 2 }
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "lint-allow");
+    assert_eq!(findings.len(), 3, "{:?}", report.findings);
+    assert!(findings.iter().any(|f| f.message.contains("unused")));
+    assert!(findings.iter().any(|f| f.message.contains("malformed")));
+    assert!(findings.iter().any(|f| f.message.contains("unknown rule")));
+}
+
+#[test]
+fn unsafe_audit_requires_adjacent_safety() {
+    let fixture = conforming().file(
+        "crates/service/src/net/mod.rs",
+        r#"
+pub fn good(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid (fixture).
+    unsafe { *p }
+}
+pub fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+pub fn stale(p: *const u8) -> u8 {
+    // SAFETY: too far away — a statement intervenes.
+    let _x = 1;
+    unsafe { *p }
+}
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "unsafe-audit");
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![7, 12],
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn unsafe_audit_accepts_multiline_safety_runs() {
+    let fixture = conforming().file(
+        "crates/service/src/net/mod.rs",
+        r#"
+pub fn good(p: *const u8) -> u8 {
+    // SAFETY: the marker sits on the first line of a run
+    // whose later lines elaborate on the invariant.
+    unsafe { *p }
+}
+"#,
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn error_codes_catch_dropped_readme_row() {
+    let fixture = conforming().file(
+        "README.md",
+        &README_OK.replace("| `internal` | handler bug |\n", ""),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "error-codes");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("`internal`"));
+    assert!(findings[0].message.contains("README"));
+}
+
+#[test]
+fn error_codes_catch_stale_readme_row() {
+    let fixture = conforming().file(
+        "README.md",
+        &README_OK.replace(
+            "| `internal` | handler bug |",
+            "| `internal` | handler bug |\n| `retired` | no longer exists |",
+        ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "error-codes");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("`retired`"));
+    assert!(findings[0].line > 0, "stale rows carry the README line");
+}
+
+#[test]
+fn error_codes_catch_unconstructed_and_untested() {
+    // Remove the production constructor and the test assertions for
+    // `internal`: two findings.
+    let fixture = conforming().file(
+        "crates/service/src/protocol.rs",
+        &PROTOCOL_OK
+            .replace(
+                "if bad { ErrorCode::Parse } else { ErrorCode::Internal }",
+                "let _ = bad; ErrorCode::Parse",
+            )
+            .replace(
+                "let resp = \"{\\\"ok\\\":false,\\\"code\\\":\\\"internal\\\"}\";",
+                "let resp = \"\";",
+            )
+            .replace(
+                "assert!(resp.contains(\"\\\"code\\\":\\\"internal\\\"\"));",
+                "let _ = resp;",
+            ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "error-codes");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("never constructed") && f.message.contains("Internal")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("not asserted") && f.message.contains("`internal`")));
+}
+
+#[test]
+fn protocol_ops_catch_dropped_readme_row_and_missing_test() {
+    let fixture = conforming()
+        .file(
+            "README.md",
+            &README_OK.replace("| `stats` | — | ok |\n", ""),
+        )
+        .file(
+            "crates/service/src/protocol.rs",
+            &PROTOCOL_OK.replace("let _ = \"{\\\"op\\\":\\\"stats\\\"}\";", ""),
+        );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "protocol-ops");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`stats`") && f.message.contains("README")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`stats`") && f.message.contains("not exercised")));
+}
+
+#[test]
+fn protocol_ops_catch_stale_readme_row() {
+    let fixture = conforming().file(
+        "README.md",
+        &README_OK.replace(
+            "| `stats` | — | ok |",
+            "| `stats` | — | ok |\n| `vacuum` | — | ok |",
+        ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "protocol-ops");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("`vacuum`"));
+}
+
+#[test]
+fn snapshot_version_catches_bump_without_gate_and_stale_readme() {
+    // Bump the constant without teaching restore about version 4 and
+    // without refreshing the README sentence: two findings.
+    let fixture = conforming().file(
+        "crates/service/src/snapshot.rs",
+        &SNAPSHOT_OK.replace("SNAPSHOT_VERSION: u64 = 3", "SNAPSHOT_VERSION: u64 = 4"),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "snapshot-version");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings.iter().any(|f| f.message.contains("restore gates")));
+    assert!(findings.iter().any(|f| f.message.contains("(currently 4)")));
+}
+
+#[test]
+fn snapshot_version_catches_hardcoded_writer_digit() {
+    let fixture = conforming().file(
+        "crates/service/src/snapshot.rs",
+        &SNAPSHOT_OK.replace(
+            "format!(\"{{\\\"version\\\":{SNAPSHOT_VERSION}}}\")",
+            "String::from(\"{\\\"version\\\":3}\")",
+        ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "snapshot-version");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("hardcodes"));
+    assert!(findings[0].line > 0);
+}
+
+#[test]
+fn cli_exits_zero_on_clean_and_one_on_violations() {
+    use std::process::Command;
+    let clean = conforming();
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--root"])
+        .arg(&clean.root)
+        .output()
+        .expect("run mithra-lint");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"summary\""), "{stdout}");
+    assert!(stdout.contains("\"files_scanned\":3"), "{stdout}");
+
+    let dirty = conforming().file(
+        "crates/service/src/event.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--root"])
+        .arg(&dirty.root)
+        .output()
+        .expect("run mithra-lint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("a finding line");
+    assert!(first.starts_with("{\"rule\":\"panic-freedom\""), "{first}");
+    assert!(first.contains("\"line\":1"), "{first}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .arg("frobnicate")
+        .output()
+        .expect("run mithra-lint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -9,6 +9,7 @@
 //! rebuilds the same model family natively so the whole reproduction is
 //! self-contained Rust.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod metrics;

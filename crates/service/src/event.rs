@@ -450,9 +450,12 @@ fn flush_insert_run<B: CoverageBackend>(
         return;
     }
     if run.len() == 1 {
-        let OpWork {
+        let Some(OpWork {
             slot, id, request, ..
-        } = run.pop().unwrap();
+        }) = run.pop()
+        else {
+            return;
+        };
         out.push((
             slot,
             dispatch_counted(engine, options, metrics, id.as_ref(), request),
@@ -547,9 +550,12 @@ fn flush_delete_run<B: CoverageBackend>(
         return;
     }
     if run.len() == 1 {
-        let OpWork {
+        let Some(OpWork {
             slot, id, request, ..
-        } = run.pop().unwrap();
+        }) = run.pop()
+        else {
+            return;
+        };
         out.push((
             slot,
             dispatch_counted(engine, options, metrics, id.as_ref(), request),
@@ -883,8 +889,8 @@ pub(crate) fn serve_event_tenants<B: CoverageBackend>(
             while let Some(first) = ops.next() {
                 let tenant = &tenants[first.tenant];
                 let mut segment = vec![first];
-                while ops.peek().is_some_and(|op| op.tenant == segment[0].tenant) {
-                    segment.push(ops.next().unwrap());
+                while let Some(op) = ops.next_if(|op| op.tenant == segment[0].tenant) {
+                    segment.push(op);
                 }
                 if let Some(counters) = &tenant.counters {
                     counters.add_requests(segment.len() as u64);
@@ -950,8 +956,9 @@ pub(crate) fn serve_event_tenants<B: CoverageBackend>(
             }
             let finished = conn.eof && conn.backlog() == 0 && conn.decoder.is_empty();
             if conn.dead || finished {
-                let conn = conns[idx].take().unwrap();
-                let _ = poller.deregister(conn.stream.as_raw_fd());
+                if let Some(conn) = conns[idx].take() {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                }
                 free.push(idx);
                 live -= 1;
                 continue;
@@ -977,8 +984,9 @@ pub(crate) fn serve_event_tenants<B: CoverageBackend>(
                     .as_ref()
                     .is_some_and(|conn| now.duration_since(conn.last_active) > IDLE_TIMEOUT);
                 if idle {
-                    let conn = slot.take().unwrap();
-                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    if let Some(conn) = slot.take() {
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                    }
                     free.push(idx);
                     live -= 1;
                 }

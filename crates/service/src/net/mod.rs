@@ -203,7 +203,7 @@ mod sys {
     use super::{Event, Interest};
     use std::io;
     use std::os::fd::RawFd;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, PoisonError};
     use std::time::Duration;
 
     /// Portable fallback: every registered fd reports ready on every wait.
@@ -224,13 +224,16 @@ mod sys {
         pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
             self.registered
                 .lock()
-                .expect("poller lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push((fd, token, interest));
             Ok(())
         }
 
         pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
-            let mut reg = self.registered.lock().expect("poller lock");
+            let mut reg = self
+                .registered
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for slot in reg.iter_mut() {
                 if slot.0 == fd {
                     *slot = (fd, token, interest);
@@ -243,7 +246,7 @@ mod sys {
         pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
             self.registered
                 .lock()
-                .expect("poller lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .retain(|slot| slot.0 != fd);
             Ok(())
         }
@@ -251,7 +254,11 @@ mod sys {
         pub fn wait(&self, out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<()> {
             out.clear();
             std::thread::sleep(Duration::from_millis(5));
-            for &(_, token, interest) in self.registered.lock().expect("poller lock").iter() {
+            let reg = self
+                .registered
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for &(_, token, interest) in reg.iter() {
                 out.push(Event {
                     token,
                     readable: interest.readable,

@@ -254,7 +254,11 @@ fn fetch_tcp(conn: &mut Option<TcpFetcher>, addr: &str, from: u64) -> Result<Bat
     if conn.is_none() {
         *conn = Some(TcpFetcher::connect(addr).map_err(transient)?);
     }
-    let fetcher = conn.as_mut().expect("connected above");
+    let Some(fetcher) = conn.as_mut() else {
+        return Err(FetchError::Transient(
+            "replication connection missing".into(),
+        ));
+    };
     writeln!(fetcher.writer, "{{\"op\":\"replicate\",\"from\":{from}}}").map_err(transient)?;
     let mut line = String::new();
     if fetcher.reader.read_line(&mut line).map_err(transient)? == 0 {

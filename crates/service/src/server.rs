@@ -1686,6 +1686,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_io_and_unhittable_codes_reach_the_wire() {
+        // A snapshot path whose parent directory does not exist fails in
+        // the tmp-file write and is classified as `snapshot_io`.
+        let mut engine = engine();
+        let dir = std::env::temp_dir().join(format!("mithra-missing-{}", std::process::id()));
+        let options =
+            ServeOptions::new().with_snapshot_path(Some(dir.join("no-such-dir").join("snap.json")));
+        let response = handle_line(&mut engine, &options, r#"{"op":"snapshot"}"#);
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("\"code\":\"snapshot_io\""), "{response}");
+
+        // `unhittable` wraps the core solver's verdict that the remaining
+        // target patterns cannot be covered by any valid row.
+        let error = ServeError::from_service(crate::ServiceError::Core(
+            coverage_core::CoverageError::Unhittable {
+                patterns: vec!["1X".into()],
+            },
+        ));
+        assert_eq!(error.code.as_str(), "unhittable");
+        let response = error_response(None, &error);
+        assert!(response.contains("\"code\":\"unhittable\""), "{response}");
+    }
+
+    #[test]
     fn panicking_handler_answers_an_error_and_spares_the_mutex() {
         let shared = Arc::new(Mutex::new(engine()));
         // A handler that panics while holding the engine must yield an error

@@ -37,6 +37,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use coverage_core as core;
 pub use coverage_data as data;
 pub use coverage_index as index;
