@@ -1,0 +1,181 @@
+//! Dense vs compressed coverage backend on the skewed 500k-row dataset:
+//! index footprint and probe latency through the [`CoverageProvider`]
+//! seam both backends serve.
+//!
+//! Besides the Criterion timings, a one-shot summary reports the observed
+//! footprint and latency ratios and asserts:
+//!
+//! * **equivalence** — both backends return identical `coverage` and
+//!   `covered` answers on every probe in the set (always);
+//! * **footprint** — the Roaring-style [`CompressedOracle`] stores the
+//!   skewed dataset in ≤ 1/4 the bytes/row of the dense
+//!   [`CoverageOracle`]: the long tail of rare values collapses to array
+//!   containers (2 B/id) while the dense backend pays a full-width
+//!   bitmap per dictionary value regardless of how few rows carry it;
+//! * **latency** — on covered-region capped probes (wide patterns whose
+//!   count sits far above τ, the `covered` hot path) the compressed
+//!   backend is no slower than dense, since both early-out after ~τ hits
+//!   but the compressed side touches containers instead of full-width
+//!   vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use coverage_bench::loadgen::skewed_dataset;
+use coverage_index::{CompressedOracle, CoverageOracle, X};
+
+const N: usize = 500_000;
+const TAU: u64 = 25;
+const SEED: u64 = 7;
+
+/// Best-of-5 wall clock of `f`'s self-reported duration: sub-microsecond
+/// per-probe latencies gate an assertion here, so take the minimum over
+/// more repetitions than the throughput benches bother with.
+fn best_of_5(mut f: impl FnMut() -> Duration) -> Duration {
+    (0..5).map(|_| f()).min().expect("ran at least once")
+}
+
+/// Mean per-probe latency of `probe` over `patterns`, best of 5 passes.
+fn per_probe_ns(patterns: &[Vec<u8>], mut probe: impl FnMut(&[u8]) -> u64) -> f64 {
+    let best = best_of_5(|| {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for p in patterns {
+            acc = acc.wrapping_add(probe(p));
+        }
+        black_box(acc);
+        start.elapsed()
+    });
+    best.as_nanos() as f64 / patterns.len().max(1) as f64
+}
+
+/// Wide single-attribute probes over the covered region: every pattern
+/// fixes one attribute to a value that at least τ rows carry, so the
+/// capped path's early-out fires on each of them — the steady-state
+/// `covered` access pattern of `mithra serve`.
+fn covered_wide_probes(dense: &CoverageOracle, arity: usize, cards: &[u8]) -> Vec<Vec<u8>> {
+    let mut probes = Vec::new();
+    for attr in 0..arity {
+        for v in 0..usize::from(cards[attr]) {
+            let mut p = vec![X; arity];
+            p[attr] = v as u8;
+            if dense.coverage(&p) >= TAU {
+                probes.push(p);
+            }
+            if probes.len() >= 64 {
+                return probes;
+            }
+        }
+    }
+    probes
+}
+
+fn bench_compressed_probe(c: &mut Criterion) {
+    let ds = skewed_dataset(N, SEED).expect("skewed dataset");
+    let dense = CoverageOracle::from_dataset(&ds);
+    let compressed = CompressedOracle::from_dataset(&ds);
+    let arity = ds.arity();
+    let cards: Vec<u8> = ds.schema().cardinalities().to_vec();
+
+    // --- One-shot equivalence + footprint + latency summary --------------
+    let stride = (N / 64).max(1);
+    let points: Vec<Vec<u8>> = ds
+        .rows()
+        .step_by(stride)
+        .take(64)
+        .map(<[u8]>::to_vec)
+        .collect();
+    let wides = covered_wide_probes(&dense, arity, &cards);
+    assert!(
+        wides.len() >= 32,
+        "skewed dataset should yield a covered region ≥ 32 wide probes, got {}",
+        wides.len()
+    );
+    for p in points.iter().chain(&wides) {
+        assert_eq!(
+            dense.coverage(p),
+            compressed.coverage(p),
+            "backends diverged on {p:?}"
+        );
+        assert_eq!(
+            dense.covered(p, TAU),
+            compressed.covered(p, TAU),
+            "capped verdicts diverged on {p:?}"
+        );
+    }
+
+    let dense_bpr = dense.memory_bytes() as f64 / N as f64;
+    let stats = compressed.memory();
+    let compressed_bpr = stats.bytes as f64 / N as f64;
+    let ratio = dense_bpr / compressed_bpr;
+    let dense_capped = per_probe_ns(&wides, |p| dense.coverage_capped(p, TAU));
+    let compressed_capped = per_probe_ns(&wides, |p| compressed.coverage_capped(p, TAU));
+    println!(
+        "compressed_probe summary: n={N}, {} covered wide probes — \
+         dense {dense_bpr:.2} B/row vs compressed {compressed_bpr:.2} B/row \
+         ({ratio:.1}x smaller; {} array / {} bitmap / {} run containers), \
+         capped probe {dense_capped:.0} ns vs {compressed_capped:.0} ns",
+        wides.len(),
+        stats.array_containers,
+        stats.bitmap_containers,
+        stats.run_containers,
+    );
+    assert!(
+        ratio >= 4.0,
+        "expected ≥4x bytes/row reduction on the skewed dataset, got {ratio:.2}x \
+         ({dense_bpr:.2} vs {compressed_bpr:.2} B/row)"
+    );
+    assert!(
+        compressed_capped <= dense_capped,
+        "compressed covered-region capped probes must not be slower than dense: \
+         {compressed_capped:.0} ns vs {dense_capped:.0} ns"
+    );
+
+    // --- Criterion timings ----------------------------------------------
+    let mut group = c.benchmark_group("compressed_probe_500k");
+    group.sample_size(10);
+    group.bench_function("point_probe_dense", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc = acc.wrapping_add(dense.coverage(black_box(p)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("point_probe_compressed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc = acc.wrapping_add(compressed.coverage(black_box(p)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("capped_wide_probe_dense", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &wides {
+                acc = acc.wrapping_add(dense.coverage_capped(black_box(p), TAU));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("capped_wide_probe_compressed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &wides {
+                acc = acc.wrapping_add(compressed.coverage_capped(black_box(p), TAU));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("build_compressed_500k", |b| {
+        b.iter(|| black_box(CompressedOracle::from_dataset(black_box(&ds)).total()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressed_probe);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ use coverage_core::pattern::Pattern;
 use coverage_core::Threshold;
 use coverage_data::generators::airbnb_like;
 use coverage_data::Dataset;
-use coverage_index::{CoverageProvider, ShardedOracle};
+use coverage_index::{CoverageOracle, CoverageProvider, ShardedOracle};
 use coverage_service::ShardedCoverageEngine;
 
 const N: usize = 50_000;
@@ -52,7 +52,8 @@ fn workload() -> (Dataset, Vec<Vec<u8>>, Vec<Vec<u8>>) {
 
 /// Batch-ingests every row of `base` into an initially empty sharded oracle.
 fn batch_ingest(base: &Dataset, shards: usize) -> ShardedOracle {
-    let mut oracle = ShardedOracle::from_dataset(&Dataset::new(base.schema().clone()), shards);
+    let mut oracle =
+        ShardedOracle::<CoverageOracle>::from_dataset(&Dataset::new(base.schema().clone()), shards);
     let rows: Vec<&[u8]> = base.rows().collect();
     for chunk in rows.chunks(INGEST_BATCH) {
         oracle.add_rows(chunk);
@@ -188,7 +189,11 @@ fn bench_sharded_ingest(c: &mut Criterion) {
         b.iter(|| black_box(batch_ingest(black_box(&base), SHARDS).total()));
     });
     group.bench_function("build_from_dataset_4_shards", |b| {
-        b.iter(|| black_box(ShardedOracle::from_dataset(black_box(&base), SHARDS).total()));
+        b.iter(|| {
+            black_box(
+                ShardedOracle::<CoverageOracle>::from_dataset(black_box(&base), SHARDS).total(),
+            )
+        });
     });
     group.finish();
 }

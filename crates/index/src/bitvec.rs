@@ -3,9 +3,15 @@
 //! "early stop strategy ... conducting the operation word by word and
 //! terminating as soon as a 1 is observed"), and weighted popcounts against a
 //! multiplicity vector (Appendix A's dot product with the `cnt` vector).
+//!
+//! The heavy loops live in [`crate::kernels`] — explicit 4×`u64`-lane
+//! unrolled word kernels shared with the compressed backend's bitmap
+//! containers; this module only adds the length/weight contracts on top.
+
+use crate::kernels;
 
 /// Number of bits per storage word.
-const WORD_BITS: usize = 64;
+const WORD_BITS: usize = kernels::WORD_BITS;
 
 /// A growable packed bit-vector.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -153,7 +159,7 @@ impl BitVec {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        kernels::popcount_words(&self.words)
     }
 
     /// Whether any bit is set.
@@ -175,16 +181,7 @@ impl BitVec {
     /// Panics when `weights.len() < self.len()`.
     pub fn weighted_sum(&self, weights: &[u64]) -> u64 {
         assert!(weights.len() >= self.len, "weight vector too short");
-        let mut total = 0u64;
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                total += weights[wi * WORD_BITS + bit];
-                w &= w - 1;
-            }
-        }
-        total
+        kernels::weighted_sum_words(&self.words, weights)
     }
 
     /// Iterates over the indices of set bits, ascending.
@@ -218,27 +215,12 @@ pub fn intersection_weighted_sum(vectors: &[&BitVec], weights: &[u64]) -> u64 {
         [] => weights.iter().sum(),
         [single] => single.weighted_sum(weights),
         [first, rest @ ..] => {
-            let len = first.len;
             for v in rest {
-                assert_eq!(v.len, len, "bitvec length mismatch");
+                assert_eq!(v.len, first.len, "bitvec length mismatch");
             }
-            assert!(weights.len() >= len, "weight vector too short");
-            let mut total = 0u64;
-            for wi in 0..first.words.len() {
-                let mut word = first.words[wi];
-                for v in rest {
-                    if word == 0 {
-                        break;
-                    }
-                    word &= v.words[wi];
-                }
-                while word != 0 {
-                    let bit = word.trailing_zeros() as usize;
-                    total += weights[wi * WORD_BITS + bit];
-                    word &= word - 1;
-                }
-            }
-            total
+            assert!(weights.len() >= first.len, "weight vector too short");
+            let slices: Vec<&[u64]> = vectors.iter().map(|v| v.words.as_slice()).collect();
+            kernels::intersect_weighted_sum(&slices, weights)
         }
     }
 }
@@ -258,43 +240,14 @@ pub fn intersection_weight_capped(vectors: &[&BitVec], weights: &[u64], cap: u64
     if cap == 0 {
         return 0;
     }
-    match vectors {
-        [] => {
-            let mut total = 0u64;
-            for &w in weights {
-                total = total.saturating_add(w);
-                if total >= cap {
-                    return total;
-                }
-            }
-            total
+    if let [first, rest @ ..] = vectors {
+        for v in rest {
+            assert_eq!(v.len, first.len, "bitvec length mismatch");
         }
-        [first, rest @ ..] => {
-            for v in rest {
-                assert_eq!(v.len, first.len, "bitvec length mismatch");
-            }
-            assert!(weights.len() >= first.len, "weight vector too short");
-            let mut total = 0u64;
-            for wi in 0..first.words.len() {
-                let mut word = first.words[wi];
-                for v in rest {
-                    if word == 0 {
-                        break;
-                    }
-                    word &= v.words[wi];
-                }
-                while word != 0 {
-                    let bit = word.trailing_zeros() as usize;
-                    total = total.saturating_add(weights[wi * WORD_BITS + bit]);
-                    if total >= cap {
-                        return total;
-                    }
-                    word &= word - 1;
-                }
-            }
-            total
-        }
+        assert!(weights.len() >= first.len, "weight vector too short");
     }
+    let slices: Vec<&[u64]> = vectors.iter().map(|v| v.words.as_slice()).collect();
+    kernels::intersect_weighted_capped(&slices, weights, cap)
 }
 
 /// Whether the intersection of `vectors` is non-empty, with word-level early
@@ -310,19 +263,8 @@ pub fn intersection_any(vectors: &[&BitVec]) -> bool {
             for v in rest {
                 assert_eq!(v.len, first.len, "bitvec length mismatch");
             }
-            for wi in 0..first.words.len() {
-                let mut word = first.words[wi];
-                for v in rest {
-                    if word == 0 {
-                        break;
-                    }
-                    word &= v.words[wi];
-                }
-                if word != 0 {
-                    return true;
-                }
-            }
-            false
+            let slices: Vec<&[u64]> = vectors.iter().map(|v| v.words.as_slice()).collect();
+            kernels::intersect_any(&slices)
         }
     }
 }

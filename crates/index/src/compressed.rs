@@ -1,0 +1,568 @@
+//! Roaring-compressed coverage oracle.
+//!
+//! Same inverted-index design as [`crate::CoverageOracle`] — one posting
+//! list per `(attribute, value)` pair over the unique-combination indices,
+//! `cov(P)` as a weighted intersection against the multiplicity vector —
+//! but every list is a [`PostingList`] of adaptive containers instead of a
+//! dense bit-vector. Memory goes from Σ cardinality bits *per combination*
+//! (every vector stores every combination's bit) to ~2 bytes per posting
+//! (only the `d` matching lists store a combination at all), which is what
+//! lets the index keep scaling past tens of millions of rows.
+//!
+//! Mutations are targeted: `add_row` touches `d` containers (the dense
+//! oracle pushes a bit onto *every* vector), `remove_row` touches at most
+//! `2d`, and `grow_value` inserts an empty list for free.
+//!
+//! This file is on the `mithra-lint` panic-freedom hot list: probe and
+//! mutation paths must not contain `unwrap`/`expect`/`panic!`.
+
+use coverage_data::{Dataset, UniqueCombinations};
+
+use crate::container::{self, Container, PostingList};
+use crate::oracle::X;
+use crate::provider::{BackendMemory, CoverageBackend, CoverageProvider};
+
+/// Compressed-container coverage oracle: the Roaring-style
+/// [`CoverageBackend`], answer-equivalent to [`crate::CoverageOracle`].
+#[derive(Debug, Clone)]
+pub struct CompressedOracle {
+    /// `lists[offsets[i] + v]` = posting list of unique combinations with
+    /// value `v` on attribute `i` (prefix-offset layout, like the dense
+    /// oracle's vector table).
+    lists: Vec<PostingList>,
+    offsets: Vec<usize>,
+    cardinalities: Vec<u8>,
+    combos: UniqueCombinations,
+}
+
+impl CompressedOracle {
+    /// Builds the oracle directly from a dataset (aggregating internally).
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_unique(UniqueCombinations::from_dataset(dataset))
+    }
+
+    /// Builds the oracle from pre-aggregated unique combinations.
+    pub fn from_unique(combos: UniqueCombinations) -> Self {
+        let cards = combos.cardinalities().to_vec();
+        let mut offsets = Vec::with_capacity(cards.len() + 1);
+        let mut acc = 0usize;
+        for &c in &cards {
+            offsets.push(acc);
+            acc += c as usize;
+        }
+        offsets.push(acc);
+        let mut lists = vec![PostingList::default(); acc];
+        // Ascending combination indices hit the containers' append fast path.
+        for (k, (combo, _)) in combos.iter().enumerate() {
+            for (i, &v) in combo.iter().enumerate() {
+                lists[offsets[i] + v as usize].insert(k);
+            }
+        }
+        Self {
+            lists,
+            offsets,
+            cardinalities: cards,
+            combos,
+        }
+    }
+
+    /// Incrementally ingests one row. Unlike the dense oracle — which grows
+    /// *every* bit-vector by one bit for a new combination — only the `d`
+    /// matching posting lists are touched. Returns the row's combination
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a value code out of range.
+    pub fn add_row(&mut self, row: &[u8]) -> usize {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        for (i, &v) in row.iter().enumerate() {
+            assert!(
+                v < self.cardinalities[i],
+                "value {v} out of range for attribute {i}"
+            );
+        }
+        let (k, is_new) = self.combos.add_row(row);
+        if is_new {
+            for (i, &v) in row.iter().enumerate() {
+                self.lists[self.offsets[i] + v as usize].insert(k);
+            }
+        }
+        k
+    }
+
+    /// Incrementally forgets one row. When a combination's multiplicity hits
+    /// zero the aggregation swap-removes it: the last combination moves into
+    /// the vacated index, so its `d` posting lists re-home one index each —
+    /// at most `2d` container mutations, where the dense oracle swap-removes
+    /// a bit in *every* vector. Returns whether a matching row was
+    /// registered (and removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a value code out of range.
+    pub fn remove_row(&mut self, row: &[u8]) -> bool {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        for (i, &v) in row.iter().enumerate() {
+            assert!(
+                v < self.cardinalities[i],
+                "value {v} out of range for attribute {i}"
+            );
+        }
+        match self.combos.remove_row(row) {
+            None => false,
+            Some((_, false)) => true, // multiplicity decremented, index intact
+            Some((k, true)) => {
+                // The emptied combination *is* `row` (combinations are full
+                // value vectors): drop index `k` from its lists first, then
+                // re-home the swapped-in last combination from `last` to `k`.
+                // Shared lists (same value on an attribute) see remove(k),
+                // remove(last), insert(k) in that order — ending with `k`
+                // present exactly once, as required.
+                let last = self.combos.len();
+                for (i, &v) in row.iter().enumerate() {
+                    self.lists[self.offsets[i] + v as usize].remove(k);
+                }
+                if k != last {
+                    let moved = self.combos.combo(k).to_vec();
+                    for (i, &v) in moved.iter().enumerate() {
+                        let list = &mut self.lists[self.offsets[i] + v as usize];
+                        list.remove(last);
+                        list.insert(k);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Grows attribute `attribute`'s value dictionary by one, returning the
+    /// new value's code. The new posting list is empty and therefore *free*
+    /// (zero chunks, zero bytes) — the dense oracle pays a full zero
+    /// bit-vector here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range attribute position or when the cardinality
+    /// is already at the encoding ceiling.
+    pub fn grow_value(&mut self, attribute: usize) -> u8 {
+        assert!(
+            attribute < self.cardinalities.len(),
+            "attribute {attribute} out of range"
+        );
+        let code = self.cardinalities[attribute];
+        assert!(code < u8::MAX - 1, "cardinality ceiling reached");
+        self.lists.insert(
+            self.offsets[attribute] + code as usize,
+            PostingList::default(),
+        );
+        for offset in &mut self.offsets[attribute + 1..] {
+            *offset += 1;
+        }
+        self.cardinalities[attribute] = code + 1;
+        self.combos.grow_value(attribute);
+        code
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Attribute cardinalities.
+    pub fn cardinalities(&self) -> &[u8] {
+        &self.cardinalities
+    }
+
+    /// Total number of rows in the underlying dataset (`cov(XX..X)`).
+    pub fn total(&self) -> u64 {
+        self.combos.total()
+    }
+
+    /// The underlying unique-combination aggregation.
+    pub fn combinations(&self) -> &UniqueCombinations {
+        &self.combos
+    }
+
+    /// The posting list for `(attribute, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value >= cardinality(attribute)`.
+    fn list(&self, attribute: usize, value: u8) -> &PostingList {
+        assert!(
+            value < self.cardinalities[attribute],
+            "value {value} out of range for attribute {attribute}"
+        );
+        &self.lists[self.offsets[attribute] + value as usize]
+    }
+
+    /// The posting lists selected by a pattern's deterministic elements.
+    fn selected(&self, codes: &[u8]) -> Vec<&PostingList> {
+        assert_eq!(codes.len(), self.arity(), "pattern arity mismatch");
+        let mut selected = Vec::with_capacity(codes.len());
+        for (i, &v) in codes.iter().enumerate() {
+            if v != X {
+                selected.push(self.list(i, v));
+            }
+        }
+        selected
+    }
+
+    /// `cov(P, D)`: the number of rows matching the pattern, where `codes`
+    /// uses [`X`] for non-deterministic elements. Chunk-at-a-time: the list
+    /// with the fewest chunks drives, others are binary-searched by chunk
+    /// key; within a chunk the container kernels take over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codes.len() != arity()` or a deterministic code is out
+    /// of range.
+    pub fn coverage(&self, codes: &[u8]) -> u64 {
+        let selected = self.selected(codes);
+        if selected.is_empty() {
+            return self.combos.total();
+        }
+        let counts = self.combos.counts();
+        let mut scratch = Vec::new();
+        let mut containers: Vec<&Container> = Vec::with_capacity(selected.len());
+        let mut total = 0u64;
+        let (pivot, rest) = split_pivot(&selected);
+        'chunks: for &(key, ref driver) in pivot.chunks() {
+            containers.clear();
+            containers.push(driver);
+            for other in &rest {
+                match other.chunk(key) {
+                    Some(c) => containers.push(c),
+                    None => continue 'chunks,
+                }
+            }
+            let base = (key as usize) << 16;
+            total += container::intersect_weighted(&containers, &counts[base..], &mut scratch);
+        }
+        total
+    }
+
+    /// Whether `cov(P) ≥ tau`, with early exit as soon as the running count
+    /// reaches the threshold.
+    pub fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        self.coverage_capped(codes, tau) >= tau
+    }
+
+    /// `cov(P)` computed only up to `cap`: the exact count when it is below
+    /// `cap`, otherwise the first running count that reached `cap` — the
+    /// same capped contract as the dense oracle, so the two compose
+    /// identically under [`crate::ShardedOracle`].
+    pub fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        let selected = self.selected(codes);
+        let counts = self.combos.counts();
+        if selected.is_empty() {
+            let mut total = 0u64;
+            for &w in counts {
+                total = total.saturating_add(w);
+                if total >= cap {
+                    return total;
+                }
+            }
+            return total;
+        }
+        let mut scratch = Vec::new();
+        let mut containers: Vec<&Container> = Vec::with_capacity(selected.len());
+        let mut total = 0u64;
+        let (pivot, rest) = split_pivot(&selected);
+        'chunks: for &(key, ref driver) in pivot.chunks() {
+            containers.clear();
+            containers.push(driver);
+            for other in &rest {
+                match other.chunk(key) {
+                    Some(c) => containers.push(c),
+                    None => continue 'chunks,
+                }
+            }
+            let base = (key as usize) << 16;
+            let remaining = cap - total; // total < cap on every iteration
+            total = total.saturating_add(container::intersect_weighted_capped(
+                &containers,
+                &counts[base..],
+                remaining,
+                &mut scratch,
+            ));
+            if total >= cap {
+                return total;
+            }
+        }
+        total
+    }
+
+    /// Storage accounting over every container (the `stats` op's
+    /// per-backend memory section).
+    pub fn memory(&self) -> BackendMemory {
+        let mut memory = BackendMemory::default();
+        for list in &self.lists {
+            for (_, c) in list.chunks() {
+                memory.bytes += c.bytes();
+                match c {
+                    Container::Array(_) => memory.array_containers += 1,
+                    Container::Bitmap { .. } => memory.bitmap_containers += 1,
+                    Container::Runs(_) => memory.run_containers += 1,
+                }
+            }
+        }
+        memory
+    }
+}
+
+/// Splits off the list with the fewest chunks as the chunk-iteration pivot.
+fn split_pivot<'a>(selected: &[&'a PostingList]) -> (&'a PostingList, Vec<&'a PostingList>) {
+    let mut pivot = 0usize;
+    for (i, list) in selected.iter().enumerate() {
+        if list.chunks().len() < selected[pivot].chunks().len() {
+            pivot = i;
+        }
+    }
+    let rest: Vec<&PostingList> = selected
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pivot)
+        .map(|(_, &l)| l)
+        .collect();
+    (selected[pivot], rest)
+}
+
+impl CoverageProvider for CompressedOracle {
+    fn arity(&self) -> usize {
+        CompressedOracle::arity(self)
+    }
+
+    fn cardinalities(&self) -> &[u8] {
+        CompressedOracle::cardinalities(self)
+    }
+
+    fn total(&self) -> u64 {
+        CompressedOracle::total(self)
+    }
+
+    fn coverage(&self, codes: &[u8]) -> u64 {
+        CompressedOracle::coverage(self, codes)
+    }
+
+    fn covered(&self, codes: &[u8], tau: u64) -> bool {
+        CompressedOracle::covered(self, codes, tau)
+    }
+
+    fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
+        CompressedOracle::coverage_capped(self, codes, cap)
+    }
+
+    fn add_row(&mut self, row: &[u8]) {
+        CompressedOracle::add_row(self, row);
+    }
+
+    fn remove_row(&mut self, row: &[u8]) -> bool {
+        CompressedOracle::remove_row(self, row)
+    }
+
+    fn grow_value(&mut self, attribute: usize) -> u8 {
+        CompressedOracle::grow_value(self, attribute)
+    }
+
+    fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
+        for (combo, count) in self.combinations().iter() {
+            visit(combo, count);
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "compressed"
+    }
+
+    fn memory_stats(&self) -> BackendMemory {
+        self.memory()
+    }
+}
+
+impl CoverageBackend for CompressedOracle {
+    fn build(dataset: &Dataset, _shards: usize) -> Self {
+        CompressedOracle::from_dataset(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverageOracle;
+    use coverage_data::Schema;
+
+    fn example1() -> Dataset {
+        Dataset::from_rows(
+            Schema::binary(3).unwrap(),
+            &[
+                vec![0, 1, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 0],
+                vec![0, 1, 1],
+                vec![0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_equivalent(
+        compressed: &CompressedOracle,
+        dense: &CoverageOracle,
+        patterns: &[Vec<u8>],
+    ) {
+        assert_eq!(compressed.total(), dense.total());
+        for p in patterns {
+            assert_eq!(compressed.coverage(p), dense.coverage(p), "pattern {p:?}");
+            for tau in [1u64, 2, 5, 50] {
+                assert_eq!(
+                    compressed.covered(p, tau),
+                    dense.covered(p, tau),
+                    "{p:?} τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_a_worked_example() {
+        let oracle = CompressedOracle::from_dataset(&example1());
+        assert_eq!(oracle.coverage(&[0, X, 1]), 3);
+        assert_eq!(oracle.coverage(&[X, X, X]), 5);
+        assert_eq!(oracle.coverage(&[1, X, X]), 0);
+        assert_eq!(oracle.coverage(&[X, 1, X]), 2);
+        assert_eq!(oracle.coverage(&[0, 0, 1]), 2);
+    }
+
+    #[test]
+    fn matches_dense_oracle_on_generated_data() {
+        let ds = coverage_data::generators::airbnb_like(2_000, 6, 11).unwrap();
+        let compressed = CompressedOracle::from_dataset(&ds);
+        let dense = CoverageOracle::from_dataset(&ds);
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X; 6],
+            vec![1, X, X, X, X, X],
+            vec![X, 0, X, 1, X, X],
+            vec![1, 1, 0, X, X, 0],
+            vec![0, 0, 0, 0, 0, 0],
+        ];
+        assert_equivalent(&compressed, &dense, &patterns);
+    }
+
+    #[test]
+    fn streamed_inserts_and_deletes_match_dense() {
+        let ds = coverage_data::generators::airbnb_like(600, 5, 23).unwrap();
+        let half = ds.head(300);
+        let mut compressed = CompressedOracle::from_dataset(&half);
+        let mut dense = CoverageOracle::from_dataset(&half);
+        for i in 300..ds.len() {
+            assert_eq!(compressed.add_row(ds.row(i)), dense.add_row(ds.row(i)));
+        }
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X; 5],
+            vec![1, X, X, X, X],
+            vec![X, 0, X, 1, X],
+            vec![1, 1, 0, X, 0],
+            vec![X, X, X, X, 1],
+        ];
+        assert_equivalent(&compressed, &dense, &patterns);
+        // Delete the first 200 rows (exercises the swap-remove re-homing).
+        for i in 0..200 {
+            assert_eq!(
+                compressed.remove_row(ds.row(i)),
+                dense.remove_row(ds.row(i))
+            );
+        }
+        assert_equivalent(&compressed, &dense, &patterns);
+        assert!(!compressed.remove_row(&[0, 0, 0, 0, 0]) || dense.total() > 0);
+    }
+
+    #[test]
+    fn remove_to_empty_and_refill() {
+        let mut oracle = CompressedOracle::from_dataset(&example1());
+        assert!(!oracle.remove_row(&[1, 1, 1]));
+        for row in [[0u8, 1, 0], [0, 0, 1], [0, 0, 0], [0, 1, 1], [0, 0, 1]] {
+            assert!(oracle.remove_row(&row));
+        }
+        assert_eq!(oracle.total(), 0);
+        assert_eq!(oracle.coverage(&[X, X, X]), 0);
+        assert_eq!(oracle.memory().bytes, 0, "empty lists cost nothing");
+        oracle.add_row(&[1, 0, 1]);
+        assert_eq!(oracle.coverage(&[1, X, 1]), 1);
+    }
+
+    #[test]
+    fn grow_value_is_free_and_matches_dense() {
+        let mut compressed = CompressedOracle::from_dataset(&example1());
+        let mut dense = CoverageOracle::from_dataset(&example1());
+        let before = compressed.memory().bytes;
+        assert_eq!(compressed.grow_value(1), dense.grow_value(1));
+        assert_eq!(compressed.memory().bytes, before, "empty list is free");
+        assert_eq!(compressed.cardinalities(), &[2, 3, 2]);
+        compressed.add_row(&[1, 2, 0]);
+        dense.add_row(&[1, 2, 0]);
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![X, X, X],
+            vec![X, 2, X],
+            vec![1, 2, X],
+            vec![X, 2, 0],
+            vec![0, 1, X],
+        ];
+        assert_equivalent(&compressed, &dense, &patterns);
+    }
+
+    #[test]
+    fn coverage_capped_is_exact_below_the_cap() {
+        let oracle = CompressedOracle::from_dataset(&example1());
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 100), 5);
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 6), 5);
+        assert!(oracle.coverage_capped(&[0, X, X], 3) >= 3);
+        assert_eq!(oracle.coverage_capped(&[1, X, X], 3), 0);
+        assert_eq!(oracle.coverage_capped(&[0, X, X], 0), 0);
+        assert!(oracle.coverage_capped(&[X, X, X], 2) >= 2);
+        assert_eq!(oracle.coverage_capped(&[X, X, X], 100), 5);
+    }
+
+    #[test]
+    fn provider_surface_and_memory_stats() {
+        let mut oracle: Box<dyn CoverageProvider> =
+            Box::new(CompressedOracle::from_dataset(&example1()));
+        assert_eq!(oracle.backend_name(), "compressed");
+        assert_eq!(oracle.coverage_batch(&[&[X, X, X], &[1, X, X]]), vec![5, 0]);
+        oracle.add_rows(&[&[1, 0, 1], &[1, 0, 1]]);
+        assert_eq!(oracle.coverage(&[1, X, X]), 2);
+        assert!(oracle.remove_row(&[1, 0, 1]));
+        assert_eq!(oracle.shard_totals(), vec![6]);
+        let stats = oracle.memory_stats();
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.array_containers, stats.containers());
+        let mut seen = 0u64;
+        oracle.for_each_combination(&mut |combo, count| {
+            assert_eq!(combo.len(), 3);
+            seen += count;
+        });
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        CompressedOracle::from_dataset(&example1()).coverage(&[X, X]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_value_panics() {
+        CompressedOracle::from_dataset(&example1()).coverage(&[7, X, X]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_row_rejects_out_of_range_values() {
+        CompressedOracle::from_dataset(&example1()).add_row(&[0, 0, 7]);
+    }
+}

@@ -1,0 +1,737 @@
+//! Roaring-style containers: the storage unit of the compressed backend.
+//!
+//! A posting list over combination indices is split into chunks of 2^16
+//! consecutive indices; each chunk holds its low 16 bits in whichever
+//! [`Container`] representation is smallest — a sorted `u16` array (≤ 4096
+//! elements, 2 bytes each), a dense 1024-word bitmap (8 KiB flat), or
+//! run-length ranges (4 bytes per run) — converting adaptively as elements
+//! arrive and leave. Answers never depend on the representation; only the
+//! bytes do.
+//!
+//! This file is on the `mithra-lint` panic-freedom hot list: probe and
+//! mutation paths must not contain `unwrap`/`expect`/`panic!`.
+
+use crate::kernels;
+
+/// Elements per chunk: each container covers 2^16 consecutive indices.
+pub const CHUNK_SIZE: usize = 1 << 16;
+
+/// Words in a dense bitmap container (`CHUNK_SIZE / 64`).
+pub const BITMAP_WORDS: usize = CHUNK_SIZE / 64;
+
+/// Maximum sorted-array cardinality: past this a bitmap (8 KiB) is smaller
+/// than the array (2 bytes per element), the classic Roaring threshold.
+pub const ARRAY_MAX: usize = 4096;
+
+/// One chunk of a compressed posting list: the set of low-16-bit indices
+/// present, stored as whichever representation is smallest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Container {
+    /// Sorted, deduplicated element array (≤ [`ARRAY_MAX`] entries).
+    Array(Vec<u16>),
+    /// Dense bitmap over the full chunk with a cached cardinality.
+    Bitmap {
+        /// [`BITMAP_WORDS`] storage words, low bit of word 0 = element 0.
+        words: Box<[u64]>,
+        /// Number of set bits (maintained incrementally).
+        len: u32,
+    },
+    /// Sorted, non-overlapping, non-adjacent inclusive `[start, end]` runs.
+    Runs(Vec<(u16, u16)>),
+}
+
+impl Default for Container {
+    fn default() -> Self {
+        Container::Array(Vec::new())
+    }
+}
+
+impl Container {
+    /// Number of elements present.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len(),
+            Container::Bitmap { len, .. } => *len as usize,
+            Container::Runs(runs) => runs
+                .iter()
+                .map(|&(s, e)| usize::from(e) - usize::from(s) + 1)
+                .sum(),
+        }
+    }
+
+    /// Whether no element is present.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Container::Array(a) => a.is_empty(),
+            Container::Bitmap { len, .. } => *len == 0,
+            Container::Runs(runs) => runs.is_empty(),
+        }
+    }
+
+    /// Logical storage bytes of the representation (what the `stats` op
+    /// reports): 2 per array element, 8 KiB per bitmap, 4 per run.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Container::Array(a) => 2 * a.len() as u64,
+            Container::Bitmap { .. } => 8 * BITMAP_WORDS as u64,
+            Container::Runs(runs) => 4 * runs.len() as u64,
+        }
+    }
+
+    /// Whether element `k` is present. Arrays and runs binary-search
+    /// (galloping against a sorted probe sequence), bitmaps test one word.
+    pub fn contains(&self, k: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&k).is_ok(),
+            Container::Bitmap { words, .. } => {
+                words[usize::from(k) / 64] >> (usize::from(k) % 64) & 1 == 1
+            }
+            Container::Runs(runs) => {
+                let at = runs.partition_point(|&(s, _)| s <= k);
+                at > 0 && runs[at - 1].1 >= k
+            }
+        }
+    }
+
+    /// Adds element `k`, returning whether it was newly inserted, and
+    /// converts the representation when the mutation crosses a size
+    /// boundary (array overflow → bitmap or runs, whichever is smaller;
+    /// chunk saturation → a single full run).
+    pub fn insert(&mut self, k: u16) -> bool {
+        let inserted = match self {
+            Container::Array(a) => {
+                // Ascending build streams append; binary-search otherwise.
+                if a.last().is_none_or(|&last| last < k) {
+                    if a.len() == ARRAY_MAX {
+                        *self = spill_array(a, k);
+                        return true;
+                    }
+                    a.push(k);
+                    true
+                } else {
+                    match a.binary_search(&k) {
+                        Ok(_) => false,
+                        Err(pos) => {
+                            if a.len() == ARRAY_MAX {
+                                *self = spill_array(a, k);
+                                return true;
+                            }
+                            a.insert(pos, k);
+                            true
+                        }
+                    }
+                }
+            }
+            Container::Bitmap { words, len } => {
+                let (wi, mask) = (usize::from(k) / 64, 1u64 << (usize::from(k) % 64));
+                if words[wi] & mask == 0 {
+                    words[wi] |= mask;
+                    *len += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Container::Runs(runs) => insert_into_runs(runs, k),
+        };
+        if inserted {
+            self.settle();
+        }
+        inserted
+    }
+
+    /// Removes element `k`, returning whether it was present, and converts
+    /// the representation when the mutation crosses a size boundary
+    /// (bitmap shrinking to ≤ [`ARRAY_MAX`] → array, fragmented runs →
+    /// whatever is smaller).
+    pub fn remove(&mut self, k: u16) -> bool {
+        let removed = match self {
+            Container::Array(a) => match a.binary_search(&k) {
+                Ok(pos) => {
+                    a.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap { words, len } => {
+                let (wi, mask) = (usize::from(k) / 64, 1u64 << (usize::from(k) % 64));
+                if words[wi] & mask != 0 {
+                    words[wi] &= !mask;
+                    *len -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Container::Runs(runs) => remove_from_runs(runs, k),
+        };
+        if removed {
+            self.settle();
+        }
+        removed
+    }
+
+    /// Converts to the smallest representation when the current one has
+    /// drifted past a boundary. Idempotent; cheap when nothing changes.
+    fn settle(&mut self) {
+        match self {
+            Container::Array(_) => {} // insert/remove keep arrays ≤ ARRAY_MAX
+            Container::Bitmap { words, len } => {
+                if *len as usize <= ARRAY_MAX {
+                    let mut a = Vec::with_capacity(*len as usize);
+                    for (wi, &word) in words.iter().enumerate() {
+                        let mut w = word;
+                        while w != 0 {
+                            let bit = w.trailing_zeros() as usize;
+                            a.push((wi * 64 + bit) as u16);
+                            w &= w - 1;
+                        }
+                    }
+                    *self = Container::Array(a);
+                } else if *len as usize == CHUNK_SIZE {
+                    *self = Container::Runs(vec![(0, (CHUNK_SIZE - 1) as u16)]);
+                }
+            }
+            Container::Runs(runs) => {
+                let card: usize = runs
+                    .iter()
+                    .map(|&(s, e)| usize::from(e) - usize::from(s) + 1)
+                    .sum();
+                let run_bytes = 4 * runs.len();
+                if card <= ARRAY_MAX && 2 * card < run_bytes {
+                    let mut a = Vec::with_capacity(card);
+                    for &(s, e) in runs.iter() {
+                        a.extend(s..=e);
+                    }
+                    *self = Container::Array(a);
+                } else if run_bytes > 8 * BITMAP_WORDS {
+                    let mut words = vec![0u64; BITMAP_WORDS].into_boxed_slice();
+                    for &(s, e) in runs.iter() {
+                        for k in s..=e {
+                            words[usize::from(k) / 64] |= 1u64 << (usize::from(k) % 64);
+                        }
+                    }
+                    *self = Container::Bitmap {
+                        words,
+                        len: card as u32,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The dense storage words when this container is a bitmap.
+    pub fn as_bitmap_words(&self) -> Option<&[u64]> {
+        match self {
+            Container::Bitmap { words, .. } => Some(words),
+            _ => None,
+        }
+    }
+
+    /// Visits every element ascending while `f` returns `true`; returns
+    /// whether the traversal ran to completion.
+    pub fn for_each_while(&self, mut f: impl FnMut(u16) -> bool) -> bool {
+        match self {
+            Container::Array(a) => a.iter().all(|&k| f(k)),
+            Container::Bitmap { words, .. } => {
+                for (wi, &word) in words.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        if !f((wi * 64 + bit) as u16) {
+                            return false;
+                        }
+                        w &= w - 1;
+                    }
+                }
+                true
+            }
+            Container::Runs(runs) => runs.iter().all(|&(s, e)| (s..=e).all(&mut f)),
+        }
+    }
+}
+
+/// An [`ARRAY_MAX`]-full array gaining one more element: convert to runs
+/// when the data is run-compressible (fewer than 2048 runs — under the
+/// 8 KiB bitmap), a bitmap otherwise.
+fn spill_array(a: &[u16], extra: u16) -> Container {
+    // One pass over the sorted array counts runs of the would-be merged set.
+    let mut runs = 0usize;
+    let mut prev: Option<u16> = None;
+    let mut pending = Some(extra);
+    let push = |k: u16, runs: &mut usize, prev: &mut Option<u16>| {
+        if prev.is_none_or(|p| k > p.saturating_add(1)) {
+            *runs += 1;
+        }
+        *prev = Some(k);
+    };
+    for &k in a {
+        if pending.is_some_and(|e| e < k) {
+            // `extra` slots in before `k` (it is not already present —
+            // insert() only spills on a miss).
+            if let Some(e) = pending.take() {
+                push(e, &mut runs, &mut prev);
+            }
+        }
+        push(k, &mut runs, &mut prev);
+    }
+    if let Some(e) = pending {
+        push(e, &mut runs, &mut prev);
+    }
+    if 4 * runs < 8 * BITMAP_WORDS && 4 * runs < 2 * (a.len() + 1) {
+        let mut out: Vec<(u16, u16)> = Vec::with_capacity(runs);
+        let feed = |k: u16, out: &mut Vec<(u16, u16)>| match out.last_mut() {
+            Some(last) if u32::from(last.1) + 1 == u32::from(k) => last.1 = k,
+            _ => out.push((k, k)),
+        };
+        let mut pending = Some(extra);
+        for &k in a {
+            if pending.is_some_and(|e| e < k) {
+                if let Some(e) = pending.take() {
+                    feed(e, &mut out);
+                }
+            }
+            feed(k, &mut out);
+        }
+        if let Some(e) = pending {
+            feed(e, &mut out);
+        }
+        Container::Runs(out)
+    } else {
+        let mut words = vec![0u64; BITMAP_WORDS].into_boxed_slice();
+        for &k in a {
+            words[usize::from(k) / 64] |= 1u64 << (usize::from(k) % 64);
+        }
+        words[usize::from(extra) / 64] |= 1u64 << (usize::from(extra) % 64);
+        Container::Bitmap {
+            words,
+            len: (a.len() + 1) as u32,
+        }
+    }
+}
+
+/// Adds `k` to a sorted run list, merging with adjacent runs.
+fn insert_into_runs(runs: &mut Vec<(u16, u16)>, k: u16) -> bool {
+    let at = runs.partition_point(|&(s, _)| s <= k);
+    if at > 0 && runs[at - 1].1 >= k {
+        return false; // already inside the previous run
+    }
+    let touches_prev = at > 0 && u32::from(runs[at - 1].1) + 1 == u32::from(k);
+    let touches_next = at < runs.len() && u32::from(k) + 1 == u32::from(runs[at].0);
+    match (touches_prev, touches_next) {
+        (true, true) => {
+            runs[at - 1].1 = runs[at].1;
+            runs.remove(at);
+        }
+        (true, false) => runs[at - 1].1 = k,
+        (false, true) => runs[at].0 = k,
+        (false, false) => runs.insert(at, (k, k)),
+    }
+    true
+}
+
+/// Removes `k` from a sorted run list, splitting the containing run.
+fn remove_from_runs(runs: &mut Vec<(u16, u16)>, k: u16) -> bool {
+    let at = runs.partition_point(|&(s, _)| s <= k);
+    if at == 0 || runs[at - 1].1 < k {
+        return false;
+    }
+    let (s, e) = runs[at - 1];
+    match (s == k, e == k) {
+        (true, true) => {
+            runs.remove(at - 1);
+        }
+        (true, false) => runs[at - 1].0 = k + 1,
+        (false, true) => runs[at - 1].1 = k - 1,
+        (false, false) => {
+            runs[at - 1].1 = k - 1;
+            runs.insert(at, (k + 1, e));
+        }
+    }
+    true
+}
+
+/// Weighted popcount of the intersection of several containers from the
+/// same chunk: Σ `weights[k]` over elements `k` present in *all* of them.
+///
+/// When every container is a bitmap the AND runs through the shared 4-lane
+/// word kernels over `scratch`; otherwise the smallest container drives an
+/// element walk with `contains` lookups in the rest (array∧bitmap galloping
+/// intersection).
+pub(crate) fn intersect_weighted(
+    containers: &[&Container],
+    weights: &[u64],
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    match containers {
+        [] => 0,
+        [single] => {
+            let mut total = 0u64;
+            single.for_each_while(|k| {
+                total += weights[usize::from(k)];
+                true
+            });
+            total
+        }
+        all => {
+            if let Some(words) = and_bitmaps(all, scratch) {
+                return kernels::weighted_sum_words(words, weights);
+            }
+            let (driver, rest) = split_driver(all);
+            let mut total = 0u64;
+            driver.for_each_while(|k| {
+                if rest.iter().all(|c| c.contains(k)) {
+                    total += weights[usize::from(k)];
+                }
+                true
+            });
+            total
+        }
+    }
+}
+
+/// Capped variant of [`intersect_weighted`]: exact below `cap`, stops at
+/// the first running total reaching it.
+pub(crate) fn intersect_weighted_capped(
+    containers: &[&Container],
+    weights: &[u64],
+    cap: u64,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    if cap == 0 {
+        return 0;
+    }
+    match containers {
+        [] => 0,
+        [single] => {
+            let mut total = 0u64;
+            single.for_each_while(|k| {
+                total = total.saturating_add(weights[usize::from(k)]);
+                total < cap
+            });
+            total
+        }
+        all => {
+            if let Some(words) = and_bitmaps(all, scratch) {
+                return kernels::weighted_sum_words_capped(words, weights, cap);
+            }
+            let (driver, rest) = split_driver(all);
+            let mut total = 0u64;
+            driver.for_each_while(|k| {
+                if rest.iter().all(|c| c.contains(k)) {
+                    total = total.saturating_add(weights[usize::from(k)]);
+                }
+                total < cap
+            });
+            total
+        }
+    }
+}
+
+/// When every container is a bitmap: AND them all into `scratch` through
+/// the 4-lane word kernels and return the result.
+fn and_bitmaps<'a>(containers: &[&Container], scratch: &'a mut Vec<u64>) -> Option<&'a [u64]> {
+    let mut first: Option<&[u64]> = None;
+    for c in containers {
+        let words = c.as_bitmap_words()?;
+        match first {
+            None => {
+                scratch.clear();
+                scratch.extend_from_slice(words);
+                first = Some(words);
+            }
+            Some(_) => kernels::and_into(scratch, words),
+        }
+    }
+    first.map(|_| scratch.as_slice())
+}
+
+/// Splits off the smallest-cardinality container as the iteration driver.
+fn split_driver<'a>(containers: &'a [&'a Container]) -> (&'a Container, Vec<&'a Container>) {
+    let mut driver = 0usize;
+    for (i, c) in containers.iter().enumerate() {
+        if c.cardinality() < containers[driver].cardinality() {
+            driver = i;
+        }
+    }
+    let rest: Vec<&Container> = containers
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != driver)
+        .map(|(_, &c)| c)
+        .collect();
+    (containers[driver], rest)
+}
+
+/// A compressed posting list: sorted `(chunk key, container)` pairs over
+/// combination indices, where chunk key = `index >> 16` and the container
+/// holds the low 16 bits. Empty chunks are absent — a fresh list costs
+/// nothing (the zero-cost `grow_value` guarantee).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct PostingList {
+    chunks: Vec<(u32, Container)>,
+}
+
+impl PostingList {
+    /// Adds combination index `k`.
+    pub(crate) fn insert(&mut self, k: usize) {
+        let (key, low) = split_index(k);
+        match self.chunks.binary_search_by_key(&key, |&(c, _)| c) {
+            Ok(at) => {
+                self.chunks[at].1.insert(low);
+            }
+            Err(at) => {
+                let mut container = Container::default();
+                container.insert(low);
+                self.chunks.insert(at, (key, container));
+            }
+        }
+    }
+
+    /// Removes combination index `k` (absent indices are a no-op); empty
+    /// containers are dropped from the list.
+    pub(crate) fn remove(&mut self, k: usize) {
+        let (key, low) = split_index(k);
+        if let Ok(at) = self.chunks.binary_search_by_key(&key, |&(c, _)| c) {
+            self.chunks[at].1.remove(low);
+            if self.chunks[at].1.is_empty() {
+                self.chunks.remove(at);
+            }
+        }
+    }
+
+    /// Whether combination index `k` is present.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, k: usize) -> bool {
+        let (key, low) = split_index(k);
+        self.chunk(key).is_some_and(|c| c.contains(low))
+    }
+
+    /// The container for `key`, if any elements live there.
+    pub(crate) fn chunk(&self, key: u32) -> Option<&Container> {
+        self.chunks
+            .binary_search_by_key(&key, |&(c, _)| c)
+            .ok()
+            .map(|at| &self.chunks[at].1)
+    }
+
+    /// The `(chunk key, container)` pairs, ascending by key.
+    pub(crate) fn chunks(&self) -> &[(u32, Container)] {
+        &self.chunks
+    }
+
+    /// Total number of indices present.
+    #[cfg(test)]
+    pub(crate) fn cardinality(&self) -> usize {
+        self.chunks.iter().map(|(_, c)| c.cardinality()).sum()
+    }
+}
+
+/// Splits a combination index into `(chunk key, low 16 bits)`.
+#[inline]
+pub(crate) fn split_index(k: usize) -> (u32, u16) {
+    ((k >> 16) as u32, (k & 0xFFFF) as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn elements(c: &Container) -> Vec<u16> {
+        let mut out = Vec::new();
+        c.for_each_while(|k| {
+            out.push(k);
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn array_insert_remove_stays_sorted_and_deduped() {
+        let mut c = Container::default();
+        for k in [5u16, 1, 9, 5, 0, 65535] {
+            c.insert(k);
+        }
+        assert_eq!(elements(&c), vec![0, 1, 5, 9, 65535]);
+        assert_eq!(c.cardinality(), 5);
+        assert!(c.contains(5) && !c.contains(2));
+        assert!(c.remove(5));
+        assert!(!c.remove(5));
+        assert_eq!(elements(&c), vec![0, 1, 9, 65535]);
+    }
+
+    #[test]
+    fn array_spills_to_bitmap_past_the_threshold_and_back() {
+        let mut c = Container::default();
+        // 4096 scattered elements (stride 2: no long runs) stay an array.
+        for k in 0..ARRAY_MAX as u16 {
+            assert!(c.insert(k * 2));
+        }
+        assert!(matches!(c, Container::Array(_)));
+        assert_eq!(c.cardinality(), ARRAY_MAX);
+        // Element 4097 converts to a bitmap (runs would need 4097×4 bytes).
+        assert!(c.insert(1));
+        assert!(matches!(c, Container::Bitmap { .. }));
+        assert_eq!(c.cardinality(), ARRAY_MAX + 1);
+        assert!(c.contains(1) && c.contains(0) && c.contains(8190));
+        // Dropping back to the threshold converts down to an array again.
+        assert!(c.remove(1));
+        assert!(matches!(c, Container::Array(_)));
+        assert_eq!(c.cardinality(), ARRAY_MAX);
+    }
+
+    #[test]
+    fn contiguous_array_spills_to_runs_not_bitmap() {
+        let mut c = Container::default();
+        for k in 0..=ARRAY_MAX as u16 {
+            c.insert(k);
+        }
+        assert_eq!(c, Container::Runs(vec![(0, ARRAY_MAX as u16)]));
+        assert_eq!(c.cardinality(), ARRAY_MAX + 1);
+        assert!(c.contains(0) && c.contains(4096) && !c.contains(4097));
+    }
+
+    #[test]
+    fn full_bitmap_collapses_to_a_single_run() {
+        let mut c = Container::Bitmap {
+            words: vec![u64::MAX; BITMAP_WORDS].into_boxed_slice(),
+            len: CHUNK_SIZE as u32,
+        };
+        // One hole: stays a bitmap. Filling it collapses to the full run.
+        c.remove(77);
+        assert!(matches!(c, Container::Bitmap { .. }));
+        assert!(c.insert(77));
+        assert_eq!(c, Container::Runs(vec![(0, (CHUNK_SIZE - 1) as u16)]));
+        assert_eq!(c.cardinality(), CHUNK_SIZE);
+    }
+
+    #[test]
+    fn run_splitting_and_merging() {
+        let mut c = Container::Runs(vec![(10, 20), (30, 40)]);
+        assert!(!c.insert(15));
+        assert!(c.insert(21)); // extend left run
+        assert!(c.insert(29)); // extend right run downward
+        assert!(c.insert(25)); // singleton in the gap
+        assert_eq!(c, Container::Runs(vec![(10, 21), (25, 25), (29, 40)]));
+        assert!(c.remove(35)); // split
+        assert_eq!(
+            c,
+            Container::Runs(vec![(10, 21), (25, 25), (29, 34), (36, 40)])
+        );
+        // Bridging two runs merges them back into one.
+        assert!(c.insert(35));
+        assert_eq!(c, Container::Runs(vec![(10, 21), (25, 25), (29, 40)]));
+        assert!(c.remove(25));
+        assert_eq!(c, Container::Runs(vec![(10, 21), (29, 40)]));
+    }
+
+    #[test]
+    fn fragmented_runs_settle_to_array() {
+        // 8 singleton runs = 32 run-bytes vs 16 array-bytes → array wins.
+        let mut c = Container::Runs((0..8).map(|i| (i * 10, i * 10)).collect());
+        c.remove(0);
+        assert!(matches!(c, Container::Array(_)));
+        assert_eq!(c.cardinality(), 7);
+    }
+
+    #[test]
+    fn randomized_container_matches_btreeset() {
+        let mut c = Container::default();
+        let mut model = BTreeSet::new();
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..30_000 {
+            let k = (next() % 9000) as u16;
+            if next() % 3 == 0 {
+                assert_eq!(c.remove(k), model.remove(&k));
+            } else {
+                assert_eq!(c.insert(k), model.insert(k));
+            }
+        }
+        assert_eq!(c.cardinality(), model.len());
+        assert_eq!(elements(&c), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn intersections_match_the_reference_across_representations() {
+        let array = Container::Array((0..200).map(|i| i * 13).collect());
+        let mut bitmap = Container::default();
+        for k in 0..5000u16 {
+            bitmap.insert(k * 3);
+        }
+        assert!(matches!(bitmap, Container::Bitmap { .. }));
+        let runs = Container::Runs(vec![(0, 999), (2000, 2999)]);
+        let weights: Vec<u64> = (0..CHUNK_SIZE).map(|i| (i % 11 + 1) as u64).collect();
+        let mut scratch = Vec::new();
+        let combos: Vec<Vec<&Container>> = vec![
+            vec![&array, &bitmap],
+            vec![&bitmap, &runs],
+            vec![&array, &runs],
+            vec![&array, &bitmap, &runs],
+            vec![&bitmap, &bitmap],
+        ];
+        for containers in combos {
+            let mut expected = 0u64;
+            containers[0].for_each_while(|k| {
+                if containers[1..].iter().all(|c| c.contains(k)) {
+                    expected += weights[usize::from(k)];
+                }
+                true
+            });
+            assert_eq!(
+                intersect_weighted(&containers, &weights, &mut scratch),
+                expected
+            );
+            assert_eq!(
+                intersect_weighted_capped(&containers, &weights, u64::MAX, &mut scratch),
+                expected
+            );
+            let capped = intersect_weighted_capped(&containers, &weights, 7, &mut scratch);
+            if expected >= 7 {
+                assert!(capped >= 7);
+            } else {
+                assert_eq!(capped, expected);
+            }
+            assert_eq!(
+                intersect_weighted_capped(&containers, &weights, 0, &mut scratch),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn posting_list_spans_chunk_boundaries() {
+        let mut list = PostingList::default();
+        for k in [0usize, 65535, 65536, 65537, 200_000] {
+            list.insert(k);
+        }
+        assert_eq!(list.chunks().len(), 3);
+        assert_eq!(list.cardinality(), 5);
+        assert!(list.contains(65536) && !list.contains(65538));
+        list.remove(65536);
+        list.remove(65537);
+        assert_eq!(list.chunks().len(), 2, "emptied chunk is dropped");
+        assert!(!list.contains(65536));
+        list.remove(42); // absent: no-op
+        assert_eq!(list.cardinality(), 3);
+    }
+
+    #[test]
+    fn container_bytes_track_the_representation() {
+        let mut c = Container::default();
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.bytes(), 4);
+        let runs = Container::Runs(vec![(0, 100)]);
+        assert_eq!(runs.bytes(), 4);
+        let mut big = Container::default();
+        for k in 0..=ARRAY_MAX as u16 {
+            big.insert(k * 2);
+        }
+        assert_eq!(big.bytes(), 8 * BITMAP_WORDS as u64);
+    }
+}

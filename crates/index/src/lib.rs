@@ -22,13 +22,19 @@
 #![warn(missing_docs)]
 
 mod bitvec;
+mod compressed;
+mod container;
 mod dominance;
+mod kernels;
 mod oracle;
 mod provider;
 mod sharded;
 
 pub use bitvec::{intersection_any, intersection_weighted_sum, BitVec};
+pub use compressed::CompressedOracle;
+pub use container::{Container, ARRAY_MAX, BITMAP_WORDS, CHUNK_SIZE};
 pub use dominance::MupDominanceIndex;
+pub use kernels::kernel_features;
 pub use oracle::{CoverageOracle, X};
-pub use provider::{CoverageBackend, CoverageProvider};
+pub use provider::{BackendMemory, CoverageBackend, CoverageProvider};
 pub use sharded::ShardedOracle;

@@ -219,6 +219,16 @@ impl CoverageOracle {
         crate::bitvec::intersection_weight_capped(&selected, self.combos.counts(), cap)
     }
 
+    /// Logical index bytes: every `(attribute, value)` vector stores one bit
+    /// per unique combination, packed into words — the dense memory model
+    /// the compressed backend exists to beat.
+    pub fn memory_bytes(&self) -> u64 {
+        self.vectors
+            .iter()
+            .map(|v| 8 * v.words().len() as u64)
+            .sum()
+    }
+
     /// Materializes the match bit-vector of a pattern over the unique
     /// combinations (used by callers that post-process matches).
     pub fn match_vector(&self, codes: &[u8]) -> BitVec {

@@ -12,6 +12,36 @@ use coverage_data::Dataset;
 
 use crate::oracle::CoverageOracle;
 
+/// Storage accounting for a coverage backend, surfaced through the `stats`
+/// op: total index bytes plus a histogram of compressed-container kinds
+/// (all zero for backends without containers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendMemory {
+    /// Logical index bytes (posting storage; excludes the aggregation).
+    pub bytes: u64,
+    /// Sorted-array containers in use.
+    pub array_containers: u64,
+    /// Dense-bitmap containers in use.
+    pub bitmap_containers: u64,
+    /// Run-length containers in use.
+    pub run_containers: u64,
+}
+
+impl BackendMemory {
+    /// Total containers across all kinds.
+    pub fn containers(&self) -> u64 {
+        self.array_containers + self.bitmap_containers + self.run_containers
+    }
+
+    /// Accumulates another backend's accounting (shard-wise merge).
+    pub fn merge(&mut self, other: &BackendMemory) {
+        self.bytes += other.bytes;
+        self.array_containers += other.array_containers;
+        self.bitmap_containers += other.bitmap_containers;
+        self.run_containers += other.run_containers;
+    }
+}
+
 /// Read/write probe interface over a coverage index.
 ///
 /// The pattern contract is the crate-wide one: a `&[u8]` of value codes with
@@ -35,11 +65,23 @@ pub trait CoverageProvider {
     /// `cov(P, D)`: the number of rows matching the pattern.
     fn coverage(&self, codes: &[u8]) -> u64;
 
-    /// Whether `cov(P) ≥ tau`. Implementations should exit early once the
-    /// running count reaches the threshold; the default recomputes the exact
-    /// count.
+    /// Whether `cov(P) ≥ tau`, routed through [`Self::coverage_capped`] so
+    /// every backend keeps the early exit once the running count reaches the
+    /// threshold — even backends that only override the capped probe.
     fn covered(&self, codes: &[u8], tau: u64) -> bool {
-        self.coverage(codes) >= tau
+        self.coverage_capped(codes, tau) >= tau
+    }
+
+    /// `cov(P)` computed only up to `cap`: exact when the count is below
+    /// `cap`, otherwise any running count that reached `cap` (callers only
+    /// compare against `cap` or keep summing shard-wise). An exact count
+    /// satisfies the contract, so the default delegates to
+    /// [`Self::coverage`]; backends with an early-exit path should override.
+    fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        self.coverage(codes)
     }
 
     /// `cov` for a batch of patterns at once — the wide-probe entry point a
@@ -98,6 +140,19 @@ pub trait CoverageProvider {
     fn shard_totals(&self) -> Vec<u64> {
         vec![self.total()]
     }
+
+    /// Stable backend family name, as accepted by `serve --backend` and
+    /// recorded in v5 snapshots. Composite backends report their inner
+    /// family (a sharded-over-compressed index is still "compressed").
+    fn backend_name(&self) -> &'static str {
+        "dense"
+    }
+
+    /// Storage accounting for the `stats` op. The default reports nothing;
+    /// real backends override with their index footprint.
+    fn memory_stats(&self) -> BackendMemory {
+        BackendMemory::default()
+    }
 }
 
 impl CoverageProvider for CoverageOracle {
@@ -121,6 +176,10 @@ impl CoverageProvider for CoverageOracle {
         CoverageOracle::covered(self, codes, tau)
     }
 
+    fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
+        CoverageOracle::coverage_capped(self, codes, cap)
+    }
+
     fn add_row(&mut self, row: &[u8]) {
         CoverageOracle::add_row(self, row);
     }
@@ -138,15 +197,25 @@ impl CoverageProvider for CoverageOracle {
             visit(combo, count);
         }
     }
+
+    fn memory_stats(&self) -> BackendMemory {
+        BackendMemory {
+            bytes: self.memory_bytes(),
+            ..BackendMemory::default()
+        }
+    }
 }
 
 /// A provider a long-lived engine can own: constructible from a dataset
 /// (with a shard-layout hint) and rebuildable after faults.
 ///
 /// `shards` is a *hint*: single-shard backends ignore it, sharded backends
-/// clamp it to at least 1. The bounds (`Clone + Send + 'static`) are what
-/// the serving layer needs to share an engine across worker threads.
-pub trait CoverageBackend: CoverageProvider + Clone + Send + std::fmt::Debug + 'static {
+/// clamp it to at least 1. The bounds (`Clone + Send + Sync + 'static`) are
+/// what the serving layer needs to share an engine across worker threads
+/// (and what lets a sharded wrapper fan probes out over scoped threads).
+pub trait CoverageBackend:
+    CoverageProvider + Clone + Send + Sync + std::fmt::Debug + 'static
+{
     /// Builds the backend over a dataset, honoring the shard-layout hint.
     fn build(dataset: &Dataset, shards: usize) -> Self;
 }

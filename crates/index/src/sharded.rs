@@ -1,4 +1,4 @@
-//! [`ShardedOracle`]: N row-disjoint [`CoverageOracle`] shards behind the
+//! [`ShardedOracle`]: N row-disjoint backend shards behind the
 //! [`CoverageProvider`] trait, for multi-core ingest and wide probes.
 //!
 //! Coverage is row-partitionable — `cov(P, D)` over a dataset is the sum of
@@ -6,7 +6,7 @@
 //! of shard-local answers and every row mutation touches exactly one shard:
 //!
 //! * **build** ([`ShardedOracle::from_dataset`]) splits rows round-robin and
-//!   builds the shard oracles in parallel (`std::thread::scope`);
+//!   builds the shard backends in parallel (`std::thread::scope`);
 //! * **batch ingest** ([`CoverageProvider::add_rows`]) routes each row to
 //!   the least-loaded shard, then runs the shard-local ingests in parallel;
 //! * **wide probes** ([`CoverageProvider::coverage_batch`]) fan the whole
@@ -16,6 +16,12 @@
 //!   shards with an early-out as soon as the running count reaches τ, which
 //!   beats thread fan-out for the single-pattern probes traversals issue.
 //!
+//! The wrapper is generic over *any* [`CoverageBackend`] — the default
+//! `ShardedOracle` shards the dense [`CoverageOracle`], while
+//! `ShardedOracle<CompressedOracle>` shards the compressed one; the capped
+//! cross-shard early-out composes identically because both honor the same
+//! `coverage_capped` contract.
+//!
 //! A combination present in several shards is counted independently by each;
 //! only the sums are meaningful, which is exactly what the provider contract
 //! promises.
@@ -23,7 +29,7 @@
 use coverage_data::Dataset;
 
 use crate::oracle::CoverageOracle;
-use crate::provider::{CoverageBackend, CoverageProvider};
+use crate::provider::{BackendMemory, CoverageBackend, CoverageProvider};
 
 /// Minimum rows in a build/ingest batch before thread fan-out pays for
 /// itself; smaller batches run sequentially.
@@ -32,15 +38,17 @@ const PARALLEL_ROW_THRESHOLD: usize = 256;
 /// Minimum patterns in a wide probe before thread fan-out pays for itself.
 const PARALLEL_PROBE_THRESHOLD: usize = 8;
 
-/// Row-sharded coverage oracle: disjoint row partitions, summed probes.
+/// Row-sharded coverage index: disjoint row partitions over any
+/// [`CoverageBackend`], summed probes. Defaults to sharding the dense
+/// [`CoverageOracle`].
 #[derive(Debug, Clone)]
-pub struct ShardedOracle {
-    shards: Vec<CoverageOracle>,
+pub struct ShardedOracle<O: CoverageBackend = CoverageOracle> {
+    shards: Vec<O>,
 }
 
-impl ShardedOracle {
-    /// Builds a sharded oracle over `dataset` with `shards` row partitions
-    /// (clamped to at least 1). Rows are dealt round-robin; shard oracles
+impl<O: CoverageBackend> ShardedOracle<O> {
+    /// Builds a sharded index over `dataset` with `shards` row partitions
+    /// (clamped to at least 1). Rows are dealt round-robin; shard backends
     /// are built in parallel for non-trivial datasets.
     pub fn from_dataset(dataset: &Dataset, shards: usize) -> Self {
         let n = shards.max(1);
@@ -56,7 +64,7 @@ impl ShardedOracle {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = parts
                     .iter()
-                    .map(|part| scope.spawn(|| CoverageOracle::from_dataset(part)))
+                    .map(|part| scope.spawn(|| O::build(part, 1)))
                     .collect();
                 handles
                     .into_iter()
@@ -64,7 +72,7 @@ impl ShardedOracle {
                     .collect()
             })
         } else {
-            parts.iter().map(CoverageOracle::from_dataset).collect()
+            parts.iter().map(|part| O::build(part, 1)).collect()
         };
         Self { shards }
     }
@@ -74,8 +82,8 @@ impl ShardedOracle {
         self.shards.len()
     }
 
-    /// The shard oracles, in layout order.
-    pub fn shards(&self) -> &[CoverageOracle] {
+    /// The shard backends, in layout order.
+    pub fn shards(&self) -> &[O] {
         &self.shards
     }
 
@@ -92,7 +100,7 @@ impl ShardedOracle {
     }
 }
 
-impl CoverageProvider for ShardedOracle {
+impl<O: CoverageBackend> CoverageProvider for ShardedOracle<O> {
     fn arity(&self) -> usize {
         self.shards[0].arity()
     }
@@ -102,7 +110,7 @@ impl CoverageProvider for ShardedOracle {
     }
 
     fn total(&self) -> u64 {
-        self.shards.iter().map(CoverageOracle::total).sum()
+        self.shards.iter().map(|shard| shard.total()).sum()
     }
 
     fn coverage(&self, codes: &[u8]) -> u64 {
@@ -113,19 +121,26 @@ impl CoverageProvider for ShardedOracle {
         if tau == 0 {
             return true;
         }
+        self.coverage_capped(codes, tau) >= tau
+    }
+
+    fn coverage_capped(&self, codes: &[u8], cap: u64) -> u64 {
         // Early-out across shards, early exit within each: every shard
         // counts only up to the still-missing remainder (exact below it),
         // so one scan per shard and the walk stops the moment the running
-        // total reaches τ — in covered regions usually inside shard 0
+        // total reaches the cap — in covered regions usually inside shard 0
         // after a handful of words.
+        if cap == 0 {
+            return 0;
+        }
         let mut acc = 0u64;
         for shard in &self.shards {
-            acc = acc.saturating_add(shard.coverage_capped(codes, tau - acc));
-            if acc >= tau {
-                return true;
+            acc = acc.saturating_add(shard.coverage_capped(codes, cap - acc));
+            if acc >= cap {
+                return acc;
             }
         }
-        false
+        acc
     }
 
     fn coverage_batch(&self, patterns: &[&[u8]]) -> Vec<u64> {
@@ -182,7 +197,7 @@ impl CoverageProvider for ShardedOracle {
         // Route first (sequential, cheap): simulate the per-row least-loaded
         // choice so batch ingest lands rows exactly where the equivalent
         // stream of add_row calls would.
-        let mut loads: Vec<u64> = self.shards.iter().map(CoverageOracle::total).collect();
+        let mut loads: Vec<u64> = self.shards.iter().map(|shard| shard.total()).collect();
         let mut groups: Vec<Vec<&[u8]>> = vec![Vec::new(); self.shards.len()];
         for &row in rows {
             let target = loads
@@ -232,18 +247,30 @@ impl CoverageProvider for ShardedOracle {
 
     fn for_each_combination(&self, visit: &mut dyn FnMut(&[u8], u64)) {
         for shard in &self.shards {
-            for (combo, count) in shard.combinations().iter() {
-                visit(combo, count);
-            }
+            shard.for_each_combination(visit);
         }
     }
 
     fn shard_totals(&self) -> Vec<u64> {
-        self.shards.iter().map(CoverageOracle::total).collect()
+        self.shards.iter().map(|shard| shard.total()).collect()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        // A sharded index reports its inner backend family: sharding is a
+        // layout property, the backend is the storage property.
+        self.shards[0].backend_name()
+    }
+
+    fn memory_stats(&self) -> BackendMemory {
+        let mut memory = BackendMemory::default();
+        for shard in &self.shards {
+            memory.merge(&shard.memory_stats());
+        }
+        memory
     }
 }
 
-impl CoverageBackend for ShardedOracle {
+impl<O: CoverageBackend> CoverageBackend for ShardedOracle<O> {
     fn build(dataset: &Dataset, shards: usize) -> Self {
         Self::from_dataset(dataset, shards)
     }
@@ -252,7 +279,7 @@ impl CoverageBackend for ShardedOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::X;
+    use crate::{CompressedOracle, X};
     use coverage_data::Schema;
 
     fn example1() -> Dataset {
@@ -283,9 +310,9 @@ mod tests {
 
     #[test]
     fn shard_counts_are_clamped_and_rows_dealt_round_robin() {
-        let sharded = ShardedOracle::from_dataset(&example1(), 0);
+        let sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), 0);
         assert_eq!(sharded.shard_count(), 1);
-        let sharded = ShardedOracle::from_dataset(&example1(), 3);
+        let sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), 3);
         assert_eq!(sharded.shard_count(), 3);
         assert_eq!(sharded.shard_totals(), vec![2, 2, 1]);
         assert_eq!(sharded.total(), 5);
@@ -295,7 +322,7 @@ mod tests {
     fn summed_probes_match_the_single_oracle() {
         let single = CoverageOracle::from_dataset(&example1());
         for shards in 1..=4 {
-            let sharded = ShardedOracle::from_dataset(&example1(), shards);
+            let sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), shards);
             for p in probes(3) {
                 assert_eq!(
                     CoverageProvider::coverage(&sharded, &p),
@@ -316,7 +343,7 @@ mod tests {
     #[test]
     fn coverage_batch_matches_point_probes() {
         let ds = coverage_data::generators::airbnb_like(2_000, 5, 3).unwrap();
-        let sharded = ShardedOracle::from_dataset(&ds, 4);
+        let sharded = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 4);
         let patterns: Vec<Vec<u8>> = probes(5);
         let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
         let batch = sharded.coverage_batch(&refs);
@@ -327,11 +354,11 @@ mod tests {
 
     #[test]
     fn add_row_routes_to_the_least_loaded_shard() {
-        let mut sharded = ShardedOracle::from_dataset(&example1(), 3);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), 3);
         assert_eq!(sharded.shard_totals(), vec![2, 2, 1]);
-        sharded.add_row(&[1, 1, 1]);
+        CoverageProvider::add_row(&mut sharded, &[1, 1, 1]);
         assert_eq!(sharded.shard_totals(), vec![2, 2, 2]);
-        sharded.add_row(&[1, 1, 0]);
+        CoverageProvider::add_row(&mut sharded, &[1, 1, 0]);
         assert_eq!(sharded.shard_totals(), vec![3, 2, 2]);
         assert_eq!(CoverageProvider::coverage(&sharded, &[1, 1, X]), 2);
     }
@@ -341,9 +368,9 @@ mod tests {
         let ds = coverage_data::generators::airbnb_like(400, 4, 9).unwrap();
         let stream = coverage_data::generators::airbnb_like(800, 4, 10).unwrap();
         let rows: Vec<&[u8]> = stream.rows().collect();
-        let mut batched = ShardedOracle::from_dataset(&ds, 3);
+        let mut batched = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 3);
         batched.add_rows(&rows);
-        let mut streamed = ShardedOracle::from_dataset(&ds, 3);
+        let mut streamed = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 3);
         for row in &rows {
             CoverageProvider::add_row(&mut streamed, row);
         }
@@ -359,7 +386,7 @@ mod tests {
 
     #[test]
     fn remove_row_takes_exactly_one_copy_across_shards() {
-        let mut sharded = ShardedOracle::from_dataset(&example1(), 2);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), 2);
         // (0,0,1) is present twice (one copy per shard under round-robin).
         assert_eq!(CoverageProvider::coverage(&sharded, &[0, 0, 1]), 2);
         assert!(CoverageProvider::remove_row(&mut sharded, &[0, 0, 1]));
@@ -371,7 +398,7 @@ mod tests {
 
     #[test]
     fn grow_value_fans_out_to_every_shard() {
-        let mut sharded = ShardedOracle::from_dataset(&example1(), 3);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&example1(), 3);
         assert_eq!(CoverageProvider::grow_value(&mut sharded, 1), 2);
         assert_eq!(CoverageProvider::cardinalities(&sharded), &[2, 3, 2]);
         for shard in sharded.shards() {
@@ -406,7 +433,7 @@ mod tests {
     #[test]
     fn for_each_combination_multiplicities_sum_to_total() {
         let ds = coverage_data::generators::airbnb_like(500, 3, 5).unwrap();
-        let sharded = ShardedOracle::from_dataset(&ds, 4);
+        let sharded = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 4);
         let mut sum = 0u64;
         sharded.for_each_combination(&mut |combo, count| {
             assert_eq!(combo.len(), 3);
@@ -421,7 +448,7 @@ mod tests {
         let ds = coverage_data::generators::airbnb_like(3_000, 5, 21).unwrap();
         let stream = coverage_data::generators::airbnb_like(1_500, 5, 22).unwrap();
         let rows: Vec<&[u8]> = stream.rows().collect();
-        let mut sharded = ShardedOracle::from_dataset(&ds, 4);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 4);
         sharded.add_rows(&rows);
         let mut everything = Dataset::new(ds.schema().clone());
         everything.extend_from(&ds).unwrap();
@@ -442,11 +469,44 @@ mod tests {
     #[test]
     fn empty_dataset_shards_cleanly() {
         let ds = Dataset::new(Schema::binary(2).unwrap());
-        let mut sharded = ShardedOracle::from_dataset(&ds, 4);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&ds, 4);
         assert_eq!(sharded.total(), 0);
         assert_eq!(CoverageProvider::coverage(&sharded, &[X, X]), 0);
         assert!(!CoverageProvider::covered(&sharded, &[X, X], 1));
         CoverageProvider::add_row(&mut sharded, &[1, 0]);
         assert_eq!(CoverageProvider::coverage(&sharded, &[1, X]), 1);
+    }
+
+    #[test]
+    fn sharding_composes_over_the_compressed_backend() {
+        let ds = coverage_data::generators::airbnb_like(2_000, 5, 17).unwrap();
+        let dense = CoverageOracle::from_dataset(&ds);
+        let mut sharded = ShardedOracle::<CompressedOracle>::from_dataset(&ds, 4);
+        assert_eq!(sharded.backend_name(), "compressed");
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.total(), dense.total());
+        for p in probes(5) {
+            assert_eq!(
+                CoverageProvider::coverage(&sharded, &p),
+                dense.coverage(&p),
+                "{p:?}"
+            );
+            for tau in [1u64, 3, 100] {
+                assert_eq!(
+                    CoverageProvider::covered(&sharded, &p, tau),
+                    dense.covered(&p, tau),
+                    "{p:?} τ={tau}"
+                );
+            }
+        }
+        // Mutations route through the same trait surface.
+        CoverageProvider::add_rows(
+            &mut sharded,
+            &[&[0, 0, 0, 0, 0], &[1, 0, 1, 0, 1], &[0, 0, 0, 0, 0]],
+        );
+        assert!(CoverageProvider::remove_row(&mut sharded, &[0, 0, 0, 0, 0]));
+        assert_eq!(sharded.total(), dense.total() + 2);
+        let memory = sharded.memory_stats();
+        assert!(memory.bytes > 0 && memory.containers() > 0);
     }
 }

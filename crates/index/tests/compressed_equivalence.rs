@@ -1,0 +1,289 @@
+//! Property tests: the Roaring-style [`CompressedOracle`] is
+//! observationally identical to the dense [`CoverageOracle`] — on
+//! `coverage`, `covered`, `coverage_capped`, `coverage_batch`, and
+//! `total` — after arbitrary mixed insert/delete/grow streams, both
+//! standalone and composed under [`ShardedOracle`]. Deterministic tests
+//! pin the container-representation boundaries (the 4096-element
+//! array↔bitmap crossing and the full-chunk run collapse), where an
+//! off-by-one in a conversion would hide from random workloads.
+
+use coverage_data::{Dataset, Schema};
+use coverage_index::{
+    CompressedOracle, CoverageOracle, CoverageProvider, ShardedOracle, ARRAY_MAX, CHUNK_SIZE, X,
+};
+use proptest::prelude::*;
+
+/// A random workload: schema shape, base rows, a mixed op stream, and probe
+/// patterns. Ops: selector 0 = delete the row (a no-op on both sides when
+/// absent), selector 1 = grow the dictionary of the attribute the row's
+/// first value picks, anything else = insert the row. Probes: `(row,
+/// x_mask)` pairs turned into patterns by masking positions to `X`.
+#[allow(clippy::type_complexity)]
+fn workload_strategy() -> impl Strategy<Value = (Dataset, Vec<(u8, Vec<u8>)>, Vec<(Vec<u8>, u8)>)> {
+    (2usize..=3, 2u8..=4)
+        .prop_flat_map(|(d, c)| {
+            let base = proptest::collection::vec(proptest::collection::vec(0..c, d), 0..30);
+            let ops =
+                proptest::collection::vec((0u8..5, proptest::collection::vec(0..c, d)), 1..50);
+            let probes =
+                proptest::collection::vec((proptest::collection::vec(0..c, d), 0u8..=255), 1..12);
+            (Just((d, c)), base, ops, probes)
+        })
+        .prop_map(|((d, c), base, ops, probes)| {
+            let schema = Schema::with_cardinalities(&vec![c as usize; d]).unwrap();
+            (Dataset::from_rows(schema, &base).unwrap(), ops, probes)
+        })
+}
+
+fn to_pattern(row: &[u8], x_mask: u8) -> Vec<u8> {
+    row.iter()
+        .enumerate()
+        .map(|(i, &v)| if x_mask & (1 << i) != 0 { X } else { v })
+        .collect()
+}
+
+/// Applies one workload op to any provider. Returns what `remove_row`
+/// reported so callers can compare sides.
+fn apply<P: CoverageProvider + ?Sized>(p: &mut P, selector: u8, row: &[u8]) -> Option<bool> {
+    match selector {
+        0 => Some(p.remove_row(row)),
+        1 => {
+            p.grow_value(row[0] as usize % p.arity());
+            None
+        }
+        _ => {
+            p.add_row(row);
+            None
+        }
+    }
+}
+
+/// Probes both sides with every pattern at every τ and asserts agreement.
+fn assert_probes_agree(
+    dense: &CoverageOracle,
+    other: &dyn CoverageProvider,
+    probes: &[(Vec<u8>, u8)],
+) -> Result<(), TestCaseError> {
+    let patterns: Vec<Vec<u8>> = probes
+        .iter()
+        .map(|(row, mask)| to_pattern(row, *mask))
+        .collect();
+    for p in &patterns {
+        let expect = dense.coverage(p);
+        prop_assert_eq!(expect, other.coverage(p), "pattern {:?}", p);
+        for tau in [1u64, 2, 3, 5, 10, 100] {
+            prop_assert_eq!(
+                dense.covered(p, tau),
+                other.covered(p, tau),
+                "pattern {:?}, tau {}",
+                p,
+                tau
+            );
+            // The capped probe must be exact below the cap and must report
+            // at-least-cap (any count ≥ cap is allowed) once reached.
+            let capped = other.coverage_capped(p, tau);
+            if expect < tau {
+                prop_assert_eq!(expect, capped, "uncapped region, pattern {:?}", p);
+            } else {
+                prop_assert!(capped >= tau, "pattern {:?}: {} < cap {}", p, capped, tau);
+            }
+        }
+    }
+    let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+    let batch = other.coverage_batch(&refs);
+    for (p, &count) in patterns.iter().zip(&batch) {
+        prop_assert_eq!(dense.coverage(p), count, "batch probe {:?}", p);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compressed_oracle_equals_dense_oracle_after_mixed_streams(
+        workload in workload_strategy(),
+    ) {
+        let (base, ops, probes) = workload;
+        let mut dense = CoverageOracle::from_dataset(&base);
+        let mut compressed = CompressedOracle::from_dataset(&base);
+        for (selector, row) in &ops {
+            let removed_dense = apply(&mut dense, *selector, row);
+            let removed_compressed = apply(&mut compressed, *selector, row);
+            prop_assert_eq!(removed_dense, removed_compressed, "presence of {:?}", row);
+            prop_assert_eq!(dense.total(), compressed.total());
+        }
+        prop_assert_eq!(dense.cardinalities(), compressed.cardinalities());
+        assert_probes_agree(&dense, &compressed, &probes)?;
+    }
+
+    /// The tentpole composition: row shards each holding a compressed
+    /// index must still agree with one dense oracle.
+    #[test]
+    fn sharding_over_compressed_equals_dense_oracle(
+        workload in workload_strategy(),
+        shards in 1usize..=4,
+    ) {
+        let (base, ops, probes) = workload;
+        let mut dense = CoverageOracle::from_dataset(&base);
+        let mut sharded = ShardedOracle::<CompressedOracle>::from_dataset(&base, shards);
+        prop_assert_eq!(sharded.shard_count(), shards);
+        for (selector, row) in &ops {
+            let removed_dense = apply(&mut dense, *selector, row);
+            let removed_sharded = apply(&mut sharded, *selector, row);
+            prop_assert_eq!(removed_dense, removed_sharded, "presence of {:?}", row);
+            prop_assert_eq!(dense.total(), sharded.total());
+        }
+        assert_probes_agree(&dense, &sharded, &probes)?;
+    }
+
+    /// Batch ingest into compressed shards must land on the same aggregate
+    /// state as streamed single-row ingest.
+    #[test]
+    fn batch_ingest_equals_streamed_ingest_on_compressed_shards(
+        workload in workload_strategy(),
+        shards in 1usize..=4,
+    ) {
+        let (base, ops, probes) = workload;
+        let rows: Vec<&[u8]> = ops.iter().map(|(_, row)| row.as_slice()).collect();
+        let mut batched = ShardedOracle::<CompressedOracle>::from_dataset(&base, shards);
+        batched.add_rows(&rows);
+        let mut streamed = ShardedOracle::<CompressedOracle>::from_dataset(&base, shards);
+        for row in &rows {
+            CoverageProvider::add_row(&mut streamed, row);
+        }
+        prop_assert_eq!(batched.shard_totals(), streamed.shard_totals());
+        for (row, mask) in &probes {
+            let p = to_pattern(row, *mask);
+            prop_assert_eq!(
+                CoverageProvider::coverage(&batched, &p),
+                CoverageProvider::coverage(&streamed, &p),
+                "pattern {:?}", p
+            );
+        }
+    }
+}
+
+/// Walks a posting list across the `ARRAY_MAX` spill boundary and back:
+/// 4095 → 4096 → 4097 distinct combinations sharing `attr0 = 0`, then
+/// deletions back below the boundary. `step` spaces the combination ids so
+/// both spill targets are exercised: consecutive ids collapse to runs,
+/// alternating ids force a bitmap.
+fn boundary_crossing(step: usize) {
+    // Cardinalities sized so `ARRAY_MAX + 1` distinct (0, b, c) combos
+    // exist with room to spare: 2 × 128 × 128 = 32768 combinations.
+    let schema = Schema::with_cardinalities(&[2, 128, 128]).unwrap();
+    // Row i is its own combination (so combo id == insert order == i);
+    // every `step`-th one carries attr0 = 0, the rest pad the id space so
+    // the interesting posting list's ids are `step` apart.
+    let row = |i: usize| -> Vec<u8> {
+        let attr0 = u8::from(!i.is_multiple_of(step));
+        vec![attr0, (i / 128 % 128) as u8, (i % 128) as u8]
+    };
+    let rows: Vec<Vec<u8>> = (0..(ARRAY_MAX + 1) * step).map(row).collect();
+    let base = Dataset::from_rows(schema, &rows[..(ARRAY_MAX - 1) * step]).unwrap();
+    let mut dense = CoverageOracle::from_dataset(&base);
+    let mut compressed = CompressedOracle::from_dataset(&base);
+    let probe: Vec<u8> = vec![0, X, X];
+    assert_eq!(dense.coverage(&probe), (ARRAY_MAX - 1) as u64);
+
+    // Cross the boundary one row at a time: 4095 → 4096 → 4097.
+    let crossing = (ARRAY_MAX - 1) * step..(ARRAY_MAX + 1) * step;
+    for (i, row) in crossing.clone().zip(&rows[crossing.clone()]) {
+        dense.add_row(row);
+        compressed.add_row(row);
+        assert_eq!(
+            dense.coverage(&probe),
+            compressed.coverage(&probe),
+            "insert #{i} (step {step})"
+        );
+        assert!(compressed.covered(&probe, ARRAY_MAX as u64 - 2));
+    }
+    assert_eq!(compressed.coverage(&probe), (ARRAY_MAX + 1) as u64);
+    let stats = compressed.memory();
+    assert!(
+        stats.bitmap_containers + stats.run_containers > 0,
+        "a {}-element list must have spilled out of array form: {stats:?}",
+        ARRAY_MAX + 1
+    );
+
+    // …and back below it, in the same lock step.
+    for i in ((ARRAY_MAX - 1) * step..(ARRAY_MAX + 1) * step).rev() {
+        assert!(compressed.remove_row(&rows[i]), "delete #{i}");
+        assert!(dense.remove_row(&rows[i]));
+        assert_eq!(
+            dense.coverage(&probe),
+            compressed.coverage(&probe),
+            "delete #{i} (step {step})"
+        );
+    }
+    assert_eq!(compressed.coverage(&probe), (ARRAY_MAX - 1) as u64);
+    assert_eq!(dense.total(), compressed.total());
+}
+
+#[test]
+fn array_boundary_crossing_with_consecutive_ids() {
+    // step 1: every combination lands in the hot posting list, ids are
+    // consecutive, so the spill target is a run container.
+    boundary_crossing(1);
+}
+
+#[test]
+fn array_boundary_crossing_with_alternating_ids() {
+    // step 2: ids alternate in and out of the hot list, so runs cannot
+    // win and the spill target is a bitmap container.
+    boundary_crossing(2);
+}
+
+#[test]
+fn full_chunk_collapses_to_runs_and_spans_chunks() {
+    // 2 × 128 × 128 × 4 values: exactly CHUNK_SIZE distinct combinations
+    // carry attr0 = 0, filling chunk 0 of that posting list completely
+    // (the all-ones bitmap must collapse to a single full run), and the
+    // attr0 = 1 tail pushes later combinations into chunk 1.
+    let schema = Schema::with_cardinalities(&[2, 128, 128, 4]).unwrap();
+    let mut rows: Vec<Vec<u8>> = Vec::with_capacity(CHUNK_SIZE + 64);
+    for i in 0..CHUNK_SIZE {
+        rows.push(vec![
+            0,
+            (i / 512) as u8,
+            ((i / 4) % 128) as u8,
+            (i % 4) as u8,
+        ]);
+    }
+    for i in 0..64 {
+        rows.push(vec![1, (i / 4) as u8, (i % 4) as u8, 0]);
+    }
+    let ds = Dataset::from_rows(schema, &rows).unwrap();
+    let dense = CoverageOracle::from_dataset(&ds);
+    let compressed = CompressedOracle::from_dataset(&ds);
+
+    for probe in [
+        vec![0, X, X, X],
+        vec![1, X, X, X],
+        vec![X, 0, X, X],
+        vec![X, X, X, 3],
+        vec![0, 64, X, 2],
+        vec![X, X, X, X],
+    ] {
+        assert_eq!(
+            dense.coverage(&probe),
+            compressed.coverage(&probe),
+            "probe {probe:?}"
+        );
+    }
+    assert_eq!(compressed.coverage(&[0, X, X, X]), CHUNK_SIZE as u64);
+
+    let stats = compressed.memory();
+    assert!(
+        stats.run_containers >= 1,
+        "the full chunk must be stored as runs: {stats:?}"
+    );
+    // A full-chunk run costs 4 bytes where the dense bitmap costs 8 KiB.
+    assert!(
+        stats.bytes < dense.memory_bytes(),
+        "compressed ({}) should undercut dense ({}) here",
+        stats.bytes,
+        dense.memory_bytes()
+    );
+}

@@ -45,7 +45,7 @@ proptest! {
     ) {
         let (base, ops, probes) = workload;
         let mut single = CoverageOracle::from_dataset(&base);
-        let mut sharded = ShardedOracle::from_dataset(&base, shards);
+        let mut sharded = ShardedOracle::<CoverageOracle>::from_dataset(&base, shards);
         prop_assert_eq!(sharded.shard_count(), shards);
         for (selector, row) in &ops {
             if *selector == 0 {
@@ -93,9 +93,9 @@ proptest! {
     ) {
         let (base, ops, probes) = workload;
         let rows: Vec<&[u8]> = ops.iter().map(|(_, row)| row.as_slice()).collect();
-        let mut batched = ShardedOracle::from_dataset(&base, shards);
+        let mut batched = ShardedOracle::<CoverageOracle>::from_dataset(&base, shards);
         batched.add_rows(&rows);
-        let mut streamed = ShardedOracle::from_dataset(&base, shards);
+        let mut streamed = ShardedOracle::<CoverageOracle>::from_dataset(&base, shards);
         for row in &rows {
             CoverageProvider::add_row(&mut streamed, row);
         }

@@ -1,7 +1,8 @@
 //! Rule `panic-freedom`: no panicking calls in serving hot paths.
 //!
 //! The serving hot paths — the event loop, op log, replication, tenancy,
-//! the network shim, and the engine/server dispatch layers — must not
+//! the engine/server dispatch layers, the network shim, and the compressed
+//! index probed on every request — must not
 //! contain `unwrap()`, `expect()`, `panic!`, `todo!`, or `unimplemented!`
 //! outside test code. A panic there takes down live connections (or the
 //! whole process), so fallibility must surface as typed errors. Guarded
@@ -18,13 +19,15 @@ pub const RULE: &str = "panic-freedom";
 
 /// Hot-path files (workspace-relative). A path under `HOT_DIRS` is also
 /// hot.
-const HOT_FILES: [&str; 6] = [
+const HOT_FILES: [&str; 8] = [
     "crates/service/src/event.rs",
     "crates/service/src/oplog.rs",
     "crates/service/src/replica.rs",
     "crates/service/src/tenant.rs",
     "crates/service/src/engine.rs",
     "crates/service/src/server.rs",
+    "crates/index/src/compressed.rs",
+    "crates/index/src/container.rs",
 ];
 const HOT_DIRS: [&str; 1] = ["crates/service/src/net/"];
 

@@ -103,6 +103,12 @@ pub use engine::{CoverageEngine, EngineStats, DEFAULT_CACHE_CAPACITY};
 /// The multi-core serving engine behind `mithra serve --shards N`: a
 /// [`CoverageEngine`] over a row-sharded oracle.
 pub type ShardedCoverageEngine = CoverageEngine<coverage_index::ShardedOracle>;
+
+/// The compressed serving engine behind `mithra serve --backend compressed`:
+/// a [`CoverageEngine`] over row shards of Roaring-style
+/// [`coverage_index::CompressedOracle`] posting lists.
+pub type CompressedCoverageEngine =
+    CoverageEngine<coverage_index::ShardedOracle<coverage_index::CompressedOracle>>;
 pub use metrics::ServeMetrics;
 pub use oplog::{LogEntry, LoggedOp, OpLog, SyncPolicy, OPLOG_VERSION};
 pub use replica::{apply_entry, replay_entries, run_follower, ReplicaSource, ReplicationStatus};
@@ -111,7 +117,7 @@ pub use server::{
 };
 pub use snapshot::{
     load_snapshot, load_snapshot_anchored, load_snapshot_with_layout, save_snapshot,
-    save_snapshot_anchored, SNAPSHOT_VERSION,
+    save_snapshot_anchored, snapshot_backend, SNAPSHOT_VERSION,
 };
 pub use tenant::{serve_tenants, DatasetCounters, TenantSpec};
 

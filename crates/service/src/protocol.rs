@@ -81,6 +81,14 @@ impl Json {
         }
     }
 
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
     /// The numeric payload as a non-negative integer, if it is one.
     ///
     /// The upper bound is strict: `u64::MAX as f64` rounds *up* to 2^64, so

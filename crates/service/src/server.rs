@@ -768,6 +768,34 @@ pub(crate) fn dispatch<B: CoverageBackend>(
                 let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{rows}"));
             }
             out.push_str("]}");
+            // Per-backend memory: index bytes, bytes/row, and the
+            // compressed-container histogram (all-zero for dense), plus the
+            // intersection-kernel code path the host runs.
+            let memory = engine.oracle().memory_stats();
+            let rows = engine.dataset().len();
+            let bytes_per_row = if rows == 0 {
+                0.0
+            } else {
+                memory.bytes as f64 / rows as f64
+            };
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    concat!(
+                        ",\"backend\":{{\"name\":\"{}\",\"bytes\":{},",
+                        "\"bytes_per_row\":{:.3},\"containers\":{{\"array\":{},",
+                        "\"bitmap\":{},\"runs\":{}}},\"kernels\":"
+                    ),
+                    engine.oracle().backend_name(),
+                    memory.bytes,
+                    bytes_per_row,
+                    memory.array_containers,
+                    memory.bitmap_containers,
+                    memory.run_containers,
+                ),
+            );
+            write_json_string(&mut out, coverage_index::kernel_features());
+            out.push('}');
             // TCP front ends append their I/O counters + latency
             // histograms; the stdin front end has none to report.
             if let Some(metrics) = metrics {
@@ -1363,6 +1391,36 @@ mod tests {
         // The stdin front end has no I/O metrics; the section appears only
         // on the TCP front ends.
         assert!(doc.get("io").is_none());
+        // Per-backend memory accounting: dense reports its vector bytes and
+        // an all-zero container histogram.
+        let backend = doc.get("backend").expect("stats must report backend");
+        assert_eq!(backend.get("name").and_then(Json::as_str), Some("dense"));
+        assert!(backend.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(backend.get("bytes_per_row").is_some());
+        let containers = backend.get("containers").unwrap();
+        assert_eq!(containers.get("array").and_then(Json::as_u64), Some(0));
+        assert!(backend.get("kernels").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn stats_report_compressed_backend_memory() {
+        use coverage_index::{CompressedOracle, ShardedOracle};
+        let ds = coverage_data::generators::airbnb_like(500, 4, 3).unwrap();
+        let mut engine = CoverageEngine::<ShardedOracle<CompressedOracle>>::with_shards(
+            ds,
+            Threshold::Count(1),
+            2,
+        )
+        .unwrap();
+        let doc = ok(&mut engine, r#"{"op":"stats"}"#);
+        let backend = doc.get("backend").unwrap();
+        assert_eq!(
+            backend.get("name").and_then(Json::as_str),
+            Some("compressed")
+        );
+        assert!(backend.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        let containers = backend.get("containers").unwrap();
+        assert!(containers.get("array").and_then(Json::as_u64).unwrap() > 0);
     }
 
     #[test]

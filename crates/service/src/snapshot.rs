@@ -13,7 +13,13 @@
 //! Format policy (documented in the README):
 //!
 //! * `"format"` is always `"mithra-coverage-snapshot"`; `"version"` is an
-//!   integer, currently [`SNAPSHOT_VERSION`]. Version 4 adds `"oplog_seq"`
+//!   integer, currently [`SNAPSHOT_VERSION`]. Version 5 adds `"backend"` —
+//!   the coverage-backend family (`"dense"` or `"compressed"`) the writing
+//!   process served with. Like the shard layout, the backend is a *process*
+//!   property, not a data property: the combinations restore into whichever
+//!   backend the loading process runs (`serve --backend` decides, defaulting
+//!   to the recorded value), so snapshots stay backend-agnostic and v1–4
+//!   documents simply record `"dense"` semantics. Version 4 adds `"oplog_seq"`
 //!   — the op-log sequence number the snapshot is anchored at, so recovery
 //!   is "restore snapshot, replay log entries with `seq > oplog_seq`" and a
 //!   snapshot-anchored truncation can drop the replayed prefix. Snapshots
@@ -51,7 +57,7 @@ use crate::protocol::{write_json_string, Json};
 use crate::{Result, ServiceError};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 4;
+pub const SNAPSHOT_VERSION: u64 = 5;
 
 /// Oldest snapshot version this build still reads.
 pub const SNAPSHOT_MIN_VERSION: u64 = 1;
@@ -89,9 +95,11 @@ pub fn snapshot_string_anchored<B: CoverageBackend>(
     let mut out = String::with_capacity(1024 + combos.len() * (dataset.arity() * 4 + 8));
     out.push_str("{\"format\":");
     write_json_string(&mut out, SNAPSHOT_FORMAT);
+    let _ = write!(out, ",\"version\":{SNAPSHOT_VERSION},\"backend\":");
+    write_json_string(&mut out, engine.oracle().backend_name());
     let _ = write!(
         out,
-        ",\"version\":{SNAPSHOT_VERSION},\"oplog_seq\":{oplog_seq},\"shards\":{},\"grown\":[",
+        ",\"oplog_seq\":{oplog_seq},\"shards\":{},\"grown\":[",
         engine.shards()
     );
     for (i, g) in engine.dictionary_growth().iter().enumerate() {
@@ -187,9 +195,9 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64> {
 }
 
 /// Reassembles an engine from a snapshot document produced by
-/// [`snapshot_string`] — current (version 4, with the op-log anchor),
-/// version 3 (no anchor), version 2 (no growth counters), or version 1
-/// (raw rows, restored into a single shard).
+/// [`snapshot_string`] — current (version 5, with the backend family),
+/// version 4 (no backend), version 3 (no op-log anchor), version 2 (no
+/// growth counters), or version 1 (raw rows, restored into a single shard).
 pub fn parse_snapshot<B: CoverageBackend>(text: &str) -> Result<CoverageEngine<B>> {
     parse_snapshot_with_layout(text, None)
 }
@@ -225,6 +233,11 @@ pub fn parse_snapshot_anchored<B: CoverageBackend>(
              {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
         )));
     }
+    // The recorded backend family is advisory — the combinations restore
+    // into whatever backend `B` the caller runs — but a value outside the
+    // known families means the document came from a newer build mislabeling
+    // itself, so reject rather than guess.
+    backend_field(&doc, version)?;
     // v1–3 predate the op log: they restore with anchor 0 (replay the
     // whole log, which is exactly right for a log that started alongside
     // a pre-anchor snapshot).
@@ -383,6 +396,45 @@ pub fn parse_snapshot_anchored<B: CoverageBackend>(
     };
     CoverageEngine::from_snapshot_parts(dataset, threshold, mups, stats, shards, grown)
         .map(|engine| (engine, oplog_seq))
+}
+
+/// The backend family a snapshot document records: `"backend"` on v5
+/// documents (validated against the known families), `"dense"` on v1–4
+/// documents, which predate backend choice.
+fn backend_field(doc: &Json, version: u64) -> Result<&'static str> {
+    if version >= 5 {
+        match field(doc, "backend")?.as_str() {
+            Some("dense") => Ok("dense"),
+            Some("compressed") => Ok("compressed"),
+            Some(other) => Err(bad(format!(
+                "snapshot records unknown backend `{other}` (expected `dense` or `compressed`)"
+            ))),
+            None => Err(bad("snapshot field `backend` must be a string")),
+        }
+    } else {
+        Ok("dense")
+    }
+}
+
+/// Reads only the backend family a snapshot on disk records (`"dense"` for
+/// v1–4 documents) without building any index — the CLI peeks at this to
+/// pick the serving backend before the expensive restore.
+pub fn snapshot_backend(path: &Path) -> Result<&'static str> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| bad(format!("cannot read {}: {e}", path.display())))?;
+    let doc = Json::parse(&text).map_err(|e| bad(format!("snapshot is not valid JSON: {e}")))?;
+    match field(&doc, "format")?.as_str() {
+        Some(SNAPSHOT_FORMAT) => {}
+        _ => return Err(bad("not a mithra coverage snapshot (bad `format` field)")),
+    }
+    let version = u64_field(&doc, "version")?;
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+        return Err(bad(format!(
+            "snapshot version {version} is not supported (this build reads versions \
+             {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
+        )));
+    }
+    backend_field(&doc, version)
 }
 
 /// Writes a snapshot atomically: the document lands in `<path>.tmp` first
@@ -795,6 +847,85 @@ mod tests {
         let restored: CoverageEngine = parse_snapshot(&text).unwrap();
         assert_eq!(restored.dataset().len(), 1_000);
         assert_eq!(restored.mups(), engine.mups());
+    }
+
+    #[test]
+    fn backend_family_round_trips_and_is_validated() {
+        use coverage_index::CompressedOracle;
+        // A dense engine records "dense"; a compressed one "compressed".
+        let dense_text = snapshot_string(&engine()).unwrap();
+        assert!(dense_text.contains("\"backend\":\"dense\""), "{dense_text}");
+        let ds = coverage_data::generators::airbnb_like(300, 4, 2).unwrap();
+        let compressed = CoverageEngine::<ShardedOracle<CompressedOracle>>::with_shards(
+            ds,
+            Threshold::Count(3),
+            3,
+        )
+        .unwrap();
+        let text = snapshot_string(&compressed).unwrap();
+        assert!(text.contains("\"backend\":\"compressed\""), "{text}");
+        // Snapshots are backend-agnostic: a compressed-written document
+        // restores into a dense engine and vice versa.
+        let as_dense: CoverageEngine<ShardedOracle> = parse_snapshot(&text).unwrap();
+        assert_eq!(as_dense.shards(), 3);
+        assert_eq!(
+            sorted_rows(as_dense.dataset()),
+            sorted_rows(compressed.dataset())
+        );
+        let as_compressed: CoverageEngine<ShardedOracle<CompressedOracle>> =
+            parse_snapshot(&dense_text).unwrap();
+        assert_eq!(as_compressed.mups().len(), engine().mups().len());
+        // An unknown family is rejected rather than guessed at.
+        let unknown = text.replace("\"backend\":\"compressed\"", "\"backend\":\"columnar\"");
+        let err = parse_snapshot::<ShardedOracle>(&unknown).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
+        let not_string = text.replace("\"backend\":\"compressed\"", "\"backend\":7");
+        let err = parse_snapshot::<ShardedOracle>(&not_string).unwrap_err();
+        assert!(err.to_string().contains("`backend`"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_backend_peeks_without_restoring() {
+        use coverage_index::CompressedOracle;
+        let dir = std::env::temp_dir().join(format!("mithra-snap-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dense_path = dir.join("dense.snapshot");
+        save_snapshot(&engine(), &dense_path).unwrap();
+        assert_eq!(snapshot_backend(&dense_path).unwrap(), "dense");
+        let ds = coverage_data::generators::airbnb_like(100, 3, 5).unwrap();
+        let compressed =
+            CoverageEngine::<CompressedOracle>::with_shards(ds, Threshold::Count(2), 1).unwrap();
+        let compressed_path = dir.join("compressed.snapshot");
+        save_snapshot(&compressed, &compressed_path).unwrap();
+        assert_eq!(snapshot_backend(&compressed_path).unwrap(), "compressed");
+        assert!(snapshot_backend(&dir.join("missing.snapshot")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version4_documents_restore_as_dense_with_their_anchor() {
+        // A pre-backend (version 4) snapshot: op-log anchor but no
+        // `backend`. It restores (implicitly dense), keeps its anchor, and
+        // the next save rewrites it as the current version.
+        let v4 = concat!(
+            "{\"format\":\"mithra-coverage-snapshot\",\"version\":4,\"oplog_seq\":17,",
+            "\"shards\":2,\"grown\":[0,0],",
+            "\"threshold\":{\"count\":1},",
+            "\"attributes\":[{\"name\":\"a\",\"cardinality\":2},",
+            "{\"name\":\"b\",\"cardinality\":2}],",
+            "\"combos\":[[[0,1],2],[[1,0],1]],",
+            "\"mups\":[\"00\"],",
+            "\"stats\":{\"inserts\":3,\"batches\":2,\"deletes\":0,",
+            "\"delete_batches\":0,\"mups_retired\":1,\"mups_discovered\":2,",
+            "\"full_recomputes\":0}}"
+        );
+        let (restored, anchor) = parse_snapshot_anchored::<ShardedOracle>(v4, None).unwrap();
+        assert_eq!(anchor, 17);
+        assert_eq!(restored.shards(), 2);
+        assert_eq!(restored.dataset().len(), 3);
+        let rewritten = snapshot_string(&restored).unwrap();
+        assert!(rewritten.contains(&format!("\"version\":{SNAPSHOT_VERSION}")));
+        assert!(rewritten.contains("\"backend\":\"dense\""));
     }
 
     #[test]

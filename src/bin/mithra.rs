@@ -3,7 +3,7 @@
 //! ```text
 //! mithra audit        <file.csv> --attrs sex,race,age --tau 30 [--max-level L]
 //! mithra enhance      <file.csv> --attrs sex,race,age --tau 30 --lambda 2
-//! mithra serve        <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR] [--io event|blocking] [--snapshot PATH]
+//! mithra serve        <file.csv> --attrs sex,race,age --tau 30 [--listen ADDR] [--io event|blocking] [--snapshot PATH] [--backend dense|compressed]
 //! mithra loadgen      [--io event|blocking] [--connections N] [--secs S] …
 //! mithra bench-report [--quick]
 //! ```
@@ -18,7 +18,9 @@
 //! every shard starts with a few thousand rows) for multi-core ingest and
 //! wide probes. With
 //! `--snapshot PATH` the served state persists across restarts: an existing
-//! snapshot is restored without a re-audit.
+//! snapshot is restored without a re-audit. `--backend compressed` swaps the
+//! dense per-value bit vectors for Roaring-style compressed posting lists —
+//! same answers, a fraction of the memory on sparse/high-cardinality data.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -37,6 +39,18 @@ macro_rules! out {
             return Err(format!("cannot write to stdout: {e}"));
         }
     };
+}
+
+/// Which coverage-index representation `serve` runs on. Both give
+/// bit-identical answers; they trade memory for per-probe constant factors
+/// (see `coverage_index::CompressedOracle`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// One dense bitmap per (attribute, value) — fastest point probes.
+    Dense,
+    /// Roaring-style compressed posting lists — a fraction of the memory
+    /// on sparse or high-cardinality data.
+    Compressed,
 }
 
 #[derive(Debug)]
@@ -72,10 +86,13 @@ struct Args {
     /// Extra named datasets to host next to the default one:
     /// `(name, csv path)` pairs from `--datasets name=file.csv,…`.
     datasets: Vec<(String, String)>,
+    /// `None` = default (the backend an existing snapshot was taken under,
+    /// dense for fresh starts).
+    backend: Option<Backend>,
 }
 
 fn usage() -> String {
-    "usage:\n  mithra audit        <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance      <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve        <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--io event|blocking] [--threads N] [--max-pending N] [--shards N] [--snapshot PATH] [--grow-schema]\n                      [--oplog PATH] [--oplog-sync always|batch|off] [--follow ADDR|PATH] [--datasets name=file.csv,…]\n  mithra loadgen      [--io event|blocking] [--connections N] [--secs S] [--mix I,C] [--deletes PCT] …\n  mithra bench-report [--quick]"
+    "usage:\n  mithra audit        <file.csv> --attrs a,b,c --tau N|--rate F [--max-level L] [--limit K]\n  mithra enhance      <file.csv> --attrs a,b,c --tau N|--rate F --lambda L\n  mithra serve        <file.csv> --attrs a,b,c --tau N|--rate F [--listen ADDR] [--io event|blocking] [--threads N] [--max-pending N] [--shards N] [--backend dense|compressed] [--snapshot PATH] [--grow-schema]\n                      [--oplog PATH] [--oplog-sync always|batch|off] [--follow ADDR|PATH] [--datasets name=file.csv,…]\n  mithra loadgen      [--io event|blocking] [--connections N] [--secs S] [--mix I,C] [--deletes PCT] …\n  mithra bench-report [--quick]"
         .to_string()
 }
 
@@ -107,6 +124,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut oplog_sync = None;
     let mut follow = None;
     let mut datasets: Vec<(String, String)> = Vec::new();
+    let mut backend = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -171,6 +189,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 shards = Some(count);
             }
             "--grow-schema" => grow_schema = true,
+            "--backend" => {
+                backend = Some(match value()?.as_str() {
+                    "dense" => Backend::Dense,
+                    "compressed" => Backend::Compressed,
+                    other => {
+                        return Err(flag_error(
+                            "--backend",
+                            format!("unknown backend `{other}` (expected dense or compressed)"),
+                        ));
+                    }
+                })
+            }
             "--io" => {
                 io = Some(match value()?.as_str() {
                     "event" => coverage_service::IoMode::Event,
@@ -259,7 +289,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             || oplog_sync.is_some()
             || follow.is_some()
             || !datasets.is_empty()
-            || grow_schema)
+            || grow_schema
+            || backend.is_some())
     {
         let flag = if listen.is_some() {
             "--listen"
@@ -267,6 +298,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--threads"
         } else if shards.is_some() {
             "--shards"
+        } else if backend.is_some() {
+            "--backend"
         } else if io.is_some() {
             "--io"
         } else if max_pending.is_some() {
@@ -359,6 +392,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         oplog_sync: oplog_sync.unwrap_or_default(),
         follow,
         datasets,
+        backend,
     })
 }
 
@@ -395,25 +429,51 @@ fn default_shards(rows: usize) -> usize {
     cores.min(rows / MIN_ROWS_PER_SHARD).max(1)
 }
 
-/// Builds one serving engine — sharded over `--shards N` row partitions —
-/// restored from `snapshot` when that file exists (no re-audit — the whole
-/// point of snapshots), freshly audited from the CSV at `file` otherwise.
+/// Picks the serving backend: an explicit `--backend` always wins; without
+/// one, an existing snapshot keeps the backend it was taken under (the same
+/// stickiness `--shards` has for shard layout), and fresh starts are dense.
+fn resolve_backend(args: &Args) -> Result<Backend, String> {
+    if let Some(backend) = args.backend {
+        return Ok(backend);
+    }
+    if let Some(path) = args.snapshot.as_deref() {
+        if path.exists() {
+            let family = mithra::service::snapshot_backend(path).map_err(|e| e.to_string())?;
+            return Ok(match family {
+                "compressed" => Backend::Compressed,
+                _ => Backend::Dense,
+            });
+        }
+    }
+    Ok(Backend::Dense)
+}
+
+/// Builds one serving engine — sharded over `--shards N` row partitions of
+/// the chosen per-shard backend `O` — restored from `snapshot` when that
+/// file exists (no re-audit — the whole point of snapshots), freshly
+/// audited from the CSV at `file` otherwise.
 /// On restore the snapshot's recorded shard layout wins unless `--shards`
 /// was given explicitly, in which case the backend is re-laid-out (cheap:
 /// the MUP set stays valid). Also returns the op-log anchor: the log seq
 /// the restored snapshot captured (0 for fresh audits and pre-v4
 /// snapshots), i.e. where tail replay starts.
-fn serve_engine(
+fn serve_engine<O: mithra::index::CoverageBackend>(
     args: &Args,
     file: &str,
     snapshot: Option<&std::path::Path>,
-) -> Result<(mithra::service::ShardedCoverageEngine, u64), String> {
+) -> Result<
+    (
+        mithra::service::CoverageEngine<mithra::index::ShardedOracle<O>>,
+        u64,
+    ),
+    String,
+> {
     if let Some(path) = snapshot {
         if path.exists() {
             // An explicit --shards overrides the snapshot's recorded layout
             // *at load time*, so the index is built exactly once.
             let (engine, anchor) = mithra::service::load_snapshot_anchored::<
-                mithra::index::ShardedOracle,
+                mithra::index::ShardedOracle<O>,
             >(path, args.shards)
             .map_err(|e| e.to_string())?;
             if engine.threshold() != args.tau {
@@ -448,16 +508,18 @@ fn serve_engine(
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let ds = read_csv_auto_path(file, &attr_refs, None).map_err(|e| format!("{file}: {e}"))?;
     let shards = args.shards.unwrap_or_else(|| default_shards(ds.len()));
-    let engine = mithra::service::ShardedCoverageEngine::with_shards(ds, args.tau, shards)
-        .map_err(|e| e.to_string())?;
+    let engine = mithra::service::CoverageEngine::<mithra::index::ShardedOracle<O>>::with_shards(
+        ds, args.tau, shards,
+    )
+    .map_err(|e| e.to_string())?;
     Ok((engine, 0))
 }
 
 /// Opens (or creates) the leader's op log and replays any tail past the
 /// snapshot anchor into the engine, completing crash recovery: rows
 /// acknowledged after the last snapshot come back from the log.
-fn recover_oplog(
-    engine: &mut mithra::service::ShardedCoverageEngine,
+fn recover_oplog<O: mithra::index::CoverageBackend>(
+    engine: &mut mithra::service::CoverageEngine<mithra::index::ShardedOracle<O>>,
     path: &std::path::Path,
     sync: coverage_service::SyncPolicy,
     anchor: u64,
@@ -519,25 +581,38 @@ fn served(result: std::io::Result<()>) -> Result<(), String> {
 /// `serve`: keep the dataset live behind an incremental engine and answer
 /// NDJSON requests on stdin/stdout, or on TCP when `--listen` is given.
 /// Diagnostics go to stderr — stdout carries protocol lines only.
+///
+/// The backend decision happens exactly once, here: every serving flavor
+/// (leader, follower, multi-dataset) below is generic over the per-shard
+/// oracle and gets monomorphized for both representations.
 fn serve(args: &Args) -> Result<(), String> {
+    match resolve_backend(args)? {
+        Backend::Dense => serve_with::<CoverageOracle>(args),
+        Backend::Compressed => serve_with::<CompressedOracle>(args),
+    }
+}
+
+/// The serve flow for one concrete per-shard backend `O`.
+fn serve_with<O: CoverageBackend>(args: &Args) -> Result<(), String> {
     if !args.datasets.is_empty() {
-        return serve_datasets(args);
+        return serve_datasets::<O>(args);
     }
     if args.follow.is_some() {
-        return serve_follower(args);
+        return serve_follower::<O>(args);
     }
-    let (mut engine, anchor) = serve_engine(args, &args.file, args.snapshot.as_deref())?;
+    let (mut engine, anchor) = serve_engine::<O>(args, &args.file, args.snapshot.as_deref())?;
     let oplog = match args.oplog.as_deref() {
         Some(path) => Some(recover_oplog(&mut engine, path, args.oplog_sync, anchor)?),
         None => None,
     };
     eprintln!(
-        "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s), {} shard(s)",
+        "mithra serve: {} rows, {} attributes, τ = {}, {} MUP(s), {} shard(s), {} backend",
         engine.dataset().len(),
         engine.dataset().arity(),
         engine.tau(),
         engine.mups().len(),
-        engine.shards()
+        engine.shards(),
+        engine.oracle().backend_name()
     );
     if let Some(log) = &oplog {
         let log = log.lock().unwrap();
@@ -587,12 +662,12 @@ const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(200);
 
 /// `serve --follow`: bootstrap the engine (snapshot or CSV), start the
 /// replication thread tailing the leader, and serve read-only requests.
-fn serve_follower(args: &Args) -> Result<(), String> {
+fn serve_follower<O: CoverageBackend>(args: &Args) -> Result<(), String> {
     use std::sync::atomic::AtomicBool;
     use std::sync::{Arc, Mutex};
 
     let spec = args.follow.as_deref().expect("checked by caller");
-    let (engine, anchor) = serve_engine(args, &args.file, args.snapshot.as_deref())?;
+    let (engine, anchor) = serve_engine::<O>(args, &args.file, args.snapshot.as_deref())?;
     let source = mithra::service::ReplicaSource::parse(spec);
     let status = Arc::new(mithra::service::ReplicationStatus::new(
         source.describe(),
@@ -637,7 +712,7 @@ fn serve_follower(args: &Args) -> Result<(), String> {
 
 /// `serve --datasets`: host the positional CSV as the `default` dataset
 /// plus every `name=file.csv` tenant behind one event loop.
-fn serve_datasets(args: &Args) -> Result<(), String> {
+fn serve_datasets<O: CoverageBackend>(args: &Args) -> Result<(), String> {
     use std::sync::{Arc, Mutex};
 
     let mut specs: Vec<(
@@ -661,7 +736,7 @@ fn serve_datasets(args: &Args) -> Result<(), String> {
     }
     let mut tenants = Vec::with_capacity(specs.len());
     for (name, file, snapshot, oplog_path) in specs {
-        let (mut engine, anchor) = serve_engine(args, &file, snapshot.as_deref())?;
+        let (mut engine, anchor) = serve_engine::<O>(args, &file, snapshot.as_deref())?;
         let oplog = match oplog_path.as_deref() {
             Some(path) => Some(recover_oplog(&mut engine, path, args.oplog_sync, anchor)?),
             None => None,
@@ -797,22 +872,51 @@ fn run_loadgen(argv: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-/// `mithra bench-report`: measure the op-log durability overhead and
-/// follower catch-up replay under an identical mixed workload and print
-/// the committed `BENCH_7.json` document.
+/// Tolerated ops/s drop when comparing a fresh bench report against a
+/// committed one (`bench-report --against FILE`): quick CI runs on shared
+/// hosts are noisy, so only a drop past this fraction fails the job.
+const BENCH_REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// `mithra bench-report`: measure the op-log durability overhead, follower
+/// catch-up replay, and the dense-vs-compressed backend comparison under
+/// an identical mixed workload, print the committed `BENCH_9.json`
+/// document, and — with `--against FILE` — fail on a throughput
+/// regression beyond the tolerance.
 fn run_bench_report(mut argv: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "usage: mithra bench-report [--quick] [--against FILE]";
     let mut quick = false;
-    for flag in argv.by_ref() {
+    let mut against: Option<String> = None;
+    while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => quick = true,
+            "--against" => match argv.next() {
+                Some(path) => against = Some(path),
+                None => {
+                    eprintln!("--against: missing value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag `{other}`\nusage: mithra bench-report [--quick]");
+                eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
     let exec = || -> Result<(), String> {
-        out!("{}", coverage_bench::loadgen::bench_report(quick)?);
+        let report = coverage_bench::loadgen::bench_report(quick)?;
+        out!("{report}");
+        if let Some(path) = against {
+            let committed =
+                std::fs::read_to_string(&path).map_err(|e| format!("--against {path}: {e}"))?;
+            let lines = coverage_bench::loadgen::compare_reports(
+                &report,
+                &committed,
+                BENCH_REGRESSION_TOLERANCE,
+            )?;
+            for line in lines {
+                eprintln!("against {path}: {line}");
+            }
+        }
         Ok(())
     };
     match exec() {
@@ -1103,6 +1207,113 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_parses_and_is_serve_only() {
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--backend",
+            "compressed",
+        ])
+        .unwrap();
+        assert_eq!(args.backend, Some(Backend::Compressed));
+        let args = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--backend",
+            "dense",
+        ])
+        .unwrap();
+        assert_eq!(args.backend, Some(Backend::Dense));
+        let args = parse(&["serve", "d.csv", "--attrs", "a", "--tau", "1"]).unwrap();
+        assert_eq!(args.backend, None, "default is decided at build time");
+        let err = parse(&[
+            "serve",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--backend",
+            "roaring",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        let err = parse(&[
+            "audit",
+            "d.csv",
+            "--attrs",
+            "a",
+            "--tau",
+            "1",
+            "--backend",
+            "dense",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only supported with `serve`"), "{err}");
+    }
+
+    #[test]
+    fn backend_resolution_prefers_flag_then_snapshot_then_dense() {
+        use mithra::service::{save_snapshot, CompressedCoverageEngine};
+
+        let dir = std::env::temp_dir().join(format!("mithra-cli-backend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("engine.snapshot");
+        let ds = Dataset::from_rows(Schema::binary(2).unwrap(), &[vec![0, 1], vec![1, 0]]).unwrap();
+        let engine = CompressedCoverageEngine::with_shards(ds, Threshold::Count(1), 1).unwrap();
+        save_snapshot(&engine, &snap).unwrap();
+
+        let args = |backend, snapshot: Option<&std::path::Path>| Args {
+            command: "serve".into(),
+            file: "d.csv".into(),
+            attrs: vec!["a".into(), "b".into()],
+            tau: Threshold::Count(1),
+            lambda: 2,
+            max_level: None,
+            limit: 20,
+            listen: None,
+            threads: 1,
+            snapshot: snapshot.map(std::path::Path::to_path_buf),
+            shards: None,
+            grow_schema: false,
+            io: coverage_service::IoMode::Event,
+            max_pending: coverage_service::DEFAULT_MAX_PENDING,
+            oplog: None,
+            oplog_sync: coverage_service::SyncPolicy::default(),
+            follow: None,
+            datasets: Vec::new(),
+            backend,
+        };
+        // No flag, no snapshot → dense.
+        assert_eq!(resolve_backend(&args(None, None)).unwrap(), Backend::Dense);
+        // A restart without the flag keeps the snapshot's backend…
+        assert_eq!(
+            resolve_backend(&args(None, Some(&snap))).unwrap(),
+            Backend::Compressed
+        );
+        // …but an explicit flag always wins (snapshots are backend-agnostic,
+        // so restoring a compressed snapshot into a dense engine is fine).
+        assert_eq!(
+            resolve_backend(&args(Some(Backend::Dense), Some(&snap))).unwrap(),
+            Backend::Dense
+        );
+        // A missing snapshot file is a fresh start, not an error.
+        assert_eq!(
+            resolve_backend(&args(None, Some(&dir.join("missing")))).unwrap(),
+            Backend::Dense
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn grow_schema_flag_parses_and_is_serve_only() {
         let args = parse(&[
             "serve",
@@ -1198,8 +1409,11 @@ mod tests {
             oplog_sync: coverage_service::SyncPolicy::default(),
             follow: None,
             datasets: Vec::new(),
+            backend: None,
         };
-        let build = |args: &Args| serve_engine(args, &args.file, args.snapshot.as_deref());
+        let build = |args: &Args| {
+            serve_engine::<CoverageOracle>(args, &args.file, args.snapshot.as_deref())
+        };
         // Matching threshold + attrs restores (with the snapshot's anchor).
         let (restored, anchor) = build(&args(&["sex", "race"], Threshold::Count(1))).unwrap();
         assert_eq!(restored.dataset().len(), 2);

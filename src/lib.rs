@@ -56,7 +56,10 @@ pub mod prelude {
     };
     pub use coverage_data::{Attribute, Bucketizer, Dataset, Schema, UniqueCombinations};
     pub use coverage_index::{
-        CoverageBackend, CoverageOracle, CoverageProvider, MupDominanceIndex, ShardedOracle,
+        CompressedOracle, CoverageBackend, CoverageOracle, CoverageProvider, MupDominanceIndex,
+        ShardedOracle,
     };
-    pub use coverage_service::{CoverageEngine, EngineStats, ShardedCoverageEngine};
+    pub use coverage_service::{
+        CompressedCoverageEngine, CoverageEngine, EngineStats, ShardedCoverageEngine,
+    };
 }
