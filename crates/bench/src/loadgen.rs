@@ -729,11 +729,50 @@ impl ProbeComparison {
     }
 }
 
+/// Runs the in-tree conformance linter over this workspace and renders
+/// its per-rule summary as the report's `"lint"` section, so the
+/// committed benchmark document records the lint trajectory (findings
+/// and counted allows per rule) alongside the throughput figures.
+///
+/// The workspace root is the current directory when it looks like the
+/// repo (CI and `cargo run` both start there); otherwise it is derived
+/// from this crate's manifest path, so the report also works from a
+/// subdirectory or an installed binary run inside the tree.
+fn lint_section() -> Result<String, String> {
+    let cwd = std::path::PathBuf::from(".");
+    let root = if cwd.join("crates/lint").is_dir() {
+        cwd
+    } else {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    let report = mithra_lint::check_workspace(&root).map_err(|e| format!("lint: {e}"))?;
+    let rules = report
+        .rules
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rule\": \"{}\", \"findings\": {}, \"allows\": {}}}",
+                mithra_lint::json_escape(r.rule),
+                r.findings,
+                r.allows
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    Ok(format!(
+        "{{\"files_scanned\": {}, \"total_findings\": {}, \"rules\": [\n    {}\n  ]}}",
+        report.files_scanned,
+        report.findings.len(),
+        rules
+    ))
+}
+
 /// `mithra bench-report`: measure the durability cost of the op log under
 /// an identical mixed insert/delete workload (event front end, with and
-/// without `--oplog`) plus follower catch-up replay throughput and the
-/// dense-vs-compressed backend comparison, and emit the committed
-/// benchmark document (`BENCH_9.json` shape).
+/// without `--oplog`) plus follower catch-up replay throughput, the
+/// dense-vs-compressed backend comparison, and the conformance-lint
+/// summary, and emit the committed benchmark document (`BENCH_10.json`
+/// shape).
 pub fn bench_report(quick: bool) -> Result<String, String> {
     let base = LoadgenConfig {
         connections: if quick { 16 } else { 64 },
@@ -768,10 +807,12 @@ pub fn bench_report(quick: bool) -> Result<String, String> {
     } else {
         0.0
     };
+    let lint = lint_section()?;
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_9\",\n  \"description\": \"op-log durability overhead \
-         (leader with vs without --oplog, batch fsync), follower catch-up replay, and the \
-         dense-vs-compressed coverage-backend comparison\",\n  \
+        "{{\n  \"bench\": \"BENCH_10\",\n  \"description\": \"op-log durability overhead \
+         (leader with vs without --oplog, batch fsync), follower catch-up replay, the \
+         dense-vs-compressed coverage-backend comparison, and the conformance-lint \
+         summary\",\n  \
          \"n\": {},\n  \"attributes\": {},\n  \"connections\": {},\n  \"secs\": {},\n  \
          \"mix_insert_coverage\": [{}, {}],\n  \"deletes_pct\": {},\n  \"host_cores\": {},\n  \
          \"no_oplog\": {},\n  \"oplog_batch\": {},\n  \"oplog_overhead_pct\": {:.1},\n  \
@@ -780,6 +821,7 @@ pub fn bench_report(quick: bool) -> Result<String, String> {
          \"delete_delta_vs_recompute\": 25.0, \"sharded_ingest_4_shards\": 2.0, \
          \"note\": \"floors re-asserted by the incremental_vs_batch, delete_vs_batch, and \
          sharded_ingest benches when run\"}},\n  \
+         \"lint\": {},\n  \
          \"probe\": [\n{}\n  ]\n}}",
         base.rows,
         base.attributes,
@@ -795,6 +837,7 @@ pub fn bench_report(quick: bool) -> Result<String, String> {
         catchup_entries,
         catchup_secs,
         catchup_ops,
+        lint,
         probes,
     ))
 }

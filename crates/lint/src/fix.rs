@@ -1,0 +1,329 @@
+//! `mithra-lint fix`: mechanical repair for the drift the rules detect.
+//!
+//! Two families of rewrite, both deterministic and idempotent (fixing an
+//! already-fixed workspace plans zero rewrites — CI runs `fix --check` as
+//! a dry run to enforce that the tree is in the fixed point):
+//!
+//! * **LINT-ALLOW normalization** — a line comment whose marker deviates
+//!   from the canonical `LINT-ALLOW(rule): reason` spelling (stray spaces,
+//!   a missing colon, an unparenthesized rule) is rewritten to canonical
+//!   form, provided the rule name and a non-empty reason are recoverable.
+//!   Markers missing a rule or a reason are *not* invented — those stay
+//!   findings for a human.
+//! * **README table regeneration** — the key-anchored conformance tables
+//!   (error codes, protocol ops, op-log entry fields, replicate response
+//!   fields, rule list) are reconciled against the source of truth the
+//!   corresponding rule extracts: stale rows are deleted, missing rows are
+//!   appended with a placeholder meaning, and the `(currently N)` version
+//!   markers are refreshed from the constants.
+//!
+//! Only files already loaded in the [`Workspace`] are rewritten; `fix`
+//! never creates files or invents sections, so a README without one of the
+//! tables is left for `check` to report.
+
+use crate::analysis::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::{error_codes, oplog_format, protocol_ops, replicate_protocol, snapshot_version};
+use crate::{rules, Workspace};
+use std::fs;
+use std::io;
+
+/// One planned file rewrite.
+pub struct FileFix {
+    /// Workspace-relative path of the file to rewrite.
+    pub rel_path: String,
+    /// Human-readable description of each change, for the dry run.
+    pub notes: Vec<String>,
+    /// The full post-fix file content.
+    pub new_text: String,
+}
+
+/// Plans every rewrite for the workspace. Empty when already fixed.
+pub fn plan(ws: &Workspace) -> Vec<FileFix> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if let Some(fix) = fix_allow_markers(file) {
+            out.push(fix);
+        }
+    }
+    if let Some(fix) = fix_readme(ws) {
+        out.push(fix);
+    }
+    out
+}
+
+/// Writes the planned rewrites back to disk under the workspace root.
+pub fn apply(ws: &Workspace, fixes: &[FileFix]) -> io::Result<()> {
+    for fix in fixes {
+        fs::write(ws.root.join(&fix.rel_path), &fix.new_text)?;
+    }
+    Ok(())
+}
+
+/// Rewrites non-canonical `LINT-ALLOW` markers in one file's ordinary
+/// line comments (doc comments are prose, never markers).
+fn fix_allow_markers(file: &SourceFile) -> Option<FileFix> {
+    let mut edits: Vec<(usize, usize, String, u32)> = Vec::new();
+    for tok in &file.tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = file.text_of(tok);
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(marker) = text.find("LINT-ALLOW") else {
+            continue;
+        };
+        let tail = &text[marker + "LINT-ALLOW".len()..];
+        let Some((rule, reason)) = recover_allow(tail) else {
+            continue;
+        };
+        let canonical = format!("LINT-ALLOW({rule}): {reason}");
+        if text[marker..] != canonical {
+            edits.push((tok.start + marker, tok.end, canonical, tok.line));
+        }
+    }
+    if edits.is_empty() {
+        return None;
+    }
+    let mut new_text = file.text.clone();
+    let mut notes = Vec::new();
+    for (start, end, replacement, line) in edits.into_iter().rev() {
+        new_text.replace_range(start..end, &replacement);
+        notes.push(format!("line {line}: normalized to `{replacement}`"));
+    }
+    notes.reverse();
+    Some(FileFix {
+        rel_path: file.rel_path.clone(),
+        notes,
+        new_text,
+    })
+}
+
+/// Recovers `(rule, reason)` from the text after a `LINT-ALLOW` marker,
+/// tolerating stray spaces, a missing colon, and unparenthesized rule
+/// names. `None` when either part is missing or implausible.
+fn recover_allow(tail: &str) -> Option<(String, String)> {
+    let tail = tail.trim_start_matches([' ', '\t']);
+    let (rule, rest) = if let Some(inner) = tail.strip_prefix('(') {
+        let close = inner.find(')')?;
+        (inner[..close].trim().to_string(), &inner[close + 1..])
+    } else {
+        // An unparenthesized marker — the rule name runs to the colon.
+        let colon = tail.find(':')?;
+        (tail[..colon].trim().to_string(), &tail[colon..])
+    };
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return None;
+    }
+    let rest = rest.trim_start_matches([' ', '\t']);
+    let reason = rest.strip_prefix(':').unwrap_or(rest).trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((rule, reason.to_string()))
+}
+
+/// Reconciles the README's key-anchored tables and version markers.
+fn fix_readme(ws: &Workspace) -> Option<FileFix> {
+    if ws.readme.is_empty() {
+        return None;
+    }
+    let mut text = ws.readme.clone();
+    let mut notes = Vec::new();
+
+    if let Ok(table) = error_codes::extract_table(ws) {
+        let keys: Vec<String> = table.codes.iter().map(|(_, wire)| wire.clone()).collect();
+        fix_table(&mut text, error_codes::README_HEADER, &keys, &mut notes);
+    }
+    if let Ok(ops) = protocol_ops::extract_ops(ws) {
+        fix_table(&mut text, protocol_ops::README_HEADER, &ops, &mut notes);
+    }
+    if let Some((fields, _)) = oplog_format::writer_facts(ws) {
+        fix_table(&mut text, oplog_format::README_HEADER, &fields, &mut notes);
+    }
+    if let Some(fields) = replicate_protocol::arm_fields(ws) {
+        fix_table(
+            &mut text,
+            replicate_protocol::README_HEADER,
+            &fields,
+            &mut notes,
+        );
+    }
+    let rule_names: Vec<String> = rules::RULE_NAMES.iter().map(|r| r.to_string()).collect();
+    fix_table(&mut text, "| Rule | Invariant |", &rule_names, &mut notes);
+
+    if let Some(file) = ws.file(oplog_format::OPLOG_FILE) {
+        if let Some(version) = rules::extract_const(file, "OPLOG_VERSION") {
+            fix_version_markers(&mut text, true, version, &mut notes);
+        }
+    }
+    if let Some(file) = ws.file(snapshot_version::SNAPSHOT_FILE) {
+        if let Some(version) = rules::extract_const(file, "SNAPSHOT_VERSION") {
+            fix_version_markers(&mut text, false, version, &mut notes);
+        }
+    }
+
+    if text == ws.readme {
+        return None;
+    }
+    Some(FileFix {
+        rel_path: "README.md".into(),
+        notes,
+        new_text: text,
+    })
+}
+
+/// Reconciles one key-anchored table: rows whose backticked first cell is
+/// not in `keys` are deleted; keys with no row are appended with a
+/// placeholder meaning. Rows without a backticked key (separators, prose
+/// cells) are kept as-is. No-op when the header is absent.
+fn fix_table(text: &mut String, header: &str, keys: &[String], notes: &mut Vec<String>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let Some(header_idx) = lines.iter().position(|l| l.trim().starts_with(header)) else {
+        return;
+    };
+    let columns = lines[header_idx].matches('|').count().saturating_sub(1);
+    let mut end = header_idx + 1;
+    while end < lines.len() && lines[end].trim().starts_with('|') {
+        end += 1;
+    }
+
+    let mut kept: Vec<String> = Vec::new();
+    let mut present: Vec<String> = Vec::new();
+    for line in &lines[header_idx + 1..end] {
+        let first_cell = line
+            .trim()
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        match first_cell
+            .strip_prefix('`')
+            .and_then(|c| c.strip_suffix('`'))
+        {
+            Some(key) if !keys.iter().any(|k| k == key) => {
+                notes.push(format!("removed stale `{key}` row from `{header}` table"));
+            }
+            Some(key) => {
+                present.push(key.to_string());
+                kept.push((*line).to_string());
+            }
+            None => kept.push((*line).to_string()),
+        }
+    }
+    for key in keys {
+        if !present.contains(key) {
+            let mut row = format!("| `{key}` |");
+            for _ in 1..columns.max(2) {
+                row.push_str(" *(fill in: undocumented)* |");
+            }
+            kept.push(row);
+            notes.push(format!("added missing `{key}` row to `{header}` table"));
+        }
+    }
+
+    let mut rebuilt: Vec<String> = Vec::with_capacity(lines.len());
+    rebuilt.extend(lines[..=header_idx].iter().map(|l| l.to_string()));
+    rebuilt.extend(kept);
+    rebuilt.extend(lines[end..].iter().map(|l| l.to_string()));
+    let mut joined = rebuilt.join("\n");
+    if text.ends_with('\n') {
+        joined.push('\n');
+    }
+    *text = joined;
+}
+
+/// Refreshes `(currently N)` version markers. The op-log marker is the
+/// one preceded by `entry-format version `; every other occurrence is the
+/// snapshot version.
+fn fix_version_markers(text: &mut String, oplog: bool, version: u64, notes: &mut Vec<String>) {
+    const PREFIX: &str = "entry-format version ";
+    const MARKER: &str = "(currently ";
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text.as_str();
+    let mut changed = false;
+    while let Some(at) = rest.find(MARKER) {
+        let is_oplog = rest[..at].ends_with(PREFIX);
+        out.push_str(&rest[..at + MARKER.len()]);
+        rest = &rest[at + MARKER.len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty() && rest[digits.len()..].starts_with(')') && is_oplog == oplog {
+            let current = format!("{version}");
+            if digits != current {
+                notes.push(format!(
+                    "refreshed `{}(currently {digits})` to `(currently {current})`",
+                    if oplog { PREFIX } else { "" }
+                ));
+                changed = true;
+            }
+            out.push_str(&current);
+            rest = &rest[digits.len()..];
+        }
+    }
+    out.push_str(rest);
+    if changed {
+        *text = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recover_allow_normalizes_common_malformations() {
+        assert_eq!(
+            recover_allow("(panic-freedom): fine"),
+            Some(("panic-freedom".into(), "fine".into()))
+        );
+        assert_eq!(
+            recover_allow(" ( panic-freedom )  fine"),
+            Some(("panic-freedom".into(), "fine".into()))
+        );
+        assert_eq!(
+            recover_allow(" panic-freedom: fine"),
+            Some(("panic-freedom".into(), "fine".into()))
+        );
+        assert_eq!(recover_allow("(panic-freedom):"), None);
+        assert_eq!(recover_allow("(Panic Freedom): x"), None);
+        assert_eq!(recover_allow("no marker shape"), None);
+    }
+
+    #[test]
+    fn fix_table_deletes_stale_and_appends_missing() {
+        let mut text = "intro\n\n| Code | Meaning |\n| --- | --- |\n| `ok` | yes |\n| `gone` | old |\n\ntail\n".to_string();
+        let keys = vec!["ok".to_string(), "new".to_string()];
+        let mut notes = Vec::new();
+        fix_table(&mut text, "| Code | Meaning |", &keys, &mut notes);
+        assert!(!text.contains("`gone`"));
+        assert!(text.contains("| `new` | *(fill in: undocumented)* |"));
+        assert!(text.contains("| `ok` | yes |"));
+        assert_eq!(notes.len(), 2);
+        // Idempotent: a second pass plans nothing.
+        let before = text.clone();
+        let mut notes2 = Vec::new();
+        fix_table(&mut text, "| Code | Meaning |", &keys, &mut notes2);
+        assert_eq!(text, before);
+        assert!(notes2.is_empty());
+    }
+
+    #[test]
+    fn version_markers_pick_the_right_constant() {
+        let mut text =
+            "snapshot format (currently 4).\nentry-format version (currently 3).\n".to_string();
+        let mut notes = Vec::new();
+        fix_version_markers(&mut text, true, 1, &mut notes);
+        fix_version_markers(&mut text, false, 5, &mut notes);
+        assert!(text.contains("entry-format version (currently 1)"));
+        assert!(text.contains("snapshot format (currently 5)"));
+        assert_eq!(notes.len(), 2);
+    }
+}

@@ -10,21 +10,34 @@
 //!   construction sites, and test assertions all agree;
 //! * `protocol-ops` — every dispatched op is documented and tested;
 //! * `snapshot-version` — the snapshot format version is consistent across
-//!   the writer, the restore gates, and the README.
+//!   the writer, the restore gates, and the README;
+//! * `lock-across-blocking` — no Mutex/RwLock guard in a serving hot path
+//!   is held across blocking I/O (directly or through a call chain);
+//! * `lock-order` — the lock-acquisition graph stays acyclic;
+//! * `oplog-format` — the op-log entry wire format agrees across the
+//!   writer, the reader, the README, and the tests;
+//! * `replicate-protocol` — the catch-up protocol agrees across the
+//!   leader, the follower, the README, and the tests.
 //!
 //! The rules work on a token stream from a small hand-rolled lexer
-//! ([`lexer`]) — enough Rust to never mistake string/comment content for
-//! code, and no more. Findings can be suppressed with a
-//! `// LINT-ALLOW(rule): reason` comment on the offending line or the line
-//! above; allows are counted in the report, and a malformed or unused
-//! allow is itself a finding (rule `lint-allow`).
+//! ([`lexer`]), a lightweight item/block parse on top of it ([`parser`]),
+//! and a cross-file symbol table ([`symbols`]) — enough Rust to never
+//! mistake string/comment content for code, and no more. Findings can be
+//! suppressed with a `// LINT-ALLOW(rule): reason` comment on the
+//! offending line or the line above; allows are counted in the report,
+//! and a malformed or unused allow is itself a finding (rule
+//! `lint-allow`). `mithra-lint fix` mechanically repairs drift the rules
+//! detect ([`fix`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod fix;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 use analysis::SourceFile;
 use rules::Finding;
@@ -177,6 +190,26 @@ impl Report {
     }
 }
 
+/// A rule's entry point.
+pub type RuleFn = fn(&Workspace) -> Vec<Finding>;
+
+/// The runnable rules, in [`rules::RULE_NAMES`] order (the trailing
+/// `lint-allow` entry is the driver's own audit, not a rule function).
+pub const RULES: [(&str, RuleFn); 9] = [
+    (rules::panic_free::RULE, rules::panic_free::run),
+    (rules::unsafe_audit::RULE, rules::unsafe_audit::run),
+    (rules::error_codes::RULE, rules::error_codes::run),
+    (rules::protocol_ops::RULE, rules::protocol_ops::run),
+    (rules::snapshot_version::RULE, rules::snapshot_version::run),
+    (rules::lock_blocking::RULE, rules::lock_blocking::run),
+    (rules::lock_order::RULE, rules::lock_order::run),
+    (rules::oplog_format::RULE, rules::oplog_format::run),
+    (
+        rules::replicate_protocol::RULE,
+        rules::replicate_protocol::run,
+    ),
+];
+
 /// Loads the workspace at `root` and runs every rule, applying
 /// `LINT-ALLOW` suppression centrally.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
@@ -186,17 +219,24 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
 
 /// Runs every rule over an already-loaded workspace.
 pub fn check_loaded(ws: &Workspace) -> Report {
-    let raw: Vec<(usize, Finding)> = [
-        rules::panic_free::run(ws),
-        rules::unsafe_audit::run(ws),
-        rules::error_codes::run(ws),
-        rules::protocol_ops::run(ws),
-        rules::snapshot_version::run(ws),
-    ]
-    .into_iter()
-    .enumerate()
-    .flat_map(|(ri, fs)| fs.into_iter().map(move |f| (ri, f)))
-    .collect();
+    check_loaded_filtered(ws, None)
+}
+
+/// Runs the rules over an already-loaded workspace, optionally restricted
+/// to a single rule by name.
+///
+/// When filtering, the `lint-allow` audit narrows with it: malformed and
+/// unknown-rule allows are reported only for the full run (or when
+/// `lint-allow` itself is selected), and the unused-allow check covers
+/// only allows naming the selected rule — an allow for a rule that did
+/// not run cannot be judged unused.
+pub fn check_loaded_filtered(ws: &Workspace, only: Option<&str>) -> Report {
+    let raw: Vec<(usize, Finding)> = RULES
+        .iter()
+        .enumerate()
+        .filter(|(_, (name, _))| only.is_none_or(|o| o == *name))
+        .flat_map(|(ri, (_, run))| run(ws).into_iter().map(move |f| (ri, f)))
+        .collect();
 
     // Suppression: an allow for the finding's rule on the finding's line,
     // or on the line directly above, silences it. Track which allows
@@ -238,27 +278,32 @@ pub fn check_loaded(ws: &Workspace) -> Report {
 
     // The escape hatch itself is audited: malformed allows and allows that
     // suppressed nothing are findings under the internal `lint-allow` rule.
+    let audit_mechanism = only.is_none_or(|o| o == "lint-allow");
     let allow_rule_idx = summaries.len() - 1;
     for (fi, file) in ws.files.iter().enumerate() {
-        for bad in &file.malformed_allows {
-            summaries[allow_rule_idx].findings += 1;
-            findings.push(Finding {
-                rule: "lint-allow",
-                file: file.rel_path.clone(),
-                line: bad.line,
-                message: format!("malformed LINT-ALLOW: {}", bad.problem),
-            });
-        }
-        for (ai, allow) in file.allows.iter().enumerate() {
-            if !rules::RULE_NAMES.contains(&allow.rule.as_str()) {
+        if audit_mechanism {
+            for bad in &file.malformed_allows {
                 summaries[allow_rule_idx].findings += 1;
                 findings.push(Finding {
                     rule: "lint-allow",
                     file: file.rel_path.clone(),
-                    line: allow.line,
-                    message: format!("LINT-ALLOW names unknown rule `{}`", allow.rule),
+                    line: bad.line,
+                    message: format!("malformed LINT-ALLOW: {}", bad.problem),
                 });
-            } else if !used[fi][ai] {
+            }
+        }
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if !rules::RULE_NAMES.contains(&allow.rule.as_str()) {
+                if audit_mechanism {
+                    summaries[allow_rule_idx].findings += 1;
+                    findings.push(Finding {
+                        rule: "lint-allow",
+                        file: file.rel_path.clone(),
+                        line: allow.line,
+                        message: format!("LINT-ALLOW names unknown rule `{}`", allow.rule),
+                    });
+                }
+            } else if !used[fi][ai] && only.is_none_or(|o| o == allow.rule && o != "lint-allow") {
                 summaries[allow_rule_idx].findings += 1;
                 findings.push(Finding {
                     rule: "lint-allow",

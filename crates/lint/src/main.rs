@@ -1,19 +1,35 @@
 //! CLI for the in-tree conformance linter.
 //!
 //! ```text
-//! mithra-lint check [--root PATH]
+//! mithra-lint check [--root PATH] [--rule NAME] [--format human|ndjson]
+//! mithra-lint fix   [--root PATH] [--check]
 //! ```
 //!
-//! Findings stream to stdout as NDJSON (one object per finding, then one
-//! `{"summary":…}` line), matching the service's wire idiom so CI and
-//! scripts can parse them the same way. A human per-rule summary goes to
-//! stderr. Exit code: 0 clean, 1 findings, 2 usage/IO error.
+//! `check` findings stream to stdout as NDJSON (one object per finding,
+//! then one `{"summary":…}` line), matching the service's wire idiom so
+//! CI and scripts can parse them the same way. A human per-rule summary
+//! goes to stderr. `--format ndjson` keeps stdout machine-only (no stderr
+//! table); `--format human` prints only the table, on stdout. `--rule`
+//! restricts the run to one rule. Exit code: 0 clean, 1 findings, 2
+//! usage/IO error.
+//!
+//! `fix` applies the mechanical rewrites (LINT-ALLOW normalization,
+//! README table regeneration); `fix --check` is the CI dry run — it
+//! prints what would change and exits 1 without touching anything.
 
-use mithra_lint::{check_workspace, json_escape, Report};
+use mithra_lint::rules::RULE_NAMES;
+use mithra_lint::{check_loaded_filtered, fix, json_escape, Report, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mithra-lint check [--root PATH]";
+const USAGE: &str = "usage: mithra-lint check [--root PATH] [--rule NAME] [--format human|ndjson]\n       mithra-lint fix [--root PATH] [--check]";
+
+#[derive(PartialEq)]
+enum Format {
+    Both,
+    Human,
+    Ndjson,
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -21,11 +37,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if command != "check" {
+    if command != "check" && command != "fix" {
         eprintln!("unknown command `{command}`\n{USAGE}");
         return ExitCode::from(2);
     }
     let mut root = PathBuf::from(".");
+    let mut rule: Option<String> = None;
+    let mut format = Format::Both;
+    let mut dry_run = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -35,6 +54,35 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" if command == "check" => match args.next() {
+                Some(name) => {
+                    if !RULE_NAMES.contains(&name.as_str()) {
+                        eprintln!(
+                            "unknown rule `{name}`; rules are: {}",
+                            RULE_NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    rule = Some(name);
+                }
+                None => {
+                    eprintln!("--rule requires a rule name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" if command == "check" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("ndjson") => format = Format::Ndjson,
+                Some(other) => {
+                    eprintln!("unknown format `{other}` (human|ndjson)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--format requires human|ndjson\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" if command == "fix" => dry_run = true,
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -42,8 +90,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match check_workspace(&root) {
-        Ok(r) => r,
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!(
                 "mithra-lint: failed to load workspace at {}: {e}",
@@ -52,12 +100,53 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    print_ndjson(&report);
-    print_human_summary(&report);
+
+    if command == "fix" {
+        return run_fix(&ws, dry_run);
+    }
+
+    let report = check_loaded_filtered(&ws, rule.as_deref());
+    if format != Format::Human {
+        print_ndjson(&report);
+    }
+    if format != Format::Ndjson {
+        print_human_summary(&report, format == Format::Human);
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// `fix` / `fix --check`: plan the rewrites, then apply or report them.
+fn run_fix(ws: &Workspace, dry_run: bool) -> ExitCode {
+    let fixes = fix::plan(ws);
+    if fixes.is_empty() {
+        eprintln!("mithra-lint: nothing to fix");
+        return ExitCode::SUCCESS;
+    }
+    for f in &fixes {
+        for note in &f.notes {
+            println!("{}: {}", f.rel_path, note);
+        }
+    }
+    if dry_run {
+        eprintln!(
+            "mithra-lint: {} file(s) would be rewritten (run `mithra-lint fix` to apply)",
+            fixes.len()
+        );
+        return ExitCode::from(1);
+    }
+    match fix::apply(ws, &fixes) {
+        Ok(()) => {
+            eprintln!("mithra-lint: rewrote {} file(s)", fixes.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mithra-lint: fix failed: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -92,22 +181,34 @@ fn print_ndjson(report: &Report) {
     );
 }
 
-/// Per-rule table on stderr for humans reading CI logs.
-fn print_human_summary(report: &Report) {
-    eprintln!("mithra-lint: scanned {} files", report.files_scanned);
+/// Per-rule table for humans reading CI logs. Goes to stderr in the
+/// default combined mode (stdout is the NDJSON stream), to stdout when
+/// the human format was requested alone.
+fn print_human_summary(report: &Report, to_stdout: bool) {
+    let emit = |line: String| {
+        if to_stdout {
+            println!("{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    };
+    emit(format!(
+        "mithra-lint: scanned {} files",
+        report.files_scanned
+    ));
     for r in &report.rules {
-        eprintln!(
-            "  {:<18} {:>3} finding{}  {:>3} allow{}",
+        emit(format!(
+            "  {:<20} {:>3} finding{}  {:>3} allow{}",
             r.rule,
             r.findings,
             if r.findings == 1 { " " } else { "s" },
             r.allows,
             if r.allows == 1 { " " } else { "s" },
-        );
+        ));
     }
     if report.clean() {
-        eprintln!("mithra-lint: clean");
+        emit("mithra-lint: clean".to_string());
     } else {
-        eprintln!("mithra-lint: {} finding(s)", report.findings.len());
+        emit(format!("mithra-lint: {} finding(s)", report.findings.len()));
     }
 }

@@ -1,0 +1,27 @@
+//! Rule `lock-across-blocking`: no mutex guard may be held across a
+//! blocking call in a serving hot path.
+//!
+//! The engine mutex serializes every mutation; the op-log mutex orders
+//! the durable record. A blocking syscall (file write, fsync, socket
+//! accept/connect, sleep) made while either is held turns one slow disk
+//! or peer into a whole-service stall. The shared scan in
+//! [`crate::rules::locks`] computes guard live ranges (let-bound guards,
+//! single-statement temporaries, `if let` bodies, and the closure span of
+//! `with_engine_contained`) and flags blocking calls inside them — both
+//! direct `.write_all()`-style primitives and calls into uniquely-named
+//! workspace fns the symbol table knows to block transitively.
+//!
+//! Sites where holding the lock *is* the design (the op-log mutex exists
+//! to order appends to its own file) carry a `LINT-ALLOW` with the
+//! reason, so every exception is counted and justified.
+
+use crate::rules::{locks, Finding};
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "lock-across-blocking";
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    locks::scan(ws).blocking
+}

@@ -1,0 +1,114 @@
+//! Rule `lock-order`: the lock-acquisition graph must stay acyclic.
+//!
+//! Every "lock B acquired while lock A is held" observation from the
+//! shared guard-scope scan ([`crate::rules::locks`]) becomes an edge
+//! A → B; locks are named by the receiver of `.lock()` (`engine`,
+//! `oplog`, …) plus the implicit `engine` scope of
+//! `with_engine_contained`. Two findings can come out:
+//!
+//! * a **self edge** (A acquired while A is held) — a guaranteed
+//!   deadlock with `std::sync::Mutex`;
+//! * a **cycle** (A → B → … → A) — a deadlock waiting for the right
+//!   thread interleaving.
+//!
+//! The expected graph for this codebase is `engine → oplog` only; any
+//! new edge closing a cycle fails CI before it can ship.
+
+use crate::rules::{locks, Finding};
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "lock-order";
+
+/// Runs the rule over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let scan = locks::scan(ws);
+    let mut findings = Vec::new();
+
+    for e in &scan.edges {
+        if e.from == e.to {
+            let via = if e.via.is_empty() {
+                String::new()
+            } else {
+                format!(" (via {})", e.via.join(" → "))
+            };
+            findings.push(Finding {
+                rule: RULE,
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "lock `{}` re-acquired while already held{via} — self-deadlock",
+                    e.from
+                ),
+            });
+        }
+    }
+
+    // Cycle detection over the distinct-node edges.
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in &scan.edges {
+        for n in [e.from.as_str(), e.to.as_str()] {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+    }
+    let index = |n: &str| nodes.iter().position(|&m| m == n).unwrap_or(usize::MAX);
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&n| {
+            scan.edges
+                .iter()
+                .filter(|e| e.from == n && e.to != e.from)
+                .map(|e| index(&e.to))
+                .collect()
+        })
+        .collect();
+
+    let mut reported: Vec<Vec<usize>> = Vec::new();
+    for start in 0..nodes.len() {
+        let mut path = vec![start];
+        dfs_cycles(start, &adj, &mut path, &mut reported);
+    }
+    for cycle in reported {
+        let names: Vec<&str> = cycle.iter().map(|&i| nodes[i]).collect();
+        // Point at the edge that closes the cycle.
+        let closing = scan
+            .edges
+            .iter()
+            .find(|e| e.from == names[names.len() - 1] && e.to == names[0]);
+        let (file, line) = closing
+            .map(|e| (e.file.clone(), e.line))
+            .unwrap_or_else(|| ("README.md".into(), 0));
+        findings.push(Finding {
+            rule: RULE,
+            file,
+            line,
+            message: format!(
+                "lock acquisition cycle: {} → {} — ordering deadlock",
+                names.join(" → "),
+                names[0]
+            ),
+        });
+    }
+    findings
+}
+
+/// Depth-first search for simple cycles back to `path[0]`, reporting
+/// each node set once (the canonical rotation starting at the smallest
+/// index).
+fn dfs_cycles(start: usize, adj: &[Vec<usize>], path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    let current = *path.last().expect("path never empty");
+    for &next in &adj[current] {
+        if next == start {
+            let min = path.iter().copied().min().expect("non-empty");
+            if path[0] == min && !out.contains(path) {
+                out.push(path.clone());
+            }
+        } else if !path.contains(&next) {
+            path.push(next);
+            dfs_cycles(start, adj, path, out);
+            path.pop();
+        }
+    }
+}

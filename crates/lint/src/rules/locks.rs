@@ -1,0 +1,411 @@
+//! Shared guard-scope analysis for the two concurrency rules.
+//!
+//! Walks every serving hot-path file, finds each `Mutex` guard's live
+//! range — from the `.lock()` call to the end of the binding's block (or
+//! an early `drop(guard)`), to the end of the statement for guards that
+//! never escape into a binding, or the span of an `if let`/`while let`
+//! body — and scans the range for two hazard classes:
+//!
+//! * **blocking calls** while the guard is live (directly via a
+//!   [`crate::symbols::BLOCKING_PRIMITIVES`] method, or transitively via
+//!   a uniquely-named workspace fn the symbol table knows to block);
+//! * **nested lock acquisitions**, which become edges of the
+//!   lock-ordering graph consumed by the `lock-order` rule.
+//!
+//! `with_engine_contained(…)` is special-cased: the engine mutex is
+//! acquired inside that helper and held for the whole closure argument,
+//! so the call's argument span is treated as a live `engine`-lock scope —
+//! without this the engine lock would be invisible to both rules.
+
+use crate::analysis::SourceFile;
+use crate::lexer::TokenKind;
+use crate::parser::{statement_end, FileAst};
+use crate::rules::{panic_free, Finding};
+use crate::symbols::{is_blocking_primitive, lock_receiver, SymbolTable};
+use crate::Workspace;
+
+/// The helper whose argument span implies a live `engine` lock.
+pub const ENGINE_WRAPPER: &str = "with_engine_contained";
+
+/// One "lock B acquired while lock A is held" observation.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub from: String,
+    /// The lock being acquired.
+    pub to: String,
+    /// File of the acquisition site.
+    pub file: String,
+    /// 1-based line of the acquisition site.
+    pub line: u32,
+    /// Call chain from the scope to the acquisition (empty for a direct
+    /// `.lock()` in the scope).
+    pub via: Vec<String>,
+}
+
+/// Everything the scan produced.
+pub struct LockScan {
+    /// Guard-held-across-blocking-call findings (rule
+    /// `lock-across-blocking`).
+    pub blocking: Vec<Finding>,
+    /// Acquisition-order edges (consumed by rule `lock-order`).
+    pub edges: Vec<LockEdge>,
+}
+
+/// How a guard scope came to be, for messages.
+enum ScopeOrigin {
+    /// `let g = x.lock()…;` — guard named `g` over lock `x`.
+    Binding(Option<String>),
+    /// The guard is a temporary inside one statement.
+    Temporary,
+    /// The argument span of [`ENGINE_WRAPPER`].
+    Wrapper,
+}
+
+/// One live-guard region to scan: significant positions `(start, end)`
+/// exclusive of both endpoints' own tokens.
+struct GuardScope {
+    lock: String,
+    origin: ScopeOrigin,
+    start: usize,
+    end: usize,
+}
+
+/// Runs the scan over every hot-path file.
+pub fn scan(ws: &Workspace) -> LockScan {
+    let st = SymbolTable::build(ws);
+    let mut out = LockScan {
+        blocking: Vec::new(),
+        edges: Vec::new(),
+    };
+    for file in &ws.files {
+        if !panic_free::is_hot_path(&file.rel_path) {
+            continue;
+        }
+        scan_file(file, &st, &mut out);
+    }
+    // A finding per (file, line, message) is enough even when scopes
+    // overlap; edges dedupe per (from, to) keeping the first site.
+    out.blocking.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.message.as_str(),
+        ))
+    });
+    out.blocking
+        .dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    let mut seen: Vec<(String, String)> = Vec::new();
+    out.edges.retain(|e| {
+        let key = (e.from.clone(), e.to.clone());
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+    out
+}
+
+fn scan_file(file: &SourceFile, st: &SymbolTable, out: &mut LockScan) {
+    let sig: Vec<usize> = file.significant().collect();
+    let ast = FileAst::build(file);
+    let text_at = |p: usize| file.text_of(&file.tokens[sig[p]]);
+    let is_ident_at = |p: usize| file.tokens[sig[p]].kind == TokenKind::Ident;
+
+    let mut scopes: Vec<GuardScope> = Vec::new();
+    for p in 0..sig.len() {
+        if file.test_mask[sig[p]] || !is_ident_at(p) {
+            continue;
+        }
+        let next_is_paren = p + 1 < sig.len() && text_at(p + 1) == "(";
+        if !next_is_paren {
+            continue;
+        }
+        let name = text_at(p);
+        if name == "lock" && p > 0 && text_at(p - 1) == "." {
+            if let Some(scope) = guard_scope(file, &sig, &ast, p) {
+                scopes.push(scope);
+            }
+        } else if name == ENGINE_WRAPPER {
+            if let Some(close) = matching_paren(file, &sig, p + 1) {
+                scopes.push(GuardScope {
+                    lock: "engine".into(),
+                    origin: ScopeOrigin::Wrapper,
+                    start: p + 1,
+                    end: close,
+                });
+            }
+        }
+    }
+
+    for scope in &scopes {
+        scan_scope(file, &sig, st, scope, out);
+    }
+}
+
+/// Positions of the `)` matching the `(` at significant position `open`.
+fn matching_paren(file: &SourceFile, sig: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (p, &i) in sig.iter().enumerate().skip(open) {
+        match file.text_of(&file.tokens[i]) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Builds the guard scope for the `.lock()` whose `lock` ident sits at
+/// significant position `p`.
+fn guard_scope(file: &SourceFile, sig: &[usize], ast: &FileAst, p: usize) -> Option<GuardScope> {
+    let lock = lock_receiver(file, sig, p).unwrap_or_else(|| "<expr>".into());
+    let text_at = |q: usize| file.text_of(&file.tokens[sig[q]]);
+
+    // Walk back to the start of the statement, looking for `let`.
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    let mut braces = 0i32;
+    let mut let_pos: Option<usize> = None;
+    let mut q = p;
+    while q > 0 {
+        q -= 1;
+        match text_at(q) {
+            ")" => parens += 1,
+            "(" => {
+                parens -= 1;
+                if parens < 0 {
+                    break;
+                }
+            }
+            "]" => brackets += 1,
+            "[" => {
+                brackets -= 1;
+                if brackets < 0 {
+                    break;
+                }
+            }
+            "}" => braces += 1,
+            "{" => {
+                braces -= 1;
+                if braces < 0 {
+                    break;
+                }
+            }
+            ";" | "," if parens == 0 && brackets == 0 && braces == 0 => break,
+            ">" if q > 0 && text_at(q - 1) == "=" => break, // match arm `=>`
+            "let" if parens == 0 && brackets == 0 && braces == 0 => {
+                let_pos = Some(q);
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let Some(let_pos) = let_pos else {
+        // No binding: the guard is a temporary living to the end of the
+        // statement it appears in.
+        return Some(GuardScope {
+            lock,
+            origin: ScopeOrigin::Temporary,
+            start: p,
+            end: statement_end(file, sig, p),
+        });
+    };
+
+    // `if let` / `while let`: the guard lives for the condition's block.
+    let cond_form = let_pos > 0 && matches!(text_at(let_pos - 1), "if" | "while");
+    if cond_form {
+        // First `{` at paren depth 0 after the lock call opens the body.
+        let mut depth = 0i32;
+        let mut r = p;
+        while r < sig.len() {
+            match text_at(r) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                "{" if depth <= 0 => {
+                    let open_tok = sig[r];
+                    let close_tok = ast
+                        .blocks
+                        .iter()
+                        .find(|b| b.open == open_tok)
+                        .map(|b| b.close)?;
+                    let close_pos = sig.iter().position(|&i| i == close_tok)?;
+                    return Some(GuardScope {
+                        lock,
+                        origin: ScopeOrigin::Binding(binding_name(file, sig, let_pos)),
+                        start: r,
+                        end: close_pos,
+                    });
+                }
+                _ => {}
+            }
+            r += 1;
+        }
+        return None;
+    }
+
+    // Does the guard escape into the binding? Yes when bound through a
+    // `match` (the poison-recovery idiom) or when the post-`.lock()`
+    // chain consists only of guard-preserving adapters.
+    let through_match = (let_pos..p).any(|r| text_at(r) == "match");
+    let escaping = through_match || chain_preserves_guard(file, sig, p);
+
+    if escaping {
+        let stmt = statement_end(file, sig, let_pos);
+        let block = ast.innermost_block(sig[let_pos])?;
+        let close_tok = ast.blocks[block].close;
+        let close_pos = sig.iter().position(|&i| i == close_tok)?;
+        Some(GuardScope {
+            lock,
+            origin: ScopeOrigin::Binding(binding_name(file, sig, let_pos)),
+            start: stmt,
+            end: close_pos,
+        })
+    } else {
+        Some(GuardScope {
+            lock,
+            origin: ScopeOrigin::Temporary,
+            start: p,
+            end: statement_end(file, sig, p),
+        })
+    }
+}
+
+/// The name bound by the `let` at significant position `let_pos`, when
+/// the pattern is an identifier or a one-armed constructor like `Ok(g)`.
+fn binding_name(file: &SourceFile, sig: &[usize], let_pos: usize) -> Option<String> {
+    let mut q = let_pos + 1;
+    let text_at = |q: usize| -> Option<&str> { Some(file.text_of(&file.tokens[*sig.get(q)?])) };
+    if text_at(q) == Some("mut") {
+        q += 1;
+    }
+    let first = sig.get(q).copied()?;
+    if file.tokens[first].kind != TokenKind::Ident {
+        return None;
+    }
+    if text_at(q + 1) == Some("(") {
+        let inner = sig.get(q + 2).copied()?;
+        if file.tokens[inner].kind == TokenKind::Ident {
+            return Some(file.text_of(&file.tokens[inner]).to_string());
+        }
+        return None;
+    }
+    Some(file.text_of(&file.tokens[first]).to_string())
+}
+
+/// True when every method chained after `.lock()` is a guard-preserving
+/// adapter (`unwrap`, `expect`, `unwrap_or_else`), so the binding holds
+/// the guard itself.
+fn chain_preserves_guard(file: &SourceFile, sig: &[usize], lock_pos: usize) -> bool {
+    let text_at = |q: usize| file.text_of(&file.tokens[sig[q]]);
+    // Skip the `( )` of `.lock()`.
+    let Some(mut q) = matching_paren(file, sig, lock_pos + 1) else {
+        return false;
+    };
+    q += 1;
+    while q + 1 < sig.len() && text_at(q) == "." {
+        let m = q + 1;
+        if !matches!(text_at(m), "unwrap" | "expect" | "unwrap_or_else") {
+            return false;
+        }
+        let Some(close) = matching_paren(file, sig, m + 1) else {
+            return false;
+        };
+        q = close + 1;
+    }
+    true
+}
+
+/// Scans one guard scope for blocking calls and nested acquisitions.
+fn scan_scope(
+    file: &SourceFile,
+    sig: &[usize],
+    st: &SymbolTable,
+    scope: &GuardScope,
+    out: &mut LockScan,
+) {
+    let text_at = |p: usize| file.text_of(&file.tokens[sig[p]]);
+    let held = match &scope.origin {
+        ScopeOrigin::Binding(Some(name)) => {
+            format!("guard `{name}` of lock `{}`", scope.lock)
+        }
+        ScopeOrigin::Binding(None) => format!("a guard of lock `{}`", scope.lock),
+        ScopeOrigin::Temporary => format!("a temporary guard of lock `{}`", scope.lock),
+        ScopeOrigin::Wrapper => format!("the `{}` lock (via {ENGINE_WRAPPER})", scope.lock),
+    };
+    let mut p = scope.start + 1;
+    while p < scope.end {
+        let i = sig[p];
+        if file.test_mask[i] || file.tokens[i].kind != TokenKind::Ident {
+            p += 1;
+            continue;
+        }
+        let name = text_at(p);
+        let line = file.tokens[i].line;
+        // `drop(guard)` ends the scope early.
+        if name == "drop" && p + 2 < sig.len() && text_at(p + 1) == "(" {
+            if let ScopeOrigin::Binding(Some(bound)) = &scope.origin {
+                if text_at(p + 2) == bound.as_str() {
+                    break;
+                }
+            }
+        }
+        let calls = p + 1 < sig.len() && text_at(p + 1) == "(";
+        if !calls {
+            p += 1;
+            continue;
+        }
+        let prev_is_dot = p > 0 && text_at(p - 1) == ".";
+        if name == "lock" && prev_is_dot {
+            if let Some(to) = lock_receiver(file, sig, p) {
+                out.edges.push(LockEdge {
+                    from: scope.lock.clone(),
+                    to,
+                    file: file.rel_path.clone(),
+                    line,
+                    via: Vec::new(),
+                });
+            }
+        } else if is_blocking_primitive(name) && (prev_is_dot || name == "sleep") {
+            out.blocking.push(Finding {
+                rule: super::lock_blocking::RULE,
+                file: file.rel_path.clone(),
+                line,
+                message: format!("{held} is held across blocking `.{name}()`"),
+            });
+        } else {
+            // A method or bare call: consult the symbol table.
+            if let Some(chain) = st.blocking_chain(name) {
+                out.blocking.push(Finding {
+                    rule: super::lock_blocking::RULE,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "{held} is held across `{name}()`, which blocks via {}",
+                        chain.join(" → ")
+                    ),
+                });
+            }
+            for acq in st.acquired_locks(name) {
+                let mut via = vec![name.to_string()];
+                via.extend(acq.via.iter().cloned());
+                out.edges.push(LockEdge {
+                    from: scope.lock.clone(),
+                    to: acq.lock.clone(),
+                    file: file.rel_path.clone(),
+                    line,
+                    via,
+                });
+            }
+        }
+        p += 1;
+    }
+}

@@ -1,0 +1,294 @@
+//! Rule `oplog-format`: the op-log entry wire format is declared once
+//! (by the writer, `LogEntry::to_line`) and every consumer agrees.
+//!
+//! Source of truth extracted from `oplog.rs`:
+//!
+//! * the field set the writer emits (`v`, `seq`, `op`, `rows`, `attr`,
+//!   `value` — read out of the string literals in `to_line`);
+//! * the op names (`insert`/`delete`/`grow`);
+//! * `OPLOG_VERSION`.
+//!
+//! Checks, in the established error-codes/protocol-ops pattern:
+//!
+//! 1. the reader (`from_json`) `get`s exactly the writer's fields and
+//!    matches every writer op name — a one-sided rename rots on disk;
+//! 2. `from_json` keeps the `version > OPLOG_VERSION` refusal gate;
+//! 3. the README entry-field table (`| Entry field | Meaning |`) lists
+//!    exactly the writer's fields, states the version as
+//!    `entry-format version (currently N)`, documents the torn-tail
+//!    policy, and every fenced `{"v":…}` example line uses the real flat
+//!    `"op":"<name>"` encoding with the current version;
+//! 4. at least one test asserts a literal entry line (the `v`/`seq` key
+//!    text) and at least one test exercises the torn-tail policy.
+
+use crate::lexer::TokenKind;
+use crate::rules::error_codes::readme_table_entries;
+use crate::rules::{embedded_keys, embedded_op_names, extract_const, Finding};
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "oplog-format";
+
+/// Where the format lives.
+pub const OPLOG_FILE: &str = "crates/service/src/oplog.rs";
+/// README table header for the entry fields.
+pub const README_HEADER: &str = "| Entry field | Meaning |";
+
+/// Extracts the writer's `(fields, op names)` from the string literals
+/// in `to_line`. `None` when `oplog.rs` or the fn is missing. Shared
+/// with the `fix` mode's table regeneration.
+pub fn writer_facts(ws: &Workspace) -> Option<(Vec<String>, Vec<String>)> {
+    let file = ws.file(OPLOG_FILE)?;
+    let mut fields: Vec<String> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    for span in crate::fn_body_spans(file, "to_line") {
+        for i in file.significant() {
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Str || tok.start < span.0 || tok.end > span.1 {
+                continue;
+            }
+            for key in embedded_keys(file.text_of(tok)) {
+                if !fields.contains(&key) {
+                    fields.push(key);
+                }
+            }
+            for op in embedded_op_names(file.text_of(tok)) {
+                if !ops.contains(&op) {
+                    ops.push(op);
+                }
+            }
+        }
+    }
+    if fields.is_empty() || ops.is_empty() {
+        return None;
+    }
+    Some((fields, ops))
+}
+
+/// Runs the rule over the workspace. Quiet when `oplog.rs` is absent —
+/// fixture workspaces without the op log have no format to drift.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let Some(file) = ws.file(OPLOG_FILE) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+
+    let Some(version) = extract_const(file, "OPLOG_VERSION") else {
+        return vec![Finding {
+            rule: RULE,
+            file: OPLOG_FILE.into(),
+            line: 0,
+            message: "OPLOG_VERSION constant not found in oplog.rs".into(),
+        }];
+    };
+
+    let Some((writer_fields, writer_ops)) = writer_facts(ws) else {
+        return vec![Finding {
+            rule: RULE,
+            file: OPLOG_FILE.into(),
+            line: 0,
+            message: "could not extract the entry field set from `to_line` in oplog.rs".into(),
+        }];
+    };
+
+    // Reader facts: `get("…")` keys and matched op strings in `from_json`.
+    let mut reader_fields: Vec<String> = Vec::new();
+    let mut reader_strings: Vec<String> = Vec::new();
+    let mut has_version_gate = false;
+    let sig: Vec<usize> = file.significant().collect();
+    for span in crate::fn_body_spans(file, "from_json") {
+        for (p, &i) in sig.iter().enumerate() {
+            let tok = &file.tokens[i];
+            if tok.start < span.0 || tok.end > span.1 {
+                continue;
+            }
+            if file.is_ident(i, "get")
+                && p + 2 < sig.len()
+                && file.text_of(&file.tokens[sig[p + 1]]) == "("
+                && file.tokens[sig[p + 2]].kind == TokenKind::Str
+            {
+                let key = file
+                    .text_of(&file.tokens[sig[p + 2]])
+                    .trim_matches('"')
+                    .to_string();
+                if !reader_fields.contains(&key) {
+                    reader_fields.push(key);
+                }
+            }
+            if tok.kind == TokenKind::Str {
+                reader_strings.push(file.text_of(tok).trim_matches('"').to_string());
+            }
+            if file.is_ident(i, "OPLOG_VERSION")
+                && p > 0
+                && file.text_of(&file.tokens[sig[p - 1]]) == ">"
+            {
+                has_version_gate = true;
+            }
+        }
+    }
+
+    // 1. Writer/reader field symmetry.
+    for f in &writer_fields {
+        if !reader_fields.contains(f) {
+            findings.push(Finding {
+                rule: RULE,
+                file: OPLOG_FILE.into(),
+                line: 0,
+                message: format!("writer emits entry field `{f}` but `from_json` never reads it"),
+            });
+        }
+    }
+    for f in &reader_fields {
+        if !writer_fields.contains(f) {
+            findings.push(Finding {
+                rule: RULE,
+                file: OPLOG_FILE.into(),
+                line: 0,
+                message: format!("`from_json` reads entry field `{f}` the writer never emits"),
+            });
+        }
+    }
+    for op in &writer_ops {
+        if !reader_strings.iter().any(|s| s == op) {
+            findings.push(Finding {
+                rule: RULE,
+                file: OPLOG_FILE.into(),
+                line: 0,
+                message: format!("writer emits op `{op}` but `from_json` has no match arm for it"),
+            });
+        }
+    }
+
+    // 2. Version gate.
+    if !has_version_gate {
+        findings.push(Finding {
+            rule: RULE,
+            file: OPLOG_FILE.into(),
+            line: 0,
+            message: "`from_json` lost the `version > OPLOG_VERSION` refusal gate".into(),
+        });
+    }
+
+    // 3. README: field table, version marker, torn-tail policy, examples.
+    let rows = readme_table_entries(&ws.readme, README_HEADER);
+    if rows.is_empty() {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("no op-log entry field table under `{README_HEADER}` in README"),
+        });
+    } else {
+        for f in &writer_fields {
+            if !rows.iter().any(|(k, _)| k == f) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: "README.md".into(),
+                    line: 0,
+                    message: format!(
+                        "entry field `{f}` has no row in the README entry-field table"
+                    ),
+                });
+            }
+        }
+        for (k, line) in &rows {
+            if !writer_fields.contains(k) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: "README.md".into(),
+                    line: *line,
+                    message: format!(
+                        "README entry-field table lists `{k}`, which the writer does not emit"
+                    ),
+                });
+            }
+        }
+    }
+    let marker = format!("entry-format version (currently {version})");
+    if !ws.readme.contains(&marker) {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("README does not state the op-log `{marker}`"),
+        });
+    }
+    if !ws.readme.contains("torn") {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: "README does not document the torn-tail recovery policy".into(),
+        });
+    }
+    for (idx, line) in ws.readme.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("{\"v\"") {
+            continue;
+        }
+        let lineno = idx as u32 + 1;
+        if !writer_ops
+            .iter()
+            .any(|op| trimmed.contains(&format!("\"op\":\"{op}\"")))
+        {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: lineno,
+                message:
+                    "README op-log example does not use the writer's flat `\"op\":\"<name>\"` \
+                          encoding"
+                        .into(),
+            });
+        }
+        if !trimmed.starts_with(&format!("{{\"v\":{version},")) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: lineno,
+                message: format!("README op-log example does not carry `\"v\":{version}`"),
+            });
+        }
+    }
+
+    // 4. Test anchors: a literal entry line and a torn-tail test.
+    let mut literal_asserted = false;
+    let mut torn_tested = false;
+    for f in &ws.files {
+        for i in f.significant() {
+            if !f.test_mask[i] {
+                continue;
+            }
+            let tok = &f.tokens[i];
+            match tok.kind {
+                TokenKind::Str => {
+                    let cleaned = f.text_of(tok).replace("\\\"", "\"");
+                    if cleaned.contains("\"v\":") && cleaned.contains("\"seq\":") {
+                        literal_asserted = true;
+                    }
+                }
+                TokenKind::Ident if f.text_of(tok).contains("torn") => {
+                    torn_tested = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !literal_asserted {
+        findings.push(Finding {
+            rule: RULE,
+            file: OPLOG_FILE.into(),
+            line: 0,
+            message: "no test asserts a literal entry line (`\"v\":…,\"seq\":…`)".into(),
+        });
+    }
+    if !torn_tested {
+        findings.push(Finding {
+            rule: RULE,
+            file: OPLOG_FILE.into(),
+            line: 0,
+            message: "no test exercises the torn-tail recovery policy".into(),
+        });
+    }
+    findings
+}

@@ -1,0 +1,376 @@
+//! Rule `replicate-protocol`: the leader's `replicate` answer, the
+//! follower's reader, the README, and the tests must all agree.
+//!
+//! Source of truth is the `Request::Replicate { … } =>` dispatch arm in
+//! `server.rs` (the response fields come out of its string literals) plus
+//! `REPLICATE_BATCH_LIMIT` in `oplog.rs`. Checks:
+//!
+//! 1. the arm references `REPLICATE_BATCH_LIMIT` (no re-hardcoded cap),
+//!    clamps the cursor (`from_seq.max(1)` — `from:0` means "from the
+//!    beginning"), and answers a truncated-history cursor with
+//!    `BadRequest`;
+//! 2. every field the follower (`fetch_tcp` in `replica.rs`) reads —
+//!    beyond the `ok`/`error`/`id`/`code` envelope — is one the arm
+//!    emits, and the follower still sends `{"op":"replicate","from":…}`;
+//! 3. the README replicate row documents the batch cap (`≤N`) and the
+//!    cursor origin (`0 = beginning`), and the
+//!    `| Replicate field | Meaning |` table lists exactly the arm's
+//!    response fields;
+//! 4. at least one test sends or asserts a `"op":"replicate"` exchange,
+//!    and the batch-cap paging is test-exercised (`entries_from`).
+
+use crate::lexer::TokenKind;
+use crate::rules::error_codes::readme_table_entries;
+use crate::rules::{embedded_keys, extract_const, Finding};
+use crate::Workspace;
+
+/// This rule's name.
+pub const RULE: &str = "replicate-protocol";
+
+/// Where the serving arm lives.
+pub const SERVER_FILE: &str = "crates/service/src/server.rs";
+/// Where the follower lives.
+pub const REPLICA_FILE: &str = "crates/service/src/replica.rs";
+/// README table header for the response fields.
+pub const README_HEADER: &str = "| Replicate field | Meaning |";
+/// Envelope fields shared by every response, not owned by this arm.
+const ENVELOPE: [&str; 4] = ["ok", "error", "id", "code"];
+
+/// Extracts the response field set from the `Request::Replicate` arm's
+/// string literals. `None` when `server.rs`, the arm, or the fields are
+/// missing. Shared with the `fix` mode's table regeneration.
+pub fn arm_fields(ws: &Workspace) -> Option<Vec<String>> {
+    let server = ws.file(SERVER_FILE)?;
+    let (arm_start, arm_end) = replicate_arm_span(server)?;
+    let mut fields: Vec<String> = Vec::new();
+    for i in server.significant() {
+        let tok = &server.tokens[i];
+        if tok.kind != TokenKind::Str || tok.start < arm_start || tok.end > arm_end {
+            continue;
+        }
+        for key in embedded_keys(server.text_of(tok)) {
+            if !fields.contains(&key) {
+                fields.push(key);
+            }
+        }
+    }
+    if fields.is_empty() {
+        return None;
+    }
+    Some(fields)
+}
+
+/// Runs the rule over the workspace. Quiet when `server.rs` is absent —
+/// fixture workspaces without the server have no protocol to drift.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(server) = ws.file(SERVER_FILE) else {
+        return Vec::new();
+    };
+    let limit = ws
+        .file(crate::rules::oplog_format::OPLOG_FILE)
+        .and_then(|f| extract_const(f, "REPLICATE_BATCH_LIMIT"));
+    let Some(limit) = limit else {
+        return vec![Finding {
+            rule: RULE,
+            file: crate::rules::oplog_format::OPLOG_FILE.into(),
+            line: 0,
+            message: "REPLICATE_BATCH_LIMIT constant not found in oplog.rs".into(),
+        }];
+    };
+
+    // Locate the `Request::Replicate { … } => { … }` arm.
+    let Some((arm_start, arm_end)) = replicate_arm_span(server) else {
+        return vec![Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message: "no `Request::Replicate { … } => { … }` dispatch arm found in server.rs"
+                .into(),
+        }];
+    };
+
+    // Arm facts.
+    let mut has_limit = false;
+    let mut has_clamp = false;
+    let mut has_bad_request = false;
+    let sig: Vec<usize> = server.significant().collect();
+    for (p, &i) in sig.iter().enumerate() {
+        let tok = &server.tokens[i];
+        if tok.start < arm_start || tok.end > arm_end {
+            continue;
+        }
+        if server.is_ident(i, "REPLICATE_BATCH_LIMIT") {
+            has_limit = true;
+        }
+        if server.is_ident(i, "BadRequest") {
+            has_bad_request = true;
+        }
+        if server.is_ident(i, "max")
+            && p + 2 < sig.len()
+            && server.text_of(&server.tokens[sig[p + 1]]) == "("
+            && server.tokens[sig[p + 2]].integer_value(&server.text) == Some(1)
+        {
+            has_clamp = true;
+        }
+    }
+    let Some(arm_fields) = arm_fields(ws) else {
+        return vec![Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message: "could not extract response fields from the Replicate arm".into(),
+        }];
+    };
+    if !has_limit {
+        findings.push(Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message:
+                "the Replicate arm does not reference REPLICATE_BATCH_LIMIT (cap re-hardcoded \
+                      or dropped)"
+                    .into(),
+        });
+    }
+    if !has_clamp {
+        findings.push(Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message: "the Replicate arm lost the `from_seq.max(1)` cursor clamp (`from:0` must \
+                      mean the beginning)"
+                .into(),
+        });
+    }
+    if !has_bad_request {
+        findings.push(Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message: "the Replicate arm no longer answers a stale cursor with `BadRequest`".into(),
+        });
+    }
+
+    // Follower agreement.
+    if let Some(replica) = ws.file(REPLICA_FILE) {
+        let mut sends_request = false;
+        let mut reads: Vec<String> = Vec::new();
+        let rsig: Vec<usize> = replica.significant().collect();
+        for (p, &i) in rsig.iter().enumerate() {
+            if replica.test_mask[i] {
+                continue;
+            }
+            let tok = &replica.tokens[i];
+            if tok.kind == TokenKind::Str {
+                let cleaned = replica.text_of(tok).replace("\\\"", "\"");
+                if cleaned.contains("\"op\":\"replicate\"") && cleaned.contains("\"from\":") {
+                    sends_request = true;
+                }
+            }
+            if replica.is_ident(i, "get")
+                && p + 2 < rsig.len()
+                && replica.text_of(&replica.tokens[rsig[p + 1]]) == "("
+                && replica.tokens[rsig[p + 2]].kind == TokenKind::Str
+            {
+                let key = replica
+                    .text_of(&replica.tokens[rsig[p + 2]])
+                    .trim_matches('"')
+                    .to_string();
+                if !reads.contains(&key) {
+                    reads.push(key);
+                }
+            }
+        }
+        if !sends_request {
+            findings.push(Finding {
+                rule: RULE,
+                file: REPLICA_FILE.into(),
+                line: 0,
+                message: "the follower no longer sends `{\"op\":\"replicate\",\"from\":…}`".into(),
+            });
+        }
+        for key in &reads {
+            if !ENVELOPE.contains(&key.as_str()) && !arm_fields.contains(key) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: REPLICA_FILE.into(),
+                    line: 0,
+                    message: format!(
+                        "the follower reads response field `{key}` the leader never sends"
+                    ),
+                });
+            }
+        }
+    } else {
+        findings.push(Finding {
+            rule: RULE,
+            file: REPLICA_FILE.into(),
+            line: 0,
+            message: "replica.rs not found".into(),
+        });
+    }
+
+    // README agreement.
+    let ops_rows = readme_table_entries(&ws.readme, crate::rules::protocol_ops::README_HEADER);
+    if let Some((_, line)) = ops_rows.iter().find(|(op, _)| op == "replicate") {
+        let row = ws.readme.lines().nth(*line as usize - 1).unwrap_or("");
+        if !row.contains(&format!("≤{limit}")) {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: *line,
+                message: format!(
+                    "README replicate row does not state the batch cap `≤{limit}` \
+                     (REPLICATE_BATCH_LIMIT)"
+                ),
+            });
+        }
+        if !row.contains("0 = beginning") {
+            findings.push(Finding {
+                rule: RULE,
+                file: "README.md".into(),
+                line: *line,
+                message: "README replicate row does not document the cursor origin \
+                          (`0 = beginning`)"
+                    .into(),
+            });
+        }
+    }
+    let rows = readme_table_entries(&ws.readme, README_HEADER);
+    if rows.is_empty() {
+        findings.push(Finding {
+            rule: RULE,
+            file: "README.md".into(),
+            line: 0,
+            message: format!("no replicate response field table under `{README_HEADER}` in README"),
+        });
+    } else {
+        for f in &arm_fields {
+            if !rows.iter().any(|(k, _)| k == f) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: "README.md".into(),
+                    line: 0,
+                    message: format!(
+                        "replicate response field `{f}` has no row in the README replicate table"
+                    ),
+                });
+            }
+        }
+        for (k, line) in &rows {
+            if !arm_fields.contains(k) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: "README.md".into(),
+                    line: *line,
+                    message: format!(
+                        "README replicate table lists `{k}`, which the arm does not send"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Test anchors.
+    let mut exchange_tested = false;
+    let mut paging_tested = false;
+    for f in &ws.files {
+        for i in f.significant() {
+            if !f.test_mask[i] {
+                continue;
+            }
+            let tok = &f.tokens[i];
+            match tok.kind {
+                TokenKind::Str => {
+                    let cleaned = f.text_of(tok).replace("\\\"", "\"");
+                    if cleaned.contains("\"op\":\"replicate\"") {
+                        exchange_tested = true;
+                    }
+                }
+                TokenKind::Ident
+                    if f.text_of(tok) == "entries_from"
+                        || f.text_of(tok) == "REPLICATE_BATCH_LIMIT" =>
+                {
+                    paging_tested = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !exchange_tested {
+        findings.push(Finding {
+            rule: RULE,
+            file: SERVER_FILE.into(),
+            line: 0,
+            message: "no test sends or asserts a `\"op\":\"replicate\"` exchange".into(),
+        });
+    }
+    if !paging_tested {
+        findings.push(Finding {
+            rule: RULE,
+            file: crate::rules::oplog_format::OPLOG_FILE.into(),
+            line: 0,
+            message: "no test exercises batch-cap paging (`entries_from`)".into(),
+        });
+    }
+    findings
+}
+
+/// Byte span of the `Request::Replicate { … } => { … }` arm body in
+/// production code: from the body's `{` to its `}`.
+fn replicate_arm_span(file: &crate::analysis::SourceFile) -> Option<(usize, usize)> {
+    let sig: Vec<usize> = file.significant().collect();
+    let text_at = |p: usize| file.text_of(&file.tokens[sig[p]]);
+    for p in 0..sig.len() {
+        if file.test_mask[sig[p]]
+            || !file.is_ident(sig[p], "Request")
+            || p + 3 >= sig.len()
+            || text_at(p + 1) != ":"
+            || text_at(p + 2) != ":"
+            || !file.is_ident(sig[p + 3], "Replicate")
+        {
+            continue;
+        }
+        // Pattern braces `{ from_seq }`, then `=>`, then the body block.
+        let mut q = p + 4;
+        if q < sig.len() && text_at(q) == "{" {
+            let mut depth = 0usize;
+            while q < sig.len() {
+                match text_at(q) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            q += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                q += 1;
+            }
+        }
+        if q + 2 >= sig.len() || text_at(q) != "=" || text_at(q + 1) != ">" {
+            continue; // a construction site, not a match arm
+        }
+        let body_open = q + 2;
+        if text_at(body_open) != "{" {
+            continue;
+        }
+        let mut depth = 0usize;
+        for r in body_open..sig.len() {
+            match text_at(r) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((file.tokens[sig[body_open]].start, file.tokens[sig[r]].end));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

@@ -23,44 +23,6 @@ pub const RULE: &str = "snapshot-version";
 /// Where the format lives.
 pub const SNAPSHOT_FILE: &str = "crates/service/src/snapshot.rs";
 
-/// Finds `const <name> … = <integer>` in the file.
-fn extract_const(ws: &Workspace, name: &str) -> Option<u64> {
-    let file = ws.file(SNAPSHOT_FILE)?;
-    let sig: Vec<usize> = file.significant().collect();
-    for (p, &i) in sig.iter().enumerate() {
-        if !file.is_ident(i, name) {
-            continue;
-        }
-        // Accept `NAME = <num>` or `NAME : <type> = <num>`.
-        let mut q = p + 1;
-        if sig
-            .get(q)
-            .is_some_and(|&j| file.text_of(&file.tokens[j]) == ":")
-        {
-            q += 1; // `:`
-            while sig
-                .get(q)
-                .is_some_and(|&j| file.tokens[j].kind == TokenKind::Ident)
-            {
-                q += 1; // type path segment(s) — a plain `u64` in practice
-            }
-        }
-        if sig
-            .get(q)
-            .is_none_or(|&j| file.text_of(&file.tokens[j]) != "=")
-        {
-            continue;
-        }
-        q += 1;
-        if let Some(&j) = sig.get(q) {
-            if let Some(v) = file.tokens[j].integer_value(&file.text) {
-                return Some(v);
-            }
-        }
-    }
-    None
-}
-
 /// Runs the rule over the workspace.
 pub fn run(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -72,8 +34,8 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
             message: "snapshot.rs not found".into(),
         }];
     };
-    let current = extract_const(ws, "SNAPSHOT_VERSION");
-    let min = extract_const(ws, "SNAPSHOT_MIN_VERSION");
+    let current = crate::rules::extract_const(file, "SNAPSHOT_VERSION");
+    let min = crate::rules::extract_const(file, "SNAPSHOT_MIN_VERSION");
     let (Some(current), Some(min)) = (current, min) else {
         return vec![Finding {
             rule: RULE,

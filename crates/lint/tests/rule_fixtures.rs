@@ -460,3 +460,607 @@ fn cli_exits_zero_on_clean_and_one_on_violations() {
         .expect("run mithra-lint");
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+// ---- multi-pass fixtures: concurrency rules ----
+
+/// A hot-path file where a mutex guard is live across an fsync: the
+/// canonical `lock-across-blocking` violation.
+const LOCK_ACROSS_FSYNC: &str = r#"
+use std::sync::Mutex;
+pub struct Shared { state: Mutex<u8> }
+pub fn tick(shared: &Shared, file: &mut std::fs::File) {
+    let guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = file.sync_all();
+    let _ = *guard;
+}
+"#;
+
+#[test]
+fn lock_blocking_fires_on_guard_across_fsync() {
+    let fixture = conforming().file("crates/service/src/event.rs", LOCK_ACROSS_FSYNC);
+    let report = fixture.check();
+    let findings = rule_findings(&report, "lock-across-blocking");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(findings[0].line, 6);
+    assert!(findings[0]
+        .message
+        .contains("guard `guard` of lock `state`"));
+    assert!(findings[0].message.contains("`.sync_all()`"));
+}
+
+#[test]
+fn lock_blocking_fires_transitively_via_the_symbol_table() {
+    // The blocking call is one hop away: the guard scope calls a
+    // workspace fn whose body fsyncs.
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Shared { state: Mutex<u8> }
+fn persist(file: &mut std::fs::File) {
+    let _ = file.sync_all();
+}
+pub fn tick(shared: &Shared, file: &mut std::fs::File) {
+    let guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    persist(file);
+    let _ = *guard;
+}
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "lock-across-blocking");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("`persist()`"));
+    assert!(findings[0].message.contains("blocks via"));
+}
+
+#[test]
+fn lock_blocking_fires_inside_the_engine_wrapper() {
+    // `with_engine_contained(…)`'s argument span is an implicit live
+    // `engine`-lock scope.
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+pub fn apply(file: &mut std::fs::File) -> u8 {
+    with_engine_contained(|engine| {
+        let _ = file.sync_all();
+        engine
+    })
+}
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "lock-across-blocking");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("with_engine_contained"));
+}
+
+#[test]
+fn lock_blocking_quiet_after_early_drop_and_in_cold_files() {
+    // `drop(guard)` ends the live range before the fsync.
+    let dropped = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Shared { state: Mutex<u8> }
+pub fn tick(shared: &Shared, file: &mut std::fs::File) -> u8 {
+    let guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let value = *guard;
+    drop(guard);
+    let _ = file.sync_all();
+    value
+}
+"#,
+    );
+    let report = dropped.check();
+    assert!(report.clean(), "{:?}", report.findings);
+
+    // The same guard-across-fsync shape in a non-hot-path file is fine.
+    let cold = conforming().file("crates/core/src/persist.rs", LOCK_ACROSS_FSYNC);
+    let report = cold.check();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn lock_blocking_allow_suppresses_and_is_counted() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Shared { state: Mutex<u8> }
+pub fn tick(shared: &Shared, file: &mut std::fs::File) {
+    let guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    // LINT-ALLOW(lock-across-blocking): fixture-justified
+    let _ = file.sync_all();
+    let _ = *guard;
+}
+"#,
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+    let summary = report
+        .rules
+        .iter()
+        .find(|r| r.rule == "lock-across-blocking")
+        .expect("summary row");
+    assert_eq!(summary.allows, 1);
+}
+
+#[test]
+fn lock_order_fires_on_cycle_and_self_edge() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Shared { alpha: Mutex<u8>, beta: Mutex<u8> }
+pub fn forward(shared: &Shared) {
+    let a = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = shared.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*a, *b);
+}
+pub fn backward(shared: &Shared) {
+    let b = shared.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let a = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*a, *b);
+}
+pub fn reenter(shared: &Shared) {
+    let a = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let again = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*a, *again);
+}
+"#,
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "lock-order");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("self-deadlock") && f.message.contains("`alpha`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("cycle") && f.message.contains("alpha → beta → alpha")));
+}
+
+#[test]
+fn lock_order_quiet_on_consistent_order() {
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Shared { alpha: Mutex<u8>, beta: Mutex<u8> }
+pub fn first(shared: &Shared) {
+    let a = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = shared.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*a, *b);
+}
+pub fn second(shared: &Shared) {
+    let a = shared.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = shared.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*a, *b);
+}
+"#,
+    );
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+// ---- multi-pass fixtures: wire-format drift rules ----
+
+/// A conforming op log: flat versioned writer, symmetric reader behind
+/// the version gate, literal-line / torn-tail / paging test anchors.
+const OPLOG_OK: &str = r#"
+pub const OPLOG_VERSION: u64 = 1;
+pub const REPLICATE_BATCH_LIMIT: u64 = 4;
+pub struct LogEntry { pub seq: u64 }
+impl LogEntry {
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"v\":{OPLOG_VERSION},\"seq\":{},\"op\":\"insert\",\"rows\":[]}}",
+            self.seq
+        )
+    }
+    pub fn from_json(json: &Json) -> Option<LogEntry> {
+        let version = json.get("v")?;
+        if version > OPLOG_VERSION {
+            return None;
+        }
+        let seq = json.get("seq")?;
+        let _rows = json.get("rows")?;
+        match json.get("op")? {
+            "insert" => Some(LogEntry { seq }),
+            _ => None,
+        }
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_entry_line() {
+        let line = "{\"v\":1,\"seq\":7,\"op\":\"insert\",\"rows\":[]}";
+        assert!(line.contains("\"seq\":7"));
+    }
+    #[test]
+    fn torn_tail_is_dropped() {
+        let torn = "{\"v\":1,\"se";
+        let _ = torn;
+    }
+    #[test]
+    fn paging_respects_the_cap() {
+        let _ = (entries_from, REPLICATE_BATCH_LIMIT);
+    }
+}
+"#;
+
+/// README additions documenting the fixture op log.
+const OPLOG_README_EXTRA: &str = "\
+Entries are one JSON object per line:
+
+    {\"v\":1,\"seq\":7,\"op\":\"insert\",\"rows\":[]}
+
+| Entry field | Meaning |
+| --- | --- |
+| `v` | entry-format version (currently 1) |
+| `seq` | sequence number |
+| `op` | mutation name |
+| `rows` | payload |
+
+A torn final line is dropped on replay.
+";
+
+fn conforming_oplog() -> Fixture {
+    conforming()
+        .file("crates/service/src/oplog.rs", OPLOG_OK)
+        .file("README.md", &format!("{README_OK}\n{OPLOG_README_EXTRA}"))
+}
+
+#[test]
+fn conforming_oplog_fixture_is_clean() {
+    let report = conforming_oplog().check();
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 4);
+}
+
+#[test]
+fn oplog_format_fires_on_reader_writer_drift() {
+    // The reader stops reading `rows` and loses the version gate.
+    let fixture = conforming_oplog().file(
+        "crates/service/src/oplog.rs",
+        &OPLOG_OK
+            .replace("let _rows = json.get(\"rows\")?;", "let _rows = 0;")
+            .replace("if version > OPLOG_VERSION {", "if version > 9000 {"),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "oplog-format");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`rows`") && f.message.contains("never reads")));
+    assert!(findings.iter().any(|f| f.message.contains("refusal gate")));
+}
+
+#[test]
+fn oplog_format_fires_on_stale_readme() {
+    // A stale table row, a wrong version marker, and no torn-tail note.
+    let fixture = conforming_oplog().file(
+        "README.md",
+        &format!(
+            "{README_OK}\n{}",
+            OPLOG_README_EXTRA
+                .replace(
+                    "| `rows` | payload |",
+                    "| `rows` | payload |\n| `crc` | checksum |"
+                )
+                .replace("(currently 1)", "(currently 2)")
+                .replace("A torn final line is dropped on replay.\n", "")
+        ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "oplog-format");
+    assert_eq!(findings.len(), 3, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`crc`") && f.line > 0));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("entry-format version (currently 1)")));
+    assert!(findings.iter().any(|f| f.message.contains("torn-tail")));
+}
+
+/// A conforming leader: the `Request::Replicate` arm references the
+/// batch-limit constant, clamps the cursor, and refuses stale history.
+const SERVER_OK: &str = r#"
+pub enum Request { Replicate { from_seq: u64 } }
+pub fn dispatch(req: Request, log: &OpLog) -> String {
+    match req {
+        Request::Replicate { from_seq } => {
+            let start = from_seq.max(1);
+            if start < log.first_seq() {
+                return error(BadRequest);
+            }
+            let (entries, next) = log.entries_from(start, REPLICATE_BATCH_LIMIT);
+            let _ = entries;
+            format!(
+                "{{\"op\":\"replicate\",\"from\":{start},\"last_seq\":9,\"count\":1,\"entries\":[],\"next\":{next}}}"
+            )
+        }
+    }
+}
+"#;
+
+/// A conforming follower: sends the replicate request, reads only fields
+/// the leader sends (plus the shared envelope).
+const REPLICA_OK: &str = r#"
+pub fn fetch_tcp(from: u64) -> String {
+    let request = format!("{{\"op\":\"replicate\",\"from\":{from}}}");
+    let ok = response.get("ok");
+    let entries = response.get("entries");
+    let next = response.get("next");
+    let last_seq = response.get("last_seq");
+    let _ = (ok, entries, next, last_seq);
+    request
+}
+"#;
+
+/// README additions documenting the fixture replicate protocol.
+const REPLICATE_README_EXTRA: &str = "\
+| Replicate field | Meaning |
+| --- | --- |
+| `op` | echoes `replicate` |
+| `from` | the cursor served |
+| `last_seq` | the log tail |
+| `count` | entries in this batch |
+| `entries` | the entry lines |
+| `next` | cursor for the next call |
+";
+
+fn replication_readme() -> String {
+    let ops = README_OK.replace(
+        "| `stats` | — | ok |",
+        "| `stats` | — | ok |\n| `replicate` | from (`0 = beginning`) | entries (≤4), next |",
+    );
+    format!("{ops}\n{OPLOG_README_EXTRA}\n{REPLICATE_README_EXTRA}")
+}
+
+fn conforming_replication() -> Fixture {
+    conforming_oplog()
+        .file(
+            "crates/service/src/protocol.rs",
+            &PROTOCOL_OK
+                .replace("\"stats\" => 2,", "\"stats\" => 2,\n        \"replicate\" => 3,")
+                .replace(
+                    "let _ = \"{\\\"op\\\":\\\"stats\\\"}\";",
+                    "let _ = \"{\\\"op\\\":\\\"stats\\\"}\";\n        let _ = \"{\\\"op\\\":\\\"replicate\\\"}\";",
+                ),
+        )
+        .file("crates/service/src/server.rs", SERVER_OK)
+        .file("crates/service/src/replica.rs", REPLICA_OK)
+        .file("README.md", &replication_readme())
+}
+
+#[test]
+fn conforming_replication_fixture_is_clean() {
+    let report = conforming_replication().check();
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 6);
+}
+
+#[test]
+fn replicate_protocol_fires_on_arm_regressions() {
+    // Re-hardcode the cap and drop the cursor clamp: two findings.
+    let fixture = conforming_replication().file(
+        "crates/service/src/server.rs",
+        &SERVER_OK
+            .replace("from_seq.max(1)", "from_seq")
+            .replace("REPLICATE_BATCH_LIMIT", "4"),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "replicate-protocol");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("REPLICATE_BATCH_LIMIT")));
+    assert!(findings.iter().any(|f| f.message.contains("cursor clamp")));
+}
+
+#[test]
+fn replicate_protocol_fires_on_follower_extra_read() {
+    let fixture = conforming_replication().file(
+        "crates/service/src/replica.rs",
+        &REPLICA_OK.replace(
+            "let last_seq = response.get(\"last_seq\");",
+            "let last_seq = response.get(\"last_seq\");\n    let bogus = response.get(\"checksum\");\n    let _ = bogus;",
+        ),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "replicate-protocol");
+    assert_eq!(findings.len(), 1, "{:?}", report.findings);
+    assert!(findings[0].message.contains("`checksum`"));
+    assert!(findings[0].message.contains("never sends"));
+}
+
+#[test]
+fn replicate_protocol_fires_on_stale_readme_table() {
+    let fixture = conforming_replication().file(
+        "README.md",
+        &replication_readme()
+            .replace("| `count` | entries in this batch |\n", "")
+            .replace("entries (≤4), next", "entries, next"),
+    );
+    let report = fixture.check();
+    let findings = rule_findings(&report, "replicate-protocol");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`count`") && f.message.contains("no row")));
+    assert!(findings.iter().any(|f| f.message.contains("batch cap")));
+}
+
+// ---- fix mode ----
+
+#[test]
+fn fix_normalizes_malformed_allow_and_is_idempotent() {
+    use std::process::Command;
+    let fixture = conforming().file(
+        "crates/service/src/event.rs",
+        r#"
+pub fn tick(input: Option<u8>) -> u8 {
+    // LINT-ALLOW panic-freedom: fixture-justified
+    input.expect("present")
+}
+"#,
+    );
+    // Before the fix: the marker is malformed (a finding) and does not
+    // suppress the `.expect()` (another finding).
+    let report = fixture.check();
+    assert!(!rule_findings(&report, "lint-allow").is_empty());
+    assert!(!rule_findings(&report, "panic-freedom").is_empty());
+
+    // Dry run: exit 1, names the rewrite, touches nothing.
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["fix", "--check", "--root"])
+        .arg(&fixture.root)
+        .output()
+        .expect("run mithra-lint fix --check");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("normalized to `LINT-ALLOW(panic-freedom): fixture-justified`"),
+        "{stdout}"
+    );
+    assert!(!fixture.check().clean(), "dry run must not rewrite");
+
+    // Apply: the canonical marker now suppresses, and the workspace is
+    // at the fixed point (a second fix plans nothing).
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["fix", "--root"])
+        .arg(&fixture.root)
+        .output()
+        .expect("run mithra-lint fix");
+    assert!(out.status.success(), "{out:?}");
+    let report = fixture.check();
+    assert!(report.clean(), "{:?}", report.findings);
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["fix", "--check", "--root"])
+        .arg(&fixture.root)
+        .output()
+        .expect("run mithra-lint fix --check again");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nothing to fix"));
+}
+
+#[test]
+fn fix_regenerates_readme_table_rows() {
+    let fixture = conforming().file(
+        "README.md",
+        &README_OK.replace("| `internal` | handler bug |\n", "| `retired` | gone |\n"),
+    );
+    assert!(!fixture.check().clean());
+
+    let ws = mithra_lint::Workspace::load(&fixture.root).expect("load fixture");
+    let fixes = mithra_lint::fix::plan(&ws);
+    assert_eq!(fixes.len(), 1, "one README rewrite expected");
+    assert!(fixes[0]
+        .notes
+        .iter()
+        .any(|n| n.contains("removed stale `retired` row")));
+    assert!(fixes[0]
+        .notes
+        .iter()
+        .any(|n| n.contains("added missing `internal` row")));
+    mithra_lint::fix::apply(&ws, &fixes).expect("apply fixes");
+
+    let readme = fs::read_to_string(fixture.root.join("README.md")).expect("read back");
+    assert!(!readme.contains("`retired`"));
+    assert!(readme.contains("| `internal` |"));
+
+    // Idempotent: re-planning on the rewritten tree is empty, and the
+    // error-codes rule is satisfied again.
+    let ws = mithra_lint::Workspace::load(&fixture.root).expect("reload fixture");
+    assert!(mithra_lint::fix::plan(&ws).is_empty());
+    let report = fixture.check();
+    assert!(
+        rule_findings(&report, "error-codes").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+// ---- CLI: --rule and --format ----
+
+#[test]
+fn cli_rule_filter_restricts_the_run() {
+    use std::process::Command;
+    let dirty = conforming().file(
+        "crates/service/src/event.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    // The violated rule still fails…
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--rule", "panic-freedom", "--root"])
+        .arg(&dirty.root)
+        .output()
+        .expect("run filtered check");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout
+        .lines()
+        .next()
+        .expect("a finding")
+        .contains("panic-freedom"));
+
+    // …while filtering to an unrelated rule exits clean on the same tree.
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--rule", "error-codes", "--root"])
+        .arg(&dirty.root)
+        .output()
+        .expect("run filtered check");
+    assert!(out.status.success(), "{out:?}");
+
+    // An unknown rule is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--rule", "no-such-rule", "--root"])
+        .arg(&dirty.root)
+        .output()
+        .expect("run filtered check");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+}
+
+#[test]
+fn cli_format_selects_the_stream() {
+    use std::process::Command;
+    let clean = conforming();
+    // ndjson: machine stream only, nothing on stderr.
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--format", "ndjson", "--root"])
+        .arg(&clean.root)
+        .output()
+        .expect("run ndjson check");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"summary\""));
+    assert!(out.stderr.is_empty(), "{out:?}");
+
+    // human: the table alone, on stdout, no JSON anywhere.
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--format", "human", "--root"])
+        .arg(&clean.root)
+        .output()
+        .expect("run human check");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mithra-lint: clean"), "{stdout}");
+    assert!(!stdout.contains("\"summary\""), "{stdout}");
+    assert!(out.stderr.is_empty(), "{out:?}");
+
+    // Exit-code semantics are unchanged by the format flag.
+    let dirty = conforming().file(
+        "crates/service/src/event.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_mithra-lint"))
+        .args(["check", "--format", "human", "--root"])
+        .arg(&dirty.root)
+        .output()
+        .expect("run human check on dirty tree");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}

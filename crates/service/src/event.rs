@@ -56,8 +56,9 @@ use crate::protocol::{
     error_response, parse_request, Envelope, ErrorCode, Request, RequestId, ServeError,
 };
 use crate::server::{
-    delete_response, dispatch, encode_row, insert_response, line_too_long_error, log_mutation,
-    op_class, sync_oplog_batch, with_engine_contained, ServeOptions, IDLE_TIMEOUT, MAX_LINE_BYTES,
+    append_failed_error, delete_response, dispatch, encode_row, insert_response,
+    line_too_long_error, op_class, sync_oplog_batch, with_engine_contained, ServeOptions,
+    IDLE_TIMEOUT, MAX_LINE_BYTES,
 };
 use crate::tenant::{resolve_tenant, DatasetCounters};
 
@@ -373,20 +374,63 @@ fn queue_frame(
     pending.push(item);
 }
 
+/// One op-log append deferred out of the engine-lock scope: the pending
+/// slot whose success response must be revoked if the append later fails,
+/// the request id to echo in that case, and the op itself. Deferral keeps
+/// blocking log I/O outside the engine lock while preserving log order
+/// (entries are staged in exactly the order the engine applied them).
+pub(crate) struct DeferredAppend {
+    slot: usize,
+    id: Option<RequestId>,
+    op: LoggedOp,
+}
+
+/// Stages one accepted mutation for the post-engine-lock append pass.
+/// No-op without a configured op log.
+fn defer_mutation(
+    options: &ServeOptions,
+    deferred: &mut Vec<DeferredAppend>,
+    slot: usize,
+    id: &Option<RequestId>,
+    op: impl FnOnce() -> LoggedOp,
+) {
+    if options.oplog().is_some() {
+        deferred.push(DeferredAppend {
+            slot,
+            id: id.clone(),
+            op: op(),
+        });
+    }
+}
+
 /// Runs one uncoalesced request and bumps the batching counters when it
-/// was a successful insert or delete.
+/// was a successful insert or delete. Accepted mutations are staged into
+/// `deferred` (tagged with `slot`), not appended here.
 fn dispatch_counted<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
     metrics: &ServeMetrics,
+    slot: usize,
     id: Option<&RequestId>,
     request: Request,
+    deferred: &mut Vec<DeferredAppend>,
 ) -> String {
     let class = op_class(&request);
-    let response = match dispatch(engine, options, id, request, Some(metrics)) {
+    let mut staged = Vec::new();
+    let response = match dispatch(
+        engine,
+        options,
+        id,
+        request,
+        Some(metrics),
+        Some(&mut staged),
+    ) {
         Ok(response) => response,
         Err(error) => error_response(id, &error),
     };
+    for (id, op) in staged {
+        deferred.push(DeferredAppend { slot, id, op });
+    }
     if response.starts_with("{\"ok\":true") {
         match class {
             OpClass::Insert => {
@@ -445,6 +489,7 @@ fn flush_insert_run<B: CoverageBackend>(
     metrics: &ServeMetrics,
     run: &mut Vec<OpWork>,
     out: &mut Vec<(usize, String)>,
+    deferred: &mut Vec<DeferredAppend>,
 ) {
     if run.is_empty() {
         return;
@@ -458,7 +503,15 @@ fn flush_insert_run<B: CoverageBackend>(
         };
         out.push((
             slot,
-            dispatch_counted(engine, options, metrics, id.as_ref(), request),
+            dispatch_counted(
+                engine,
+                options,
+                metrics,
+                slot,
+                id.as_ref(),
+                request,
+                deferred,
+            ),
         ));
         return;
     }
@@ -481,13 +534,10 @@ fn flush_insert_run<B: CoverageBackend>(
                 match entry {
                     Ok((slot, id, raw, coded)) => {
                         rows_so_far += coded.len();
-                        match log_mutation(options, || LoggedOp::Insert { rows: raw }) {
-                            Ok(()) => out.push((
-                                slot,
-                                insert_response(id.as_ref(), coded.len(), rows_so_far),
-                            )),
-                            Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
-                        }
+                        defer_mutation(options, deferred, slot, &id, || LoggedOp::Insert {
+                            rows: raw,
+                        });
+                        out.push((slot, insert_response(id.as_ref(), coded.len(), rows_so_far)));
                     }
                     Err((slot, response)) => out.push((slot, response)),
                 }
@@ -511,17 +561,13 @@ fn flush_insert_run<B: CoverageBackend>(
                         Ok(()) => {
                             ServeMetrics::add(&metrics.insert_requests, 1);
                             ServeMetrics::add(&metrics.insert_engine_batches, 1);
-                            match log_mutation(options, || LoggedOp::Insert { rows: raw }) {
-                                Ok(()) => out.push((
-                                    slot,
-                                    insert_response(
-                                        id.as_ref(),
-                                        coded.len(),
-                                        engine.dataset().len(),
-                                    ),
-                                )),
-                                Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
-                            }
+                            defer_mutation(options, deferred, slot, &id, || LoggedOp::Insert {
+                                rows: raw,
+                            });
+                            out.push((
+                                slot,
+                                insert_response(id.as_ref(), coded.len(), engine.dataset().len()),
+                            ));
                         }
                         Err(e) => out.push((
                             slot,
@@ -545,6 +591,7 @@ fn flush_delete_run<B: CoverageBackend>(
     metrics: &ServeMetrics,
     run: &mut Vec<OpWork>,
     out: &mut Vec<(usize, String)>,
+    deferred: &mut Vec<DeferredAppend>,
 ) {
     if run.is_empty() {
         return;
@@ -558,7 +605,15 @@ fn flush_delete_run<B: CoverageBackend>(
         };
         out.push((
             slot,
-            dispatch_counted(engine, options, metrics, id.as_ref(), request),
+            dispatch_counted(
+                engine,
+                options,
+                metrics,
+                slot,
+                id.as_ref(),
+                request,
+                deferred,
+            ),
         ));
         return;
     }
@@ -577,13 +632,10 @@ fn flush_delete_run<B: CoverageBackend>(
                 match entry {
                     Ok((slot, id, raw, coded)) => {
                         rows_so_far -= coded.len();
-                        match log_mutation(options, || LoggedOp::Delete { rows: raw }) {
-                            Ok(()) => out.push((
-                                slot,
-                                delete_response(id.as_ref(), coded.len(), rows_so_far),
-                            )),
-                            Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
-                        }
+                        defer_mutation(options, deferred, slot, &id, || LoggedOp::Delete {
+                            rows: raw,
+                        });
+                        out.push((slot, delete_response(id.as_ref(), coded.len(), rows_so_far)));
                     }
                     Err((slot, response)) => out.push((slot, response)),
                 }
@@ -609,17 +661,13 @@ fn flush_delete_run<B: CoverageBackend>(
                         Ok(()) => {
                             ServeMetrics::add(&metrics.delete_requests, 1);
                             ServeMetrics::add(&metrics.delete_engine_batches, 1);
-                            match log_mutation(options, || LoggedOp::Delete { rows: raw }) {
-                                Ok(()) => out.push((
-                                    slot,
-                                    delete_response(
-                                        id.as_ref(),
-                                        coded.len(),
-                                        engine.dataset().len(),
-                                    ),
-                                )),
-                                Err(e) => out.push((slot, error_response(id.as_ref(), &e))),
-                            }
+                            defer_mutation(options, deferred, slot, &id, || LoggedOp::Delete {
+                                rows: raw,
+                            });
+                            out.push((
+                                slot,
+                                delete_response(id.as_ref(), coded.len(), engine.dataset().len()),
+                            ));
                         }
                         Err(e) => out.push((
                             slot,
@@ -644,21 +692,28 @@ enum RunKind {
 /// runs of inserts (when dictionary growth is off — growth encoding
 /// mutates the schema mid-run, so growth mode serves inserts
 /// individually) and of deletes (always: deletes never grow the schema).
+///
+/// Op-log appends are *not* performed here: every accepted mutation is
+/// staged in the returned [`DeferredAppend`] list, in engine-apply order,
+/// for the event loop to append after the engine lock drops — blocking
+/// log I/O never runs inside the engine-lock scope.
 fn process_ops<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
     metrics: &ServeMetrics,
     ops: Vec<OpWork>,
-) -> Vec<(usize, String)> {
+) -> (Vec<(usize, String)>, Vec<DeferredAppend>) {
     let mut out = Vec::with_capacity(ops.len());
+    let mut deferred: Vec<DeferredAppend> = Vec::new();
     let mut run: Vec<OpWork> = Vec::new();
     let mut run_kind: Option<RunKind> = None;
-    let flush = |engine: &mut CoverageEngine<B>,
-                 kind: Option<RunKind>,
-                 run: &mut Vec<OpWork>,
-                 out: &mut Vec<(usize, String)>| match kind {
-        Some(RunKind::Insert) => flush_insert_run(engine, options, metrics, run, out),
-        Some(RunKind::Delete) => flush_delete_run(engine, options, metrics, run, out),
+    let flush_run = |engine: &mut CoverageEngine<B>,
+                     kind: Option<RunKind>,
+                     run: &mut Vec<OpWork>,
+                     out: &mut Vec<(usize, String)>,
+                     deferred: &mut Vec<DeferredAppend>| match kind {
+        Some(RunKind::Insert) => flush_insert_run(engine, options, metrics, run, out, deferred),
+        Some(RunKind::Delete) => flush_delete_run(engine, options, metrics, run, out, deferred),
         None => {}
     };
     for op in ops {
@@ -671,7 +726,7 @@ fn process_ops<B: CoverageBackend>(
             run.push(op);
             continue;
         }
-        flush(engine, run_kind.take(), &mut run, &mut out);
+        flush_run(engine, run_kind.take(), &mut run, &mut out, &mut deferred);
         match kind {
             Some(k) => {
                 run_kind = Some(k);
@@ -683,13 +738,21 @@ fn process_ops<B: CoverageBackend>(
                 } = op;
                 out.push((
                     slot,
-                    dispatch_counted(engine, options, metrics, id.as_ref(), request),
+                    dispatch_counted(
+                        engine,
+                        options,
+                        metrics,
+                        slot,
+                        id.as_ref(),
+                        request,
+                        &mut deferred,
+                    ),
                 ));
             }
         }
     }
-    flush(engine, run_kind.take(), &mut run, &mut out);
-    out
+    flush_run(engine, run_kind.take(), &mut run, &mut out, &mut deferred);
+    (out, deferred)
 }
 
 /// Flushes as much of `conn.out` as the socket will take. Returns `false`
@@ -897,18 +960,41 @@ pub(crate) fn serve_event_tenants<B: CoverageBackend>(
                 }
                 let failure_meta: Vec<(usize, Option<RequestId>)> =
                     segment.iter().map(|op| (op.slot, op.id.clone())).collect();
-                let results = with_engine_contained(
+                let (results, deferred) = with_engine_contained(
                     &tenant.engine,
                     |error| {
-                        failure_meta
+                        let responses = failure_meta
                             .iter()
                             .map(|(slot, id)| (*slot, error_response(id.as_ref(), &error)))
-                            .collect()
+                            .collect();
+                        (responses, Vec::new())
                     },
+                    // LINT-ALLOW(lock-across-blocking): the event loop defers every append — the inline log path is unreachable here
                     |engine| process_ops(engine, &tenant.options, &metrics, segment),
                 );
                 for (slot, response) in results {
                     slots[slot] = Some(response);
+                }
+                // Append the segment's accepted mutations now, after the
+                // engine lock dropped, under one oplog lock acquisition.
+                // An append failure revokes that op's success response
+                // (same `internal` answer the inline path gives); later
+                // entries still append — the log stays a prefix-accurate
+                // record of what the engine applied and acknowledged.
+                if !deferred.is_empty() {
+                    if let Some(oplog) = tenant.options.oplog() {
+                        let mut log = match oplog.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        for DeferredAppend { slot, id, op } in deferred {
+                            // LINT-ALLOW(lock-across-blocking): batched appends under one oplog lock acquisition; no other lock is held
+                            if let Err(e) = log.append(op) {
+                                let error = append_failed_error(e);
+                                slots[slot] = Some(error_response(id.as_ref(), &error));
+                            }
+                        }
+                    }
                 }
             }
             // One durability point per tick per tenant: everything the

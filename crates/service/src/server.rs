@@ -254,12 +254,41 @@ pub(crate) fn log_mutation(
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     };
-    log.append(op()).map(|_| ()).map_err(|e| {
-        ServeError::new(
-            ErrorCode::Internal,
-            format!("op applied but appending to the op log failed: {e}"),
-        )
-    })
+    // LINT-ALLOW(lock-across-blocking): holding the oplog lock across the append is what serializes the log
+    log.append(op()).map(|_| ()).map_err(append_failed_error)
+}
+
+/// The `internal` error a mutation answers when the engine applied it but
+/// the op-log append failed.
+pub(crate) fn append_failed_error(e: impl std::fmt::Display) -> ServeError {
+    ServeError::new(
+        ErrorCode::Internal,
+        format!("op applied but appending to the op log failed: {e}"),
+    )
+}
+
+/// Records one accepted mutation for the op log. With `defer` the op is
+/// staged (with the id to echo if its append later fails) for the caller
+/// to append *after* the engine lock drops — the event loop's path, which
+/// keeps blocking log I/O out of the engine-lock scope. Without it the op
+/// is appended inline — the blocking front ends' path, where the engine
+/// lock is what orders the log. No-op without a configured op log.
+pub(crate) fn stage_mutation(
+    options: &ServeOptions,
+    defer: Option<&mut Vec<(Option<RequestId>, LoggedOp)>>,
+    id: Option<&RequestId>,
+    op: impl FnOnce() -> LoggedOp,
+) -> Result<(), ServeError> {
+    if options.oplog().is_none() {
+        return Ok(());
+    }
+    match defer {
+        Some(staged) => {
+            staged.push((id.cloned(), op()));
+            Ok(())
+        }
+        None => log_mutation(options, op),
+    }
 }
 
 /// Flushes a `batch`-policy op log to disk (no-op without one, or under
@@ -271,6 +300,7 @@ pub(crate) fn sync_oplog_batch(options: &ServeOptions) {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // LINT-ALLOW(lock-across-blocking): the fsync must cover every append that precedes it; only the oplog lock is held
         let _ = log.sync_batch();
     }
 }
@@ -429,13 +459,16 @@ pub(crate) fn op_class(request: &Request) -> OpClass {
 }
 
 /// Executes one validated request against the engine, returning the full
-/// response line (with `id` echoed) or a typed error.
+/// response line (with `id` echoed) or a typed error. `defer`, when
+/// given, receives accepted mutations instead of the op log — see
+/// [`stage_mutation`].
 pub(crate) fn dispatch<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
     id: Option<&RequestId>,
     request: Request,
     metrics: Option<&ServeMetrics>,
+    defer: Option<&mut Vec<(Option<RequestId>, LoggedOp)>>,
 ) -> Result<String, ServeError> {
     let no_snapshot = || {
         ServeError::new(
@@ -471,7 +504,7 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             engine
                 .insert_batch(&coded)
                 .map_err(ServeError::from_service)?;
-            log_mutation(options, || LoggedOp::Insert { rows })?;
+            stage_mutation(options, defer, id, || LoggedOp::Insert { rows })?;
             return Ok(insert_response(id, coded.len(), engine.dataset().len()));
         }
         Request::Delete { rows } => {
@@ -482,7 +515,7 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             engine
                 .remove_batch(&coded)
                 .map_err(ServeError::from_service)?;
-            log_mutation(options, || LoggedOp::Delete { rows })?;
+            stage_mutation(options, defer, id, || LoggedOp::Delete { rows })?;
             return Ok(delete_response(id, coded.len(), engine.dataset().len()));
         }
         Request::Grow { attribute, value } => {
@@ -494,7 +527,7 @@ pub(crate) fn dispatch<B: CoverageBackend>(
             let code = engine
                 .grow_value(index, &value)
                 .map_err(ServeError::from_service)?;
-            log_mutation(options, || LoggedOp::Grow {
+            stage_mutation(options, defer, id, || LoggedOp::Grow {
                 attribute: attribute.clone(),
                 value: value.clone(),
             })?;
@@ -523,6 +556,7 @@ pub(crate) fn dispatch<B: CoverageBackend>(
                     Ok(guard) => guard,
                     Err(poisoned) => poisoned.into_inner(),
                 };
+                // LINT-ALLOW(lock-across-blocking): truncation must be atomic w.r.t. concurrent appends; snapshots are rare and operator-initiated
                 log.truncate_through(anchor).map_err(|e| {
                     ServeError::new(
                         ErrorCode::Internal,
@@ -881,7 +915,7 @@ pub fn handle_line<B: CoverageBackend>(
             if let Some(name) = dataset {
                 return error_response(id.as_ref(), &unknown_dataset_error(&name));
             }
-            match dispatch(engine, options, id.as_ref(), request, None) {
+            match dispatch(engine, options, id.as_ref(), request, None, None) {
                 Ok(response) => response,
                 Err(error) => error_response(id.as_ref(), &error),
             }
@@ -1060,7 +1094,9 @@ fn respond_contained<B: CoverageBackend>(
             let response = with_engine_contained(
                 engine,
                 |error| error_response(id.as_ref(), &error),
-                |engine| match dispatch(engine, options, id.as_ref(), request, Some(metrics)) {
+                // LINT-ALLOW(lock-across-blocking): blocking workers log inline — the engine lock is what orders the op log here
+                |engine| match dispatch(engine, options, id.as_ref(), request, Some(metrics), None)
+                {
                     Ok(response) => response,
                     Err(error) => error_response(id.as_ref(), &error),
                 },
@@ -1434,6 +1470,7 @@ mod tests {
             None,
             Request::Stats,
             Some(&metrics),
+            None,
         )
         .unwrap();
         let doc = Json::parse(&response).unwrap();

@@ -879,7 +879,7 @@ const BENCH_REGRESSION_TOLERANCE: f64 = 0.20;
 
 /// `mithra bench-report`: measure the op-log durability overhead, follower
 /// catch-up replay, and the dense-vs-compressed backend comparison under
-/// an identical mixed workload, print the committed `BENCH_9.json`
+/// an identical mixed workload, print the committed `BENCH_10.json`
 /// document, and — with `--against FILE` — fail on a throughput
 /// regression beyond the tolerance.
 fn run_bench_report(mut argv: impl Iterator<Item = String>) -> ExitCode {
