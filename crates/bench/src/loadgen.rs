@@ -736,14 +736,20 @@ impl ProbeComparison {
 ///
 /// The workspace root is the current directory when it looks like the
 /// repo (CI and `cargo run` both start there); otherwise it is derived
-/// from this crate's manifest path, so the report also works from a
-/// subdirectory or an installed binary run inside the tree.
+/// from this crate's manifest path — a compile-time constant, valid only
+/// while the binary still runs inside (a copy of) its build tree. When
+/// neither location holds the source, the section degrades to `null`
+/// instead of failing the whole report: an installed binary run outside
+/// the repo can still measure throughput, which needs no source access.
 fn lint_section() -> Result<String, String> {
     let cwd = std::path::PathBuf::from(".");
+    let baked = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let root = if cwd.join("crates/lint").is_dir() {
         cwd
+    } else if baked.join("crates/lint").is_dir() {
+        baked
     } else {
-        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        return Ok("null".to_string());
     };
     let report = mithra_lint::check_workspace(&root).map_err(|e| format!("lint: {e}"))?;
     let rules = report

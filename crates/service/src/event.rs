@@ -56,9 +56,9 @@ use crate::protocol::{
     error_response, parse_request, Envelope, ErrorCode, Request, RequestId, ServeError,
 };
 use crate::server::{
-    append_failed_error, delete_response, dispatch, encode_row, insert_response,
-    line_too_long_error, op_class, sync_oplog_batch, with_engine_contained, ServeOptions,
-    IDLE_TIMEOUT, MAX_LINE_BYTES,
+    append_failed_error, append_skipped_error, delete_response, dispatch, encode_row,
+    insert_response, line_too_long_error, op_class, sync_oplog_batch, with_engine_contained,
+    ServeOptions, IDLE_TIMEOUT, MAX_LINE_BYTES,
 };
 use crate::tenant::{resolve_tenant, DatasetCounters};
 
@@ -403,6 +403,49 @@ fn defer_mutation(
     }
 }
 
+/// Appends a batch of staged mutations to the op log under one lock
+/// acquisition, stopping at the first failure: the failing entry *and*
+/// every later one answer an `internal` error (their engine effects
+/// stand, but none of them reached the log), so the log stays a true
+/// prefix of the acknowledged mutation sequence — appending past a hole
+/// would let follower replay diverge from the leader (a logged delete of
+/// rows whose insert fell in the hole, for example). Returns the
+/// `(slot, response)` revocations the caller applies over the staged
+/// successes; empty without a configured op log.
+fn append_deferred(options: &ServeOptions, deferred: Vec<DeferredAppend>) -> Vec<(usize, String)> {
+    let mut revoked = Vec::new();
+    if deferred.is_empty() {
+        return revoked;
+    }
+    let Some(oplog) = options.oplog() else {
+        return revoked;
+    };
+    let mut log = match oplog.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut failed: Option<String> = None;
+    for DeferredAppend { slot, id, op } in deferred {
+        if let Some(cause) = &failed {
+            revoked.push((
+                slot,
+                error_response(id.as_ref(), &append_skipped_error(cause)),
+            ));
+            continue;
+        }
+        // LINT-ALLOW(lock-across-blocking): batched appends under one oplog lock acquisition; the oplog lock is what serializes the log
+        if let Err(e) = log.append(op) {
+            let cause = e.to_string();
+            revoked.push((
+                slot,
+                error_response(id.as_ref(), &append_failed_error(&cause)),
+            ));
+            failed = Some(cause);
+        }
+    }
+    revoked
+}
+
 /// Runs one uncoalesced request and bumps the batching counters when it
 /// was a successful insert or delete. Accepted mutations are staged into
 /// `deferred` (tagged with `slot`), not appended here.
@@ -696,7 +739,10 @@ enum RunKind {
 /// Op-log appends are *not* performed here: every accepted mutation is
 /// staged in the returned [`DeferredAppend`] list, in engine-apply order,
 /// for the event loop to append after the engine lock drops — blocking
-/// log I/O never runs inside the engine-lock scope.
+/// log I/O stays out of the engine-lock scope on the mutation hot path.
+/// The one exception is a mid-segment `snapshot`, which drains the staged
+/// appends inline so the anchor it reads covers them (see the dispatch
+/// below).
 fn process_ops<B: CoverageBackend>(
     engine: &mut CoverageEngine<B>,
     options: &ServeOptions,
@@ -736,6 +782,18 @@ fn process_ops<B: CoverageBackend>(
                 let OpWork {
                     slot, id, request, ..
                 } = op;
+                // A snapshot anchors to the op log's last appended seq and
+                // truncates through it — but mutations this segment already
+                // applied are still *staged*, not appended, so the anchor
+                // would exclude state the snapshot captures and recovery or
+                // follower snapshot-sync would replay (double-apply) them.
+                // Drain the staged appends into the log first; any append
+                // failure revokes its op before the snapshot observes it.
+                // Rare and operator-initiated, and engine→oplog is the same
+                // acquisition order the inline blocking path uses.
+                if matches!(request, Request::Snapshot) && !deferred.is_empty() {
+                    out.append(&mut append_deferred(options, std::mem::take(&mut deferred)));
+                }
                 out.push((
                     slot,
                     dispatch_counted(
@@ -977,24 +1035,12 @@ pub(crate) fn serve_event_tenants<B: CoverageBackend>(
                 }
                 // Append the segment's accepted mutations now, after the
                 // engine lock dropped, under one oplog lock acquisition.
-                // An append failure revokes that op's success response
-                // (same `internal` answer the inline path gives); later
-                // entries still append — the log stays a prefix-accurate
-                // record of what the engine applied and acknowledged.
-                if !deferred.is_empty() {
-                    if let Some(oplog) = tenant.options.oplog() {
-                        let mut log = match oplog.lock() {
-                            Ok(guard) => guard,
-                            Err(poisoned) => poisoned.into_inner(),
-                        };
-                        for DeferredAppend { slot, id, op } in deferred {
-                            // LINT-ALLOW(lock-across-blocking): batched appends under one oplog lock acquisition; no other lock is held
-                            if let Err(e) = log.append(op) {
-                                let error = append_failed_error(e);
-                                slots[slot] = Some(error_response(id.as_ref(), &error));
-                            }
-                        }
-                    }
+                // The first append failure revokes that op's success
+                // response *and* every later staged op's (none of which is
+                // appended), so the log is a true prefix of the
+                // acknowledged mutation sequence — see `append_deferred`.
+                for (slot, response) in append_deferred(&tenant.options, deferred) {
+                    slots[slot] = Some(response);
                 }
             }
             // One durability point per tick per tenant: everything the

@@ -267,6 +267,18 @@ pub(crate) fn append_failed_error(e: impl std::fmt::Display) -> ServeError {
     )
 }
 
+/// The `internal` error a mutation answers when its append was skipped
+/// because an earlier append in the same batch failed: appending it anyway
+/// would leave a hole in the log, and follower replay of a log with holes
+/// can diverge from the leader (e.g. a logged delete of rows whose insert
+/// fell in the hole).
+pub(crate) fn append_skipped_error(cause: &str) -> ServeError {
+    ServeError::new(
+        ErrorCode::Internal,
+        format!("op applied but not logged: an earlier op-log append failed: {cause}"),
+    )
+}
+
 /// Records one accepted mutation for the op log. With `defer` the op is
 /// staged (with the id to echo if its append later fails) for the caller
 /// to append *after* the engine lock drops — the event loop's path, which

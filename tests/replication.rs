@@ -13,10 +13,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mithra::prelude::*;
+use mithra::service::oplog::read_entries_from;
 use mithra::service::protocol::Json;
 use mithra::service::{
-    run_follower, serve, serve_tenants, OpLog, ReplicaSource, ReplicationStatus, ServeOptions,
-    SyncPolicy, TenantSpec,
+    load_snapshot_anchored, replay_entries, run_follower, serve, serve_tenants, IoMode, OpLog,
+    ReplicaSource, ReplicationStatus, ServeOptions, SyncPolicy, TenantSpec,
 };
 
 /// Same COMPAS-flavored fixture as the protocol suites, so the replicated
@@ -325,4 +326,75 @@ fn datasets_route_by_name_and_stay_isolated() {
         .filter_map(|d| d.get("name").and_then(Json::as_str))
         .collect();
     assert_eq!(names, ["default", "hr"]);
+}
+
+/// A `snapshot` pipelined into the *same event-loop tick* as preceding
+/// mutations must anchor past them: the event front end stages op-log
+/// appends until the engine lock drops, so the snapshot arm has to drain
+/// that stage before reading the anchor. Before that drain existed, the
+/// snapshot captured engine state including the tick's mutations while the
+/// anchor (and the truncation) excluded them — recovery and follower
+/// snapshot-sync then replayed the tail and double-applied the rows.
+#[test]
+fn same_tick_snapshot_anchors_past_staged_mutations() {
+    let log_path = scratch_log("snap-anchor");
+    let snap_path = std::env::temp_dir().join(format!(
+        "mithra-replication-snap-anchor-{}.snap",
+        std::process::id()
+    ));
+    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+    let log = Arc::new(Mutex::new(
+        OpLog::open(&log_path, SyncPolicy::Batch).unwrap(),
+    ));
+    let live = Arc::new(Mutex::new(engine()));
+    let addr = spawn(
+        Arc::clone(&live),
+        ServeOptions::new()
+            .with_io(IoMode::Event)
+            .with_oplog(Some(Arc::clone(&log)))
+            .with_snapshot_path(Some(snap_path.clone())),
+    );
+
+    // One write, so the whole script lands in one readiness tick: three
+    // mutations, a snapshot mid-segment, then two more mutations whose
+    // entries form the post-anchor tail.
+    let mut stream = connect(addr);
+    let script = concat!(
+        "{\"op\":\"insert\",\"row\":[\"f\",\"black\",\"young\"]}\n",
+        "{\"op\":\"insert\",\"row\":[\"f\",\"hispanic\",\"old\"]}\n",
+        "{\"op\":\"insert\",\"row\":[\"m\",\"black\",\"old\"]}\n",
+        "{\"op\":\"snapshot\"}\n",
+        "{\"op\":\"insert\",\"row\":[\"f\",\"hispanic\",\"old\"]}\n",
+        "{\"op\":\"delete\",\"row\":[\"f\",\"black\",\"young\"]}\n",
+    );
+    let responses = ask_pipelined(&mut stream, script, 6);
+    for response in &responses {
+        let doc = Json::parse(response).unwrap();
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+    }
+    // The snapshot anchored *after* the three staged inserts, whether or
+    // not they shared its tick.
+    let snapshot = Json::parse(&responses[3]).unwrap();
+    assert_eq!(snapshot.get("oplog_seq").and_then(Json::as_u64), Some(3));
+
+    // Recovery (snapshot + tail replay) reproduces the live engine exactly
+    // — no double-applied rows.
+    let live_rows = live.lock().unwrap().dataset().len();
+    assert_eq!(live_rows, 6 + 4 - 1);
+    let (mut recovered, anchor): (CoverageEngine, u64) =
+        load_snapshot_anchored(&snap_path, None).unwrap();
+    assert_eq!(anchor, 3);
+    let tail = read_entries_from(&log_path, anchor + 1).unwrap();
+    let applied = replay_entries(&mut recovered, &tail, anchor).unwrap();
+    assert_eq!(applied, 5);
+    assert_eq!(recovered.dataset().len(), live_rows);
+    assert_eq!(recovered.mups(), live.lock().unwrap().mups());
+
+    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_file(&snap_path).ok();
 }
